@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: the OS-LWS dataflow's local-weight-stationary reuse (Q0).
+ * With Q0 = 1 every weight is re-read from the weight memory per MAC
+ * group instead of being reused Q0 times in the register file —
+ * quantifying why the paper chose OS-LWS for linear-transformation-
+ * heavy transformer layers.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/simulator.hh"
+#include "models/segformer.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Graph g = buildSegformer(segformerB2Config());
+
+    Table table("Ablation: local weight stationarity (Q0)",
+                {"Q0 bound", "Cycles", "Energy (mJ)",
+                 "WM reads (G)"});
+    for (int64_t q0 : {1, 2, 4, 8}) {
+        AcceleratorConfig cfg = acceleratorStar();
+        cfg.maxQ0 = q0;
+        GraphSimResult r = AcceleratorSim(cfg).run(g);
+        // Recompute total weight-memory reads for reporting.
+        double wm_reads = 0.0;
+        for (const LayerSimResult &l : r.layers)
+            if (l.unit == ExecUnit::MacArray)
+                wm_reads += static_cast<double>(l.macs) /
+                            std::max<int64_t>(1, q0);
+        table.addRow({std::to_string(q0),
+                      Table::intWithCommas(r.scheduledCycles),
+                      Table::num(r.totalEnergyMj, 2),
+                      Table::num(wm_reads / 1e9, 2)});
+    }
+    emitTable(table, "ablate_dataflow");
+}
+
+void
+BM_TilingSolveQ0(benchmark::State &state)
+{
+    AcceleratorConfig cfg = acceleratorStar();
+    cfg.maxQ0 = state.range(0);
+    ConvWorkload fuse{1, 768, 3072, 128, 128, 1, 1, 1, 1, 1};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solveTiling(cfg, fuse).totalCycles);
+}
+BENCHMARK(BM_TilingSolveQ0)->Arg(1)->Arg(8);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: post-processing fusion. Each PE's PPU can fuse ReLU,
+ * BatchNorm and pooling into the producing convolution (Section V);
+ * turning fusion off pays separate PPU passes for every such layer.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/simulator.hh"
+#include "models/resnet.hh"
+#include "models/segformer.hh"
+#include "models/swin.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Table table("Ablation: ReLU/BN/pool fusion into conv PPU pass",
+                {"Model", "Fused cycles", "Unfused cycles",
+                 "Cycle overhead", "Fused energy (mJ)",
+                 "Unfused energy (mJ)"});
+
+    struct Entry
+    {
+        const char *name;
+        Graph graph;
+    };
+    ResnetConfig r50;
+    r50.headless = true;
+    Entry entries[] = {
+        {"segformer_b2", buildSegformer(segformerB2Config())},
+        {"swin_tiny", buildSwin(swinTinyConfig())},
+        {"resnet50", buildResnet(r50)},
+    };
+
+    for (Entry &e : entries) {
+        AcceleratorConfig fused = acceleratorStar();
+        AcceleratorConfig unfused = acceleratorStar();
+        unfused.fusePostOps = false;
+        GraphSimResult rf = AcceleratorSim(fused).run(e.graph);
+        GraphSimResult ru = AcceleratorSim(unfused).run(e.graph);
+        table.addRow({e.name, Table::intWithCommas(rf.scheduledCycles),
+                      Table::intWithCommas(ru.scheduledCycles),
+                      Table::num(100.0 * (ru.scheduledCycles -
+                                          rf.scheduledCycles) /
+                                     rf.scheduledCycles,
+                                 1) +
+                          "%",
+                      Table::num(rf.totalEnergyMj, 2),
+                      Table::num(ru.totalEnergyMj, 2)});
+    }
+    emitTable(table, "ablate_fusion");
+}
+
+void
+BM_RunWithFusion(benchmark::State &state)
+{
+    ResnetConfig r50;
+    r50.headless = true;
+    Graph g = buildResnet(r50);
+    AcceleratorConfig cfg = acceleratorStar();
+    cfg.fusePostOps = state.range(0) != 0;
+    AcceleratorSim sim(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run(g).scheduledCycles);
+}
+BENCHMARK(BM_RunWithFusion)->Arg(0)->Arg(1);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

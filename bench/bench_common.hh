@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared scaffolding for the per-table / per-figure benchmark
+ * binaries. Each binary prints the rows the paper reports (and writes
+ * them as CSV next to the binary), then runs its registered
+ * google-benchmark timings.
+ */
+
+#ifndef VITDYN_BENCH_COMMON_HH
+#define VITDYN_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "util/table.hh"
+
+namespace vitdyn
+{
+
+/** Print a table and drop its CSV beside the binary. */
+inline void
+emitTable(const Table &table, const std::string &csv_name)
+{
+    table.print();
+    table.writeCsv(csv_name + ".csv");
+}
+
+/**
+ * Standard bench main body: run the table-producing function, then the
+ * registered google-benchmark timings.
+ */
+#define VITDYN_BENCH_MAIN(produce_tables)                                \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        produce_tables();                                               \
+        benchmark::Initialize(&argc, argv);                             \
+        benchmark::RunSpecifiedBenchmarks();                            \
+        benchmark::Shutdown();                                          \
+        return 0;                                                       \
+    }
+
+} // namespace vitdyn
+
+#endif // VITDYN_BENCH_COMMON_HH

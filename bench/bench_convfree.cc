@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Section II contrast: convolution share of FLOPs across model
+ * generations. The paper's first contribution rests on this shift —
+ * "68% and 89% of the total FLOPs are in convolution layers in
+ * SegFormer and Swin-Tiny, in contrast to the zero convolutions in
+ * ViT and BERT".
+ */
+
+#include "bench_common.hh"
+
+#include "models/detr.hh"
+#include "models/pvt.hh"
+#include "models/segformer.hh"
+#include "models/swin.hh"
+#include "models/vit.hh"
+#include "profile/flops_profile.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Table table("Convolution share of FLOPs across model generations",
+                {"Model", "GFLOPs", "Conv FLOPs %", "MatMul FLOPs %"});
+
+    auto add_row = [&](const Graph &g) {
+        int64_t matmul = 0;
+        for (const Layer &l : g.layers())
+            if (l.category() == OpCategory::MatMul)
+                matmul += l.flops();
+        table.addRow({g.name(), Table::num(g.totalFlops() / 1e9, 1),
+                      Table::num(100 * convFlopsShare(g), 1),
+                      Table::num(100.0 * matmul / g.totalFlops(), 1)});
+    };
+
+    add_row(buildBert(BertConfig{}));
+    add_row(buildVit(vitB16Config()));
+    add_row(buildVit(vitL16Config()));
+    add_row(buildDetr(detrConfig()));
+    add_row(buildDeformableDetr(deformableDetrConfig()));
+    add_row(buildSegformer(segformerB2Config()));
+    add_row(buildSwin(swinTinyConfig()));
+    add_row(buildPvt(pvtSmallConfig()));
+
+    emitTable(table, "convfree");
+
+    // The paper's generalization claim: any attention-dominant
+    // backbone + the UPerNet head is decoder-dominated. PVT is the
+    // backbone the paper's SR attention comes from.
+    Table general("Generalization: attention-dominant backbones + "
+                  "UPerNet",
+                  {"Model", "Decoder FLOPs %", "fpn_bottleneck %"});
+    for (Graph g : {buildSwin(swinTinyConfig()),
+                    buildPvt(pvtSmallConfig()),
+                    buildPvt(pvtTinyConfig())}) {
+        const double decoder =
+            100.0 * stageFlops(g, "decoder") / g.totalFlops();
+        const double fb =
+            100.0 *
+            g.layer(g.findLayer("fpn_bottleneck_Conv2D")).flops() /
+            g.totalFlops();
+        general.addRow({g.name(), Table::num(decoder, 1),
+                        Table::num(fb, 1)});
+    }
+    emitTable(general, "generalization");
+
+    Table claims("Published contrast (Section II)", {"Claim"});
+    claims.addRow({"ViT and BERT: zero convolutions"});
+    claims.addRow({"SegFormer-B2: 68% of FLOPs in convolutions"});
+    claims.addRow({"Swin-Tiny + UPerNet: 89% in convolutions"});
+    claims.addRow({"DETR-family: conv backbone dominates"});
+    claims.print();
+}
+
+void
+BM_BuildVit(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Graph g = buildVit(vitB16Config());
+        benchmark::DoNotOptimize(g.totalFlops());
+    }
+}
+BENCHMARK(BM_BuildVit);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Trace-driven DRT evaluation: the paper's motivating real-time
+ * scenarios (autonomous driving, video conferencing) expose the
+ * engine to fluctuating budgets. This bench runs the SegFormer-B2
+ * Table II LUT — on GPU time and on accelerator cycles — over smooth,
+ * bursty, and step-change load traces and reports deadline compliance
+ * and delivered accuracy.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/simulator.hh"
+#include "engine/trace.hh"
+#include "profile/gpu_model.hh"
+#include "resilience/sweep.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+runResource(const char *resource_name, const GraphCostFn &cost,
+            const std::string &csv)
+{
+    AccuracyModel acc(PrunedModelKind::SegformerB2Ade);
+    SegformerConfig base = segformerB2Config();
+    auto points =
+        sweepSegformer(base, segformerAdePruneCatalog(), acc, cost);
+    AccuracyResourceLut lut(points, resource_name);
+
+    const double full = lut.best().resourceCost;
+    const double min_cost = lut.cheapest().resourceCost;
+
+    std::vector<BudgetTrace> traces;
+    traces.push_back(makeSinusoidalTrace(600, min_cost * 0.9,
+                                         full * 1.2, 60.0, 0.2, 5));
+    traces.push_back(
+        makeBurstyTrace(600, full * 1.1, min_cost * 1.02, 0.25, 6));
+    traces.push_back(
+        makeStepTrace(600, full * 1.1, (min_cost + full) / 2, 300));
+
+    Table table(std::string("DRT over load traces (resource: ") +
+                    resource_name + ")",
+                {"Trace", "Frames", "Misses", "Switches", "Mean acc",
+                 "Min acc", "Mean headroom", "Gap to best"});
+    for (const BudgetTrace &trace : traces) {
+        TraceStats stats = runTrace(lut, trace);
+        table.addRow({trace.name, std::to_string(stats.frames),
+                      std::to_string(stats.budgetMisses),
+                      std::to_string(stats.pathSwitches),
+                      Table::num(stats.meanAccuracy, 3),
+                      Table::num(stats.minAccuracy, 3),
+                      Table::num(stats.meanHeadroom, 3),
+                      Table::num(stats.accuracyGapToBest, 3)});
+    }
+    emitTable(table, csv);
+}
+
+void
+produceTables()
+{
+    GpuLatencyModel gpu;
+    runResource("ms",
+                [&](const Graph &g) { return gpu.graphTimeMs(g); },
+                "drt_trace_gpu_time");
+    runResource("mJ",
+                [&](const Graph &g) { return gpu.graphEnergyMj(g); },
+                "drt_trace_gpu_energy");
+
+    AcceleratorSim sim(acceleratorStar());
+    runResource("cycles",
+                [&](const Graph &g) {
+                    return static_cast<double>(sim.cycles(g));
+                },
+                "drt_trace_accel_cycles");
+}
+
+void
+BM_RunTrace(benchmark::State &state)
+{
+    GpuLatencyModel gpu;
+    AccuracyModel acc(PrunedModelKind::SegformerB2Ade);
+    SegformerConfig base = segformerB2Config();
+    auto points = sweepSegformer(
+        base, segformerAdePruneCatalog(), acc,
+        [&](const Graph &g) { return gpu.graphTimeMs(g); });
+    AccuracyResourceLut lut(points, "ms");
+    BudgetTrace trace = makeSinusoidalTrace(
+        1000, lut.cheapest().resourceCost, lut.best().resourceCost,
+        60.0, 0.2, 5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runTrace(lut, trace).meanAccuracy);
+}
+BENCHMARK(BM_RunTrace);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

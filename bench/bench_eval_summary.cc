@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Headline evaluation numbers (Section VI): total cycles, execution
+ * time, GPU speedups, the accelerator* vs accelerator_A comparison,
+ * and the point-G small-configuration comparison — published vs
+ * modeled side by side.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/area.hh"
+#include "accel/simulator.hh"
+#include "models/segformer.hh"
+#include "models/swin.hh"
+#include "profile/gpu_model.hh"
+#include "resilience/config.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Graph seg = buildSegformer(segformerB2Config());
+    Graph swin = buildSwin(swinTinyConfig());
+
+    GraphSimResult seg_a = AcceleratorSim(acceleratorA()).run(seg);
+    GraphSimResult seg_s = AcceleratorSim(acceleratorStar()).run(seg);
+    GraphSimResult swin_s = AcceleratorSim(acceleratorStar()).run(swin);
+
+    const SegformerConfig base = segformerB2Config();
+    const PruneConfig point_g = segformerAdePruneCatalog().back();
+    Graph g_cfg = applySegformerPrune(base, point_g);
+    GraphSimResult g_a = AcceleratorSim(acceleratorA()).run(g_cfg);
+    GraphSimResult g_s = AcceleratorSim(acceleratorStar()).run(g_cfg);
+
+    Table table("Section VI headline results (published vs modeled)",
+                {"Quantity", "Published", "Modeled"});
+    table.addRow({"SegFormer-B2 cycles on accelerator_A", "4,415,208",
+                  Table::intWithCommas(seg_a.scheduledCycles)});
+    table.addRow({"SegFormer-B2 time on accelerator_A", "3.5 ms",
+                  Table::num(seg_a.timeMs, 2) + " ms"});
+    table.addRow({"Speedup vs TITAN V (58 ms)", "16.6x",
+                  Table::num(58.0 / seg_a.timeMs, 1) + "x"});
+    table.addRow({"SegFormer-B2 cycles on accelerator*", "4,540,195",
+                  Table::intWithCommas(seg_s.scheduledCycles)});
+    table.addRow({"accelerator* slowdown vs A", "<3%",
+                  Table::num(100.0 * (seg_s.scheduledCycles -
+                                      seg_a.scheduledCycles) /
+                                 seg_a.scheduledCycles,
+                             1) +
+                      "%"});
+    table.addRow({"accelerator* extra energy vs A", "0.5%",
+                  Table::num(100.0 * (seg_s.totalEnergyMj -
+                                      seg_a.totalEnergyMj) /
+                                 seg_a.totalEnergyMj,
+                             1) +
+                      "%"});
+    table.addRow({"PE array area A / *", "4.3x",
+                  Table::num(peArrayArea(acceleratorA()).total /
+                                 peArrayArea(acceleratorStar()).total,
+                             1) +
+                      "x"});
+    table.addRow({"accelerator* PE array area", "2.26 mm^2",
+                  Table::num(peArrayArea(acceleratorStar()).total, 2) +
+                      " mm^2"});
+    table.addRow({"Point G FLOPs vs full", "50%",
+                  Table::num(100.0 * g_cfg.totalFlops() /
+                                 seg.totalFlops(),
+                             0) +
+                      "%"});
+    table.addRow({"Point G slowdown on * vs A", "5%",
+                  Table::num(100.0 * (g_s.scheduledCycles -
+                                      g_a.scheduledCycles) /
+                                 g_a.scheduledCycles,
+                             1) +
+                      "%"});
+    table.addRow({"Point G extra energy on * vs A", "2.7%",
+                  Table::num(100.0 * (g_s.totalEnergyMj -
+                                      g_a.totalEnergyMj) /
+                                 g_a.totalEnergyMj,
+                             1) +
+                      "%"});
+    table.addRow({"Swin-Tiny cycles on accelerator*", "15,482,594",
+                  Table::intWithCommas(swin_s.scheduledCycles)});
+    table.addRow({"Swin-Tiny time on accelerator*", "12.4 ms",
+                  Table::num(swin_s.timeMs, 1) + " ms"});
+    table.addRow({"Swin speedup vs TITAN V (215 ms)", "17x",
+                  Table::num(215.0 / swin_s.timeMs, 1) + "x"});
+    emitTable(table, "eval_summary");
+}
+
+void
+BM_FullEvaluation(benchmark::State &state)
+{
+    Graph seg = buildSegformer(segformerB2Config());
+    for (auto _ : state) {
+        GraphSimResult r = AcceleratorSim(acceleratorA()).run(seg);
+        benchmark::DoNotOptimize(r.totalEnergyMj);
+    }
+}
+BENCHMARK(BM_FullEvaluation);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 1: execution-time breakdown between the ResNet-50 backbone
+ * and the transformer in DETR and Deformable DETR across batch sizes
+ * on the modeled TITAN V. The paper's headline: the backbone
+ * dominates, and its share grows with batch size.
+ */
+
+#include "bench_common.hh"
+
+#include "models/detr.hh"
+#include "profile/flops_profile.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    GpuLatencyModel gpu;
+    Table table("Fig 1: DETR-family time breakdown vs batch size "
+                "(modeled TITAN V @ 1005 MHz)",
+                {"Model", "Batch", "Total (ms)", "Backbone (ms)",
+                 "Backbone %", "Transformer %", "Head %"});
+
+    for (const bool deformable : {false, true}) {
+        for (const int64_t batch : {1, 2, 4, 8, 16}) {
+            DetrConfig cfg =
+                deformable ? deformableDetrConfig() : detrConfig();
+            cfg.batch = batch;
+            // Figure 1 uses COCO images around 640x820; we keep the
+            // 32-aligned 640x832.
+            cfg.imageH = 640;
+            cfg.imageW = 832;
+            Graph g = deformable ? buildDeformableDetr(cfg)
+                                 : buildDetr(cfg);
+
+            const double total = gpu.graphTimeMs(g);
+            const double bb = stageTimeMs(g, gpu, "backbone");
+            const double tr = stageTimeMs(g, gpu, "transformer");
+            const double head = stageTimeMs(g, gpu, "head");
+            table.addRow({g.name(), std::to_string(batch),
+                          Table::num(total, 1), Table::num(bb, 1),
+                          Table::num(100 * bb / total, 1),
+                          Table::num(100 * tr / total, 1),
+                          Table::num(100 * head / total, 1)});
+        }
+    }
+    emitTable(table, "fig1");
+
+    Table claims("Fig 1 reference claims (published)", {"Claim"});
+    claims.addRow({"DETR transformer: 6.1% - 12.4% of time"});
+    claims.addRow({"Deformable DETR transformer: 6.1% - 18.4%"});
+    claims.addRow({"Backbone share grows with batch size"});
+    claims.print();
+}
+
+void
+BM_DetrTimeModel(benchmark::State &state)
+{
+    DetrConfig cfg = detrConfig();
+    cfg.batch = state.range(0);
+    Graph g = buildDetr(cfg);
+    GpuLatencyModel gpu;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gpu.graphTimeMs(g));
+}
+BENCHMARK(BM_DetrTimeModel)->Arg(1)->Arg(16);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

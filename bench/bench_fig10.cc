@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 10: execution time and total energy distribution across
+ * layers in SegFormer-B2 on accelerator_A (K0=C0=32, WM=1024 kB,
+ * AM=64 kB). The paper observes the accelerator's time/energy
+ * distribution tracks the FLOPs distribution much more closely than
+ * the GPU's did.
+ */
+
+#include "bench_common.hh"
+
+#include <map>
+
+#include "accel/report.hh"
+#include "accel/simulator.hh"
+#include "models/segformer.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Graph g = buildSegformer(segformerB2Config());
+    AcceleratorSim sim(acceleratorA());
+    GraphSimResult r = sim.run(g);
+
+    // Aggregate per named layer of interest + op category.
+    const std::vector<std::string> named = {
+        "Conv2DFuse", "Conv2DPred", "DecodeLinear0",
+        "OverlapPatchEmbed0_Conv2D"};
+    std::map<std::string, std::pair<int64_t, double>> groups;
+    for (const LayerSimResult &l : r.layers) {
+        if (l.layerId < 0)
+            continue;
+        std::string key = opCategoryName(
+            g.layer(l.layerId).category());
+        for (const std::string &n : named)
+            if (l.name == n)
+                key = n;
+        if (g.layer(l.layerId).name.find("DWConv") != std::string::npos)
+            key = "DWConv (all)";
+        groups[key].first += l.cycles;
+        groups[key].second += l.energyMj;
+    }
+
+    Table table("Fig 10: SegFormer-B2 on accelerator_A",
+                {"Group", "Cycles", "Cycles %", "Energy (mJ)",
+                 "Energy %"});
+    for (const auto &[name, val] : groups) {
+        table.addRow({name, Table::intWithCommas(val.first),
+                      Table::num(100.0 * val.first / r.totalCycles, 1),
+                      Table::num(val.second, 3),
+                      Table::num(100.0 * val.second / r.totalEnergyMj,
+                                 1)});
+    }
+    emitTable(table, "fig10");
+
+    // Where the energy actually goes, level by level (MAGNet-style
+    // accounting).
+    HierarchyBreakdown hb = analyzeHierarchy(acceleratorA(), g);
+    emitTable(hierarchyTable("Fig 10: memory-hierarchy energy "
+                             "breakdown on accelerator_A",
+                             hb),
+              "fig10_hierarchy");
+
+    Table summary("Fig 10 summary (published vs modeled)",
+                  {"Quantity", "Published", "Modeled"});
+    summary.addRow({"Total cycles", "4,415,208",
+                    Table::intWithCommas(r.scheduledCycles)});
+    summary.addRow({"Execution time", "3.5 ms",
+                    Table::num(r.timeMs, 2) + " ms"});
+    summary.addRow({"Speedup vs TITAN V (58 ms)", "16.6x",
+                    Table::num(58.0 / r.timeMs, 1) + "x"});
+    summary.print();
+}
+
+void
+BM_SimulateSegformerOnA(benchmark::State &state)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    AcceleratorSim sim(acceleratorA());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run(g).scheduledCycles);
+}
+BENCHMARK(BM_SimulateSegformerOnA);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 11: energy per FLOP for every layer of SegFormer-B2 on
+ * accelerator_A. The published finding: five convolution layers (the
+ * 3-channel input patch embedding and the depthwise convolutions)
+ * have far higher energy/FLOP than everything else, due to low C0
+ * utilization, and together hold ~17% of total energy.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+
+#include "accel/simulator.hh"
+#include "models/segformer.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Graph g = buildSegformer(segformerB2Config());
+    AcceleratorSim sim(acceleratorA());
+    GraphSimResult r = sim.run(g);
+
+    std::vector<const LayerSimResult *> mac_layers;
+    for (const LayerSimResult &l : r.layers)
+        if (l.unit == ExecUnit::MacArray && l.macs > 0)
+            mac_layers.push_back(&l);
+    std::sort(mac_layers.begin(), mac_layers.end(),
+              [](const LayerSimResult *a, const LayerSimResult *b) {
+                  return a->energyMj / a->macs > b->energyMj / b->macs;
+              });
+
+    Table table("Fig 11: highest energy-per-FLOP layers on "
+                "accelerator_A (top 12 of " +
+                    std::to_string(mac_layers.size()) + ")",
+                {"Layer", "pJ/MAC", "Utilization", "Energy (mJ)",
+                 "Energy %"});
+    for (size_t i = 0; i < std::min<size_t>(12, mac_layers.size());
+         ++i) {
+        const LayerSimResult *l = mac_layers[i];
+        table.addRow({l->name,
+                      Table::num(l->energyMj / l->macs * 1e9, 3),
+                      Table::num(l->utilization, 3),
+                      Table::num(l->energyMj, 4),
+                      Table::num(100.0 * l->energyMj / r.totalEnergyMj,
+                                 2)});
+    }
+    emitTable(table, "fig11");
+
+    // Outlier share: the low-channel convs (patch embed 0 + DWConvs).
+    double outlier_energy = 0.0;
+    for (const LayerSimResult &l : r.layers)
+        if (l.name == "OverlapPatchEmbed0_Conv2D" ||
+            l.name.find("DWConv") != std::string::npos)
+            outlier_energy += l.energyMj;
+    Table check("Fig 11 outlier check (published vs modeled)",
+                {"Quantity", "Published", "Modeled"});
+    check.addRow({"Low-channel conv energy share", "17%",
+                  Table::num(100 * outlier_energy / r.totalEnergyMj,
+                             1) +
+                      "%"});
+    const LayerSimResult *fuse = r.findLayer("Conv2DFuse");
+    const LayerSimResult *pe = r.findLayer("OverlapPatchEmbed0_Conv2D");
+    check.addRow({"PatchEmbed0 vs Conv2DFuse pJ/MAC",
+                  "much higher (3-ch input)",
+                  Table::num((pe->energyMj / pe->macs) /
+                                 (fuse->energyMj / fuse->macs),
+                             1) +
+                      "x"});
+    check.print();
+}
+
+void
+BM_EnergyModelFullGraph(benchmark::State &state)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    AcceleratorSim sim(acceleratorA());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.energyMj(g));
+}
+BENCHMARK(BM_EnergyModelFullGraph);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

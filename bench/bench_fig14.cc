@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 14: normalized total energy for the full SegFormer-B2 across
+ * accelerator parameterizations with different (K0, C0) splits and
+ * memory sizes, all computing 16384 MACs in parallel. The published
+ * conclusion: K0 = C0 = 32 accelerators have the lowest total energy
+ * (more vectorization inside the vector MACs and PEs).
+ */
+
+#include "bench_common.hh"
+
+#include "accel/area.hh"
+#include "accel/dse.hh"
+#include "models/segformer.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Graph g = buildSegformer(segformerB2Config());
+
+    DseOptions opts;
+    opts.k0Grid = {16, 32, 64};
+    opts.c0Grid = {16, 32, 64};
+    opts.weightMemKbGrid = {128, 1024};
+    opts.activationMemKbGrid = {64};
+    auto points = exploreDesignSpace(g, opts);
+
+    // Normalize to the best-energy point.
+    double best = 1e30;
+    for (const DsePoint &p : points)
+        best = std::min(best, p.energyMj);
+
+    Table table("Fig 14: normalized total energy across "
+                "vectorization / memory splits (16384 MACs each)",
+                {"K0", "C0", "PEs", "WM (kB)", "AM (kB)",
+                 "Norm energy", "Cycles", "PE array mm^2"});
+    for (const DsePoint &p : points) {
+        table.addRow({std::to_string(p.config.k0),
+                      std::to_string(p.config.c0),
+                      std::to_string(p.config.numPes()),
+                      std::to_string(p.config.weightMemKb),
+                      std::to_string(p.config.activationMemKb),
+                      Table::num(p.energyMj / best, 3),
+                      Table::intWithCommas(p.cycles),
+                      Table::num(p.areaMm2, 2)});
+    }
+    emitTable(table, "fig14");
+
+    const DsePoint &winner = bestByEnergy(points);
+    Table claims("Fig 14 claims (published vs modeled)",
+                 {"Quantity", "Published", "Modeled"});
+    claims.addRow({"Lowest-energy vectorization", "K0 = C0 = 32",
+                   "K0 = " + std::to_string(winner.config.k0) +
+                       ", C0 = " + std::to_string(winner.config.c0)});
+    claims.print();
+}
+
+void
+BM_DesignSpaceSweep(benchmark::State &state)
+{
+    SegformerConfig small = segformerB0Config();
+    small.imageH = small.imageW = 128;
+    Graph g = buildSegformer(small);
+    DseOptions opts;
+    opts.weightMemKbGrid = {128};
+    opts.activationMemKbGrid = {64};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exploreDesignSpace(g, opts).size());
+}
+BENCHMARK(BM_DesignSpaceSweep);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

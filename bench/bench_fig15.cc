@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 15: execution-time distribution across layers in Swin-Tiny
+ * on accelerator* (K0=C0=32, WM=128 kB, AM=64 kB). Published:
+ * 15,482,594 cycles (12.4 ms, 17x faster than the TITAN V's 215 ms),
+ * with 89% of accelerator time in convolutions, dominated by
+ * fpn_bottleneck_Conv2D.
+ */
+
+#include "bench_common.hh"
+
+#include <map>
+
+#include "accel/simulator.hh"
+#include "models/swin.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Graph g = buildSwin(swinTinyConfig());
+    AcceleratorSim sim(acceleratorStar());
+    GraphSimResult r = sim.run(g);
+
+    const std::vector<std::string> named = {
+        "fpn_bottleneck_Conv2D", "fpn_convs_0_Conv2D",
+        "fpn_convs_1_Conv2D", "ppm_bottleneck_Conv2D", "conv_seg"};
+    std::map<std::string, int64_t> groups;
+    int64_t conv_cycles = 0;
+    for (const LayerSimResult &l : r.layers) {
+        if (l.layerId < 0)
+            continue;
+        std::string key =
+            opCategoryName(g.layer(l.layerId).category());
+        for (const std::string &n : named)
+            if (l.name == n)
+                key = n;
+        groups[key] += l.cycles;
+        if (g.layer(l.layerId).category() == OpCategory::Conv)
+            conv_cycles += l.cycles;
+    }
+
+    Table table("Fig 15: Swin-Tiny on accelerator*",
+                {"Group", "Cycles", "Cycles %"});
+    for (const auto &[name, cycles] : groups)
+        table.addRow({name, Table::intWithCommas(cycles),
+                      Table::num(100.0 * cycles / r.totalCycles, 1)});
+    emitTable(table, "fig15");
+
+    Table summary("Fig 15 summary (published vs modeled)",
+                  {"Quantity", "Published", "Modeled"});
+    summary.addRow({"Total cycles", "15,482,594",
+                    Table::intWithCommas(r.scheduledCycles)});
+    summary.addRow({"Execution time", "12.4 ms",
+                    Table::num(r.timeMs, 1) + " ms"});
+    summary.addRow({"Speedup vs TITAN V (215 ms)", "17x",
+                    Table::num(215.0 / r.timeMs, 1) + "x"});
+    summary.addRow({"Conv share of cycles", "89%",
+                    Table::num(100.0 * conv_cycles / r.totalCycles,
+                               1) +
+                        "%"});
+    summary.print();
+}
+
+void
+BM_SimulateSwinOnStar(benchmark::State &state)
+{
+    Graph g = buildSwin(swinTinyConfig());
+    AcceleratorSim sim(acceleratorStar());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run(g).scheduledCycles);
+}
+BENCHMARK(BM_SimulateSwinOnStar);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 3: FLOPs and execution-time distribution across layers in
+ * SegFormer-B2 (ADE20K, 512x512, batch 1). Key published shares:
+ * Conv2DFuse 62% of FLOPs, Conv2DPred 3%, DecodeLinear0 1.3%; convs
+ * are 68% of FLOPs but only ~25% of GPU time.
+ */
+
+#include "bench_common.hh"
+
+#include "models/segformer.hh"
+#include "profile/report.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Graph g = buildSegformer(segformerB2Config());
+    GpuLatencyModel gpu;
+
+    Profile named(g, gpu,
+                  {"Conv2DFuse", "Conv2DPred", "DecodeLinear0",
+                   "DecodeLinear1", "DecodeLinear2", "DecodeLinear3",
+                   "OverlapPatchEmbed0_Conv2D"});
+    emitTable(profileTable(
+                  "Fig 3: SegFormer-B2 distribution (named layers + "
+                  "op categories)",
+                  named),
+              "fig3");
+
+    Profile by_category(g, gpu);
+    emitTable(profileTable("Fig 3: SegFormer-B2 by op category",
+                           by_category),
+              "fig3_categories");
+
+    Table check("Fig 3 reference shares (published vs modeled)",
+                {"Quantity", "Published", "Modeled"});
+    check.addRow({"Conv2DFuse FLOPs share", "62%",
+                  Table::num(100 * named.flopsShare("Conv2DFuse"), 1) +
+                      "%"});
+    check.addRow({"Conv2DPred FLOPs share", "3%",
+                  Table::num(100 * named.flopsShare("Conv2DPred"), 1) +
+                      "%"});
+    check.addRow({"DecodeLinear0 FLOPs share", "1.3%",
+                  Table::num(100 * named.flopsShare("DecodeLinear0"),
+                             1) +
+                      "%"});
+    check.addRow({"Conv FLOPs share", "68%",
+                  Table::num(100 * by_category.flopsShare("Conv"), 1) +
+                      "%"});
+    check.addRow({"Conv time share", "~25%",
+                  Table::num(100 * by_category.timeShare("Conv"), 1) +
+                      "%"});
+    check.print();
+}
+
+void
+BM_ProfileSegformerB2(benchmark::State &state)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    GpuLatencyModel gpu;
+    for (auto _ : state) {
+        Profile p(g, gpu);
+        benchmark::DoNotOptimize(p.totalTimeMs());
+    }
+}
+BENCHMARK(BM_ProfileSegformerB2);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

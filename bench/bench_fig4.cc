@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 4: FLOPs and execution-time distribution across layers in
+ * Swin-Tiny (ADE20K, 512x512, batch 1). Key published shares:
+ * fpn_bottleneck 65%, fpn_convs_0 16%, fpn_convs_1 4% of FLOPs; 89%
+ * of FLOPs in convolutions; 89% of FLOPs in the decoder.
+ */
+
+#include "bench_common.hh"
+
+#include "models/swin.hh"
+#include "profile/report.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Graph g = buildSwin(swinTinyConfig());
+    GpuLatencyModel gpu;
+
+    Profile named(g, gpu,
+                  {"fpn_bottleneck_Conv2D", "fpn_convs_0_Conv2D",
+                   "fpn_convs_1_Conv2D", "fpn_convs_2_Conv2D",
+                   "ppm_bottleneck_Conv2D", "conv_seg"});
+    emitTable(profileTable("Fig 4: Swin-Tiny distribution (named "
+                           "layers + op categories)",
+                           named),
+              "fig4");
+
+    Profile by_stage(g, gpu, {}, "stage");
+    emitTable(profileTable("Fig 4: Swin-Tiny encoder vs decoder",
+                           by_stage),
+              "fig4_stages");
+
+    Profile by_category(g, gpu);
+    Table check("Fig 4 reference shares (published vs modeled)",
+                {"Quantity", "Published", "Modeled"});
+    check.addRow({"fpn_bottleneck FLOPs share", "65%",
+                  Table::num(100 * named.flopsShare(
+                                       "fpn_bottleneck_Conv2D"),
+                             1) +
+                      "%"});
+    check.addRow({"fpn_convs_0 FLOPs share", "16%",
+                  Table::num(100 * named.flopsShare(
+                                       "fpn_convs_0_Conv2D"),
+                             1) +
+                      "%"});
+    check.addRow({"fpn_convs_1 FLOPs share", "4%",
+                  Table::num(100 * named.flopsShare(
+                                       "fpn_convs_1_Conv2D"),
+                             1) +
+                      "%"});
+    check.addRow({"Conv FLOPs share", "89%",
+                  Table::num(100 * by_category.flopsShare("Conv"), 1) +
+                      "%"});
+    check.addRow({"Decoder FLOPs share", "89%",
+                  Table::num(100 * by_stage.flopsShare("decoder"), 1) +
+                      "%"});
+    check.print();
+}
+
+void
+BM_ProfileSwinTiny(benchmark::State &state)
+{
+    Graph g = buildSwin(swinTinyConfig());
+    GpuLatencyModel gpu;
+    for (auto _ : state) {
+        Profile p(g, gpu);
+        benchmark::DoNotOptimize(p.totalTimeMs());
+    }
+}
+BENCHMARK(BM_ProfileSwinTiny);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 5: image size vs the share of FLOPs and latency held by the
+ * decoder fusion convolution (Conv2DFuse in SegFormer,
+ * fpn_bottleneck_Conv2D in Swin). The paper: this single layer holds
+ * a majority of FLOPs and latency at ADE20K (512x512) and Cityscapes
+ * (1024x2048) sizes.
+ */
+
+#include "bench_common.hh"
+
+#include "models/segformer.hh"
+#include "models/swin.hh"
+#include "profile/report.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    GpuLatencyModel gpu;
+    Table table("Fig 5: image size vs fusion-conv share",
+                {"Model", "Image", "Total GFLOPs", "Fuse FLOPs %",
+                 "Fuse latency %"});
+
+    struct Size
+    {
+        int64_t h;
+        int64_t w;
+    };
+    const Size sizes[] = {{128, 128}, {256, 256}, {512, 512},
+                          {768, 768}, {1024, 1024}, {1024, 2048}};
+
+    for (const Size &size : sizes) {
+        SegformerConfig seg = segformerB2Config();
+        seg.imageH = size.h;
+        seg.imageW = size.w;
+        Graph sg = buildSegformer(seg);
+        Profile sp(sg, gpu, {"Conv2DFuse"});
+        table.addRow({"segformer_b2",
+                      std::to_string(size.h) + "x" +
+                          std::to_string(size.w),
+                      Table::num(sg.totalFlops() / 1e9, 1),
+                      Table::num(100 * sp.flopsShare("Conv2DFuse"), 1),
+                      Table::num(100 * sp.timeShare("Conv2DFuse"), 1)});
+
+        SwinConfig swin = swinTinyConfig();
+        swin.imageH = size.h;
+        swin.imageW = size.w;
+        Graph wg = buildSwin(swin);
+        Profile wp(wg, gpu, {"fpn_bottleneck_Conv2D"});
+        table.addRow({"swin_tiny",
+                      std::to_string(size.h) + "x" +
+                          std::to_string(size.w),
+                      Table::num(wg.totalFlops() / 1e9, 1),
+                      Table::num(
+                          100 * wp.flopsShare("fpn_bottleneck_Conv2D"),
+                          1),
+                      Table::num(
+                          100 * wp.timeShare("fpn_bottleneck_Conv2D"),
+                          1)});
+    }
+    emitTable(table, "fig5");
+}
+
+void
+BM_BuildAcrossSizes(benchmark::State &state)
+{
+    SwinConfig cfg = swinTinyConfig();
+    cfg.imageH = cfg.imageW = state.range(0);
+    for (auto _ : state) {
+        Graph g = buildSwin(cfg);
+        benchmark::DoNotOptimize(g.totalFlops());
+    }
+}
+BENCHMARK(BM_BuildAcrossSizes)->Arg(256)->Arg(1024);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Figure 6 + Table II: accuracy vs execution-time tradeoff when
+ * dynamically pruning pretrained SegFormer-B2 (ADE20K and Cityscapes)
+ * with no retraining, including the trained B0/B1/B2 reference
+ * points (the large squares in Fig 6) and the paper's headline
+ * claims: 17% time saved at <6% accuracy drop (ADE), 28% at <5%
+ * (Cityscapes), and the energy saving outpacing the time saving.
+ */
+
+#include "bench_common.hh"
+
+#include "profile/gpu_model.hh"
+#include "resilience/sweep.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+double
+gpuTimeOf(const GpuLatencyModel &gpu, const Graph &g)
+{
+    return gpu.graphTimeMs(g);
+}
+
+void
+runDataset(bool cityscapes)
+{
+    GpuLatencyModel gpu;
+    const SegformerConfig base = cityscapes
+                                     ? segformerB2CityscapesConfig()
+                                     : segformerB2Config();
+    const PrunedModelKind kind =
+        cityscapes ? PrunedModelKind::SegformerB2Cityscapes
+                   : PrunedModelKind::SegformerB2Ade;
+    AccuracyModel acc(kind);
+    const auto catalog = cityscapes ? segformerCityscapesPruneCatalog()
+                                    : segformerAdePruneCatalog();
+
+    auto points = sweepSegformer(
+        base, catalog, acc,
+        [&](const Graph &g) { return gpuTimeOf(gpu, g); });
+
+    const std::string tag = cityscapes ? "Cityscapes" : "ADE20K";
+    Table table("Fig 6 / Table II (" + tag + "): pruned execution "
+                "paths, no retraining",
+                {"Label", "Depths", "Fuse ch", "Norm time (model)",
+                 "Norm util (paper)", "Norm mIoU (model)",
+                 "Norm mIoU (paper)", "Norm energy"});
+
+    Graph full = buildSegformer(base);
+    const double full_energy = gpu.graphEnergyMj(full);
+
+    for (const auto &p : points) {
+        Graph pruned = applySegformerPrune(base, p.config);
+        const double energy =
+            gpu.graphEnergyMj(pruned) / full_energy;
+        const auto &d = p.config.depths;
+        table.addRow({p.config.label,
+                      std::to_string(d[0]) + "," + std::to_string(d[1]) +
+                          "," + std::to_string(d[2]) + "," +
+                          std::to_string(d[3]),
+                      std::to_string(p.config.fuseInChannels),
+                      Table::num(p.normalizedUtil, 3),
+                      Table::num(p.config.paperUtil, 2),
+                      Table::num(p.normalizedMiou, 3),
+                      Table::num(p.config.paperMiou, 2),
+                      Table::num(energy, 3)});
+    }
+    emitTable(table, cityscapes ? "fig6_cityscapes" : "fig6_ade");
+
+    // Trained reference models (the squares in Fig 6), normalized to
+    // the B2 point of this dataset. Published mIoU: ADE B0 0.376,
+    // B1 0.421, B2 0.4651; Cityscapes B0 0.762, B1 0.786, B2 0.8098.
+    Table squares("Fig 6 (" + tag + "): trained SegFormer models",
+                  {"Model", "Norm time", "Norm mIoU"});
+    const double b2_time = gpuTimeOf(gpu, full);
+    const double b2_miou = cityscapes ? 0.8098 : 0.4651;
+    struct Ref
+    {
+        const char *name;
+        SegformerConfig cfg;
+        double miou;
+    };
+    SegformerConfig b0 = segformerB0Config();
+    SegformerConfig b1 = segformerB1Config();
+    b0.imageH = b1.imageH = base.imageH;
+    b0.imageW = b1.imageW = base.imageW;
+    b0.numClasses = b1.numClasses = base.numClasses;
+    const Ref refs[] = {
+        {"segformer_b0", b0, cityscapes ? 0.762 : 0.376},
+        {"segformer_b1", b1, cityscapes ? 0.786 : 0.421},
+        {"segformer_b2", base, b2_miou},
+    };
+    for (const Ref &ref : refs) {
+        Graph g = buildSegformer(ref.cfg);
+        squares.addRow({ref.name,
+                        Table::num(gpuTimeOf(gpu, g) / b2_time, 3),
+                        Table::num(ref.miou / b2_miou, 3)});
+    }
+    squares.print();
+}
+
+void
+produceTables()
+{
+    runDataset(false);
+    runDataset(true);
+
+    // Headline claims check.
+    GpuLatencyModel gpu;
+    AccuracyModel acc(PrunedModelKind::SegformerB2Ade);
+    SegformerConfig base = segformerB2Config();
+    Graph full = buildSegformer(base);
+    const double t0 = gpu.graphTimeMs(full);
+    const double e0 = gpu.graphEnergyMj(full);
+
+    // Config B: the "17% time, 28% energy, <6% accuracy" vicinity.
+    PruneConfig b = segformerAdePruneCatalog()[1];
+    Graph gb = applySegformerPrune(base, b);
+    Table claims("Fig 6 headline claims (published vs modeled, "
+                 "config B)",
+                 {"Quantity", "Published", "Modeled"});
+    claims.addRow({"Time saved", "~12-17%",
+                   Table::num(100 * (1 - gpu.graphTimeMs(gb) / t0), 1) +
+                       "%"});
+    claims.addRow({"Energy saved", "more than time saved",
+                   Table::num(100 * (1 - gpu.graphEnergyMj(gb) / e0),
+                              1) +
+                       "%"});
+    claims.addRow({"Accuracy drop", "2%",
+                   Table::num(100 * (1 - acc.normalizedMiou(b)), 1) +
+                       "%"});
+    claims.print();
+}
+
+void
+BM_SweepAdeCatalog(benchmark::State &state)
+{
+    GpuLatencyModel gpu;
+    AccuracyModel acc(PrunedModelKind::SegformerB2Ade);
+    SegformerConfig base = segformerB2Config();
+    auto catalog = segformerAdePruneCatalog();
+    for (auto _ : state) {
+        auto points = sweepSegformer(
+            base, catalog, acc,
+            [&](const Graph &g) { return gpu.graphTimeMs(g); });
+        benchmark::DoNotOptimize(points.size());
+    }
+}
+BENCHMARK(BM_SweepAdeCatalog);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Model switching vs dynamic pruning (the comparison behind Fig 6/7's
+ * trained-model squares): the combined Pareto frontier over pruned
+ * paths of the big pretrained model and the smaller retrained
+ * variants, and the crossover point where the paper recommends
+ * switching models.
+ */
+
+#include "bench_common.hh"
+
+#include "engine/model_switching.hh"
+#include "util/logging.hh"
+#include "profile/gpu_model.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+reportFamily(const char *title, ModelSwitchingEngine &engine,
+             const std::string &csv)
+{
+    Table table(title, {"Entry", "Kind", "Norm cost", "Norm accuracy"});
+    for (const LutEntry &e : engine.lut().entries()) {
+        const bool trained = e.config.label.rfind("trained:", 0) == 0;
+        table.addRow({e.config.label, trained ? "trained" : "pruned",
+                      Table::num(e.normalizedCost, 3),
+                      Table::num(e.accuracyEstimate, 3)});
+    }
+    emitTable(table, csv);
+    inform("switchover: below ",
+           Table::num(100 * engine.switchoverNormalizedCost(), 1),
+           "% of the full model's cost, only trained variants remain "
+           "on the frontier");
+}
+
+void
+produceTables()
+{
+    GpuLatencyModel gpu;
+    auto cost = [&](const Graph &g) { return gpu.graphTimeMs(g); };
+
+    {
+        AccuracyModel acc(PrunedModelKind::SegformerB2Ade);
+        ModelSwitchingEngine engine(ModelFamily::Segformer,
+                                    segformerTrainedVariants(),
+                                    segformerAdePruneCatalog(), acc,
+                                    cost);
+        reportFamily("SegFormer (ADE20K): pruned vs trained frontier",
+                     engine, "model_switching_segformer");
+    }
+    {
+        AccuracyModel acc(PrunedModelKind::SwinBaseAde);
+        ModelSwitchingEngine engine(ModelFamily::Swin,
+                                    swinTrainedVariants(),
+                                    swinBasePruneCatalog(), acc, cost);
+        reportFamily("Swin (ADE20K): pruned vs trained frontier",
+                     engine, "model_switching_swin");
+    }
+
+    Table claims("Published switching guidance", {"Claim"});
+    claims.addRow({"SegFormer: pruning competitive up to ~25% savings;"
+                   " switch to retrained models for ~50%"});
+    claims.addRow({"Swin: switch Base->Tiny beyond ~20% savings;"
+                   " Small never clearly beats pruned Base"});
+    claims.print();
+}
+
+void
+BM_BuildSwitchingEngine(benchmark::State &state)
+{
+    GpuLatencyModel gpu;
+    AccuracyModel acc(PrunedModelKind::SegformerB2Ade);
+    for (auto _ : state) {
+        ModelSwitchingEngine engine(
+            ModelFamily::Segformer, segformerTrainedVariants(),
+            segformerAdePruneCatalog(), acc,
+            [&](const Graph &g) { return gpu.graphTimeMs(g); });
+        benchmark::DoNotOptimize(engine.switchoverNormalizedCost());
+    }
+}
+BENCHMARK(BM_BuildSwitchingEngine);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Microbenchmarks of the reference tensor kernels — the substrate
+ * every executed experiment stands on. These timings bound how large
+ * an "executed" configuration the test suite and examples can afford;
+ * they are not a statement about deployment performance (the
+ * reference kernels are correctness-first).
+ */
+
+#include "bench_common.hh"
+
+#include "tensor/ops.hh"
+#include "tensor/quant.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    Table note("Reference-kernel microbenchmarks",
+               {"See google-benchmark timings below"});
+    note.addRow({"conv2d / linear / attention / softmax / layernorm / "
+                 "interpolate / int8 variants"});
+    note.print();
+}
+
+void
+BM_Conv2d3x3(benchmark::State &state)
+{
+    const int64_t c = state.range(0);
+    Rng rng(1);
+    Tensor x = Tensor::randn({1, c, 32, 32}, rng);
+    Tensor w = Tensor::randn({c, c, 3, 3}, rng);
+    Conv2dParams p;
+    p.padH = p.padW = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(conv2d(x, w, Tensor{}, p).numel());
+    state.SetItemsProcessed(state.iterations() * 32 * 32 * c * c * 9);
+}
+BENCHMARK(BM_Conv2d3x3)->Arg(16)->Arg(64);
+
+void
+BM_Conv2dDepthwise(benchmark::State &state)
+{
+    Rng rng(2);
+    const int64_t c = 128;
+    Tensor x = Tensor::randn({1, c, 32, 32}, rng);
+    Tensor w = Tensor::randn({c, 1, 3, 3}, rng);
+    Conv2dParams p;
+    p.padH = p.padW = 1;
+    p.groups = c;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(conv2d(x, w, Tensor{}, p).numel());
+}
+BENCHMARK(BM_Conv2dDepthwise);
+
+void
+BM_Conv2dInt8(benchmark::State &state)
+{
+    Rng rng(3);
+    const int64_t c = 64;
+    QuantTensor x = quantize(Tensor::randn({1, c, 32, 32}, rng));
+    QuantTensor w = quantize(Tensor::randn({c, c, 3, 3}, rng));
+    Conv2dParams p;
+    p.padH = p.padW = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(conv2dInt8(x, w, Tensor{}, p).numel());
+}
+BENCHMARK(BM_Conv2dInt8);
+
+void
+BM_Linear(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(4);
+    Tensor x = Tensor::randn({256, n}, rng);
+    Tensor w = Tensor::randn({n, n}, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(linear(x, w, Tensor{}).numel());
+    state.SetItemsProcessed(state.iterations() * 256 * n * n);
+}
+BENCHMARK(BM_Linear)->Arg(64)->Arg(256);
+
+void
+BM_Attention(benchmark::State &state)
+{
+    const int64_t l = state.range(0);
+    Rng rng(5);
+    Tensor q = Tensor::randn({1, l, 64}, rng);
+    Tensor k = Tensor::randn({1, l, 64}, rng);
+    Tensor v = Tensor::randn({1, l, 64}, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(attention(q, k, v, 4).numel());
+}
+BENCHMARK(BM_Attention)->Arg(64)->Arg(256);
+
+void
+BM_Softmax(benchmark::State &state)
+{
+    Rng rng(6);
+    Tensor x = Tensor::randn({512, 512}, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(softmax(x).numel());
+}
+BENCHMARK(BM_Softmax);
+
+void
+BM_LayerNorm(benchmark::State &state)
+{
+    Rng rng(7);
+    Tensor x = Tensor::randn({1024, 256}, rng);
+    Tensor gamma({256}, 1.0f);
+    Tensor beta({256}, 0.0f);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(layerNorm(x, gamma, beta).numel());
+}
+BENCHMARK(BM_LayerNorm);
+
+void
+BM_Interpolate(benchmark::State &state)
+{
+    Rng rng(8);
+    Tensor x = Tensor::randn({1, 32, 32, 32}, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            interpolateBilinear(x, 128, 128).numel());
+}
+BENCHMARK(BM_Interpolate);
+
+void
+BM_WindowPartition(benchmark::State &state)
+{
+    Rng rng(9);
+    Tensor tokens = Tensor::randn({1, 56 * 56, 96}, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            windowPartition(tokens, 56, 56, 7).numel());
+}
+BENCHMARK(BM_WindowPartition);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Section III-A's modification-family ablation for SegFormer-B2:
+ *
+ *  - increasing the spatial-reduction ratio of the efficient
+ *    attention "negligibly lowers execution time and energy but often
+ *    substantially degrades accuracy" — not DRT-worthy;
+ *  - *solely* skipping encoder layers saves little time (68% of the
+ *    FLOPs are in the decoder) for its accuracy cost;
+ *  - channel cuts into Conv2DFuse/Conv2DPred carry the savings;
+ *  - combinations of both produce the Pareto-optimal points of Fig 6.
+ *
+ * Also reproduces the "800 inference experiments in one training
+ * run's time" framing: a generated candidate grid is swept
+ * analytically and reduced to its Pareto frontier.
+ */
+
+#include "bench_common.hh"
+
+#include "profile/gpu_model.hh"
+#include "resilience/sweep.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    GpuLatencyModel gpu;
+    AccuracyModel acc(PrunedModelKind::SegformerB2Ade);
+    const SegformerConfig base = segformerB2Config();
+    auto cost = [&](const Graph &g) { return gpu.graphTimeMs(g); };
+
+    // --- Modification families ---
+    std::vector<PruneConfig> families;
+    {
+        PruneConfig sr2;
+        sr2.label = "sr_scale_x2";
+        sr2.depths = base.depths;
+        sr2.srScale = 2;
+        families.push_back(sr2);
+        PruneConfig sr4 = sr2;
+        sr4.label = "sr_scale_x4";
+        sr4.srScale = 4;
+        families.push_back(sr4);
+
+        PruneConfig depth;
+        depth.label = "depth_only";
+        depth.depths = {2, 3, 5, 2};
+        families.push_back(depth);
+
+        PruneConfig channels;
+        channels.label = "channels_only";
+        channels.depths = base.depths;
+        channels.fuseInChannels = 1664;
+        families.push_back(channels);
+
+        PruneConfig combined;
+        combined.label = "combined";
+        combined.depths = {2, 3, 5, 2};
+        combined.fuseInChannels = 1664;
+        families.push_back(combined);
+    }
+
+    auto points = sweepSegformer(base, families, acc, cost);
+    Table table("Section III-A: modification families "
+                "(SegFormer-B2, ADE20K)",
+                {"Family", "Time saved", "Accuracy drop",
+                 "Worth it?"});
+    for (const auto &p : points) {
+        const double saved = 100 * (1 - p.normalizedUtil);
+        const double drop = 100 * (1 - p.normalizedMiou);
+        table.addRow({p.config.label, Table::num(saved, 1) + "%",
+                      Table::num(drop, 1) + "%",
+                      saved > drop ? "yes" : "no (paper agrees)"});
+    }
+    emitTable(table, "sec3_families");
+
+    // --- The 800-experiment sweep ---
+    auto candidates = generateCandidates(
+        base.depths, 4 * base.decoderDim,
+        {3072, 2688, 2304, 1920, 1536, 1152, 768, 384},
+        {768, 736, 640, 512, 384, 256}, 1);
+    auto sweep = sweepSegformer(base, candidates, acc, cost);
+    auto frontier = paretoFrontier(sweep);
+
+    Table summary("Sweep at the paper's scale",
+                  {"Quantity", "Value"});
+    summary.addRow({"Candidates evaluated (paper: ~800 inference "
+                    "experiments)",
+                    std::to_string(sweep.size())});
+    summary.addRow({"Pareto-optimal execution paths",
+                    std::to_string(frontier.size())});
+    summary.addRow({"Cheapest frontier point (norm time / mIoU)",
+                    Table::num(frontier.front().normalizedUtil, 3) +
+                        " / " +
+                        Table::num(frontier.front().normalizedMiou,
+                                   3)});
+    emitTable(summary, "sec3_sweep800");
+
+    Table frontier_table("Pareto frontier of the generated sweep",
+                         {"Depths", "Fuse ch", "Pred ch", "Norm time",
+                          "Norm mIoU"});
+    for (const auto &p : frontier) {
+        const auto &d = p.config.depths;
+        frontier_table.addRow(
+            {std::to_string(d[0]) + "," + std::to_string(d[1]) + "," +
+                 std::to_string(d[2]) + "," + std::to_string(d[3]),
+             std::to_string(p.config.fuseInChannels),
+             std::to_string(p.config.predInChannels),
+             Table::num(p.normalizedUtil, 3),
+             Table::num(p.normalizedMiou, 3)});
+    }
+    emitTable(frontier_table, "sec3_frontier");
+}
+
+void
+BM_Sweep800(benchmark::State &state)
+{
+    GpuLatencyModel gpu;
+    AccuracyModel acc(PrunedModelKind::SegformerB2Ade);
+    const SegformerConfig base = segformerB2Config();
+    auto candidates = generateCandidates(
+        base.depths, 4 * base.decoderDim,
+        {3072, 2304, 1536, 768}, {768, 512}, 1);
+    for (auto _ : state) {
+        auto points = sweepSegformer(
+            base, candidates, acc,
+            [&](const Graph &g) { return gpu.graphTimeMs(g); });
+        benchmark::DoNotOptimize(points.size());
+    }
+}
+BENCHMARK(BM_Sweep800);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

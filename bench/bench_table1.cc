@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table I: state-of-the-art vision transformer model summary —
+ * parameters, GFLOPs, modeled TITAN V latency, FPS and published
+ * accuracy for SegFormer-B2 (ADE / Cityscapes), Swin-Tiny, DETR and
+ * Deformable DETR at batch 1.
+ */
+
+#include "bench_common.hh"
+
+#include "models/detr.hh"
+#include "models/segformer.hh"
+#include "models/swin.hh"
+#include "profile/report.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+void
+produceTables()
+{
+    GpuLatencyModel gpu;
+    std::vector<ModelSummary> rows;
+
+    rows.push_back(summarizeModel(buildSegformer(segformerB2Config()),
+                                  gpu, "ADE20K", "SS", 0.4651));
+    rows.push_back(
+        summarizeModel(buildSegformer(segformerB2CityscapesConfig()),
+                       gpu, "Cityscapes", "SS", 0.8098));
+    rows.push_back(summarizeModel(buildSwin(swinTinyConfig()), gpu,
+                                  "ADE20K", "SS", 0.4451));
+    rows.push_back(summarizeModel(buildDetr(detrConfig()), gpu, "COCO",
+                                  "OD", 0.401));
+    rows.push_back(
+        summarizeModel(buildDeformableDetr(deformableDetrConfig()), gpu,
+                       "COCO", "OD", 0.445));
+
+    emitTable(modelSummaryTable(rows), "table1");
+
+    Table paper("Table I reference (published values)",
+                {"Model", "Params (M)", "GFLOPs", "Latency (ms)",
+                 "FPS"});
+    paper.addRow({"SegFormer B2 ADE", "27.6", "62.6", "58", "17.2"});
+    paper.addRow({"SegFormer B2 Cityscapes", "27.6", "705", "415",
+                  "2.4"});
+    paper.addRow({"Swin Tiny", "60", "237", "215", "4.7"});
+    paper.addRow({"DETR", "41", "86", "162", "6.2"});
+    paper.addRow({"Deformable DETR", "40", "173", "119", "5.8"});
+    paper.print();
+}
+
+void
+BM_BuildSegformerB2(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Graph g = buildSegformer(segformerB2Config());
+        benchmark::DoNotOptimize(g.totalFlops());
+    }
+}
+BENCHMARK(BM_BuildSegformerB2);
+
+void
+BM_BuildSwinTiny(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Graph g = buildSwin(swinTinyConfig());
+        benchmark::DoNotOptimize(g.totalFlops());
+    }
+}
+BENCHMARK(BM_BuildSwinTiny);
+
+void
+BM_GpuModelSegformerB2(benchmark::State &state)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    GpuLatencyModel gpu;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gpu.graphTimeMs(g));
+}
+BENCHMARK(BM_GpuModelSegformerB2);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Accelerator design-space exploration (Section V/VI): sweep
+ * vectorization splits and memory sizes under the constant
+ * 16384-parallel-MACs rule for a chosen model, and report the
+ * latency- and energy-optimal designs with their areas.
+ *
+ *   ./accelerator_dse [--model segformer_b2|swin_tiny|resnet50]
+ */
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+#include "accel/area.hh"
+#include "accel/dse.hh"
+#include "models/resnet.hh"
+#include "models/segformer.hh"
+#include "models/swin.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+using namespace vitdyn;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addOption("model", "segformer_b2",
+                   "segformer_b2 | swin_tiny | resnet50");
+    args.parse(argc, argv);
+
+    const std::string model = args.get("model");
+    Graph graph = [&]() {
+        if (model == "segformer_b2")
+            return buildSegformer(segformerB2Config());
+        if (model == "swin_tiny")
+            return buildSwin(swinTinyConfig());
+        if (model == "resnet50") {
+            ResnetConfig cfg;
+            cfg.headless = true;
+            return buildResnet(cfg);
+        }
+        vitdyn_fatal("unknown --model '", model, "'");
+    }();
+
+    inform("exploring design space for ", graph.name(), " (",
+           graph.totalFlops() / 1e9, " GFLOPs)");
+
+    DseOptions opts;
+    auto points = exploreDesignSpace(graph, opts);
+
+    Table table("Design space (" + graph.name() + ")",
+                {"K0", "C0", "PEs", "WM", "AM", "Cycles", "ms",
+                 "Energy (mJ)", "Area (mm^2)"});
+    for (const DsePoint &p : points)
+        table.addRow({std::to_string(p.config.k0),
+                      std::to_string(p.config.c0),
+                      std::to_string(p.config.numPes()),
+                      std::to_string(p.config.weightMemKb),
+                      std::to_string(p.config.activationMemKb),
+                      Table::intWithCommas(p.cycles),
+                      Table::num(p.timeMs, 2),
+                      Table::num(p.energyMj, 2),
+                      Table::num(p.areaMm2, 2)});
+    table.print();
+
+    const DsePoint &by_latency = bestByLatency(points);
+    const DsePoint &by_energy = bestByEnergy(points);
+    inform("latency-optimal: ", by_latency.config.name, " (",
+           Table::intWithCommas(by_latency.cycles), " cycles, ",
+           by_latency.areaMm2, " mm^2)");
+    inform("energy-optimal:  ", by_energy.config.name, " (",
+           by_energy.energyMj, " mJ, ", by_energy.areaMm2, " mm^2)");
+
+    // The paper's punchline: a much smaller design is nearly as fast.
+    double best_small_area = 1e30;
+    const DsePoint *small = nullptr;
+    for (const DsePoint &p : points) {
+        if (p.cycles <= by_latency.cycles * 1.05 &&
+            p.areaMm2 < best_small_area) {
+            best_small_area = p.areaMm2;
+            small = &p;
+        }
+    }
+    if (small) {
+        inform("within 5% of optimal latency, the smallest design is ",
+               small->config.name, ": ",
+               by_latency.areaMm2 / small->areaMm2,
+               "x smaller than the latency-optimal one");
+    }
+    return 0;
+}

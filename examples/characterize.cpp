@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Characterization tool: the Section II methodology as a CLI. Pick
+ * any model in the library and get its FLOP/parameter breakdown,
+ * modeled GPU time distribution, and accelerator execution summary —
+ * the same numbers Figs 1/3/4 plot.
+ *
+ *   ./characterize --model swin_tiny [--batch 1] [--image 512]
+ *
+ * Models: segformer_b0|b1|b2|b2_cityscapes, swin_tiny|small|base,
+ *         pvt_tiny|small, resnet50, detr, deformable_detr,
+ *         vit_b16, vit_l16, bert_base.
+ */
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+#include "accel/area.hh"
+#include "accel/simulator.hh"
+#include "models/detr.hh"
+#include "models/pvt.hh"
+#include "models/resnet.hh"
+#include "models/segformer.hh"
+#include "models/swin.hh"
+#include "models/vit.hh"
+#include "profile/report.hh"
+#include "util/args.hh"
+
+using namespace vitdyn;
+
+namespace
+{
+
+Graph
+buildByName(const std::string &model, int64_t batch, int64_t image)
+{
+    auto seg = [&](SegformerConfig cfg) {
+        cfg.batch = batch;
+        if (image > 0)
+            cfg.imageH = cfg.imageW = image;
+        return buildSegformer(cfg);
+    };
+    auto swin = [&](SwinConfig cfg) {
+        cfg.batch = batch;
+        if (image > 0)
+            cfg.imageH = cfg.imageW = image;
+        return buildSwin(cfg);
+    };
+
+    if (model == "segformer_b0")
+        return seg(segformerB0Config());
+    if (model == "segformer_b1")
+        return seg(segformerB1Config());
+    if (model == "segformer_b2")
+        return seg(segformerB2Config());
+    if (model == "segformer_b2_cityscapes")
+        return buildSegformer(segformerB2CityscapesConfig());
+    if (model == "swin_tiny")
+        return swin(swinTinyConfig());
+    if (model == "swin_small")
+        return swin(swinSmallConfig());
+    if (model == "swin_base")
+        return swin(swinBaseConfig());
+    if (model == "resnet50") {
+        ResnetConfig cfg;
+        cfg.batch = batch;
+        if (image > 0)
+            cfg.imageH = cfg.imageW = image;
+        cfg.headless = true;
+        return buildResnet(cfg);
+    }
+    if (model == "detr" || model == "deformable_detr") {
+        DetrConfig cfg = model == "detr" ? detrConfig()
+                                         : deformableDetrConfig();
+        cfg.batch = batch;
+        if (image > 0)
+            cfg.imageH = cfg.imageW = image;
+        return model == "detr" ? buildDetr(cfg)
+                               : buildDeformableDetr(cfg);
+    }
+    if (model == "vit_b16" || model == "vit_l16") {
+        VitConfig cfg = model == "vit_b16" ? vitB16Config()
+                                           : vitL16Config();
+        cfg.batch = batch;
+        if (image > 0)
+            cfg.imageH = cfg.imageW = image;
+        return buildVit(cfg);
+    }
+    if (model == "bert_base") {
+        BertConfig cfg;
+        cfg.batch = batch;
+        return buildBert(cfg);
+    }
+    if (model == "pvt_tiny" || model == "pvt_small") {
+        PvtConfig cfg = model == "pvt_tiny" ? pvtTinyConfig()
+                                            : pvtSmallConfig();
+        cfg.batch = batch;
+        if (image > 0)
+            cfg.imageH = cfg.imageW = image;
+        return buildPvt(cfg);
+    }
+    vitdyn_fatal("unknown --model '", model, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addOption("model", "segformer_b2", "model to characterize");
+    args.addOption("batch", "1", "batch size");
+    args.addOption("image", "0",
+                   "square image size override (0 = model default)");
+    args.parse(argc, argv);
+
+    Graph g = buildByName(args.get("model"), args.getInt("batch"),
+                          args.getInt("image"));
+
+    inform(g.name(), ": ", g.numLayers(), " layers, ",
+           g.totalFlops() / 1e9, " GFLOPs, ", g.totalParams() / 1e6,
+           " M params");
+
+    GpuLatencyModel gpu;
+    Profile by_category(g, gpu);
+    profileTable("GPU-time / FLOPs distribution by op category",
+                 by_category)
+        .print();
+    Profile by_stage(g, gpu, {}, "stage");
+    profileTable("Distribution by pipeline stage", by_stage).print();
+    inform("modeled TITAN V time: ", gpu.graphTimeMs(g), " ms, energy ",
+           gpu.graphEnergyMj(g) / 1000.0, " J");
+
+    AcceleratorSim sim(acceleratorStar());
+    GraphSimResult r = sim.run(g);
+    inform("accelerator* (", Table::num(
+               peArrayArea(acceleratorStar()).total, 2),
+           " mm^2): ", Table::intWithCommas(r.scheduledCycles),
+           " cycles = ", r.timeMs, " ms, ", r.totalEnergyMj, " mJ");
+    inform("speedup vs modeled GPU: ",
+           gpu.graphTimeMs(g) / r.timeMs, "x");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: build a SegFormer model, inspect it, run a real
+ * inference on a synthetic image, profile it on the modeled GPU and
+ * on the accelerator.
+ *
+ *   ./quickstart [--image 64] [--classes 8] [--seed 1]
+ */
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+#include "accel/simulator.hh"
+#include "graph/executor.hh"
+#include "models/segformer.hh"
+#include "profile/report.hh"
+#include "util/args.hh"
+#include "workload/metrics.hh"
+#include "workload/synthetic.hh"
+
+using namespace vitdyn;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addOption("image", "64",
+                   "square image size for the executed inference "
+                   "(must be a multiple of 32)");
+    args.addOption("classes", "8", "number of segmentation classes");
+    args.addOption("seed", "1", "weight synthesis seed");
+    args.parse(argc, argv);
+
+    // 1. Build the full-size SegFormer-B2 and look at its shape.
+    Graph b2 = buildSegformer(segformerB2Config());
+    inform("SegFormer-B2: ", b2.numLayers(), " layers, ",
+           b2.totalFlops() / 1e9, " GFLOPs, ", b2.totalParams() / 1e6,
+           " M params");
+
+    // 2. Model its GPU latency (calibrated TITAN V) and its
+    //    accelerator execution.
+    GpuLatencyModel gpu;
+    ModelSummary summary =
+        summarizeModel(b2, gpu, "ADE20K", "SS", 0.4651);
+    inform("modeled TITAN V latency: ", summary.latencyMs, " ms (",
+           summary.fps, " FPS)");
+
+    GraphSimResult accel = AcceleratorSim(acceleratorStar()).run(b2);
+    inform("accelerator* execution: ",
+           Table::intWithCommas(accel.scheduledCycles), " cycles = ",
+           accel.timeMs, " ms (", summary.latencyMs / accel.timeMs,
+           "x faster), ", accel.totalEnergyMj, " mJ");
+
+    // 3. Run a *real* inference on a scaled-down configuration (the
+    //    reference executor is correctness-first, not fast).
+    SegformerConfig small = segformerB0Config();
+    small.imageH = small.imageW = args.getInt("image");
+    small.numClasses = args.getInt("classes");
+    Graph model = buildSegformer(small);
+    Executor exec(model, args.getInt("seed"));
+
+    SyntheticSegmentation gen(small.imageH, small.imageW,
+                              small.numClasses);
+    Rng rng(42);
+    SegmentationSample scene = gen.nextSample(rng);
+    Tensor logits = exec.runSimple(scene.image);
+
+    std::vector<int> prediction = argmaxLabels(logits);
+    inform("executed ", model.name(), " at ", small.imageH, "x",
+           small.imageW, ": output ", shapeToString(logits.shape()));
+    inform("pixel agreement with scene labels (untrained weights): ",
+           pixelAccuracy(prediction, scene.labels));
+    inform("quickstart done");
+    return 0;
+}

@@ -1,0 +1,84 @@
+#include "accel/arch.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+AcceleratorConfig
+acceleratorA()
+{
+    AcceleratorConfig c;
+    c.name = "accelerator_A";
+    c.weightMemKb = 1024;
+    c.activationMemKb = 64;
+    return c;
+}
+
+AcceleratorConfig
+acceleratorStar()
+{
+    AcceleratorConfig c;
+    c.name = "accelerator_star";
+    c.weightMemKb = 128;
+    c.activationMemKb = 64;
+    return c;
+}
+
+AcceleratorConfig
+acceleratorOfa1()
+{
+    AcceleratorConfig c = acceleratorA();
+    c.name = "accelerator_OFA1";
+    return c;
+}
+
+AcceleratorConfig
+acceleratorOfa2()
+{
+    AcceleratorConfig c = acceleratorStar();
+    c.name = "accelerator_OFA2";
+    return c;
+}
+
+AcceleratorConfig
+acceleratorOfa3()
+{
+    AcceleratorConfig c;
+    c.name = "accelerator_OFA3";
+    c.weightMemKb = 64;
+    c.activationMemKb = 32;
+    return c;
+}
+
+AcceleratorConfig
+makeVectorizationVariant(int64_t k0, int64_t c0, int64_t weight_mem_kb,
+                         int64_t activation_mem_kb)
+{
+    constexpr int64_t kTotalMacs = 16384;
+    vitdyn_assert(k0 > 0 && c0 > 0 && kTotalMacs % (k0 * c0) == 0,
+                  "16384 MACs not divisible by K0*C0 = ", k0 * c0);
+    const int64_t pes = kTotalMacs / (k0 * c0);
+
+    // Arrange the PEs as close to square as possible.
+    int64_t rows = static_cast<int64_t>(std::sqrt(
+        static_cast<double>(pes)));
+    while (pes % rows != 0)
+        --rows;
+
+    AcceleratorConfig c;
+    c.name = "accel_k" + std::to_string(k0) + "_c" + std::to_string(c0) +
+             "_wm" + std::to_string(weight_mem_kb) + "_am" +
+             std::to_string(activation_mem_kb);
+    c.k0 = k0;
+    c.c0 = c0;
+    c.peRows = rows;
+    c.peCols = pes / rows;
+    c.weightMemKb = weight_mem_kb;
+    c.activationMemKb = activation_mem_kb;
+    return c;
+}
+
+} // namespace vitdyn

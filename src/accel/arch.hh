@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MAGNet-style accelerator architecture description (Section V /
+ * Figure 9): a PE array where each PE holds K0 vector MACs of width C0
+ * (so C0*K0 multiplies per PE per cycle), per-PE weight and activation
+ * SRAMs, a global buffer, and off-chip DRAM. Arithmetic is INT8 with
+ * INT32 accumulation.
+ *
+ * The paper's design-space rule holds throughout: every configuration
+ * compared executes the same number of parallel MACs (16384), split
+ * differently between vector width (C0), vector MACs per PE (K0), and
+ * PE count.
+ */
+
+#ifndef VITDYN_ACCEL_ARCH_HH
+#define VITDYN_ACCEL_ARCH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vitdyn
+{
+
+/** Static configuration of one accelerator instance. */
+struct AcceleratorConfig
+{
+    std::string name = "accelerator_star";
+
+    /** Multiplies per vector MAC per cycle (input-channel direction). */
+    int64_t c0 = 32;
+    /** Vector MACs per PE (output-channel direction). */
+    int64_t k0 = 32;
+    /** PE array extents. */
+    int64_t peRows = 4;
+    int64_t peCols = 4;
+
+    /** Per-PE weight memory (kB). */
+    int64_t weightMemKb = 128;
+    /** Per-PE activation (input) memory (kB). */
+    int64_t activationMemKb = 64;
+
+    /** Global buffer (kB), shared across the array. */
+    int64_t globalBufferKb = 8192;
+
+    /** Synthesized clock (Section VI: 1.25 GHz in TSMC 5nm). */
+    double clockGhz = 1.25;
+
+    /** Off-chip bandwidth (bytes per cycle at the array boundary). */
+    double dramBytesPerCycle = 128.0;
+
+    /** Local-weight-stationary temporal reuse factor (Q0 bound). */
+    int64_t maxQ0 = 8;
+
+    /** Bound on the P1/Q1 temporal tile (third optimization, Sec. V). */
+    int64_t maxTileP = 256;
+    int64_t maxTileQ = 256;
+
+    /** Allow partial sums to cross PEs (second optimization, Sec. V). */
+    bool crossPeReduction = true;
+
+    /** Fuse ReLU / pooling into the producer conv's PPU. */
+    bool fusePostOps = true;
+
+    /** Post-processing unit lanes (elements per cycle, non-MAC ops). */
+    int64_t ppuLanes = 256;
+
+    /** Fixed pipeline fill/drain cycles charged per temporal tile. */
+    int64_t tileOverheadCycles = 24;
+
+    int64_t numPes() const { return peRows * peCols; }
+    int64_t parallelMacs() const { return c0 * k0 * numPes(); }
+};
+
+/** accelerator_A: lowest-latency full-model design (Section VI-A). */
+AcceleratorConfig acceleratorA();
+
+/** accelerator*: 4.3x smaller with <3% slowdown (Section VI-A). */
+AcceleratorConfig acceleratorStar();
+
+/** Table IV accelerator candidates for OFA ResNet-50. */
+AcceleratorConfig acceleratorOfa1();
+AcceleratorConfig acceleratorOfa2();
+AcceleratorConfig acceleratorOfa3();
+
+/**
+ * An accelerator with the same 16384 parallel MACs but a different
+ * (K0, C0) split; the PE array is sized to keep the product constant.
+ * Fatal if 16384 is not divisible by k0*c0.
+ */
+AcceleratorConfig makeVectorizationVariant(int64_t k0, int64_t c0,
+                                           int64_t weight_mem_kb,
+                                           int64_t activation_mem_kb);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ACCEL_ARCH_HH

@@ -1,0 +1,30 @@
+#include "accel/area.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+// Calibrated to the three published areas (see header).
+constexpr double kMm2PerMac = 4.0e-5;   // INT8 MAC + accumulator slice
+constexpr double kMm2PerPeCtrl = 0.0225;
+constexpr double kMm2PerSramKb = 4.202e-4;
+
+} // namespace
+
+AreaBreakdown
+peArrayArea(const AcceleratorConfig &config)
+{
+    AreaBreakdown area;
+    const double pes = static_cast<double>(config.numPes());
+    area.macs = pes * config.k0 * config.c0 * kMm2PerMac;
+    area.control = pes * kMm2PerPeCtrl;
+    area.sram = pes *
+                (config.weightMemKb + config.activationMemKb) *
+                kMm2PerSramKb;
+    area.total = area.macs + area.control + area.sram;
+    return area;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * PE-array area model in TSMC 5nm, calibrated so the three accelerator
+ * parameterizations the paper publishes areas for land on their
+ * published values:
+ *
+ *   WM 1024 kB + AM 64 kB  -> 8.33 mm^2   (accelerator_A / OFA1)
+ *   WM  128 kB + AM 64 kB  -> 2.26 mm^2   (accelerator* / OFA2)
+ *   WM   64 kB + AM 32 kB  -> 1.66 mm^2   (OFA3)
+ *
+ * The fit is linear in SRAM capacity plus fixed per-PE datapath and
+ * control area; as the paper observes, the weight memories dominate at
+ * the large end.
+ */
+
+#ifndef VITDYN_ACCEL_AREA_HH
+#define VITDYN_ACCEL_AREA_HH
+
+#include "accel/arch.hh"
+
+namespace vitdyn
+{
+
+/** Area components of one accelerator instance (mm^2). */
+struct AreaBreakdown
+{
+    double macs = 0.0;
+    double sram = 0.0;
+    double control = 0.0;
+    double total = 0.0;
+};
+
+/** PE-array area of a configuration. */
+AreaBreakdown peArrayArea(const AcceleratorConfig &config);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ACCEL_AREA_HH

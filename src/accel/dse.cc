@@ -1,0 +1,95 @@
+#include "accel/dse.hh"
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+std::vector<DsePoint>
+exploreDesignSpace(const Graph &graph, const DseOptions &options)
+{
+    std::vector<DsePoint> points;
+    for (int64_t k0 : options.k0Grid) {
+        for (int64_t c0 : options.c0Grid) {
+            if (16384 % (k0 * c0) != 0)
+                continue;
+            for (int64_t wm : options.weightMemKbGrid) {
+                for (int64_t am : options.activationMemKbGrid) {
+                    DsePoint point;
+                    point.config =
+                        makeVectorizationVariant(k0, c0, wm, am);
+                    AcceleratorSim sim(point.config);
+                    GraphSimResult result = sim.run(graph);
+                    point.cycles = result.scheduledCycles;
+                    point.energyMj = result.totalEnergyMj;
+                    point.timeMs = result.timeMs;
+                    point.areaMm2 = peArrayArea(point.config).total;
+                    points.push_back(std::move(point));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+const DsePoint &
+bestByLatency(const std::vector<DsePoint> &points)
+{
+    vitdyn_assert(!points.empty(), "empty design space");
+    const DsePoint *best = &points.front();
+    for (const DsePoint &p : points) {
+        if (p.cycles < best->cycles ||
+            (p.cycles == best->cycles &&
+             (p.energyMj < best->energyMj ||
+              (p.energyMj == best->energyMj &&
+               p.areaMm2 < best->areaMm2))))
+            best = &p;
+    }
+    return *best;
+}
+
+std::vector<DsePoint>
+paretoFrontier3(const std::vector<DsePoint> &points)
+{
+    auto dominates = [](const DsePoint &a, const DsePoint &b) {
+        const bool no_worse = a.cycles <= b.cycles &&
+                              a.energyMj <= b.energyMj &&
+                              a.areaMm2 <= b.areaMm2;
+        const bool better = a.cycles < b.cycles ||
+                            a.energyMj < b.energyMj ||
+                            a.areaMm2 < b.areaMm2;
+        return no_worse && better;
+    };
+
+    std::vector<DsePoint> frontier;
+    for (const DsePoint &candidate : points) {
+        bool dominated = false;
+        for (const DsePoint &other : points) {
+            if (&other != &candidate && dominates(other, candidate)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(candidate);
+    }
+    return frontier;
+}
+
+const DsePoint &
+bestByEnergy(const std::vector<DsePoint> &points)
+{
+    vitdyn_assert(!points.empty(), "empty design space");
+    const DsePoint *best = &points.front();
+    for (const DsePoint &p : points) {
+        if (p.energyMj < best->energyMj ||
+            (p.energyMj == best->energyMj &&
+             (p.cycles < best->cycles ||
+              (p.cycles == best->cycles &&
+               p.areaMm2 < best->areaMm2))))
+            best = &p;
+    }
+    return *best;
+}
+
+} // namespace vitdyn

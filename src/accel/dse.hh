@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Accelerator design-space exploration under the paper's constant-
+ * parallelism rule: every candidate computes 16384 MACs per cycle,
+ * with the split between vector width (C0), vector MACs per PE (K0)
+ * and PE count varied, crossed with the per-PE memory sizes.
+ */
+
+#ifndef VITDYN_ACCEL_DSE_HH
+#define VITDYN_ACCEL_DSE_HH
+
+#include <vector>
+
+#include "accel/area.hh"
+#include "accel/simulator.hh"
+
+namespace vitdyn
+{
+
+/** One evaluated design point. */
+struct DsePoint
+{
+    AcceleratorConfig config;
+    int64_t cycles = 0;
+    double energyMj = 0.0;
+    double areaMm2 = 0.0;
+    double timeMs = 0.0;
+};
+
+/** Candidate grid options. */
+struct DseOptions
+{
+    std::vector<int64_t> k0Grid{16, 32, 64};
+    std::vector<int64_t> c0Grid{16, 32, 64};
+    std::vector<int64_t> weightMemKbGrid{64, 128, 256, 512, 1024};
+    std::vector<int64_t> activationMemKbGrid{32, 64};
+};
+
+/** Evaluate the grid against one model graph. */
+std::vector<DsePoint> exploreDesignSpace(const Graph &graph,
+                                         const DseOptions &options = {});
+
+/** The point with the lowest cycles (ties: lower energy, then area). */
+const DsePoint &bestByLatency(const std::vector<DsePoint> &points);
+
+/** The point with the lowest energy (ties: lower cycles, then area). */
+const DsePoint &bestByEnergy(const std::vector<DsePoint> &points);
+
+/**
+ * Three-objective Pareto frontier over (cycles, energy, area): the
+ * designs not dominated in all three. This is the set the paper's
+ * Section VI argument walks — accelerator* sits on it because its
+ * area advantage is not paid for in either cycles or energy.
+ */
+std::vector<DsePoint>
+paretoFrontier3(const std::vector<DsePoint> &points);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ACCEL_DSE_HH

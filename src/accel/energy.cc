@@ -1,0 +1,81 @@
+#include "accel/energy.hh"
+
+#include <cmath>
+
+namespace vitdyn
+{
+
+double
+sramEnergyScale(int64_t capacity_kb)
+{
+    return 0.8 + 0.2 * std::sqrt(static_cast<double>(capacity_kb) /
+                                 128.0);
+}
+
+double
+layerEnergyMj(const AcceleratorConfig &config,
+              const TilingSolution &solution, const EnergyParams &params)
+{
+    const double macs =
+        static_cast<double>(solution.rfWeightReads); // == MAC count
+
+    double pj = 0.0;
+    pj += macs * params.macPj;
+
+    // Idle vector lanes: an underutilized layer keeps the array
+    // clocked while doing few useful MACs (Fig 11's outliers).
+    const double lane_slots =
+        static_cast<double>(solution.totalCycles) *
+        config.parallelMacs();
+    if (lane_slots > macs)
+        pj += (lane_slots - macs) * params.macPj *
+              params.idleLaneFactor;
+
+    // Register files inside the vector MACs.
+    pj += static_cast<double>(solution.rfWeightReads +
+                              solution.rfInputReads +
+                              solution.rfPsumAccesses) *
+          params.rfPjPerAccess;
+
+    // Input broadcast fan-out across the K0 vector MACs.
+    pj += macs * params.broadcastPjPerMacSqrtK0 *
+          std::sqrt(static_cast<double>(config.k0));
+
+    // Per-PE SRAMs, with capacity-dependent access cost.
+    pj += static_cast<double>(solution.wmReads) * params.sramPjPerByte *
+          sramEnergyScale(config.weightMemKb);
+    pj += static_cast<double>(solution.amReads) * params.sramPjPerByte *
+          sramEnergyScale(config.activationMemKb);
+
+    // Global buffer traffic: DRAM-bound data passes through it, plus
+    // the K-split input multicast and cross-PE partial sums.
+    pj += static_cast<double>(solution.gbToPeInputBytes +
+                              solution.dramWeightBytes +
+                              solution.dramOutputBytes +
+                              solution.crossPeBytes) *
+          params.gbPjPerByte;
+
+    pj += static_cast<double>(solution.dramWeightBytes +
+                              solution.dramInputBytes +
+                              solution.dramOutputBytes) *
+          params.dramPjPerByte;
+
+    // Leakage plus instruction fetch/decode over the layer's runtime.
+    pj += static_cast<double>(solution.totalCycles) * config.numPes() *
+          (params.leakagePjPerCyclePerPe +
+           params.controlPjPerCyclePerPe);
+
+    return pj * 1e-9; // pJ -> mJ
+}
+
+double
+ppuEnergyMj(const AcceleratorConfig &config, int64_t elements,
+            int64_t dram_bytes, const EnergyParams &params)
+{
+    (void)config;
+    double pj = static_cast<double>(elements) * params.ppuPjPerElem;
+    pj += static_cast<double>(dram_bytes) * params.dramPjPerByte;
+    return pj * 1e-9;
+}
+
+} // namespace vitdyn

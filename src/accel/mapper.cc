@@ -1,0 +1,126 @@
+#include "accel/mapper.hh"
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+ConvWorkload
+toWorkload(const Layer &layer)
+{
+    vitdyn_assert(layer.isMacLayer(), "toWorkload on non-MAC layer '",
+                  layer.name, "'");
+    ConvWorkload w;
+    switch (layer.kind) {
+      case LayerKind::Conv2d:
+        w.n = layer.outShape.at(0);
+        w.k = layer.attrs.outChannels;
+        w.c = layer.attrs.inChannels;
+        w.p = layer.outShape.at(2);
+        w.q = layer.outShape.at(3);
+        w.r = layer.attrs.kernelH;
+        w.s = layer.attrs.kernelW;
+        w.strideH = layer.attrs.strideH;
+        w.strideW = layer.attrs.strideW;
+        w.groups = layer.attrs.groups;
+        break;
+      case LayerKind::Linear: {
+        // A (rows x inF) x (inF x outF): 1 x rows image, 1x1 kernel.
+        const int64_t rows =
+            shapeNumel(layer.outShape) / layer.attrs.outFeatures;
+        w.n = 1;
+        w.k = layer.attrs.outFeatures;
+        w.c = layer.attrs.inFeatures;
+        w.p = 1;
+        w.q = rows;
+        break;
+      }
+      case LayerKind::AttentionScore: {
+        // Per (batch, head): (Lq x dh) x (dh x Lkv).
+        const int64_t heads = layer.attrs.numHeads;
+        const int64_t dh = layer.attrs.inFeatures / heads;
+        w.n = layer.outShape.at(0) * heads;
+        w.k = layer.outShape.at(3); // Lkv
+        w.c = dh;
+        w.p = 1;
+        w.q = layer.outShape.at(2); // Lq
+        break;
+      }
+      case LayerKind::AttentionContext: {
+        // Per (batch, head): (Lq x Lkv) x (Lkv x dh).
+        const int64_t heads = layer.attrs.numHeads;
+        const int64_t dh = layer.outShape.at(2) / heads;
+        w.n = layer.outShape.at(0) * heads;
+        w.k = dh;
+        w.c = layer.attrs.inFeatures; // Lkv
+        w.p = 1;
+        w.q = layer.outShape.at(1); // Lq
+        break;
+      }
+      default:
+        vitdyn_panic("unhandled MAC layer kind");
+    }
+    return w;
+}
+
+ExecUnit
+classifyLayer(const AcceleratorConfig &config, const Graph &graph,
+              const Layer &layer)
+{
+    if (layer.bypassed)
+        return ExecUnit::None;
+
+    switch (layer.kind) {
+      case LayerKind::Conv2d:
+      case LayerKind::Linear:
+      case LayerKind::AttentionScore:
+      case LayerKind::AttentionContext:
+        return ExecUnit::MacArray;
+
+      case LayerKind::ReLU:
+      case LayerKind::GELU:
+      case LayerKind::BatchNorm:
+      case LayerKind::MaxPool: {
+        // Fuse into an immediately preceding MAC layer (possibly via
+        // another already-fused op, e.g. conv -> BN -> ReLU).
+        if (config.fusePostOps && layer.inputs.size() == 1) {
+            int producer = layer.inputs[0];
+            for (int hops = 0; hops < 3; ++hops) {
+                const Layer &p = graph.layer(producer);
+                if (p.isMacLayer())
+                    return ExecUnit::Fused;
+                const bool fusable_chain =
+                    p.kind == LayerKind::ReLU ||
+                    p.kind == LayerKind::GELU ||
+                    p.kind == LayerKind::BatchNorm;
+                if (!fusable_chain || p.inputs.size() != 1)
+                    break;
+                producer = p.inputs[0];
+            }
+        }
+        return ExecUnit::Ppu;
+      }
+
+      case LayerKind::Softmax:
+      case LayerKind::LayerNorm:
+      case LayerKind::Add:
+      case LayerKind::Interpolate:
+      case LayerKind::AvgPool:
+        return ExecUnit::Ppu;
+
+      case LayerKind::Input:
+      case LayerKind::Identity:
+      case LayerKind::Concat:
+      case LayerKind::Narrow:
+      case LayerKind::Patchify:
+      case LayerKind::TokensToImage:
+      case LayerKind::ImageToTokens:
+      case LayerKind::WindowPartition:
+      case LayerKind::WindowReverse:
+        // Pure data movement: handled by addressing in the buffers.
+        return ExecUnit::None;
+    }
+    return ExecUnit::None;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Maps graph layers onto the accelerator: convolutions directly, every
+ * matrix multiplication as a 1xM image with a 1x1 kernel (Section V),
+ * and the remaining operators onto the per-PE post-processing units.
+ * ReLU / BatchNorm / pooling layers immediately following a MAC layer
+ * are fused into its PPU pass and cost no extra cycles when fusion is
+ * enabled.
+ */
+
+#ifndef VITDYN_ACCEL_MAPPER_HH
+#define VITDYN_ACCEL_MAPPER_HH
+
+#include <optional>
+
+#include "accel/tiling.hh"
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+/** How a layer executes on the accelerator. */
+enum class ExecUnit
+{
+    MacArray,  ///< Through the Listing-1 schedule.
+    Ppu,       ///< Element-wise / reduction on the post-proc unit.
+    Fused,     ///< Folded into the producing MAC layer (0 cycles).
+    None,      ///< Inputs / identities / pure relayout (0 cycles).
+};
+
+/**
+ * Convert a MAC layer into convolution form. Fatal when called on a
+ * non-MAC layer.
+ */
+ConvWorkload toWorkload(const Layer &layer);
+
+/**
+ * Decide how @p layer executes under @p config, given the whole graph
+ * (fusion needs to inspect the producer).
+ */
+ExecUnit classifyLayer(const AcceleratorConfig &config, const Graph &graph,
+                       const Layer &layer);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ACCEL_MAPPER_HH

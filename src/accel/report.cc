@@ -1,0 +1,121 @@
+#include "accel/report.hh"
+
+#include <cmath>
+
+#include "accel/tiling.hh"
+
+namespace vitdyn
+{
+
+double
+HierarchyBreakdown::totalMj() const
+{
+    return macMj + idleLaneMj + rfMj + wmMj + amMj + gbMj + dramMj +
+           controlLeakageMj + broadcastMj + ppuMj;
+}
+
+HierarchyBreakdown
+analyzeHierarchy(const AcceleratorConfig &config, const Graph &graph,
+                 const EnergyParams &params)
+{
+    HierarchyBreakdown b;
+
+    for (const Layer &layer : graph.layers()) {
+        const ExecUnit unit = classifyLayer(config, graph, layer);
+        if (unit == ExecUnit::Ppu) {
+            const int64_t elems = shapeNumel(layer.outShape);
+            const int64_t bytes =
+                elems *
+                (1 + static_cast<int64_t>(layer.inputs.size()));
+            b.ppuMj += ppuEnergyMj(config, elems, bytes, params);
+            b.dramBytes += bytes;
+            continue;
+        }
+        if (unit != ExecUnit::MacArray)
+            continue;
+
+        const TilingSolution s = solveTiling(config,
+                                             toWorkload(layer));
+        const double macs = static_cast<double>(layer.macs());
+
+        // Traffic.
+        b.rfAccesses += s.rfWeightReads + s.rfInputReads +
+                        s.rfPsumAccesses;
+        b.wmReadBytes += s.wmReads;
+        b.amReadBytes += s.amReads;
+        b.gbBytes += s.gbToPeInputBytes + s.dramWeightBytes +
+                     s.dramOutputBytes + s.crossPeBytes;
+        b.dramBytes += s.dramWeightBytes + s.dramInputBytes +
+                       s.dramOutputBytes;
+        b.crossPeBytes += s.crossPeBytes;
+
+        // Energy components, mirroring layerEnergyMj term by term.
+        b.macMj += macs * params.macPj * 1e-9;
+        const double lane_slots =
+            static_cast<double>(s.totalCycles) *
+            config.parallelMacs();
+        if (lane_slots > macs)
+            b.idleLaneMj += (lane_slots - macs) * params.macPj *
+                            params.idleLaneFactor * 1e-9;
+        b.rfMj += static_cast<double>(s.rfWeightReads +
+                                      s.rfInputReads +
+                                      s.rfPsumAccesses) *
+                  params.rfPjPerAccess * 1e-9;
+        b.broadcastMj += macs * params.broadcastPjPerMacSqrtK0 *
+                         std::sqrt(static_cast<double>(config.k0)) *
+                         1e-9;
+        b.wmMj += static_cast<double>(s.wmReads) *
+                  params.sramPjPerByte *
+                  sramEnergyScale(config.weightMemKb) * 1e-9;
+        b.amMj += static_cast<double>(s.amReads) *
+                  params.sramPjPerByte *
+                  sramEnergyScale(config.activationMemKb) * 1e-9;
+        b.gbMj += static_cast<double>(s.gbToPeInputBytes +
+                                      s.dramWeightBytes +
+                                      s.dramOutputBytes +
+                                      s.crossPeBytes) *
+                  params.gbPjPerByte * 1e-9;
+        b.dramMj += static_cast<double>(s.dramWeightBytes +
+                                        s.dramInputBytes +
+                                        s.dramOutputBytes) *
+                    params.dramPjPerByte * 1e-9;
+        b.controlLeakageMj +=
+            static_cast<double>(s.totalCycles) * config.numPes() *
+            (params.leakagePjPerCyclePerPe +
+             params.controlPjPerCyclePerPe) *
+            1e-9;
+    }
+    return b;
+}
+
+Table
+hierarchyTable(const std::string &title,
+               const HierarchyBreakdown &b)
+{
+    Table table(title, {"Component", "Traffic", "Energy (mJ)",
+                        "Energy %"});
+    const double total = b.totalMj();
+    auto row = [&](const char *name, const std::string &traffic,
+                   double mj) {
+        table.addRow({name, traffic, Table::num(mj, 3),
+                      Table::num(total > 0 ? 100 * mj / total : 0.0,
+                                 1)});
+    };
+    row("MACs (useful)", "-", b.macMj);
+    row("MAC lanes (idle)", "-", b.idleLaneMj);
+    row("Vector-MAC register files",
+        Table::intWithCommas(b.rfAccesses) + " accesses", b.rfMj);
+    row("Input broadcast", "-", b.broadcastMj);
+    row("Weight SRAM (per PE)",
+        Table::intWithCommas(b.wmReadBytes) + " B", b.wmMj);
+    row("Activation SRAM (per PE)",
+        Table::intWithCommas(b.amReadBytes) + " B", b.amMj);
+    row("Global buffer", Table::intWithCommas(b.gbBytes) + " B",
+        b.gbMj);
+    row("DRAM", Table::intWithCommas(b.dramBytes) + " B", b.dramMj);
+    row("Control + leakage", "-", b.controlLeakageMj);
+    row("Post-processing units", "-", b.ppuMj);
+    return table;
+}
+
+} // namespace vitdyn

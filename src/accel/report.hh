@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Memory-hierarchy breakdown reporting for the accelerator: where the
+ * bytes move and where the picojoules go, per level (vector-MAC
+ * register files, per-PE weight/activation SRAMs, global buffer,
+ * DRAM) and per compute component (MACs, idle lanes, control/leakage,
+ * PPU). This is the MAGNet-style accounting behind Figures 10/11 and
+ * the Table IV energy comparisons.
+ */
+
+#ifndef VITDYN_ACCEL_REPORT_HH
+#define VITDYN_ACCEL_REPORT_HH
+
+#include "accel/energy.hh"
+#include "accel/mapper.hh"
+#include "graph/graph.hh"
+#include "util/table.hh"
+
+namespace vitdyn
+{
+
+/** Whole-graph traffic and energy, split by hierarchy level. */
+struct HierarchyBreakdown
+{
+    // Traffic (bytes or element accesses).
+    int64_t rfAccesses = 0;
+    int64_t wmReadBytes = 0;
+    int64_t amReadBytes = 0;
+    int64_t gbBytes = 0;
+    int64_t dramBytes = 0;
+    int64_t crossPeBytes = 0;
+
+    // Energy (millijoules).
+    double macMj = 0.0;
+    double idleLaneMj = 0.0;
+    double rfMj = 0.0;
+    double wmMj = 0.0;
+    double amMj = 0.0;
+    double gbMj = 0.0;
+    double dramMj = 0.0;
+    double controlLeakageMj = 0.0;
+    double broadcastMj = 0.0;
+    double ppuMj = 0.0;
+
+    double totalMj() const;
+};
+
+/** Accumulate the breakdown over every layer of a graph. */
+HierarchyBreakdown analyzeHierarchy(const AcceleratorConfig &config,
+                                    const Graph &graph,
+                                    const EnergyParams &params = {});
+
+/** Render a breakdown as a per-level table. */
+Table hierarchyTable(const std::string &title,
+                     const HierarchyBreakdown &breakdown);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ACCEL_REPORT_HH

@@ -1,0 +1,103 @@
+#include "accel/scheduler.hh"
+
+#include <algorithm>
+
+#include "accel/simulator.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+int64_t
+scheduleCycles(const Graph &graph,
+               const std::vector<LayerSimResult> &layers, bool enable)
+{
+    int64_t total = 0;
+    for (const LayerSimResult &l : layers)
+        total += l.cycles;
+    if (!enable)
+        return total;
+
+    const int n = static_cast<int>(graph.numLayers());
+
+    // Reachability (i can reach j) via forward DP over the topological
+    // vector order; two layers are independent when neither reaches
+    // the other.
+    const int words = (n + 63) / 64;
+    std::vector<uint64_t> reach(static_cast<size_t>(n) * words, 0);
+    auto set_bit = [&](int i, int j) {
+        reach[static_cast<size_t>(i) * words + j / 64] |=
+            1ULL << (j % 64);
+    };
+    auto get_bit = [&](int i, int j) {
+        return (reach[static_cast<size_t>(i) * words + j / 64] >>
+                (j % 64)) &
+               1ULL;
+    };
+    // Walk layers in reverse topological order so each layer's
+    // descendant set is complete before its producers absorb it.
+    for (int j = n - 1; j >= 0; --j) {
+        for (int in_id : graph.layer(j).inputs) {
+            set_bit(in_id, j);
+            for (int w = 0; w < words; ++w)
+                reach[static_cast<size_t>(in_id) * words + w] |=
+                    reach[static_cast<size_t>(j) * words + w];
+        }
+    }
+
+    auto independent = [&](int i, int j) {
+        return !get_bit(i, j) && !get_bit(j, i);
+    };
+    auto is_attention = [&](const Layer &l) {
+        return l.kind == LayerKind::AttentionScore ||
+               l.kind == LayerKind::AttentionContext ||
+               l.kind == LayerKind::Softmax;
+    };
+
+    // Candidates: MAC layers with spare capacity, cheapest-utilization
+    // first so the emptiest layers get partners.
+    std::vector<const LayerSimResult *> candidates;
+    for (const LayerSimResult &l : layers) {
+        if (l.unit != ExecUnit::MacArray || l.cycles <= 0)
+            continue;
+        if (is_attention(graph.layer(l.layerId)))
+            continue;
+        candidates.push_back(&l);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const LayerSimResult *a, const LayerSimResult *b) {
+                  return a->utilization < b->utilization;
+              });
+
+    std::vector<bool> used(n, false);
+    int64_t saved = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        const LayerSimResult *a = candidates[i];
+        if (used[a->layerId])
+            continue;
+        for (size_t j = i + 1; j < candidates.size(); ++j) {
+            const LayerSimResult *b = candidates[j];
+            if (used[b->layerId])
+                continue;
+            if (a->utilization + b->utilization > 1.0)
+                continue;
+            if (!independent(a->layerId, b->layerId))
+                continue;
+            // Different pipeline stages only (decoder vs encoder etc.)
+            // — co-residency within one block is not what the paper
+            // exploits, and its buffers would conflict.
+            const std::string &sa = graph.layer(a->layerId).stage;
+            const std::string &sb = graph.layer(b->layerId).stage;
+            if (sa.substr(0, sa.find('.')) ==
+                sb.substr(0, sb.find('.')))
+                continue;
+            saved += std::min(a->cycles, b->cycles);
+            used[a->layerId] = true;
+            used[b->layerId] = true;
+            break;
+        }
+    }
+    return total - saved;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Model-level parallelism scheduler (Section V, first optimization).
+ *
+ * Layers with no dependency path between them can share the PE array:
+ * e.g. in SegFormer, the decoder Linear consuming Stage 0's output can
+ * execute while Stage 1's patch embedding runs. The benefit is real
+ * only when the co-scheduled layers underutilize the array (a
+ * depthwise conv using 1/32 of the vector lanes leaves room for a
+ * co-resident layer), so the scheduler pairs independent layers whose
+ * combined utilization fits and credits the overlapped time.
+ * Self-attention layers are excluded, as in the paper.
+ */
+
+#ifndef VITDYN_ACCEL_SCHEDULER_HH
+#define VITDYN_ACCEL_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+struct LayerSimResult;
+
+/**
+ * Total cycles after overlapping compatible layers.
+ * @param enable when false, returns the plain sequential sum (used by
+ *        the ablation bench).
+ */
+int64_t scheduleCycles(const Graph &graph,
+                       const std::vector<LayerSimResult> &layers,
+                       bool enable);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ACCEL_SCHEDULER_HH

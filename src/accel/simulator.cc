@@ -1,0 +1,91 @@
+#include "accel/simulator.hh"
+
+#include "accel/scheduler.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+const LayerSimResult *
+GraphSimResult::findLayer(const std::string &name) const
+{
+    for (const LayerSimResult &l : layers)
+        if (l.name == name)
+            return &l;
+    return nullptr;
+}
+
+AcceleratorSim::AcceleratorSim(AcceleratorConfig config,
+                               EnergyParams energy)
+    : config_(std::move(config)), energy_(energy)
+{
+}
+
+LayerSimResult
+AcceleratorSim::simulateLayer(const Graph &graph,
+                              const Layer &layer) const
+{
+    LayerSimResult result;
+    result.layerId = layer.id;
+    result.name = layer.name;
+    result.unit = classifyLayer(config_, graph, layer);
+    result.macs = layer.macs();
+
+    switch (result.unit) {
+      case ExecUnit::MacArray: {
+        const TilingSolution sol = solveTiling(config_,
+                                               toWorkload(layer));
+        result.cycles = sol.totalCycles;
+        result.utilization = sol.utilization;
+        result.weightsResident = sol.weightsResident;
+        result.energyMj = layerEnergyMj(config_, sol, energy_);
+        break;
+      }
+      case ExecUnit::Ppu: {
+        const int64_t elems = shapeNumel(layer.outShape);
+        result.cycles = (elems + config_.ppuLanes - 1) /
+                        config_.ppuLanes;
+        // PPU layers stream activations through the buffers (INT8).
+        const int64_t bytes =
+            elems * (1 + static_cast<int64_t>(layer.inputs.size()));
+        result.energyMj = ppuEnergyMj(config_, elems, bytes, energy_);
+        result.utilization = 0.0;
+        break;
+      }
+      case ExecUnit::Fused:
+      case ExecUnit::None:
+        break;
+    }
+    return result;
+}
+
+GraphSimResult
+AcceleratorSim::run(const Graph &graph) const
+{
+    GraphSimResult result;
+    result.layers.reserve(graph.numLayers());
+    for (const Layer &layer : graph.layers()) {
+        LayerSimResult l = simulateLayer(graph, layer);
+        result.totalCycles += l.cycles;
+        result.totalEnergyMj += l.energyMj;
+        result.layers.push_back(std::move(l));
+    }
+    result.scheduledCycles = scheduleCycles(graph, result.layers, true);
+    result.timeMs = static_cast<double>(result.scheduledCycles) /
+                    (config_.clockGhz * 1e6);
+    return result;
+}
+
+int64_t
+AcceleratorSim::cycles(const Graph &graph) const
+{
+    return run(graph).scheduledCycles;
+}
+
+double
+AcceleratorSim::energyMj(const Graph &graph) const
+{
+    return run(graph).totalEnergyMj;
+}
+
+} // namespace vitdyn

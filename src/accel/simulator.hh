@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Whole-graph accelerator simulation: runs every layer through the
+ * tiling solver / PPU model, accumulates cycles and energy, and
+ * optionally applies the model-level-parallelism schedule
+ * (Section V's first optimization).
+ */
+
+#ifndef VITDYN_ACCEL_SIMULATOR_HH
+#define VITDYN_ACCEL_SIMULATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/energy.hh"
+#include "accel/mapper.hh"
+
+namespace vitdyn
+{
+
+/** Simulation result for one layer. */
+struct LayerSimResult
+{
+    int layerId = -1;
+    std::string name;
+    ExecUnit unit = ExecUnit::None;
+    int64_t cycles = 0;
+    int64_t macs = 0;
+    double energyMj = 0.0;
+    double utilization = 0.0;
+    bool weightsResident = true;
+};
+
+/** Simulation result for a whole graph. */
+struct GraphSimResult
+{
+    std::vector<LayerSimResult> layers;
+    int64_t totalCycles = 0;       ///< Sequential (no overlap).
+    int64_t scheduledCycles = 0;   ///< With model-level parallelism.
+    double totalEnergyMj = 0.0;
+    double timeMs = 0.0;           ///< scheduledCycles / clock.
+
+    const LayerSimResult *findLayer(const std::string &name) const;
+};
+
+/** Analytic accelerator simulator (see accel/tiling.hh for the core). */
+class AcceleratorSim
+{
+  public:
+    explicit AcceleratorSim(AcceleratorConfig config,
+                            EnergyParams energy = {});
+
+    /** Simulate a full graph. */
+    GraphSimResult run(const Graph &graph) const;
+
+    /** Cycles only (convenience for sweep cost functions). */
+    int64_t cycles(const Graph &graph) const;
+
+    /** Energy only (mJ). */
+    double energyMj(const Graph &graph) const;
+
+    const AcceleratorConfig &config() const { return config_; }
+
+  private:
+    LayerSimResult simulateLayer(const Graph &graph,
+                                 const Layer &layer) const;
+
+    AcceleratorConfig config_;
+    EnergyParams energy_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_ACCEL_SIMULATOR_HH

@@ -1,0 +1,243 @@
+#include "accel/tiling.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** All divisors of @p n, ascending. */
+std::vector<int64_t>
+divisors(int64_t n)
+{
+    std::vector<int64_t> out;
+    for (int64_t d = 1; d <= n; ++d)
+        if (n % d == 0)
+            out.push_back(d);
+    return out;
+}
+
+/**
+ * Fill in the traffic and stall fields of a solution. Activations
+ * stream through the global buffer; only tensors too large for it (or
+ * weight-tile refetches of such tensors) spill to DRAM. Weights are
+ * read from DRAM once per inference (k2 is the outermost loop of
+ * Listing 1, so temporal weight tiling re-reads *inputs*, not
+ * weights).
+ */
+void
+finishSolution(const AcceleratorConfig &cfg, const ConvWorkload &w,
+               TilingSolution &sol)
+{
+    const int64_t macs = w.macs();
+    const int64_t cg = w.c / w.groups;
+    const int64_t gb_bytes = cfg.globalBufferKb * 1024;
+
+    // INT8 weights, fetched once (k2 is the outermost loop); when a
+    // single weight tile cannot even fit the weight memory, the
+    // weights stream and are re-fetched once per output tile.
+    sol.dramWeightBytes = w.k * cg * w.r * w.s;
+    const int64_t tile_weight_bytes =
+        cfg.k0 * sol.k1 * cfg.c0 * sol.c1 * w.r * w.s;
+    if (tile_weight_bytes > cfg.weightMemKb * 1024)
+        sol.dramWeightBytes *= std::max<int64_t>(1, sol.p2 * sol.q2);
+    const int64_t in_h = (w.p - 1) * w.strideH + w.r;
+    const int64_t in_w = (w.q - 1) * w.strideW + w.s;
+    const int64_t input_bytes = w.n * w.c * in_h * in_w;
+    const int64_t output_bytes = w.n * w.k * w.p * w.q;
+
+    const bool input_fits_gb = input_bytes <= gb_bytes;
+    const bool output_fits_gb = output_bytes <= gb_bytes;
+
+    // Inputs are re-read once per temporal weight tile (k2 outermost).
+    const int64_t input_reads = input_bytes * sol.k2;
+    sol.dramInputBytes = input_fits_gb ? 0 : input_reads;
+    sol.dramOutputBytes = output_fits_gb ? 0 : output_bytes;
+
+    // GB -> PE multicast: the same inputs feed all k2s K-split PEs,
+    // and each activation tile re-reads its halo (the r-1 / s-1 wide
+    // border shared with neighboring tiles) — small activation
+    // memories mean small tiles and proportionally more halo traffic.
+    const double tile_in_h =
+        static_cast<double>((sol.p1 - 1) * w.strideH + w.r);
+    const double tile_in_w =
+        static_cast<double>((sol.q1 * sol.q0 - 1) * w.strideW + w.s);
+    const double halo =
+        (tile_in_h * tile_in_w) /
+        std::max(1.0, static_cast<double>(sol.p1 * w.strideH) *
+                          (sol.q1 * sol.q0 * w.strideW));
+    sol.gbToPeInputBytes = static_cast<int64_t>(
+        input_reads * sol.k2s * std::max(1.0, halo));
+
+    // Cross-PE partial-sum forwarding (INT32) when C is split.
+    sol.crossPeBytes =
+        sol.c2s > 1 ? output_bytes * 4 * (sol.c2s - 1) : 0;
+
+    // SRAM / register-file access counts (element granularity).
+    sol.wmReads = macs / std::max<int64_t>(1, sol.q0);
+    sol.amReads = macs / std::max<int64_t>(1, cfg.k0);
+    sol.rfWeightReads = macs; // one weight operand per MAC
+    sol.rfInputReads = macs / std::max<int64_t>(1, cfg.k0);
+    sol.rfPsumAccesses = 2 * macs / std::max<int64_t>(1, cfg.c0);
+
+    // DRAM stalls under double buffering: off-chip traffic time beyond
+    // the compute time.
+    const double traffic_cycles =
+        static_cast<double>(sol.dramWeightBytes + sol.dramInputBytes +
+                            sol.dramOutputBytes) /
+        cfg.dramBytesPerCycle;
+    sol.stallCycles = static_cast<int64_t>(std::max(
+        0.0, traffic_cycles - static_cast<double>(sol.computeCycles)));
+    sol.totalCycles = sol.computeCycles + sol.stallCycles;
+
+    sol.utilization =
+        static_cast<double>(macs) /
+        (static_cast<double>(sol.totalCycles) * cfg.parallelMacs());
+}
+
+/**
+ * Evaluate one spatial allocation (k2s, c2s, p2s, q2s) and in-PE q0;
+ * derive the remaining tile sizes under the memory capacities and
+ * return the complete solution.
+ */
+TilingSolution
+evaluate(const AcceleratorConfig &cfg, const ConvWorkload &w,
+         int64_t k2s, int64_t c2s, int64_t p2s, int64_t q2s, int64_t q0)
+{
+    TilingSolution sol;
+    sol.k2s = k2s;
+    sol.c2s = c2s;
+    sol.p2s = p2s;
+    sol.q2s = q2s;
+    sol.q0 = q0;
+
+    const int64_t cg = w.c / w.groups;       // input chans per group
+    const int64_t p_eff = w.n * w.p;          // batch folds into P
+
+    sol.c0Used = std::min(cg, cfg.c0);
+    sol.k0Used = std::min(w.k, cfg.k0);
+
+    // Input-channel vector tiles, split across c2s PEs then handled
+    // temporally inside the PE (full reduction stays on chip).
+    const int64_t c_vec = ceilDiv(cg, cfg.c0);
+    sol.c1 = ceilDiv(c_vec, c2s);
+
+    // Output-channel vector tiles.
+    const int64_t k_vec = ceilDiv(w.k, cfg.k0);
+    const int64_t k_per_pe = ceilDiv(k_vec, k2s);
+
+    // Weight capacity: k0*k1 output channels x c0*c1 input channels x
+    // r*s taps at one byte each must fit the per-PE weight memory.
+    const int64_t wm_bytes = cfg.weightMemKb * 1024;
+    const int64_t bytes_per_k0_group =
+        cfg.k0 * cfg.c0 * sol.c1 * w.r * w.s;
+    const int64_t k1_cap = std::max<int64_t>(
+        1, wm_bytes / std::max<int64_t>(1, bytes_per_k0_group));
+    sol.k1 = std::min(k_per_pe, k1_cap);
+    sol.k2 = ceilDiv(k_per_pe, sol.k1);
+    // Weights are resident when the whole per-PE share fits; a single
+    // k0-group that exceeds the memory must be *streamed* through it
+    // (double-buffered), which finishSolution charges as refetches.
+    sol.weightsResident =
+        sol.k2 == 1 && bytes_per_k0_group * sol.k1 <= wm_bytes;
+
+    // Activation capacity: the input tile needed to produce a
+    // (p1 x q1*q0) output tile with c0*c1 resident channels.
+    const int64_t am_bytes = cfg.activationMemKb * 1024;
+    const int64_t chans_resident = cfg.c0 * sol.c1;
+    int64_t p1 = std::min(cfg.maxTileP, ceilDiv(p_eff, p2s));
+    int64_t q1 = std::min(ceilDiv(cfg.maxTileQ, q0),
+                          ceilDiv(w.q, q0 * q2s));
+    q1 = std::max<int64_t>(1, q1);
+    auto tile_bytes = [&](int64_t tp, int64_t tq) {
+        const int64_t in_h = (tp - 1) * w.strideH + w.r;
+        const int64_t in_w = (tq * q0 - 1) * w.strideW + w.s;
+        return chans_resident * in_h * in_w;
+    };
+    while (tile_bytes(p1, q1) > am_bytes && (p1 > 1 || q1 > 1)) {
+        if (p1 >= q1)
+            p1 = std::max<int64_t>(1, p1 / 2);
+        else
+            q1 = std::max<int64_t>(1, q1 / 2);
+    }
+    sol.p1 = p1;
+    sol.q1 = q1;
+
+    sol.p2 = ceilDiv(p_eff, sol.p1 * p2s);
+    sol.q2 = ceilDiv(w.q, sol.q1 * q0 * q2s);
+
+    // Listing 1 cycle count: every temporal loop multiplies out; the
+    // ceil losses above are exactly the utilization losses.
+    const int64_t inner = sol.p1 * sol.q1 * sol.k1 *
+                          (w.r * w.s * sol.c1) * q0;
+    const int64_t tiles = sol.k2 * sol.p2 * sol.q2;
+    sol.computeCycles = tiles * (inner + cfg.tileOverheadCycles);
+
+    finishSolution(cfg, w, sol);
+    return sol;
+}
+
+} // namespace
+
+TilingSolution
+solveTiling(const AcceleratorConfig &cfg, const ConvWorkload &w)
+{
+    vitdyn_assert(w.k > 0 && w.c > 0 && w.p > 0 && w.q > 0 && w.n > 0,
+                  "zero-size workload");
+    vitdyn_assert(w.groups >= 1 && w.c % w.groups == 0 &&
+                  w.k % w.groups == 0,
+                  "bad workload groups");
+
+    const int64_t pes = cfg.numPes();
+    const int64_t cg = w.c / w.groups;
+    const int64_t c_vec = ceilDiv(cg, cfg.c0);
+    const int64_t k_vec = ceilDiv(w.k, cfg.k0);
+    const int64_t p_eff = w.n * w.p;
+
+    TilingSolution best;
+    best.totalCycles = -1;
+
+    for (int64_t k2s : divisors(pes)) {
+        if (k2s > k_vec && k2s > 1)
+            continue; // more K-split than K tiles: wasted PEs
+        const int64_t rem_k = pes / k2s;
+        for (int64_t c2s : divisors(rem_k)) {
+            if (c2s > 1 && !cfg.crossPeReduction)
+                continue;
+            if (c2s > c_vec)
+                continue;
+            const int64_t rem_c = rem_k / c2s;
+            for (int64_t p2s : divisors(rem_c)) {
+                if (p2s > p_eff)
+                    continue;
+                const int64_t q2s = rem_c / p2s;
+                if (q2s > w.q)
+                    continue;
+                const int64_t q0_max = std::min(cfg.maxQ0, w.q);
+                for (int64_t q0 = q0_max; q0 >= 1;
+                     q0 = q0 > 2 ? q0 / 2 : q0 - 1) {
+                    TilingSolution sol =
+                        evaluate(cfg, w, k2s, c2s, p2s, q2s, q0);
+                    if (best.totalCycles < 0 ||
+                        sol.totalCycles < best.totalCycles)
+                        best = sol;
+                }
+            }
+        }
+    }
+    vitdyn_assert(best.totalCycles >= 0, "tiling search found nothing");
+    return best;
+}
+
+} // namespace vitdyn

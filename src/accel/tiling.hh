@@ -1,0 +1,109 @@
+/**
+ * @file
+ * OS-LWS loop-nest tiling solver for the Listing-1 schedule of the
+ * paper:
+ *
+ *   for k2 / p2 / q2:                      # temporal at the PE array
+ *     parallel_for p2s / q2s / k2s / c2s:  # spatial across PEs
+ *       for p1 / q1 / k1:                  # temporal inside a PE
+ *         for r / s / c1:                  # output stationary
+ *           for q0:                        # local weight stationary
+ *             parallel_for k0:             # vector MACs
+ *               parallel_for c0:           # vector width
+ *
+ * The solver searches the divisor splits of the PE array across the
+ * K/C/P/Q dimensions and the in-PE tile sizes under the weight- and
+ * activation-memory capacities, minimizing total cycles. Output
+ * channels that do not fit on chip fall back to temporal weight tiling
+ * (k2 > 1), exactly the effect that makes the paper's accelerator*
+ * slightly slower than accelerator_A on Conv2DFuse.
+ */
+
+#ifndef VITDYN_ACCEL_TILING_HH
+#define VITDYN_ACCEL_TILING_HH
+
+#include <cstdint>
+
+#include "accel/arch.hh"
+
+namespace vitdyn
+{
+
+/**
+ * A MAC workload in convolution form. Matrix multiplication A(m,n) x
+ * B(n,o) maps to p=1, q=m, c=n, k=o, r=s=1 (Section V).
+ */
+struct ConvWorkload
+{
+    int64_t n = 1;       ///< Batch (folded into P by the solver).
+    int64_t k = 0;       ///< Output channels.
+    int64_t c = 0;       ///< Input channels (across all groups).
+    int64_t p = 0;       ///< Output height.
+    int64_t q = 0;       ///< Output width.
+    int64_t r = 1;       ///< Kernel height.
+    int64_t s = 1;       ///< Kernel width.
+    int64_t strideH = 1;
+    int64_t strideW = 1;
+    int64_t groups = 1;
+
+    int64_t macs() const
+    {
+        return n * k * p * q * (c / groups) * r * s;
+    }
+};
+
+/** Solved schedule for one workload on one accelerator. */
+struct TilingSolution
+{
+    // Vector level (useful lanes; <= C0 / K0).
+    int64_t c0Used = 0;
+    int64_t k0Used = 0;
+
+    // In-PE temporal tile.
+    int64_t c1 = 1;
+    int64_t k1 = 1;
+    int64_t p1 = 1;
+    int64_t q1 = 1;
+    int64_t q0 = 1;
+
+    // Spatial split across PEs.
+    int64_t k2s = 1;
+    int64_t c2s = 1;
+    int64_t p2s = 1;
+    int64_t q2s = 1;
+
+    // Array-level temporal tiling.
+    int64_t k2 = 1;
+    int64_t p2 = 1;
+    int64_t q2 = 1;
+
+    int64_t computeCycles = 0;
+    int64_t stallCycles = 0;
+    int64_t totalCycles = 0;
+
+    /** Useful MACs / (cycles x peak parallel MACs). */
+    double utilization = 0.0;
+
+    /** True when all weights stay on chip for the whole layer. */
+    bool weightsResident = true;
+
+    // Traffic for the energy model.
+    int64_t dramWeightBytes = 0;
+    int64_t dramInputBytes = 0;
+    int64_t dramOutputBytes = 0;
+    int64_t gbToPeInputBytes = 0;
+    int64_t crossPeBytes = 0;
+    int64_t wmReads = 0;      ///< Weight-memory element reads.
+    int64_t amReads = 0;      ///< Activation-memory element reads.
+    int64_t rfWeightReads = 0;
+    int64_t rfInputReads = 0;
+    int64_t rfPsumAccesses = 0;
+};
+
+/** Solve the schedule minimizing cycles. Fatal on a zero-size layer. */
+TilingSolution solveTiling(const AcceleratorConfig &config,
+                           const ConvWorkload &workload);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ACCEL_TILING_HH

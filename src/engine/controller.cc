@@ -1,0 +1,82 @@
+#include "engine/controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+
+BudgetController::BudgetController(double deadline, double safety_margin,
+                                   double smoothing)
+    : deadline_(deadline), margin_(safety_margin),
+      smoothing_(smoothing)
+{
+    vitdyn_assert(deadline > 0.0, "deadline must be positive");
+    vitdyn_assert(safety_margin >= 0.0 && safety_margin < 1.0,
+                  "safety margin must be in [0, 1)");
+    vitdyn_assert(smoothing > 0.0 && smoothing <= 1.0,
+                  "smoothing must be in (0, 1]");
+}
+
+double
+BudgetController::budgetForNextFrame() const
+{
+    return deadline_ * (1.0 - margin_) / std::max(bias_, 1e-6);
+}
+
+void
+BudgetController::observe(double modeled_cost, double observed_cost)
+{
+    vitdyn_assert(modeled_cost > 0.0, "modeled cost must be positive");
+    const double ratio = observed_cost / modeled_cost;
+    bias_ = (1.0 - smoothing_) * bias_ + smoothing_ * ratio;
+}
+
+void
+BudgetController::setDeadline(double deadline)
+{
+    vitdyn_assert(deadline > 0.0, "deadline must be positive");
+    deadline_ = deadline;
+}
+
+ClosedLoopStats
+simulateClosedLoop(const AccuracyResourceLut &lut,
+                   BudgetController &controller, double platform_bias,
+                   double noise_fraction, int frames, uint64_t seed)
+{
+    vitdyn_assert(!lut.empty(), "closed loop needs a non-empty LUT");
+    vitdyn_assert(frames > 0, "need at least one frame");
+
+    Rng rng(seed);
+    ClosedLoopStats stats;
+    stats.frames = frames;
+
+    double acc_sum = 0.0;
+    for (int frame = 0; frame < frames; ++frame) {
+        const double budget = controller.budgetForNextFrame();
+        const LutEntry *entry = lut.lookup(budget);
+        if (!entry)
+            entry = &lut.cheapest();
+
+        // The platform runs slower/faster than the model thinks.
+        const double noise =
+            1.0 + noise_fraction * rng.uniform(-1.0, 1.0);
+        const double observed =
+            entry->resourceCost * platform_bias * noise;
+
+        if (observed > controller.deadline()) {
+            ++stats.deadlineMisses;
+            if (frame >= 10)
+                ++stats.missesAfterWarmup;
+        }
+        acc_sum += entry->accuracyEstimate;
+        controller.observe(entry->resourceCost, observed);
+    }
+    stats.meanAccuracy = acc_sum / frames;
+    stats.finalBias = controller.biasEstimate();
+    return stats;
+}
+
+} // namespace vitdyn

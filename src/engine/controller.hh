@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Closed-loop budget controller — deployment glue the paper leaves
+ * implicit. The DRT engine (Fig 8) consumes a resource-utilization
+ * target per inference; a real system derives that target from a
+ * frame deadline and must absorb the gap between the engine's
+ * *modeled* costs (LUT entries) and the *observed* execution times on
+ * the actual platform (thermal state, co-runners, clock changes).
+ *
+ * The controller keeps an exponentially weighted estimate of the
+ * observed/modeled cost ratio and converts the deadline into a
+ * modeled-cost budget with a safety margin:
+ *
+ *     budget = deadline * (1 - margin) / bias_estimate
+ *
+ * so a platform running 30% slower than modeled quickly steers the
+ * engine toward cheaper execution paths instead of missing deadlines.
+ */
+
+#ifndef VITDYN_ENGINE_CONTROLLER_HH
+#define VITDYN_ENGINE_CONTROLLER_HH
+
+#include "engine/lut.hh"
+
+namespace vitdyn
+{
+
+/** Adaptive deadline-to-budget converter. */
+class BudgetController
+{
+  public:
+    /**
+     * @param deadline       per-frame deadline (LUT-native units).
+     * @param safety_margin  fraction of the deadline held back.
+     * @param smoothing      EWMA factor for the bias estimate in
+     *                       (0, 1]; higher adapts faster.
+     */
+    explicit BudgetController(double deadline,
+                              double safety_margin = 0.10,
+                              double smoothing = 0.25);
+
+    /** Budget (in modeled-cost units) for the next frame. */
+    double budgetForNextFrame() const;
+
+    /**
+     * Report one executed frame: the LUT's modeled cost for the
+     * chosen path and the cost actually observed.
+     */
+    void observe(double modeled_cost, double observed_cost);
+
+    /** Current observed/modeled bias estimate (1 = model is exact). */
+    double biasEstimate() const { return bias_; }
+
+    double deadline() const { return deadline_; }
+    void setDeadline(double deadline);
+
+  private:
+    double deadline_;
+    double margin_;
+    double smoothing_;
+    double bias_ = 1.0;
+};
+
+/** Outcome of a closed-loop simulation (see simulateClosedLoop). */
+struct ClosedLoopStats
+{
+    int frames = 0;
+    int deadlineMisses = 0;
+    int missesAfterWarmup = 0; ///< Misses beyond the first 10 frames.
+    double meanAccuracy = 0.0;
+    double finalBias = 1.0;
+};
+
+/**
+ * Drive the controller + LUT against a platform whose true cost is
+ * modeled_cost * @p platform_bias * noise. Demonstrates convergence:
+ * after a short warmup the observed times fit the deadline even when
+ * the model is systematically off.
+ */
+ClosedLoopStats simulateClosedLoop(const AccuracyResourceLut &lut,
+                                   BudgetController &controller,
+                                   double platform_bias,
+                                   double noise_fraction, int frames,
+                                   uint64_t seed);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ENGINE_CONTROLLER_HH

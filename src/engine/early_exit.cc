@@ -1,0 +1,118 @@
+#include "engine/early_exit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+
+double
+EarlyExitModel::costAtExit(int exit) const
+{
+    vitdyn_assert(exit >= 0 && exit < numExits, "bad exit index");
+    // Running through exit i uses (i+1)/numExits of the backbone plus
+    // one classifier evaluation per exit reached.
+    const double depth_fraction =
+        static_cast<double>(exit + 1) / numExits;
+    const double overhead = classifierOverhead * (exit + 1);
+    return fullCost * (depth_fraction + overhead);
+}
+
+double
+EarlyExitModel::accuracyAtExit(int exit) const
+{
+    vitdyn_assert(exit >= 0 && exit < numExits, "bad exit index");
+    if (numExits == 1)
+        return fullAccuracy;
+    const double t = static_cast<double>(exit) / (numExits - 1);
+    // Accuracy grows with depth, saturating near the end (the usual
+    // early-exit curve shape).
+    const double shaped = std::sqrt(t);
+    return fullAccuracy *
+           (firstExitAccuracy + (1.0 - firstExitAccuracy) * shaped);
+}
+
+int
+EarlyExitModel::exitForDifficulty(double difficulty) const
+{
+    const double d = std::clamp(difficulty, 0.0, 1.0);
+    // An input of difficulty d stabilizes its prediction after ~d of
+    // the depth; the taken exit is the first one at or past it.
+    const int exit =
+        static_cast<int>(std::ceil(d * numExits)) - 1;
+    return std::clamp(exit, 0, numExits - 1);
+}
+
+std::vector<double>
+makeDifficultyTrace(int frames, double mean, double spread,
+                    uint64_t seed)
+{
+    vitdyn_assert(frames > 0, "bad difficulty trace length");
+    Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(frames);
+    for (int i = 0; i < frames; ++i)
+        out.push_back(std::clamp(rng.normal(mean, spread), 0.0, 1.0));
+    return out;
+}
+
+ContrastResult
+contrastPolicies(const EarlyExitModel &model,
+                 const AccuracyResourceLut &lut,
+                 const std::vector<double> &difficulty,
+                 const BudgetTrace &budgets)
+{
+    vitdyn_assert(difficulty.size() == budgets.budgets.size(),
+                  "difficulty/budget stream length mismatch");
+    vitdyn_assert(!lut.empty(), "contrast needs a non-empty LUT");
+
+    ContrastResult result;
+    result.earlyExit.frames = static_cast<int>(difficulty.size());
+    result.drt.frames = result.earlyExit.frames;
+
+    double ee_cost = 0.0;
+    double ee_acc = 0.0;
+    double drt_cost = 0.0;
+    double drt_acc = 0.0;
+
+    for (size_t i = 0; i < difficulty.size(); ++i) {
+        const double budget = budgets.budgets[i];
+
+        // Early exit: the input decides, the budget is invisible.
+        const int exit = model.exitForDifficulty(difficulty[i]);
+        const double cost = model.costAtExit(exit);
+        ee_cost += cost;
+        ee_acc += model.accuracyAtExit(exit);
+        if (cost > budget) {
+            ++result.earlyExit.deadlineMisses;
+            result.earlyExit.worstOverrun =
+                std::max(result.earlyExit.worstOverrun,
+                         (cost - budget) / std::max(budget, 1e-12));
+        }
+
+        // DRT: the budget decides, the input is irrelevant to cost.
+        const LutEntry *entry = lut.lookup(budget);
+        if (!entry) {
+            entry = &lut.cheapest();
+            ++result.drt.deadlineMisses;
+            result.drt.worstOverrun = std::max(
+                result.drt.worstOverrun,
+                (entry->resourceCost - budget) /
+                    std::max(budget, 1e-12));
+        }
+        drt_cost += entry->resourceCost;
+        drt_acc += entry->accuracyEstimate;
+    }
+
+    const double n = static_cast<double>(difficulty.size());
+    result.earlyExit.meanCost = ee_cost / n;
+    result.earlyExit.meanAccuracy = ee_acc / n;
+    result.drt.meanCost = drt_cost / n;
+    result.drt.meanAccuracy = drt_acc / n;
+    return result;
+}
+
+} // namespace vitdyn

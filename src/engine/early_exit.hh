@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Input-dependent early exit vs budget-driven DRT — the paper's core
+ * motivational contrast (Sections I and VII-A).
+ *
+ * Prior dynamic-inference work (BranchyNet, DeeBERT, patience-based
+ * exits, SkipNet) shortens execution when the *input* is easy: the
+ * achieved cost is a function of the input, so a hard input under a
+ * tight budget still runs long — the deadline is missed. The paper's
+ * DRT engine inverts the contract: the *budget* selects the execution
+ * path, so every inference completes within it (accuracy absorbs the
+ * slack).
+ *
+ * This module gives early exit a faithful cost/accuracy model
+ * (per-exit internal classifiers add overhead, accuracy grows with
+ * exit depth, the exit taken is difficulty-driven) and contrasts both
+ * policies on the same difficulty/budget streams.
+ */
+
+#ifndef VITDYN_ENGINE_EARLY_EXIT_HH
+#define VITDYN_ENGINE_EARLY_EXIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/lut.hh"
+#include "engine/trace.hh"
+
+namespace vitdyn
+{
+
+/** BranchyNet-style early-exit model over a backbone of known cost. */
+struct EarlyExitModel
+{
+    /** Cost of the full model in LUT-native units. */
+    double fullCost = 1.0;
+    /** Accuracy of the full model (normalized). */
+    double fullAccuracy = 1.0;
+    /** Number of exit points, uniformly spaced along the depth. */
+    int numExits = 4;
+    /**
+     * Extra cost fraction per *evaluated* exit classifier — early
+     * exit adds parameters and compute the paper's approach avoids.
+     */
+    double classifierOverhead = 0.02;
+    /** Accuracy retained when exiting at the first exit point. */
+    double firstExitAccuracy = 0.80;
+
+    /** Cost of running through exit @p exit (0-based) and stopping. */
+    double costAtExit(int exit) const;
+
+    /** Delivered accuracy when exiting at @p exit. */
+    double accuracyAtExit(int exit) const;
+
+    /**
+     * Exit an input of @p difficulty in [0, 1] actually takes: easy
+     * inputs (low difficulty) exit early with little accuracy loss;
+     * hard inputs run to the end regardless of any deadline.
+     */
+    int exitForDifficulty(double difficulty) const;
+};
+
+/** Per-policy aggregate over a stream. */
+struct PolicyStats
+{
+    int frames = 0;
+    int deadlineMisses = 0;
+    double meanCost = 0.0;
+    double meanAccuracy = 0.0;
+    double worstOverrun = 0.0; ///< max (cost - budget) / budget.
+};
+
+/** Side-by-side result of the contrast experiment. */
+struct ContrastResult
+{
+    PolicyStats earlyExit;
+    PolicyStats drt;
+};
+
+/** A per-frame input-difficulty series in [0, 1]. */
+std::vector<double> makeDifficultyTrace(int frames, double mean,
+                                        double spread, uint64_t seed);
+
+/**
+ * Run both policies over the same streams: early exit follows the
+ * input difficulty (blind to the budget); DRT follows the budget
+ * (blind to the difficulty).
+ */
+ContrastResult contrastPolicies(const EarlyExitModel &model,
+                                const AccuracyResourceLut &lut,
+                                const std::vector<double> &difficulty,
+                                const BudgetTrace &budgets);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ENGINE_EARLY_EXIT_HH

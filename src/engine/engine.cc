@@ -1,0 +1,103 @@
+#include "engine/engine.hh"
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+void
+registerFullDims(const Graph &full_graph, Executor &executor)
+{
+    for (const Layer &layer : full_graph.layers()) {
+        switch (layer.kind) {
+          case LayerKind::Conv2d:
+            executor.setFullDims(layer.name, layer.attrs.outChannels,
+                                 layer.attrs.inChannels);
+            break;
+          case LayerKind::Linear:
+            executor.setFullDims(layer.name, layer.attrs.outFeatures,
+                                 layer.attrs.inFeatures);
+            break;
+          case LayerKind::LayerNorm:
+            executor.setFullDims(layer.name, 0, layer.attrs.inFeatures);
+            break;
+          case LayerKind::BatchNorm:
+            executor.setFullDims(layer.name, 0, layer.attrs.inChannels);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+DrtEngine::DrtEngine(ModelFamily family, const SegformerConfig &seg_base,
+                     const SwinConfig &swin_base, AccuracyResourceLut lut,
+                     uint64_t seed)
+    : lut_(std::move(lut))
+{
+    vitdyn_assert(!lut_.empty(), "DrtEngine needs a non-empty LUT");
+
+    // The unpruned reference defines the shared weight dimensions.
+    Graph full = family == ModelFamily::Segformer
+                     ? buildSegformer(seg_base)
+                     : buildSwin(swin_base);
+
+    for (const LutEntry &entry : lut_.entries()) {
+        Path path;
+        path.graph = std::make_unique<Graph>(
+            family == ModelFamily::Segformer
+                ? applySegformerPrune(seg_base, entry.config)
+                : applySwinPrune(swin_base, entry.config));
+        path.executor = std::make_unique<Executor>(*path.graph, seed);
+        registerFullDims(full, *path.executor);
+        paths_.push_back(std::move(path));
+    }
+}
+
+const LutEntry &
+DrtEngine::select(double resource_budget, bool *met) const
+{
+    const LutEntry *entry = lut_.lookup(resource_budget);
+    if (entry) {
+        if (met)
+            *met = true;
+        return *entry;
+    }
+    // Nothing fits: degrade gracefully to the cheapest path (the paper
+    // notes widely varying resources may require multiple weight sets;
+    // within one set this is the best available answer).
+    if (met)
+        *met = false;
+    return lut_.cheapest();
+}
+
+DrtResult
+DrtEngine::infer(const Tensor &image, double resource_budget)
+{
+    bool met = false;
+    const LutEntry &entry = select(resource_budget, &met);
+
+    // Locate the prepared path for the chosen entry.
+    size_t index = 0;
+    for (; index < lut_.entries().size(); ++index)
+        if (&lut_.entries()[index] == &entry)
+            break;
+    vitdyn_assert(index < paths_.size(), "LUT/path desync");
+
+    DrtResult result;
+    result.output = paths_[index].executor->runSimple(image);
+    result.configLabel = entry.config.label;
+    result.accuracyEstimate = entry.accuracyEstimate;
+    result.resourceCost = entry.resourceCost;
+    result.budgetMet = met;
+    return result;
+}
+
+const Graph &
+DrtEngine::pathGraph(size_t index) const
+{
+    vitdyn_assert(index < paths_.size(), "path index out of range");
+    return *paths_[index].graph;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The dynamic real-time (DRT) inference engine of Section IV /
+ * Figure 8.
+ *
+ * Given a per-inference resource utilization target, the engine looks
+ * up the Pareto-optimal execution path that maximizes accuracy within
+ * the target (the 'D' block), runs the corresponding pre-built model
+ * graph with the shared pretrained weights, and returns the output
+ * image together with the LUT's accuracy estimate.
+ *
+ * The engine maximizes accuracy under a resource constraint — the
+ * inverse of most prior efficient-inference work, which minimizes
+ * resources under an accuracy constraint. No retraining is involved:
+ * all execution paths reuse one set of synthesized "pretrained"
+ * weights (pruned layers read a slice of the full weight tensors, see
+ * Executor::setFullDims).
+ */
+
+#ifndef VITDYN_ENGINE_ENGINE_HH
+#define VITDYN_ENGINE_ENGINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/lut.hh"
+#include "graph/executor.hh"
+#include "resilience/sweep.hh"
+
+namespace vitdyn
+{
+
+/** Outcome of one dynamic inference. */
+struct DrtResult
+{
+    Tensor output;              ///< Segmentation logits (upsampled).
+    std::string configLabel;    ///< Which execution path ran.
+    double accuracyEstimate = 0;///< Normalized mIoU from the LUT.
+    double resourceCost = 0;    ///< Modeled cost of the chosen path.
+    bool budgetMet = false;     ///< False when even the cheapest path
+                                ///< exceeded the budget (best effort).
+};
+
+/** DRT inference engine over one pretrained model and one LUT. */
+class DrtEngine
+{
+  public:
+    /**
+     * Pre-build a graph + executor for every LUT entry so the only
+     * per-inference overhead beyond model execution is the lookup.
+     *
+     * @param family      which builder the configs apply to.
+     * @param seg_base    SegFormer base config (used when family is
+     *                    Segformer).
+     * @param swin_base   Swin base config (used when family is Swin).
+     * @param lut         Pareto LUT from the resilience sweep.
+     * @param seed        weight-synthesis seed shared by all paths.
+     */
+    DrtEngine(ModelFamily family, const SegformerConfig &seg_base,
+              const SwinConfig &swin_base, AccuracyResourceLut lut,
+              uint64_t seed = 1);
+
+    /**
+     * Select the execution path for @p resource_budget (in the LUT's
+     * native unit). Falls back to the cheapest path when nothing fits.
+     */
+    const LutEntry &select(double resource_budget, bool *met) const;
+
+    /** Run one dynamic inference. */
+    DrtResult infer(const Tensor &image, double resource_budget);
+
+    const AccuracyResourceLut &lut() const { return lut_; }
+
+    /** Graph of a prepared path (for inspection/tests). */
+    const Graph &pathGraph(size_t index) const;
+
+    size_t numPaths() const { return paths_.size(); }
+
+  private:
+    struct Path
+    {
+        std::unique_ptr<Graph> graph;
+        std::unique_ptr<Executor> executor;
+    };
+
+    AccuracyResourceLut lut_;
+    std::vector<Path> paths_; ///< Parallel to lut_.entries().
+};
+
+/**
+ * Register the full (unpruned) layer dimensions of @p full_graph on
+ * @p executor so a pruned graph's executor slices the same weights
+ * (the paper's "same model weights" property).
+ */
+void registerFullDims(const Graph &full_graph, Executor &executor);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ENGINE_ENGINE_HH

@@ -1,0 +1,143 @@
+#include "engine/lut.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+AccuracyResourceLut::AccuracyResourceLut(
+    const std::vector<TradeoffPoint> &points, std::string resource_unit)
+    : unit_(std::move(resource_unit))
+{
+    for (const TradeoffPoint &point : paretoFrontier(points)) {
+        LutEntry entry;
+        entry.config = point.config;
+        entry.resourceCost = point.absoluteUtil;
+        entry.normalizedCost = point.normalizedUtil;
+        entry.accuracyEstimate = point.normalizedMiou;
+        entries_.push_back(std::move(entry));
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [](const LutEntry &a, const LutEntry &b) {
+                  return a.resourceCost < b.resourceCost;
+              });
+}
+
+const LutEntry *
+AccuracyResourceLut::lookup(double budget) const
+{
+    const LutEntry *best = nullptr;
+    for (const LutEntry &entry : entries_) {
+        if (entry.resourceCost > budget)
+            break; // ascending cost: nothing later fits either
+        if (!best || entry.accuracyEstimate > best->accuracyEstimate)
+            best = &entry;
+    }
+    return best;
+}
+
+const LutEntry &
+AccuracyResourceLut::cheapest() const
+{
+    vitdyn_assert(!entries_.empty(), "empty LUT");
+    return entries_.front();
+}
+
+std::string
+AccuracyResourceLut::toCsv() const
+{
+    std::ostringstream oss;
+    oss << "unit," << unit_ << "\n";
+    oss << "label,d0,d1,d2,d3,fuse,pred,dl0,cost,norm_cost,accuracy\n";
+    oss.precision(12);
+    for (const LutEntry &e : entries_) {
+        oss << e.config.label;
+        for (int i = 0; i < 4; ++i)
+            oss << "," << e.config.depths[i];
+        oss << "," << e.config.fuseInChannels << ","
+            << e.config.predInChannels << ","
+            << e.config.decodeLinear0InChannels << "," << e.resourceCost
+            << "," << e.normalizedCost << "," << e.accuracyEstimate
+            << "\n";
+    }
+    return oss.str();
+}
+
+void
+AccuracyResourceLut::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        vitdyn_fatal("cannot open '", path, "' for writing");
+    out << toCsv();
+}
+
+AccuracyResourceLut
+AccuracyResourceLut::fromCsv(const std::string &csv)
+{
+    std::istringstream in(csv);
+    std::string line;
+
+    AccuracyResourceLut lut;
+    if (!std::getline(in, line) || line.rfind("unit,", 0) != 0)
+        vitdyn_fatal("LUT csv: missing unit header");
+    lut.unit_ = line.substr(5);
+    if (!std::getline(in, line) || line.rfind("label,", 0) != 0)
+        vitdyn_fatal("LUT csv: missing column header");
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::string cell;
+        auto next = [&]() {
+            if (!std::getline(row, cell, ','))
+                vitdyn_fatal("LUT csv: truncated row '", line, "'");
+            return cell;
+        };
+        LutEntry e;
+        e.config.label = next();
+        for (int i = 0; i < 4; ++i)
+            e.config.depths[i] = std::stoll(next());
+        e.config.fuseInChannels = std::stoll(next());
+        e.config.predInChannels = std::stoll(next());
+        e.config.decodeLinear0InChannels = std::stoll(next());
+        e.resourceCost = std::stod(next());
+        e.normalizedCost = std::stod(next());
+        e.accuracyEstimate = std::stod(next());
+        lut.entries_.push_back(std::move(e));
+    }
+    std::sort(lut.entries_.begin(), lut.entries_.end(),
+              [](const LutEntry &a, const LutEntry &b) {
+                  return a.resourceCost < b.resourceCost;
+              });
+    return lut;
+}
+
+AccuracyResourceLut
+AccuracyResourceLut::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        vitdyn_fatal("cannot open '", path, "' for reading");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return fromCsv(oss.str());
+}
+
+const LutEntry &
+AccuracyResourceLut::best() const
+{
+    vitdyn_assert(!entries_.empty(), "empty LUT");
+    const LutEntry *best = &entries_.front();
+    for (const LutEntry &entry : entries_)
+        if (entry.accuracyEstimate > best->accuracyEstimate)
+            best = &entry;
+    return *best;
+}
+
+} // namespace vitdyn

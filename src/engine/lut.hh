@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The 'A' block of Figure 8: a lookup table of Pareto-optimal model
+ * configurations keyed by resource cost, built offline from the
+ * Section III sweep (inference experiments only, no training).
+ */
+
+#ifndef VITDYN_ENGINE_LUT_HH
+#define VITDYN_ENGINE_LUT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resilience/pareto.hh"
+
+namespace vitdyn
+{
+
+/** One row of the accuracy-vs-resource LUT. */
+struct LutEntry
+{
+    PruneConfig config;
+    double resourceCost = 0.0;    ///< Native units (ms, mJ, cycles...).
+    double normalizedCost = 1.0;  ///< Relative to the full model.
+    double accuracyEstimate = 1.0;///< Normalized mIoU estimate.
+};
+
+/** Pareto-optimal configurations sorted by ascending resource cost. */
+class AccuracyResourceLut
+{
+  public:
+    AccuracyResourceLut() = default;
+
+    /**
+     * Build from sweep results: keeps only the Pareto frontier and
+     * sorts by cost. @p resource_unit is a label for reports ("ms",
+     * "cycles", "mJ").
+     */
+    AccuracyResourceLut(const std::vector<TradeoffPoint> &points,
+                        std::string resource_unit);
+
+    /**
+     * Highest-accuracy entry whose cost fits within @p budget, or
+     * nullptr when even the cheapest entry exceeds it.
+     */
+    const LutEntry *lookup(double budget) const;
+
+    /** Cheapest entry (fallback when no entry meets the budget). */
+    const LutEntry &cheapest() const;
+
+    /** Most accurate (most expensive) entry — the full model. */
+    const LutEntry &best() const;
+
+    const std::vector<LutEntry> &entries() const { return entries_; }
+    const std::string &resourceUnit() const { return unit_; }
+    bool empty() const { return entries_.empty(); }
+
+    /**
+     * Persist the LUT as CSV. Section IV stresses the LUT is built
+     * offline from inference experiments; serialization lets a
+     * deployment load it without re-running the sweep.
+     */
+    std::string toCsv() const;
+
+    /** Write toCsv() to @p path; fatal on I/O error. */
+    void save(const std::string &path) const;
+
+    /** Parse a LUT from CSV text (as produced by toCsv). */
+    static AccuracyResourceLut fromCsv(const std::string &csv);
+
+    /** Load from a file written by save(). */
+    static AccuracyResourceLut load(const std::string &path);
+
+  private:
+    std::vector<LutEntry> entries_; ///< Ascending cost.
+    std::string unit_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_ENGINE_LUT_HH

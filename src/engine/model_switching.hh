@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Model switching vs dynamic pruning (Section III's comparison and
+ * footnote 1): for small savings, pruning the big pretrained model
+ * wins because it keeps the large model's accuracy; past a crossover
+ * (~25% savings for SegFormer-ADE, ~20% for Swin-Base, per the
+ * paper), switching to a smaller *retrained* variant dominates. This
+ * engine builds one combined Pareto LUT over both families and
+ * reports the crossover.
+ */
+
+#ifndef VITDYN_ENGINE_MODEL_SWITCHING_HH
+#define VITDYN_ENGINE_MODEL_SWITCHING_HH
+
+#include <string>
+#include <vector>
+
+#include "engine/lut.hh"
+#include "resilience/sweep.hh"
+
+namespace vitdyn
+{
+
+/** One trained model variant (e.g. SegFormer-B0/B1/B2). */
+struct TrainedVariant
+{
+    std::string name;
+    /** Accuracy relative to the largest variant of the family. */
+    double normalizedMiou = 1.0;
+    SegformerConfig segConfig;
+    SwinConfig swinConfig;
+};
+
+/** Combined trained-variant + pruned-path selection. */
+class ModelSwitchingEngine
+{
+  public:
+    /**
+     * @param family      model family of all variants/candidates.
+     * @param variants    trained variants, largest (reference) first;
+     *                    pruning candidates apply to variants[0].
+     * @param candidates  pruned execution paths of the reference.
+     * @param accuracy    accuracy model for the pruned paths.
+     * @param cost        resource cost (same unit for everything).
+     */
+    ModelSwitchingEngine(ModelFamily family,
+                         std::vector<TrainedVariant> variants,
+                         const std::vector<PruneConfig> &candidates,
+                         const AccuracyModel &accuracy,
+                         const GraphCostFn &cost);
+
+    /** What the combined frontier selects for a budget. */
+    struct Choice
+    {
+        bool isTrainedVariant = false;
+        std::string name;      ///< Variant name or prune label.
+        double cost = 0.0;
+        double normalizedCost = 1.0;
+        double accuracy = 0.0;
+        bool budgetMet = false;
+    };
+
+    Choice select(double budget) const;
+
+    /**
+     * Normalized cost below which every frontier entry is a trained
+     * variant — i.e. the crossover where the paper recommends
+     * switching models instead of pruning further.
+     */
+    double switchoverNormalizedCost() const;
+
+    /** Build the graph for a selected choice. */
+    Graph buildChoice(const Choice &choice) const;
+
+    const AccuracyResourceLut &lut() const { return lut_; }
+
+  private:
+    static constexpr const char *kTrainedPrefix = "trained:";
+
+    ModelFamily family_;
+    std::vector<TrainedVariant> variants_;
+    std::vector<PruneConfig> candidates_;
+    AccuracyResourceLut lut_;
+};
+
+/** SegFormer B0/B1/B2 trained variants for a dataset preset. */
+std::vector<TrainedVariant>
+segformerTrainedVariants(bool cityscapes = false);
+
+/** Swin Tiny/Small/Base trained variants (ADE20K). */
+std::vector<TrainedVariant> swinTrainedVariants();
+
+} // namespace vitdyn
+
+#endif // VITDYN_ENGINE_MODEL_SWITCHING_HH

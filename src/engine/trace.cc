@@ -1,0 +1,100 @@
+#include "engine/trace.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+
+BudgetTrace
+makeSinusoidalTrace(int frames, double min_budget, double max_budget,
+                    double period, double jitter, uint64_t seed)
+{
+    vitdyn_assert(frames > 0 && max_budget >= min_budget &&
+                  period > 0.0,
+                  "bad sinusoidal trace parameters");
+    Rng rng(seed);
+    BudgetTrace trace;
+    trace.name = "sinusoidal";
+    trace.budgets.reserve(frames);
+    const double mid = (max_budget + min_budget) / 2.0;
+    const double amp = (max_budget - min_budget) / 2.0;
+    for (int i = 0; i < frames; ++i) {
+        const double phase = 2.0 * M_PI * i / period;
+        double budget = mid + amp * std::sin(phase) +
+                        jitter * amp * rng.uniform(-1.0, 1.0);
+        trace.budgets.push_back(std::max(0.0, budget));
+    }
+    return trace;
+}
+
+BudgetTrace
+makeBurstyTrace(int frames, double ample_budget, double burst_budget,
+                double burst_prob, uint64_t seed)
+{
+    vitdyn_assert(frames > 0 && burst_prob >= 0.0 && burst_prob <= 1.0,
+                  "bad bursty trace parameters");
+    Rng rng(seed);
+    BudgetTrace trace;
+    trace.name = "bursty";
+    trace.budgets.reserve(frames);
+    for (int i = 0; i < frames; ++i)
+        trace.budgets.push_back(rng.uniform() < burst_prob
+                                    ? burst_budget
+                                    : ample_budget);
+    return trace;
+}
+
+BudgetTrace
+makeStepTrace(int frames, double before, double after, int step_at)
+{
+    vitdyn_assert(frames > 0 && step_at >= 0, "bad step trace");
+    BudgetTrace trace;
+    trace.name = "step";
+    trace.budgets.reserve(frames);
+    for (int i = 0; i < frames; ++i)
+        trace.budgets.push_back(i < step_at ? before : after);
+    return trace;
+}
+
+TraceStats
+runTrace(const AccuracyResourceLut &lut, const BudgetTrace &trace)
+{
+    vitdyn_assert(!lut.empty(), "runTrace needs a non-empty LUT");
+
+    TraceStats stats;
+    stats.frames = static_cast<int>(trace.budgets.size());
+    const double best_acc = lut.best().accuracyEstimate;
+
+    std::string previous;
+    double acc_sum = 0.0;
+    double headroom_sum = 0.0;
+    int met_frames = 0;
+
+    for (double budget : trace.budgets) {
+        const LutEntry *entry = lut.lookup(budget);
+        if (!entry) {
+            ++stats.budgetMisses;
+            entry = &lut.cheapest();
+        } else {
+            ++met_frames;
+            headroom_sum += (budget - entry->resourceCost) /
+                            std::max(budget, 1e-12);
+        }
+        acc_sum += entry->accuracyEstimate;
+        stats.minAccuracy =
+            std::min(stats.minAccuracy, entry->accuracyEstimate);
+        if (!previous.empty() && previous != entry->config.label)
+            ++stats.pathSwitches;
+        previous = entry->config.label;
+    }
+
+    stats.meanAccuracy = stats.frames ? acc_sum / stats.frames : 0.0;
+    stats.meanHeadroom = met_frames ? headroom_sum / met_frames : 0.0;
+    stats.accuracyGapToBest = best_acc - stats.meanAccuracy;
+    return stats;
+}
+
+} // namespace vitdyn

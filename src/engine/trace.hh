@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Resource-budget traces and trace-driven DRT evaluation.
+ *
+ * The paper motivates dynamic inference with real-time systems whose
+ * available resources "vary considerably" frame to frame (autonomous
+ * driving, video conferencing). This module generates representative
+ * budget traces — smooth load swings, bursty interference, and a step
+ * change — and scores a LUT-driven engine over them: mean/min
+ * delivered accuracy, deadline compliance, and how often the engine
+ * switches execution paths.
+ */
+
+#ifndef VITDYN_ENGINE_TRACE_HH
+#define VITDYN_ENGINE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/lut.hh"
+
+namespace vitdyn
+{
+
+/** A per-inference resource budget series (LUT-native units). */
+struct BudgetTrace
+{
+    std::string name;
+    std::vector<double> budgets;
+};
+
+/** Smooth sinusoidal system load with jitter. */
+BudgetTrace makeSinusoidalTrace(int frames, double min_budget,
+                                double max_budget, double period,
+                                double jitter, uint64_t seed);
+
+/** Mostly-ample budget with random interference bursts. */
+BudgetTrace makeBurstyTrace(int frames, double ample_budget,
+                            double burst_budget, double burst_prob,
+                            uint64_t seed);
+
+/** A step change (e.g. a co-running task starts mid-stream). */
+BudgetTrace makeStepTrace(int frames, double before, double after,
+                          int step_at);
+
+/** Aggregate outcome of running a LUT over a trace. */
+struct TraceStats
+{
+    int frames = 0;
+    int budgetMisses = 0;     ///< Even the cheapest path exceeded it.
+    int pathSwitches = 0;     ///< Frame-to-frame config changes.
+    double meanAccuracy = 0.0;
+    double minAccuracy = 1.0;
+    double meanHeadroom = 0.0;///< (budget - cost) / budget, met frames.
+    /** Accuracy lost vs running the best path every frame. */
+    double accuracyGapToBest = 0.0;
+};
+
+/** Evaluate the selection policy of @p lut over @p trace. */
+TraceStats runTrace(const AccuracyResourceLut &lut,
+                    const BudgetTrace &trace);
+
+} // namespace vitdyn
+
+#endif // VITDYN_ENGINE_TRACE_HH

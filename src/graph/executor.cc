@@ -1,0 +1,441 @@
+#include "graph/executor.hh"
+
+#include <cmath>
+
+#include "tensor/ops.hh"
+#include "tensor/quant.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/** FNV-1a hash of a string, for stable per-layer weight seeds. */
+uint64_t
+hashName(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Slice the leading [out, in] block of a rank-4 KCRS weight tensor. */
+Tensor
+sliceConvWeight(const Tensor &full, int64_t k, int64_t c)
+{
+    const int64_t r = full.dim(2);
+    const int64_t s = full.dim(3);
+    Tensor out({k, c, r, s});
+    for (int64_t kk = 0; kk < k; ++kk)
+        for (int64_t cc = 0; cc < c; ++cc)
+            for (int64_t rr = 0; rr < r; ++rr)
+                for (int64_t ss = 0; ss < s; ++ss)
+                    out.at4(kk, cc, rr, ss) = full.at4(kk, cc, rr, ss);
+    return out;
+}
+
+/** Slice the leading [out, in] block of a rank-2 linear weight tensor. */
+Tensor
+sliceLinearWeight(const Tensor &full, int64_t out_f, int64_t in_f)
+{
+    Tensor out({out_f, in_f});
+    for (int64_t o = 0; o < out_f; ++o)
+        for (int64_t i = 0; i < in_f; ++i)
+            out.at2(o, i) = full.at2(o, i);
+    return out;
+}
+
+/** Slice the first @p n entries of a rank-1 tensor. */
+Tensor
+sliceVector(const Tensor &full, int64_t n)
+{
+    Tensor out({n});
+    for (int64_t i = 0; i < n; ++i)
+        out[i] = full[i];
+    return out;
+}
+
+} // namespace
+
+Executor::Executor(const Graph &graph, uint64_t seed)
+    : graph_(graph), seed_(seed)
+{
+}
+
+void
+Executor::setFullDims(const std::string &layer_name, int64_t full_out,
+                      int64_t full_in)
+{
+    fullDims_[layer_name] = {full_out, full_in};
+}
+
+const Executor::LayerWeights &
+Executor::weightsFor(const Layer &layer)
+{
+    auto it = cache_.find(layer.id);
+    if (it != cache_.end())
+        return it->second;
+
+    Rng rng(seed_ ^ hashName(layer.name));
+    LayerWeights lw;
+    const LayerAttrs &a = layer.attrs;
+
+    // Full (unpruned) dimensions: default to the layer's own, override
+    // from the registered full model dims so pruned graphs share weights.
+    int64_t full_out = 0;
+    int64_t full_in = 0;
+    if (auto fit = fullDims_.find(layer.name); fit != fullDims_.end()) {
+        full_out = fit->second.first;
+        full_in = fit->second.second;
+    }
+
+    switch (layer.kind) {
+      case LayerKind::Conv2d: {
+        const int64_t cg = a.inChannels / a.groups;
+        const int64_t fo = std::max(full_out, a.outChannels);
+        const int64_t fi = std::max(full_in / a.groups, cg);
+        Tensor full = Tensor::heInit({fo, fi, a.kernelH, a.kernelW}, rng,
+                                     fi * a.kernelH * a.kernelW);
+        lw.weight = (fo == a.outChannels && fi == cg)
+                        ? std::move(full)
+                        : sliceConvWeight(full, a.outChannels, cg);
+        if (a.hasBias) {
+            Tensor fb = Tensor::randn({fo}, rng, 0.0f, 0.01f);
+            lw.bias = fo == a.outChannels ? std::move(fb)
+                                          : sliceVector(fb, a.outChannels);
+        }
+        break;
+      }
+      case LayerKind::Linear: {
+        const int64_t fo = std::max(full_out, a.outFeatures);
+        const int64_t fi = std::max(full_in, a.inFeatures);
+        Tensor full = Tensor::heInit({fo, fi}, rng, fi);
+        lw.weight = (fo == a.outFeatures && fi == a.inFeatures)
+                        ? std::move(full)
+                        : sliceLinearWeight(full, a.outFeatures,
+                                            a.inFeatures);
+        if (a.hasBias) {
+            Tensor fb = Tensor::randn({fo}, rng, 0.0f, 0.01f);
+            lw.bias = fo == a.outFeatures ? std::move(fb)
+                                          : sliceVector(fb, a.outFeatures);
+        }
+        break;
+      }
+      case LayerKind::LayerNorm: {
+        const int64_t fi = std::max(full_in, a.inFeatures);
+        Tensor g = Tensor::randn({fi}, rng, 1.0f, 0.02f);
+        Tensor b = Tensor::randn({fi}, rng, 0.0f, 0.02f);
+        lw.weight = fi == a.inFeatures ? std::move(g)
+                                       : sliceVector(g, a.inFeatures);
+        lw.bias = fi == a.inFeatures ? std::move(b)
+                                     : sliceVector(b, a.inFeatures);
+        break;
+      }
+      case LayerKind::BatchNorm: {
+        const int64_t fi = std::max(full_in, a.inChannels);
+        Tensor g = Tensor::randn({fi}, rng, 1.0f, 0.02f);
+        Tensor b = Tensor::randn({fi}, rng, 0.0f, 0.02f);
+        Tensor m = Tensor::randn({fi}, rng, 0.0f, 0.1f);
+        Tensor v = Tensor::randn({fi}, rng, 1.0f, 0.05f);
+        for (int64_t i = 0; i < v.numel(); ++i)
+            v[i] = std::max(0.1f, v[i]);
+        lw.weight = fi == a.inChannels ? std::move(g)
+                                       : sliceVector(g, a.inChannels);
+        lw.bias = fi == a.inChannels ? std::move(b)
+                                     : sliceVector(b, a.inChannels);
+        lw.mean = fi == a.inChannels ? std::move(m)
+                                     : sliceVector(m, a.inChannels);
+        lw.var = fi == a.inChannels ? std::move(v)
+                                    : sliceVector(v, a.inChannels);
+        break;
+      }
+      default:
+        break;
+    }
+
+    return cache_.emplace(layer.id, std::move(lw)).first->second;
+}
+
+Tensor
+Executor::execute(const Layer &layer, const std::vector<Tensor *> &ins)
+{
+    const LayerAttrs &a = layer.attrs;
+
+    if (layer.bypassed)
+        return *ins.at(0);
+
+    switch (layer.kind) {
+      case LayerKind::Input:
+        vitdyn_panic("execute called on Input layer");
+      case LayerKind::Identity:
+        return *ins.at(0);
+      case LayerKind::Conv2d: {
+        const LayerWeights &lw = weightsFor(layer);
+        Conv2dParams p;
+        p.strideH = a.strideH;
+        p.strideW = a.strideW;
+        p.padH = a.padH;
+        p.padW = a.padW;
+        p.groups = a.groups;
+        if (int8_)
+            return conv2dInt8(quantize(*ins.at(0)),
+                              quantize(lw.weight), lw.bias, p);
+        return conv2d(*ins.at(0), lw.weight, lw.bias, p);
+      }
+      case LayerKind::Linear: {
+        const LayerWeights &lw = weightsFor(layer);
+        if (int8_)
+            return linearInt8(quantize(*ins.at(0)),
+                              quantize(lw.weight), lw.bias);
+        return linear(*ins.at(0), lw.weight, lw.bias);
+      }
+      case LayerKind::AttentionScore: {
+        const Tensor &q = *ins.at(0);
+        const Tensor &k = *ins.at(1);
+        const int64_t n = q.dim(0);
+        const int64_t lq = q.dim(1);
+        const int64_t lkv = k.dim(1);
+        const int64_t c = q.dim(2);
+        const int64_t heads = a.numHeads;
+        const int64_t dh = c / heads;
+        const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+        Tensor out({n, heads, lq, lkv});
+        for (int64_t nn = 0; nn < n; ++nn)
+            for (int64_t hh = 0; hh < heads; ++hh)
+                for (int64_t i = 0; i < lq; ++i)
+                    for (int64_t j = 0; j < lkv; ++j) {
+                        float dot = 0.0f;
+                        for (int64_t d = 0; d < dh; ++d)
+                            dot += q.at3(nn, i, hh * dh + d) *
+                                   k.at3(nn, j, hh * dh + d);
+                        out.at4(nn, hh, i, j) = dot * scale;
+                    }
+        return out;
+      }
+      case LayerKind::AttentionContext: {
+        const Tensor &s = *ins.at(0);
+        const Tensor &v = *ins.at(1);
+        const int64_t n = s.dim(0);
+        const int64_t heads = s.dim(1);
+        const int64_t lq = s.dim(2);
+        const int64_t lkv = s.dim(3);
+        const int64_t c = v.dim(2);
+        const int64_t dh = c / heads;
+        Tensor out({n, lq, c});
+        for (int64_t nn = 0; nn < n; ++nn)
+            for (int64_t hh = 0; hh < heads; ++hh)
+                for (int64_t i = 0; i < lq; ++i)
+                    for (int64_t d = 0; d < dh; ++d) {
+                        float acc = 0.0f;
+                        for (int64_t j = 0; j < lkv; ++j)
+                            acc += s.at4(nn, hh, i, j) *
+                                   v.at3(nn, j, hh * dh + d);
+                        out.at3(nn, i, hh * dh + d) = acc;
+                    }
+        return out;
+      }
+      case LayerKind::Softmax:
+        return softmax(*ins.at(0));
+      case LayerKind::LayerNorm: {
+        const LayerWeights &lw = weightsFor(layer);
+        return layerNorm(*ins.at(0), lw.weight, lw.bias);
+      }
+      case LayerKind::BatchNorm: {
+        const LayerWeights &lw = weightsFor(layer);
+        return batchNorm(*ins.at(0), lw.weight, lw.bias, lw.mean, lw.var);
+      }
+      case LayerKind::ReLU:
+        return relu(*ins.at(0));
+      case LayerKind::GELU:
+        return gelu(*ins.at(0));
+      case LayerKind::Add:
+        return add(*ins.at(0), *ins.at(1));
+      case LayerKind::Concat: {
+        if (ins.at(0)->rank() == 3) {
+            // Token-dimension concat of (N, L_i, C) sequences.
+            const int64_t n = ins[0]->dim(0);
+            const int64_t c = ins[0]->dim(2);
+            int64_t total_l = 0;
+            for (Tensor *t : ins)
+                total_l += t->dim(1);
+            Tensor out({n, total_l, c});
+            for (int64_t nn = 0; nn < n; ++nn) {
+                int64_t off = 0;
+                for (Tensor *t : ins) {
+                    const int64_t l = t->dim(1);
+                    const float *src = t->data() + nn * l * c;
+                    float *dst = out.data() + (nn * total_l + off) * c;
+                    std::copy(src, src + l * c, dst);
+                    off += l;
+                }
+            }
+            return out;
+        }
+        std::vector<Tensor> parts;
+        parts.reserve(ins.size());
+        for (Tensor *t : ins)
+            parts.push_back(*t);
+        return concatChannels(parts);
+      }
+      case LayerKind::Interpolate:
+        return interpolateBilinear(*ins.at(0), a.outH, a.outW);
+      case LayerKind::MaxPool:
+        return maxPool2d(*ins.at(0), a.kernelH, a.strideH, a.padH);
+      case LayerKind::AvgPool:
+        return adaptiveAvgPool2d(*ins.at(0), a.outH, a.outW);
+      case LayerKind::TokensToImage:
+        return tokensToNchw(*ins.at(0), a.gridH, a.gridW);
+      case LayerKind::ImageToTokens:
+        return nchwToTokens(*ins.at(0));
+      case LayerKind::Patchify: {
+        const Tensor &in = *ins.at(0);
+        const int64_t p = a.kernelH;
+        const int64_t n = in.dim(0);
+        const int64_t c = in.dim(1);
+        const int64_t gh = in.dim(2) / p;
+        const int64_t gw = in.dim(3) / p;
+        Tensor out({n, gh * gw, c * p * p});
+        for (int64_t nn = 0; nn < n; ++nn)
+            for (int64_t gy = 0; gy < gh; ++gy)
+                for (int64_t gx = 0; gx < gw; ++gx)
+                    for (int64_t cc = 0; cc < c; ++cc)
+                        for (int64_t py = 0; py < p; ++py)
+                            for (int64_t px = 0; px < p; ++px)
+                                out.at3(nn, gy * gw + gx,
+                                        (cc * p + py) * p + px) =
+                                    in.at4(nn, cc, gy * p + py,
+                                           gx * p + px);
+        return out;
+      }
+      case LayerKind::WindowPartition:
+        return windowPartition(*ins.at(0), a.gridH, a.gridW, a.window);
+      case LayerKind::WindowReverse: {
+        const int64_t nw = (a.gridH / a.window) * (a.gridW / a.window);
+        return windowReverse(*ins.at(0), a.gridH, a.gridW, a.window,
+                             ins.at(0)->dim(0) / nw);
+      }
+      case LayerKind::Narrow: {
+        const Tensor &in = *ins.at(0);
+        const int64_t keep = a.outChannels;
+        if (in.rank() == 4) {
+            const int64_t n = in.dim(0);
+            const int64_t h = in.dim(2);
+            const int64_t w = in.dim(3);
+            Tensor out({n, keep, h, w});
+            for (int64_t nn = 0; nn < n; ++nn)
+                for (int64_t cc = 0; cc < keep; ++cc)
+                    for (int64_t hh = 0; hh < h; ++hh)
+                        for (int64_t ww = 0; ww < w; ++ww)
+                            out.at4(nn, cc, hh, ww) =
+                                in.at4(nn, cc, hh, ww);
+            return out;
+        }
+        // Token layout: slice the last dimension.
+        const int64_t c = in.dim(-1);
+        const int64_t rows = in.numel() / c;
+        Shape out_shape = in.shape();
+        out_shape.back() = keep;
+        Tensor out(out_shape);
+        for (int64_t r = 0; r < rows; ++r)
+            for (int64_t i = 0; i < keep; ++i)
+                out[r * keep + i] = in[r * c + i];
+        return out;
+      }
+    }
+    vitdyn_panic("unhandled layer kind in execute");
+}
+
+std::map<std::string, Tensor>
+Executor::run(const std::map<std::string, Tensor> &inputs)
+{
+    const size_t n = graph_.numLayers();
+    std::vector<Tensor> values(n);
+    std::vector<bool> computed(n, false);
+
+    // Liveness: free each activation after its last consumer runs.
+    std::vector<int> last_use(n, -1);
+    for (const Layer &layer : graph_.layers())
+        for (int in_id : layer.inputs)
+            last_use[in_id] = std::max(last_use[in_id], layer.id);
+    std::vector<bool> is_output(n, false);
+    for (int out_id : graph_.outputs())
+        is_output[out_id] = true;
+
+    stats_ = RunStats{};
+    size_t live_bytes = 0;
+    size_t live_tensors = 0;
+
+    for (const Layer &layer : graph_.layers()) {
+        if (layer.kind == LayerKind::Input) {
+            auto it = inputs.find(layer.name);
+            if (it == inputs.end())
+                vitdyn_fatal("missing input tensor '", layer.name, "'");
+            vitdyn_assert(it->second.shape() == layer.outShape,
+                          "input '", layer.name, "' shape ",
+                          shapeToString(it->second.shape()),
+                          " != declared ", shapeToString(layer.outShape));
+            values[layer.id] = it->second;
+        } else {
+            std::vector<Tensor *> ins;
+            ins.reserve(layer.inputs.size());
+            for (int in_id : layer.inputs) {
+                vitdyn_assert(computed[in_id] ||
+                              graph_.layer(in_id).kind == LayerKind::Input,
+                              "layer '", layer.name,
+                              "' consumed before producer ran");
+                ins.push_back(&values[in_id]);
+            }
+            values[layer.id] = execute(layer, ins);
+        }
+        computed[layer.id] = true;
+
+        const size_t bytes =
+            static_cast<size_t>(values[layer.id].numel()) * 4;
+        live_bytes += bytes;
+        ++live_tensors;
+        stats_.totalBytes += bytes;
+        stats_.peakLiveBytes = std::max(stats_.peakLiveBytes,
+                                        live_bytes);
+        stats_.peakLiveTensors = std::max(stats_.peakLiveTensors,
+                                          live_tensors);
+
+        // Release producers whose final consumer just ran. A producer
+        // can appear twice in one input list (e.g. Add(x, x)): only
+        // free it once.
+        for (int in_id : layer.inputs) {
+            if (last_use[in_id] == layer.id && !is_output[in_id] &&
+                values[in_id].numel() > 0) {
+                live_bytes -=
+                    static_cast<size_t>(values[in_id].numel()) * 4;
+                --live_tensors;
+                values[in_id] = Tensor{};
+            }
+        }
+    }
+
+    std::map<std::string, Tensor> outs;
+    for (int out_id : graph_.outputs())
+        outs[graph_.layer(out_id).name] = values[out_id];
+    return outs;
+}
+
+Tensor
+Executor::runSimple(const Tensor &input)
+{
+    vitdyn_assert(graph_.inputs().size() == 1,
+                  "runSimple needs exactly one graph input");
+    vitdyn_assert(graph_.outputs().size() == 1,
+                  "runSimple needs exactly one graph output");
+    std::map<std::string, Tensor> ins;
+    ins[graph_.layer(graph_.inputs()[0]).name] = input;
+    auto outs = run(ins);
+    return outs.begin()->second;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reference executor: interprets a Graph against real tensors.
+ *
+ * Weights are synthesized deterministically per layer (He-initialized from
+ * a seed mixed with the layer id), standing in for pretrained checkpoints
+ * we do not have (see DESIGN.md substitutions). Because the same seed and
+ * the same layer naming produce the same weights, a pruned graph derived
+ * from a full graph shares the surviving weight slices with the original
+ * — exactly the paper's "same model weights, different execution path"
+ * property. This is implemented by generating each layer's full-size
+ * weight tensor first and slicing it to the (possibly pruned) layer
+ * dimensions.
+ */
+
+#ifndef VITDYN_GRAPH_EXECUTOR_HH
+#define VITDYN_GRAPH_EXECUTOR_HH
+
+#include <map>
+#include <string>
+
+#include "graph/graph.hh"
+#include "tensor/tensor.hh"
+
+namespace vitdyn
+{
+
+/** Runs a Graph on tensor inputs with synthetic deterministic weights. */
+class Executor
+{
+  public:
+    /**
+     * @param graph  the model to execute (not owned; must outlive us).
+     * @param seed   weight synthesis seed; equal seeds + layer names give
+     *               equal weights.
+     * @param full_dims  optional map layer-name -> (out, in) channel
+     *               extents of the *unpruned* model. When present, weights
+     *               are generated at the full size and sliced, so pruned
+     *               and full models share weights.
+     */
+    explicit Executor(const Graph &graph, uint64_t seed = 1);
+
+    /**
+     * Record the full (unpruned) dimensions for a layer so a pruned
+     * executor slices instead of regenerating. Extents beyond the
+     * layer's current dims must be >= the current ones.
+     */
+    void setFullDims(const std::string &layer_name, int64_t full_out,
+                     int64_t full_in);
+
+    /**
+     * Execute conv and linear layers through the INT8 path (symmetric
+     * per-tensor quantization with int32 accumulation) — the
+     * arithmetic the Section V accelerator performs. Everything else
+     * stays float.
+     */
+    void setInt8(bool enable) { int8_ = enable; }
+    bool int8() const { return int8_; }
+
+    /** Run the graph; @p inputs maps graph-input name to tensor. */
+    std::map<std::string, Tensor>
+    run(const std::map<std::string, Tensor> &inputs);
+
+    /** Single-input single-output convenience wrapper. */
+    Tensor runSimple(const Tensor &input);
+
+    /** Activation-memory accounting of the most recent run(). */
+    struct RunStats
+    {
+        size_t peakLiveTensors = 0;
+        size_t peakLiveBytes = 0;  ///< fp32 activation bytes.
+        size_t totalBytes = 0;     ///< Sum of all layer outputs.
+    };
+
+    /**
+     * Stats from the last run. The executor frees each activation
+     * after its final consumer executes, so peakLiveBytes is far
+     * below totalBytes on deep graphs.
+     */
+    const RunStats &lastRunStats() const { return stats_; }
+
+  private:
+    /** Generate (and cache) the weight tensors for a layer. */
+    struct LayerWeights
+    {
+        Tensor weight;
+        Tensor bias;
+        Tensor mean; ///< BatchNorm running mean.
+        Tensor var;  ///< BatchNorm running variance.
+    };
+
+    const LayerWeights &weightsFor(const Layer &layer);
+
+    Tensor execute(const Layer &layer, const std::vector<Tensor *> &ins);
+
+    const Graph &graph_;
+    uint64_t seed_;
+    bool int8_ = false;
+    RunStats stats_;
+    std::map<std::string, std::pair<int64_t, int64_t>> fullDims_;
+    std::map<int, LayerWeights> cache_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_GRAPH_EXECUTOR_HH

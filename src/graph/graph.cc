@@ -1,0 +1,275 @@
+#include "graph/graph.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+Graph::Graph(std::string name)
+    : name_(std::move(name))
+{
+}
+
+int
+Graph::addInput(const std::string &name, Shape shape)
+{
+    Layer layer;
+    layer.id = static_cast<int>(layers_.size());
+    layer.name = name;
+    layer.kind = LayerKind::Input;
+    layer.outShape = std::move(shape);
+    layers_.push_back(std::move(layer));
+    inputs_.push_back(layers_.back().id);
+    return layers_.back().id;
+}
+
+int
+Graph::addLayer(Layer layer)
+{
+    vitdyn_assert(layer.kind != LayerKind::Input,
+                  "use addInput for graph inputs");
+    layer.id = static_cast<int>(layers_.size());
+
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(layer.inputs.size());
+    for (int in_id : layer.inputs) {
+        vitdyn_assert(in_id >= 0 && in_id < layer.id,
+                      "layer '", layer.name, "' references id ", in_id,
+                      " out of range (must precede id ", layer.id, ")");
+        in_shapes.push_back(layers_[in_id].outShape);
+    }
+    layer.outShape = inferShape(layer, in_shapes);
+    layers_.push_back(std::move(layer));
+    return layers_.back().id;
+}
+
+int
+Graph::addOutput(Layer layer)
+{
+    const int id = addLayer(std::move(layer));
+    outputs_.push_back(id);
+    return id;
+}
+
+void
+Graph::markOutput(int id)
+{
+    vitdyn_assert(id >= 0 && id < static_cast<int>(layers_.size()),
+                  "markOutput: bad id ", id);
+    outputs_.push_back(id);
+}
+
+void
+Graph::setOutputs(std::vector<int> outputs)
+{
+    for (int id : outputs)
+        vitdyn_assert(id >= 0 && id < static_cast<int>(layers_.size()),
+                      "setOutputs: bad id ", id);
+    outputs_ = std::move(outputs);
+}
+
+int
+Graph::appendUnordered(Layer layer)
+{
+    vitdyn_assert(layer.kind != LayerKind::Input,
+                  "use addInput for graph inputs");
+    layer.id = static_cast<int>(layers_.size());
+
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(layer.inputs.size());
+    for (int in_id : layer.inputs) {
+        vitdyn_assert(in_id >= 0 && in_id < layer.id,
+                      "appendUnordered: unknown producer id ", in_id);
+        in_shapes.push_back(layers_[in_id].outShape);
+    }
+    layer.outShape = inferShape(layer, in_shapes);
+    layers_.push_back(std::move(layer));
+    return layers_.back().id;
+}
+
+void
+Graph::normalize()
+{
+    const int n = static_cast<int>(layers_.size());
+
+    // Reachability: walk backwards from the outputs.
+    std::vector<bool> live(n, false);
+    std::vector<int> stack = outputs_;
+    for (const Layer &layer : layers_)
+        if (layer.kind == LayerKind::Input)
+            stack.push_back(layer.id);
+    while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        if (live[id])
+            continue;
+        live[id] = true;
+        for (int in_id : layers_[id].inputs)
+            stack.push_back(in_id);
+    }
+
+    // Kahn topological sort over the live subgraph.
+    std::vector<int> indegree(n, 0);
+    std::vector<std::vector<int>> consumers(n);
+    for (const Layer &layer : layers_) {
+        if (!live[layer.id])
+            continue;
+        for (int in_id : layer.inputs) {
+            ++indegree[layer.id];
+            consumers[in_id].push_back(layer.id);
+        }
+    }
+
+    std::vector<int> order;
+    order.reserve(n);
+    // Seed with all live zero-indegree layers, in id order for stability.
+    for (int id = 0; id < n; ++id)
+        if (live[id] && indegree[id] == 0)
+            order.push_back(id);
+    for (size_t i = 0; i < order.size(); ++i) {
+        for (int next : consumers[order[i]]) {
+            if (--indegree[next] == 0)
+                order.push_back(next);
+        }
+    }
+
+    int live_count = 0;
+    for (int id = 0; id < n; ++id)
+        live_count += live[id] ? 1 : 0;
+    vitdyn_assert(static_cast<int>(order.size()) == live_count,
+                  "cycle detected in graph '", name_, "'");
+
+    std::vector<int> old_to_new(n, -1);
+    for (size_t i = 0; i < order.size(); ++i)
+        old_to_new[order[i]] = static_cast<int>(i);
+
+    std::vector<Layer> new_layers;
+    new_layers.reserve(order.size());
+    for (int old_id : order) {
+        Layer layer = std::move(layers_[old_id]);
+        layer.id = old_to_new[old_id];
+        for (int &in_id : layer.inputs)
+            in_id = old_to_new[in_id];
+        new_layers.push_back(std::move(layer));
+    }
+    layers_ = std::move(new_layers);
+
+    for (int &id : inputs_)
+        id = old_to_new[id];
+    for (int &id : outputs_)
+        id = old_to_new[id];
+
+    recomputeShapes();
+}
+
+const Layer &
+Graph::layer(int id) const
+{
+    vitdyn_assert(id >= 0 && id < static_cast<int>(layers_.size()),
+                  "layer id ", id, " out of range");
+    return layers_[id];
+}
+
+Layer &
+Graph::layer(int id)
+{
+    vitdyn_assert(id >= 0 && id < static_cast<int>(layers_.size()),
+                  "layer id ", id, " out of range");
+    return layers_[id];
+}
+
+int
+Graph::findLayer(const std::string &name) const
+{
+    for (const Layer &layer : layers_)
+        if (layer.name == name)
+            return layer.id;
+    return -1;
+}
+
+std::vector<int>
+Graph::layersInStage(const std::string &prefix) const
+{
+    std::vector<int> out;
+    for (const Layer &layer : layers_)
+        if (layer.stage.rfind(prefix, 0) == 0)
+            out.push_back(layer.id);
+    return out;
+}
+
+std::vector<int>
+Graph::consumersOf(int id) const
+{
+    std::vector<int> out;
+    for (const Layer &layer : layers_)
+        for (int in_id : layer.inputs)
+            if (in_id == id) {
+                out.push_back(layer.id);
+                break;
+            }
+    return out;
+}
+
+int64_t
+Graph::totalFlops() const
+{
+    int64_t total = 0;
+    for (const Layer &layer : layers_)
+        total += layer.flops();
+    return total;
+}
+
+int64_t
+Graph::totalMacs() const
+{
+    int64_t total = 0;
+    for (const Layer &layer : layers_)
+        total += layer.macs();
+    return total;
+}
+
+int64_t
+Graph::totalParams() const
+{
+    int64_t total = 0;
+    for (const Layer &layer : layers_)
+        total += layer.paramCount();
+    return total;
+}
+
+void
+Graph::recomputeShapes()
+{
+    for (Layer &layer : layers_) {
+        if (layer.kind == LayerKind::Input)
+            continue;
+        std::vector<Shape> in_shapes;
+        in_shapes.reserve(layer.inputs.size());
+        for (int in_id : layer.inputs)
+            in_shapes.push_back(layers_[in_id].outShape);
+        layer.outShape = inferShape(layer, in_shapes);
+    }
+}
+
+std::string
+Graph::toString() const
+{
+    std::ostringstream oss;
+    oss << "Graph '" << name_ << "': " << layers_.size() << " layers, "
+        << totalFlops() / 1.0e9 << " GFLOPs, "
+        << totalParams() / 1.0e6 << " M params\n";
+    for (const Layer &layer : layers_) {
+        oss << "  [" << layer.id << "] " << layer.name << " ("
+            << layerKindName(layer.kind) << ") -> "
+            << shapeToString(layer.outShape)
+            << "  " << layer.flops() / 1.0e6 << " MFLOPs";
+        if (layer.bypassed)
+            oss << "  [bypassed]";
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace vitdyn

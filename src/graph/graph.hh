@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Model execution graph: a DAG of Layer nodes in topological order.
+ *
+ * Builders append layers in execution order, so the layer vector is
+ * already a valid topological schedule. Shape inference runs at insertion
+ * time, which means configuration errors (mismatched channels after
+ * surgery, bad strides) surface immediately at graph construction.
+ */
+
+#ifndef VITDYN_GRAPH_GRAPH_HH
+#define VITDYN_GRAPH_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/layer.hh"
+
+namespace vitdyn
+{
+
+/** A complete model as a topologically ordered layer DAG. */
+class Graph
+{
+  public:
+    /** Construct an empty graph with a model name for reporting. */
+    explicit Graph(std::string name = "model");
+
+    /** Add a graph input with a fixed shape; returns its layer id. */
+    int addInput(const std::string &name, Shape shape);
+
+    /**
+     * Append a layer. @p layer.inputs must reference existing ids. The
+     * output shape is inferred and stored. Returns the new layer id.
+     */
+    int addLayer(Layer layer);
+
+    /** Convenience: append and mark as a graph output. */
+    int addOutput(Layer layer);
+
+    /** Mark an existing layer as a graph output. */
+    void markOutput(int id);
+
+    /** Replace the full output list (used by graph surgery). */
+    void setOutputs(std::vector<int> outputs);
+
+    /**
+     * Append a layer whose inputs may reference any existing id, even
+     * ones later in the vector order. Shape inference still runs against
+     * the producers' current shapes. Callers must normalize() before
+     * executing the graph.
+     */
+    int appendUnordered(Layer layer);
+
+    /**
+     * Restore the invariant that vector order is a topological order:
+     * Kahn-sort the layers, renumber ids densely, rewrite all
+     * references, and drop layers unreachable from the outputs
+     * (graph inputs are always kept). Fatal on cycles.
+     */
+    void normalize();
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    size_t numLayers() const { return layers_.size(); }
+    const Layer &layer(int id) const;
+    Layer &layer(int id);
+
+    const std::vector<Layer> &layers() const { return layers_; }
+    std::vector<Layer> &layers() { return layers_; }
+
+    const std::vector<int> &outputs() const { return outputs_; }
+    const std::vector<int> &inputs() const { return inputs_; }
+
+    /** Find a layer id by exact name; -1 if absent. */
+    int findLayer(const std::string &name) const;
+
+    /** All layer ids whose stage tag starts with @p prefix. */
+    std::vector<int> layersInStage(const std::string &prefix) const;
+
+    /** Ids of layers that consume the output of @p id. */
+    std::vector<int> consumersOf(int id) const;
+
+    /** Total FLOPs of all (non-bypassed) layers. */
+    int64_t totalFlops() const;
+
+    /** Total MACs of all (non-bypassed) layers. */
+    int64_t totalMacs() const;
+
+    /** Total learned parameters. */
+    int64_t totalParams() const;
+
+    /**
+     * Re-run shape inference over the whole graph in topological order.
+     * Used after surgery mutates layer attributes. Fatal if the mutated
+     * graph is inconsistent.
+     */
+    void recomputeShapes();
+
+    /** Multi-line human-readable dump (id, name, kind, shape, MFLOPs). */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    std::vector<Layer> layers_;
+    std::vector<int> inputs_;
+    std::vector<int> outputs_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_GRAPH_GRAPH_HH

@@ -1,0 +1,414 @@
+#include "graph/layer.hh"
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Input: return "Input";
+      case LayerKind::Conv2d: return "Conv2d";
+      case LayerKind::Linear: return "Linear";
+      case LayerKind::AttentionScore: return "AttentionScore";
+      case LayerKind::AttentionContext: return "AttentionContext";
+      case LayerKind::Softmax: return "Softmax";
+      case LayerKind::LayerNorm: return "LayerNorm";
+      case LayerKind::BatchNorm: return "BatchNorm";
+      case LayerKind::ReLU: return "ReLU";
+      case LayerKind::GELU: return "GELU";
+      case LayerKind::Add: return "Add";
+      case LayerKind::Concat: return "Concat";
+      case LayerKind::Interpolate: return "Interpolate";
+      case LayerKind::MaxPool: return "MaxPool";
+      case LayerKind::AvgPool: return "AvgPool";
+      case LayerKind::TokensToImage: return "TokensToImage";
+      case LayerKind::ImageToTokens: return "ImageToTokens";
+      case LayerKind::Narrow: return "Narrow";
+      case LayerKind::Patchify: return "Patchify";
+      case LayerKind::WindowPartition: return "WindowPartition";
+      case LayerKind::WindowReverse: return "WindowReverse";
+      case LayerKind::Identity: return "Identity";
+    }
+    return "?";
+}
+
+const char *
+opCategoryName(OpCategory category)
+{
+    switch (category) {
+      case OpCategory::Conv: return "Conv";
+      case OpCategory::MatMul: return "MatMul";
+      case OpCategory::Softmax: return "Softmax";
+      case OpCategory::Norm: return "Norm";
+      case OpCategory::Activation: return "Activation";
+      case OpCategory::Elementwise: return "Elementwise";
+      case OpCategory::Memory: return "Memory";
+      case OpCategory::Other: return "Other";
+    }
+    return "?";
+}
+
+OpCategory
+Layer::category() const
+{
+    switch (kind) {
+      case LayerKind::Conv2d:
+        return OpCategory::Conv;
+      case LayerKind::Linear:
+      case LayerKind::AttentionScore:
+      case LayerKind::AttentionContext:
+        return OpCategory::MatMul;
+      case LayerKind::Softmax:
+        return OpCategory::Softmax;
+      case LayerKind::LayerNorm:
+      case LayerKind::BatchNorm:
+        return OpCategory::Norm;
+      case LayerKind::ReLU:
+      case LayerKind::GELU:
+        return OpCategory::Activation;
+      case LayerKind::Add:
+        return OpCategory::Elementwise;
+      case LayerKind::Concat:
+      case LayerKind::Interpolate:
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool:
+      case LayerKind::TokensToImage:
+      case LayerKind::ImageToTokens:
+      case LayerKind::Narrow:
+      case LayerKind::Patchify:
+      case LayerKind::WindowPartition:
+      case LayerKind::WindowReverse:
+        return OpCategory::Memory;
+      case LayerKind::Input:
+      case LayerKind::Identity:
+        return OpCategory::Other;
+    }
+    return OpCategory::Other;
+}
+
+bool
+Layer::isMacLayer() const
+{
+    switch (kind) {
+      case LayerKind::Conv2d:
+      case LayerKind::Linear:
+      case LayerKind::AttentionScore:
+      case LayerKind::AttentionContext:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int64_t
+Layer::macs() const
+{
+    if (bypassed)
+        return 0;
+    const int64_t out_elems = shapeNumel(outShape);
+    switch (kind) {
+      case LayerKind::Conv2d: {
+        // out (N, K, P, Q); each output element needs (C/g) R S MACs.
+        const int64_t per_out = (attrs.inChannels / attrs.groups) *
+                                attrs.kernelH * attrs.kernelW;
+        return out_elems * per_out;
+      }
+      case LayerKind::Linear: {
+        vitdyn_assert(attrs.outFeatures > 0, "linear without outFeatures");
+        const int64_t rows = out_elems / attrs.outFeatures;
+        return rows * attrs.inFeatures * attrs.outFeatures;
+      }
+      case LayerKind::AttentionScore:
+      case LayerKind::AttentionContext: {
+        // Score out: (N, heads, Lq, Lkv), dh = C/heads ->
+        //   MACs = N * Lq * Lkv * C.
+        // Context out: (N, Lq, C) with Lkv stored in attrs.inFeatures'
+        // companion; both reduce to out_elems * reduction_length.
+        if (kind == LayerKind::AttentionScore) {
+            const int64_t dh = attrs.inFeatures / attrs.numHeads;
+            return out_elems * dh;
+        }
+        // Context: each of the N*Lq*C outputs sums over Lkv terms.
+        return out_elems * attrs.inFeatures; // inFeatures = Lkv here
+      }
+      default:
+        return 0;
+    }
+}
+
+int64_t
+Layer::flops() const
+{
+    if (bypassed)
+        return 0;
+    const int64_t out_elems = shapeNumel(outShape);
+    switch (kind) {
+      case LayerKind::Conv2d:
+      case LayerKind::Linear:
+      case LayerKind::AttentionScore:
+      case LayerKind::AttentionContext:
+        // One multiply-accumulate counts as one FLOP, matching the
+        // mmcv/fvcore convention the paper's GFLOP numbers use (e.g.
+        // Conv2DFuse = 62% of SegFormer-B2's 62.6 GFLOPs only holds
+        // under MAC counting).
+        return macs();
+      case LayerKind::Softmax:
+        return 5 * out_elems;
+      case LayerKind::LayerNorm:
+        return 8 * out_elems;
+      case LayerKind::BatchNorm:
+        return 2 * out_elems;
+      case LayerKind::ReLU:
+      case LayerKind::Add:
+        return out_elems;
+      case LayerKind::GELU:
+        return 8 * out_elems;
+      case LayerKind::Interpolate:
+        return 8 * out_elems;
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool:
+        return out_elems * attrs.kernelH * attrs.kernelW;
+      case LayerKind::Input:
+      case LayerKind::Concat:
+      case LayerKind::TokensToImage:
+      case LayerKind::ImageToTokens:
+      case LayerKind::Narrow:
+      case LayerKind::Patchify:
+      case LayerKind::WindowPartition:
+      case LayerKind::WindowReverse:
+      case LayerKind::Identity:
+        return 0;
+    }
+    return 0;
+}
+
+int64_t
+Layer::paramCount() const
+{
+    if (bypassed)
+        return 0;
+    switch (kind) {
+      case LayerKind::Conv2d: {
+        const int64_t w = attrs.outChannels *
+                          (attrs.inChannels / attrs.groups) *
+                          attrs.kernelH * attrs.kernelW;
+        return w + (attrs.hasBias ? attrs.outChannels : 0);
+      }
+      case LayerKind::Linear: {
+        const int64_t w = attrs.outFeatures * attrs.inFeatures;
+        return w + (attrs.hasBias ? attrs.outFeatures : 0);
+      }
+      case LayerKind::LayerNorm:
+        return 2 * attrs.inFeatures;
+      case LayerKind::BatchNorm:
+        return 2 * attrs.inChannels;
+      default:
+        return 0;
+    }
+}
+
+int64_t
+Layer::weightBytes(int bytes_per_element) const
+{
+    return paramCount() * bytes_per_element;
+}
+
+int64_t
+Layer::outputBytes(int bytes_per_element) const
+{
+    return shapeNumel(outShape) * bytes_per_element;
+}
+
+namespace
+{
+
+const Shape &
+only(const std::vector<Shape> &inputs, const Layer &layer)
+{
+    vitdyn_assert(inputs.size() == 1, "layer '", layer.name, "' (",
+                  layerKindName(layer.kind), ") expects one input, got ",
+                  inputs.size());
+    return inputs[0];
+}
+
+} // namespace
+
+Shape
+inferShape(const Layer &layer, const std::vector<Shape> &inputs)
+{
+    const LayerAttrs &a = layer.attrs;
+    switch (layer.kind) {
+      case LayerKind::Input:
+        vitdyn_panic("inferShape called on Input layer");
+      case LayerKind::Conv2d: {
+        const Shape &in = only(inputs, layer);
+        vitdyn_assert(in.size() == 4, "conv input must be NCHW for '",
+                      layer.name, "', got ", shapeToString(in));
+        vitdyn_assert(in[1] == a.inChannels, "conv '", layer.name,
+                      "' expects C=", a.inChannels, ", got ", in[1]);
+        const int64_t p = convOutDim(in[2], a.kernelH, a.strideH, a.padH);
+        const int64_t q = convOutDim(in[3], a.kernelW, a.strideW, a.padW);
+        vitdyn_assert(p > 0 && q > 0, "conv '", layer.name,
+                      "' output collapsed");
+        return {in[0], a.outChannels, p, q};
+      }
+      case LayerKind::Linear: {
+        const Shape &in = only(inputs, layer);
+        vitdyn_assert(!in.empty() && in.back() == a.inFeatures,
+                      "linear '", layer.name, "' expects last dim ",
+                      a.inFeatures, ", got ", shapeToString(in));
+        Shape out = in;
+        out.back() = a.outFeatures;
+        return out;
+      }
+      case LayerKind::AttentionScore: {
+        vitdyn_assert(inputs.size() == 2, "attention score needs Q and K");
+        const Shape &q = inputs[0];
+        const Shape &k = inputs[1];
+        vitdyn_assert(q.size() == 3 && k.size() == 3 && q[2] == k[2] &&
+                      q[0] == k[0],
+                      "attention score wants (N, L, C) Q/K");
+        vitdyn_assert(q[2] == a.inFeatures, "attention '", layer.name,
+                      "' C mismatch");
+        return {q[0], a.numHeads, q[1], k[1]};
+      }
+      case LayerKind::AttentionContext: {
+        vitdyn_assert(inputs.size() == 2,
+                      "attention context needs scores and V");
+        const Shape &s = inputs[0];
+        const Shape &v = inputs[1];
+        vitdyn_assert(s.size() == 4 && v.size() == 3,
+                      "attention context wants (N,h,Lq,Lkv) and (N,Lkv,C)");
+        vitdyn_assert(s[3] == v[1], "context Lkv mismatch: ", s[3], " vs ",
+                      v[1]);
+        vitdyn_assert(s[3] == a.inFeatures,
+                      "context layer should record Lkv in inFeatures");
+        return {s[0], s[2], v[2]};
+      }
+      case LayerKind::Softmax:
+      case LayerKind::LayerNorm:
+      case LayerKind::ReLU:
+      case LayerKind::GELU:
+      case LayerKind::Identity:
+        return only(inputs, layer);
+      case LayerKind::BatchNorm: {
+        const Shape &in = only(inputs, layer);
+        vitdyn_assert(in.size() == 4 && in[1] == a.inChannels,
+                      "batchnorm '", layer.name, "' channel mismatch");
+        return in;
+      }
+      case LayerKind::Add: {
+        vitdyn_assert(inputs.size() == 2 && inputs[0] == inputs[1],
+                      "add '", layer.name, "' needs equal shapes, got ",
+                      inputs.size() == 2
+                          ? shapeToString(inputs[0]) + " vs " +
+                                shapeToString(inputs[1])
+                          : std::to_string(inputs.size()) + " inputs");
+        return inputs[0];
+      }
+      case LayerKind::Concat: {
+        vitdyn_assert(!inputs.empty(), "concat without inputs");
+        Shape out = inputs[0];
+        if (out.size() == 4) {
+            // NCHW: concatenate channels.
+            for (size_t i = 1; i < inputs.size(); ++i) {
+                const Shape &in = inputs[i];
+                vitdyn_assert(in.size() == 4 && in[0] == out[0] &&
+                              in[2] == out[2] && in[3] == out[3],
+                              "concat '", layer.name,
+                              "' mismatched input ", shapeToString(in));
+                out[1] += in[1];
+            }
+            return out;
+        }
+        // (N, L, C): concatenate along the token dimension.
+        vitdyn_assert(out.size() == 3, "concat needs NCHW or (N, L, C)");
+        for (size_t i = 1; i < inputs.size(); ++i) {
+            const Shape &in = inputs[i];
+            vitdyn_assert(in.size() == 3 && in[0] == out[0] &&
+                          in[2] == out[2],
+                          "token concat '", layer.name,
+                          "' mismatched input ", shapeToString(in));
+            out[1] += in[1];
+        }
+        return out;
+      }
+      case LayerKind::Interpolate: {
+        const Shape &in = only(inputs, layer);
+        vitdyn_assert(in.size() == 4, "interpolate needs NCHW");
+        return {in[0], in[1], a.outH, a.outW};
+      }
+      case LayerKind::MaxPool: {
+        const Shape &in = only(inputs, layer);
+        vitdyn_assert(in.size() == 4, "pool needs NCHW");
+        const int64_t p = convOutDim(in[2], a.kernelH, a.strideH, a.padH);
+        const int64_t q = convOutDim(in[3], a.kernelW, a.strideW, a.padW);
+        return {in[0], in[1], p, q};
+      }
+      case LayerKind::AvgPool: {
+        const Shape &in = only(inputs, layer);
+        vitdyn_assert(in.size() == 4, "pool needs NCHW");
+        return {in[0], in[1], a.outH, a.outW};
+      }
+      case LayerKind::TokensToImage: {
+        const Shape &in = only(inputs, layer);
+        vitdyn_assert(in.size() == 3 && in[1] == a.gridH * a.gridW,
+                      "tokensToImage '", layer.name, "' grid mismatch: L=",
+                      in.size() == 3 ? in[1] : -1, " grid ", a.gridH, "x",
+                      a.gridW);
+        return {in[0], in[2], a.gridH, a.gridW};
+      }
+      case LayerKind::ImageToTokens: {
+        const Shape &in = only(inputs, layer);
+        vitdyn_assert(in.size() == 4, "imageToTokens needs NCHW");
+        return {in[0], in[2] * in[3], in[1]};
+      }
+      case LayerKind::Narrow: {
+        const Shape &in = only(inputs, layer);
+        Shape out = in;
+        // Channel dim: dim 1 for NCHW, last dim for token layouts.
+        const size_t c_dim = in.size() == 4 ? 1 : in.size() - 1;
+        vitdyn_assert(a.outChannels > 0 &&
+                      a.outChannels <= in[c_dim],
+                      "narrow '", layer.name, "' keeps ", a.outChannels,
+                      " of ", in[c_dim], " channels");
+        out[c_dim] = a.outChannels;
+        return out;
+      }
+      case LayerKind::Patchify: {
+        const Shape &in = only(inputs, layer);
+        const int64_t p = a.kernelH;
+        vitdyn_assert(in.size() == 4 && p > 0 && in[2] % p == 0 &&
+                      in[3] % p == 0,
+                      "patchify '", layer.name,
+                      "' needs NCHW divisible by patch ", p);
+        return {in[0], (in[2] / p) * (in[3] / p), in[1] * p * p};
+      }
+      case LayerKind::WindowPartition: {
+        const Shape &in = only(inputs, layer);
+        vitdyn_assert(in.size() == 3 && in[1] == a.gridH * a.gridW,
+                      "windowPartition '", layer.name, "' grid mismatch");
+        vitdyn_assert(a.window > 0 && a.gridH % a.window == 0 &&
+                      a.gridW % a.window == 0,
+                      "windowPartition '", layer.name,
+                      "' grid not divisible by window");
+        const int64_t nw = (a.gridH / a.window) * (a.gridW / a.window);
+        return {in[0] * nw, a.window * a.window, in[2]};
+      }
+      case LayerKind::WindowReverse: {
+        const Shape &in = only(inputs, layer);
+        const int64_t nw = (a.gridH / a.window) * (a.gridW / a.window);
+        vitdyn_assert(in.size() == 3 && in[0] % nw == 0 &&
+                      in[1] == a.window * a.window,
+                      "windowReverse '", layer.name, "' shape mismatch");
+        return {in[0] / nw, a.gridH * a.gridW, in[2]};
+      }
+    }
+    vitdyn_panic("unhandled layer kind in inferShape");
+}
+
+} // namespace vitdyn

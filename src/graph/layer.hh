@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Typed layer descriptors for the model execution graph.
+ *
+ * Each layer carries enough static information to support three clients
+ * without touching tensor data:
+ *  - analytic profiling (FLOPs, parameters, activation/weight bytes),
+ *  - the GPU latency model (Section II characterization),
+ *  - the accelerator mapper (Section V), which consumes conv-style
+ *    dimensions (K, C, P, Q, R, S per Listing 1 of the paper).
+ *
+ * The reference executor additionally interprets the descriptors against
+ * real tensors for end-to-end correctness experiments.
+ */
+
+#ifndef VITDYN_GRAPH_LAYER_HH
+#define VITDYN_GRAPH_LAYER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace vitdyn
+{
+
+/** Operator type of a layer. */
+enum class LayerKind
+{
+    Input,          ///< Graph input placeholder.
+    Conv2d,         ///< Standard or grouped convolution (NCHW).
+    Linear,         ///< Fully connected over the last dimension.
+    AttentionScore, ///< Per-head Q K^T scaled matmul.
+    AttentionContext, ///< Per-head (softmax scores) V matmul.
+    Softmax,        ///< Softmax over the last dimension.
+    LayerNorm,      ///< LayerNorm over the last dimension.
+    BatchNorm,      ///< Inference-mode BatchNorm (NCHW).
+    ReLU,
+    GELU,
+    Add,            ///< Elementwise residual sum of two inputs.
+    Concat,         ///< Channel concatenation of NCHW inputs.
+    Interpolate,    ///< Bilinear resize to a fixed output size.
+    MaxPool,
+    AvgPool,        ///< Adaptive average pool to a fixed output size.
+    TokensToImage,  ///< (N, L, C) -> (N, C, H, W) relayout.
+    ImageToTokens,  ///< (N, C, H, W) -> (N, L, C) relayout.
+    Narrow,         ///< Keep the first outChannels channels (slice).
+    Patchify,       ///< (N, C, H, W) -> (N, (H/p)(W/p), C*p*p).
+    WindowPartition,///< (N, gh*gw, C) -> (N*nw, window^2, C).
+    WindowReverse,  ///< Inverse of WindowPartition.
+    Identity,       ///< Pass-through (result of bypassing a layer).
+};
+
+/** Printable name of a layer kind. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * Reporting category used by the Section II characterization figures.
+ * Convolution vs matmul vs softmax etc. FLOP/time shares are aggregated
+ * over these.
+ */
+enum class OpCategory
+{
+    Conv,       ///< conv2d including depthwise
+    MatMul,     ///< linear layers and attention matmuls
+    Softmax,
+    Norm,       ///< layer/batch norm
+    Activation, ///< ReLU / GELU
+    Elementwise,///< residual adds
+    Memory,     ///< relayout, concat, interpolate, pooling
+    Other,
+};
+
+const char *opCategoryName(OpCategory category);
+
+/** Static attributes; fields are meaningful per LayerKind. */
+struct LayerAttrs
+{
+    // Convolution (also reused for pooling kernels).
+    int64_t inChannels = 0;
+    int64_t outChannels = 0;
+    int64_t kernelH = 1;
+    int64_t kernelW = 1;
+    int64_t strideH = 1;
+    int64_t strideW = 1;
+    int64_t padH = 0;
+    int64_t padW = 0;
+    int64_t groups = 1;
+
+    // Linear.
+    int64_t inFeatures = 0;
+    int64_t outFeatures = 0;
+
+    // Attention.
+    int64_t numHeads = 1;
+
+    // Interpolate / adaptive pool target.
+    int64_t outH = 0;
+    int64_t outW = 0;
+
+    // TokensToImage / window partition grid.
+    int64_t gridH = 0;
+    int64_t gridW = 0;
+
+    // Window attention side length (WindowPartition / WindowReverse).
+    int64_t window = 0;
+
+    bool hasBias = true;
+};
+
+/** A node in the execution graph. */
+struct Layer
+{
+    int id = -1;
+    std::string name;       ///< Paper-style name, e.g. "Conv2DFuse".
+    LayerKind kind = LayerKind::Identity;
+    LayerAttrs attrs;
+    std::vector<int> inputs; ///< Producer layer ids.
+
+    /**
+     * Structural tag: "encoder.stage2.block1.attn", "decoder", "backbone",
+     * ... Used by surgery (which blocks to bypass), by reporting (stage
+     * aggregation), and by the accelerator scheduler (model-level
+     * parallelism).
+     */
+    std::string stage;
+
+    /** Inferred output shape (filled in by Graph::addLayer). */
+    Shape outShape;
+
+    /** True once the layer has been bypassed by graph surgery. */
+    bool bypassed = false;
+
+    /** Multiply-accumulate count for this layer given its shapes. */
+    int64_t macs() const;
+
+    /** FLOPs: 2x MACs for MAC-dominated ops, element counts otherwise. */
+    int64_t flops() const;
+
+    /** Learned parameter count (weights + bias + norm affine). */
+    int64_t paramCount() const;
+
+    /** Bytes of learned weights at the given precision. */
+    int64_t weightBytes(int bytes_per_element = 1) const;
+
+    /** Bytes of the output activation at the given precision. */
+    int64_t outputBytes(int bytes_per_element = 1) const;
+
+    /** Reporting category. */
+    OpCategory category() const;
+
+    /** True if this layer maps to the accelerator MAC array. */
+    bool isMacLayer() const;
+};
+
+/**
+ * Infer the output shape of a layer from its input shapes.
+ * Fatal on inconsistent configuration (user error when building models).
+ */
+Shape inferShape(const Layer &layer, const std::vector<Shape> &inputs);
+
+} // namespace vitdyn
+
+#endif // VITDYN_GRAPH_LAYER_HH

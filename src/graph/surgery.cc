@@ -1,0 +1,254 @@
+#include "graph/surgery.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/**
+ * Try to make producer @p id emit only @p new_c channels, recursing
+ * through shape-preserving layers. @p via is the consumer on whose
+ * behalf we are shrinking; other consumers block the shrink.
+ *
+ * @return true if the producer's output now has new_c channels; false if
+ *         the caller must insert a Narrow slice instead.
+ */
+bool
+shrinkProducer(Graph &graph, int id, int64_t new_c, int via)
+{
+    Layer &layer = graph.layer(id);
+
+    // Another consumer still needs the full-width output: stop here.
+    for (int consumer : graph.consumersOf(id))
+        if (consumer != via)
+            return false;
+    // Graph outputs must keep their width.
+    for (int out_id : graph.outputs())
+        if (out_id == id)
+            return false;
+
+    auto shrink_one_input = [&](int input_pos, int64_t channels) {
+        const int producer = layer.inputs[input_pos];
+        if (!shrinkProducer(graph, producer, channels, id)) {
+            Layer narrow;
+            narrow.name = layer.name + ".narrow" +
+                          std::to_string(input_pos);
+            narrow.kind = LayerKind::Narrow;
+            narrow.attrs.outChannels = channels;
+            narrow.inputs = {producer};
+            narrow.stage = layer.stage;
+            const int nid = graph.appendUnordered(std::move(narrow));
+            graph.layer(id).inputs[input_pos] = nid;
+        }
+    };
+
+    switch (layer.kind) {
+      case LayerKind::Conv2d:
+        vitdyn_assert(layer.attrs.groups == 1,
+                      "cannot shrink grouped conv '", layer.name,
+                      "' outputs generically");
+        vitdyn_assert(new_c <= layer.attrs.outChannels,
+                      "shrink beyond width of '", layer.name, "'");
+        layer.attrs.outChannels = new_c;
+        return true;
+      case LayerKind::Linear:
+        vitdyn_assert(new_c <= layer.attrs.outFeatures,
+                      "shrink beyond width of '", layer.name, "'");
+        layer.attrs.outFeatures = new_c;
+        return true;
+      case LayerKind::Narrow:
+        vitdyn_assert(new_c <= layer.attrs.outChannels,
+                      "narrow widened: '", layer.name, "'");
+        layer.attrs.outChannels = new_c;
+        return true;
+      case LayerKind::BatchNorm:
+        layer.attrs.inChannels = new_c;
+        shrink_one_input(0, new_c);
+        return true;
+      case LayerKind::LayerNorm:
+        layer.attrs.inFeatures = new_c;
+        shrink_one_input(0, new_c);
+        return true;
+      case LayerKind::ReLU:
+      case LayerKind::GELU:
+      case LayerKind::Identity:
+      case LayerKind::Interpolate:
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool:
+      case LayerKind::TokensToImage:
+      case LayerKind::ImageToTokens:
+      case LayerKind::WindowPartition:
+      case LayerKind::WindowReverse:
+        // Shape-preserving in the channel dimension: pass through.
+        shrink_one_input(0, new_c);
+        return true;
+      case LayerKind::Add:
+        shrink_one_input(0, new_c);
+        shrink_one_input(1, new_c);
+        return true;
+      case LayerKind::Concat: {
+        // Distribute the kept channels over contributors front to back;
+        // tail contributors lose channels first. In SegFormer's decoder
+        // the tail contribution is Encoder Stage 3's DecodeLinear, whose
+        // computation is only consumed here — exactly the case the paper
+        // identifies as prunable.
+        int64_t remaining = new_c;
+        // Snapshot producer widths first; shrink mutates the graph.
+        std::vector<int64_t> widths;
+        for (int in_id : layer.inputs) {
+            const Shape &s = graph.layer(in_id).outShape;
+            widths.push_back(s.size() == 4 ? s[1] : s.back());
+        }
+        std::vector<int> kept_inputs;
+        for (size_t i = 0; i < layer.inputs.size(); ++i) {
+            const int64_t keep = std::min(widths[i], remaining);
+            remaining -= keep;
+            if (keep == 0)
+                continue; // contributor entirely pruned away
+            if (keep < widths[i])
+                shrink_one_input(static_cast<int>(i), keep);
+            kept_inputs.push_back(graph.layer(id).inputs[i]);
+        }
+        vitdyn_assert(remaining == 0, "concat '", layer.name,
+                      "' cannot provide ", new_c, " channels");
+        graph.layer(id).inputs = std::move(kept_inputs);
+        return true;
+      }
+      case LayerKind::Input:
+      case LayerKind::Patchify: // channel extent is structural here
+      case LayerKind::AttentionScore:
+      case LayerKind::AttentionContext:
+      case LayerKind::Softmax:
+        return false;
+    }
+    return false;
+}
+
+} // namespace
+
+int64_t
+pruneInputChannels(Graph &graph, const std::string &layer_name,
+                   int64_t new_in_channels)
+{
+    const int id = graph.findLayer(layer_name);
+    if (id < 0)
+        vitdyn_fatal("pruneInputChannels: no layer named '", layer_name,
+                     "'");
+    const int64_t before = graph.totalMacs();
+
+    Layer &layer = graph.layer(id);
+    switch (layer.kind) {
+      case LayerKind::Conv2d:
+        vitdyn_assert(layer.attrs.groups == 1,
+                      "cannot channel-prune grouped conv '", layer_name,
+                      "'");
+        vitdyn_assert(new_in_channels > 0 &&
+                      new_in_channels <= layer.attrs.inChannels,
+                      "bad channel count ", new_in_channels, " for '",
+                      layer_name, "' with C=", layer.attrs.inChannels);
+        layer.attrs.inChannels = new_in_channels;
+        break;
+      case LayerKind::Linear:
+        vitdyn_assert(new_in_channels > 0 &&
+                      new_in_channels <= layer.attrs.inFeatures,
+                      "bad channel count ", new_in_channels, " for '",
+                      layer_name, "'");
+        layer.attrs.inFeatures = new_in_channels;
+        break;
+      default:
+        vitdyn_fatal("pruneInputChannels: '", layer_name,
+                     "' is not a conv or linear layer");
+    }
+
+    // Propagate backwards through the (single) producer.
+    vitdyn_assert(layer.inputs.size() == 1,
+                  "pruneInputChannels target must have one input");
+    const int producer = layer.inputs[0];
+    if (!shrinkProducer(graph, producer, new_in_channels, id)) {
+        Layer narrow;
+        narrow.name = layer_name + ".narrow_in";
+        narrow.kind = LayerKind::Narrow;
+        narrow.attrs.outChannels = new_in_channels;
+        narrow.inputs = {producer};
+        narrow.stage = graph.layer(id).stage;
+        const int nid = graph.appendUnordered(std::move(narrow));
+        graph.layer(id).inputs[0] = nid;
+    }
+
+    graph.normalize();
+    return before - graph.totalMacs();
+}
+
+int
+bypassBlock(Graph &graph, const std::string &block_prefix)
+{
+    const std::vector<int> block = graph.layersInStage(block_prefix);
+    if (block.empty())
+        vitdyn_fatal("bypassBlock: no layers tagged '", block_prefix, "'");
+
+    std::set<int> in_block(block.begin(), block.end());
+
+    // External producer(s) feeding the block.
+    std::set<int> external_inputs;
+    for (int id : block)
+        for (int in_id : graph.layer(id).inputs)
+            if (!in_block.count(in_id))
+                external_inputs.insert(in_id);
+    vitdyn_assert(external_inputs.size() == 1,
+                  "block '", block_prefix, "' has ",
+                  external_inputs.size(),
+                  " external inputs; need exactly 1 to bypass");
+    const int src = *external_inputs.begin();
+
+    // Block layer(s) consumed from outside.
+    std::set<int> exits;
+    for (int id : block)
+        for (int consumer : graph.consumersOf(id))
+            if (!in_block.count(consumer))
+                exits.insert(id);
+    for (int out_id : graph.outputs())
+        if (in_block.count(out_id))
+            exits.insert(out_id);
+    vitdyn_assert(exits.size() == 1, "block '", block_prefix, "' has ",
+                  exits.size(), " exit layers; need exactly 1 to bypass");
+    const int exit = *exits.begin();
+
+    vitdyn_assert(graph.layer(src).outShape == graph.layer(exit).outShape,
+                  "block '", block_prefix, "' is not shape-preserving: ",
+                  shapeToString(graph.layer(src).outShape), " vs ",
+                  shapeToString(graph.layer(exit).outShape));
+
+    // Reroute consumers and outputs, then let normalize() drop the block.
+    for (Layer &layer : graph.layers()) {
+        if (in_block.count(layer.id))
+            continue;
+        for (int &in_id : layer.inputs)
+            if (in_id == exit)
+                in_id = src;
+    }
+    std::vector<int> outputs = graph.outputs();
+    for (int &out_id : outputs)
+        if (out_id == exit)
+            out_id = src;
+    graph.setOutputs(std::move(outputs));
+
+    const int before = static_cast<int>(graph.numLayers());
+    graph.normalize();
+    return before - static_cast<int>(graph.numLayers());
+}
+
+int
+eliminateDeadLayers(Graph &graph)
+{
+    const int before = static_cast<int>(graph.numLayers());
+    graph.normalize();
+    return before - static_cast<int>(graph.numLayers());
+}
+
+} // namespace vitdyn

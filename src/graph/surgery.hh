@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Graph surgery: the Section III mechanism for deriving alternative,
+ * cheaper execution paths from a pretrained model *without retraining*.
+ *
+ * Two families of rewrites are provided:
+ *
+ *  1. Block bypass — replace a whole block (e.g. one encoder transformer
+ *     block) by the identity, rerouting its consumers to its input.
+ *
+ *  2. Channel pruning with backward propagation — reduce the number of
+ *     input channels consumed by an expensive layer (Conv2DFuse,
+ *     Conv2DPred, fpn_bottleneck_Conv2D, ...) and walk the skipped
+ *     channels backwards through the producers: elementwise/norm layers
+ *     shrink in place, concatenations distribute the shrink over their
+ *     tail contributors, and producing conv/linear layers drop output
+ *     channels. Propagation stops (a Narrow slice is inserted) when a
+ *     producer's output is also consumed by an unpruned layer — e.g. an
+ *     encoder stage output that still feeds the next encoder stage, which
+ *     is exactly the constraint the paper describes for DecodeLinear0.
+ */
+
+#ifndef VITDYN_GRAPH_SURGERY_HH
+#define VITDYN_GRAPH_SURGERY_HH
+
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+/**
+ * Bypass every layer whose stage tag starts with @p block_prefix.
+ *
+ * The block must have exactly one external producer feeding it and the
+ * block's final layer's consumers are rerouted to that producer. The
+ * bypassed layers are then removed by dead-layer elimination. The block
+ * input and output shapes must match (true for residual transformer
+ * blocks). Fatal if the block is not bypassable.
+ *
+ * @return number of layers removed.
+ */
+int bypassBlock(Graph &graph, const std::string &block_prefix);
+
+/**
+ * Reduce the input channels consumed by layer @p layer_name to
+ * @p new_in_channels, propagating the skipped computation backwards as
+ * far as the graph structure allows (see file comment).
+ *
+ * @return total MACs removed from the graph by this rewrite.
+ */
+int64_t pruneInputChannels(Graph &graph, const std::string &layer_name,
+                           int64_t new_in_channels);
+
+/**
+ * Remove layers that no longer contribute to any graph output.
+ * @return number of layers removed.
+ */
+int eliminateDeadLayers(Graph &graph);
+
+} // namespace vitdyn
+
+#endif // VITDYN_GRAPH_SURGERY_HH

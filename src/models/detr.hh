@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DETR (Carion et al., ECCV'20) and Deformable DETR (Zhu et al.,
+ * ICLR'21) object detectors on a ResNet-50 backbone.
+ *
+ * These models drive the Section II characterization (Figure 1): the
+ * backbone dominates execution time, the transformer is 6-18% of it.
+ *
+ * Deformable attention substitution: real deformable attention gathers
+ * K sampled values at learned fractional offsets per query. Gather at
+ * learned offsets is not expressible as a static dense layer, so the
+ * graph models it as attention over a small pooled key/value set (each
+ * feature level average-pooled to 4x4 = 16 tokens). The projections
+ * (value/offsets/weights/output) are kept at their real sizes, so both
+ * the MAC count and the per-category op mix match deformable attention
+ * closely, and the graph remains executable end to end.
+ */
+
+#ifndef VITDYN_MODELS_DETR_HH
+#define VITDYN_MODELS_DETR_HH
+
+#include "graph/graph.hh"
+#include "models/resnet.hh"
+
+namespace vitdyn
+{
+
+/** DETR-family configuration. */
+struct DetrConfig
+{
+    std::string name = "detr";
+
+    int64_t batch = 1;
+    int64_t imageH = 480;
+    int64_t imageW = 640;
+
+    int64_t hiddenDim = 256;
+    int64_t numHeads = 8;
+    int64_t encoderLayers = 6;
+    int64_t decoderLayers = 6;
+    int64_t ffnDim = 2048;       ///< 1024 for Deformable DETR.
+    int64_t numQueries = 100;    ///< 300 for Deformable DETR.
+    int64_t numClasses = 91;     ///< COCO thing classes (+1 no-object).
+
+    /** Backbone configuration (elastic for OFA experiments). */
+    ResnetConfig backbone;
+};
+
+/** Standard DETR preset. */
+DetrConfig detrConfig();
+
+/** Deformable DETR preset. */
+DetrConfig deformableDetrConfig();
+
+/** Build single-scale DETR. */
+Graph buildDetr(const DetrConfig &config);
+
+/** Build multi-scale Deformable DETR. */
+Graph buildDeformableDetr(const DetrConfig &config);
+
+} // namespace vitdyn
+
+#endif // VITDYN_MODELS_DETR_HH

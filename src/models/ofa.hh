@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Once-For-All (Cai et al., ICLR'20) ResNet-50 subnet catalog.
+ *
+ * OFA trains one elastic supernet and extracts many subnets spanning an
+ * accuracy/compute tradeoff. We reproduce the tradeoff curve with a
+ * catalog of representative subnets from the published search space
+ * (depth in {reduced..full} per stage, width multiplier in
+ * {0.65, 0.8, 1.0}, expand ratio in {0.2, 0.25, 0.35}) with normalized
+ * accuracies anchored to the top-1 range the OFA paper reports
+ * (76.1% - 79.8% on ImageNet, i.e. >= 0.954 normalized). This is the
+ * curve Figure 16 of the paper under reproduction sweeps on its three
+ * accelerator candidates.
+ */
+
+#ifndef VITDYN_MODELS_OFA_HH
+#define VITDYN_MODELS_OFA_HH
+
+#include <string>
+#include <vector>
+
+#include "models/resnet.hh"
+
+namespace vitdyn
+{
+
+/** One OFA ResNet-50 subnet with its published-range accuracy. */
+struct OfaSubnet
+{
+    std::string name;
+    ResnetConfig config;
+    /** ImageNet top-1 of the subnet (from the OFA accuracy range). */
+    double top1;
+    /** Accuracy normalized to the largest subnet. */
+    double normalizedAccuracy;
+};
+
+/**
+ * The subnet catalog, largest (most accurate) first. All configs are
+ * headless COCO-resolution backbones (640x480) matching the paper's
+ * object-detection use of OFA ResNet-50.
+ */
+std::vector<OfaSubnet> ofaResnet50Catalog(int64_t image_h = 480,
+                                          int64_t image_w = 640,
+                                          int64_t batch = 1);
+
+} // namespace vitdyn
+
+#endif // VITDYN_MODELS_OFA_HH

@@ -1,0 +1,232 @@
+#include "models/pvt.hh"
+
+#include "models/upernet.hh"
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+PvtConfig
+pvtTinyConfig()
+{
+    PvtConfig c;
+    c.name = "pvt_tiny";
+    c.depths = {2, 2, 2, 2};
+    return c;
+}
+
+PvtConfig
+pvtSmallConfig()
+{
+    return PvtConfig{};
+}
+
+namespace
+{
+
+struct Builder
+{
+    Graph graph;
+    const PvtConfig &cfg;
+
+    explicit Builder(const PvtConfig &config)
+        : graph(config.name), cfg(config)
+    {
+    }
+
+    int
+    layerNorm(const std::string &name, const std::string &stage, int in,
+              int64_t channels)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::LayerNorm;
+        l.attrs.inFeatures = channels;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    linear(const std::string &name, const std::string &stage, int in,
+           int64_t in_f, int64_t out_f)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Linear;
+        l.attrs.inFeatures = in_f;
+        l.attrs.outFeatures = out_f;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    conv(const std::string &name, const std::string &stage, int in,
+         int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Conv2d;
+        l.attrs.inChannels = in_c;
+        l.attrs.outChannels = out_c;
+        l.attrs.kernelH = l.attrs.kernelW = kernel;
+        l.attrs.strideH = l.attrs.strideW = stride;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    toImage(const std::string &name, const std::string &stage, int in,
+            int64_t h, int64_t w)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::TokensToImage;
+        l.attrs.gridH = h;
+        l.attrs.gridW = w;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    toTokens(const std::string &name, const std::string &stage, int in)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::ImageToTokens;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    simple(LayerKind kind, const std::string &name,
+           const std::string &stage, std::vector<int> inputs)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = kind;
+        l.inputs = std::move(inputs);
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    /** One PVT block: SR attention + plain MLP, pre-norm residuals. */
+    int
+    block(const std::string &prefix, int tokens, int64_t dim,
+          int64_t heads, int64_t sr, int64_t mlp_ratio, int64_t h,
+          int64_t w)
+    {
+        int x = layerNorm(prefix + ".ln1", prefix, tokens, dim);
+        int q = linear(prefix + ".attn.q", prefix, x, dim, dim);
+
+        int kv_src = x;
+        int64_t lkv = h * w;
+        if (sr > 1) {
+            int img = toImage(prefix + ".attn.sr_in", prefix, kv_src, h,
+                              w);
+            int red = conv(prefix + ".attn.sr_conv", prefix, img, dim,
+                           dim, sr, sr);
+            int tok = toTokens(prefix + ".attn.sr_out", prefix, red);
+            kv_src = layerNorm(prefix + ".attn.sr_ln", prefix, tok,
+                               dim);
+            lkv = (h / sr) * (w / sr);
+        }
+        int k = linear(prefix + ".attn.k", prefix, kv_src, dim, dim);
+        int v = linear(prefix + ".attn.v", prefix, kv_src, dim, dim);
+
+        Layer score;
+        score.name = prefix + ".attn.score";
+        score.kind = LayerKind::AttentionScore;
+        score.attrs.inFeatures = dim;
+        score.attrs.numHeads = heads;
+        score.inputs = {q, k};
+        score.stage = prefix;
+        int s = graph.addLayer(std::move(score));
+
+        int sm = simple(LayerKind::Softmax, prefix + ".attn.softmax",
+                        prefix, {s});
+
+        Layer ctx;
+        ctx.name = prefix + ".attn.context";
+        ctx.kind = LayerKind::AttentionContext;
+        ctx.attrs.inFeatures = lkv;
+        ctx.attrs.numHeads = heads;
+        ctx.inputs = {sm, v};
+        ctx.stage = prefix;
+        int c = graph.addLayer(std::move(ctx));
+
+        int proj = linear(prefix + ".attn.proj", prefix, c, dim, dim);
+        int res1 = simple(LayerKind::Add, prefix + ".attn.add", prefix,
+                          {tokens, proj});
+
+        // Plain MLP (no DWConv — that is SegFormer's Mix-FFN twist).
+        const int64_t hidden = dim * mlp_ratio;
+        int y = layerNorm(prefix + ".ln2", prefix, res1, dim);
+        int fc1 = linear(prefix + ".mlp.fc1", prefix, y, dim, hidden);
+        int act = simple(LayerKind::GELU, prefix + ".mlp.gelu", prefix,
+                         {fc1});
+        int fc2 = linear(prefix + ".mlp.fc2", prefix, act, hidden, dim);
+        return simple(LayerKind::Add, prefix + ".mlp.add", prefix,
+                      {res1, fc2});
+    }
+};
+
+} // namespace
+
+Graph
+buildPvt(const PvtConfig &cfg)
+{
+    vitdyn_assert(cfg.imageH % 32 == 0 && cfg.imageW % 32 == 0,
+                  "PVT image size must be divisible by 32, got ",
+                  cfg.imageH, "x", cfg.imageW);
+
+    Builder b(cfg);
+    int x = b.graph.addInput("image",
+                             {cfg.batch, 3, cfg.imageH, cfg.imageW});
+
+    int64_t h = cfg.imageH;
+    int64_t w = cfg.imageW;
+    int64_t in_c = 3;
+    std::array<int, 4> stage_out{};
+
+    for (int i = 0; i < 4; ++i) {
+        const std::string sp = "encoder.stage" + std::to_string(i);
+        const int64_t dim = cfg.embedDims[i];
+        const int64_t stride = i == 0 ? 4 : 2;
+
+        // Non-overlapping patch embedding: kernel == stride.
+        int emb = b.conv("PatchEmbed" + std::to_string(i) + "_Conv2D",
+                         sp + ".patch", x, in_c, dim, stride, stride);
+        h /= stride;
+        w /= stride;
+        int tok = b.toTokens(sp + ".patch.tokens", sp + ".patch", emb);
+        tok = b.layerNorm(sp + ".patch.ln", sp + ".patch", tok, dim);
+
+        for (int64_t j = 0; j < cfg.depths[i]; ++j)
+            tok = b.block(sp + ".block" + std::to_string(j), tok, dim,
+                          cfg.numHeads[i], cfg.srRatios[i],
+                          cfg.mlpRatios[i], h, w);
+
+        int norm = b.layerNorm(sp + ".norm", sp + ".norm", tok, dim);
+        stage_out[i] = b.toImage("Stage" + std::to_string(i) + "_Out",
+                                 sp + ".norm", norm, h, w);
+        x = stage_out[i];
+        in_c = dim;
+    }
+
+    UpernetConfig head;
+    head.channels = cfg.decoderChannels;
+    head.numClasses = cfg.numClasses;
+    head.imageH = cfg.imageH;
+    head.imageW = cfg.imageW;
+    appendUpernetHead(b.graph, stage_out, head);
+
+    return b.graph;
+}
+
+} // namespace vitdyn

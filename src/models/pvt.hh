@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Pyramid Vision Transformer (Wang et al., ICCV'21) — the source of
+ * the spatial-reduction attention SegFormer builds on (the paper's
+ * reference [63]) — composed with the UPerNet decode head.
+ *
+ * The paper claims its segmentation observations "can be more widely
+ * applicable to models that choose to use attention-dominant
+ * backbones with the UPerNet decoder head"; PVT is exactly such a
+ * backbone (non-overlapping conv patch embeddings, SR attention,
+ * plain FFNs — no depthwise convs), so this model demonstrates the
+ * generalization: the decoder still dominates the full pipeline.
+ */
+
+#ifndef VITDYN_MODELS_PVT_HH
+#define VITDYN_MODELS_PVT_HH
+
+#include <array>
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+/** Structural hyperparameters of PVT + UPerNet. */
+struct PvtConfig
+{
+    std::string name = "pvt_small";
+
+    int64_t batch = 1;
+    int64_t imageH = 512;
+    int64_t imageW = 512;
+    int64_t numClasses = 150;
+
+    std::array<int64_t, 4> embedDims{64, 128, 320, 512};
+    std::array<int64_t, 4> depths{3, 4, 6, 3};
+    std::array<int64_t, 4> numHeads{1, 2, 5, 8};
+    std::array<int64_t, 4> srRatios{8, 4, 2, 1};
+    std::array<int64_t, 4> mlpRatios{8, 8, 4, 4};
+
+    /** UPerNet head width. */
+    int64_t decoderChannels = 512;
+};
+
+/** PVT-Tiny preset (depths 2,2,2,2). */
+PvtConfig pvtTinyConfig();
+
+/** PVT-Small preset (depths 3,4,6,3) — the common segmentation one. */
+PvtConfig pvtSmallConfig();
+
+/** Build PVT + UPerNet for semantic segmentation. */
+Graph buildPvt(const PvtConfig &config);
+
+} // namespace vitdyn
+
+#endif // VITDYN_MODELS_PVT_HH

@@ -1,0 +1,196 @@
+#include "models/resnet.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/** Round a scaled channel count to a multiple of 8, at least 8. */
+int64_t
+scaleChannels(int64_t base, double mult)
+{
+    const int64_t scaled =
+        static_cast<int64_t>(std::llround(base * mult / 8.0)) * 8;
+    return std::max<int64_t>(8, scaled);
+}
+
+struct Builder
+{
+    Graph &graph;
+
+    int
+    conv(const std::string &name, const std::string &stage, int in,
+         int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
+         int64_t pad)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Conv2d;
+        l.attrs.inChannels = in_c;
+        l.attrs.outChannels = out_c;
+        l.attrs.kernelH = l.attrs.kernelW = kernel;
+        l.attrs.strideH = l.attrs.strideW = stride;
+        l.attrs.padH = l.attrs.padW = pad;
+        l.attrs.hasBias = false; // BN follows every conv
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    bn(const std::string &name, const std::string &stage, int in,
+       int64_t channels)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::BatchNorm;
+        l.attrs.inChannels = channels;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    simple(LayerKind kind, const std::string &name,
+           const std::string &stage, std::vector<int> inputs)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = kind;
+        l.inputs = std::move(inputs);
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    convBnRelu(const std::string &name, const std::string &stage, int in,
+               int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
+               int64_t pad, bool with_relu = true)
+    {
+        int c = conv(name, stage, in, in_c, out_c, kernel, stride, pad);
+        int b = bn(name + "_BN", stage, c, out_c);
+        if (!with_relu)
+            return b;
+        return simple(LayerKind::ReLU, name + "_ReLU", stage, {b});
+    }
+
+    /** One bottleneck residual block. @return block output id. */
+    int
+    bottleneck(const std::string &prefix, int in, int64_t in_c,
+               int64_t mid_c, int64_t out_c, int64_t stride)
+    {
+        int x = convBnRelu(prefix + ".conv1", prefix, in, in_c, mid_c, 1,
+                           1, 0);
+        x = convBnRelu(prefix + ".conv2", prefix, x, mid_c, mid_c, 3,
+                       stride, 1);
+        x = convBnRelu(prefix + ".conv3", prefix, x, mid_c, out_c, 1, 1,
+                       0, /*with_relu=*/false);
+
+        int shortcut = in;
+        if (in_c != out_c || stride != 1)
+            shortcut = convBnRelu(prefix + ".downsample", prefix, in,
+                                  in_c, out_c, 1, stride, 0,
+                                  /*with_relu=*/false);
+
+        int sum = simple(LayerKind::Add, prefix + ".add", prefix,
+                         {x, shortcut});
+        return simple(LayerKind::ReLU, prefix + ".relu", prefix, {sum});
+    }
+};
+
+} // namespace
+
+std::array<int, 4>
+appendResnetBody(Graph &graph, const ResnetConfig &cfg, int input)
+{
+    Builder b{graph};
+
+    const int64_t stem_c = scaleChannels(64, cfg.widthMult);
+    int x = b.convBnRelu("stem.conv1", "backbone.stem", input, 3, stem_c,
+                         7, 2, 3);
+    {
+        Layer pool;
+        pool.name = "stem.maxpool";
+        pool.kind = LayerKind::MaxPool;
+        pool.attrs.kernelH = pool.attrs.kernelW = 3;
+        pool.attrs.strideH = pool.attrs.strideW = 2;
+        pool.attrs.padH = pool.attrs.padW = 1;
+        pool.inputs = {x};
+        pool.stage = "backbone.stem";
+        x = graph.addLayer(std::move(pool));
+    }
+
+    std::array<int, 4> stage_out{};
+    int64_t in_c = stem_c;
+    for (int i = 0; i < 4; ++i) {
+        const std::string sp = "backbone.stage" + std::to_string(i);
+        const int64_t out_c = scaleChannels(256 << i, cfg.widthMult);
+        const int64_t mid_c = std::max<int64_t>(
+            8, static_cast<int64_t>(
+                   std::llround(out_c * cfg.expandRatio / 8.0)) * 8);
+        for (int64_t j = 0; j < cfg.depths[i]; ++j) {
+            const int64_t stride = (j == 0 && i > 0) ? 2 : 1;
+            x = b.bottleneck(sp + ".block" + std::to_string(j), x, in_c,
+                             mid_c, out_c, stride);
+            in_c = out_c;
+        }
+        stage_out[i] = x;
+    }
+    return stage_out;
+}
+
+Graph
+buildResnet(const ResnetConfig &cfg)
+{
+    vitdyn_assert(cfg.imageH % 32 == 0 && cfg.imageW % 32 == 0,
+                  "ResNet image size must be divisible by 32, got ",
+                  cfg.imageH, "x", cfg.imageW);
+
+    Graph graph(cfg.name);
+    int input = graph.addInput("image",
+                               {cfg.batch, 3, cfg.imageH, cfg.imageW});
+    std::array<int, 4> stages = appendResnetBody(graph, cfg, input);
+
+    if (cfg.headless) {
+        graph.markOutput(stages[3]);
+        return graph;
+    }
+
+    const int64_t feat_c = graph.layer(stages[3]).outShape[1];
+
+    Layer pool;
+    pool.name = "head.avgpool";
+    pool.kind = LayerKind::AvgPool;
+    pool.attrs.outH = 1;
+    pool.attrs.outW = 1;
+    pool.attrs.kernelH = graph.layer(stages[3]).outShape[2];
+    pool.attrs.kernelW = graph.layer(stages[3]).outShape[3];
+    pool.inputs = {stages[3]};
+    pool.stage = "head";
+    int p = graph.addLayer(std::move(pool));
+
+    Layer tok;
+    tok.name = "head.flatten";
+    tok.kind = LayerKind::ImageToTokens;
+    tok.inputs = {p};
+    tok.stage = "head";
+    int t = graph.addLayer(std::move(tok));
+
+    Layer fc;
+    fc.name = "head.fc";
+    fc.kind = LayerKind::Linear;
+    fc.attrs.inFeatures = feat_c;
+    fc.attrs.outFeatures = cfg.numClasses;
+    fc.inputs = {t};
+    fc.stage = "head";
+    graph.addOutput(std::move(fc));
+
+    return graph;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ResNet-50 backbone builder with the Once-For-All (OFA) elastic
+ * dimensions: per-stage depth, width multiplier, and bottleneck expand
+ * ratio. The standard ResNet-50 is the (depths {3,4,6,3}, width 1.0,
+ * expand 0.25) point of this space.
+ *
+ * The paper uses OFA ResNet-50 parameterizations as the dynamic-inference
+ * vehicle for object detection (DETR-family backbones) in Sections V/VI.
+ */
+
+#ifndef VITDYN_MODELS_RESNET_HH
+#define VITDYN_MODELS_RESNET_HH
+
+#include <array>
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+/** Elastic ResNet-50 configuration (OFA search space). */
+struct ResnetConfig
+{
+    std::string name = "resnet50";
+
+    int64_t batch = 1;
+    int64_t imageH = 480;
+    int64_t imageW = 640;
+
+    /** Bottleneck blocks per stage. */
+    std::array<int64_t, 4> depths{3, 4, 6, 3};
+
+    /** Multiplier on all channel counts (OFA width: 0.65 / 0.8 / 1.0). */
+    double widthMult = 1.0;
+
+    /** Bottleneck mid-channel ratio (OFA expand: 0.2 / 0.25 / 0.35). */
+    double expandRatio = 0.25;
+
+    /**
+     * When true the graph is a pure feature extractor (no pooling /
+     * classification head); used as the DETR backbone.
+     */
+    bool headless = false;
+
+    /** Classification classes when not headless. */
+    int64_t numClasses = 1000;
+};
+
+/**
+ * Build a (possibly elastic) ResNet-50 graph. Stage outputs are named
+ * "C2".."C5" (strides 4..32) and tagged stage "backbone.stage{i}" so
+ * detection models can tap multi-scale features.
+ */
+Graph buildResnet(const ResnetConfig &config);
+
+/**
+ * Append a ResNet-50 body to an existing graph (used by the DETR
+ * builders). @p input must be an NCHW layer id in @p graph.
+ * @return layer ids of the four stage outputs C2..C5.
+ */
+std::array<int, 4> appendResnetBody(Graph &graph,
+                                    const ResnetConfig &config, int input);
+
+} // namespace vitdyn
+
+#endif // VITDYN_MODELS_RESNET_HH

@@ -1,0 +1,345 @@
+#include "models/segformer.hh"
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+SegformerConfig
+segformerB0Config()
+{
+    SegformerConfig c;
+    c.name = "segformer_b0";
+    c.embedDims = {32, 64, 160, 256};
+    c.depths = {2, 2, 2, 2};
+    c.decoderDim = 256;
+    return c;
+}
+
+SegformerConfig
+segformerB1Config()
+{
+    SegformerConfig c;
+    c.name = "segformer_b1";
+    c.embedDims = {64, 128, 320, 512};
+    c.depths = {2, 2, 2, 2};
+    c.decoderDim = 256;
+    return c;
+}
+
+SegformerConfig
+segformerB2Config()
+{
+    return SegformerConfig{};
+}
+
+SegformerConfig
+segformerB3Config()
+{
+    SegformerConfig c;
+    c.name = "segformer_b3";
+    c.depths = {3, 4, 18, 3};
+    return c;
+}
+
+SegformerConfig
+segformerB4Config()
+{
+    SegformerConfig c;
+    c.name = "segformer_b4";
+    c.depths = {3, 8, 27, 3};
+    return c;
+}
+
+SegformerConfig
+segformerB5Config()
+{
+    SegformerConfig c;
+    c.name = "segformer_b5";
+    c.depths = {3, 6, 40, 3};
+    return c;
+}
+
+SegformerConfig
+segformerB2CityscapesConfig()
+{
+    SegformerConfig c;
+    c.name = "segformer_b2_cityscapes";
+    c.imageH = 1024;
+    c.imageW = 2048;
+    c.numClasses = 19;
+    return c;
+}
+
+namespace
+{
+
+/** Incremental builder state shared by the helpers below. */
+struct Builder
+{
+    Graph graph;
+    const SegformerConfig &cfg;
+
+    explicit Builder(const SegformerConfig &config)
+        : graph(config.name), cfg(config)
+    {
+    }
+
+    int
+    layerNorm(const std::string &name, const std::string &stage, int in,
+              int64_t channels)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::LayerNorm;
+        l.attrs.inFeatures = channels;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    linear(const std::string &name, const std::string &stage, int in,
+           int64_t in_f, int64_t out_f)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Linear;
+        l.attrs.inFeatures = in_f;
+        l.attrs.outFeatures = out_f;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    conv(const std::string &name, const std::string &stage, int in,
+         int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
+         int64_t pad, int64_t groups = 1)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Conv2d;
+        l.attrs.inChannels = in_c;
+        l.attrs.outChannels = out_c;
+        l.attrs.kernelH = l.attrs.kernelW = kernel;
+        l.attrs.strideH = l.attrs.strideW = stride;
+        l.attrs.padH = l.attrs.padW = pad;
+        l.attrs.groups = groups;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    toImage(const std::string &name, const std::string &stage, int in,
+            int64_t h, int64_t w)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::TokensToImage;
+        l.attrs.gridH = h;
+        l.attrs.gridW = w;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    toTokens(const std::string &name, const std::string &stage, int in)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::ImageToTokens;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    simple(LayerKind kind, const std::string &name,
+           const std::string &stage, std::vector<int> inputs)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = kind;
+        l.inputs = std::move(inputs);
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    /**
+     * One MiT encoder block: efficient self-attention (with spatial
+     * reduction sr) followed by a Mix-FFN, both with residuals.
+     * @return id of the block output tokens.
+     */
+    int
+    encoderBlock(const std::string &prefix, int tokens, int64_t dim,
+                 int64_t heads, int64_t sr, int64_t h, int64_t w)
+    {
+        // --- Efficient self-attention ---
+        int x = layerNorm(prefix + ".ln1", prefix, tokens, dim);
+        int q = linear(prefix + ".attn.q", prefix, x, dim, dim);
+
+        int kv_src = x;
+        int64_t lkv = h * w;
+        if (sr > 1) {
+            int img = toImage(prefix + ".attn.sr_in", prefix, kv_src, h, w);
+            int red = conv(prefix + ".attn.sr_conv", prefix, img, dim, dim,
+                           sr, sr, 0);
+            int tok = toTokens(prefix + ".attn.sr_out", prefix, red);
+            kv_src = layerNorm(prefix + ".attn.sr_ln", prefix, tok, dim);
+            lkv = (h / sr) * (w / sr);
+        }
+        int k = linear(prefix + ".attn.k", prefix, kv_src, dim, dim);
+        int v = linear(prefix + ".attn.v", prefix, kv_src, dim, dim);
+
+        Layer score;
+        score.name = prefix + ".attn.score";
+        score.kind = LayerKind::AttentionScore;
+        score.attrs.inFeatures = dim;
+        score.attrs.numHeads = heads;
+        score.inputs = {q, k};
+        score.stage = prefix;
+        int s = graph.addLayer(std::move(score));
+
+        int sm = simple(LayerKind::Softmax, prefix + ".attn.softmax",
+                        prefix, {s});
+
+        Layer ctx;
+        ctx.name = prefix + ".attn.context";
+        ctx.kind = LayerKind::AttentionContext;
+        ctx.attrs.inFeatures = lkv;
+        ctx.attrs.numHeads = heads;
+        ctx.inputs = {sm, v};
+        ctx.stage = prefix;
+        int c = graph.addLayer(std::move(ctx));
+
+        int proj = linear(prefix + ".attn.proj", prefix, c, dim, dim);
+        int res1 = simple(LayerKind::Add, prefix + ".attn.add", prefix,
+                          {tokens, proj});
+
+        // --- Mix-FFN: fc1 -> DWConv 3x3 -> GELU -> fc2 ---
+        const int64_t hidden = dim * cfg.mlpRatio;
+        int y = layerNorm(prefix + ".ln2", prefix, res1, dim);
+        int fc1 = linear(prefix + ".ffn.fc1", prefix, y, dim, hidden);
+        int img = toImage(prefix + ".ffn.dw_in", prefix, fc1, h, w);
+        int dw = conv(prefix + ".ffn.DWConv", prefix, img, hidden, hidden,
+                      3, 1, 1, hidden);
+        int tok = toTokens(prefix + ".ffn.dw_out", prefix, dw);
+        int act = simple(LayerKind::GELU, prefix + ".ffn.gelu", prefix,
+                         {tok});
+        int fc2 = linear(prefix + ".ffn.fc2", prefix, act, hidden, dim);
+        return simple(LayerKind::Add, prefix + ".ffn.add", prefix,
+                      {res1, fc2});
+    }
+};
+
+} // namespace
+
+Graph
+buildSegformer(const SegformerConfig &cfg)
+{
+    vitdyn_assert(cfg.imageH % 32 == 0 && cfg.imageW % 32 == 0,
+                  "SegFormer image size must be divisible by 32, got ",
+                  cfg.imageH, "x", cfg.imageW);
+
+    Builder b(cfg);
+    int x = b.graph.addInput("image",
+                             {cfg.batch, 3, cfg.imageH, cfg.imageW});
+
+    int64_t h = cfg.imageH;
+    int64_t w = cfg.imageW;
+    int64_t in_c = 3;
+    std::array<int, 4> stage_out{};   // NCHW stage outputs
+    std::array<int64_t, 4> stage_h{};
+    std::array<int64_t, 4> stage_w{};
+
+    for (int i = 0; i < 4; ++i) {
+        const std::string sp = "encoder.stage" + std::to_string(i);
+        const int64_t dim = cfg.embedDims[i];
+        const int64_t kernel = i == 0 ? 7 : 3;
+        const int64_t stride = i == 0 ? 4 : 2;
+        const int64_t pad = i == 0 ? 3 : 1;
+
+        int emb = b.conv("OverlapPatchEmbed" + std::to_string(i) +
+                             "_Conv2D",
+                         sp + ".patch", x, in_c, dim, kernel, stride, pad);
+        h = convOutDim(h, kernel, stride, pad);
+        w = convOutDim(w, kernel, stride, pad);
+
+        int tok = b.toTokens(sp + ".patch.tokens", sp + ".patch", emb);
+        tok = b.layerNorm(sp + ".patch.ln", sp + ".patch", tok, dim);
+
+        for (int64_t j = 0; j < cfg.depths[i]; ++j) {
+            tok = b.encoderBlock(sp + ".block" + std::to_string(j), tok,
+                                 dim, cfg.numHeads[i], cfg.srRatios[i], h,
+                                 w);
+        }
+
+        int norm = b.layerNorm(sp + ".norm", sp + ".norm", tok, dim);
+        stage_out[i] = b.toImage("Stage" + std::to_string(i) + "_Out",
+                                 sp + ".norm", norm, h, w);
+        stage_h[i] = h;
+        stage_w[i] = w;
+
+        x = stage_out[i];
+        in_c = dim;
+    }
+
+    // --- All-MLP decode head ---
+    // Contributions ordered [stage3, stage2, stage1, stage0]; see the
+    // header comment for why.
+    std::vector<int> fused;
+    for (int i = 3; i >= 0; --i) {
+        const std::string dp = "decoder.linear" + std::to_string(i);
+        int tok = b.toTokens(dp + ".tokens", "decoder", stage_out[i]);
+        int lin = b.linear("DecodeLinear" + std::to_string(i), "decoder",
+                           tok, cfg.embedDims[i], cfg.decoderDim);
+        int img = b.toImage(dp + ".image", "decoder", lin, stage_h[i],
+                            stage_w[i]);
+        if (i > 0) {
+            Layer up;
+            up.name = dp + ".upsample";
+            up.kind = LayerKind::Interpolate;
+            up.attrs.outH = stage_h[0];
+            up.attrs.outW = stage_w[0];
+            up.inputs = {img};
+            up.stage = "decoder";
+            img = b.graph.addLayer(std::move(up));
+        }
+        fused.push_back(img);
+    }
+
+    int cat = b.simple(LayerKind::Concat, "decoder.concat", "decoder",
+                       fused);
+    int fuse = b.conv("Conv2DFuse", "decoder", cat, 4 * cfg.decoderDim,
+                      cfg.decoderDim, 1, 1, 0);
+
+    Layer bn;
+    bn.name = "Conv2DFuse_BN";
+    bn.kind = LayerKind::BatchNorm;
+    bn.attrs.inChannels = cfg.decoderDim;
+    bn.inputs = {fuse};
+    bn.stage = "decoder";
+    int bnid = b.graph.addLayer(std::move(bn));
+
+    int act = b.simple(LayerKind::ReLU, "Conv2DFuse_ReLU", "decoder",
+                       {bnid});
+    int pred = b.conv("Conv2DPred", "decoder", act, cfg.decoderDim,
+                      cfg.numClasses, 1, 1, 0);
+
+    Layer up;
+    up.name = "FinalUpsample";
+    up.kind = LayerKind::Interpolate;
+    up.attrs.outH = cfg.imageH;
+    up.attrs.outW = cfg.imageW;
+    up.inputs = {pred};
+    up.stage = "decoder";
+    b.graph.addOutput(std::move(up));
+
+    return b.graph;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SegFormer (Xie et al., NeurIPS'21) model builder: MiT encoder plus the
+ * all-MLP decode head, expressed as a vitdyn execution graph.
+ *
+ * The layer naming follows Figure 2 of the paper under reproduction:
+ * per-stage "OverlapPatchEmbed{i}_Conv2D", encoder blocks with efficient
+ * (spatial-reduction) self-attention and Mix-FFN (with its depthwise
+ * "DWConv" convolution), and the decoder's "DecodeLinear{i}",
+ * "Conv2DFuse" and "Conv2DPred" layers.
+ *
+ * The decoder concatenation is ordered [stage3, stage2, stage1, stage0]
+ * so that tail-trimming the Conv2DFuse input channels (Section III
+ * pruning) removes the cheap DecodeLinear contributions of the early
+ * stages first while the Stage-3 contribution — the only one whose
+ * producer chain is not shared with another encoder stage — survives
+ * longest, matching the propagation constraint described in the paper.
+ */
+
+#ifndef VITDYN_MODELS_SEGFORMER_HH
+#define VITDYN_MODELS_SEGFORMER_HH
+
+#include <array>
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+/** Structural hyperparameters of a SegFormer model. */
+struct SegformerConfig
+{
+    std::string name = "segformer_b2";
+
+    int64_t batch = 1;
+    int64_t imageH = 512;
+    int64_t imageW = 512;
+    int64_t numClasses = 150; ///< 150 for ADE20K, 19 for Cityscapes.
+
+    /** MiT embedding dims per stage. */
+    std::array<int64_t, 4> embedDims{64, 128, 320, 512};
+    /** Encoder transformer blocks per stage ("Depths" in Table II). */
+    std::array<int64_t, 4> depths{3, 4, 6, 3};
+    /** Attention heads per stage. */
+    std::array<int64_t, 4> numHeads{1, 2, 5, 8};
+    /** Spatial-reduction ratios of the efficient attention per stage. */
+    std::array<int64_t, 4> srRatios{8, 4, 2, 1};
+    /** Mix-FFN expansion ratio. */
+    int64_t mlpRatio = 4;
+
+    /** Decoder embedding dim (Conv2DFuse output channels, unpruned). */
+    int64_t decoderDim = 768;
+};
+
+/** MiT-B0 preset (decoder dim 256). */
+SegformerConfig segformerB0Config();
+
+/** MiT-B1 preset (decoder dim 256). */
+SegformerConfig segformerB1Config();
+
+/** MiT-B2 preset (decoder dim 768) — the paper's main case study. */
+SegformerConfig segformerB2Config();
+
+/** MiT-B3 preset (depths 3,4,18,3). */
+SegformerConfig segformerB3Config();
+
+/** MiT-B4 preset (depths 3,8,27,3). */
+SegformerConfig segformerB4Config();
+
+/** MiT-B5 preset (depths 3,6,40,3), the largest SegFormer. */
+SegformerConfig segformerB5Config();
+
+/** B2 preset at Cityscapes resolution (1024x2048, 19 classes). */
+SegformerConfig segformerB2CityscapesConfig();
+
+/** Build the execution graph for a SegFormer configuration. */
+Graph buildSegformer(const SegformerConfig &config);
+
+} // namespace vitdyn
+
+#endif // VITDYN_MODELS_SEGFORMER_HH

@@ -1,0 +1,311 @@
+#include "models/swin.hh"
+
+#include "models/upernet.hh"
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+SwinConfig
+swinTinyConfig()
+{
+    return SwinConfig{};
+}
+
+SwinConfig
+swinSmallConfig()
+{
+    SwinConfig c;
+    c.name = "swin_small";
+    c.depths = {2, 2, 18, 2};
+    return c;
+}
+
+SwinConfig
+swinBaseConfig()
+{
+    SwinConfig c;
+    c.name = "swin_base";
+    c.embedDim = 128;
+    c.depths = {2, 2, 18, 2};
+    c.numHeads = {4, 8, 16, 32};
+    return c;
+}
+
+namespace
+{
+
+/** Incremental builder state shared by the helpers below. */
+struct Builder
+{
+    Graph graph;
+    const SwinConfig &cfg;
+
+    explicit Builder(const SwinConfig &config)
+        : graph(config.name), cfg(config)
+    {
+    }
+
+    int
+    layerNorm(const std::string &name, const std::string &stage, int in,
+              int64_t channels)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::LayerNorm;
+        l.attrs.inFeatures = channels;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    linear(const std::string &name, const std::string &stage, int in,
+           int64_t in_f, int64_t out_f)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Linear;
+        l.attrs.inFeatures = in_f;
+        l.attrs.outFeatures = out_f;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    conv(const std::string &name, const std::string &stage, int in,
+         int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
+         int64_t pad)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Conv2d;
+        l.attrs.inChannels = in_c;
+        l.attrs.outChannels = out_c;
+        l.attrs.kernelH = l.attrs.kernelW = kernel;
+        l.attrs.strideH = l.attrs.strideW = stride;
+        l.attrs.padH = l.attrs.padW = pad;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    toImage(const std::string &name, const std::string &stage, int in,
+            int64_t h, int64_t w)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::TokensToImage;
+        l.attrs.gridH = h;
+        l.attrs.gridW = w;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    toTokens(const std::string &name, const std::string &stage, int in)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::ImageToTokens;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    interpolate(const std::string &name, const std::string &stage, int in,
+                int64_t h, int64_t w)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Interpolate;
+        l.attrs.outH = h;
+        l.attrs.outW = w;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    simple(LayerKind kind, const std::string &name,
+           const std::string &stage, std::vector<int> inputs)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = kind;
+        l.inputs = std::move(inputs);
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    /**
+     * One Swin block: (shifted-)window attention + MLP, residuals on
+     * both. @return block output token id.
+     */
+    int
+    swinBlock(const std::string &prefix, int tokens, int64_t dim,
+              int64_t heads, int64_t h, int64_t w)
+    {
+        const int64_t win = cfg.window;
+        const int64_t ph = (h + win - 1) / win * win;
+        const int64_t pw = (w + win - 1) / win * win;
+
+        int x = layerNorm(prefix + ".ln1", prefix, tokens, dim);
+
+        // Pad the grid up to a window multiple if needed.
+        int padded = x;
+        if (ph != h || pw != w) {
+            int img = toImage(prefix + ".attn.pad_in", prefix, x, h, w);
+            int up = interpolate(prefix + ".attn.pad", prefix, img, ph,
+                                 pw);
+            padded = toTokens(prefix + ".attn.pad_out", prefix, up);
+        }
+
+        Layer part;
+        part.name = prefix + ".attn.window_partition";
+        part.kind = LayerKind::WindowPartition;
+        part.attrs.gridH = ph;
+        part.attrs.gridW = pw;
+        part.attrs.window = win;
+        part.inputs = {padded};
+        part.stage = prefix;
+        int windows = graph.addLayer(std::move(part));
+
+        int q = linear(prefix + ".attn.q", prefix, windows, dim, dim);
+        int k = linear(prefix + ".attn.k", prefix, windows, dim, dim);
+        int v = linear(prefix + ".attn.v", prefix, windows, dim, dim);
+
+        Layer score;
+        score.name = prefix + ".attn.score";
+        score.kind = LayerKind::AttentionScore;
+        score.attrs.inFeatures = dim;
+        score.attrs.numHeads = heads;
+        score.inputs = {q, k};
+        score.stage = prefix;
+        int s = graph.addLayer(std::move(score));
+
+        int sm = simple(LayerKind::Softmax, prefix + ".attn.softmax",
+                        prefix, {s});
+
+        Layer ctx;
+        ctx.name = prefix + ".attn.context";
+        ctx.kind = LayerKind::AttentionContext;
+        ctx.attrs.inFeatures = win * win;
+        ctx.attrs.numHeads = heads;
+        ctx.inputs = {sm, v};
+        ctx.stage = prefix;
+        int c = graph.addLayer(std::move(ctx));
+
+        int proj = linear(prefix + ".attn.proj", prefix, c, dim, dim);
+
+        Layer rev;
+        rev.name = prefix + ".attn.window_reverse";
+        rev.kind = LayerKind::WindowReverse;
+        rev.attrs.gridH = ph;
+        rev.attrs.gridW = pw;
+        rev.attrs.window = win;
+        rev.inputs = {proj};
+        rev.stage = prefix;
+        int merged = graph.addLayer(std::move(rev));
+
+        int cropped = merged;
+        if (ph != h || pw != w) {
+            int img = toImage(prefix + ".attn.crop_in", prefix, merged,
+                              ph, pw);
+            int down = interpolate(prefix + ".attn.crop", prefix, img, h,
+                                   w);
+            cropped = toTokens(prefix + ".attn.crop_out", prefix, down);
+        }
+
+        int res1 = simple(LayerKind::Add, prefix + ".attn.add", prefix,
+                          {tokens, cropped});
+
+        // --- MLP ---
+        const int64_t hidden = dim * cfg.mlpRatio;
+        int y = layerNorm(prefix + ".ln2", prefix, res1, dim);
+        int fc1 = linear(prefix + ".mlp.fc1", prefix, y, dim, hidden);
+        int act = simple(LayerKind::GELU, prefix + ".mlp.gelu", prefix,
+                         {fc1});
+        int fc2 = linear(prefix + ".mlp.fc2", prefix, act, hidden, dim);
+        return simple(LayerKind::Add, prefix + ".mlp.add", prefix,
+                      {res1, fc2});
+    }
+};
+
+} // namespace
+
+Graph
+buildSwin(const SwinConfig &cfg)
+{
+    vitdyn_assert(cfg.imageH % 32 == 0 && cfg.imageW % 32 == 0,
+                  "Swin image size must be divisible by 32, got ",
+                  cfg.imageH, "x", cfg.imageW);
+
+    Builder b(cfg);
+    int x = b.graph.addInput("image",
+                             {cfg.batch, 3, cfg.imageH, cfg.imageW});
+
+    // Patch embedding: 4x4 non-overlapping conv.
+    int emb = b.conv("PatchEmbed_Conv2D", "encoder.patch", x, 3,
+                     cfg.embedDim, 4, 4, 0);
+    int64_t h = cfg.imageH / 4;
+    int64_t w = cfg.imageW / 4;
+    int tok = b.toTokens("encoder.patch.tokens", "encoder.patch", emb);
+    tok = b.layerNorm("encoder.patch.ln", "encoder.patch", tok,
+                      cfg.embedDim);
+
+    std::array<int, 4> stage_out{};
+    std::array<int64_t, 4> stage_h{};
+    std::array<int64_t, 4> stage_w{};
+    std::array<int64_t, 4> stage_c{};
+
+    int64_t dim = cfg.embedDim;
+    for (int i = 0; i < 4; ++i) {
+        const std::string sp = "encoder.stage" + std::to_string(i);
+        if (i > 0) {
+            // Patch merging: 2x2 conv halving the grid, doubling dim.
+            // (Shape/FLOP-equivalent to the concat+Linear formulation.)
+            int img = b.toImage(sp + ".merge_in", sp + ".merge", tok, h,
+                                w);
+            int merged = b.conv("PatchMerging" + std::to_string(i), sp +
+                                    ".merge",
+                                img, dim, dim * 2, 2, 2, 0);
+            h /= 2;
+            w /= 2;
+            dim *= 2;
+            tok = b.toTokens(sp + ".merge_out", sp + ".merge", merged);
+            tok = b.layerNorm(sp + ".merge_ln", sp + ".merge", tok, dim);
+        }
+
+        for (int64_t j = 0; j < cfg.depths[i]; ++j) {
+            tok = b.swinBlock(sp + ".block" + std::to_string(j), tok, dim,
+                              cfg.numHeads[i], h, w);
+        }
+
+        int norm = b.layerNorm(sp + ".norm", sp + ".norm", tok, dim);
+        stage_out[i] = b.toImage("Stage" + std::to_string(i) + "_Out",
+                                 sp + ".norm", norm, h, w);
+        stage_h[i] = h;
+        stage_w[i] = w;
+        stage_c[i] = dim;
+    }
+
+    // --- UPerNet decode head (shared component) ---
+    UpernetConfig head;
+    head.channels = cfg.decoderChannels;
+    head.ppmScales = cfg.ppmScales;
+    head.numClasses = cfg.numClasses;
+    head.imageH = cfg.imageH;
+    head.imageW = cfg.imageW;
+    appendUpernetHead(b.graph, stage_out, head);
+
+    return b.graph;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Swin Transformer (Liu et al., ICCV'21) backbone with the UPerNet
+ * decode head (Xiao et al., ECCV'18), as used by the paper for semantic
+ * segmentation.
+ *
+ * Window attention is built over a grid padded up to a multiple of the
+ * window size (as the reference implementation does); the pad/crop is
+ * expressed with bilinear resize layers, which is FLOP- and
+ * shape-equivalent to zero-padding for every experiment in this
+ * repository. The shifted-window cyclic roll and the relative position
+ * bias are omitted from the graph: both are zero-MAC bookkeeping that
+ * none of the paper's measurements depend on.
+ *
+ * Decoder layer names follow the paper: "fpn_bottleneck_Conv2D" is the
+ * large fusion convolution (65% of Swin-Tiny FLOPs at 512x512),
+ * "fpn_convs_{i}_Conv2D" are the per-level FPN convolutions.
+ */
+
+#ifndef VITDYN_MODELS_SWIN_HH
+#define VITDYN_MODELS_SWIN_HH
+
+#include <array>
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+/** Structural hyperparameters of Swin + UPerNet. */
+struct SwinConfig
+{
+    std::string name = "swin_tiny";
+
+    int64_t batch = 1;
+    int64_t imageH = 512;
+    int64_t imageW = 512;
+    int64_t numClasses = 150;
+
+    int64_t embedDim = 96;                 ///< Stage-0 channel count.
+    std::array<int64_t, 4> depths{2, 2, 6, 2};
+    std::array<int64_t, 4> numHeads{3, 6, 12, 24};
+    int64_t window = 7;
+    int64_t mlpRatio = 4;
+
+    /** UPerNet head width (all laterals/FPN convs). */
+    int64_t decoderChannels = 512;
+    /** Pyramid pooling module scales. */
+    std::array<int64_t, 4> ppmScales{1, 2, 3, 6};
+};
+
+/** Swin-Tiny preset (the paper's main Swin case study). */
+SwinConfig swinTinyConfig();
+
+/** Swin-Small preset. */
+SwinConfig swinSmallConfig();
+
+/** Swin-Base preset (Table III pruning study). */
+SwinConfig swinBaseConfig();
+
+/** Build the execution graph for a Swin + UPerNet configuration. */
+Graph buildSwin(const SwinConfig &config);
+
+} // namespace vitdyn
+
+#endif // VITDYN_MODELS_SWIN_HH

@@ -1,0 +1,172 @@
+#include "models/upernet.hh"
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+struct Builder
+{
+    Graph &graph;
+
+    int
+    conv(const std::string &name, int in, int64_t in_c, int64_t out_c,
+         int64_t kernel, int64_t pad)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Conv2d;
+        l.attrs.inChannels = in_c;
+        l.attrs.outChannels = out_c;
+        l.attrs.kernelH = l.attrs.kernelW = kernel;
+        l.attrs.padH = l.attrs.padW = pad;
+        l.inputs = {in};
+        l.stage = "decoder";
+        return graph.addLayer(std::move(l));
+    }
+
+    /** ConvModule: conv + BN + ReLU, the UPerNet building block. */
+    int
+    convModule(const std::string &name, int in, int64_t in_c,
+               int64_t out_c, int64_t kernel, int64_t pad)
+    {
+        int c = conv(name, in, in_c, out_c, kernel, pad);
+        Layer bn;
+        bn.name = name + "_BN";
+        bn.kind = LayerKind::BatchNorm;
+        bn.attrs.inChannels = out_c;
+        bn.inputs = {c};
+        bn.stage = "decoder";
+        int b = graph.addLayer(std::move(bn));
+        Layer act;
+        act.name = name + "_ReLU";
+        act.kind = LayerKind::ReLU;
+        act.inputs = {b};
+        act.stage = "decoder";
+        return graph.addLayer(std::move(act));
+    }
+
+    int
+    interpolate(const std::string &name, int in, int64_t h, int64_t w)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Interpolate;
+        l.attrs.outH = h;
+        l.attrs.outW = w;
+        l.inputs = {in};
+        l.stage = "decoder";
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    simple(LayerKind kind, const std::string &name,
+           std::vector<int> inputs)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = kind;
+        l.inputs = std::move(inputs);
+        l.stage = "decoder";
+        return graph.addLayer(std::move(l));
+    }
+};
+
+} // namespace
+
+int
+appendUpernetHead(Graph &graph, const std::array<int, 4> &stage_outputs,
+                  const UpernetConfig &cfg)
+{
+    Builder b{graph};
+    const int64_t ch = cfg.channels;
+
+    std::array<int64_t, 4> stage_c{};
+    std::array<int64_t, 4> stage_h{};
+    std::array<int64_t, 4> stage_w{};
+    for (int i = 0; i < 4; ++i) {
+        const Shape &s = graph.layer(stage_outputs[i]).outShape;
+        vitdyn_assert(s.size() == 4, "UPerNet stage outputs are NCHW");
+        stage_c[i] = s[1];
+        stage_h[i] = s[2];
+        stage_w[i] = s[3];
+    }
+
+    // Pyramid pooling on the last stage output.
+    std::vector<int> ppm_outs{stage_outputs[3]};
+    for (size_t si = 0; si < cfg.ppmScales.size(); ++si) {
+        const int64_t scale = cfg.ppmScales[si];
+        const std::string pp = "decoder.ppm" + std::to_string(scale);
+        Layer pool;
+        pool.name = pp + ".pool";
+        pool.kind = LayerKind::AvgPool;
+        pool.attrs.outH = scale;
+        pool.attrs.outW = scale;
+        pool.attrs.kernelH = std::max<int64_t>(1, stage_h[3] / scale);
+        pool.attrs.kernelW = std::max<int64_t>(1, stage_w[3] / scale);
+        pool.inputs = {stage_outputs[3]};
+        pool.stage = "decoder";
+        int p = graph.addLayer(std::move(pool));
+        int cm = b.convModule(pp + "_Conv2D", p, stage_c[3], ch, 1, 0);
+        ppm_outs.push_back(b.interpolate(pp + ".upsample", cm,
+                                         stage_h[3], stage_w[3]));
+    }
+    int ppm_cat = b.simple(LayerKind::Concat, "decoder.ppm_concat",
+                           ppm_outs);
+    int level3 = b.convModule("ppm_bottleneck_Conv2D", ppm_cat,
+                              stage_c[3] + 4 * ch, ch, 3, 1);
+
+    // Lateral 1x1 convs for levels 0..2, then top-down pathway.
+    std::array<int, 4> levels{};
+    levels[3] = level3;
+    for (int i = 2; i >= 0; --i) {
+        int lat = b.convModule("lateral_conv" + std::to_string(i) +
+                                   "_Conv2D",
+                               stage_outputs[i], stage_c[i], ch, 1, 0);
+        int up = b.interpolate("decoder.topdown" + std::to_string(i),
+                               levels[i + 1], stage_h[i], stage_w[i]);
+        levels[i] = b.simple(LayerKind::Add,
+                             "decoder.merge" + std::to_string(i),
+                             {lat, up});
+    }
+
+    // Per-level FPN 3x3 convs (levels 0..2; level 3 passes through).
+    std::array<int, 4> fpn{};
+    fpn[3] = levels[3];
+    for (int i = 0; i < 3; ++i)
+        fpn[i] = b.convModule("fpn_convs_" + std::to_string(i) +
+                                  "_Conv2D",
+                              levels[i], ch, ch, 3, 1);
+
+    // Fuse all levels at 1/4 resolution. Contributions are ordered
+    // [level3, level2, level1, level0] for the same tail-trimming
+    // reason as SegFormer's decoder concat (see segformer.hh).
+    std::vector<int> fused;
+    for (int i = 3; i >= 1; --i)
+        fused.push_back(b.interpolate(
+            "decoder.fpn_up" + std::to_string(i), fpn[i], stage_h[0],
+            stage_w[0]));
+    fused.push_back(fpn[0]);
+    int cat = b.simple(LayerKind::Concat, "decoder.fpn_concat", fused);
+    int bottleneck = b.convModule("fpn_bottleneck_Conv2D", cat, 4 * ch,
+                                  ch, 3, 1);
+
+    int pred = b.conv("conv_seg", bottleneck, ch, cfg.numClasses, 1,
+                      0);
+
+    Layer up;
+    up.name = "FinalUpsample";
+    up.kind = LayerKind::Interpolate;
+    up.attrs.outH = cfg.imageH;
+    up.attrs.outW = cfg.imageW;
+    up.inputs = {pred};
+    up.stage = "decoder";
+    const int out = graph.addLayer(std::move(up));
+    graph.markOutput(out);
+    return out;
+}
+
+} // namespace vitdyn

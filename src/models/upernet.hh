@@ -1,0 +1,49 @@
+/**
+ * @file
+ * UPerNet decode head (Xiao et al., ECCV'18) as a reusable component:
+ * pyramid pooling over the last backbone stage, FPN lateral/top-down
+ * fusion, per-level 3x3 convs, and the large fpn_bottleneck fusion
+ * convolution that dominates segmentation FLOPs (Figs 4/5 of the
+ * paper).
+ *
+ * The paper stresses that encoder-backbone research (Swin, PVT, ...)
+ * composes with this head for segmentation and that the head then
+ * dominates the pipeline; factoring it out lets any backbone in this
+ * library demonstrate that claim.
+ */
+
+#ifndef VITDYN_MODELS_UPERNET_HH
+#define VITDYN_MODELS_UPERNET_HH
+
+#include <array>
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+/** UPerNet head hyperparameters. */
+struct UpernetConfig
+{
+    int64_t channels = 512;                ///< Lateral/FPN width.
+    std::array<int64_t, 4> ppmScales{1, 2, 3, 6};
+    int64_t numClasses = 150;
+    int64_t imageH = 512;                  ///< Final upsample target.
+    int64_t imageW = 512;
+};
+
+/**
+ * Append the UPerNet head to @p graph.
+ *
+ * @param stage_outputs ids of the four backbone stage outputs (NCHW,
+ *        strides 4/8/16/32), shallowest first.
+ * @return the id of the final full-resolution logits layer (also
+ *         marked as a graph output).
+ */
+int appendUpernetHead(Graph &graph,
+                      const std::array<int, 4> &stage_outputs,
+                      const UpernetConfig &config);
+
+} // namespace vitdyn
+
+#endif // VITDYN_MODELS_UPERNET_HH

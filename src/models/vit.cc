@@ -1,0 +1,178 @@
+#include "models/vit.hh"
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+VitConfig
+vitB16Config()
+{
+    return VitConfig{};
+}
+
+VitConfig
+vitL16Config()
+{
+    VitConfig c;
+    c.name = "vit_l16";
+    c.embedDim = 1024;
+    c.depth = 24;
+    c.numHeads = 16;
+    return c;
+}
+
+namespace
+{
+
+struct Builder
+{
+    Graph &graph;
+
+    int
+    linear(const std::string &name, const std::string &stage, int in,
+           int64_t in_f, int64_t out_f)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Linear;
+        l.attrs.inFeatures = in_f;
+        l.attrs.outFeatures = out_f;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    layerNorm(const std::string &name, const std::string &stage, int in,
+              int64_t channels)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::LayerNorm;
+        l.attrs.inFeatures = channels;
+        l.inputs = {in};
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    int
+    simple(LayerKind kind, const std::string &name,
+           const std::string &stage, std::vector<int> inputs)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = kind;
+        l.inputs = std::move(inputs);
+        l.stage = stage;
+        return graph.addLayer(std::move(l));
+    }
+
+    /** Pre-norm transformer encoder block (ViT / BERT style). */
+    int
+    encoderBlock(const std::string &prefix, int tokens, int64_t dim,
+                 int64_t heads, int64_t ffn_dim, int64_t seq_len)
+    {
+        int x = layerNorm(prefix + ".ln1", prefix, tokens, dim);
+        int q = linear(prefix + ".attn.q", prefix, x, dim, dim);
+        int k = linear(prefix + ".attn.k", prefix, x, dim, dim);
+        int v = linear(prefix + ".attn.v", prefix, x, dim, dim);
+
+        Layer score;
+        score.name = prefix + ".attn.score";
+        score.kind = LayerKind::AttentionScore;
+        score.attrs.inFeatures = dim;
+        score.attrs.numHeads = heads;
+        score.inputs = {q, k};
+        score.stage = prefix;
+        int s = graph.addLayer(std::move(score));
+
+        int sm = simple(LayerKind::Softmax, prefix + ".attn.softmax",
+                        prefix, {s});
+
+        Layer ctx;
+        ctx.name = prefix + ".attn.context";
+        ctx.kind = LayerKind::AttentionContext;
+        ctx.attrs.inFeatures = seq_len;
+        ctx.attrs.numHeads = heads;
+        ctx.inputs = {sm, v};
+        ctx.stage = prefix;
+        int c = graph.addLayer(std::move(ctx));
+
+        int proj = linear(prefix + ".attn.proj", prefix, c, dim, dim);
+        int res1 = simple(LayerKind::Add, prefix + ".attn.add", prefix,
+                          {tokens, proj});
+
+        int y = layerNorm(prefix + ".ln2", prefix, res1, dim);
+        int fc1 = linear(prefix + ".mlp.fc1", prefix, y, dim, ffn_dim);
+        int act = simple(LayerKind::GELU, prefix + ".mlp.gelu", prefix,
+                         {fc1});
+        int fc2 = linear(prefix + ".mlp.fc2", prefix, act, ffn_dim,
+                         dim);
+        return simple(LayerKind::Add, prefix + ".mlp.add", prefix,
+                      {res1, fc2});
+    }
+};
+
+} // namespace
+
+Graph
+buildVit(const VitConfig &cfg)
+{
+    vitdyn_assert(cfg.imageH % cfg.patch == 0 &&
+                  cfg.imageW % cfg.patch == 0,
+                  "ViT image size must be divisible by the patch size");
+
+    Graph graph(cfg.name);
+    Builder b{graph};
+    int image = graph.addInput("image",
+                               {cfg.batch, 3, cfg.imageH, cfg.imageW});
+
+    // Conv-free patch embedding: flatten patches, project linearly.
+    Layer patchify;
+    patchify.name = "patchify";
+    patchify.kind = LayerKind::Patchify;
+    patchify.attrs.kernelH = cfg.patch;
+    patchify.inputs = {image};
+    patchify.stage = "encoder.patch";
+    int patches = graph.addLayer(std::move(patchify));
+
+    const int64_t patch_dim = 3 * cfg.patch * cfg.patch;
+    int tokens = b.linear("patch_proj", "encoder.patch", patches,
+                          patch_dim, cfg.embedDim);
+    const int64_t seq_len =
+        (cfg.imageH / cfg.patch) * (cfg.imageW / cfg.patch);
+
+    for (int64_t i = 0; i < cfg.depth; ++i)
+        tokens = b.encoderBlock("encoder.block" + std::to_string(i),
+                                tokens, cfg.embedDim, cfg.numHeads,
+                                cfg.embedDim * cfg.mlpRatio, seq_len);
+
+    int norm = b.layerNorm("encoder.norm", "encoder.norm", tokens,
+                           cfg.embedDim);
+    // Classification over mean-pooled tokens (the class-token variant
+    // differs only by one token's worth of FLOPs).
+    int head = b.linear("head.fc", "head", norm, cfg.embedDim,
+                        cfg.numClasses);
+    graph.markOutput(head);
+    return graph;
+}
+
+Graph
+buildBert(const BertConfig &cfg)
+{
+    Graph graph(cfg.name);
+    Builder b{graph};
+    int tokens = graph.addInput("embeddings",
+                                {cfg.batch, cfg.seqLen, cfg.embedDim});
+    int x = tokens;
+    for (int64_t i = 0; i < cfg.depth; ++i)
+        x = b.encoderBlock("encoder.block" + std::to_string(i), x,
+                           cfg.embedDim, cfg.numHeads, cfg.ffnDim,
+                           cfg.seqLen);
+    graph.markOutput(b.layerNorm("encoder.norm", "encoder.norm", x,
+                                 cfg.embedDim));
+    return graph;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ViT (Dosovitskiy et al., ICLR'21) and a BERT-style encoder stack —
+ * the *conv-free* baselines Section II contrasts against modern
+ * vision transformers: "68% and 89% of the total FLOPs are in
+ * convolution layers in SegFormer and Swin-Tiny, in contrast to the
+ * zero convolutions in ViT and BERT".
+ *
+ * ViT's only quasi-convolution is the non-overlapping patch embedding,
+ * which the reference implementations express as a linear projection
+ * of flattened patches; we model it the same way, so the graph is
+ * literally convolution-free.
+ */
+
+#ifndef VITDYN_MODELS_VIT_HH
+#define VITDYN_MODELS_VIT_HH
+
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+/** Structural hyperparameters of a ViT classifier. */
+struct VitConfig
+{
+    std::string name = "vit_b16";
+
+    int64_t batch = 1;
+    int64_t imageH = 224;
+    int64_t imageW = 224;
+    int64_t patch = 16;
+
+    int64_t embedDim = 768;
+    int64_t depth = 12;
+    int64_t numHeads = 12;
+    int64_t mlpRatio = 4;
+
+    int64_t numClasses = 1000;
+};
+
+/** ViT-Base/16 preset. */
+VitConfig vitB16Config();
+
+/** ViT-Large/16 preset. */
+VitConfig vitL16Config();
+
+/**
+ * BERT-Base-shaped encoder (12 layers, d=768, h=12, FFN 3072) over a
+ * token sequence — the language-model comparison point.
+ */
+struct BertConfig
+{
+    std::string name = "bert_base";
+    int64_t batch = 1;
+    int64_t seqLen = 512;
+    int64_t embedDim = 768;
+    int64_t depth = 12;
+    int64_t numHeads = 12;
+    int64_t ffnDim = 3072;
+};
+
+/** Build a conv-free ViT classification graph. */
+Graph buildVit(const VitConfig &config);
+
+/** Build a conv-free BERT-style encoder graph. */
+Graph buildBert(const BertConfig &config);
+
+} // namespace vitdyn
+
+#endif // VITDYN_MODELS_VIT_HH

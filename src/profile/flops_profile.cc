@@ -1,0 +1,159 @@
+#include "profile/flops_profile.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/** First @p parts slash/dot-separated components of a stage tag. */
+std::string
+stagePrefix(const std::string &stage, int parts)
+{
+    size_t pos = 0;
+    for (int i = 0; i < parts; ++i) {
+        const size_t next = stage.find('.', pos);
+        if (next == std::string::npos)
+            return stage;
+        pos = next + 1;
+    }
+    return stage.substr(0, pos == 0 ? stage.size() : pos - 1);
+}
+
+} // namespace
+
+Profile::Profile(const Graph &graph, const GpuLatencyModel &gpu,
+                 const std::vector<std::string> &named_layers,
+                 const std::string &group_rest)
+{
+    const int64_t batch =
+        graph.inputs().empty()
+            ? 1
+            : graph.layer(graph.inputs().front()).outShape.at(0);
+
+    std::map<std::string, ProfileGroup> acc;
+    for (const Layer &layer : graph.layers()) {
+        if (layer.kind == LayerKind::Input)
+            continue;
+
+        std::string group;
+        if (std::find(named_layers.begin(), named_layers.end(),
+                      layer.name) != named_layers.end()) {
+            group = layer.name;
+        } else if (group_rest == "stage") {
+            group = stagePrefix(layer.stage, 1);
+        } else if (group_rest == "stage2") {
+            group = stagePrefix(layer.stage, 2);
+        } else {
+            group = opCategoryName(layer.category());
+        }
+
+        const GpuLayerCost cost = gpu.layerCost(layer, batch);
+        ProfileGroup &g = acc[group];
+        g.name = group;
+        g.flops += layer.flops();
+        g.params += layer.paramCount();
+        g.timeMs += cost.timeMs;
+        g.energyMj += cost.energyMj;
+
+        totalFlops_ += layer.flops();
+        totalTimeMs_ += cost.timeMs;
+        totalEnergyMj_ += cost.energyMj;
+    }
+
+    for (auto &[name, group] : acc) {
+        group.flopsShare =
+            totalFlops_ ? static_cast<double>(group.flops) / totalFlops_
+                        : 0.0;
+        group.timeShare =
+            totalTimeMs_ > 0.0 ? group.timeMs / totalTimeMs_ : 0.0;
+        groups_.push_back(group);
+    }
+    // Largest FLOPs first, the order the paper's figures use.
+    std::sort(groups_.begin(), groups_.end(),
+              [](const ProfileGroup &a, const ProfileGroup &b) {
+                  return a.flops > b.flops;
+              });
+}
+
+double
+Profile::flopsShare(const std::string &group) const
+{
+    for (const ProfileGroup &g : groups_)
+        if (g.name == group)
+            return g.flopsShare;
+    return 0.0;
+}
+
+double
+Profile::timeShare(const std::string &group) const
+{
+    for (const ProfileGroup &g : groups_)
+        if (g.name == group)
+            return g.timeShare;
+    return 0.0;
+}
+
+double
+Profile::flopsShareMatching(const std::string &s) const
+{
+    double total = 0.0;
+    for (const ProfileGroup &g : groups_)
+        if (g.name.find(s) != std::string::npos)
+            total += g.flopsShare;
+    return total;
+}
+
+double
+Profile::timeShareMatching(const std::string &s) const
+{
+    double total = 0.0;
+    for (const ProfileGroup &g : groups_)
+        if (g.name.find(s) != std::string::npos)
+            total += g.timeShare;
+    return total;
+}
+
+double
+convFlopsShare(const Graph &graph)
+{
+    int64_t conv = 0;
+    int64_t total = 0;
+    for (const Layer &layer : graph.layers()) {
+        total += layer.flops();
+        if (layer.category() == OpCategory::Conv)
+            conv += layer.flops();
+    }
+    return total ? static_cast<double>(conv) / total : 0.0;
+}
+
+int64_t
+stageFlops(const Graph &graph, const std::string &prefix)
+{
+    int64_t total = 0;
+    for (const Layer &layer : graph.layers())
+        if (layer.stage.rfind(prefix, 0) == 0)
+            total += layer.flops();
+    return total;
+}
+
+double
+stageTimeMs(const Graph &graph, const GpuLatencyModel &gpu,
+            const std::string &prefix)
+{
+    const int64_t batch =
+        graph.inputs().empty()
+            ? 1
+            : graph.layer(graph.inputs().front()).outShape.at(0);
+    double total = 0.0;
+    for (const Layer &layer : graph.layers())
+        if (layer.stage.rfind(prefix, 0) == 0)
+            total += gpu.layerTimeMs(layer, batch);
+    return total;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Static profiling of execution graphs: FLOP, parameter, time and energy
+ * distributions, aggregated the way the paper's Section II figures
+ * present them (per op category, per pipeline stage, per named layer).
+ */
+
+#ifndef VITDYN_PROFILE_FLOPS_PROFILE_HH
+#define VITDYN_PROFILE_FLOPS_PROFILE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "profile/gpu_model.hh"
+
+namespace vitdyn
+{
+
+/** One aggregated row of a distribution. */
+struct ProfileGroup
+{
+    std::string name;
+    int64_t flops = 0;
+    int64_t params = 0;
+    double timeMs = 0.0;
+    double energyMj = 0.0;
+    double flopsShare = 0.0; ///< Fraction of graph total.
+    double timeShare = 0.0;  ///< Fraction of graph total.
+};
+
+/** Distribution of a graph's cost over named groups. */
+class Profile
+{
+  public:
+    /**
+     * Build a profile of @p graph with GPU timing from @p gpu.
+     * @param named_layers layer names reported as their own groups
+     *        (e.g. "Conv2DFuse"); everything else is grouped by
+     *        @p group_rest.
+     * @param group_rest "category" (op category), "stage" (top-level
+     *        stage tag), or "stage2" (two stage components).
+     */
+    Profile(const Graph &graph, const GpuLatencyModel &gpu,
+            const std::vector<std::string> &named_layers = {},
+            const std::string &group_rest = "category");
+
+    const std::vector<ProfileGroup> &groups() const { return groups_; }
+
+    int64_t totalFlops() const { return totalFlops_; }
+    double totalTimeMs() const { return totalTimeMs_; }
+    double totalEnergyMj() const { return totalEnergyMj_; }
+
+    /** Share of total FLOPs in a group (0 when absent). */
+    double flopsShare(const std::string &group) const;
+
+    /** Share of total time in a group (0 when absent). */
+    double timeShare(const std::string &group) const;
+
+    /** Sum of FLOP shares over every group whose name contains @p s. */
+    double flopsShareMatching(const std::string &s) const;
+
+    /** Sum of time shares over every group whose name contains @p s. */
+    double timeShareMatching(const std::string &s) const;
+
+  private:
+    std::vector<ProfileGroup> groups_;
+    int64_t totalFlops_ = 0;
+    double totalTimeMs_ = 0.0;
+    double totalEnergyMj_ = 0.0;
+};
+
+/** Share of total FLOPs held by convolution layers. */
+double convFlopsShare(const Graph &graph);
+
+/** Sum of FLOPs over layers whose stage tag starts with @p prefix. */
+int64_t stageFlops(const Graph &graph, const std::string &prefix);
+
+/** Sum of GPU-model time over layers with the given stage prefix. */
+double stageTimeMs(const Graph &graph, const GpuLatencyModel &gpu,
+                   const std::string &prefix);
+
+} // namespace vitdyn
+
+#endif // VITDYN_PROFILE_FLOPS_PROFILE_HH

@@ -1,0 +1,61 @@
+#include "profile/report.hh"
+
+namespace vitdyn
+{
+
+Table
+profileTable(const std::string &title, const Profile &profile)
+{
+    Table table(title, {"Group", "GFLOPs", "FLOPs %", "Time (ms)",
+                        "Time %", "Energy (mJ)"});
+    for (const ProfileGroup &g : profile.groups()) {
+        table.addRow({g.name, Table::num(g.flops / 1e9, 2),
+                      Table::num(100.0 * g.flopsShare, 1),
+                      Table::num(g.timeMs, 2),
+                      Table::num(100.0 * g.timeShare, 1),
+                      Table::num(g.energyMj, 1)});
+    }
+    return table;
+}
+
+ModelSummary
+summarizeModel(const Graph &graph, const GpuLatencyModel &gpu,
+               const std::string &dataset, const std::string &task,
+               double accuracy)
+{
+    ModelSummary s;
+    s.model = graph.name();
+    s.dataset = dataset;
+    s.task = task;
+    s.accuracy = accuracy;
+    s.paramsM = graph.totalParams() / 1e6;
+    s.gflops = graph.totalFlops() / 1e9;
+
+    const double published = publishedGpuLatencyMs(graph.name());
+    const double scale =
+        published > 0.0 ? gpu.calibrateScale(graph, published) : 1.0;
+    s.latencyMs = gpu.graphTimeMs(graph, scale);
+    s.fps = s.latencyMs > 0.0 ? 1000.0 / s.latencyMs : 0.0;
+
+    const Shape &in = graph.layer(graph.inputs().front()).outShape;
+    s.imageSize = std::to_string(in[2]) + " by " + std::to_string(in[3]);
+    return s;
+}
+
+Table
+modelSummaryTable(const std::vector<ModelSummary> &rows)
+{
+    Table table("Table I: state-of-the-art vision transformer model "
+                "summary (batch 1, modeled TITAN V @ 1005 MHz)",
+                {"Model", "Params (M)", "Dataset", "Image size", "GFLOPs",
+                 "Latency (ms)", "FPS", "mIoU / AP", "Task"});
+    for (const ModelSummary &s : rows) {
+        table.addRow({s.model, Table::num(s.paramsM, 1), s.dataset,
+                      s.imageSize, Table::num(s.gflops, 1),
+                      Table::num(s.latencyMs, 0), Table::num(s.fps, 1),
+                      Table::num(s.accuracy, 4), s.task});
+    }
+    return table;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Report helpers shared by the benchmark harnesses: render profiles and
+ * model summaries as tables matching the paper's presentation.
+ */
+
+#ifndef VITDYN_PROFILE_REPORT_HH
+#define VITDYN_PROFILE_REPORT_HH
+
+#include <string>
+
+#include "profile/flops_profile.hh"
+#include "util/table.hh"
+
+namespace vitdyn
+{
+
+/** Render a Profile as a distribution table (group, FLOPs%, time%). */
+Table profileTable(const std::string &title, const Profile &profile);
+
+/**
+ * One Table-I-style summary row for a model: parameters, GFLOPs,
+ * modeled latency, FPS.
+ */
+struct ModelSummary
+{
+    std::string model;
+    std::string dataset;
+    std::string imageSize;
+    double paramsM = 0.0;
+    double gflops = 0.0;
+    double latencyMs = 0.0;
+    double fps = 0.0;
+    double accuracy = 0.0;
+    std::string task;
+};
+
+/** Compute a summary for a graph using the GPU model (with scaling). */
+ModelSummary summarizeModel(const Graph &graph, const GpuLatencyModel &gpu,
+                            const std::string &dataset,
+                            const std::string &task, double accuracy);
+
+/** Render summaries as the Table I layout. */
+Table modelSummaryTable(const std::vector<ModelSummary> &rows);
+
+} // namespace vitdyn
+
+#endif // VITDYN_PROFILE_REPORT_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Accuracy model for pruned execution paths.
+ *
+ * Substitution note (see DESIGN.md): without the pretrained checkpoints
+ * and validation datasets we cannot measure true mIoU, so accuracy
+ * prediction has two paths:
+ *
+ *  1. This calibrated analytic model — exact at every published anchor
+ *     (Tables II/III rows and the trained-model reference points) and
+ *     smooth in between. It is a smooth parametric prior (per-dimension
+ *     redundancy-decay penalties) plus inverse-distance-weighted
+ *     interpolation of the anchor residuals, which guarantees anchor
+ *     exactness while extrapolating sensibly.
+ *
+ *  2. The measured path in workload/metrics.hh: run the full and pruned
+ *     graphs on a synthetic workload and score the pruned model's
+ *     segmentation against the full model's. Tests use it to verify the
+ *     qualitative resilience claims end to end on real tensor math.
+ */
+
+#ifndef VITDYN_RESILIENCE_ACCURACY_MODEL_HH
+#define VITDYN_RESILIENCE_ACCURACY_MODEL_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "resilience/config.hh"
+
+namespace vitdyn
+{
+
+/** Model/dataset pairs with published pruning anchors. */
+enum class PrunedModelKind
+{
+    SegformerB2Ade,
+    SegformerB2Cityscapes,
+    SwinBaseAde,
+    SwinTinyAde,
+};
+
+/** Calibrated accuracy predictor for one model/dataset pair. */
+class AccuracyModel
+{
+  public:
+    /** Build the predictor with the published anchors for @p kind. */
+    explicit AccuracyModel(PrunedModelKind kind);
+
+    /**
+     * Predicted mIoU normalized to the unpruned model.
+     * Exact at the published Table II/III configurations.
+     */
+    double normalizedMiou(const PruneConfig &config) const;
+
+    /** Absolute mIoU (normalized x the published full-model mIoU). */
+    double absoluteMiou(const PruneConfig &config) const;
+
+    /** Published full-model accuracy this model is anchored to. */
+    double fullModelMiou() const { return fullMiou_; }
+
+    PrunedModelKind kind() const { return kind_; }
+
+  private:
+    /** Map a config to the normalized feature vector. */
+    std::array<double, 7> features(const PruneConfig &config) const;
+
+    /** Smooth parametric prior (before anchor correction). */
+    double prior(const std::array<double, 7> &x) const;
+
+    PrunedModelKind kind_;
+    double fullMiou_ = 1.0;
+    std::array<int64_t, 4> fullDepths_{};
+    int64_t fullFuse_ = 0;
+    int64_t fullPred_ = 0;
+    int64_t fullDl0_ = 0;
+
+    /** Per-dimension penalty weights of the prior. */
+    std::array<double, 7> penalty_{};
+
+    struct Anchor
+    {
+        std::array<double, 7> x;
+        double residual; ///< published - prior
+    };
+    std::vector<Anchor> anchors_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_RESILIENCE_ACCURACY_MODEL_HH

@@ -1,0 +1,133 @@
+#include "resilience/config.hh"
+
+#include "graph/surgery.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+Graph
+applySegformerPrune(const SegformerConfig &base, const PruneConfig &config)
+{
+    SegformerConfig cfg = base;
+    for (int i = 0; i < 4; ++i) {
+        vitdyn_assert(config.depths[i] >= 1 &&
+                      config.depths[i] <= base.depths[i],
+                      "prune '", config.label, "': stage ", i, " depth ",
+                      config.depths[i], " outside [1, ", base.depths[i],
+                      "]");
+        cfg.depths[i] = config.depths[i];
+    }
+    if (!config.label.empty())
+        cfg.name = base.name + "_" + config.label;
+    if (config.srScale > 1) {
+        for (int i = 0; i < 4; ++i)
+            if (cfg.srRatios[i] > 1)
+                cfg.srRatios[i] *= config.srScale;
+    }
+
+    Graph graph = buildSegformer(cfg);
+
+    if (config.fuseInChannels > 0 &&
+        config.fuseInChannels < 4 * cfg.decoderDim)
+        pruneInputChannels(graph, "Conv2DFuse", config.fuseInChannels);
+    if (config.predInChannels > 0 &&
+        config.predInChannels < cfg.decoderDim)
+        pruneInputChannels(graph, "Conv2DPred", config.predInChannels);
+    if (config.decodeLinear0InChannels > 0 &&
+        config.decodeLinear0InChannels < cfg.embedDims[0])
+        pruneInputChannels(graph, "DecodeLinear0",
+                           config.decodeLinear0InChannels);
+    return graph;
+}
+
+Graph
+applySwinPrune(const SwinConfig &base, const PruneConfig &config)
+{
+    SwinConfig cfg = base;
+    for (int i = 0; i < 4; ++i) {
+        vitdyn_assert(config.depths[i] >= 1 &&
+                      config.depths[i] <= base.depths[i],
+                      "prune '", config.label, "': stage ", i, " depth ",
+                      config.depths[i], " outside [1, ", base.depths[i],
+                      "]");
+        cfg.depths[i] = config.depths[i];
+    }
+    if (!config.label.empty())
+        cfg.name = base.name + "_" + config.label;
+
+    Graph graph = buildSwin(cfg);
+
+    if (config.fuseInChannels > 0 &&
+        config.fuseInChannels < 4 * cfg.decoderChannels)
+        pruneInputChannels(graph, "fpn_bottleneck_Conv2D",
+                           config.fuseInChannels);
+    return graph;
+}
+
+std::vector<PruneConfig>
+segformerAdePruneCatalog()
+{
+    // Table II, rows A-G (model trained on ADE20K).
+    return {
+        {"A", {3, 4, 6, 3}, 3072, 0, 0, 1.00, 1.00},
+        {"B", {3, 4, 6, 3}, 1920, 0, 0, 0.88, 0.98},
+        {"C", {2, 4, 6, 3}, 1664, 0, 0, 0.83, 0.96},
+        {"D", {2, 3, 6, 3}, 1408, 0, 0, 0.78, 0.92},
+        {"E", {2, 3, 5, 3}, 1024, 0, 0, 0.73, 0.82},
+        {"F", {3, 2, 5, 2}, 896, 0, 0, 0.69, 0.72},
+        {"G", {2, 3, 4, 3}, 512, 0, 0, 0.66, 0.63},
+    };
+}
+
+std::vector<PruneConfig>
+segformerCityscapesPruneCatalog()
+{
+    // Table II, rows A and H-L (model trained on Cityscapes).
+    return {
+        {"A", {3, 4, 6, 3}, 3072, 0, 0, 1.00, 1.00},
+        {"H", {2, 4, 6, 3}, 2432, 0, 0, 0.76, 0.98},
+        {"I", {2, 4, 5, 3}, 2048, 0, 0, 0.72, 0.95},
+        {"J", {2, 4, 5, 3}, 1280, 0, 0, 0.68, 0.90},
+        {"K", {2, 4, 5, 3}, 896, 0, 0, 0.66, 0.81},
+        {"L", {2, 4, 5, 3}, 384, 0, 0, 0.63, 0.69},
+    };
+}
+
+std::vector<PruneConfig>
+swinBasePruneCatalog()
+{
+    // Table III (Swin-Base on ADE20K; labels are ours, the paper leaves
+    // these rows unlabeled).
+    return {
+        {"S0", {2, 2, 18, 2}, 2048, 0, 0, 1.000, 1.00},
+        {"S1", {2, 2, 18, 2}, 1920, 0, 0, 0.998, 0.98},
+        {"S2", {2, 2, 18, 2}, 1792, 0, 0, 0.990, 0.94},
+        {"S3", {2, 2, 16, 2}, 1920, 0, 0, 0.980, 0.85},
+        {"S4", {2, 2, 14, 2}, 1792, 0, 0, 0.900, 0.81},
+        {"S5", {2, 2, 16, 2}, 1152, 0, 0, 0.810, 0.78},
+        {"S6", {2, 2, 13, 2}, 1536, 0, 0, 0.740, 0.76},
+        {"S7", {2, 2, 12, 2}, 1536, 0, 0, 0.620, 0.74},
+        {"S8", {2, 2, 11, 2}, 1536, 0, 0, 0.520, 0.72},
+    };
+}
+
+std::vector<PruneConfig>
+swinTinyPruneCatalog()
+{
+    // Fig 7 Swin-Tiny series: the paper labels the preserved
+    // fpn_bottleneck input channels on the plot and reports that the
+    // curve drops quickly once encoder layers are skipped. These points
+    // reconstruct that series.
+    return {
+        {"T0", {2, 2, 6, 2}, 2048, 0, 0, 1.000, 1.00},
+        {"T1", {2, 2, 6, 2}, 1792, 0, 0, 0.980, 0.97},
+        {"T2", {2, 2, 6, 2}, 1536, 0, 0, 0.965, 0.93},
+        {"T3", {2, 2, 6, 2}, 1280, 0, 0, 0.950, 0.88},
+        {"T4", {2, 2, 5, 2}, 1536, 0, 0, 0.930, 0.82},
+        {"T5", {2, 2, 4, 2}, 1280, 0, 0, 0.900, 0.74},
+        {"T6", {1, 2, 4, 2}, 1024, 0, 0, 0.880, 0.66},
+    };
+}
+
+} // namespace vitdyn

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Pruning configurations: alternative execution paths of a pretrained
+ * model (Section III). A PruneConfig captures the two families of
+ * modifications the paper sweeps:
+ *
+ *  - encoder depth per stage ("Depths" column of Tables II/III), and
+ *  - input-channel counts of the expensive decoder layers (Conv2DFuse /
+ *    fpn_bottleneck_Conv2D, Conv2DPred, DecodeLinear0).
+ *
+ * applySegformerPrune / applySwinPrune build the pruned graph: depths
+ * are applied at build time (bypassing whole encoder blocks), channel
+ * reductions through generic graph surgery with backward propagation.
+ */
+
+#ifndef VITDYN_RESILIENCE_CONFIG_HH
+#define VITDYN_RESILIENCE_CONFIG_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "models/segformer.hh"
+#include "models/swin.hh"
+
+namespace vitdyn
+{
+
+/** One alternative execution path of a pretrained model. */
+struct PruneConfig
+{
+    std::string label;                  ///< "A".."L" in Table II.
+    std::array<int64_t, 4> depths{};    ///< Encoder layers per stage.
+    int64_t fuseInChannels = 0;         ///< Conv2DFuse / fpn_bottleneck.
+    int64_t predInChannels = 0;         ///< Conv2DPred; 0 = unchanged.
+    int64_t decodeLinear0InChannels = 0;///< DecodeLinear0; 0 = unchanged.
+
+    /** Published normalized resource utilization (Tables II/III). */
+    double paperUtil = 0.0;
+    /** Published normalized mIoU (Tables II/III). */
+    double paperMiou = 0.0;
+
+    /**
+     * Multiplier on the spatial-reduction ratios of SegFormer's
+     * efficient attention (Section III-A: increasing the reduction
+     * "negligibly lowers execution time ... but often substantially
+     * degrades accuracy"; 1 = unchanged). Stages that perform no
+     * reduction (sr = 1) are left untouched.
+     */
+    int64_t srScale = 1;
+};
+
+/** Build a pruned SegFormer graph for @p config. */
+Graph applySegformerPrune(const SegformerConfig &base,
+                          const PruneConfig &config);
+
+/** Build a pruned Swin+UPerNet graph for @p config. */
+Graph applySwinPrune(const SwinConfig &base, const PruneConfig &config);
+
+/** Table II rows A-G: SegFormer-B2 trained on ADE20K. */
+std::vector<PruneConfig> segformerAdePruneCatalog();
+
+/** Table II rows A, H-L: SegFormer-B2 trained on Cityscapes. */
+std::vector<PruneConfig> segformerCityscapesPruneCatalog();
+
+/** Table III rows: Swin-Base on ADE20K. */
+std::vector<PruneConfig> swinBasePruneCatalog();
+
+/** Fig 7 Swin-Tiny points (fpn_bottleneck channel sweep). */
+std::vector<PruneConfig> swinTinyPruneCatalog();
+
+/** A trained reference model (the large squares in Figs 6/7). */
+struct TrainedReference
+{
+    std::string name;
+    double normalizedMiou;  ///< Relative to the full pruning baseline.
+    double normalizedTime;  ///< Computed by the caller from the GPU model.
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_RESILIENCE_CONFIG_HH

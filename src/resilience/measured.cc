@@ -1,0 +1,69 @@
+#include "resilience/measured.hh"
+
+#include <cmath>
+
+#include "engine/engine.hh" // registerFullDims
+#include "util/logging.hh"
+#include "workload/metrics.hh"
+#include "workload/synthetic.hh"
+
+namespace vitdyn
+{
+
+std::vector<MeasuredPoint>
+measureSegformerResilience(const SegformerConfig &base,
+                           const std::vector<PruneConfig> &candidates,
+                           const GraphCostFn &cost,
+                           const MeasureOptions &options)
+{
+    vitdyn_assert(options.scenes > 0, "need at least one scene");
+
+    Graph full = buildSegformer(base);
+    Executor full_exec(full, options.weightSeed);
+    full_exec.setInt8(options.int8);
+    const double full_cost = cost(full);
+
+    // Pre-render the scene batch once; every candidate sees the same
+    // inputs.
+    SyntheticSegmentation gen(base.imageH, base.imageW,
+                              base.numClasses);
+    Rng scene_rng(options.sceneSeed);
+    std::vector<Tensor> images;
+    std::vector<Tensor> full_logits;
+    for (int i = 0; i < options.scenes; ++i) {
+        SegmentationSample sample = gen.nextSample(scene_rng);
+        full_logits.push_back(full_exec.runSimple(sample.image));
+        images.push_back(std::move(sample.image));
+    }
+
+    std::vector<MeasuredPoint> points;
+    points.reserve(candidates.size());
+    for (const PruneConfig &config : candidates) {
+        Graph pruned = applySegformerPrune(base, config);
+        Executor exec(pruned, options.weightSeed);
+        exec.setInt8(options.int8);
+        registerFullDims(full, exec);
+
+        MeasuredPoint point;
+        point.config = config;
+        point.normalizedUtil = cost(pruned) / full_cost;
+
+        double miou = 0.0;
+        double rel = 0.0;
+        for (int i = 0; i < options.scenes; ++i) {
+            Tensor logits = exec.runSimple(images[i]);
+            miou += agreementMiou(full_logits[i], logits);
+            double diff = 0.0;
+            for (int64_t j = 0; j < logits.numel(); ++j)
+                diff += std::fabs(logits[j] - full_logits[i][j]);
+            rel += diff / logits.numel() /
+                   std::max(1e-6f, full_logits[i].maxAbs());
+        }
+        point.agreementMiou = miou / options.scenes;
+        point.logitRelError = rel / options.scenes;
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Measured resilience: the executed counterpart of the calibrated
+ * accuracy model (DESIGN.md substitution path (a)).
+ *
+ * For each candidate execution path this module actually runs the
+ * pruned graph and the full graph on a batch of synthetic scenes with
+ * *shared* synthesized weights, and scores the pruned path's
+ * segmentation against the full model's output (self-referential
+ * mIoU) plus the mean relative logit deviation. It is how this
+ * repository demonstrates the paper's resilience phenomenon on real
+ * tensor arithmetic rather than on anchored numbers.
+ */
+
+#ifndef VITDYN_RESILIENCE_MEASURED_HH
+#define VITDYN_RESILIENCE_MEASURED_HH
+
+#include <vector>
+
+#include "resilience/sweep.hh"
+
+namespace vitdyn
+{
+
+/** One executed data point of the measured tradeoff curve. */
+struct MeasuredPoint
+{
+    PruneConfig config;
+    double normalizedUtil = 1.0;  ///< From the supplied cost model.
+    double agreementMiou = 1.0;   ///< Argmax mIoU vs the full model.
+    double logitRelError = 0.0;   ///< Mean |delta| / max|full logits|.
+};
+
+/** Options for a measured resilience run. */
+struct MeasureOptions
+{
+    int scenes = 4;        ///< Synthetic scenes per candidate.
+    uint64_t weightSeed = 99;
+    uint64_t sceneSeed = 123;
+    bool int8 = false;     ///< Execute through the INT8 path.
+};
+
+/**
+ * Execute every candidate against the full model and measure the
+ * deviation. Only the SegFormer family is supported (the executed
+ * experiments use scaled-down SegFormer configs; Swin at executable
+ * sizes exercises the same code paths in the test suite).
+ */
+std::vector<MeasuredPoint>
+measureSegformerResilience(const SegformerConfig &base,
+                           const std::vector<PruneConfig> &candidates,
+                           const GraphCostFn &cost,
+                           const MeasureOptions &options = {});
+
+} // namespace vitdyn
+
+#endif // VITDYN_RESILIENCE_MEASURED_HH

@@ -1,0 +1,42 @@
+#include "resilience/pareto.hh"
+
+#include <algorithm>
+
+namespace vitdyn
+{
+
+bool
+dominates(const TradeoffPoint &a, const TradeoffPoint &b)
+{
+    const bool no_worse = a.normalizedUtil <= b.normalizedUtil &&
+                          a.normalizedMiou >= b.normalizedMiou;
+    const bool better = a.normalizedUtil < b.normalizedUtil ||
+                        a.normalizedMiou > b.normalizedMiou;
+    return no_worse && better;
+}
+
+std::vector<TradeoffPoint>
+paretoFrontier(const std::vector<TradeoffPoint> &points)
+{
+    std::vector<TradeoffPoint> frontier;
+    for (const TradeoffPoint &candidate : points) {
+        bool dominated = false;
+        for (const TradeoffPoint &other : points) {
+            if (&other != &candidate && dominates(other, candidate)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(candidate);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const TradeoffPoint &a, const TradeoffPoint &b) {
+                  if (a.normalizedUtil != b.normalizedUtil)
+                      return a.normalizedUtil < b.normalizedUtil;
+                  return a.normalizedMiou < b.normalizedMiou;
+              });
+    return frontier;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Pareto frontier extraction over (resource utilization, accuracy)
+ * points — the "identify the Pareto-optimal execution paths" step of
+ * Section III.
+ */
+
+#ifndef VITDYN_RESILIENCE_PARETO_HH
+#define VITDYN_RESILIENCE_PARETO_HH
+
+#include <vector>
+
+#include "resilience/config.hh"
+
+namespace vitdyn
+{
+
+/** One evaluated execution path. */
+struct TradeoffPoint
+{
+    PruneConfig config;
+    double normalizedUtil = 1.0; ///< Time/energy/cycles vs full model.
+    double normalizedMiou = 1.0;
+    double absoluteUtil = 0.0;   ///< In the resource's native unit.
+};
+
+/**
+ * Keep the points not dominated by any other (lower-or-equal util with
+ * strictly higher accuracy, or strictly lower util with equal-or-higher
+ * accuracy). Result is sorted by utilization, ascending.
+ */
+std::vector<TradeoffPoint>
+paretoFrontier(const std::vector<TradeoffPoint> &points);
+
+/** True when @p a dominates @p b (cheaper and at least as accurate). */
+bool dominates(const TradeoffPoint &a, const TradeoffPoint &b);
+
+} // namespace vitdyn
+
+#endif // VITDYN_RESILIENCE_PARETO_HH

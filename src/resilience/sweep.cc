@@ -1,0 +1,99 @@
+#include "resilience/sweep.hh"
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+std::vector<TradeoffPoint>
+sweepTradeoffs(ModelFamily family, const SegformerConfig &seg_base,
+               const SwinConfig &swin_base,
+               const std::vector<PruneConfig> &candidates,
+               const AccuracyModel &accuracy, const GraphCostFn &cost)
+{
+    // Baseline: the unpruned model.
+    Graph full = family == ModelFamily::Segformer
+                     ? buildSegformer(seg_base)
+                     : buildSwin(swin_base);
+    const double full_cost = cost(full);
+    vitdyn_assert(full_cost > 0.0, "baseline cost must be positive");
+
+    std::vector<TradeoffPoint> points;
+    points.reserve(candidates.size());
+    for (const PruneConfig &config : candidates) {
+        Graph pruned = family == ModelFamily::Segformer
+                           ? applySegformerPrune(seg_base, config)
+                           : applySwinPrune(swin_base, config);
+        TradeoffPoint point;
+        point.config = config;
+        point.absoluteUtil = cost(pruned);
+        point.normalizedUtil = point.absoluteUtil / full_cost;
+        point.normalizedMiou = accuracy.normalizedMiou(config);
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+std::vector<TradeoffPoint>
+sweepSegformer(const SegformerConfig &base,
+               const std::vector<PruneConfig> &candidates,
+               const AccuracyModel &accuracy, const GraphCostFn &cost)
+{
+    return sweepTradeoffs(ModelFamily::Segformer, base, SwinConfig{},
+                          candidates, accuracy, cost);
+}
+
+std::vector<TradeoffPoint>
+sweepSwin(const SwinConfig &base,
+          const std::vector<PruneConfig> &candidates,
+          const AccuracyModel &accuracy, const GraphCostFn &cost)
+{
+    return sweepTradeoffs(ModelFamily::Swin, SegformerConfig{}, base,
+                          candidates, accuracy, cost);
+}
+
+std::vector<PruneConfig>
+generateCandidates(const std::array<int64_t, 4> &full_depths,
+                   int64_t full_fuse_channels,
+                   const std::vector<int64_t> &fuse_channel_grid,
+                   const std::vector<int64_t> &pred_channel_grid,
+                   int max_depth_cut)
+{
+    std::vector<std::array<int64_t, 4>> depth_grid;
+    for (int64_t c0 = 0; c0 <= max_depth_cut; ++c0)
+        for (int64_t c1 = 0; c1 <= max_depth_cut; ++c1)
+            for (int64_t c2 = 0; c2 <= max_depth_cut; ++c2)
+                for (int64_t c3 = 0; c3 <= max_depth_cut; ++c3) {
+                    std::array<int64_t, 4> d = full_depths;
+                    d[0] = std::max<int64_t>(1, d[0] - c0);
+                    d[1] = std::max<int64_t>(1, d[1] - c1);
+                    d[2] = std::max<int64_t>(1, d[2] - c2);
+                    d[3] = std::max<int64_t>(1, d[3] - c3);
+                    depth_grid.push_back(d);
+                }
+
+    std::vector<int64_t> fuse_grid = fuse_channel_grid;
+    if (fuse_grid.empty())
+        fuse_grid.push_back(full_fuse_channels);
+    std::vector<int64_t> pred_grid = pred_channel_grid;
+    if (pred_grid.empty())
+        pred_grid.push_back(0); // 0 = unchanged
+
+    std::vector<PruneConfig> out;
+    int index = 0;
+    for (const auto &depths : depth_grid) {
+        for (int64_t fuse : fuse_grid) {
+            for (int64_t pred : pred_grid) {
+                PruneConfig c;
+                c.label = "sweep" + std::to_string(index++);
+                c.depths = depths;
+                c.fuseInChannels = fuse;
+                c.predInChannels = pred;
+                out.push_back(std::move(c));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Resilience sweep driver: evaluates many alternative execution paths
+ * of a pretrained model against a resource cost function and the
+ * accuracy model — the paper's "800 inference experiments" performed
+ * analytically (Section IV notes the LUT is generated from inference
+ * experiments alone, no training).
+ *
+ * The cost function is pluggable so the same sweep runs against GPU
+ * time, GPU energy, accelerator cycles or accelerator energy (Figures
+ * 6, 7, 12, 13).
+ */
+
+#ifndef VITDYN_RESILIENCE_SWEEP_HH
+#define VITDYN_RESILIENCE_SWEEP_HH
+
+#include <functional>
+#include <vector>
+
+#include "resilience/accuracy_model.hh"
+#include "resilience/config.hh"
+#include "resilience/pareto.hh"
+
+namespace vitdyn
+{
+
+/** Resource cost of a built graph, in any consistent unit. */
+using GraphCostFn = std::function<double(const Graph &)>;
+
+/** Which builder a sweep uses. */
+enum class ModelFamily { Segformer, Swin };
+
+/**
+ * Evaluate every candidate: build the pruned graph, compute its cost
+ * relative to the unpruned baseline, and predict accuracy.
+ */
+std::vector<TradeoffPoint>
+sweepTradeoffs(ModelFamily family, const SegformerConfig &seg_base,
+               const SwinConfig &swin_base,
+               const std::vector<PruneConfig> &candidates,
+               const AccuracyModel &accuracy, const GraphCostFn &cost);
+
+/** Convenience overloads binding the unused base config to a default. */
+std::vector<TradeoffPoint>
+sweepSegformer(const SegformerConfig &base,
+               const std::vector<PruneConfig> &candidates,
+               const AccuracyModel &accuracy, const GraphCostFn &cost);
+
+std::vector<TradeoffPoint>
+sweepSwin(const SwinConfig &base,
+          const std::vector<PruneConfig> &candidates,
+          const AccuracyModel &accuracy, const GraphCostFn &cost);
+
+/**
+ * Generate a candidate grid around the full model: combinations of
+ * per-stage depth reductions (up to @p max_depth_cut layers removed
+ * from each stage) crossed with decoder channel sweeps.
+ */
+std::vector<PruneConfig>
+generateCandidates(const std::array<int64_t, 4> &full_depths,
+                   int64_t full_fuse_channels,
+                   const std::vector<int64_t> &fuse_channel_grid,
+                   const std::vector<int64_t> &pred_channel_grid = {},
+                   int max_depth_cut = 1);
+
+} // namespace vitdyn
+
+#endif // VITDYN_RESILIENCE_SWEEP_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Reference implementations of the neural network operators used by the
+ * vision transformer models in this library.
+ *
+ * These are straightforward, correctness-first CPU kernels. They define
+ * the semantics against which the analytic FLOP counts and the accelerator
+ * mapper are validated; they are not tuned for speed.
+ *
+ * Layout conventions:
+ *  - Feature maps: NCHW.
+ *  - Sequences:    (N, L, C) with L = tokens, C = embedding dim.
+ *  - Conv weights: (K, C, R, S) = (out channels, in channels, kh, kw).
+ *  - Linear weights: (out_features, in_features), y = x W^T + b.
+ */
+
+#ifndef VITDYN_TENSOR_OPS_HH
+#define VITDYN_TENSOR_OPS_HH
+
+#include <cstdint>
+
+#include "tensor/tensor.hh"
+
+namespace vitdyn
+{
+
+/** Static parameters of a 2-D convolution. */
+struct Conv2dParams
+{
+    int64_t strideH = 1;
+    int64_t strideW = 1;
+    int64_t padH = 0;
+    int64_t padW = 0;
+    /** Channel groups; groups == in channels gives a depthwise conv. */
+    int64_t groups = 1;
+};
+
+/** Output spatial extent of a convolution along one axis. */
+int64_t convOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad);
+
+/**
+ * 2-D convolution.
+ * @param input  (N, C, H, W)
+ * @param weight (K, C/groups, R, S)
+ * @param bias   (K) or empty tensor for no bias.
+ */
+Tensor conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
+              const Conv2dParams &params = {});
+
+/**
+ * Fully connected layer over the last dimension.
+ * @param input  (..., in_features)
+ * @param weight (out_features, in_features)
+ * @param bias   (out_features) or empty.
+ */
+Tensor linear(const Tensor &input, const Tensor &weight, const Tensor &bias);
+
+/** Matrix product of rank-2 tensors: (m, k) x (k, n) -> (m, n). */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/**
+ * Batched matrix product: (B, m, k) x (B, k, n) -> (B, m, n).
+ * Used for attention score and context computation.
+ */
+Tensor bmm(const Tensor &a, const Tensor &b);
+
+/** Softmax over the last dimension. */
+Tensor softmax(const Tensor &input);
+
+/**
+ * Multi-head self-attention over a sequence.
+ *
+ * Computes softmax(Q K^T / sqrt(d_h)) V per head, where Q comes from
+ * @p query (N, Lq, C) and K/V from @p kv (N, Lkv, C). The projections are
+ * supplied by the caller; this routine performs the scaled dot-product
+ * core only.
+ */
+Tensor attention(const Tensor &q, const Tensor &k, const Tensor &v,
+                 int64_t num_heads);
+
+/** Layer normalization over the last dimension with learned scale/shift. */
+Tensor layerNorm(const Tensor &input, const Tensor &gamma,
+                 const Tensor &beta, float eps = 1e-5f);
+
+/**
+ * Inference-mode batch normalization of an NCHW tensor using running
+ * statistics folded into @p gamma / @p beta / @p mean / @p var (each of
+ * size C).
+ */
+Tensor batchNorm(const Tensor &input, const Tensor &gamma,
+                 const Tensor &beta, const Tensor &mean, const Tensor &var,
+                 float eps = 1e-5f);
+
+/** Elementwise rectified linear unit. */
+Tensor relu(const Tensor &input);
+
+/** Elementwise GELU (tanh approximation, as used by PyTorch). */
+Tensor gelu(const Tensor &input);
+
+/** Elementwise sum; shapes must match. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Bilinear resize of an NCHW tensor to (outH, outW), align_corners=false. */
+Tensor interpolateBilinear(const Tensor &input, int64_t out_h,
+                           int64_t out_w);
+
+/** 2x2 (or general) max pooling with stride == kernel. */
+Tensor maxPool2d(const Tensor &input, int64_t kernel, int64_t stride,
+                 int64_t pad = 0);
+
+/** Global/adaptive average pooling of NCHW to (out_h, out_w). */
+Tensor adaptiveAvgPool2d(const Tensor &input, int64_t out_h, int64_t out_w);
+
+/** Concatenate along the channel dimension (dim 1) of NCHW tensors. */
+Tensor concatChannels(const std::vector<Tensor> &inputs);
+
+/** (N, C, H, W) -> (N, H*W, C) token layout. */
+Tensor nchwToTokens(const Tensor &input);
+
+/** (N, H*W, C) -> (N, C, H, W); H*W must equal the token count. */
+Tensor tokensToNchw(const Tensor &input, int64_t h, int64_t w);
+
+/**
+ * Partition (N, H, W, C)-ordered tokens of an (N, L, C) tensor whose L is
+ * h*w into non-overlapping windows of side @p window. Result is
+ * (N * numWindows, window*window, C). H and W must be divisible by
+ * @p window.
+ */
+Tensor windowPartition(const Tensor &tokens, int64_t h, int64_t w,
+                       int64_t window);
+
+/** Inverse of windowPartition. */
+Tensor windowReverse(const Tensor &windows, int64_t h, int64_t w,
+                     int64_t window, int64_t batch);
+
+/**
+ * Cyclic shift of the spatial grid underlying an (N, L, C) token tensor,
+ * by (@p shift_h, @p shift_w) with wraparound (torch.roll semantics).
+ */
+Tensor cyclicShift(const Tensor &tokens, int64_t h, int64_t w,
+                   int64_t shift_h, int64_t shift_w);
+
+} // namespace vitdyn
+
+#endif // VITDYN_TENSOR_OPS_HH

@@ -1,0 +1,52 @@
+#include "tensor/ops.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+Tensor
+relu(const Tensor &input)
+{
+    Tensor out(input.shape());
+    const float *x = input.data();
+    float *y = out.data();
+    for (int64_t i = 0; i < input.numel(); ++i)
+        y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    return out;
+}
+
+Tensor
+gelu(const Tensor &input)
+{
+    // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
+    constexpr float kAlpha = 0.7978845608f; // sqrt(2/pi)
+    Tensor out(input.shape());
+    const float *x = input.data();
+    float *y = out.data();
+    for (int64_t i = 0; i < input.numel(); ++i) {
+        const float v = x[i];
+        const float inner = kAlpha * (v + 0.044715f * v * v * v);
+        y[i] = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+    return out;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    vitdyn_assert(a.shape() == b.shape(), "add shape mismatch: ",
+                  shapeToString(a.shape()), " vs ",
+                  shapeToString(b.shape()));
+    Tensor out(a.shape());
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *y = out.data();
+    for (int64_t i = 0; i < a.numel(); ++i)
+        y[i] = pa[i] + pb[i];
+    return out;
+}
+
+} // namespace vitdyn

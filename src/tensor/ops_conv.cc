@@ -1,0 +1,199 @@
+#include "tensor/ops.hh"
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+int64_t
+convOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+Tensor
+conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
+       const Conv2dParams &params)
+{
+    vitdyn_assert(input.rank() == 4, "conv2d input must be NCHW, got ",
+                  shapeToString(input.shape()));
+    vitdyn_assert(weight.rank() == 4, "conv2d weight must be KCRS, got ",
+                  shapeToString(weight.shape()));
+
+    const int64_t n = input.dim(0);
+    const int64_t c = input.dim(1);
+    const int64_t h = input.dim(2);
+    const int64_t w = input.dim(3);
+
+    const int64_t k = weight.dim(0);
+    const int64_t cg = weight.dim(1);
+    const int64_t r = weight.dim(2);
+    const int64_t s = weight.dim(3);
+
+    const int64_t groups = params.groups;
+    vitdyn_assert(groups >= 1 && c % groups == 0 && k % groups == 0,
+                  "bad conv groups=", groups, " for C=", c, " K=", k);
+    vitdyn_assert(cg == c / groups, "conv weight C/g mismatch: weight has ",
+                  cg, ", expected ", c / groups);
+    vitdyn_assert(bias.numel() == 0 || bias.numel() == k,
+                  "conv bias size ", bias.numel(), " != K ", k);
+
+    const int64_t p = convOutDim(h, r, params.strideH, params.padH);
+    const int64_t q = convOutDim(w, s, params.strideW, params.padW);
+    vitdyn_assert(p > 0 && q > 0, "conv output collapsed to zero: ",
+                  "input ", h, "x", w, " kernel ", r, "x", s);
+
+    Tensor out({n, k, p, q});
+    const int64_t kpg = k / groups;
+
+    for (int64_t in_n = 0; in_n < n; ++in_n) {
+        for (int64_t ok = 0; ok < k; ++ok) {
+            const int64_t g = ok / kpg;
+            const int64_t c_base = g * cg;
+            const float b = bias.numel() ? bias[ok] : 0.0f;
+            for (int64_t op = 0; op < p; ++op) {
+                const int64_t ih0 = op * params.strideH - params.padH;
+                for (int64_t oq = 0; oq < q; ++oq) {
+                    const int64_t iw0 = oq * params.strideW - params.padW;
+                    float acc = b;
+                    for (int64_t rr = 0; rr < r; ++rr) {
+                        const int64_t ih = ih0 + rr;
+                        if (ih < 0 || ih >= h)
+                            continue;
+                        for (int64_t ss = 0; ss < s; ++ss) {
+                            const int64_t iw = iw0 + ss;
+                            if (iw < 0 || iw >= w)
+                                continue;
+                            for (int64_t cc = 0; cc < cg; ++cc) {
+                                acc += input.at4(in_n, c_base + cc, ih, iw) *
+                                       weight.at4(ok, cc, rr, ss);
+                            }
+                        }
+                    }
+                    out.at4(in_n, ok, op, oq) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+maxPool2d(const Tensor &input, int64_t kernel, int64_t stride, int64_t pad)
+{
+    vitdyn_assert(input.rank() == 4, "maxPool2d input must be NCHW");
+    const int64_t n = input.dim(0);
+    const int64_t c = input.dim(1);
+    const int64_t h = input.dim(2);
+    const int64_t w = input.dim(3);
+    const int64_t p = convOutDim(h, kernel, stride, pad);
+    const int64_t q = convOutDim(w, kernel, stride, pad);
+
+    Tensor out({n, c, p, q});
+    for (int64_t in_n = 0; in_n < n; ++in_n) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            for (int64_t op = 0; op < p; ++op) {
+                for (int64_t oq = 0; oq < q; ++oq) {
+                    float best = -3.4e38f;
+                    for (int64_t rr = 0; rr < kernel; ++rr) {
+                        const int64_t ih = op * stride - pad + rr;
+                        if (ih < 0 || ih >= h)
+                            continue;
+                        for (int64_t ss = 0; ss < kernel; ++ss) {
+                            const int64_t iw = oq * stride - pad + ss;
+                            if (iw < 0 || iw >= w)
+                                continue;
+                            best = std::max(best,
+                                            input.at4(in_n, cc, ih, iw));
+                        }
+                    }
+                    out.at4(in_n, cc, op, oq) = best;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+adaptiveAvgPool2d(const Tensor &input, int64_t out_h, int64_t out_w)
+{
+    vitdyn_assert(input.rank() == 4, "adaptiveAvgPool2d input must be NCHW");
+    const int64_t n = input.dim(0);
+    const int64_t c = input.dim(1);
+    const int64_t h = input.dim(2);
+    const int64_t w = input.dim(3);
+    vitdyn_assert(out_h > 0 && out_w > 0, "bad adaptive pool output size");
+
+    Tensor out({n, c, out_h, out_w});
+    for (int64_t in_n = 0; in_n < n; ++in_n) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            for (int64_t op = 0; op < out_h; ++op) {
+                const int64_t h0 = op * h / out_h;
+                const int64_t h1 = std::max<int64_t>((op + 1) * h / out_h,
+                                                     h0 + 1);
+                for (int64_t oq = 0; oq < out_w; ++oq) {
+                    const int64_t w0 = oq * w / out_w;
+                    const int64_t w1 =
+                        std::max<int64_t>((oq + 1) * w / out_w, w0 + 1);
+                    double acc = 0.0;
+                    for (int64_t ih = h0; ih < h1; ++ih)
+                        for (int64_t iw = w0; iw < w1; ++iw)
+                            acc += input.at4(in_n, cc, ih, iw);
+                    out.at4(in_n, cc, op, oq) =
+                        static_cast<float>(acc / ((h1 - h0) * (w1 - w0)));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+interpolateBilinear(const Tensor &input, int64_t out_h, int64_t out_w)
+{
+    vitdyn_assert(input.rank() == 4, "interpolate input must be NCHW");
+    const int64_t n = input.dim(0);
+    const int64_t c = input.dim(1);
+    const int64_t h = input.dim(2);
+    const int64_t w = input.dim(3);
+    vitdyn_assert(out_h > 0 && out_w > 0, "bad interpolate output size");
+
+    Tensor out({n, c, out_h, out_w});
+    const float scale_h = static_cast<float>(h) / out_h;
+    const float scale_w = static_cast<float>(w) / out_w;
+
+    for (int64_t in_n = 0; in_n < n; ++in_n) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            for (int64_t op = 0; op < out_h; ++op) {
+                // align_corners = false source coordinate.
+                float src_h = (op + 0.5f) * scale_h - 0.5f;
+                src_h = std::max(0.0f, std::min(src_h,
+                                                static_cast<float>(h - 1)));
+                const int64_t h0 = static_cast<int64_t>(src_h);
+                const int64_t h1 = std::min(h0 + 1, h - 1);
+                const float fh = src_h - h0;
+                for (int64_t oq = 0; oq < out_w; ++oq) {
+                    float src_w = (oq + 0.5f) * scale_w - 0.5f;
+                    src_w = std::max(0.0f,
+                                     std::min(src_w,
+                                              static_cast<float>(w - 1)));
+                    const int64_t w0 = static_cast<int64_t>(src_w);
+                    const int64_t w1 = std::min(w0 + 1, w - 1);
+                    const float fw = src_w - w0;
+
+                    const float v00 = input.at4(in_n, cc, h0, w0);
+                    const float v01 = input.at4(in_n, cc, h0, w1);
+                    const float v10 = input.at4(in_n, cc, h1, w0);
+                    const float v11 = input.at4(in_n, cc, h1, w1);
+                    out.at4(in_n, cc, op, oq) =
+                        v00 * (1 - fh) * (1 - fw) + v01 * (1 - fh) * fw +
+                        v10 * fh * (1 - fw) + v11 * fh * fw;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace vitdyn

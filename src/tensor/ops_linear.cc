@@ -1,0 +1,152 @@
+#include "tensor/ops.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+Tensor
+linear(const Tensor &input, const Tensor &weight, const Tensor &bias)
+{
+    vitdyn_assert(weight.rank() == 2, "linear weight must be rank 2");
+    const int64_t in_f = weight.dim(1);
+    const int64_t out_f = weight.dim(0);
+    vitdyn_assert(input.rank() >= 1 && input.dim(-1) == in_f,
+                  "linear input last dim ", input.dim(-1),
+                  " != in_features ", in_f);
+    vitdyn_assert(bias.numel() == 0 || bias.numel() == out_f,
+                  "linear bias size mismatch");
+
+    const int64_t rows = input.numel() / in_f;
+    Shape out_shape = input.shape();
+    out_shape.back() = out_f;
+    Tensor out(out_shape);
+
+    const float *x = input.data();
+    const float *wt = weight.data();
+    float *y = out.data();
+
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *xr = x + r * in_f;
+        float *yr = y + r * out_f;
+        for (int64_t o = 0; o < out_f; ++o) {
+            const float *wr = wt + o * in_f;
+            float acc = bias.numel() ? bias[o] : 0.0f;
+            for (int64_t i = 0; i < in_f; ++i)
+                acc += xr[i] * wr[i];
+            yr[o] = acc;
+        }
+    }
+    return out;
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    vitdyn_assert(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2");
+    const int64_t m = a.dim(0);
+    const int64_t k = a.dim(1);
+    vitdyn_assert(b.dim(0) == k, "matmul inner dims: ", k, " vs ", b.dim(0));
+    const int64_t n = b.dim(1);
+
+    Tensor out({m, n});
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = a.at2(i, kk);
+            if (av == 0.0f)
+                continue;
+            for (int64_t j = 0; j < n; ++j)
+                out.at2(i, j) += av * b.at2(kk, j);
+        }
+    }
+    return out;
+}
+
+Tensor
+bmm(const Tensor &a, const Tensor &b)
+{
+    vitdyn_assert(a.rank() == 3 && b.rank() == 3, "bmm needs rank-3");
+    const int64_t batch = a.dim(0);
+    vitdyn_assert(b.dim(0) == batch, "bmm batch mismatch");
+    const int64_t m = a.dim(1);
+    const int64_t k = a.dim(2);
+    vitdyn_assert(b.dim(1) == k, "bmm inner dims: ", k, " vs ", b.dim(1));
+    const int64_t n = b.dim(2);
+
+    Tensor out({batch, m, n});
+    for (int64_t bb = 0; bb < batch; ++bb) {
+        const float *ab = a.data() + bb * m * k;
+        const float *bbp = b.data() + bb * k * n;
+        float *ob = out.data() + bb * m * n;
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float av = ab[i * k + kk];
+                if (av == 0.0f)
+                    continue;
+                const float *brow = bbp + kk * n;
+                float *orow = ob + i * n;
+                for (int64_t j = 0; j < n; ++j)
+                    orow[j] += av * brow[j];
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+attention(const Tensor &q, const Tensor &k, const Tensor &v,
+          int64_t num_heads)
+{
+    vitdyn_assert(q.rank() == 3 && k.rank() == 3 && v.rank() == 3,
+                  "attention inputs must be (N, L, C)");
+    const int64_t n = q.dim(0);
+    const int64_t lq = q.dim(1);
+    const int64_t c = q.dim(2);
+    const int64_t lkv = k.dim(1);
+    vitdyn_assert(k.dim(0) == n && v.dim(0) == n, "attention batch mismatch");
+    vitdyn_assert(k.dim(2) == c && v.dim(2) == c, "attention dim mismatch");
+    vitdyn_assert(v.dim(1) == lkv, "attention K/V length mismatch");
+    vitdyn_assert(num_heads > 0 && c % num_heads == 0,
+                  "embedding dim ", c, " not divisible by heads ",
+                  num_heads);
+
+    const int64_t dh = c / num_heads;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Tensor out({n, lq, c});
+    std::vector<float> scores(static_cast<size_t>(lkv));
+
+    for (int64_t nn = 0; nn < n; ++nn) {
+        for (int64_t hh = 0; hh < num_heads; ++hh) {
+            const int64_t c0 = hh * dh;
+            for (int64_t i = 0; i < lq; ++i) {
+                // scores = softmax(q_i . k_j * scale)
+                float max_s = -3.4e38f;
+                for (int64_t j = 0; j < lkv; ++j) {
+                    float dot = 0.0f;
+                    for (int64_t d = 0; d < dh; ++d)
+                        dot += q.at3(nn, i, c0 + d) * k.at3(nn, j, c0 + d);
+                    scores[j] = dot * scale;
+                    max_s = std::max(max_s, scores[j]);
+                }
+                float denom = 0.0f;
+                for (int64_t j = 0; j < lkv; ++j) {
+                    scores[j] = std::exp(scores[j] - max_s);
+                    denom += scores[j];
+                }
+                const float inv = 1.0f / denom;
+                for (int64_t d = 0; d < dh; ++d) {
+                    float acc = 0.0f;
+                    for (int64_t j = 0; j < lkv; ++j)
+                        acc += scores[j] * v.at3(nn, j, c0 + d);
+                    out.at3(nn, i, c0 + d) = acc * inv;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace vitdyn

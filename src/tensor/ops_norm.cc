@@ -1,0 +1,101 @@
+#include "tensor/ops.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+Tensor
+softmax(const Tensor &input)
+{
+    vitdyn_assert(input.rank() >= 1, "softmax needs rank >= 1");
+    const int64_t c = input.dim(-1);
+    const int64_t rows = input.numel() / c;
+
+    Tensor out(input.shape());
+    const float *x = input.data();
+    float *y = out.data();
+
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *xr = x + r * c;
+        float *yr = y + r * c;
+        float max_v = xr[0];
+        for (int64_t i = 1; i < c; ++i)
+            max_v = std::max(max_v, xr[i]);
+        float denom = 0.0f;
+        for (int64_t i = 0; i < c; ++i) {
+            yr[i] = std::exp(xr[i] - max_v);
+            denom += yr[i];
+        }
+        const float inv = 1.0f / denom;
+        for (int64_t i = 0; i < c; ++i)
+            yr[i] *= inv;
+    }
+    return out;
+}
+
+Tensor
+layerNorm(const Tensor &input, const Tensor &gamma, const Tensor &beta,
+          float eps)
+{
+    const int64_t c = input.dim(-1);
+    vitdyn_assert(gamma.numel() == c && beta.numel() == c,
+                  "layerNorm affine params must have size ", c);
+    const int64_t rows = input.numel() / c;
+
+    Tensor out(input.shape());
+    const float *x = input.data();
+    float *y = out.data();
+
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *xr = x + r * c;
+        float *yr = y + r * c;
+        double mean = 0.0;
+        for (int64_t i = 0; i < c; ++i)
+            mean += xr[i];
+        mean /= c;
+        double var = 0.0;
+        for (int64_t i = 0; i < c; ++i) {
+            const double d = xr[i] - mean;
+            var += d * d;
+        }
+        var /= c;
+        const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+        for (int64_t i = 0; i < c; ++i) {
+            yr[i] = (xr[i] - static_cast<float>(mean)) * inv * gamma[i] +
+                    beta[i];
+        }
+    }
+    return out;
+}
+
+Tensor
+batchNorm(const Tensor &input, const Tensor &gamma, const Tensor &beta,
+          const Tensor &mean, const Tensor &var, float eps)
+{
+    vitdyn_assert(input.rank() == 4, "batchNorm input must be NCHW");
+    const int64_t n = input.dim(0);
+    const int64_t c = input.dim(1);
+    const int64_t hw = input.dim(2) * input.dim(3);
+    vitdyn_assert(gamma.numel() == c && beta.numel() == c &&
+                  mean.numel() == c && var.numel() == c,
+                  "batchNorm params must have size C=", c);
+
+    Tensor out(input.shape());
+    for (int64_t nn = 0; nn < n; ++nn) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            const float scale =
+                gamma[cc] / std::sqrt(var[cc] + eps);
+            const float shift = beta[cc] - mean[cc] * scale;
+            const float *x = input.data() + (nn * c + cc) * hw;
+            float *y = out.data() + (nn * c + cc) * hw;
+            for (int64_t i = 0; i < hw; ++i)
+                y[i] = x[i] * scale + shift;
+        }
+    }
+    return out;
+}
+
+} // namespace vitdyn

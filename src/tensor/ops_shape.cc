@@ -1,0 +1,169 @@
+#include "tensor/ops.hh"
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+Tensor
+concatChannels(const std::vector<Tensor> &inputs)
+{
+    vitdyn_assert(!inputs.empty(), "concatChannels of nothing");
+    const Tensor &first = inputs.front();
+    vitdyn_assert(first.rank() == 4, "concatChannels needs NCHW tensors");
+    const int64_t n = first.dim(0);
+    const int64_t h = first.dim(2);
+    const int64_t w = first.dim(3);
+
+    int64_t total_c = 0;
+    for (const Tensor &t : inputs) {
+        vitdyn_assert(t.rank() == 4 && t.dim(0) == n && t.dim(2) == h &&
+                      t.dim(3) == w,
+                      "concatChannels mismatched shape ",
+                      shapeToString(t.shape()));
+        total_c += t.dim(1);
+    }
+
+    Tensor out({n, total_c, h, w});
+    const int64_t hw = h * w;
+    for (int64_t nn = 0; nn < n; ++nn) {
+        int64_t c_off = 0;
+        for (const Tensor &t : inputs) {
+            const int64_t c = t.dim(1);
+            const float *src = t.data() + nn * c * hw;
+            float *dst = out.data() + (nn * total_c + c_off) * hw;
+            std::copy(src, src + c * hw, dst);
+            c_off += c;
+        }
+    }
+    return out;
+}
+
+Tensor
+nchwToTokens(const Tensor &input)
+{
+    vitdyn_assert(input.rank() == 4, "nchwToTokens needs NCHW");
+    const int64_t n = input.dim(0);
+    const int64_t c = input.dim(1);
+    const int64_t h = input.dim(2);
+    const int64_t w = input.dim(3);
+
+    Tensor out({n, h * w, c});
+    for (int64_t nn = 0; nn < n; ++nn)
+        for (int64_t cc = 0; cc < c; ++cc)
+            for (int64_t hh = 0; hh < h; ++hh)
+                for (int64_t ww = 0; ww < w; ++ww)
+                    out.at3(nn, hh * w + ww, cc) = input.at4(nn, cc, hh, ww);
+    return out;
+}
+
+Tensor
+tokensToNchw(const Tensor &input, int64_t h, int64_t w)
+{
+    vitdyn_assert(input.rank() == 3, "tokensToNchw needs (N, L, C)");
+    const int64_t n = input.dim(0);
+    const int64_t l = input.dim(1);
+    const int64_t c = input.dim(2);
+    vitdyn_assert(l == h * w, "token count ", l, " != ", h, "*", w);
+
+    Tensor out({n, c, h, w});
+    for (int64_t nn = 0; nn < n; ++nn)
+        for (int64_t cc = 0; cc < c; ++cc)
+            for (int64_t hh = 0; hh < h; ++hh)
+                for (int64_t ww = 0; ww < w; ++ww)
+                    out.at4(nn, cc, hh, ww) = input.at3(nn, hh * w + ww, cc);
+    return out;
+}
+
+Tensor
+windowPartition(const Tensor &tokens, int64_t h, int64_t w, int64_t window)
+{
+    vitdyn_assert(tokens.rank() == 3, "windowPartition needs (N, L, C)");
+    const int64_t n = tokens.dim(0);
+    const int64_t c = tokens.dim(2);
+    vitdyn_assert(tokens.dim(1) == h * w, "token count mismatch");
+    vitdyn_assert(h % window == 0 && w % window == 0,
+                  "grid ", h, "x", w, " not divisible by window ", window);
+
+    const int64_t wh = h / window;
+    const int64_t ww = w / window;
+    Tensor out({n * wh * ww, window * window, c});
+
+    for (int64_t nn = 0; nn < n; ++nn) {
+        for (int64_t bi = 0; bi < wh; ++bi) {
+            for (int64_t bj = 0; bj < ww; ++bj) {
+                const int64_t win = (nn * wh + bi) * ww + bj;
+                for (int64_t ii = 0; ii < window; ++ii) {
+                    for (int64_t jj = 0; jj < window; ++jj) {
+                        const int64_t src = (bi * window + ii) * w +
+                                            bj * window + jj;
+                        const int64_t dst = ii * window + jj;
+                        for (int64_t cc = 0; cc < c; ++cc)
+                            out.at3(win, dst, cc) = tokens.at3(nn, src, cc);
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+windowReverse(const Tensor &windows, int64_t h, int64_t w, int64_t window,
+              int64_t batch)
+{
+    vitdyn_assert(windows.rank() == 3, "windowReverse needs rank-3");
+    const int64_t c = windows.dim(2);
+    const int64_t wh = h / window;
+    const int64_t ww = w / window;
+    vitdyn_assert(windows.dim(0) == batch * wh * ww,
+                  "window count mismatch");
+    vitdyn_assert(windows.dim(1) == window * window, "window size mismatch");
+
+    Tensor out({batch, h * w, c});
+    for (int64_t nn = 0; nn < batch; ++nn) {
+        for (int64_t bi = 0; bi < wh; ++bi) {
+            for (int64_t bj = 0; bj < ww; ++bj) {
+                const int64_t win = (nn * wh + bi) * ww + bj;
+                for (int64_t ii = 0; ii < window; ++ii) {
+                    for (int64_t jj = 0; jj < window; ++jj) {
+                        const int64_t dst = (bi * window + ii) * w +
+                                            bj * window + jj;
+                        const int64_t src = ii * window + jj;
+                        for (int64_t cc = 0; cc < c; ++cc)
+                            out.at3(nn, dst, cc) = windows.at3(win, src, cc);
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+cyclicShift(const Tensor &tokens, int64_t h, int64_t w, int64_t shift_h,
+            int64_t shift_w)
+{
+    vitdyn_assert(tokens.rank() == 3, "cyclicShift needs (N, L, C)");
+    const int64_t n = tokens.dim(0);
+    const int64_t c = tokens.dim(2);
+    vitdyn_assert(tokens.dim(1) == h * w, "token count mismatch");
+
+    auto wrap = [](int64_t v, int64_t m) { return ((v % m) + m) % m; };
+
+    Tensor out(tokens.shape());
+    for (int64_t nn = 0; nn < n; ++nn) {
+        for (int64_t hh = 0; hh < h; ++hh) {
+            const int64_t sh = wrap(hh + shift_h, h);
+            for (int64_t ww = 0; ww < w; ++ww) {
+                const int64_t sw = wrap(ww + shift_w, w);
+                for (int64_t cc = 0; cc < c; ++cc)
+                    out.at3(nn, sh * w + sw, cc) =
+                        tokens.at3(nn, hh * w + ww, cc);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,144 @@
+#include "tensor/quant.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+QuantTensor
+quantize(const Tensor &input)
+{
+    QuantTensor q;
+    q.shape = input.shape();
+    const float max_abs = input.maxAbs();
+    q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    q.data.resize(static_cast<size_t>(input.numel()));
+    const float inv = 1.0f / q.scale;
+    for (int64_t i = 0; i < input.numel(); ++i) {
+        const float v = std::round(input[i] * inv);
+        q.data[i] = static_cast<int8_t>(
+            std::max(-127.0f, std::min(127.0f, v)));
+    }
+    return q;
+}
+
+Tensor
+dequantize(const QuantTensor &input)
+{
+    Tensor out(input.shape);
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out[i] = input.data[i] * input.scale;
+    return out;
+}
+
+Tensor
+conv2dInt8(const QuantTensor &input, const QuantTensor &weight,
+           const Tensor &bias, const Conv2dParams &params)
+{
+    vitdyn_assert(input.shape.size() == 4 && weight.shape.size() == 4,
+                  "conv2dInt8 needs NCHW input and KCRS weight");
+
+    const int64_t n = input.shape[0];
+    const int64_t c = input.shape[1];
+    const int64_t h = input.shape[2];
+    const int64_t w = input.shape[3];
+    const int64_t k = weight.shape[0];
+    const int64_t cg = weight.shape[1];
+    const int64_t r = weight.shape[2];
+    const int64_t s = weight.shape[3];
+    const int64_t groups = params.groups;
+    vitdyn_assert(cg == c / groups, "conv2dInt8 group/channel mismatch");
+
+    const int64_t p = convOutDim(h, r, params.strideH, params.padH);
+    const int64_t q = convOutDim(w, s, params.strideW, params.padW);
+
+    const float out_scale = input.scale * weight.scale;
+    const int64_t kpg = k / groups;
+
+    Tensor out({n, k, p, q});
+    auto in_at = [&](int64_t nn, int64_t cc, int64_t hh, int64_t ww) {
+        return static_cast<int32_t>(
+            input.data[((nn * c + cc) * h + hh) * w + ww]);
+    };
+    auto w_at = [&](int64_t kk, int64_t cc, int64_t rr, int64_t ss) {
+        return static_cast<int32_t>(
+            weight.data[((kk * cg + cc) * r + rr) * s + ss]);
+    };
+
+    for (int64_t nn = 0; nn < n; ++nn) {
+        for (int64_t ok = 0; ok < k; ++ok) {
+            const int64_t g = ok / kpg;
+            const int64_t c_base = g * cg;
+            const float b = bias.numel() ? bias[ok] : 0.0f;
+            for (int64_t op = 0; op < p; ++op) {
+                for (int64_t oq = 0; oq < q; ++oq) {
+                    int64_t acc = 0;
+                    for (int64_t rr = 0; rr < r; ++rr) {
+                        const int64_t ih = op * params.strideH -
+                                           params.padH + rr;
+                        if (ih < 0 || ih >= h)
+                            continue;
+                        for (int64_t ss = 0; ss < s; ++ss) {
+                            const int64_t iw = oq * params.strideW -
+                                               params.padW + ss;
+                            if (iw < 0 || iw >= w)
+                                continue;
+                            for (int64_t cc = 0; cc < cg; ++cc)
+                                acc += in_at(nn, c_base + cc, ih, iw) *
+                                       w_at(ok, cc, rr, ss);
+                        }
+                    }
+                    out.at4(nn, ok, op, oq) = acc * out_scale + b;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+linearInt8(const QuantTensor &input, const QuantTensor &weight,
+           const Tensor &bias)
+{
+    vitdyn_assert(weight.shape.size() == 2, "linearInt8 weight rank");
+    const int64_t in_f = weight.shape[1];
+    const int64_t out_f = weight.shape[0];
+    vitdyn_assert(!input.shape.empty() && input.shape.back() == in_f,
+                  "linearInt8 feature mismatch");
+
+    const int64_t rows = input.numel() / in_f;
+    Shape out_shape(input.shape.begin(), input.shape.end());
+    out_shape.back() = out_f;
+    Tensor out(out_shape);
+
+    const float out_scale = input.scale * weight.scale;
+    for (int64_t r = 0; r < rows; ++r) {
+        const int8_t *xr = input.data.data() + r * in_f;
+        for (int64_t o = 0; o < out_f; ++o) {
+            const int8_t *wr = weight.data.data() + o * in_f;
+            int64_t acc = 0;
+            for (int64_t i = 0; i < in_f; ++i)
+                acc += static_cast<int32_t>(xr[i]) *
+                       static_cast<int32_t>(wr[i]);
+            out[r * out_f + o] = acc * out_scale +
+                                 (bias.numel() ? bias[o] : 0.0f);
+        }
+    }
+    return out;
+}
+
+double
+meanAbsError(const Tensor &a, const Tensor &b)
+{
+    vitdyn_assert(a.shape() == b.shape(), "meanAbsError shape mismatch");
+    if (a.numel() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i)
+        acc += std::fabs(a[i] - b[i]);
+    return acc / a.numel();
+}
+
+} // namespace vitdyn

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Symmetric INT8 quantization, matching the arithmetic the accelerator in
+ * Section V performs (Figure 9 shows INT8 vector MACs).
+ *
+ * Quantization is symmetric per-tensor: q = clamp(round(x / scale)) with
+ * scale = maxAbs / 127. The quantized conv/linear paths accumulate in
+ * int32 and dequantize at the output, mirroring how the PE datapath
+ * behaves. These routines let tests quantify the INT8-vs-FP32 output error
+ * on real model layers.
+ */
+
+#ifndef VITDYN_TENSOR_QUANT_HH
+#define VITDYN_TENSOR_QUANT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace vitdyn
+{
+
+/** A tensor quantized to INT8 with a single symmetric scale. */
+struct QuantTensor
+{
+    Shape shape;
+    float scale = 1.0f;
+    std::vector<int8_t> data;
+
+    int64_t numel() const { return static_cast<int64_t>(data.size()); }
+};
+
+/** Quantize to INT8 with scale = maxAbs/127 (scale 1 for all-zero input). */
+QuantTensor quantize(const Tensor &input);
+
+/** Dequantize back to float32. */
+Tensor dequantize(const QuantTensor &input);
+
+/**
+ * INT8 convolution with int32 accumulation; output is dequantized with
+ * the product of input and weight scales. Bias is applied in float.
+ */
+Tensor conv2dInt8(const QuantTensor &input, const QuantTensor &weight,
+                  const Tensor &bias, const Conv2dParams &params = {});
+
+/** INT8 linear layer with int32 accumulation. */
+Tensor linearInt8(const QuantTensor &input, const QuantTensor &weight,
+                  const Tensor &bias);
+
+/** Mean absolute error between two tensors of identical shape. */
+double meanAbsError(const Tensor &a, const Tensor &b);
+
+} // namespace vitdyn
+
+#endif // VITDYN_TENSOR_QUANT_HH

@@ -1,0 +1,105 @@
+#include "util/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+void
+ArgParser::addOption(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    options_[name] = Option{def, help, false};
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    options_[name] = Option{"0", help, true};
+}
+
+void
+ArgParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage(argv[0]).c_str(), stdout);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            vitdyn_fatal("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+
+        std::string name = arg;
+        std::string value;
+        bool has_value = false;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        }
+
+        auto it = options_.find(name);
+        if (it == options_.end())
+            vitdyn_fatal("unknown option '--", name, "'");
+
+        if (it->second.isFlag) {
+            if (has_value)
+                vitdyn_fatal("flag '--", name, "' does not take a value");
+            it->second.value = "1";
+        } else {
+            if (!has_value) {
+                if (i + 1 >= argc)
+                    vitdyn_fatal("option '--", name, "' needs a value");
+                value = argv[++i];
+            }
+            it->second.value = value;
+        }
+    }
+}
+
+std::string
+ArgParser::get(const std::string &name) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        vitdyn_fatal("option '--", name, "' was never declared");
+    return it->second.value;
+}
+
+long long
+ArgParser::getInt(const std::string &name) const
+{
+    return std::stoll(get(name));
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    return std::stod(get(name));
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return get(name) == "1";
+}
+
+std::string
+ArgParser::usage(const std::string &program) const
+{
+    std::string out = "usage: " + program + " [options]\n";
+    for (const auto &[name, opt] : options_) {
+        out += "  --" + name;
+        if (!opt.isFlag)
+            out += " <value> (default: " + opt.value + ")";
+        out += "\n      " + opt.help + "\n";
+    }
+    return out;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal command line parsing for the example binaries.
+ *
+ * Supports "--name value" and "--name=value" options plus "--flag"
+ * booleans. Unknown options are fatal so typos do not silently run a
+ * different experiment than intended.
+ */
+
+#ifndef VITDYN_UTIL_ARGS_HH
+#define VITDYN_UTIL_ARGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vitdyn
+{
+
+/** Parsed command line with typed accessors and defaults. */
+class ArgParser
+{
+  public:
+    /** Declare an option before parse(); @p help is shown by usage(). */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Declare a boolean flag (defaults to false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /** Parse argv; exits with usage text on "--help" or bad input. */
+    void parse(int argc, char **argv);
+
+    /** String value of a declared option. */
+    std::string get(const std::string &name) const;
+
+    /** Integer value of a declared option. */
+    long long getInt(const std::string &name) const;
+
+    /** Floating point value of a declared option. */
+    double getDouble(const std::string &name) const;
+
+    /** Whether a declared flag was supplied. */
+    bool getFlag(const std::string &name) const;
+
+    /** Human-readable usage text. */
+    std::string usage(const std::string &program) const;
+
+  private:
+    struct Option
+    {
+        std::string value;
+        std::string help;
+        bool isFlag = false;
+    };
+
+    std::map<std::string, Option> options_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_UTIL_ARGS_HH

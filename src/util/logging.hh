@@ -1,0 +1,104 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * Two error paths are provided, following the gem5 convention:
+ *  - fatal():  the run cannot continue because of a *user* error (bad
+ *              configuration, invalid argument). Exits with status 1.
+ *  - panic():  something happened that should never happen regardless of
+ *              user input, i.e. a library bug. Calls std::abort().
+ *
+ * Two status paths:
+ *  - inform(): normal operating messages.
+ *  - warn():   something may be wrong but execution can continue.
+ */
+
+#ifndef VITDYN_UTIL_LOGGING_HH
+#define VITDYN_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vitdyn
+{
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Global log level; messages below this level are suppressed. */
+LogLevel logLevel();
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+
+/** Format the variadic tail of a log call into one string. */
+template <typename... Args>
+std::string
+formatParts(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user-level error and exit(1).
+ * Use for bad configurations and invalid arguments.
+ */
+#define vitdyn_fatal(...) \
+    ::vitdyn::detail::fatalImpl(__FILE__, __LINE__, \
+        ::vitdyn::detail::formatParts(__VA_ARGS__))
+
+/**
+ * Report an internal invariant violation and abort().
+ * Use only for conditions that indicate a library bug.
+ */
+#define vitdyn_panic(...) \
+    ::vitdyn::detail::panicImpl(__FILE__, __LINE__, \
+        ::vitdyn::detail::formatParts(__VA_ARGS__))
+
+/** Panic if @p cond is false. */
+#define vitdyn_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::vitdyn::detail::panicImpl(__FILE__, __LINE__, \
+                ::vitdyn::detail::formatParts("assertion '" #cond \
+                    "' failed: ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Emit a warning the user should glance at. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::warnImpl(detail::formatParts(std::forward<Args>(args)...));
+}
+
+/** Emit a normal status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Inform)
+        detail::informImpl(detail::formatParts(std::forward<Args>(args)...));
+}
+
+} // namespace vitdyn
+
+#endif // VITDYN_UTIL_LOGGING_HH

@@ -1,0 +1,130 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    vitdyn_assert(cells.size() == headers_.size(),
+                  "row width ", cells.size(), " != header width ",
+                  headers_.size(), " in table '", title_, "'");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+Table::intWithCommas(long long value)
+{
+    std::string raw = std::to_string(value < 0 ? -value : value);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    if (value < 0)
+        out.push_back('-');
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += " " + row[c];
+            line.append(widths[c] - row[c].size(), ' ');
+            line += " |";
+        }
+        return line + "\n";
+    };
+
+    size_t total = 1;
+    for (size_t w : widths)
+        total += w + 3;
+
+    std::string sep(total, '-');
+    sep += "\n";
+
+    std::string out = "\n== " + title_ + " ==\n" + sep +
+                      render_row(headers_) + sep;
+    for (const auto &row : rows_)
+        out += render_row(row);
+    out += sep;
+    return out;
+}
+
+std::string
+Table::toCsv() const
+{
+    auto esc = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                q += "\"\"";
+            else
+                q.push_back(ch);
+        }
+        return q + "\"";
+    };
+
+    std::string out;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        out += (c ? "," : "") + esc(headers_[c]);
+    out += "\n";
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            out += (c ? "," : "") + esc(row[c]);
+        out += "\n";
+    }
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        vitdyn_fatal("cannot open '", path, "' for writing");
+    out << toCsv();
+}
+
+} // namespace vitdyn

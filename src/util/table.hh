@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ASCII table and CSV emission used by the benchmark harnesses.
+ *
+ * Every bench binary reproduces one table or figure from the paper; this
+ * helper renders the rows both as an aligned console table (for humans) and
+ * as CSV (for plotting). Cells are stored as strings; numeric helpers
+ * format with a fixed precision.
+ */
+
+#ifndef VITDYN_UTIL_TABLE_HH
+#define VITDYN_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace vitdyn
+{
+
+/** Row-oriented table builder with console and CSV output. */
+class Table
+{
+  public:
+    /** Construct with a title and column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append a fully formatted row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the decimal point. */
+    static std::string num(double value, int precision = 3);
+
+    /** Format an integer with thousands separators for readability. */
+    static std::string intWithCommas(long long value);
+
+    /** Render the aligned console representation. */
+    std::string toString() const;
+
+    /** Render as CSV (header row first, no title). */
+    std::string toCsv() const;
+
+    /** Print the console representation to stdout. */
+    void print() const;
+
+    /** Write the CSV representation to @p path; fatal on I/O failure. */
+    void writeCsv(const std::string &path) const;
+
+    /** Number of data rows currently in the table. */
+    size_t numRows() const { return rows_.size(); }
+
+    const std::string &title() const { return title_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_UTIL_TABLE_HH

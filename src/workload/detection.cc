@@ -1,0 +1,211 @@
+#include "workload/detection.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+double
+DetBox::area() const
+{
+    return std::max(0.0, x1 - x0) * std::max(0.0, y1 - y0);
+}
+
+double
+boxIoU(const DetBox &a, const DetBox &b)
+{
+    const double ix0 = std::max(a.x0, b.x0);
+    const double iy0 = std::max(a.y0, b.y0);
+    const double ix1 = std::min(a.x1, b.x1);
+    const double iy1 = std::min(a.y1, b.y1);
+    const double inter =
+        std::max(0.0, ix1 - ix0) * std::max(0.0, iy1 - iy0);
+    const double uni = a.area() + b.area() - inter;
+    return uni > 0.0 ? inter / uni : 0.0;
+}
+
+SyntheticDetection::SyntheticDetection(int64_t height, int64_t width,
+                                       int64_t num_classes,
+                                       int64_t objects_per_scene)
+    : height_(height), width_(width), numClasses_(num_classes),
+      objectsPerScene_(objects_per_scene)
+{
+    vitdyn_assert(height > 0 && width > 0 && num_classes >= 1,
+                  "bad detection scene parameters");
+}
+
+DetectionSample
+SyntheticDetection::nextSample(Rng &rng) const
+{
+    DetectionSample sample;
+    sample.image = Tensor({1, 3, height_, width_}, 0.4f);
+
+    for (int64_t i = 0; i < objectsPerScene_; ++i) {
+        DetBox box;
+        const double w = rng.uniform(width_ * 0.08, width_ * 0.4);
+        const double h = rng.uniform(height_ * 0.08, height_ * 0.4);
+        box.x0 = rng.uniform(0.0, width_ - w);
+        box.y0 = rng.uniform(0.0, height_ - h);
+        box.x1 = box.x0 + w;
+        box.y1 = box.y0 + h;
+        box.label = static_cast<int>(rng.uniformInt(0, numClasses_ - 1));
+
+        // Paint the object so the image correlates with the truth.
+        Rng class_rng(0xBEEF ^ static_cast<uint64_t>(box.label));
+        const float r = static_cast<float>(class_rng.uniform(0.1, 0.9));
+        const float g = static_cast<float>(class_rng.uniform(0.1, 0.9));
+        const float b = static_cast<float>(class_rng.uniform(0.1, 0.9));
+        for (int64_t y = static_cast<int64_t>(box.y0);
+             y < static_cast<int64_t>(box.y1); ++y)
+            for (int64_t x = static_cast<int64_t>(box.x0);
+                 x < static_cast<int64_t>(box.x1); ++x) {
+                sample.image.at4(0, 0, y, x) = r;
+                sample.image.at4(0, 1, y, x) = g;
+                sample.image.at4(0, 2, y, x) = b;
+            }
+        sample.boxes.push_back(box);
+    }
+    return sample;
+}
+
+double
+averagePrecision(const std::vector<std::vector<DetBox>> &predictions,
+                 const std::vector<std::vector<DetBox>> &ground_truth,
+                 double iou_threshold, int num_classes)
+{
+    vitdyn_assert(predictions.size() == ground_truth.size(),
+                  "prediction/truth scene count mismatch");
+
+    double ap_sum = 0.0;
+    int classes_present = 0;
+
+    for (int cls = 0; cls < num_classes; ++cls) {
+        // Flatten this class's predictions over all scenes, keeping
+        // the scene index for matching.
+        struct Pred
+        {
+            double score;
+            size_t scene;
+            const DetBox *box;
+        };
+        std::vector<Pred> preds;
+        int64_t total_gt = 0;
+        for (size_t s = 0; s < predictions.size(); ++s) {
+            for (const DetBox &p : predictions[s])
+                if (p.label == cls)
+                    preds.push_back({p.score, s, &p});
+            for (const DetBox &g : ground_truth[s])
+                total_gt += g.label == cls ? 1 : 0;
+        }
+        if (total_gt == 0)
+            continue;
+        ++classes_present;
+
+        std::sort(preds.begin(), preds.end(),
+                  [](const Pred &a, const Pred &b) {
+                      return a.score > b.score;
+                  });
+
+        // Greedy matching in score order; each GT matches once.
+        std::vector<std::vector<bool>> used(ground_truth.size());
+        for (size_t s = 0; s < ground_truth.size(); ++s)
+            used[s].assign(ground_truth[s].size(), false);
+
+        int64_t tp = 0;
+        int64_t fp = 0;
+        double ap = 0.0;
+        double prev_recall = 0.0;
+        for (const Pred &pred : preds) {
+            double best_iou = 0.0;
+            int best = -1;
+            const auto &gts = ground_truth[pred.scene];
+            for (size_t gi = 0; gi < gts.size(); ++gi) {
+                if (gts[gi].label != cls || used[pred.scene][gi])
+                    continue;
+                const double iou = boxIoU(*pred.box, gts[gi]);
+                if (iou > best_iou) {
+                    best_iou = iou;
+                    best = static_cast<int>(gi);
+                }
+            }
+            if (best >= 0 && best_iou >= iou_threshold) {
+                used[pred.scene][best] = true;
+                ++tp;
+            } else {
+                ++fp;
+            }
+            const double recall = static_cast<double>(tp) / total_gt;
+            const double precision =
+                static_cast<double>(tp) / (tp + fp);
+            // Rectangle-rule AP accumulation (precision is measured
+            // at each new recall level).
+            ap += precision * (recall - prev_recall);
+            prev_recall = recall;
+        }
+        ap_sum += ap;
+    }
+    return classes_present ? ap_sum / classes_present : 0.0;
+}
+
+double
+cocoAp(const std::vector<std::vector<DetBox>> &predictions,
+       const std::vector<std::vector<DetBox>> &ground_truth,
+       int num_classes)
+{
+    double total = 0.0;
+    int count = 0;
+    for (double threshold = 0.50; threshold < 0.96; threshold += 0.05) {
+        total += averagePrecision(predictions, ground_truth, threshold,
+                                  num_classes);
+        ++count;
+    }
+    return total / count;
+}
+
+std::vector<DetBox>
+degradeDetections(const std::vector<DetBox> &truth, double severity,
+                  Rng &rng, int num_classes, double max_x, double max_y)
+{
+    const double s = std::clamp(severity, 0.0, 1.0);
+    std::vector<DetBox> out;
+    for (const DetBox &gt : truth) {
+        // Miss rate grows with severity.
+        if (rng.uniform() < 0.6 * s)
+            continue;
+        DetBox pred = gt;
+        const double jitter_x = s * 0.3 * (gt.x1 - gt.x0);
+        const double jitter_y = s * 0.3 * (gt.y1 - gt.y0);
+        pred.x0 += rng.uniform(-jitter_x, jitter_x);
+        pred.y0 += rng.uniform(-jitter_y, jitter_y);
+        pred.x1 += rng.uniform(-jitter_x, jitter_x);
+        pred.y1 += rng.uniform(-jitter_y, jitter_y);
+        if (pred.x1 <= pred.x0 || pred.y1 <= pred.y0)
+            continue;
+        pred.score = rng.uniform(0.5, 1.0) * (1.0 - 0.3 * s);
+        // Severe degradation sometimes flips the class.
+        if (rng.uniform() < 0.3 * s)
+            pred.label = static_cast<int>(
+                rng.uniformInt(0, num_classes - 1));
+        out.push_back(pred);
+    }
+    // False positives.
+    const int fps = static_cast<int>(std::floor(s * 3 * rng.uniform()));
+    for (int i = 0; i < fps; ++i) {
+        DetBox fp;
+        const double w = rng.uniform(max_x * 0.05, max_x * 0.3);
+        const double h = rng.uniform(max_y * 0.05, max_y * 0.3);
+        fp.x0 = rng.uniform(0.0, max_x - w);
+        fp.y0 = rng.uniform(0.0, max_y - h);
+        fp.x1 = fp.x0 + w;
+        fp.y1 = fp.y0 + h;
+        fp.label = static_cast<int>(rng.uniformInt(0, num_classes - 1));
+        fp.score = rng.uniform(0.3, 0.8);
+        out.push_back(fp);
+    }
+    return out;
+}
+
+} // namespace vitdyn

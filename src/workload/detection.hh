@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Object-detection workload and metric: synthetic box scenes and
+ * COCO-style average precision — "AP, with IoU from 0.5 to 0.95 in
+ * increments of 0.05" (Table I's accuracy metric for DETR and
+ * Deformable DETR).
+ */
+
+#ifndef VITDYN_WORKLOAD_DETECTION_HH
+#define VITDYN_WORKLOAD_DETECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+
+/** An axis-aligned box with a class label (and a score for preds). */
+struct DetBox
+{
+    double x0 = 0.0;
+    double y0 = 0.0;
+    double x1 = 0.0;
+    double y1 = 0.0;
+    int label = 0;
+    double score = 1.0;
+
+    double area() const;
+};
+
+/** Intersection-over-union of two boxes. */
+double boxIoU(const DetBox &a, const DetBox &b);
+
+/** One synthetic detection scene. */
+struct DetectionSample
+{
+    Tensor image;               ///< (1, 3, H, W).
+    std::vector<DetBox> boxes;  ///< Ground truth.
+};
+
+/** Procedural detection scene generator (DESIGN.md substitution). */
+class SyntheticDetection
+{
+  public:
+    SyntheticDetection(int64_t height, int64_t width,
+                       int64_t num_classes,
+                       int64_t objects_per_scene = 5);
+
+    DetectionSample nextSample(Rng &rng) const;
+
+    int64_t numClasses() const { return numClasses_; }
+
+  private:
+    int64_t height_;
+    int64_t width_;
+    int64_t numClasses_;
+    int64_t objectsPerScene_;
+};
+
+/**
+ * Average precision at one IoU threshold over a set of scenes
+ * (predictions and ground truth per scene, classes pooled as in the
+ * single-class-agnostic simplification when @p per_class is false).
+ */
+double averagePrecision(
+    const std::vector<std::vector<DetBox>> &predictions,
+    const std::vector<std::vector<DetBox>> &ground_truth,
+    double iou_threshold, int num_classes);
+
+/** COCO AP: mean over IoU thresholds 0.50 : 0.05 : 0.95. */
+double cocoAp(const std::vector<std::vector<DetBox>> &predictions,
+              const std::vector<std::vector<DetBox>> &ground_truth,
+              int num_classes);
+
+/**
+ * Degrade ground-truth boxes into plausible predictions: jitter the
+ * corners, drop some boxes, add false positives. @p severity in
+ * [0, 1] controls how much — the knob the resilience experiments use
+ * to emulate pruned-detector quality.
+ */
+std::vector<DetBox> degradeDetections(const std::vector<DetBox> &truth,
+                                      double severity, Rng &rng,
+                                      int num_classes, double max_x,
+                                      double max_y);
+
+} // namespace vitdyn
+
+#endif // VITDYN_WORKLOAD_DETECTION_HH

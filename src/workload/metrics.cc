@@ -1,0 +1,96 @@
+#include "workload/metrics.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+std::vector<int>
+argmaxLabels(const Tensor &logits)
+{
+    vitdyn_assert(logits.rank() == 4, "argmaxLabels wants (N, C, H, W)");
+    const int64_t c = logits.dim(1);
+    const int64_t h = logits.dim(2);
+    const int64_t w = logits.dim(3);
+
+    std::vector<int> labels(static_cast<size_t>(h * w));
+    for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+            int best = 0;
+            float best_v = logits.at4(0, 0, y, x);
+            for (int64_t cc = 1; cc < c; ++cc) {
+                const float v = logits.at4(0, cc, y, x);
+                if (v > best_v) {
+                    best_v = v;
+                    best = static_cast<int>(cc);
+                }
+            }
+            labels[y * w + x] = best;
+        }
+    }
+    return labels;
+}
+
+double
+meanIoU(const std::vector<int> &pred, const std::vector<int> &gt,
+        int num_classes)
+{
+    vitdyn_assert(pred.size() == gt.size(), "meanIoU size mismatch");
+    vitdyn_assert(num_classes > 0, "meanIoU needs positive class count");
+
+    std::vector<int64_t> intersection(num_classes, 0);
+    std::vector<int64_t> union_(num_classes, 0);
+
+    for (size_t i = 0; i < pred.size(); ++i) {
+        const int p = pred[i];
+        const int g = gt[i];
+        vitdyn_assert(p >= 0 && p < num_classes && g >= 0 &&
+                      g < num_classes,
+                      "label out of range");
+        if (p == g) {
+            ++intersection[p];
+            ++union_[p];
+        } else {
+            ++union_[p];
+            ++union_[g];
+        }
+    }
+
+    double total = 0.0;
+    int present = 0;
+    for (int c = 0; c < num_classes; ++c) {
+        if (union_[c] == 0)
+            continue; // class absent from both maps
+        total += static_cast<double>(intersection[c]) / union_[c];
+        ++present;
+    }
+    return present ? total / present : 1.0;
+}
+
+double
+pixelAccuracy(const std::vector<int> &pred, const std::vector<int> &gt)
+{
+    vitdyn_assert(pred.size() == gt.size(), "pixelAccuracy size mismatch");
+    if (pred.empty())
+        return 1.0;
+    int64_t hits = 0;
+    for (size_t i = 0; i < pred.size(); ++i)
+        hits += pred[i] == gt[i] ? 1 : 0;
+    return static_cast<double>(hits) / pred.size();
+}
+
+double
+agreementMiou(const Tensor &reference_logits, const Tensor &test_logits)
+{
+    vitdyn_assert(reference_logits.shape() == test_logits.shape(),
+                  "agreementMiou shape mismatch: ",
+                  shapeToString(reference_logits.shape()), " vs ",
+                  shapeToString(test_logits.shape()));
+    const int num_classes = static_cast<int>(reference_logits.dim(1));
+    return meanIoU(argmaxLabels(test_logits),
+                   argmaxLabels(reference_logits), num_classes);
+}
+
+} // namespace vitdyn

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Segmentation quality metrics: mean intersection-over-union (mIoU),
+ * the accuracy metric the paper uses throughout, plus pixel accuracy
+ * and helpers for scoring one model's output against another's
+ * (the measured resilience path — see accuracy_model.hh).
+ */
+
+#ifndef VITDYN_WORKLOAD_METRICS_HH
+#define VITDYN_WORKLOAD_METRICS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace vitdyn
+{
+
+/** Per-pixel argmax class of (N, C, H, W) logits (batch 0 only). */
+std::vector<int> argmaxLabels(const Tensor &logits);
+
+/**
+ * Mean IoU between predicted and ground-truth label maps.
+ * Classes absent from both maps are excluded from the mean, matching
+ * the standard mmsegmentation definition.
+ */
+double meanIoU(const std::vector<int> &pred, const std::vector<int> &gt,
+               int num_classes);
+
+/** Fraction of pixels with matching labels. */
+double pixelAccuracy(const std::vector<int> &pred,
+                     const std::vector<int> &gt);
+
+/**
+ * mIoU of @p test_logits scored against @p reference_logits' argmax —
+ * used to measure how much a pruned execution path deviates from the
+ * full model it was derived from.
+ */
+double agreementMiou(const Tensor &reference_logits,
+                     const Tensor &test_logits);
+
+} // namespace vitdyn
+
+#endif // VITDYN_WORKLOAD_METRICS_HH

@@ -1,0 +1,100 @@
+#include "workload/synthetic.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+SyntheticSegmentation::SyntheticSegmentation(int64_t height, int64_t width,
+                                             int64_t num_classes,
+                                             int64_t objects_per_scene)
+    : height_(height), width_(width), numClasses_(num_classes),
+      objectsPerScene_(objects_per_scene)
+{
+    vitdyn_assert(height > 0 && width > 0, "bad scene size");
+    vitdyn_assert(num_classes >= 2, "need at least background + 1 class");
+}
+
+SegmentationSample
+SyntheticSegmentation::nextSample(Rng &rng) const
+{
+    SegmentationSample sample;
+    sample.height = height_;
+    sample.width = width_;
+    sample.image = Tensor({1, 3, height_, width_});
+    sample.labels.assign(static_cast<size_t>(height_ * width_), 0);
+
+    // Textured background: smooth low-frequency field per channel.
+    const double bg_phase = rng.uniform(0.0, 6.28);
+    for (int64_t c = 0; c < 3; ++c) {
+        const double fx = rng.uniform(0.5, 2.0);
+        const double fy = rng.uniform(0.5, 2.0);
+        for (int64_t y = 0; y < height_; ++y) {
+            for (int64_t x = 0; x < width_; ++x) {
+                const double v =
+                    0.35 +
+                    0.1 * std::sin(bg_phase + fx * 6.28 * x / width_ +
+                                   fy * 6.28 * y / height_);
+                sample.image.at4(0, c, y, x) = static_cast<float>(v);
+            }
+        }
+    }
+
+    // Composite objects back to front.
+    for (int64_t obj = 0; obj < objectsPerScene_; ++obj) {
+        const int cls =
+            static_cast<int>(rng.uniformInt(1, numClasses_ - 1));
+        const bool circle = rng.uniform() < 0.5;
+        const int64_t cx = rng.uniformInt(0, width_ - 1);
+        const int64_t cy = rng.uniformInt(0, height_ - 1);
+        const int64_t rx = rng.uniformInt(width_ / 10 + 1, width_ / 3);
+        const int64_t ry = rng.uniformInt(height_ / 10 + 1, height_ / 3);
+
+        // Class-keyed color: stable per class so the scene statistics
+        // correlate with the labels.
+        Rng class_rng(0xC0FFEE ^ static_cast<uint64_t>(cls));
+        const float r = static_cast<float>(class_rng.uniform(0.1, 0.9));
+        const float g = static_cast<float>(class_rng.uniform(0.1, 0.9));
+        const float b = static_cast<float>(class_rng.uniform(0.1, 0.9));
+        const double tex_freq = class_rng.uniform(4.0, 12.0);
+
+        for (int64_t y = std::max<int64_t>(0, cy - ry);
+             y < std::min(height_, cy + ry); ++y) {
+            for (int64_t x = std::max<int64_t>(0, cx - rx);
+                 x < std::min(width_, cx + rx); ++x) {
+                bool inside;
+                if (circle) {
+                    const double dx =
+                        static_cast<double>(x - cx) / std::max<int64_t>(
+                                                          rx, 1);
+                    const double dy =
+                        static_cast<double>(y - cy) / std::max<int64_t>(
+                                                          ry, 1);
+                    inside = dx * dx + dy * dy <= 1.0;
+                } else {
+                    inside = true;
+                }
+                if (!inside)
+                    continue;
+                const float tex = static_cast<float>(
+                    0.08 * std::sin(tex_freq * 6.28 * x / width_) *
+                    std::cos(tex_freq * 6.28 * y / height_));
+                sample.image.at4(0, 0, y, x) = r + tex;
+                sample.image.at4(0, 1, y, x) = g + tex;
+                sample.image.at4(0, 2, y, x) = b - tex;
+                sample.labels[y * width_ + x] = cls;
+            }
+        }
+    }
+    return sample;
+}
+
+Tensor
+randomImage(int64_t batch, int64_t height, int64_t width, Rng &rng)
+{
+    return Tensor::randn({batch, 3, height, width}, rng, 0.5f, 0.25f);
+}
+
+} // namespace vitdyn

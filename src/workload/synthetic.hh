@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Procedural workload generation (DESIGN.md substitution for ADE20K /
+ * Cityscapes / COCO): deterministic synthetic images with matching
+ * dense segmentation labels.
+ *
+ * Images are compositions of textured geometric objects on a textured
+ * background; each object class has a distinct color/texture statistic
+ * so that even an untrained (synthetic-weight) network produces
+ * spatially structured outputs. Labels mark each pixel with the class
+ * of the topmost object covering it (0 = background).
+ */
+
+#ifndef VITDYN_WORKLOAD_SYNTHETIC_HH
+#define VITDYN_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+
+/** One synthetic scene: image plus per-pixel class labels. */
+struct SegmentationSample
+{
+    Tensor image;                ///< (1, 3, H, W), values ~[0, 1].
+    std::vector<int> labels;     ///< H*W entries in [0, numClasses).
+    int64_t height = 0;
+    int64_t width = 0;
+};
+
+/** Configurable generator of segmentation scenes. */
+class SyntheticSegmentation
+{
+  public:
+    /**
+     * @param height, width   scene size in pixels.
+     * @param num_classes     label classes including background.
+     * @param objects_per_scene number of objects composited per image.
+     */
+    SyntheticSegmentation(int64_t height, int64_t width,
+                          int64_t num_classes,
+                          int64_t objects_per_scene = 6);
+
+    /** Generate the next scene (deterministic given the seed). */
+    SegmentationSample nextSample(Rng &rng) const;
+
+    int64_t numClasses() const { return numClasses_; }
+
+  private:
+    int64_t height_;
+    int64_t width_;
+    int64_t numClasses_;
+    int64_t objectsPerScene_;
+};
+
+/** A plain random image (for profiling and smoke tests). */
+Tensor randomImage(int64_t batch, int64_t height, int64_t width, Rng &rng);
+
+} // namespace vitdyn
+
+#endif // VITDYN_WORKLOAD_SYNTHETIC_HH

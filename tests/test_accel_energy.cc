@@ -1,0 +1,211 @@
+/** @file Unit tests of the accelerator energy, area, and scheduler
+ * components (the Section V/VI cost models). */
+
+#include <gtest/gtest.h>
+
+#include "accel/area.hh"
+#include "accel/energy.hh"
+#include "accel/scheduler.hh"
+#include "accel/simulator.hh"
+#include "models/segformer.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TilingSolution
+solvedFuse(const AcceleratorConfig &cfg)
+{
+    ConvWorkload fuse{1, 768, 3072, 128, 128, 1, 1, 1, 1, 1};
+    return solveTiling(cfg, fuse);
+}
+
+TEST(Energy, MacTermScalesWithMacs)
+{
+    const AcceleratorConfig cfg = acceleratorStar();
+    ConvWorkload small{1, 64, 64, 16, 16, 1, 1, 1, 1, 1};
+    ConvWorkload big{1, 64, 64, 64, 64, 1, 1, 1, 1, 1};
+    const double e_small = layerEnergyMj(cfg, solveTiling(cfg, small));
+    const double e_big = layerEnergyMj(cfg, solveTiling(cfg, big));
+    // 16x the MACs: energy grows close to proportionally.
+    EXPECT_GT(e_big / e_small, 8.0);
+    EXPECT_LT(e_big / e_small, 24.0);
+}
+
+TEST(Energy, LwsReuseReducesWmEnergy)
+{
+    AcceleratorConfig q8 = acceleratorStar();
+    AcceleratorConfig q1 = acceleratorStar();
+    q1.maxQ0 = 1;
+    const double e8 = layerEnergyMj(q8, solvedFuse(q8));
+    const double e1 = layerEnergyMj(q1, solvedFuse(q1));
+    EXPECT_GT(e1, e8 * 1.1);
+}
+
+TEST(Energy, BiggerWeightMemoryCostsMorePerAccess)
+{
+    AcceleratorConfig small = acceleratorStar();   // WM 128
+    AcceleratorConfig big = acceleratorStar();
+    big.weightMemKb = 1024;
+    // Same schedule assumed: compare the energy of the big-WM variant
+    // on its own solution; the fuse layer is weight-read heavy.
+    const double e_small = layerEnergyMj(small, solvedFuse(small));
+    const double e_big = layerEnergyMj(big, solvedFuse(big));
+    // Big WM avoids refetch but pays per-access; both effects are
+    // present and the totals must stay within a sane band.
+    EXPECT_GT(e_big, 0.5 * e_small);
+    EXPECT_LT(e_big, 2.0 * e_small);
+}
+
+TEST(Energy, IdleLanesChargeUnderutilizedLayers)
+{
+    const AcceleratorConfig cfg = acceleratorStar();
+    // Depthwise: 1/32 C0 utilization.
+    ConvWorkload dw{1, 256, 256, 64, 64, 3, 3, 1, 1, 256};
+    TilingSolution s = solveTiling(cfg, dw);
+    EnergyParams with_idle;
+    EnergyParams no_idle;
+    no_idle.idleLaneFactor = 0.0;
+    EXPECT_GT(layerEnergyMj(cfg, s, with_idle),
+              2.0 * layerEnergyMj(cfg, s, no_idle));
+}
+
+TEST(Energy, PpuEnergyLinearInElements)
+{
+    const AcceleratorConfig cfg = acceleratorStar();
+    const double e1 = ppuEnergyMj(cfg, 1000, 2000);
+    const double e2 = ppuEnergyMj(cfg, 2000, 4000);
+    EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+}
+
+TEST(Energy, SramScaleAnchoredAt128)
+{
+    EXPECT_DOUBLE_EQ(sramEnergyScale(128), 1.0);
+    EXPECT_LT(sramEnergyScale(32), 1.0);
+    EXPECT_GT(sramEnergyScale(1024), 1.2);
+}
+
+TEST(Area, PublishedCalibrationPoints)
+{
+    EXPECT_NEAR(peArrayArea(acceleratorA()).total, 8.33, 0.12);
+    AcceleratorConfig ofa3 = acceleratorOfa3();
+    EXPECT_NEAR(peArrayArea(ofa3).total, 1.66, 0.08);
+}
+
+TEST(Area, ComponentsSumToTotal)
+{
+    for (const auto &cfg : {acceleratorA(), acceleratorStar(),
+                            makeVectorizationVariant(16, 16, 64, 32)}) {
+        AreaBreakdown a = peArrayArea(cfg);
+        EXPECT_NEAR(a.total, a.macs + a.sram + a.control, 1e-12)
+            << cfg.name;
+        EXPECT_GT(a.macs, 0.0);
+        EXPECT_GT(a.sram, 0.0);
+    }
+}
+
+TEST(Area, MacAreaIndependentOfSplit)
+{
+    // Constant 16384 MACs: the MAC area is split-invariant.
+    const double a32 =
+        peArrayArea(makeVectorizationVariant(32, 32, 128, 64)).macs;
+    const double a16 =
+        peArrayArea(makeVectorizationVariant(16, 16, 128, 64)).macs;
+    EXPECT_NEAR(a32, a16, 1e-12);
+}
+
+TEST(Area, ControlAreaGrowsWithPeCount)
+{
+    const double c16pes =
+        peArrayArea(makeVectorizationVariant(32, 32, 128, 64)).control;
+    const double c64pes =
+        peArrayArea(makeVectorizationVariant(16, 16, 128, 64)).control;
+    EXPECT_NEAR(c64pes / c16pes, 4.0, 1e-9);
+}
+
+TEST(Scheduler, DisabledReturnsPlainSum)
+{
+    Graph g = buildSegformer(segformerB0Config());
+    AcceleratorSim sim(acceleratorStar());
+    GraphSimResult r = sim.run(g);
+    EXPECT_EQ(scheduleCycles(g, r.layers, false), r.totalCycles);
+}
+
+TEST(Scheduler, NeverNegativeAndNeverSlower)
+{
+    for (auto cfg : {segformerB0Config(), segformerB2Config()}) {
+        Graph g = buildSegformer(cfg);
+        AcceleratorSim sim(acceleratorStar());
+        GraphSimResult r = sim.run(g);
+        const int64_t scheduled = scheduleCycles(g, r.layers, true);
+        EXPECT_GT(scheduled, 0);
+        EXPECT_LE(scheduled, r.totalCycles);
+    }
+}
+
+TEST(Scheduler, PairsUnderutilizedIndependentLayers)
+{
+    // Two independent low-utilization convs in different stages can
+    // overlap; the saving equals the smaller one's cycles.
+    Graph g("pair");
+    int in = g.addInput("x", {1, 8, 16, 16});
+    auto conv = [&](const char *name, const char *stage) {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Conv2d;
+        l.attrs.inChannels = 8;
+        l.attrs.outChannels = 8;
+        l.inputs = {in};
+        l.stage = stage;
+        return g.addLayer(std::move(l));
+    };
+    int a = conv("a", "encoder.stage1");
+    int b = conv("b", "decoder");
+    g.markOutput(a);
+    g.markOutput(b);
+
+    AcceleratorSim sim(acceleratorStar());
+    GraphSimResult r = sim.run(g);
+    ASSERT_EQ(r.layers.size(), 3u);
+    // Both convs are tiny (util << 0.5) and independent.
+    EXPECT_LT(r.scheduledCycles, r.totalCycles);
+}
+
+TEST(Scheduler, DependentLayersNeverOverlap)
+{
+    Graph g("chain");
+    int in = g.addInput("x", {1, 8, 16, 16});
+    Layer l1;
+    l1.name = "a";
+    l1.kind = LayerKind::Conv2d;
+    l1.attrs.inChannels = 8;
+    l1.attrs.outChannels = 8;
+    l1.inputs = {in};
+    l1.stage = "encoder.stage0";
+    int a = g.addLayer(std::move(l1));
+    Layer l2 = g.layer(a);
+    l2.name = "b";
+    l2.inputs = {a};
+    l2.stage = "decoder";
+    int b = g.addLayer(std::move(l2));
+    g.markOutput(b);
+
+    AcceleratorSim sim(acceleratorStar());
+    GraphSimResult r = sim.run(g);
+    EXPECT_EQ(r.scheduledCycles, r.totalCycles);
+}
+
+TEST(SimulatorApi, FindLayerAndCosts)
+{
+    Graph g = buildSegformer(segformerB0Config());
+    AcceleratorSim sim(acceleratorStar());
+    GraphSimResult r = sim.run(g);
+    EXPECT_NE(r.findLayer("Conv2DFuse"), nullptr);
+    EXPECT_EQ(r.findLayer("no_such_layer"), nullptr);
+    EXPECT_EQ(sim.cycles(g), r.scheduledCycles);
+    EXPECT_DOUBLE_EQ(sim.energyMj(g), r.totalEnergyMj);
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,96 @@
+/** @file Tests of the memory-hierarchy breakdown reporting. */
+
+#include <gtest/gtest.h>
+
+#include "accel/report.hh"
+#include "accel/simulator.hh"
+#include "models/segformer.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(HierarchyReport, ComponentsSumToSimulatorEnergy)
+{
+    // The breakdown mirrors layerEnergyMj term by term, so its total
+    // must equal the simulator's (PPU included).
+    Graph g = buildSegformer(segformerB0Config());
+    const AcceleratorConfig cfg = acceleratorStar();
+    HierarchyBreakdown b = analyzeHierarchy(cfg, g);
+    const double sim_energy = AcceleratorSim(cfg).energyMj(g);
+    EXPECT_NEAR(b.totalMj(), sim_energy, 1e-6 * sim_energy);
+}
+
+TEST(HierarchyReport, AllComponentsPresent)
+{
+    Graph g = buildSegformer(segformerB0Config());
+    HierarchyBreakdown b = analyzeHierarchy(acceleratorStar(), g);
+    EXPECT_GT(b.macMj, 0.0);
+    EXPECT_GT(b.idleLaneMj, 0.0); // DWConvs underutilize C0
+    EXPECT_GT(b.rfMj, 0.0);
+    EXPECT_GT(b.wmMj, 0.0);
+    EXPECT_GT(b.amMj, 0.0);
+    EXPECT_GT(b.gbMj, 0.0);
+    EXPECT_GT(b.controlLeakageMj, 0.0);
+    EXPECT_GT(b.ppuMj, 0.0);
+    EXPECT_GT(b.rfAccesses, 0);
+    EXPECT_GT(b.gbBytes, 0);
+}
+
+TEST(HierarchyReport, DramShareGrowsWithSpills)
+{
+    // The Cityscapes-size model streams its huge fuse input through
+    // DRAM; its DRAM share must exceed the ADE model's.
+    const AcceleratorConfig cfg = acceleratorStar();
+    Graph ade = buildSegformer(segformerB2Config());
+    Graph city = buildSegformer(segformerB2CityscapesConfig());
+    HierarchyBreakdown ba = analyzeHierarchy(cfg, ade);
+    HierarchyBreakdown bc = analyzeHierarchy(cfg, city);
+    EXPECT_GT(bc.dramMj / bc.totalMj(), ba.dramMj / ba.totalMj());
+}
+
+TEST(HierarchyReport, LwsReuseVisibleInWmTraffic)
+{
+    Graph g = buildSegformer(segformerB0Config());
+    AcceleratorConfig q8 = acceleratorStar();
+    AcceleratorConfig q1 = acceleratorStar();
+    q1.maxQ0 = 1;
+    HierarchyBreakdown b8 = analyzeHierarchy(q8, g);
+    HierarchyBreakdown b1 = analyzeHierarchy(q1, g);
+    EXPECT_GT(b1.wmReadBytes, 4 * b8.wmReadBytes);
+    EXPECT_GT(b1.wmMj, b8.wmMj);
+}
+
+TEST(HierarchyReport, TableRendersEveryComponent)
+{
+    Graph g = buildSegformer(segformerB0Config());
+    HierarchyBreakdown b = analyzeHierarchy(acceleratorStar(), g);
+    Table t = hierarchyTable("breakdown", b);
+    const std::string s = t.toString();
+    for (const char *label :
+         {"MACs (useful)", "MAC lanes (idle)", "Weight SRAM",
+          "Activation SRAM", "Global buffer", "DRAM",
+          "Control + leakage", "Post-processing"})
+        EXPECT_NE(s.find(label), std::string::npos) << label;
+}
+
+TEST(HierarchyReport, CrossPeTrafficOnlyWhenSplit)
+{
+    // A 1x1 conv small enough to need no C-split produces no cross-PE
+    // partial sums.
+    Graph g("nosplit");
+    int in = g.addInput("x", {1, 32, 8, 8});
+    Layer conv;
+    conv.name = "c";
+    conv.kind = LayerKind::Conv2d;
+    conv.attrs.inChannels = 32;
+    conv.attrs.outChannels = 32;
+    conv.inputs = {in};
+    g.markOutput(g.addLayer(std::move(conv)));
+    HierarchyBreakdown b = analyzeHierarchy(acceleratorStar(), g);
+    EXPECT_EQ(b.crossPeBytes, 0);
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,230 @@
+/** @file Tests of the whole-graph accelerator simulator against the
+ * paper's Section VI results, plus energy/area/DSE invariants. */
+
+#include <gtest/gtest.h>
+
+#include "accel/area.hh"
+#include "accel/dse.hh"
+#include "accel/simulator.hh"
+#include "models/segformer.hh"
+#include "models/swin.hh"
+#include "resilience/config.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(AccelSim, SegformerCyclesNearPublished)
+{
+    // Section VI-A: 4,415,208 cycles on accelerator_A (3.5 ms at
+    // 1.25 GHz). Our analytic simulator should land within ~25%.
+    Graph g = buildSegformer(segformerB2Config());
+    AcceleratorSim sim(acceleratorA());
+    GraphSimResult r = sim.run(g);
+    EXPECT_GT(r.scheduledCycles, 4415208 * 0.75);
+    EXPECT_LT(r.scheduledCycles, 4415208 * 1.25);
+    EXPECT_NEAR(r.timeMs,
+                r.scheduledCycles / (1.25e9) * 1e3, 1e-6);
+}
+
+TEST(AccelSim, StarBarelySlowerThanA)
+{
+    // Section VI-A: accelerator* is <3% slower and ~0.5% more energy
+    // on the full model despite 4.3x less area.
+    Graph g = buildSegformer(segformerB2Config());
+    GraphSimResult a = AcceleratorSim(acceleratorA()).run(g);
+    GraphSimResult star = AcceleratorSim(acceleratorStar()).run(g);
+    const double slowdown =
+        static_cast<double>(star.scheduledCycles) / a.scheduledCycles;
+    EXPECT_GE(slowdown, 1.0);
+    EXPECT_LT(slowdown, 1.05);
+    const double energy_ratio = star.totalEnergyMj / a.totalEnergyMj;
+    EXPECT_GT(energy_ratio, 0.99);
+    EXPECT_LT(energy_ratio, 1.06);
+}
+
+TEST(AccelSim, SwinCyclesNearPublished)
+{
+    // Section VI-B: 15,482,594 cycles (12.4 ms) on accelerator*.
+    Graph g = buildSwin(swinTinyConfig());
+    GraphSimResult r = AcceleratorSim(acceleratorStar()).run(g);
+    EXPECT_GT(r.scheduledCycles, 15482594 * 0.8);
+    EXPECT_LT(r.scheduledCycles, 15482594 * 1.2);
+}
+
+TEST(AccelSim, SwinConvCyclesShare)
+{
+    // Section VI-B: 89% of accelerator execution time in convolutions.
+    Graph g = buildSwin(swinTinyConfig());
+    GraphSimResult r = AcceleratorSim(acceleratorStar()).run(g);
+    int64_t conv = 0;
+    for (const LayerSimResult &l : r.layers)
+        if (l.layerId >= 0 &&
+            g.layer(l.layerId).category() == OpCategory::Conv)
+            conv += l.cycles;
+    EXPECT_NEAR(static_cast<double>(conv) / r.totalCycles, 0.89, 0.07);
+}
+
+TEST(AccelSim, FuseDominatesLikeFlops)
+{
+    // Fig 10: on the accelerator the time distribution tracks the
+    // FLOPs distribution much more closely than on the GPU.
+    Graph g = buildSegformer(segformerB2Config());
+    GraphSimResult r = AcceleratorSim(acceleratorA()).run(g);
+    const LayerSimResult *fuse = r.findLayer("Conv2DFuse");
+    ASSERT_NE(fuse, nullptr);
+    const double cycle_share =
+        static_cast<double>(fuse->cycles) / r.totalCycles;
+    const double flops_share =
+        static_cast<double>(g.layer(g.findLayer("Conv2DFuse")).flops()) /
+        g.totalFlops();
+    EXPECT_NEAR(cycle_share, flops_share, 0.18);
+    EXPECT_GT(cycle_share, 0.35);
+}
+
+TEST(AccelSim, EnergyPerFlopOutliers)
+{
+    // Fig 11: the 3-channel patch embed and the DWConvs have far
+    // higher energy/FLOP than the big channel-rich convs.
+    Graph g = buildSegformer(segformerB2Config());
+    GraphSimResult r = AcceleratorSim(acceleratorA()).run(g);
+    auto energy_per_flop = [&](const std::string &name) {
+        const LayerSimResult *l = r.findLayer(name);
+        EXPECT_NE(l, nullptr) << name;
+        return l->energyMj / std::max<int64_t>(1, l->macs);
+    };
+    const double fuse = energy_per_flop("Conv2DFuse");
+    const double pe0 = energy_per_flop("OverlapPatchEmbed0_Conv2D");
+    const double dw =
+        energy_per_flop("encoder.stage0.block0.ffn.DWConv");
+    EXPECT_GT(pe0, 3.0 * fuse);
+    EXPECT_GT(dw, 3.0 * fuse);
+}
+
+TEST(AccelSim, AreasMatchPublished)
+{
+    // Table IV: 8.33 / 2.26 / 1.66 mm^2.
+    EXPECT_NEAR(peArrayArea(acceleratorOfa1()).total, 8.33, 0.15);
+    EXPECT_NEAR(peArrayArea(acceleratorOfa2()).total, 2.26, 0.10);
+    EXPECT_NEAR(peArrayArea(acceleratorOfa3()).total, 1.66, 0.08);
+}
+
+TEST(AccelSim, WeightMemoryDominatesLargeArea)
+{
+    // Section VI-A: accelerator_A's area is dominated by the weight
+    // memories.
+    AreaBreakdown a = peArrayArea(acceleratorA());
+    EXPECT_GT(a.sram, 0.7 * a.total);
+    AreaBreakdown ofa3 = peArrayArea(acceleratorOfa3());
+    // The paper notes memories still dominate even for OFA3.
+    EXPECT_GT(ofa3.sram, 0.35 * ofa3.total);
+}
+
+TEST(AccelSim, EnergyScalesWithSramCapacity)
+{
+    EXPECT_GT(sramEnergyScale(1024), sramEnergyScale(128));
+    EXPECT_GT(sramEnergyScale(128), sramEnergyScale(32));
+    EXPECT_NEAR(sramEnergyScale(128), 1.0, 1e-9);
+}
+
+TEST(AccelSim, PrunedModelsCheaper)
+{
+    SegformerConfig base = segformerB2Config();
+    AcceleratorSim sim(acceleratorStar());
+    const Graph full = buildSegformer(base);
+    GraphSimResult full_r = sim.run(full);
+    int64_t prev_cycles = full_r.scheduledCycles + 1;
+    double prev_energy = full_r.totalEnergyMj * 1.001;
+    for (const PruneConfig &config : segformerAdePruneCatalog()) {
+        Graph g = applySegformerPrune(base, config);
+        GraphSimResult r = sim.run(g);
+        EXPECT_LT(r.scheduledCycles, prev_cycles) << config.label;
+        EXPECT_LT(r.totalEnergyMj, prev_energy) << config.label;
+        prev_cycles = r.scheduledCycles;
+        prev_energy = r.totalEnergyMj;
+    }
+}
+
+TEST(AccelSim, EnergyNearlyArchitectureIndependent)
+{
+    // Fig 13's observation: for a given dynamic configuration the
+    // energy varies little across weight-memory sizes (same MACs).
+    Graph g = buildSegformer(segformerB2Config());
+    double e128 = AcceleratorSim(acceleratorStar()).energyMj(g);
+    AcceleratorConfig wm512 = acceleratorStar();
+    wm512.weightMemKb = 512;
+    double e512 = AcceleratorSim(wm512).energyMj(g);
+    EXPECT_NEAR(e512 / e128, 1.0, 0.15);
+}
+
+TEST(AccelSim, SchedulerNeverSlower)
+{
+    Graph g = buildSegformer(segformerB0Config());
+    GraphSimResult r = AcceleratorSim(acceleratorStar()).run(g);
+    EXPECT_LE(r.scheduledCycles, r.totalCycles);
+    EXPECT_GT(r.scheduledCycles, 0);
+}
+
+TEST(AccelSim, FusionReducesCycles)
+{
+    Graph g = buildSegformer(segformerB0Config());
+    AcceleratorConfig fused = acceleratorStar();
+    AcceleratorConfig unfused = acceleratorStar();
+    unfused.fusePostOps = false;
+    const int64_t cf = AcceleratorSim(fused).run(g).totalCycles;
+    const int64_t cu = AcceleratorSim(unfused).run(g).totalCycles;
+    EXPECT_LT(cf, cu);
+}
+
+TEST(AccelSim, DseKeepsConstantParallelism)
+{
+    SegformerConfig small = segformerB0Config();
+    small.imageH = small.imageW = 128;
+    Graph g = buildSegformer(small);
+    DseOptions opts;
+    opts.k0Grid = {16, 32};
+    opts.c0Grid = {32};
+    opts.weightMemKbGrid = {128, 1024};
+    opts.activationMemKbGrid = {64};
+    auto points = exploreDesignSpace(g, opts);
+    ASSERT_EQ(points.size(), 4u);
+    for (const DsePoint &p : points)
+        EXPECT_EQ(p.config.parallelMacs(), 16384);
+}
+
+TEST(AccelSim, DseBestSelectors)
+{
+    SegformerConfig small = segformerB0Config();
+    small.imageH = small.imageW = 128;
+    Graph g = buildSegformer(small);
+    DseOptions opts;
+    opts.k0Grid = {16, 32};
+    opts.c0Grid = {32};
+    opts.weightMemKbGrid = {128};
+    opts.activationMemKbGrid = {64};
+    auto points = exploreDesignSpace(g, opts);
+    const DsePoint &lat = bestByLatency(points);
+    const DsePoint &en = bestByEnergy(points);
+    for (const DsePoint &p : points) {
+        EXPECT_GE(p.cycles, lat.cycles);
+        EXPECT_GE(p.energyMj, en.energyMj);
+    }
+}
+
+TEST(AccelSim, HigherVectorizationLowerEnergy)
+{
+    // Fig 14: K0 = C0 = 32 accelerators burn less energy than
+    // K0 = C0 = 16 with more PEs (more input multicast + control).
+    SegformerConfig small = segformerB0Config();
+    small.imageH = small.imageW = 256;
+    Graph g = buildSegformer(small);
+    const double e32 = AcceleratorSim(
+        makeVectorizationVariant(32, 32, 128, 64)).energyMj(g);
+    const double e16 = AcceleratorSim(
+        makeVectorizationVariant(16, 16, 128, 64)).energyMj(g);
+    EXPECT_LT(e32, e16);
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,224 @@
+/** @file Tests of the OS-LWS tiling solver: coverage invariants,
+ * utilization bounds, and the paper's key mapping behaviours. */
+
+#include <gtest/gtest.h>
+
+#include "accel/tiling.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Tiling factors must cover every loop dimension. */
+void
+expectCoverage(const AcceleratorConfig &cfg, const ConvWorkload &w,
+               const TilingSolution &s)
+{
+    const int64_t cg = w.c / w.groups;
+    EXPECT_GE(s.k2 * s.k1 * s.k2s * cfg.k0, w.k);
+    EXPECT_GE(s.c1 * s.c2s * cfg.c0, cg);
+    EXPECT_GE(s.p2 * s.p1 * s.p2s, w.n * w.p);
+    EXPECT_GE(s.q2 * s.q1 * s.q0 * s.q2s, w.q);
+}
+
+TEST(Tiling, FuseConvFullUtilizationOnA)
+{
+    // Conv2DFuse on accelerator_A runs at ~full utilization: the paper
+    // sizes accelerator_A's weight memory so fuse needs no temporal
+    // weight tiling.
+    ConvWorkload fuse{1, 768, 3072, 128, 128, 1, 1, 1, 1, 1};
+    TilingSolution s = solveTiling(acceleratorA(), fuse);
+    expectCoverage(acceleratorA(), fuse, s);
+    EXPECT_TRUE(s.weightsResident);
+    EXPECT_GT(s.utilization, 0.95);
+    EXPECT_NEAR(static_cast<double>(s.totalCycles),
+                static_cast<double>(fuse.macs()) / 16384, 0.05 * 2.4e6);
+}
+
+TEST(Tiling, FuseConvSpillsOnStar)
+{
+    // accelerator*'s 128 kB weight memory cannot hold fuse's 768
+    // output channels across 16 PEs -> temporal weight tiling (k2>1),
+    // the effect behind the <3% full-model slowdown.
+    ConvWorkload fuse{1, 768, 3072, 128, 128, 1, 1, 1, 1, 1};
+    TilingSolution s = solveTiling(acceleratorStar(), fuse);
+    EXPECT_FALSE(s.weightsResident);
+    EXPECT_GT(s.k2, 1);
+    // Still close to full-rate compute.
+    TilingSolution a = solveTiling(acceleratorA(), fuse);
+    EXPECT_LT(static_cast<double>(s.totalCycles) / a.totalCycles, 1.35);
+}
+
+TEST(Tiling, DepthwiseConvLimitedByC0)
+{
+    // DWConv has one input channel per group: C0 utilization is 1/C0,
+    // the paper's Fig 11 energy-per-FLOP outlier mechanism.
+    ConvWorkload dw{1, 256, 256, 128, 128, 3, 3, 1, 1, 256};
+    TilingSolution s = solveTiling(acceleratorStar(), dw);
+    EXPECT_EQ(s.c0Used, 1);
+    EXPECT_LE(s.utilization, 1.0 / 32 + 1e-6);
+    EXPECT_GT(s.utilization, 1.0 / 32 * 0.5);
+}
+
+TEST(Tiling, ThreeChannelInputUnderutilized)
+{
+    // The model input layer (3 channels) underutilizes C0 = 32.
+    ConvWorkload pe{1, 64, 3, 128, 128, 7, 7, 4, 4, 1};
+    TilingSolution s = solveTiling(acceleratorStar(), pe);
+    EXPECT_EQ(s.c0Used, 3);
+    EXPECT_LE(s.utilization, 3.0 / 32 + 1e-6);
+}
+
+TEST(Tiling, MatmulMapping)
+{
+    // Section V: A(m,n) x B(n,o) maps as a 1 x m image. A big square
+    // GEMM should approach full utilization.
+    ConvWorkload mm{1, 1024, 1024, 1, 4096, 1, 1, 1, 1, 1};
+    TilingSolution s = solveTiling(acceleratorStar(), mm);
+    expectCoverage(acceleratorStar(), mm, s);
+    EXPECT_GT(s.utilization, 0.9);
+}
+
+TEST(Tiling, CyclesNeverBelowIdeal)
+{
+    const AcceleratorConfig cfg = acceleratorStar();
+    const ConvWorkload workloads[] = {
+        {1, 768, 3072, 128, 128, 1, 1, 1, 1, 1},
+        {1, 64, 64, 56, 56, 3, 3, 1, 1, 1},
+        {1, 150, 768, 128, 128, 1, 1, 1, 1, 1},
+        {2, 512, 256, 1, 300, 1, 1, 1, 1, 1},
+        {1, 256, 256, 128, 128, 3, 3, 1, 1, 256},
+    };
+    for (const ConvWorkload &w : workloads) {
+        TilingSolution s = solveTiling(cfg, w);
+        const double ideal =
+            static_cast<double>(w.macs()) / cfg.parallelMacs();
+        EXPECT_GE(static_cast<double>(s.computeCycles), ideal * 0.999);
+        EXPECT_LE(s.utilization, 1.0 + 1e-9);
+        EXPECT_GT(s.utilization, 0.0);
+    }
+}
+
+TEST(Tiling, CrossPeReductionHelpsWideInputs)
+{
+    // Disabling cross-PE reduction forces all 3072 input channels into
+    // one PE's temporal loop; for fuse the C-split is what lets K stay
+    // resident. Cycles must not improve when the feature is off.
+    ConvWorkload fuse{1, 768, 3072, 128, 128, 1, 1, 1, 1, 1};
+    AcceleratorConfig on = acceleratorA();
+    AcceleratorConfig off = acceleratorA();
+    off.crossPeReduction = false;
+    TilingSolution son = solveTiling(on, fuse);
+    TilingSolution soff = solveTiling(off, fuse);
+    EXPECT_EQ(soff.c2s, 1);
+    EXPECT_GE(soff.totalCycles, son.totalCycles);
+}
+
+TEST(Tiling, WeightCapacityRespected)
+{
+    ConvWorkload w{1, 512, 512, 64, 64, 3, 3, 1, 1, 1};
+    for (const auto &cfg : {acceleratorA(), acceleratorStar(),
+                            acceleratorOfa3()}) {
+        TilingSolution s = solveTiling(cfg, w);
+        const int64_t weight_tile =
+            cfg.k0 * s.k1 * cfg.c0 * s.c1 * w.r * w.s;
+        // Either the tile fits on chip, or the solver marked the
+        // weights as streamed (and charged the refetch traffic).
+        if (weight_tile > cfg.weightMemKb * 1024) {
+            EXPECT_FALSE(s.weightsResident) << cfg.name;
+            EXPECT_GE(s.dramWeightBytes, w.k * w.c * w.r * w.s)
+                << cfg.name;
+        } else if (s.k2 == 1) {
+            EXPECT_TRUE(s.weightsResident) << cfg.name;
+        }
+    }
+}
+
+TEST(Tiling, ActivationCapacityRespected)
+{
+    ConvWorkload w{1, 256, 512, 96, 96, 3, 3, 1, 1, 1};
+    for (const auto &cfg : {acceleratorA(), acceleratorStar(),
+                            acceleratorOfa3()}) {
+        TilingSolution s = solveTiling(cfg, w);
+        const int64_t in_h = (s.p1 - 1) * w.strideH + w.r;
+        const int64_t in_w = (s.q1 * s.q0 - 1) * w.strideW + w.s;
+        const int64_t tile = cfg.c0 * s.c1 * in_h * in_w;
+        // A single minimal tile may exceed AM only when even p1=q1=1
+        // cannot fit; none of these shapes are that degenerate.
+        EXPECT_LE(tile, cfg.activationMemKb * 1024) << cfg.name;
+    }
+}
+
+TEST(Tiling, ZeroWorkloadPanics)
+{
+    ConvWorkload w;
+    EXPECT_DEATH(solveTiling(acceleratorStar(), w), "zero-size");
+}
+
+/** Property sweep: random-ish workloads obey all invariants. */
+class TilingProperty : public testing::TestWithParam<int> {};
+
+TEST_P(TilingProperty, InvariantsHold)
+{
+    const int seed = GetParam();
+    // Deterministic pseudo-random workload from the parameter.
+    auto pick = [&](int i, int64_t lo, int64_t hi) {
+        const int64_t span = hi - lo + 1;
+        return lo + (seed * 2654435761u + i * 40503u) % span;
+    };
+    ConvWorkload w;
+    w.n = pick(0, 1, 2);
+    w.k = pick(1, 1, 512);
+    w.c = pick(2, 1, 512);
+    w.p = pick(3, 1, 64);
+    w.q = pick(4, 1, 64);
+    w.r = pick(5, 1, 3);
+    w.s = w.r;
+    w.strideH = w.strideW = pick(6, 1, 2);
+
+    for (const auto &cfg : {acceleratorStar(),
+                            makeVectorizationVariant(16, 16, 128, 64),
+                            makeVectorizationVariant(64, 16, 256, 32)}) {
+        TilingSolution s = solveTiling(cfg, w);
+        expectCoverage(cfg, w, s);
+        EXPECT_GE(s.totalCycles, ceilDiv(w.macs(),
+                                         cfg.parallelMacs()));
+        EXPECT_LE(s.utilization, 1.0 + 1e-9);
+        EXPECT_GE(s.stallCycles, 0);
+        EXPECT_EQ(s.totalCycles, s.computeCycles + s.stallCycles);
+        EXPECT_GE(s.dramWeightBytes, 0);
+        EXPECT_EQ(s.weightsResident, s.k2 == 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, TilingProperty, testing::Range(1, 33));
+
+TEST(Arch, VariantKeepsParallelMacsConstant)
+{
+    for (int64_t k0 : {16, 32, 64})
+        for (int64_t c0 : {16, 32, 64}) {
+            auto cfg = makeVectorizationVariant(k0, c0, 128, 64);
+            EXPECT_EQ(cfg.parallelMacs(), 16384);
+        }
+}
+
+TEST(Arch, PresetsMatchPaper)
+{
+    EXPECT_EQ(acceleratorA().weightMemKb, 1024);
+    EXPECT_EQ(acceleratorA().parallelMacs(), 16384);
+    EXPECT_EQ(acceleratorStar().weightMemKb, 128);
+    EXPECT_EQ(acceleratorOfa2().weightMemKb,
+              acceleratorStar().weightMemKb);
+    EXPECT_EQ(acceleratorOfa3().weightMemKb, 64);
+    EXPECT_EQ(acceleratorOfa3().activationMemKb, 32);
+}
+
+} // namespace
+} // namespace vitdyn

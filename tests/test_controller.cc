@@ -1,0 +1,154 @@
+/** @file Tests of the closed-loop budget controller and the executor's
+ * activation-liveness accounting. */
+
+#include <gtest/gtest.h>
+
+#include "engine/controller.hh"
+#include "graph/executor.hh"
+#include "models/segformer.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+AccuracyResourceLut
+threePointLut()
+{
+    std::vector<TradeoffPoint> pts(3);
+    pts[0].config.label = "small";
+    pts[0].config.depths = {1, 1, 1, 1};
+    pts[0].absoluteUtil = 10.0;
+    pts[0].normalizedUtil = 0.5;
+    pts[0].normalizedMiou = 0.7;
+    pts[1].config.label = "mid";
+    pts[1].config.depths = {2, 2, 2, 2};
+    pts[1].absoluteUtil = 15.0;
+    pts[1].normalizedUtil = 0.75;
+    pts[1].normalizedMiou = 0.9;
+    pts[2].config.label = "full";
+    pts[2].config.depths = {3, 3, 3, 3};
+    pts[2].absoluteUtil = 20.0;
+    pts[2].normalizedUtil = 1.0;
+    pts[2].normalizedMiou = 1.0;
+    return AccuracyResourceLut(pts, "ms");
+}
+
+TEST(Controller, InitialBudgetAppliesMargin)
+{
+    BudgetController c(100.0, 0.1);
+    EXPECT_DOUBLE_EQ(c.budgetForNextFrame(), 90.0);
+    EXPECT_DOUBLE_EQ(c.biasEstimate(), 1.0);
+}
+
+TEST(Controller, BiasConvergesToObservedRatio)
+{
+    BudgetController c(100.0, 0.1, 0.25);
+    for (int i = 0; i < 50; ++i)
+        c.observe(10.0, 13.0); // platform 30% slower than modeled
+    EXPECT_NEAR(c.biasEstimate(), 1.3, 0.01);
+    EXPECT_NEAR(c.budgetForNextFrame(), 90.0 / 1.3, 0.5);
+}
+
+TEST(Controller, BiasRecoversWhenPlatformSpeedsUp)
+{
+    BudgetController c(100.0, 0.1, 0.5);
+    for (int i = 0; i < 20; ++i)
+        c.observe(10.0, 14.0);
+    for (int i = 0; i < 20; ++i)
+        c.observe(10.0, 9.0);
+    EXPECT_NEAR(c.biasEstimate(), 0.9, 0.02);
+}
+
+TEST(Controller, InvalidParametersPanic)
+{
+    EXPECT_DEATH(BudgetController(-1.0), "deadline");
+    EXPECT_DEATH(BudgetController(1.0, 1.5), "margin");
+    EXPECT_DEATH(BudgetController(1.0, 0.1, 0.0), "smoothing");
+}
+
+TEST(ClosedLoop, UnbiasedPlatformNeverMisses)
+{
+    AccuracyResourceLut lut = threePointLut();
+    // Deadline 23 with a 10% margin budgets 20.7: the full path (20)
+    // fits with room for the 2% noise.
+    BudgetController c(23.0, 0.1);
+    ClosedLoopStats stats =
+        simulateClosedLoop(lut, c, 1.0, 0.02, 200, 1);
+    EXPECT_EQ(stats.deadlineMisses, 0);
+    EXPECT_NEAR(stats.finalBias, 1.0, 0.05);
+    EXPECT_GT(stats.meanAccuracy, 0.99); // full path keeps fitting
+}
+
+TEST(ClosedLoop, SlowPlatformConvergesAfterWarmup)
+{
+    // Platform runs 40% slower than modeled: the naive budget picks
+    // the full path (cost 20 -> observed 28 > deadline 23) at first;
+    // the controller learns the bias and steers down.
+    AccuracyResourceLut lut = threePointLut();
+    BudgetController c(23.0, 0.1, 0.4);
+    ClosedLoopStats stats =
+        simulateClosedLoop(lut, c, 1.4, 0.02, 200, 2);
+    EXPECT_GT(stats.deadlineMisses, 0);        // the warmup pays
+    EXPECT_EQ(stats.missesAfterWarmup, 0);     // then it converges
+    EXPECT_NEAR(stats.finalBias, 1.4, 0.1);
+    EXPECT_LT(stats.meanAccuracy, 1.0);        // accuracy was traded
+}
+
+TEST(ClosedLoop, DeadlineChangeTakesEffect)
+{
+    BudgetController c(22.0, 0.1);
+    c.setDeadline(44.0);
+    EXPECT_DOUBLE_EQ(c.budgetForNextFrame(), 39.6);
+}
+
+TEST(ExecutorLiveness, PeakFarBelowTotal)
+{
+    SegformerConfig cfg = segformerB0Config();
+    cfg.imageH = cfg.imageW = 64;
+    cfg.numClasses = 8;
+    Graph g = buildSegformer(cfg);
+    Executor exec(g, 1);
+    Rng rng(1);
+    exec.runSimple(Tensor::randn({1, 3, 64, 64}, rng));
+
+    const Executor::RunStats &stats = exec.lastRunStats();
+    EXPECT_GT(stats.totalBytes, 0u);
+    EXPECT_GT(stats.peakLiveBytes, 0u);
+    // Liveness-based freeing keeps peak activation memory well below
+    // the sum of all layer outputs on a deep graph.
+    EXPECT_LT(stats.peakLiveBytes, stats.totalBytes / 3);
+    EXPECT_LT(stats.peakLiveTensors, g.numLayers() / 3);
+}
+
+TEST(ExecutorLiveness, OutputsSurviveUntilTheEnd)
+{
+    // The graph output must not be freed even if consumed mid-graph.
+    Graph g("keep_output");
+    int in = g.addInput("x", {1, 4, 4, 4});
+    Layer conv;
+    conv.name = "mid";
+    conv.kind = LayerKind::Conv2d;
+    conv.attrs.inChannels = 4;
+    conv.attrs.outChannels = 4;
+    conv.inputs = {in};
+    int mid = g.addLayer(std::move(conv));
+    g.markOutput(mid); // output AND consumed below
+    Layer act;
+    act.name = "tail";
+    act.kind = LayerKind::ReLU;
+    act.inputs = {mid};
+    g.markOutput(g.addLayer(std::move(act)));
+
+    Executor exec(g, 1);
+    Rng rng(2);
+    std::map<std::string, Tensor> inputs;
+    inputs["x"] = Tensor::randn({1, 4, 4, 4}, rng);
+    auto outs = exec.run(inputs);
+    EXPECT_EQ(outs.at("mid").numel(), 64);
+    EXPECT_EQ(outs.at("tail").numel(), 64);
+}
+
+} // namespace
+} // namespace vitdyn

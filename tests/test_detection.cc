@@ -1,0 +1,163 @@
+/** @file Tests of the detection workload, box IoU, and COCO-style AP
+ * (Table I's object-detection accuracy metric). */
+
+#include <gtest/gtest.h>
+
+#include "workload/detection.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+DetBox
+box(double x0, double y0, double x1, double y1, int label = 0,
+    double score = 1.0)
+{
+    return DetBox{x0, y0, x1, y1, label, score};
+}
+
+TEST(BoxIoU, IdenticalBoxes)
+{
+    EXPECT_DOUBLE_EQ(boxIoU(box(0, 0, 2, 2), box(0, 0, 2, 2)), 1.0);
+}
+
+TEST(BoxIoU, DisjointBoxes)
+{
+    EXPECT_DOUBLE_EQ(boxIoU(box(0, 0, 1, 1), box(2, 2, 3, 3)), 0.0);
+}
+
+TEST(BoxIoU, HandComputedOverlap)
+{
+    // 2x2 and 2x2 boxes overlapping in a 1x2 strip: inter 2, union 6.
+    EXPECT_NEAR(boxIoU(box(0, 0, 2, 2), box(1, 0, 3, 2)), 2.0 / 6.0,
+                1e-12);
+}
+
+TEST(BoxIoU, Symmetric)
+{
+    const DetBox a = box(0, 0, 3, 2);
+    const DetBox b = box(1, 1, 4, 4);
+    EXPECT_DOUBLE_EQ(boxIoU(a, b), boxIoU(b, a));
+}
+
+TEST(Ap, PerfectDetections)
+{
+    std::vector<std::vector<DetBox>> gt{{box(0, 0, 2, 2, 0),
+                                         box(3, 3, 5, 5, 1)}};
+    EXPECT_DOUBLE_EQ(averagePrecision(gt, gt, 0.5, 2), 1.0);
+    EXPECT_DOUBLE_EQ(cocoAp(gt, gt, 2), 1.0);
+}
+
+TEST(Ap, AllMissesGiveZero)
+{
+    std::vector<std::vector<DetBox>> gt{{box(0, 0, 2, 2, 0)}};
+    std::vector<std::vector<DetBox>> pred{{box(5, 5, 7, 7, 0, 0.9)}};
+    EXPECT_DOUBLE_EQ(averagePrecision(pred, gt, 0.5, 1), 0.0);
+}
+
+TEST(Ap, WrongClassDoesNotMatch)
+{
+    std::vector<std::vector<DetBox>> gt{{box(0, 0, 2, 2, 0)}};
+    std::vector<std::vector<DetBox>> pred{{box(0, 0, 2, 2, 1, 0.9)}};
+    EXPECT_DOUBLE_EQ(averagePrecision(pred, gt, 0.5, 2), 0.0);
+}
+
+TEST(Ap, HalfDetectedHalfAp)
+{
+    // One of two GT boxes found perfectly, nothing else predicted:
+    // precision 1 at recall 0.5 -> AP 0.5.
+    std::vector<std::vector<DetBox>> gt{
+        {box(0, 0, 2, 2, 0), box(5, 5, 7, 7, 0)}};
+    std::vector<std::vector<DetBox>> pred{{box(0, 0, 2, 2, 0, 0.9)}};
+    EXPECT_DOUBLE_EQ(averagePrecision(pred, gt, 0.5, 1), 0.5);
+}
+
+TEST(Ap, FalsePositiveLowersPrecision)
+{
+    std::vector<std::vector<DetBox>> gt{{box(0, 0, 2, 2, 0)}};
+    // High-scoring FP first, then the true positive.
+    std::vector<std::vector<DetBox>> pred{
+        {box(8, 8, 9, 9, 0, 0.95), box(0, 0, 2, 2, 0, 0.9)}};
+    // Recall reaches 1 at precision 1/2 -> AP 0.5.
+    EXPECT_DOUBLE_EQ(averagePrecision(pred, gt, 0.5, 1), 0.5);
+}
+
+TEST(Ap, ThresholdSensitivity)
+{
+    // A slightly-off box matches at IoU 0.5 but not at 0.95.
+    std::vector<std::vector<DetBox>> gt{{box(0, 0, 10, 10, 0)}};
+    std::vector<std::vector<DetBox>> pred{
+        {box(1, 1, 10, 10, 0, 0.9)}};
+    EXPECT_DOUBLE_EQ(averagePrecision(pred, gt, 0.5, 1), 1.0);
+    EXPECT_DOUBLE_EQ(averagePrecision(pred, gt, 0.95, 1), 0.0);
+    const double coco = cocoAp(pred, gt, 1);
+    EXPECT_GT(coco, 0.0);
+    EXPECT_LT(coco, 1.0);
+}
+
+TEST(Ap, DuplicateDetectionsCountAsFp)
+{
+    std::vector<std::vector<DetBox>> gt{{box(0, 0, 2, 2, 0)}};
+    std::vector<std::vector<DetBox>> pred{
+        {box(0, 0, 2, 2, 0, 0.9), box(0, 0, 2, 2, 0, 0.8)}};
+    // Second match of the same GT is a false positive; AP stays 1.0
+    // up to full recall but the duplicate cannot add recall.
+    EXPECT_DOUBLE_EQ(averagePrecision(pred, gt, 0.5, 1), 1.0);
+}
+
+TEST(SyntheticDetection, SceneShapeAndBoxes)
+{
+    SyntheticDetection gen(64, 96, 5, 4);
+    Rng rng(1);
+    DetectionSample s = gen.nextSample(rng);
+    EXPECT_EQ(s.image.shape(), (Shape{1, 3, 64, 96}));
+    EXPECT_EQ(s.boxes.size(), 4u);
+    for (const DetBox &b : s.boxes) {
+        EXPECT_GE(b.x0, 0.0);
+        EXPECT_LE(b.x1, 96.0);
+        EXPECT_GE(b.y0, 0.0);
+        EXPECT_LE(b.y1, 64.0);
+        EXPECT_GT(b.area(), 0.0);
+        EXPECT_GE(b.label, 0);
+        EXPECT_LT(b.label, 5);
+    }
+}
+
+TEST(Degrade, ZeroSeverityIsNearPerfect)
+{
+    SyntheticDetection gen(64, 64, 4, 5);
+    Rng rng(2);
+    std::vector<std::vector<DetBox>> gt;
+    std::vector<std::vector<DetBox>> pred;
+    for (int i = 0; i < 8; ++i) {
+        DetectionSample s = gen.nextSample(rng);
+        pred.push_back(degradeDetections(s.boxes, 0.0, rng, 4, 64,
+                                         64));
+        gt.push_back(std::move(s.boxes));
+    }
+    EXPECT_GT(cocoAp(pred, gt, 4), 0.95);
+}
+
+TEST(Degrade, ApDropsWithSeverity)
+{
+    SyntheticDetection gen(64, 64, 4, 5);
+    double prev_ap = 1.1;
+    for (double severity : {0.0, 0.3, 0.7}) {
+        Rng rng(3); // same scenes and degradation stream per level
+        std::vector<std::vector<DetBox>> gt;
+        std::vector<std::vector<DetBox>> pred;
+        for (int i = 0; i < 10; ++i) {
+            DetectionSample s = gen.nextSample(rng);
+            pred.push_back(degradeDetections(s.boxes, severity, rng, 4,
+                                             64, 64));
+            gt.push_back(std::move(s.boxes));
+        }
+        const double ap = cocoAp(pred, gt, 4);
+        EXPECT_LT(ap, prev_ap) << severity;
+        prev_ap = ap;
+    }
+}
+
+} // namespace
+} // namespace vitdyn

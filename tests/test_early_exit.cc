@@ -1,0 +1,169 @@
+/** @file Tests of the early-exit contrast model and the SR-scaling
+ * pruning dimension (the paper's motivational arguments). */
+
+#include <gtest/gtest.h>
+
+#include "engine/early_exit.hh"
+#include "profile/gpu_model.hh"
+#include "resilience/sweep.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+AccuracyResourceLut
+tableIILut(GpuLatencyModel &gpu)
+{
+    AccuracyModel acc(PrunedModelKind::SegformerB2Ade);
+    SegformerConfig base = segformerB2Config();
+    auto points = sweepSegformer(
+        base, segformerAdePruneCatalog(), acc,
+        [&](const Graph &g) { return gpu.graphTimeMs(g); });
+    return AccuracyResourceLut(points, "ms");
+}
+
+TEST(EarlyExitModel, CostMonotoneInExit)
+{
+    EarlyExitModel m;
+    m.fullCost = 100.0;
+    double prev = 0.0;
+    for (int e = 0; e < m.numExits; ++e) {
+        EXPECT_GT(m.costAtExit(e), prev);
+        prev = m.costAtExit(e);
+    }
+    // The last exit costs more than the plain full model: the added
+    // internal classifiers are overhead.
+    EXPECT_GT(m.costAtExit(m.numExits - 1), m.fullCost);
+}
+
+TEST(EarlyExitModel, AccuracyMonotoneInExit)
+{
+    EarlyExitModel m;
+    double prev = 0.0;
+    for (int e = 0; e < m.numExits; ++e) {
+        EXPECT_GE(m.accuracyAtExit(e), prev);
+        prev = m.accuracyAtExit(e);
+    }
+    EXPECT_DOUBLE_EQ(m.accuracyAtExit(m.numExits - 1),
+                     m.fullAccuracy);
+    EXPECT_DOUBLE_EQ(m.accuracyAtExit(0),
+                     m.fullAccuracy * m.firstExitAccuracy);
+}
+
+TEST(EarlyExitModel, ExitFollowsDifficulty)
+{
+    EarlyExitModel m;
+    EXPECT_EQ(m.exitForDifficulty(0.0), 0);
+    EXPECT_EQ(m.exitForDifficulty(1.0), m.numExits - 1);
+    EXPECT_LE(m.exitForDifficulty(0.3), m.exitForDifficulty(0.8));
+}
+
+TEST(DifficultyTrace, BoundedAndDeterministic)
+{
+    auto a = makeDifficultyTrace(200, 0.5, 0.3, 7);
+    auto b = makeDifficultyTrace(200, 0.5, 0.3, 7);
+    EXPECT_EQ(a, b);
+    for (double d : a) {
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, 1.0);
+    }
+}
+
+TEST(Contrast, DrtNeverMissesFeasibleBudgets)
+{
+    GpuLatencyModel gpu;
+    AccuracyResourceLut lut = tableIILut(gpu);
+    EarlyExitModel ee;
+    ee.fullCost = lut.best().resourceCost;
+
+    auto difficulty = makeDifficultyTrace(300, 0.7, 0.2, 1);
+    BudgetTrace budgets = makeSinusoidalTrace(
+        300, lut.cheapest().resourceCost * 1.01,
+        lut.best().resourceCost * 1.2, 40.0, 0.0, 2);
+
+    ContrastResult r = contrastPolicies(ee, lut, difficulty, budgets);
+    EXPECT_EQ(r.drt.deadlineMisses, 0);
+    EXPECT_DOUBLE_EQ(r.drt.worstOverrun, 0.0);
+    // Hard inputs under tight budgets: early exit misses.
+    EXPECT_GT(r.earlyExit.deadlineMisses, 0);
+    EXPECT_GT(r.earlyExit.worstOverrun, 0.0);
+}
+
+TEST(Contrast, EarlyExitWinsOnEasyInputsWithAmpleBudget)
+{
+    // The flip side the paper acknowledges: when inputs are easy and
+    // resources ample, input-adaptive methods spend less for nearly
+    // the same accuracy.
+    GpuLatencyModel gpu;
+    AccuracyResourceLut lut = tableIILut(gpu);
+    EarlyExitModel ee;
+    ee.fullCost = lut.best().resourceCost;
+
+    auto difficulty = makeDifficultyTrace(300, 0.2, 0.1, 3);
+    BudgetTrace budgets = makeStepTrace(
+        300, lut.best().resourceCost * 2.0,
+        lut.best().resourceCost * 2.0, 0);
+    ContrastResult r = contrastPolicies(ee, lut, difficulty, budgets);
+    EXPECT_EQ(r.earlyExit.deadlineMisses, 0);
+    EXPECT_LT(r.earlyExit.meanCost, r.drt.meanCost);
+}
+
+TEST(Contrast, StreamLengthMismatchPanics)
+{
+    GpuLatencyModel gpu;
+    AccuracyResourceLut lut = tableIILut(gpu);
+    EarlyExitModel ee;
+    BudgetTrace budgets = makeStepTrace(5, 1.0, 1.0, 0);
+    EXPECT_DEATH(contrastPolicies(ee, lut, {0.5, 0.5}, budgets),
+                 "length mismatch");
+}
+
+TEST(SrScaling, NegligibleSavingsSubstantialDrop)
+{
+    // Section III-A: increasing the spatial-reduction ratio saves
+    // little time but costs a lot of accuracy.
+    GpuLatencyModel gpu;
+    AccuracyModel acc(PrunedModelKind::SegformerB2Ade);
+    SegformerConfig base = segformerB2Config();
+
+    PruneConfig sr2;
+    sr2.label = "sr2";
+    sr2.depths = base.depths;
+    sr2.srScale = 2;
+    auto points = sweepSegformer(
+        base, {sr2}, acc,
+        [&](const Graph &g) { return gpu.graphTimeMs(g); });
+    ASSERT_EQ(points.size(), 1u);
+    const double saved = 1.0 - points[0].normalizedUtil;
+    const double drop = 1.0 - points[0].normalizedMiou;
+    EXPECT_GT(drop, saved);
+    EXPECT_GT(drop, 0.08);
+}
+
+TEST(SrScaling, GraphShrinksAttentionOnly)
+{
+    SegformerConfig base = segformerB2Config();
+    PruneConfig sr2;
+    sr2.label = "sr2";
+    sr2.depths = base.depths;
+    sr2.srScale = 2;
+    Graph full = buildSegformer(base);
+    Graph scaled = applySegformerPrune(base, sr2);
+    EXPECT_LT(scaled.totalFlops(), full.totalFlops());
+    // The decoder is untouched.
+    const int fid = scaled.findLayer("Conv2DFuse");
+    ASSERT_GE(fid, 0);
+    EXPECT_EQ(scaled.layer(fid).attrs.inChannels, 3072);
+    // Stage-3 attention (sr = 1) is untouched too: same Lkv.
+    const int s3 =
+        scaled.findLayer("encoder.stage3.block0.attn.context");
+    const int s3f =
+        full.findLayer("encoder.stage3.block0.attn.context");
+    ASSERT_GE(s3, 0);
+    EXPECT_EQ(scaled.layer(s3).attrs.inFeatures,
+              full.layer(s3f).attrs.inFeatures);
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,188 @@
+/** @file Tests of the DRT inference engine (Fig 8): LUT semantics and
+ * dynamic path selection under resource budgets. */
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+/** A small SegFormer so engine tests execute real tensors quickly. */
+SegformerConfig
+tinyBase()
+{
+    SegformerConfig cfg;
+    cfg.name = "segformer_tiny_test";
+    cfg.imageH = cfg.imageW = 64;
+    cfg.numClasses = 6;
+    cfg.embedDims = {8, 16, 24, 32};
+    cfg.depths = {2, 2, 2, 2};
+    cfg.numHeads = {1, 2, 3, 4};
+    cfg.decoderDim = 32;
+    return cfg;
+}
+
+/** Three hand-made LUT points: full / mid / small. */
+std::vector<TradeoffPoint>
+tinyPoints()
+{
+    std::vector<TradeoffPoint> pts(3);
+    pts[0].config = {"full", {2, 2, 2, 2}, 0, 0, 0, 1.0, 1.0};
+    pts[0].normalizedUtil = 1.0;
+    pts[0].absoluteUtil = 100.0;
+    pts[0].normalizedMiou = 1.0;
+    pts[1].config = {"mid", {2, 2, 2, 2}, 64, 0, 0, 0.8, 0.9};
+    pts[1].normalizedUtil = 0.8;
+    pts[1].absoluteUtil = 80.0;
+    pts[1].normalizedMiou = 0.9;
+    pts[2].config = {"small", {1, 1, 1, 1}, 48, 0, 0, 0.6, 0.7};
+    pts[2].normalizedUtil = 0.6;
+    pts[2].absoluteUtil = 60.0;
+    pts[2].normalizedMiou = 0.7;
+    return pts;
+}
+
+TEST(Lut, KeepsParetoSortedByCost)
+{
+    auto pts = tinyPoints();
+    // Add a dominated point: more cost, less accuracy than "mid".
+    TradeoffPoint bad;
+    bad.config.label = "bad";
+    bad.config.depths = {2, 2, 2, 2};
+    bad.normalizedUtil = 0.9;
+    bad.absoluteUtil = 90.0;
+    bad.normalizedMiou = 0.85;
+    pts.push_back(bad);
+
+    AccuracyResourceLut lut(pts, "ms");
+    ASSERT_EQ(lut.entries().size(), 3u);
+    for (size_t i = 1; i < lut.entries().size(); ++i)
+        EXPECT_LT(lut.entries()[i - 1].resourceCost,
+                  lut.entries()[i].resourceCost);
+}
+
+TEST(Lut, LookupMaximizesAccuracyWithinBudget)
+{
+    AccuracyResourceLut lut(tinyPoints(), "ms");
+    const LutEntry *e = lut.lookup(85.0);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->config.label, "mid");
+    e = lut.lookup(1000.0);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->config.label, "full");
+    e = lut.lookup(60.0);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->config.label, "small");
+}
+
+TEST(Lut, LookupFailsBelowCheapest)
+{
+    AccuracyResourceLut lut(tinyPoints(), "ms");
+    EXPECT_EQ(lut.lookup(59.9), nullptr);
+    EXPECT_EQ(lut.cheapest().config.label, "small");
+    EXPECT_EQ(lut.best().config.label, "full");
+}
+
+class EngineFixture : public testing::Test
+{
+  protected:
+    EngineFixture()
+        : engine_(ModelFamily::Segformer, tinyBase(), SwinConfig{},
+                  AccuracyResourceLut(tinyPoints(), "ms"), 17)
+    {
+    }
+
+    DrtEngine engine_;
+};
+
+TEST_F(EngineFixture, PathsPreparedForEveryEntry)
+{
+    EXPECT_EQ(engine_.numPaths(), 3u);
+    // Paths get cheaper in the LUT's cost order.
+    EXPECT_LT(engine_.pathGraph(0).totalFlops(),
+              engine_.pathGraph(2).totalFlops());
+}
+
+TEST_F(EngineFixture, SelectRespectsBudget)
+{
+    bool met = false;
+    EXPECT_EQ(engine_.select(100.0, &met).config.label, "full");
+    EXPECT_TRUE(met);
+    EXPECT_EQ(engine_.select(70.0, &met).config.label, "small");
+    EXPECT_TRUE(met);
+}
+
+TEST_F(EngineFixture, SelectFallsBackToCheapest)
+{
+    bool met = true;
+    EXPECT_EQ(engine_.select(10.0, &met).config.label, "small");
+    EXPECT_FALSE(met);
+}
+
+TEST_F(EngineFixture, InferRunsChosenPath)
+{
+    Rng rng(1);
+    Tensor image = Tensor::randn({1, 3, 64, 64}, rng);
+
+    DrtResult full = engine_.infer(image, 1000.0);
+    EXPECT_EQ(full.configLabel, "full");
+    EXPECT_TRUE(full.budgetMet);
+    EXPECT_EQ(full.output.shape(), (Shape{1, 6, 64, 64}));
+    EXPECT_DOUBLE_EQ(full.accuracyEstimate, 1.0);
+
+    DrtResult small = engine_.infer(image, 60.0);
+    EXPECT_EQ(small.configLabel, "small");
+    EXPECT_EQ(small.output.shape(), (Shape{1, 6, 64, 64}));
+    EXPECT_LT(small.accuracyEstimate, full.accuracyEstimate);
+}
+
+TEST_F(EngineFixture, PrunedOutputDeviatesButCorrelates)
+{
+    // Different execution paths share weights: outputs differ but not
+    // wildly (the paper's resilience premise).
+    Rng rng(2);
+    Tensor image = Tensor::randn({1, 3, 64, 64}, rng);
+    Tensor full = engine_.infer(image, 1000.0).output;
+    Tensor mid = engine_.infer(image, 85.0).output;
+    EXPECT_FALSE(full.allClose(mid, 1e-6f));
+
+    // Correlation proxy: the mean absolute difference stays below the
+    // full output's scale.
+    double diff = 0.0;
+    for (int64_t i = 0; i < full.numel(); ++i)
+        diff += std::abs(full[i] - mid[i]);
+    diff /= full.numel();
+    EXPECT_LT(diff, full.maxAbs());
+}
+
+class EngineBudgetSweep : public testing::TestWithParam<double> {};
+
+TEST_P(EngineBudgetSweep, CostNeverExceedsBudgetWhenMet)
+{
+    DrtEngine engine(ModelFamily::Segformer, tinyBase(), SwinConfig{},
+                     AccuracyResourceLut(tinyPoints(), "ms"), 17);
+    bool met = false;
+    const LutEntry &e = engine.select(GetParam(), &met);
+    if (met) {
+        EXPECT_LE(e.resourceCost, GetParam());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, EngineBudgetSweep,
+                         testing::Values(10.0, 59.0, 60.0, 75.0, 80.0,
+                                         99.0, 100.0, 500.0));
+
+TEST(Engine, EmptyLutFatal)
+{
+    EXPECT_DEATH(DrtEngine(ModelFamily::Segformer, tinyBase(),
+                           SwinConfig{},
+                           AccuracyResourceLut({}, "ms"), 1),
+                 "non-empty LUT");
+}
+
+} // namespace
+} // namespace vitdyn

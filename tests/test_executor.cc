@@ -1,0 +1,270 @@
+/** @file Tests of the reference executor and weight synthesis. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/executor.hh"
+#include "tensor/ops.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+/** input -> conv 3x3 -> relu, one output. */
+Graph
+tinyConvGraph(int64_t in_c = 3, int64_t out_c = 8)
+{
+    Graph g("tiny");
+    int in = g.addInput("x", {1, in_c, 8, 8});
+    Layer conv;
+    conv.name = "conv1";
+    conv.kind = LayerKind::Conv2d;
+    conv.attrs.inChannels = in_c;
+    conv.attrs.outChannels = out_c;
+    conv.attrs.kernelH = conv.attrs.kernelW = 3;
+    conv.attrs.padH = conv.attrs.padW = 1;
+    conv.inputs = {in};
+    int cid = g.addLayer(std::move(conv));
+    Layer act;
+    act.name = "relu1";
+    act.kind = LayerKind::ReLU;
+    act.inputs = {cid};
+    g.addOutput(std::move(act));
+    return g;
+}
+
+TEST(Executor, RunsAndShapesMatch)
+{
+    Graph g = tinyConvGraph();
+    Executor exec(g, 1);
+    Rng rng(2);
+    Tensor out = exec.runSimple(Tensor::randn({1, 3, 8, 8}, rng));
+    EXPECT_EQ(out.shape(), (Shape{1, 8, 8, 8}));
+    // ReLU output is non-negative.
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_GE(out[i], 0.0f);
+}
+
+TEST(Executor, DeterministicAcrossInstances)
+{
+    Graph g = tinyConvGraph();
+    Executor a(g, 7);
+    Executor b(g, 7);
+    Rng rng(3);
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+    EXPECT_TRUE(a.runSimple(x).allClose(b.runSimple(x), 0.0f));
+}
+
+TEST(Executor, SeedChangesWeights)
+{
+    Graph g = tinyConvGraph();
+    Executor a(g, 7);
+    Executor b(g, 8);
+    Rng rng(3);
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+    EXPECT_FALSE(a.runSimple(x).allClose(b.runSimple(x), 1e-3f));
+}
+
+TEST(Executor, WeightsKeyedByName)
+{
+    // Two graphs with the same layer names produce identical outputs
+    // even if built separately.
+    Graph g1 = tinyConvGraph();
+    Graph g2 = tinyConvGraph();
+    Executor a(g1, 5);
+    Executor b(g2, 5);
+    Rng rng(4);
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+    EXPECT_TRUE(a.runSimple(x).allClose(b.runSimple(x), 0.0f));
+}
+
+TEST(Executor, MissingInputFatal)
+{
+    Graph g = tinyConvGraph();
+    Executor exec(g, 1);
+    std::map<std::string, Tensor> inputs; // empty
+    EXPECT_EXIT(exec.run(inputs), testing::ExitedWithCode(1),
+                "missing input");
+}
+
+TEST(Executor, WrongInputShapePanics)
+{
+    Graph g = tinyConvGraph();
+    Executor exec(g, 1);
+    Rng rng(5);
+    EXPECT_DEATH(exec.runSimple(Tensor::randn({1, 3, 4, 4}, rng)),
+                 "shape");
+}
+
+TEST(Executor, SlicedWeightsMatchFullPrefix)
+{
+    // The "same model weights" property: a narrower conv (with
+    // registered full dims) computes exactly the leading output
+    // channels of the full conv.
+    Graph full = tinyConvGraph(3, 8);
+    Graph pruned = tinyConvGraph(3, 8);
+    pruned.layer(pruned.findLayer("conv1")).attrs.outChannels = 5;
+    pruned.recomputeShapes();
+
+    Executor fe(full, 11);
+    Executor pe(pruned, 11);
+    pe.setFullDims("conv1", 8, 3);
+
+    Rng rng(6);
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+    Tensor fy = fe.runSimple(x);
+    Tensor py = pe.runSimple(x);
+    ASSERT_EQ(py.dim(1), 5);
+    for (int64_t c = 0; c < 5; ++c)
+        for (int64_t h = 0; h < 8; ++h)
+            for (int64_t w = 0; w < 8; ++w)
+                EXPECT_NEAR(py.at4(0, c, h, w), fy.at4(0, c, h, w),
+                            1e-5f);
+}
+
+TEST(Executor, BypassedLayerPassesThrough)
+{
+    Graph g = tinyConvGraph(3, 3); // same in/out channels
+    g.layer(g.findLayer("conv1")).bypassed = true;
+    Executor exec(g, 1);
+    Rng rng(7);
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+    Tensor y = exec.runSimple(x);
+    // relu(identity(x)) == relu(x).
+    EXPECT_TRUE(y.allClose(relu(x)));
+}
+
+TEST(Executor, AttentionPipelineMatchesFusedOp)
+{
+    // Decomposed attention (score -> softmax -> context) equals the
+    // fused reference attention() for identity projections.
+    const int64_t l = 6;
+    const int64_t c = 8;
+    Graph g("attn");
+    int q = g.addInput("q", {1, l, c});
+    int k = g.addInput("k", {1, l, c});
+    int v = g.addInput("v", {1, l, c});
+
+    Layer score;
+    score.name = "score";
+    score.kind = LayerKind::AttentionScore;
+    score.attrs.inFeatures = c;
+    score.attrs.numHeads = 2;
+    score.inputs = {q, k};
+    int sid = g.addLayer(std::move(score));
+
+    Layer sm;
+    sm.name = "softmax";
+    sm.kind = LayerKind::Softmax;
+    sm.inputs = {sid};
+    int smid = g.addLayer(std::move(sm));
+
+    Layer ctx;
+    ctx.name = "context";
+    ctx.kind = LayerKind::AttentionContext;
+    ctx.attrs.inFeatures = l;
+    ctx.attrs.numHeads = 2;
+    ctx.inputs = {smid, v};
+    int cid = g.addLayer(std::move(ctx));
+    g.markOutput(cid);
+
+    Executor exec(g, 1);
+    Rng rng(8);
+    std::map<std::string, Tensor> inputs;
+    inputs["q"] = Tensor::randn({1, l, c}, rng);
+    inputs["k"] = Tensor::randn({1, l, c}, rng);
+    inputs["v"] = Tensor::randn({1, l, c}, rng);
+    auto outs = exec.run(inputs);
+    Tensor ref = attention(inputs["q"], inputs["k"], inputs["v"], 2);
+    EXPECT_TRUE(outs.at("context").allClose(ref, 1e-4f));
+}
+
+TEST(Executor, MultiOutputGraph)
+{
+    Graph g("multi");
+    int in = g.addInput("x", {1, 4});
+    Layer a;
+    a.name = "head_a";
+    a.kind = LayerKind::Linear;
+    a.attrs.inFeatures = 4;
+    a.attrs.outFeatures = 2;
+    a.inputs = {in};
+    g.markOutput(g.addLayer(std::move(a)));
+    Layer b;
+    b.name = "head_b";
+    b.kind = LayerKind::Linear;
+    b.attrs.inFeatures = 4;
+    b.attrs.outFeatures = 3;
+    b.inputs = {in};
+    g.markOutput(g.addLayer(std::move(b)));
+
+    Executor exec(g, 1);
+    Rng rng(9);
+    std::map<std::string, Tensor> inputs;
+    inputs["x"] = Tensor::randn({1, 4}, rng);
+    auto outs = exec.run(inputs);
+    EXPECT_EQ(outs.at("head_a").shape(), (Shape{1, 2}));
+    EXPECT_EQ(outs.at("head_b").shape(), (Shape{1, 3}));
+}
+
+TEST(Executor, Int8ModeTracksFloat)
+{
+    // The accelerator's INT8 arithmetic on a whole graph: outputs
+    // track the float path within quantization error.
+    Graph g = tinyConvGraph();
+    Executor fp(g, 21);
+    Executor q8(g, 21);
+    q8.setInt8(true);
+    EXPECT_TRUE(q8.int8());
+
+    Rng rng(22);
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+    Tensor fy = fp.runSimple(x);
+    Tensor qy = q8.runSimple(x);
+    ASSERT_EQ(fy.shape(), qy.shape());
+    double err = 0.0;
+    for (int64_t i = 0; i < fy.numel(); ++i)
+        err += std::abs(fy[i] - qy[i]);
+    err /= fy.numel();
+    EXPECT_GT(err, 0.0);                     // it did quantize
+    EXPECT_LT(err, 0.05 * fy.maxAbs());      // and stayed close
+}
+
+TEST(Executor, Int8ModeDeterministic)
+{
+    Graph g = tinyConvGraph();
+    Executor a(g, 5);
+    Executor b(g, 5);
+    a.setInt8(true);
+    b.setInt8(true);
+    Rng rng(6);
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+    EXPECT_TRUE(a.runSimple(x).allClose(b.runSimple(x), 0.0f));
+}
+
+TEST(Executor, NarrowExecution)
+{
+    Graph g("narrow");
+    int in = g.addInput("x", {1, 6, 2, 2});
+    Layer n;
+    n.name = "n";
+    n.kind = LayerKind::Narrow;
+    n.attrs.outChannels = 2;
+    n.inputs = {in};
+    g.markOutput(g.addLayer(std::move(n)));
+
+    Executor exec(g, 1);
+    Tensor x({1, 6, 2, 2});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(i);
+    Tensor y = exec.runSimple(x);
+    EXPECT_EQ(y.shape(), (Shape{1, 2, 2, 2}));
+    for (int64_t i = 0; i < 8; ++i)
+        EXPECT_FLOAT_EQ(y[i], static_cast<float>(i));
+}
+
+} // namespace
+} // namespace vitdyn

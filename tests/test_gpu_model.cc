@@ -1,0 +1,162 @@
+/** @file Tests of the calibrated TITAN V latency/energy model. */
+
+#include <gtest/gtest.h>
+
+#include "models/detr.hh"
+#include "models/segformer.hh"
+#include "profile/flops_profile.hh"
+#include "profile/report.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(GpuModel, RawSegformerCloseToPublished)
+{
+    // The uncalibrated model should already land near the published
+    // 58 ms (the remaining gap is the per-model calibration scale).
+    Graph g = buildSegformer(segformerB2Config());
+    GpuLatencyModel gpu;
+    const double raw = gpu.graphTimeMs(g);
+    EXPECT_GT(raw, 58.0 * 0.7);
+    EXPECT_LT(raw, 58.0 * 1.3);
+}
+
+TEST(GpuModel, CalibrationHitsTarget)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    GpuLatencyModel gpu;
+    const double scale = gpu.calibrateScale(g, 58.0);
+    EXPECT_NEAR(gpu.graphTimeMs(g, scale), 58.0, 1e-6);
+}
+
+TEST(GpuModel, ConvTimeShareMatchesPaper)
+{
+    // Fig 3: convs are 68% of FLOPs but only ~25% of GPU time.
+    Graph g = buildSegformer(segformerB2Config());
+    GpuLatencyModel gpu;
+    Profile profile(g, gpu);
+    EXPECT_NEAR(profile.timeShare("Conv"), 0.25, 0.06);
+    EXPECT_GT(profile.flopsShare("Conv"), 0.6);
+}
+
+TEST(GpuModel, CityscapesToAdeRatio)
+{
+    // Table I: 415 ms vs 58 ms (7.2x) even though FLOPs grow 11.3x —
+    // the larger GEMMs run more efficiently.
+    GpuLatencyModel gpu;
+    Graph ade = buildSegformer(segformerB2Config());
+    Graph city = buildSegformer(segformerB2CityscapesConfig());
+    const double ratio = gpu.graphTimeMs(city) / gpu.graphTimeMs(ade);
+    EXPECT_GT(ratio, 5.5);
+    EXPECT_LT(ratio, 9.5);
+    const double flops_ratio =
+        static_cast<double>(city.totalFlops()) / ade.totalFlops();
+    EXPECT_LT(ratio, flops_ratio);
+}
+
+TEST(GpuModel, BypassedLayerFree)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    GpuLatencyModel gpu;
+    Layer fuse = g.layer(g.findLayer("Conv2DFuse"));
+    const double t = gpu.layerTimeMs(fuse, 1);
+    EXPECT_GT(t, 0.0);
+    fuse.bypassed = true;
+    EXPECT_EQ(gpu.layerTimeMs(fuse, 1), 0.0);
+}
+
+class DetrBatch : public testing::TestWithParam<int64_t> {};
+
+TEST_P(DetrBatch, BackboneShareGrowsWithBatch)
+{
+    // Fig 1 trend: the CNN backbone's share of execution time grows
+    // with batch size (the transformer's small GEMMs batch up well).
+    GpuLatencyModel gpu;
+    DetrConfig cfg = detrConfig();
+    cfg.batch = GetParam();
+    Graph g = buildDetr(cfg);
+    const double bb = stageTimeMs(g, gpu, "backbone");
+    const double total = gpu.graphTimeMs(g);
+    const double share = bb / total;
+    EXPECT_GT(share, 0.6);
+
+    if (GetParam() > 1) {
+        DetrConfig base = detrConfig();
+        Graph g1 = buildDetr(base);
+        const double share1 =
+            stageTimeMs(g1, gpu, "backbone") / gpu.graphTimeMs(g1);
+        EXPECT_GT(share, share1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, DetrBatch,
+                         testing::Values<int64_t>(1, 2, 4, 8, 16));
+
+TEST(GpuModel, EnergyTracksIntensity)
+{
+    // A compute-dense conv burns more power than a memory-bound op of
+    // equal duration, so pruning compute saves super-proportional
+    // energy (the paper: 17% time -> 28% energy).
+    GpuLatencyModel gpu;
+    Graph g = buildSegformer(segformerB2Config());
+    const Layer &fuse = g.layer(g.findLayer("Conv2DFuse"));
+    const GpuLayerCost conv_cost = gpu.layerCost(fuse, 1);
+    const double conv_power = conv_cost.energyMj / conv_cost.timeMs;
+
+    const Layer &up = g.layer(g.findLayer("FinalUpsample"));
+    const GpuLayerCost mem_cost = gpu.layerCost(up, 1);
+    const double mem_power = mem_cost.energyMj / mem_cost.timeMs;
+    EXPECT_GT(conv_power, 1.5 * mem_power);
+}
+
+TEST(GpuModel, PublishedLatencyLookup)
+{
+    EXPECT_DOUBLE_EQ(publishedGpuLatencyMs("segformer_b2"), 58.0);
+    EXPECT_DOUBLE_EQ(publishedGpuLatencyMs("swin_tiny"), 215.0);
+    EXPECT_DOUBLE_EQ(publishedGpuLatencyMs("detr"), 162.0);
+    EXPECT_DOUBLE_EQ(publishedGpuLatencyMs("unknown_model"), 0.0);
+}
+
+TEST(GpuModel, SummaryUsesCalibration)
+{
+    GpuLatencyModel gpu;
+    Graph g = buildSegformer(segformerB2Config());
+    ModelSummary s = summarizeModel(g, gpu, "ADE20K", "SS", 0.4651);
+    EXPECT_NEAR(s.latencyMs, 58.0, 0.5);
+    EXPECT_NEAR(s.fps, 17.2, 0.5);
+    EXPECT_EQ(s.imageSize, "512 by 512");
+}
+
+TEST(GpuModel, ProfileSharesSumToOne)
+{
+    GpuLatencyModel gpu;
+    Graph g = buildSegformer(segformerB0Config());
+    Profile p(g, gpu, {"Conv2DFuse"});
+    double flops = 0.0;
+    double time = 0.0;
+    for (const ProfileGroup &grp : p.groups()) {
+        flops += grp.flopsShare;
+        time += grp.timeShare;
+    }
+    EXPECT_NEAR(flops, 1.0, 1e-9);
+    EXPECT_NEAR(time, 1.0, 1e-9);
+    // The named layer is its own group.
+    EXPECT_GT(p.flopsShare("Conv2DFuse"), 0.0);
+}
+
+TEST(GpuModel, StageGrouping)
+{
+    GpuLatencyModel gpu;
+    Graph g = buildSegformer(segformerB0Config());
+    Profile p(g, gpu, {}, "stage");
+    EXPECT_GT(p.flopsShare("decoder"), 0.0);
+    EXPECT_GT(p.flopsShareMatching("encoder"), 0.0);
+    EXPECT_NEAR(p.flopsShare("decoder") +
+                    p.flopsShareMatching("encoder"),
+                1.0, 1e-9);
+}
+
+} // namespace
+} // namespace vitdyn

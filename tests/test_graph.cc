@@ -1,0 +1,197 @@
+/** @file Tests of the Graph DAG: construction, queries, normalize. */
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+Layer
+relu(const std::string &name, int input)
+{
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::ReLU;
+    l.inputs = {input};
+    return l;
+}
+
+TEST(Graph, InputShapeStored)
+{
+    Graph g("m");
+    int in = g.addInput("x", {1, 3, 8, 8});
+    EXPECT_EQ(g.layer(in).outShape, (Shape{1, 3, 8, 8}));
+    EXPECT_EQ(g.inputs().size(), 1u);
+}
+
+TEST(Graph, ShapeInferenceAtInsert)
+{
+    Graph g("m");
+    int in = g.addInput("x", {1, 4, 8, 8});
+    Layer conv;
+    conv.name = "c";
+    conv.kind = LayerKind::Conv2d;
+    conv.attrs.inChannels = 4;
+    conv.attrs.outChannels = 6;
+    conv.inputs = {in};
+    int id = g.addLayer(std::move(conv));
+    EXPECT_EQ(g.layer(id).outShape, (Shape{1, 6, 8, 8}));
+}
+
+TEST(Graph, ForwardReferenceFatal)
+{
+    Graph g("m");
+    g.addInput("x", {1, 2});
+    Layer l = relu("r", 5);
+    EXPECT_DEATH(g.addLayer(std::move(l)), "references id");
+}
+
+TEST(Graph, FindLayerByName)
+{
+    Graph g("m");
+    int in = g.addInput("x", {4});
+    g.addLayer(relu("a", in));
+    int b = g.addLayer(relu("b", 1));
+    EXPECT_EQ(g.findLayer("b"), b);
+    EXPECT_EQ(g.findLayer("zzz"), -1);
+}
+
+TEST(Graph, ConsumersOf)
+{
+    Graph g("m");
+    int in = g.addInput("x", {4});
+    int a = g.addLayer(relu("a", in));
+    int b = g.addLayer(relu("b", a));
+    int c = g.addLayer(relu("c", a));
+    auto consumers = g.consumersOf(a);
+    EXPECT_EQ(consumers, (std::vector<int>{b, c}));
+    EXPECT_TRUE(g.consumersOf(c).empty());
+}
+
+TEST(Graph, StageQuery)
+{
+    Graph g("m");
+    int in = g.addInput("x", {4});
+    Layer a = relu("a", in);
+    a.stage = "encoder.stage0";
+    Layer b = relu("b", in);
+    b.stage = "encoder.stage1";
+    Layer c = relu("c", in);
+    c.stage = "decoder";
+    g.addLayer(std::move(a));
+    g.addLayer(std::move(b));
+    g.addLayer(std::move(c));
+    EXPECT_EQ(g.layersInStage("encoder").size(), 2u);
+    EXPECT_EQ(g.layersInStage("encoder.stage1").size(), 1u);
+    EXPECT_EQ(g.layersInStage("decoder").size(), 1u);
+}
+
+TEST(Graph, TotalsAccumulate)
+{
+    Graph g("m");
+    int in = g.addInput("x", {1, 4, 8, 8});
+    Layer conv;
+    conv.name = "c";
+    conv.kind = LayerKind::Conv2d;
+    conv.attrs.inChannels = 4;
+    conv.attrs.outChannels = 4;
+    conv.attrs.kernelH = conv.attrs.kernelW = 3;
+    conv.attrs.padH = conv.attrs.padW = 1;
+    conv.inputs = {in};
+    g.addLayer(std::move(conv));
+    EXPECT_EQ(g.totalMacs(), 64LL * 4 * 4 * 9);
+    EXPECT_EQ(g.totalFlops(), g.totalMacs());
+    EXPECT_EQ(g.totalParams(), 4 * 4 * 9 + 4);
+}
+
+TEST(Graph, NormalizeDropsDeadLayers)
+{
+    Graph g("m");
+    int in = g.addInput("x", {4});
+    int a = g.addLayer(relu("a", in));
+    g.addLayer(relu("dead", in));
+    int out = g.addLayer(relu("out", a));
+    g.markOutput(out);
+    EXPECT_EQ(g.numLayers(), 4u);
+    g.normalize();
+    EXPECT_EQ(g.numLayers(), 3u);
+    EXPECT_EQ(g.findLayer("dead"), -1);
+    EXPECT_NE(g.findLayer("out"), -1);
+}
+
+TEST(Graph, NormalizeRenumbersDensely)
+{
+    Graph g("m");
+    int in = g.addInput("x", {4});
+    g.addLayer(relu("dead1", in));
+    int a = g.addLayer(relu("a", in));
+    g.addLayer(relu("dead2", a));
+    int out = g.addLayer(relu("out", a));
+    g.markOutput(out);
+    g.normalize();
+    for (size_t i = 0; i < g.numLayers(); ++i) {
+        EXPECT_EQ(g.layer(static_cast<int>(i)).id, static_cast<int>(i));
+        for (int in_id : g.layer(static_cast<int>(i)).inputs)
+            EXPECT_LT(in_id, static_cast<int>(i));
+    }
+    EXPECT_EQ(g.outputs().size(), 1u);
+    EXPECT_EQ(g.layer(g.outputs()[0]).name, "out");
+}
+
+TEST(Graph, AppendUnorderedThenNormalize)
+{
+    Graph g("m");
+    int in = g.addInput("x", {4});
+    int a = g.addLayer(relu("a", in));
+    int out = g.addLayer(relu("out", a));
+    g.markOutput(out);
+
+    // Insert a narrow between in and a, logically.
+    Layer narrow;
+    narrow.name = "n";
+    narrow.kind = LayerKind::Narrow;
+    narrow.attrs.outChannels = 2;
+    narrow.inputs = {in};
+    int nid = g.appendUnordered(std::move(narrow));
+    g.layer(a).inputs = {nid};
+
+    g.normalize();
+    // The narrow precedes 'a' in the normalized order.
+    EXPECT_LT(g.layer(g.findLayer("a")).inputs[0], g.findLayer("a"));
+    EXPECT_EQ(g.layer(g.findLayer("a")).outShape, (Shape{2}));
+    EXPECT_EQ(g.layer(g.findLayer("out")).outShape, (Shape{2}));
+}
+
+TEST(Graph, RecomputeShapesPropagates)
+{
+    Graph g("m");
+    int in = g.addInput("x", {1, 8, 4, 4});
+    Layer conv;
+    conv.name = "c";
+    conv.kind = LayerKind::Conv2d;
+    conv.attrs.inChannels = 8;
+    conv.attrs.outChannels = 8;
+    conv.inputs = {in};
+    int cid = g.addLayer(std::move(conv));
+    int rid = g.addLayer(relu("r", cid));
+
+    g.layer(cid).attrs.outChannels = 5;
+    g.recomputeShapes();
+    EXPECT_EQ(g.layer(rid).outShape, (Shape{1, 5, 4, 4}));
+}
+
+TEST(Graph, ToStringMentionsLayers)
+{
+    Graph g("demo_model");
+    int in = g.addInput("x", {4});
+    g.addLayer(relu("my_relu", in));
+    const std::string s = g.toString();
+    EXPECT_NE(s.find("demo_model"), std::string::npos);
+    EXPECT_NE(s.find("my_relu"), std::string::npos);
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,224 @@
+/** @file Tests of layer descriptors: FLOPs, params, shape inference. */
+
+#include <gtest/gtest.h>
+
+#include "graph/layer.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+Layer
+makeConv(int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
+         int64_t pad, int64_t groups = 1)
+{
+    Layer l;
+    l.name = "conv";
+    l.kind = LayerKind::Conv2d;
+    l.attrs.inChannels = in_c;
+    l.attrs.outChannels = out_c;
+    l.attrs.kernelH = l.attrs.kernelW = kernel;
+    l.attrs.strideH = l.attrs.strideW = stride;
+    l.attrs.padH = l.attrs.padW = pad;
+    l.attrs.groups = groups;
+    return l;
+}
+
+TEST(LayerShape, Conv2d)
+{
+    Layer l = makeConv(3, 64, 7, 4, 3);
+    Shape out = inferShape(l, {{1, 3, 512, 512}});
+    EXPECT_EQ(out, (Shape{1, 64, 128, 128}));
+}
+
+TEST(LayerShape, ConvChannelMismatchFatal)
+{
+    Layer l = makeConv(4, 8, 1, 1, 0);
+    EXPECT_DEATH(inferShape(l, {{1, 3, 8, 8}}), "expects C=");
+}
+
+TEST(LayerFlops, ConvMacCount)
+{
+    // The paper's headline number: Conv2DFuse is a 1x1 conv
+    // 3072 -> 768 at 128x128, 38.65 GMACs.
+    Layer l = makeConv(3072, 768, 1, 1, 0);
+    l.outShape = inferShape(l, {{1, 3072, 128, 128}});
+    EXPECT_EQ(l.macs(), 128LL * 128 * 3072 * 768);
+    EXPECT_EQ(l.flops(), l.macs()); // MAC counting convention
+}
+
+TEST(LayerFlops, DepthwiseConv)
+{
+    Layer l = makeConv(256, 256, 3, 1, 1, 256);
+    l.outShape = inferShape(l, {{1, 256, 128, 128}});
+    EXPECT_EQ(l.macs(), 128LL * 128 * 256 * 9);
+}
+
+TEST(LayerParams, ConvWeightAndBias)
+{
+    Layer l = makeConv(16, 32, 3, 1, 1);
+    EXPECT_EQ(l.paramCount(), 32 * 16 * 9 + 32);
+    l.attrs.hasBias = false;
+    EXPECT_EQ(l.paramCount(), 32 * 16 * 9);
+}
+
+TEST(LayerParams, GroupedConv)
+{
+    Layer l = makeConv(32, 32, 3, 1, 1, 32);
+    EXPECT_EQ(l.paramCount(), 32 * 1 * 9 + 32);
+}
+
+TEST(LayerShape, Linear)
+{
+    Layer l;
+    l.kind = LayerKind::Linear;
+    l.attrs.inFeatures = 64;
+    l.attrs.outFeatures = 768;
+    Shape out = inferShape(l, {{1, 16384, 64}});
+    EXPECT_EQ(out, (Shape{1, 16384, 768}));
+    l.outShape = out;
+    // DecodeLinear0: 1.3% of SegFormer-B2's FLOPs (0.81 GMACs).
+    EXPECT_EQ(l.macs(), 16384LL * 64 * 768);
+    EXPECT_EQ(l.paramCount(), 768 * 64 + 768);
+}
+
+TEST(LayerShape, AttentionScoreAndContext)
+{
+    Layer score;
+    score.kind = LayerKind::AttentionScore;
+    score.attrs.inFeatures = 64;
+    score.attrs.numHeads = 2;
+    Shape s = inferShape(score, {{1, 100, 64}, {1, 25, 64}});
+    EXPECT_EQ(s, (Shape{1, 2, 100, 25}));
+    score.outShape = s;
+    // MACs = N * Lq * Lkv * C.
+    EXPECT_EQ(score.macs(), 1LL * 100 * 25 * 64);
+
+    Layer ctx;
+    ctx.kind = LayerKind::AttentionContext;
+    ctx.attrs.inFeatures = 25; // Lkv
+    ctx.attrs.numHeads = 2;
+    Shape c = inferShape(ctx, {s, {1, 25, 64}});
+    EXPECT_EQ(c, (Shape{1, 100, 64}));
+    ctx.outShape = c;
+    EXPECT_EQ(ctx.macs(), 1LL * 100 * 25 * 64);
+}
+
+TEST(LayerShape, AddRequiresEqualShapes)
+{
+    Layer l;
+    l.kind = LayerKind::Add;
+    EXPECT_DEATH(inferShape(l, {{1, 4}, {1, 5}}), "equal shapes");
+}
+
+TEST(LayerShape, ConcatChannelsAndTokens)
+{
+    Layer l;
+    l.kind = LayerKind::Concat;
+    EXPECT_EQ(inferShape(l, {{1, 3, 8, 8}, {1, 5, 8, 8}}),
+              (Shape{1, 8, 8, 8}));
+    EXPECT_EQ(inferShape(l, {{1, 10, 4}, {1, 6, 4}}), (Shape{1, 16, 4}));
+}
+
+TEST(LayerShape, Narrow)
+{
+    Layer l;
+    l.kind = LayerKind::Narrow;
+    l.attrs.outChannels = 5;
+    EXPECT_EQ(inferShape(l, {{1, 8, 4, 4}}), (Shape{1, 5, 4, 4}));
+    EXPECT_EQ(inferShape(l, {{1, 10, 8}}), (Shape{1, 10, 5}));
+}
+
+TEST(LayerShape, NarrowWideningFatal)
+{
+    Layer l;
+    l.kind = LayerKind::Narrow;
+    l.attrs.outChannels = 12;
+    EXPECT_DEATH(inferShape(l, {{1, 8, 4, 4}}), "narrow");
+}
+
+TEST(LayerShape, WindowPartitionReverse)
+{
+    Layer part;
+    part.kind = LayerKind::WindowPartition;
+    part.attrs.gridH = 14;
+    part.attrs.gridW = 14;
+    part.attrs.window = 7;
+    Shape w = inferShape(part, {{2, 196, 96}});
+    EXPECT_EQ(w, (Shape{8, 49, 96}));
+
+    Layer rev;
+    rev.kind = LayerKind::WindowReverse;
+    rev.attrs.gridH = 14;
+    rev.attrs.gridW = 14;
+    rev.attrs.window = 7;
+    EXPECT_EQ(inferShape(rev, {w}), (Shape{2, 196, 96}));
+}
+
+TEST(LayerShape, TokensImageRoundTrip)
+{
+    Layer ti;
+    ti.kind = LayerKind::TokensToImage;
+    ti.attrs.gridH = 4;
+    ti.attrs.gridW = 8;
+    EXPECT_EQ(inferShape(ti, {{1, 32, 16}}), (Shape{1, 16, 4, 8}));
+
+    Layer it;
+    it.kind = LayerKind::ImageToTokens;
+    EXPECT_EQ(inferShape(it, {{1, 16, 4, 8}}), (Shape{1, 32, 16}));
+}
+
+TEST(LayerCategory, Mapping)
+{
+    EXPECT_EQ(makeConv(1, 1, 1, 1, 0).category(), OpCategory::Conv);
+
+    Layer l;
+    l.kind = LayerKind::Linear;
+    EXPECT_EQ(l.category(), OpCategory::MatMul);
+    l.kind = LayerKind::Softmax;
+    EXPECT_EQ(l.category(), OpCategory::Softmax);
+    l.kind = LayerKind::LayerNorm;
+    EXPECT_EQ(l.category(), OpCategory::Norm);
+    l.kind = LayerKind::GELU;
+    EXPECT_EQ(l.category(), OpCategory::Activation);
+    l.kind = LayerKind::Interpolate;
+    EXPECT_EQ(l.category(), OpCategory::Memory);
+}
+
+TEST(LayerFlops, BypassedLayerIsFree)
+{
+    Layer l = makeConv(64, 64, 3, 1, 1);
+    l.outShape = {1, 64, 32, 32};
+    EXPECT_GT(l.flops(), 0);
+    l.bypassed = true;
+    EXPECT_EQ(l.flops(), 0);
+    EXPECT_EQ(l.macs(), 0);
+    EXPECT_EQ(l.paramCount(), 0);
+}
+
+TEST(LayerFlops, NonMacKinds)
+{
+    Layer l;
+    l.kind = LayerKind::Softmax;
+    l.outShape = {2, 10};
+    EXPECT_EQ(l.flops(), 5 * 20);
+    l.kind = LayerKind::LayerNorm;
+    EXPECT_EQ(l.flops(), 8 * 20);
+    l.kind = LayerKind::ReLU;
+    EXPECT_EQ(l.flops(), 20);
+    l.kind = LayerKind::Concat;
+    EXPECT_EQ(l.flops(), 0);
+}
+
+TEST(LayerBytes, OutputAndWeights)
+{
+    Layer l = makeConv(16, 32, 1, 1, 0);
+    l.outShape = {1, 32, 8, 8};
+    EXPECT_EQ(l.outputBytes(1), 32 * 64);
+    EXPECT_EQ(l.outputBytes(4), 4 * 32 * 64);
+    EXPECT_EQ(l.weightBytes(1), l.paramCount());
+}
+
+} // namespace
+} // namespace vitdyn

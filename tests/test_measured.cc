@@ -1,0 +1,101 @@
+/** @file Tests of the measured-resilience module (executed pruning
+ * deviation with shared weights, FP32 and INT8). */
+
+#include <gtest/gtest.h>
+
+#include "profile/gpu_model.hh"
+#include "resilience/measured.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+SegformerConfig
+smallConfig()
+{
+    SegformerConfig cfg;
+    cfg.name = "segformer_measured_test";
+    cfg.imageH = cfg.imageW = 64;
+    cfg.numClasses = 6;
+    cfg.embedDims = {8, 16, 24, 32};
+    cfg.depths = {2, 2, 2, 2};
+    cfg.numHeads = {1, 2, 3, 4};
+    cfg.decoderDim = 32;
+    return cfg;
+}
+
+GraphCostFn
+flopsCost()
+{
+    return [](const Graph &g) {
+        return static_cast<double>(g.totalFlops());
+    };
+}
+
+TEST(Measured, FullPathIsExact)
+{
+    std::vector<PruneConfig> candidates = {
+        {"full", {2, 2, 2, 2}, 0, 0, 0, 0, 0}};
+    MeasureOptions options;
+    options.scenes = 2;
+    auto points = measureSegformerResilience(smallConfig(), candidates,
+                                             flopsCost(), options);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_DOUBLE_EQ(points[0].normalizedUtil, 1.0);
+    EXPECT_DOUBLE_EQ(points[0].agreementMiou, 1.0);
+    EXPECT_DOUBLE_EQ(points[0].logitRelError, 0.0);
+}
+
+TEST(Measured, DeviationGrowsWithChannelPruning)
+{
+    std::vector<PruneConfig> candidates = {
+        {"c112", {2, 2, 2, 2}, 112, 0, 0, 0, 0},
+        {"c96", {2, 2, 2, 2}, 96, 0, 0, 0, 0},
+        {"c64", {2, 2, 2, 2}, 64, 0, 0, 0, 0},
+    };
+    MeasureOptions options;
+    options.scenes = 2;
+    auto points = measureSegformerResilience(smallConfig(), candidates,
+                                             flopsCost(), options);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_LT(points[0].logitRelError, points[1].logitRelError);
+    EXPECT_LT(points[1].logitRelError, points[2].logitRelError);
+    // And utilization shrinks along the way.
+    EXPECT_GT(points[0].normalizedUtil, points[2].normalizedUtil);
+}
+
+TEST(Measured, Int8TracksFp32)
+{
+    std::vector<PruneConfig> candidates = {
+        {"c96", {2, 2, 2, 2}, 96, 0, 0, 0, 0}};
+    MeasureOptions fp;
+    fp.scenes = 2;
+    MeasureOptions q8 = fp;
+    q8.int8 = true;
+    auto fp_points = measureSegformerResilience(
+        smallConfig(), candidates, flopsCost(), fp);
+    auto q8_points = measureSegformerResilience(
+        smallConfig(), candidates, flopsCost(), q8);
+    // INT8 execution reproduces the FP32 deviation within a modest
+    // extra quantization error.
+    EXPECT_NEAR(q8_points[0].logitRelError, fp_points[0].logitRelError,
+                0.05);
+}
+
+TEST(Measured, DeterministicGivenSeeds)
+{
+    std::vector<PruneConfig> candidates = {
+        {"c96", {2, 2, 2, 2}, 96, 0, 0, 0, 0}};
+    MeasureOptions options;
+    options.scenes = 2;
+    auto a = measureSegformerResilience(smallConfig(), candidates,
+                                        flopsCost(), options);
+    auto b = measureSegformerResilience(smallConfig(), candidates,
+                                        flopsCost(), options);
+    EXPECT_DOUBLE_EQ(a[0].agreementMiou, b[0].agreementMiou);
+    EXPECT_DOUBLE_EQ(a[0].logitRelError, b[0].logitRelError);
+}
+
+} // namespace
+} // namespace vitdyn

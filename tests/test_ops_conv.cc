@@ -1,0 +1,248 @@
+/** @file Tests of the convolution / pooling / resize reference kernels. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(ConvOutDim, Formula)
+{
+    EXPECT_EQ(convOutDim(512, 7, 4, 3), 128);
+    EXPECT_EQ(convOutDim(128, 3, 2, 1), 64);
+    EXPECT_EQ(convOutDim(8, 3, 1, 1), 8);
+    EXPECT_EQ(convOutDim(8, 2, 2, 0), 4);
+}
+
+TEST(Conv2d, IdentityKernel)
+{
+    Rng rng(1);
+    Tensor x = Tensor::randn({1, 1, 5, 5}, rng);
+    Tensor w({1, 1, 1, 1}, std::vector<float>{1.0f});
+    Tensor y = conv2d(x, w, Tensor{});
+    EXPECT_TRUE(y.allClose(x));
+}
+
+TEST(Conv2d, HandComputed3x3)
+{
+    // 3x3 all-ones kernel over a 3x3 all-ones image, no padding:
+    // single output = 9.
+    Tensor x({1, 1, 3, 3}, 1.0f);
+    Tensor w({1, 1, 3, 3}, 1.0f);
+    Tensor y = conv2d(x, w, Tensor{});
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+    EXPECT_FLOAT_EQ(y[0], 9.0f);
+}
+
+TEST(Conv2d, PaddingZeros)
+{
+    Tensor x({1, 1, 3, 3}, 1.0f);
+    Tensor w({1, 1, 3, 3}, 1.0f);
+    Conv2dParams p;
+    p.padH = p.padW = 1;
+    Tensor y = conv2d(x, w, Tensor{}, p);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 3, 3}));
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 9.0f); // center sees all 9
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 4.0f); // corner sees 4
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 6.0f); // edge sees 6
+}
+
+TEST(Conv2d, Stride)
+{
+    Tensor x({1, 1, 4, 4});
+    for (int64_t i = 0; i < 16; ++i)
+        x[i] = static_cast<float>(i);
+    Tensor w({1, 1, 1, 1}, std::vector<float>{1.0f});
+    Conv2dParams p;
+    p.strideH = p.strideW = 2;
+    Tensor y = conv2d(x, w, Tensor{}, p);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 0), 8.0f);
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 10.0f);
+}
+
+TEST(Conv2d, Bias)
+{
+    Tensor x({1, 1, 2, 2}, 0.0f);
+    Tensor w({2, 1, 1, 1}, 1.0f);
+    Tensor b({2}, std::vector<float>{3.0f, -1.0f});
+    Tensor y = conv2d(x, w, b);
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(y.at4(0, 1, 1, 1), -1.0f);
+}
+
+TEST(Conv2d, MultiChannelSum)
+{
+    // 2 input channels with values 1 and 2; kernel weight 1 each:
+    // output = 3 everywhere.
+    Tensor x({1, 2, 2, 2});
+    for (int64_t i = 0; i < 4; ++i)
+        x[i] = 1.0f;
+    for (int64_t i = 4; i < 8; ++i)
+        x[i] = 2.0f;
+    Tensor w({1, 2, 1, 1}, 1.0f);
+    Tensor y = conv2d(x, w, Tensor{});
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_FLOAT_EQ(y[i], 3.0f);
+}
+
+TEST(Conv2d, DepthwiseKeepsChannelsSeparate)
+{
+    // groups == channels: each channel scaled by its own weight.
+    Tensor x({1, 2, 2, 2}, 1.0f);
+    Tensor w({2, 1, 1, 1}, std::vector<float>{2.0f, 5.0f});
+    Conv2dParams p;
+    p.groups = 2;
+    Tensor y = conv2d(x, w, Tensor{}, p);
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(y.at4(0, 1, 0, 0), 5.0f);
+}
+
+TEST(Conv2d, GroupedMatchesTwoHalves)
+{
+    // A groups=2 conv equals two independent convs on channel halves.
+    Rng rng(3);
+    Tensor x = Tensor::randn({1, 4, 6, 6}, rng);
+    Tensor w = Tensor::randn({6, 2, 3, 3}, rng);
+    Conv2dParams gp;
+    gp.groups = 2;
+    gp.padH = gp.padW = 1;
+    Tensor y = conv2d(x, w, Tensor{}, gp);
+
+    // Manual split.
+    Tensor x0({1, 2, 6, 6});
+    Tensor x1({1, 2, 6, 6});
+    for (int64_t c = 0; c < 2; ++c)
+        for (int64_t i = 0; i < 36; ++i) {
+            x0[c * 36 + i] = x[c * 36 + i];
+            x1[c * 36 + i] = x[(c + 2) * 36 + i];
+        }
+    Tensor w0({3, 2, 3, 3});
+    Tensor w1({3, 2, 3, 3});
+    for (int64_t i = 0; i < w0.numel(); ++i) {
+        w0[i] = w[i];
+        w1[i] = w[w0.numel() + i];
+    }
+    Conv2dParams p;
+    p.padH = p.padW = 1;
+    Tensor y0 = conv2d(x0, w0, Tensor{}, p);
+    Tensor y1 = conv2d(x1, w1, Tensor{}, p);
+    for (int64_t k = 0; k < 3; ++k)
+        for (int64_t i = 0; i < 36; ++i) {
+            EXPECT_NEAR(y[k * 36 + i], y0[k * 36 + i], 1e-4);
+            EXPECT_NEAR(y[(k + 3) * 36 + i], y1[k * 36 + i], 1e-4);
+        }
+}
+
+TEST(Conv2d, BatchIndependence)
+{
+    Rng rng(5);
+    Tensor x = Tensor::randn({2, 3, 5, 5}, rng);
+    Tensor w = Tensor::randn({4, 3, 3, 3}, rng);
+    Conv2dParams p;
+    p.padH = p.padW = 1;
+    Tensor y = conv2d(x, w, Tensor{}, p);
+
+    // Running each batch element separately must agree.
+    Tensor x0({1, 3, 5, 5});
+    for (int64_t i = 0; i < 75; ++i)
+        x0[i] = x[i];
+    Tensor y0 = conv2d(x0, w, Tensor{}, p);
+    for (int64_t i = 0; i < y0.numel(); ++i)
+        EXPECT_NEAR(y[i], y0[i], 1e-4);
+}
+
+TEST(Conv2d, ShapeMismatchPanics)
+{
+    Tensor x({1, 3, 4, 4});
+    Tensor w({2, 4, 1, 1}); // expects 4 input channels, image has 3
+    EXPECT_DEATH(conv2d(x, w, Tensor{}), "mismatch");
+}
+
+TEST(MaxPool2d, Basic)
+{
+    Tensor x({1, 1, 4, 4});
+    for (int64_t i = 0; i < 16; ++i)
+        x[i] = static_cast<float>(i);
+    Tensor y = maxPool2d(x, 2, 2);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 15.0f);
+}
+
+TEST(MaxPool2d, PaddingIgnoredInMax)
+{
+    Tensor x({1, 1, 2, 2}, -3.0f);
+    Tensor y = maxPool2d(x, 3, 2, 1);
+    // Padded positions must not contribute zeros.
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_FLOAT_EQ(y[i], -3.0f);
+}
+
+TEST(AdaptiveAvgPool2d, GlobalAverage)
+{
+    Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+    Tensor y = adaptiveAvgPool2d(x, 1, 1);
+    EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(AdaptiveAvgPool2d, PartitionsCoverInput)
+{
+    // 6 -> 4 pooling covers all pixels; mean of means of a constant
+    // image stays constant.
+    Tensor x({1, 2, 6, 6}, 3.25f);
+    Tensor y = adaptiveAvgPool2d(x, 4, 4);
+    EXPECT_EQ(y.shape(), (Shape{1, 2, 4, 4}));
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_FLOAT_EQ(y[i], 3.25f);
+}
+
+TEST(Interpolate, IdentityWhenSameSize)
+{
+    Rng rng(8);
+    Tensor x = Tensor::randn({1, 2, 5, 7}, rng);
+    Tensor y = interpolateBilinear(x, 5, 7);
+    EXPECT_TRUE(y.allClose(x, 1e-5f));
+}
+
+TEST(Interpolate, ConstantStaysConstant)
+{
+    Tensor x({1, 3, 4, 4}, 2.0f);
+    Tensor y = interpolateBilinear(x, 9, 13);
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], 2.0f, 1e-5f);
+}
+
+TEST(Interpolate, UpsampleLinearRamp)
+{
+    // A horizontal ramp stays monotone after upsampling.
+    Tensor x({1, 1, 1, 4}, std::vector<float>{0, 1, 2, 3});
+    Tensor y = interpolateBilinear(x, 1, 8);
+    for (int64_t i = 1; i < 8; ++i)
+        EXPECT_GE(y[i] + 1e-6f, y[i - 1]);
+    EXPECT_NEAR(y[0], 0.0f, 0.3f);
+    EXPECT_NEAR(y[7], 3.0f, 0.3f);
+}
+
+TEST(Interpolate, DownsampleAveragesNeighborhood)
+{
+    Tensor x({1, 1, 4, 4});
+    for (int64_t i = 0; i < 16; ++i)
+        x[i] = static_cast<float>(i % 4);
+    Tensor y = interpolateBilinear(x, 2, 2);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+    // Values stay within the input range.
+    for (int64_t i = 0; i < 4; ++i) {
+        EXPECT_GE(y[i], 0.0f);
+        EXPECT_LE(y[i], 3.0f);
+    }
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,168 @@
+/** @file Tests of linear / matmul / attention reference kernels. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Linear, HandComputed)
+{
+    // y = x W^T + b with x = [1, 2], W = [[1, 1], [2, -1]], b = [0, 1].
+    Tensor x({1, 2}, std::vector<float>{1, 2});
+    Tensor w({2, 2}, std::vector<float>{1, 1, 2, -1});
+    Tensor b({2}, std::vector<float>{0, 1});
+    Tensor y = linear(x, w, b);
+    EXPECT_FLOAT_EQ(y.at2(0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(y.at2(0, 1), 1.0f);
+}
+
+TEST(Linear, BroadcastsOverLeadingDims)
+{
+    Rng rng(2);
+    Tensor x = Tensor::randn({2, 3, 4}, rng);
+    Tensor w = Tensor::randn({5, 4}, rng);
+    Tensor y = linear(x, w, Tensor{});
+    EXPECT_EQ(y.shape(), (Shape{2, 3, 5}));
+
+    // Row (1, 2) equals the rank-2 computation on that row.
+    Tensor row({1, 4});
+    for (int64_t i = 0; i < 4; ++i)
+        row[i] = x.at3(1, 2, i);
+    Tensor yr = linear(row, w, Tensor{});
+    for (int64_t o = 0; o < 5; ++o)
+        EXPECT_NEAR(y.at3(1, 2, o), yr[o], 1e-4f);
+}
+
+TEST(Linear, FeatureMismatchPanics)
+{
+    Tensor x({1, 3});
+    Tensor w({2, 4});
+    EXPECT_DEATH(linear(x, w, Tensor{}), "in_features");
+}
+
+TEST(Matmul, Identity)
+{
+    Tensor a({2, 2}, std::vector<float>{1, 2, 3, 4});
+    Tensor eye({2, 2}, std::vector<float>{1, 0, 0, 1});
+    EXPECT_TRUE(matmul(a, eye).allClose(a));
+    EXPECT_TRUE(matmul(eye, a).allClose(a));
+}
+
+TEST(Matmul, HandComputed)
+{
+    Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+    Tensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at2(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at2(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at2(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Matmul, AgreesWithLinear)
+{
+    // x W^T computed both ways.
+    Rng rng(4);
+    Tensor x = Tensor::randn({3, 8}, rng);
+    Tensor w = Tensor::randn({5, 8}, rng);
+    Tensor wt({8, 5});
+    for (int64_t i = 0; i < 5; ++i)
+        for (int64_t j = 0; j < 8; ++j)
+            wt.at2(j, i) = w.at2(i, j);
+    EXPECT_TRUE(matmul(x, wt).allClose(linear(x, w, Tensor{}), 1e-4f));
+}
+
+TEST(Bmm, MatchesPerBatchMatmul)
+{
+    Rng rng(6);
+    Tensor a = Tensor::randn({3, 4, 5}, rng);
+    Tensor b = Tensor::randn({3, 5, 2}, rng);
+    Tensor c = bmm(a, b);
+    EXPECT_EQ(c.shape(), (Shape{3, 4, 2}));
+    for (int64_t bb = 0; bb < 3; ++bb) {
+        Tensor a2({4, 5});
+        Tensor b2({5, 2});
+        for (int64_t i = 0; i < 20; ++i)
+            a2[i] = a[bb * 20 + i];
+        for (int64_t i = 0; i < 10; ++i)
+            b2[i] = b[bb * 10 + i];
+        Tensor c2 = matmul(a2, b2);
+        for (int64_t i = 0; i < 8; ++i)
+            EXPECT_NEAR(c[bb * 8 + i], c2[i], 1e-4f);
+    }
+}
+
+TEST(Attention, UniformWhenQueryIsZero)
+{
+    // Zero queries give uniform attention: output = mean of V.
+    Tensor q({1, 2, 4}, 0.0f);
+    Rng rng(9);
+    Tensor k = Tensor::randn({1, 3, 4}, rng);
+    Tensor v = Tensor::randn({1, 3, 4}, rng);
+    Tensor out = attention(q, k, v, 1);
+    for (int64_t d = 0; d < 4; ++d) {
+        float mean = 0.0f;
+        for (int64_t j = 0; j < 3; ++j)
+            mean += v.at3(0, j, d);
+        mean /= 3.0f;
+        EXPECT_NEAR(out.at3(0, 0, d), mean, 1e-4f);
+        EXPECT_NEAR(out.at3(0, 1, d), mean, 1e-4f);
+    }
+}
+
+TEST(Attention, SharpSelectionPicksMatchingValue)
+{
+    // With a huge matching key, attention selects that value row.
+    Tensor q({1, 1, 2}, std::vector<float>{50.0f, 0.0f});
+    Tensor k({1, 2, 2}, std::vector<float>{1.0f, 0.0f, -1.0f, 0.0f});
+    Tensor v({1, 2, 2}, std::vector<float>{7.0f, 8.0f, -3.0f, -4.0f});
+    Tensor out = attention(q, k, v, 1);
+    EXPECT_NEAR(out.at3(0, 0, 0), 7.0f, 1e-3f);
+    EXPECT_NEAR(out.at3(0, 0, 1), 8.0f, 1e-3f);
+}
+
+TEST(Attention, MultiHeadPartitionsChannels)
+{
+    // With 2 heads, head 0 only mixes dims [0, dh) of V.
+    Rng rng(10);
+    Tensor q = Tensor::randn({1, 4, 8}, rng);
+    Tensor k = Tensor::randn({1, 4, 8}, rng);
+    Tensor v = Tensor::randn({1, 4, 8}, rng);
+    Tensor out2 = attention(q, k, v, 2);
+
+    // Changing V in head-1 channels must not affect head-0 outputs.
+    Tensor v2 = v;
+    for (int64_t j = 0; j < 4; ++j)
+        for (int64_t d = 4; d < 8; ++d)
+            v2.at3(0, j, d) += 100.0f;
+    Tensor out2b = attention(q, k, v2, 2);
+    for (int64_t i = 0; i < 4; ++i)
+        for (int64_t d = 0; d < 4; ++d)
+            EXPECT_NEAR(out2.at3(0, i, d), out2b.at3(0, i, d), 1e-4f);
+}
+
+TEST(Attention, CrossAttentionLengths)
+{
+    Rng rng(12);
+    Tensor q = Tensor::randn({2, 5, 8}, rng);
+    Tensor k = Tensor::randn({2, 9, 8}, rng);
+    Tensor v = Tensor::randn({2, 9, 8}, rng);
+    Tensor out = attention(q, k, v, 4);
+    EXPECT_EQ(out.shape(), (Shape{2, 5, 8}));
+}
+
+TEST(Attention, HeadDivisibilityPanics)
+{
+    Tensor q({1, 2, 6});
+    EXPECT_DEATH(attention(q, q, q, 4), "divisible");
+}
+
+} // namespace
+} // namespace vitdyn

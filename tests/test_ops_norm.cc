@@ -1,0 +1,221 @@
+/** @file Tests of softmax / normalization / activation / shape ops. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Softmax, RowsSumToOne)
+{
+    Rng rng(1);
+    Tensor x = Tensor::randn({4, 7}, rng, 0.0f, 3.0f);
+    Tensor y = softmax(x);
+    for (int64_t r = 0; r < 4; ++r) {
+        float sum = 0.0f;
+        for (int64_t c = 0; c < 7; ++c) {
+            sum += y.at2(r, c);
+            EXPECT_GE(y.at2(r, c), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Softmax, ShiftInvariance)
+{
+    Rng rng(2);
+    Tensor x = Tensor::randn({2, 5}, rng);
+    Tensor shifted = x;
+    for (int64_t i = 0; i < x.numel(); ++i)
+        shifted[i] += 10.0f;
+    EXPECT_TRUE(softmax(x).allClose(softmax(shifted), 1e-5f));
+}
+
+TEST(Softmax, LargeValuesStable)
+{
+    Tensor x({1, 3}, std::vector<float>{1000.0f, 999.0f, -1000.0f});
+    Tensor y = softmax(x);
+    EXPECT_FALSE(std::isnan(y[0]));
+    EXPECT_GT(y[0], y[1]);
+    EXPECT_NEAR(y[2], 0.0f, 1e-6f);
+}
+
+TEST(Softmax, PreservesArgmax)
+{
+    Rng rng(3);
+    Tensor x = Tensor::randn({8, 16}, rng);
+    Tensor y = softmax(x);
+    for (int64_t r = 0; r < 8; ++r) {
+        int64_t ax = 0;
+        int64_t ay = 0;
+        for (int64_t c = 1; c < 16; ++c) {
+            if (x.at2(r, c) > x.at2(r, ax))
+                ax = c;
+            if (y.at2(r, c) > y.at2(r, ay))
+                ay = c;
+        }
+        EXPECT_EQ(ax, ay);
+    }
+}
+
+TEST(LayerNorm, ZeroMeanUnitVar)
+{
+    Rng rng(4);
+    Tensor x = Tensor::randn({3, 64}, rng, 5.0f, 2.0f);
+    Tensor gamma({64}, 1.0f);
+    Tensor beta({64}, 0.0f);
+    Tensor y = layerNorm(x, gamma, beta);
+    for (int64_t r = 0; r < 3; ++r) {
+        double mean = 0.0;
+        double sq = 0.0;
+        for (int64_t c = 0; c < 64; ++c) {
+            mean += y.at2(r, c);
+            sq += y.at2(r, c) * y.at2(r, c);
+        }
+        mean /= 64;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(sq / 64 - mean * mean, 1.0, 1e-2);
+    }
+}
+
+TEST(LayerNorm, AffineApplied)
+{
+    Tensor x({1, 2}, std::vector<float>{-1.0f, 1.0f});
+    Tensor gamma({2}, std::vector<float>{2.0f, 2.0f});
+    Tensor beta({2}, std::vector<float>{5.0f, 5.0f});
+    Tensor y = layerNorm(x, gamma, beta);
+    // Normalized input is [-1, 1] (up to eps), so y ~ [3, 7].
+    EXPECT_NEAR(y[0], 3.0f, 1e-2f);
+    EXPECT_NEAR(y[1], 7.0f, 1e-2f);
+}
+
+TEST(BatchNorm, FoldedStatistics)
+{
+    // With mean 2, var 4, gamma 3, beta 1: y = 3 * (x - 2) / 2 + 1.
+    Tensor x({1, 1, 1, 2}, std::vector<float>{4.0f, 0.0f});
+    Tensor gamma({1}, 3.0f);
+    Tensor beta({1}, 1.0f);
+    Tensor mean({1}, 2.0f);
+    Tensor var({1}, 4.0f);
+    Tensor y = batchNorm(x, gamma, beta, mean, var);
+    EXPECT_NEAR(y[0], 4.0f, 1e-3f);
+    EXPECT_NEAR(y[1], -2.0f, 1e-3f);
+}
+
+TEST(BatchNorm, PerChannel)
+{
+    Tensor x({1, 2, 1, 1}, std::vector<float>{1.0f, 1.0f});
+    Tensor gamma({2}, std::vector<float>{1.0f, 10.0f});
+    Tensor beta({2}, 0.0f);
+    Tensor mean({2}, 0.0f);
+    Tensor var({2}, 1.0f);
+    Tensor y = batchNorm(x, gamma, beta, mean, var);
+    EXPECT_NEAR(y[1] / y[0], 10.0f, 1e-3f);
+}
+
+TEST(Relu, ClampsNegative)
+{
+    Tensor x({4}, std::vector<float>{-2.0f, -0.5f, 0.0f, 3.0f});
+    Tensor y = relu(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+    EXPECT_FLOAT_EQ(y[2], 0.0f);
+    EXPECT_FLOAT_EQ(y[3], 3.0f);
+}
+
+TEST(Gelu, KnownValues)
+{
+    Tensor x({3}, std::vector<float>{0.0f, 1.0f, -10.0f});
+    Tensor y = gelu(x);
+    EXPECT_NEAR(y[0], 0.0f, 1e-6f);
+    EXPECT_NEAR(y[1], 0.8412f, 1e-3f);
+    EXPECT_NEAR(y[2], 0.0f, 1e-4f);
+}
+
+TEST(Add, Elementwise)
+{
+    Tensor a({2}, std::vector<float>{1.0f, 2.0f});
+    Tensor b({2}, std::vector<float>{10.0f, 20.0f});
+    Tensor y = add(a, b);
+    EXPECT_FLOAT_EQ(y[0], 11.0f);
+    EXPECT_FLOAT_EQ(y[1], 22.0f);
+}
+
+TEST(Add, ShapeMismatchPanics)
+{
+    Tensor a({2});
+    Tensor b({3});
+    EXPECT_DEATH(add(a, b), "shape mismatch");
+}
+
+TEST(ConcatChannels, StacksInOrder)
+{
+    Tensor a({1, 1, 2, 2}, 1.0f);
+    Tensor b({1, 2, 2, 2}, 2.0f);
+    Tensor y = concatChannels({a, b});
+    EXPECT_EQ(y.shape(), (Shape{1, 3, 2, 2}));
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(y.at4(0, 1, 0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(y.at4(0, 2, 1, 1), 2.0f);
+}
+
+TEST(TokenLayout, RoundTrip)
+{
+    Rng rng(5);
+    Tensor x = Tensor::randn({2, 3, 4, 5}, rng);
+    Tensor tokens = nchwToTokens(x);
+    EXPECT_EQ(tokens.shape(), (Shape{2, 20, 3}));
+    Tensor back = tokensToNchw(tokens, 4, 5);
+    EXPECT_TRUE(back.allClose(x));
+}
+
+TEST(WindowPartition, RoundTrip)
+{
+    Rng rng(6);
+    Tensor tokens = Tensor::randn({2, 6 * 4, 3}, rng);
+    Tensor windows = windowPartition(tokens, 6, 4, 2);
+    EXPECT_EQ(windows.shape(), (Shape{2 * 6, 4, 3}));
+    Tensor back = windowReverse(windows, 6, 4, 2, 2);
+    EXPECT_TRUE(back.allClose(tokens));
+}
+
+TEST(WindowPartition, WindowContentsContiguous)
+{
+    // A 4x4 grid with window 2: the first window holds grid positions
+    // (0,0), (0,1), (1,0), (1,1).
+    Tensor tokens({1, 16, 1});
+    for (int64_t i = 0; i < 16; ++i)
+        tokens[i] = static_cast<float>(i);
+    Tensor windows = windowPartition(tokens, 4, 4, 2);
+    EXPECT_FLOAT_EQ(windows.at3(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(windows.at3(0, 1, 0), 1.0f);
+    EXPECT_FLOAT_EQ(windows.at3(0, 2, 0), 4.0f);
+    EXPECT_FLOAT_EQ(windows.at3(0, 3, 0), 5.0f);
+}
+
+TEST(CyclicShift, RoundTrip)
+{
+    Rng rng(7);
+    Tensor tokens = Tensor::randn({1, 5 * 4, 2}, rng);
+    Tensor shifted = cyclicShift(tokens, 5, 4, 2, 1);
+    Tensor back = cyclicShift(shifted, 5, 4, -2, -1);
+    EXPECT_TRUE(back.allClose(tokens));
+}
+
+TEST(CyclicShift, MovesExpectedPixel)
+{
+    Tensor tokens({1, 4, 1}, std::vector<float>{1, 2, 3, 4}); // 2x2 grid
+    Tensor shifted = cyclicShift(tokens, 2, 2, 1, 0);
+    // Row 0 moves to row 1.
+    EXPECT_FLOAT_EQ(shifted.at3(0, 2, 0), 1.0f);
+    EXPECT_FLOAT_EQ(shifted.at3(0, 0, 0), 3.0f);
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,129 @@
+/** @file Tests of the report helpers (profile tables, Table I rows),
+ * Table CSV file output, the 3-objective DSE frontier, and the larger
+ * SegFormer presets. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "accel/dse.hh"
+#include "models/segformer.hh"
+#include "profile/report.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Report, ProfileTableHasRowPerGroup)
+{
+    Graph g = buildSegformer(segformerB0Config());
+    GpuLatencyModel gpu;
+    Profile p(g, gpu);
+    Table t = profileTable("title", p);
+    EXPECT_EQ(t.numRows(), p.groups().size());
+    EXPECT_NE(t.toString().find("Conv"), std::string::npos);
+}
+
+TEST(Report, ModelSummaryRow)
+{
+    Graph g = buildSegformer(segformerB0Config());
+    GpuLatencyModel gpu;
+    ModelSummary s = summarizeModel(g, gpu, "ADE20K", "SS", 0.376);
+    EXPECT_EQ(s.model, "segformer_b0");
+    EXPECT_EQ(s.task, "SS");
+    EXPECT_GT(s.paramsM, 1.0);
+    EXPECT_GT(s.gflops, 1.0);
+    EXPECT_GT(s.fps, 0.0);
+    EXPECT_NEAR(s.fps * s.latencyMs, 1000.0, 1.0);
+
+    Table t = modelSummaryTable({s});
+    EXPECT_EQ(t.numRows(), 1u);
+    EXPECT_NE(t.toString().find("segformer_b0"), std::string::npos);
+}
+
+TEST(Report, TableCsvFileRoundTrip)
+{
+    Table t("csvfile", {"a", "b"});
+    t.addRow({"1", "two"});
+    const std::string path = "/tmp/vitdyn_table_test.csv";
+    t.writeCsv(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::string row;
+    std::getline(in, header);
+    std::getline(in, row);
+    EXPECT_EQ(header, "a,b");
+    EXPECT_EQ(row, "1,two");
+    std::remove(path.c_str());
+}
+
+TEST(Dse, Pareto3ContainsExtremes)
+{
+    SegformerConfig small = segformerB0Config();
+    small.imageH = small.imageW = 128;
+    Graph g = buildSegformer(small);
+    DseOptions opts;
+    opts.k0Grid = {16, 32};
+    opts.c0Grid = {16, 32};
+    opts.weightMemKbGrid = {64, 1024};
+    opts.activationMemKbGrid = {64};
+    auto points = exploreDesignSpace(g, opts);
+    auto frontier = paretoFrontier3(points);
+    EXPECT_FALSE(frontier.empty());
+    EXPECT_LE(frontier.size(), points.size());
+
+    // The per-objective optima are never dominated.
+    auto contains = [&](const DsePoint &target) {
+        for (const DsePoint &p : frontier)
+            if (p.config.name == target.config.name)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(contains(bestByLatency(points)));
+    EXPECT_TRUE(contains(bestByEnergy(points)));
+}
+
+TEST(Dse, Pareto3NoMemberDominated)
+{
+    SegformerConfig small = segformerB0Config();
+    small.imageH = small.imageW = 128;
+    Graph g = buildSegformer(small);
+    DseOptions opts;
+    opts.k0Grid = {16, 32};
+    opts.c0Grid = {32};
+    opts.weightMemKbGrid = {64, 128, 1024};
+    opts.activationMemKbGrid = {32, 64};
+    auto points = exploreDesignSpace(g, opts);
+    auto frontier = paretoFrontier3(points);
+    for (const DsePoint &f : frontier)
+        for (const DsePoint &p : points) {
+            const bool dominates = p.cycles <= f.cycles &&
+                                   p.energyMj <= f.energyMj &&
+                                   p.areaMm2 <= f.areaMm2 &&
+                                   (p.cycles < f.cycles ||
+                                    p.energyMj < f.energyMj ||
+                                    p.areaMm2 < f.areaMm2);
+            EXPECT_FALSE(dominates)
+                << p.config.name << " dominates " << f.config.name;
+        }
+}
+
+TEST(SegformerPresets, B3B4B5Ordering)
+{
+    Graph b2 = buildSegformer(segformerB2Config());
+    Graph b3 = buildSegformer(segformerB3Config());
+    Graph b4 = buildSegformer(segformerB4Config());
+    Graph b5 = buildSegformer(segformerB5Config());
+    EXPECT_LT(b2.totalParams(), b3.totalParams());
+    EXPECT_LT(b3.totalParams(), b4.totalParams());
+    EXPECT_LT(b4.totalParams(), b5.totalParams());
+    EXPECT_LT(b3.totalFlops(), b5.totalFlops());
+    // Published: B5 ~84.7 M params (encoder+head). Allow 10%.
+    EXPECT_NEAR(b5.totalParams() / 1e6, 84.7, 8.5);
+}
+
+} // namespace
+} // namespace vitdyn

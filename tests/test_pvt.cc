@@ -1,0 +1,111 @@
+/** @file Tests of PVT + UPerNet and the generalization claim: the
+ * paper's segmentation observations hold for any attention-dominant
+ * backbone paired with the UPerNet head. */
+
+#include <gtest/gtest.h>
+
+#include "graph/executor.hh"
+#include "graph/surgery.hh"
+#include "models/pvt.hh"
+#include "models/swin.hh"
+#include "profile/flops_profile.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Pvt, PublishedBackboneSize)
+{
+    // PVT-Small backbone: ~24.5 M params. With UPerNet's ~30 M head.
+    Graph g = buildPvt(pvtSmallConfig());
+    EXPECT_NEAR(g.totalParams() / 1e6, 55.0, 6.0);
+}
+
+TEST(Pvt, DecoderDominatesFullPipeline)
+{
+    // The generalization claim: with the UPerNet head, the decoder
+    // dominates the pipeline FLOPs just as it does for Swin.
+    Graph g = buildPvt(pvtSmallConfig());
+    const double decoder =
+        static_cast<double>(stageFlops(g, "decoder")) / g.totalFlops();
+    EXPECT_GT(decoder, 0.75);
+
+    const Layer &fb = g.layer(g.findLayer("fpn_bottleneck_Conv2D"));
+    EXPECT_GT(static_cast<double>(fb.flops()) / g.totalFlops(), 0.5);
+}
+
+TEST(Pvt, BackboneIsAttentionDominant)
+{
+    // Unlike SegFormer (Mix-FFN DWConvs), PVT's encoder compute is
+    // matmul/attention; its only convs are the patch embeddings and
+    // SR reductions — a small share of encoder FLOPs.
+    Graph g = buildPvt(pvtSmallConfig());
+    int64_t enc_total = 0;
+    int64_t enc_conv = 0;
+    for (const Layer &l : g.layers()) {
+        if (l.stage.rfind("encoder", 0) != 0)
+            continue;
+        enc_total += l.flops();
+        if (l.category() == OpCategory::Conv)
+            enc_conv += l.flops();
+    }
+    EXPECT_LT(static_cast<double>(enc_conv) / enc_total, 0.2);
+}
+
+TEST(Pvt, SharesUpernetHeadWithSwin)
+{
+    // The factored head gives PVT and Swin identical decoder FLOPs
+    // wherever the stage channel counts match (they do at stage 3:
+    // 512 for PVT-Small vs 768 for Swin-T, so compare the parts that
+    // depend only on the head width).
+    Graph pvt = buildPvt(pvtSmallConfig());
+    Graph swin = buildSwin(swinTinyConfig());
+    const Layer &pb = pvt.layer(pvt.findLayer("fpn_bottleneck_Conv2D"));
+    const Layer &sb =
+        swin.layer(swin.findLayer("fpn_bottleneck_Conv2D"));
+    EXPECT_EQ(pb.attrs.inChannels, sb.attrs.inChannels);
+    EXPECT_EQ(pb.attrs.outChannels, sb.attrs.outChannels);
+    EXPECT_EQ(pb.flops(), sb.flops());
+}
+
+TEST(Pvt, TinySmallerThanSmall)
+{
+    Graph tiny = buildPvt(pvtTinyConfig());
+    Graph small = buildPvt(pvtSmallConfig());
+    EXPECT_LT(tiny.totalParams(), small.totalParams());
+    EXPECT_LT(tiny.totalFlops(), small.totalFlops());
+}
+
+TEST(Pvt, FpnBottleneckPrunable)
+{
+    // The same surgery the paper applies to Swin works on PVT.
+    Graph g = buildPvt(pvtSmallConfig());
+    const int64_t before = g.totalMacs();
+    const int64_t saved =
+        pruneInputChannels(g, "fpn_bottleneck_Conv2D", 1024);
+    EXPECT_GT(saved, 0);
+    EXPECT_EQ(g.totalMacs(), before - saved);
+    EXPECT_EQ(g.layer(g.findLayer("fpn_bottleneck_Conv2D"))
+                  .attrs.inChannels,
+              1024);
+}
+
+TEST(Pvt, SmallModelExecutes)
+{
+    PvtConfig cfg = pvtTinyConfig();
+    cfg.imageH = cfg.imageW = 64;
+    cfg.numClasses = 5;
+    cfg.embedDims = {8, 16, 24, 32};
+    cfg.numHeads = {1, 2, 3, 4};
+    cfg.decoderChannels = 16;
+    Graph g = buildPvt(cfg);
+    Executor exec(g, 1);
+    Rng rng(1);
+    Tensor out = exec.runSimple(Tensor::randn({1, 3, 64, 64}, rng));
+    EXPECT_EQ(out.shape(), (Shape{1, 5, 64, 64}));
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,122 @@
+/** @file Tests of INT8 quantization and quantized kernels. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/quant.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Quantize, RoundTripErrorBounded)
+{
+    Rng rng(1);
+    Tensor x = Tensor::randn({1000}, rng);
+    QuantTensor q = quantize(x);
+    Tensor back = dequantize(q);
+    // Max error is half a quantization step.
+    const float step = q.scale;
+    for (int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_LE(std::fabs(back[i] - x[i]), step / 2 + 1e-6f);
+}
+
+TEST(Quantize, ScaleMapsMaxTo127)
+{
+    Tensor x({3}, std::vector<float>{0.5f, -2.0f, 1.0f});
+    QuantTensor q = quantize(x);
+    EXPECT_FLOAT_EQ(q.scale, 2.0f / 127.0f);
+    EXPECT_EQ(q.data[1], -127);
+}
+
+TEST(Quantize, AllZerosSafe)
+{
+    Tensor x({4}, 0.0f);
+    QuantTensor q = quantize(x);
+    EXPECT_FLOAT_EQ(q.scale, 1.0f);
+    Tensor back = dequantize(q);
+    EXPECT_TRUE(back.allClose(x));
+}
+
+TEST(Quantize, Symmetric)
+{
+    Tensor x({2}, std::vector<float>{3.0f, -3.0f});
+    QuantTensor q = quantize(x);
+    EXPECT_EQ(q.data[0], 127);
+    EXPECT_EQ(q.data[1], -127);
+}
+
+class QuantConvTest : public testing::TestWithParam<int> {};
+
+TEST_P(QuantConvTest, Int8ConvTracksFloat)
+{
+    Rng rng(100 + GetParam());
+    Tensor x = Tensor::randn({1, 4, 6, 6}, rng);
+    Tensor w = Tensor::randn({8, 4, 3, 3}, rng, 0.0f, 0.2f);
+    Tensor b = Tensor::randn({8}, rng, 0.0f, 0.05f);
+    Conv2dParams p;
+    p.padH = p.padW = 1;
+
+    Tensor ref = conv2d(x, w, b, p);
+    Tensor qy = conv2dInt8(quantize(x), quantize(w), b, p);
+
+    EXPECT_EQ(ref.shape(), qy.shape());
+    const double err = meanAbsError(ref, qy);
+    // INT8 error stays well below the activation scale.
+    EXPECT_LT(err, 0.05 * ref.maxAbs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantConvTest, testing::Range(0, 6));
+
+TEST(QuantConv, DepthwiseGroups)
+{
+    Rng rng(7);
+    Tensor x = Tensor::randn({1, 6, 5, 5}, rng);
+    Tensor w = Tensor::randn({6, 1, 3, 3}, rng, 0.0f, 0.3f);
+    Conv2dParams p;
+    p.groups = 6;
+    p.padH = p.padW = 1;
+    Tensor ref = conv2d(x, w, Tensor{}, p);
+    Tensor qy = conv2dInt8(quantize(x), quantize(w), Tensor{}, p);
+    EXPECT_LT(meanAbsError(ref, qy), 0.05 * ref.maxAbs());
+}
+
+class QuantLinearTest : public testing::TestWithParam<int64_t> {};
+
+TEST_P(QuantLinearTest, Int8LinearTracksFloat)
+{
+    const int64_t in_f = GetParam();
+    Rng rng(50);
+    Tensor x = Tensor::randn({4, in_f}, rng);
+    Tensor w = Tensor::randn({16, in_f}, rng, 0.0f,
+                             1.0f / std::sqrt(static_cast<float>(in_f)));
+    Tensor ref = linear(x, w, Tensor{});
+    Tensor qy = linearInt8(quantize(x), quantize(w), Tensor{});
+    EXPECT_LT(meanAbsError(ref, qy), 0.05 * ref.maxAbs() + 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantLinearTest,
+                         testing::Values<int64_t>(8, 32, 64, 256));
+
+TEST(QuantLinear, BiasAppliedInFloat)
+{
+    Tensor x({1, 2}, std::vector<float>{0.0f, 0.0f});
+    Tensor w({1, 2}, std::vector<float>{1.0f, 1.0f});
+    Tensor b({1}, std::vector<float>{0.123f});
+    Tensor y = linearInt8(quantize(x), quantize(w), b);
+    EXPECT_FLOAT_EQ(y[0], 0.123f);
+}
+
+TEST(MeanAbsError, Basics)
+{
+    Tensor a({2}, std::vector<float>{1.0f, 2.0f});
+    Tensor b({2}, std::vector<float>{2.0f, 0.0f});
+    EXPECT_DOUBLE_EQ(meanAbsError(a, b), 1.5);
+    EXPECT_DOUBLE_EQ(meanAbsError(a, a), 0.0);
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,211 @@
+/** @file Tests of ResNet-50 / OFA subnets and the DETR family. */
+
+#include <gtest/gtest.h>
+
+#include "graph/executor.hh"
+#include "models/detr.hh"
+#include "models/ofa.hh"
+#include "models/resnet.hh"
+#include "profile/flops_profile.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Resnet, StandardR50Params)
+{
+    ResnetConfig cfg;
+    cfg.imageH = cfg.imageW = 224;
+    Graph g = buildResnet(cfg);
+    // Published ResNet-50: 25.6 M params, 4.1 GMACs at 224x224.
+    EXPECT_NEAR(g.totalParams() / 1e6, 25.6, 1.5);
+    EXPECT_NEAR(g.totalFlops() / 1e9, 4.1, 0.4);
+}
+
+TEST(Resnet, StageStrides)
+{
+    ResnetConfig cfg;
+    cfg.imageH = 480;
+    cfg.imageW = 640;
+    cfg.headless = true;
+    Graph g = buildResnet(cfg);
+    const Shape &c5 = g.layer(g.outputs()[0]).outShape;
+    EXPECT_EQ(c5, (Shape{1, 2048, 15, 20})); // stride 32
+}
+
+TEST(Resnet, WidthMultShrinksChannels)
+{
+    ResnetConfig narrow;
+    narrow.widthMult = 0.65;
+    narrow.headless = true;
+    Graph g = buildResnet(narrow);
+    ResnetConfig full;
+    full.headless = true;
+    Graph f = buildResnet(full);
+    EXPECT_LT(g.totalParams(), f.totalParams());
+    EXPECT_LT(g.totalFlops(), f.totalFlops());
+}
+
+TEST(Resnet, ExpandRatioControlsMidChannels)
+{
+    ResnetConfig lo;
+    lo.expandRatio = 0.2;
+    lo.headless = true;
+    ResnetConfig hi;
+    hi.expandRatio = 0.35;
+    hi.headless = true;
+    EXPECT_LT(buildResnet(lo).totalFlops(),
+              buildResnet(hi).totalFlops());
+}
+
+TEST(Resnet, SmallModelExecutes)
+{
+    ResnetConfig cfg;
+    cfg.imageH = cfg.imageW = 64;
+    cfg.widthMult = 0.65;
+    cfg.depths = {1, 1, 1, 1};
+    cfg.numClasses = 10;
+    Graph g = buildResnet(cfg);
+    Executor exec(g, 1);
+    Rng rng(1);
+    Tensor out = exec.runSimple(Tensor::randn({1, 3, 64, 64}, rng));
+    EXPECT_EQ(out.shape(), (Shape{1, 1, 10}));
+}
+
+TEST(Ofa, CatalogOrderedByAccuracy)
+{
+    auto catalog = ofaResnet50Catalog();
+    ASSERT_GE(catalog.size(), 5u);
+    for (size_t i = 1; i < catalog.size(); ++i)
+        EXPECT_LE(catalog[i].normalizedAccuracy,
+                  catalog[i - 1].normalizedAccuracy);
+    EXPECT_DOUBLE_EQ(catalog.front().normalizedAccuracy, 1.0);
+}
+
+TEST(Ofa, AllAboveFivePercentDrop)
+{
+    // The OFA accuracy range (76.1 - 79.8 top-1) keeps every subnet
+    // within 5% of the full model, which is what lets the paper claim
+    // 57% time savings at <5% accuracy drop.
+    for (const OfaSubnet &s : ofaResnet50Catalog())
+        EXPECT_GT(s.normalizedAccuracy, 0.95) << s.name;
+}
+
+TEST(Ofa, FlopsSpanIsWide)
+{
+    auto catalog = ofaResnet50Catalog();
+    Graph largest = buildResnet(catalog.front().config);
+    Graph smallest = buildResnet(catalog.back().config);
+    // The catalog must span enough compute range to offer >50% savings.
+    EXPECT_LT(static_cast<double>(smallest.totalFlops()) /
+                  largest.totalFlops(),
+              0.45);
+}
+
+TEST(Ofa, FlopsMonotoneWithAccuracy)
+{
+    auto catalog = ofaResnet50Catalog();
+    int64_t prev = buildResnet(catalog.front().config).totalFlops() + 1;
+    for (const OfaSubnet &s : ofaResnet50Catalog()) {
+        const int64_t f = buildResnet(s.config).totalFlops();
+        EXPECT_LT(f, prev) << s.name;
+        prev = f;
+    }
+}
+
+TEST(Detr, PublishedParams)
+{
+    Graph g = buildDetr(detrConfig());
+    // Table I: 41 M parameters.
+    EXPECT_NEAR(g.totalParams() / 1e6, 41.0, 2.0);
+}
+
+TEST(Detr, BackboneDominatesFlops)
+{
+    Graph g = buildDetr(detrConfig());
+    const double bb = static_cast<double>(stageFlops(g, "backbone"));
+    EXPECT_GT(bb / g.totalFlops(), 0.75);
+}
+
+TEST(Detr, TwoHeadsWithQueryShapes)
+{
+    DetrConfig cfg = detrConfig();
+    Graph g = buildDetr(cfg);
+    ASSERT_EQ(g.outputs().size(), 2u);
+    const Shape &cls = g.layer(g.findLayer("class_embed")).outShape;
+    EXPECT_EQ(cls, (Shape{1, cfg.numQueries, cfg.numClasses + 1}));
+    const Shape &box = g.layer(g.findLayer("bbox_embed.2")).outShape;
+    EXPECT_EQ(box, (Shape{1, cfg.numQueries, 4}));
+}
+
+TEST(DeformableDetr, PublishedParamsAndFlopsRatio)
+{
+    Graph d = buildDetr(detrConfig());
+    Graph dd = buildDeformableDetr(deformableDetrConfig());
+    // Table I: 40 M params; FLOPs about 2x DETR (86 vs 173 GFLOPs).
+    EXPECT_NEAR(dd.totalParams() / 1e6, 40.0, 4.0);
+    EXPECT_NEAR(static_cast<double>(dd.totalFlops()) / d.totalFlops(),
+                2.0, 0.4);
+}
+
+TEST(DeformableDetr, MultiScaleProjectionsExist)
+{
+    Graph g = buildDeformableDetr(deformableDetrConfig());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_GE(g.findLayer("input_proj" + std::to_string(i)), 0);
+}
+
+TEST(Detr, SmallModelExecutes)
+{
+    DetrConfig cfg = detrConfig();
+    cfg.imageH = cfg.imageW = 64;
+    cfg.numQueries = 4;
+    cfg.hiddenDim = 32;
+    cfg.numHeads = 4;
+    cfg.ffnDim = 64;
+    cfg.encoderLayers = 1;
+    cfg.decoderLayers = 1;
+    cfg.backbone.widthMult = 0.65;
+    cfg.backbone.depths = {1, 1, 1, 1};
+    cfg.backbone.headless = true;
+    Graph g = buildDetr(cfg);
+
+    Executor exec(g, 1);
+    Rng rng(2);
+    std::map<std::string, Tensor> inputs;
+    inputs["image"] = Tensor::randn({1, 3, 64, 64}, rng);
+    inputs["queries"] = Tensor::randn({1, 4, 32}, rng);
+    auto outs = exec.run(inputs);
+    EXPECT_EQ(outs.at("class_embed").shape(),
+              (Shape{1, 4, cfg.numClasses + 1}));
+    EXPECT_EQ(outs.at("bbox_embed.2").shape(), (Shape{1, 4, 4}));
+}
+
+TEST(DeformableDetr, SmallModelExecutes)
+{
+    DetrConfig cfg = deformableDetrConfig();
+    cfg.imageH = cfg.imageW = 64;
+    cfg.numQueries = 4;
+    cfg.hiddenDim = 32;
+    cfg.numHeads = 4;
+    cfg.ffnDim = 64;
+    cfg.encoderLayers = 1;
+    cfg.decoderLayers = 1;
+    cfg.backbone.widthMult = 0.65;
+    cfg.backbone.depths = {1, 1, 1, 1};
+    Graph g = buildDeformableDetr(cfg);
+
+    Executor exec(g, 1);
+    Rng rng(3);
+    std::map<std::string, Tensor> inputs;
+    inputs["image"] = Tensor::randn({1, 3, 64, 64}, rng);
+    inputs["queries"] = Tensor::randn({1, 4, 32}, rng);
+    auto outs = exec.run(inputs);
+    EXPECT_EQ(outs.at("class_embed").shape(),
+              (Shape{1, 4, cfg.numClasses + 1}));
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,177 @@
+/** @file Tests of the SegFormer builder against the paper's published
+ * characterization (Table I, Fig 3) and structural invariants. */
+
+#include <gtest/gtest.h>
+
+#include "graph/executor.hh"
+#include "models/segformer.hh"
+#include "resilience/config.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Segformer, B2MatchesPublishedFlops)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    // Table I: 62.6 GFLOPs at 512x512 (MAC counting). Allow 5%.
+    EXPECT_NEAR(g.totalFlops() / 1e9, 62.6, 62.6 * 0.05);
+}
+
+TEST(Segformer, B2MatchesPublishedParams)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    // Table I: 27.6 M parameters. Allow 3%.
+    EXPECT_NEAR(g.totalParams() / 1e6, 27.6, 27.6 * 0.03);
+}
+
+TEST(Segformer, CityscapesFlops)
+{
+    Graph g = buildSegformer(segformerB2CityscapesConfig());
+    // Table I: 705 GFLOPs at 1024x2048. Allow 5%.
+    EXPECT_NEAR(g.totalFlops() / 1e9, 705.0, 705.0 * 0.05);
+}
+
+TEST(Segformer, FuseConvDominatesFlops)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    const Layer &fuse = g.layer(g.findLayer("Conv2DFuse"));
+    // Fig 3: Conv2DFuse alone is 62% of total FLOPs.
+    const double share =
+        static_cast<double>(fuse.flops()) / g.totalFlops();
+    EXPECT_NEAR(share, 0.62, 0.03);
+    EXPECT_EQ(fuse.attrs.inChannels, 3072);
+    EXPECT_EQ(fuse.attrs.outChannels, 768);
+    EXPECT_EQ(fuse.attrs.kernelH, 1);
+}
+
+TEST(Segformer, PredAndDecodeLinearShares)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    const double total = static_cast<double>(g.totalFlops());
+    // Fig 3: Conv2DPred 3%, DecodeLinear0 1.3%.
+    EXPECT_NEAR(g.layer(g.findLayer("Conv2DPred")).flops() / total,
+                0.03, 0.01);
+    EXPECT_NEAR(g.layer(g.findLayer("DecodeLinear0")).flops() / total,
+                0.013, 0.005);
+}
+
+TEST(Segformer, ConvShareMatchesPaper)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    int64_t conv = 0;
+    for (const Layer &l : g.layers())
+        if (l.category() == OpCategory::Conv)
+            conv += l.flops();
+    // Section II-B: 68% of FLOPs are in convolution layers.
+    EXPECT_NEAR(static_cast<double>(conv) / g.totalFlops(), 0.68, 0.03);
+}
+
+TEST(Segformer, VariantOrdering)
+{
+    Graph b0 = buildSegformer(segformerB0Config());
+    Graph b1 = buildSegformer(segformerB1Config());
+    Graph b2 = buildSegformer(segformerB2Config());
+    EXPECT_LT(b0.totalFlops(), b1.totalFlops());
+    EXPECT_LT(b1.totalFlops(), b2.totalFlops());
+    EXPECT_LT(b0.totalParams(), b1.totalParams());
+    EXPECT_LT(b1.totalParams(), b2.totalParams());
+    // Published sizes: B0 ~3.8M, B1 ~13.7M params.
+    EXPECT_NEAR(b0.totalParams() / 1e6, 3.8, 0.5);
+    EXPECT_NEAR(b1.totalParams() / 1e6, 13.7, 1.0);
+}
+
+TEST(Segformer, StageTagsPresent)
+{
+    Graph g = buildSegformer(segformerB2Config());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(g.layersInStage("encoder.stage" + std::to_string(i))
+                         .empty());
+    EXPECT_FALSE(g.layersInStage("decoder").empty());
+}
+
+TEST(Segformer, DepthsControlBlockCount)
+{
+    SegformerConfig cfg = segformerB2Config();
+    Graph full = buildSegformer(cfg);
+    cfg.depths = {1, 1, 1, 1};
+    Graph slim = buildSegformer(cfg);
+    EXPECT_LT(slim.numLayers(), full.numLayers());
+    EXPECT_LT(slim.totalFlops(), full.totalFlops());
+    // Output resolution unchanged.
+    EXPECT_EQ(slim.layer(slim.outputs()[0]).outShape,
+              full.layer(full.outputs()[0]).outShape);
+}
+
+TEST(Segformer, OutputIsFullResolutionLogits)
+{
+    SegformerConfig cfg = segformerB2Config();
+    cfg.imageH = cfg.imageW = 64; // small for the test
+    Graph g = buildSegformer(cfg);
+    const Shape &out = g.layer(g.outputs()[0]).outShape;
+    EXPECT_EQ(out, (Shape{1, cfg.numClasses, 64, 64}));
+}
+
+TEST(Segformer, SmallModelExecutes)
+{
+    SegformerConfig cfg = segformerB0Config();
+    cfg.imageH = cfg.imageW = 64;
+    cfg.numClasses = 8;
+    Graph g = buildSegformer(cfg);
+    Executor exec(g, 1);
+    Rng rng(1);
+    Tensor out = exec.runSimple(Tensor::randn({1, 3, 64, 64}, rng));
+    EXPECT_EQ(out.shape(), (Shape{1, 8, 64, 64}));
+    EXPECT_GT(out.maxAbs(), 0.0f);
+}
+
+TEST(Segformer, PruneCatalogConfigsBuild)
+{
+    // Every Table II configuration produces a consistent graph with
+    // monotonically matching fuse width.
+    SegformerConfig base = segformerB2Config();
+    for (const PruneConfig &config : segformerAdePruneCatalog()) {
+        Graph g = applySegformerPrune(base, config);
+        const Layer &fuse = g.layer(g.findLayer("Conv2DFuse"));
+        EXPECT_EQ(fuse.attrs.inChannels, config.fuseInChannels)
+            << config.label;
+        EXPECT_LE(g.totalFlops(),
+                  buildSegformer(base).totalFlops())
+            << config.label;
+    }
+}
+
+TEST(Segformer, PruneReducesFlopsMonotonically)
+{
+    SegformerConfig base = segformerB2Config();
+    const Graph full = buildSegformer(base);
+    int64_t prev = full.totalFlops() + 1;
+    for (const PruneConfig &config : segformerAdePruneCatalog()) {
+        Graph g = applySegformerPrune(base, config);
+        // Catalog is ordered from full model (A) to smallest (G).
+        EXPECT_LT(g.totalFlops(), prev) << config.label;
+        prev = g.totalFlops();
+    }
+}
+
+TEST(Segformer, BatchScalesFlopsLinearly)
+{
+    SegformerConfig cfg = segformerB2Config();
+    Graph b1 = buildSegformer(cfg);
+    cfg.batch = 4;
+    Graph b4 = buildSegformer(cfg);
+    EXPECT_NEAR(static_cast<double>(b4.totalFlops()) / b1.totalFlops(),
+                4.0, 0.01);
+}
+
+TEST(Segformer, RejectsUnalignedImage)
+{
+    SegformerConfig cfg = segformerB2Config();
+    cfg.imageH = 100;
+    EXPECT_DEATH(buildSegformer(cfg), "divisible by 32");
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,237 @@
+/** @file Tests of graph surgery: channel pruning with backward
+ * propagation (the Section III mechanism) and block bypass. */
+
+#include <gtest/gtest.h>
+
+#include "graph/executor.hh"
+#include "graph/surgery.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+Layer
+makeConv(const std::string &name, int input, int64_t in_c, int64_t out_c)
+{
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Conv2d;
+    l.attrs.inChannels = in_c;
+    l.attrs.outChannels = out_c;
+    l.inputs = {input};
+    return l;
+}
+
+Layer
+makeSimple(LayerKind kind, const std::string &name, std::vector<int> in)
+{
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.inputs = std::move(in);
+    return l;
+}
+
+/**
+ * The Conv2DPred pattern from the paper: conv -> BN -> ReLU -> conv.
+ * Pruning the second conv's inputs must propagate through BN/ReLU and
+ * shrink the first conv's outputs.
+ */
+TEST(Surgery, PruneThroughBnRelu)
+{
+    Graph g("pred_pattern");
+    int in = g.addInput("x", {1, 16, 8, 8});
+    int fuse = g.addLayer(makeConv("fuse", in, 16, 12));
+    Layer bn;
+    bn.name = "bn";
+    bn.kind = LayerKind::BatchNorm;
+    bn.attrs.inChannels = 12;
+    bn.inputs = {fuse};
+    int bnid = g.addLayer(std::move(bn));
+    int act = g.addLayer(makeSimple(LayerKind::ReLU, "relu", {bnid}));
+    int pred = g.addLayer(makeConv("pred", act, 12, 4));
+    g.markOutput(pred);
+
+    const int64_t before = g.totalMacs();
+    const int64_t saved = pruneInputChannels(g, "pred", 8);
+    EXPECT_EQ(g.totalMacs(), before - saved);
+    EXPECT_GT(saved, 0);
+
+    // Propagation shrank the producer chain.
+    EXPECT_EQ(g.layer(g.findLayer("fuse")).attrs.outChannels, 8);
+    EXPECT_EQ(g.layer(g.findLayer("bn")).attrs.inChannels, 8);
+    EXPECT_EQ(g.layer(g.findLayer("pred")).attrs.inChannels, 8);
+    // Exactly the fuse (16*12 -> 16*8) and pred (12*4 -> 8*4) savings.
+    const int64_t expected =
+        64LL * 16 * 4 /*fuse out drop*/ + 64LL * 4 * 4 /*pred in drop*/;
+    EXPECT_EQ(saved, expected);
+    // No Narrow needed: full propagation.
+    for (const Layer &l : g.layers())
+        EXPECT_NE(l.kind, LayerKind::Narrow) << l.name;
+}
+
+/**
+ * The Conv2DFuse pattern: concat of several contributions. Tail
+ * contributions are trimmed first and fully-trimmed producers die.
+ */
+TEST(Surgery, PruneConcatTrimsTailAndRemovesDeadProducers)
+{
+    Graph g("fuse_pattern");
+    int in = g.addInput("x", {1, 8, 4, 4});
+    int a = g.addLayer(makeConv("branch_a", in, 8, 6));
+    int b = g.addLayer(makeConv("branch_b", in, 8, 6));
+    int c = g.addLayer(makeConv("branch_c", in, 8, 6));
+    int cat = g.addLayer(makeSimple(LayerKind::Concat, "cat", {a, b, c}));
+    int fuse = g.addLayer(makeConv("fuse", cat, 18, 5));
+    g.markOutput(fuse);
+
+    // Keep 8 of 18 channels: branch_a intact (6), branch_b shrunk to
+    // 2, branch_c entirely dead.
+    pruneInputChannels(g, "fuse", 8);
+
+    EXPECT_EQ(g.layer(g.findLayer("branch_a")).attrs.outChannels, 6);
+    EXPECT_EQ(g.layer(g.findLayer("branch_b")).attrs.outChannels, 2);
+    EXPECT_EQ(g.findLayer("branch_c"), -1); // dead-code eliminated
+    EXPECT_EQ(g.layer(g.findLayer("fuse")).attrs.inChannels, 8);
+    EXPECT_EQ(g.layer(g.findLayer("cat")).outShape[1], 8);
+}
+
+/**
+ * The DecodeLinear0 pattern: the producer also feeds another consumer
+ * (the next encoder stage), so no upstream computation can be skipped
+ * — a Narrow slice is inserted instead.
+ */
+TEST(Surgery, PruneStopsAtSharedProducer)
+{
+    Graph g("dl0_pattern");
+    int in = g.addInput("x", {1, 8, 4, 4});
+    int stage0 = g.addLayer(makeConv("stage0", in, 8, 16));
+    int stage1 = g.addLayer(makeConv("stage1", stage0, 16, 16));
+    int decode = g.addLayer(makeConv("decode", stage0, 16, 4));
+    g.markOutput(stage1);
+    g.markOutput(decode);
+
+    const int64_t stage0_macs = g.layer(stage0).macs();
+    pruneInputChannels(g, "decode", 6);
+
+    // stage0 keeps its width (stage1 still needs it)...
+    EXPECT_EQ(g.layer(g.findLayer("stage0")).attrs.outChannels, 16);
+    EXPECT_EQ(g.layer(g.findLayer("stage0")).macs(), stage0_macs);
+    // ...and a Narrow slice feeds the pruned consumer.
+    const int did = g.findLayer("decode");
+    const Layer &narrow = g.layer(g.layer(did).inputs[0]);
+    EXPECT_EQ(narrow.kind, LayerKind::Narrow);
+    EXPECT_EQ(narrow.attrs.outChannels, 6);
+    EXPECT_EQ(g.layer(did).attrs.inChannels, 6);
+}
+
+TEST(Surgery, PruneGraphStillExecutes)
+{
+    Graph g("exec_after_prune");
+    int in = g.addInput("x", {1, 4, 6, 6});
+    int a = g.addLayer(makeConv("a", in, 4, 10));
+    int b = g.addLayer(makeConv("b", a, 10, 3));
+    g.markOutput(b);
+
+    pruneInputChannels(g, "b", 7);
+    Executor exec(g, 1);
+    Rng rng(1);
+    Tensor out = exec.runSimple(Tensor::randn({1, 4, 6, 6}, rng));
+    EXPECT_EQ(out.shape(), (Shape{1, 3, 6, 6}));
+}
+
+TEST(Surgery, PruneUnknownLayerFatal)
+{
+    Graph g("x");
+    g.addInput("x", {1, 4, 2, 2});
+    EXPECT_EXIT(pruneInputChannels(g, "nope", 2),
+                testing::ExitedWithCode(1), "no layer named");
+}
+
+TEST(Surgery, PruneTooManyChannelsPanics)
+{
+    Graph g("x");
+    int in = g.addInput("x", {1, 4, 2, 2});
+    g.markOutput(g.addLayer(makeConv("c", in, 4, 4)));
+    EXPECT_DEATH(pruneInputChannels(g, "c", 9), "bad channel count");
+}
+
+TEST(Surgery, BypassResidualBlock)
+{
+    // x -> [conv -> add(x)] -> out ; bypassing the block reroutes out
+    // to x.
+    Graph g("residual");
+    int in = g.addInput("x", {1, 4, 4, 4});
+    Layer conv = makeConv("block.conv", in, 4, 4);
+    conv.stage = "block1";
+    int cid = g.addLayer(std::move(conv));
+    Layer sum = makeSimple(LayerKind::Add, "block.add", {in, cid});
+    sum.stage = "block1";
+    int sid = g.addLayer(std::move(sum));
+    int out = g.addLayer(makeSimple(LayerKind::ReLU, "out", {sid}));
+    g.markOutput(out);
+
+    const int removed = bypassBlock(g, "block1");
+    EXPECT_EQ(removed, 2);
+    EXPECT_EQ(g.findLayer("block.conv"), -1);
+    // 'out' now consumes the graph input directly.
+    const Layer &o = g.layer(g.findLayer("out"));
+    EXPECT_EQ(g.layer(o.inputs[0]).kind, LayerKind::Input);
+}
+
+TEST(Surgery, BypassedGraphExecutesAsIdentityPlusTail)
+{
+    Graph g("residual_exec");
+    int in = g.addInput("x", {1, 4, 4, 4});
+    Layer conv = makeConv("block.conv", in, 4, 4);
+    conv.stage = "blockX";
+    int cid = g.addLayer(std::move(conv));
+    Layer sum = makeSimple(LayerKind::Add, "block.add", {in, cid});
+    sum.stage = "blockX";
+    int sid = g.addLayer(std::move(sum));
+    g.markOutput(g.addLayer(makeSimple(LayerKind::ReLU, "tail", {sid})));
+
+    bypassBlock(g, "blockX");
+    Executor exec(g, 3);
+    Rng rng(2);
+    Tensor x = Tensor::randn({1, 4, 4, 4}, rng);
+    // relu(x) exactly, since the block became the identity.
+    Tensor y = exec.runSimple(x);
+    for (int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_FLOAT_EQ(y[i], x[i] > 0 ? x[i] : 0.0f);
+}
+
+TEST(Surgery, BypassUnknownBlockFatal)
+{
+    Graph g("x");
+    g.addInput("x", {1});
+    EXPECT_EXIT(bypassBlock(g, "nope"), testing::ExitedWithCode(1),
+                "no layers tagged");
+}
+
+TEST(Surgery, BypassShapeChangingBlockPanics)
+{
+    Graph g("bad");
+    int in = g.addInput("x", {1, 4, 4, 4});
+    Layer conv = makeConv("c", in, 4, 8); // changes channel count
+    conv.stage = "blockY";
+    int cid = g.addLayer(std::move(conv));
+    g.markOutput(cid);
+    EXPECT_DEATH(bypassBlock(g, "blockY"), "not shape-preserving");
+}
+
+TEST(Surgery, EliminateDeadLayersCountsRemovals)
+{
+    Graph g("dce");
+    int in = g.addInput("x", {4});
+    int a = g.addLayer(makeSimple(LayerKind::ReLU, "a", {in}));
+    g.addLayer(makeSimple(LayerKind::ReLU, "dead", {in}));
+    g.markOutput(a);
+    EXPECT_EQ(eliminateDeadLayers(g), 1);
+    EXPECT_EQ(eliminateDeadLayers(g), 0);
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,179 @@
+/** @file Tests of Swin + UPerNet against published characterization
+ * (Table I, Fig 4/5) and structural invariants. */
+
+#include <gtest/gtest.h>
+
+#include "graph/executor.hh"
+#include "models/swin.hh"
+#include "resilience/config.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Swin, TinyMatchesPublishedFlops)
+{
+    Graph g = buildSwin(swinTinyConfig());
+    // Table I: 237 GFLOPs at 512x512 (MAC counting). Allow 5%.
+    EXPECT_NEAR(g.totalFlops() / 1e9, 237.0, 237.0 * 0.05);
+}
+
+TEST(Swin, TinyMatchesPublishedParams)
+{
+    Graph g = buildSwin(swinTinyConfig());
+    // Table I: 60 M parameters (backbone + UPerNet). Allow 5%.
+    EXPECT_NEAR(g.totalParams() / 1e6, 60.0, 60.0 * 0.05);
+}
+
+TEST(Swin, BaseIsTwiceTinyParams)
+{
+    Graph tiny = buildSwin(swinTinyConfig());
+    Graph base = buildSwin(swinBaseConfig());
+    // Section III-B: Swin Base requires twice as many parameters.
+    EXPECT_NEAR(static_cast<double>(base.totalParams()) /
+                    tiny.totalParams(),
+                2.0, 0.15);
+}
+
+TEST(Swin, FpnBottleneckDominates)
+{
+    Graph g = buildSwin(swinTinyConfig());
+    const Layer &fb = g.layer(g.findLayer("fpn_bottleneck_Conv2D"));
+    // Fig 4: fpn_bottleneck is 65% of Swin-Tiny FLOPs.
+    EXPECT_NEAR(static_cast<double>(fb.flops()) / g.totalFlops(), 0.65,
+                0.04);
+    EXPECT_EQ(fb.attrs.inChannels, 2048);
+    EXPECT_EQ(fb.attrs.outChannels, 512);
+    EXPECT_EQ(fb.attrs.kernelH, 3);
+}
+
+TEST(Swin, FpnConvShares)
+{
+    Graph g = buildSwin(swinTinyConfig());
+    const double total = static_cast<double>(g.totalFlops());
+    // Fig 4: fpn_convs_0 16%, fpn_convs_1 4%.
+    EXPECT_NEAR(g.layer(g.findLayer("fpn_convs_0_Conv2D")).flops() /
+                    total,
+                0.16, 0.02);
+    EXPECT_NEAR(g.layer(g.findLayer("fpn_convs_1_Conv2D")).flops() /
+                    total,
+                0.04, 0.01);
+}
+
+TEST(Swin, ConvAndDecoderShares)
+{
+    Graph g = buildSwin(swinTinyConfig());
+    int64_t conv = 0;
+    int64_t conv_decoder = 0;
+    for (const Layer &l : g.layers()) {
+        if (l.category() != OpCategory::Conv)
+            continue;
+        conv += l.flops();
+        if (l.stage.rfind("decoder", 0) == 0)
+            conv_decoder += l.flops();
+    }
+    // Section II-B: 89% of FLOPs in convolutions; 99% of convolution
+    // FLOPs live in the decoder.
+    EXPECT_NEAR(static_cast<double>(conv) / g.totalFlops(), 0.89, 0.04);
+    EXPECT_GT(static_cast<double>(conv_decoder) / conv, 0.97);
+}
+
+TEST(Swin, DecoderDominatesFlops)
+{
+    Graph g = buildSwin(swinTinyConfig());
+    int64_t dec = 0;
+    for (const Layer &l : g.layers())
+        if (l.stage.rfind("decoder", 0) == 0)
+            dec += l.flops();
+    // Section II-B: 89% of FLOPs are in the decoder.
+    EXPECT_NEAR(static_cast<double>(dec) / g.totalFlops(), 0.89, 0.04);
+}
+
+class SwinImageSize : public testing::TestWithParam<int64_t> {};
+
+TEST_P(SwinImageSize, BottleneckShareGrowsWithImage)
+{
+    // Fig 5: the decoder fusion conv dominates across image sizes and
+    // its share grows with resolution (attention's L^2 terms shrink
+    // relative to it... actually both scale; the share stays majority).
+    SwinConfig cfg = swinTinyConfig();
+    cfg.imageH = cfg.imageW = GetParam();
+    Graph g = buildSwin(cfg);
+    const Layer &fb = g.layer(g.findLayer("fpn_bottleneck_Conv2D"));
+    EXPECT_GT(static_cast<double>(fb.flops()) / g.totalFlops(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SwinImageSize,
+                         testing::Values<int64_t>(256, 512, 768, 1024));
+
+TEST(Swin, VariantOrdering)
+{
+    Graph t = buildSwin(swinTinyConfig());
+    Graph s = buildSwin(swinSmallConfig());
+    Graph b = buildSwin(swinBaseConfig());
+    EXPECT_LT(t.totalParams(), s.totalParams());
+    EXPECT_LT(s.totalParams(), b.totalParams());
+    EXPECT_LT(t.totalFlops(), s.totalFlops());
+    EXPECT_LT(s.totalFlops(), b.totalFlops());
+}
+
+TEST(Swin, SmallModelExecutes)
+{
+    SwinConfig cfg = swinTinyConfig();
+    cfg.imageH = cfg.imageW = 224; // grids divisible by window 7
+    cfg.numClasses = 5;
+    cfg.depths = {1, 1, 1, 1};
+    Graph g = buildSwin(cfg);
+    Executor exec(g, 1);
+    Rng rng(1);
+    Tensor out = exec.runSimple(Tensor::randn({1, 3, 224, 224}, rng));
+    EXPECT_EQ(out.shape(), (Shape{1, 5, 224, 224}));
+}
+
+TEST(Swin, PaddedGridModelExecutes)
+{
+    // 64x64 input: stage grids 16, 8, 4, 2 are not multiples of 7;
+    // the pad/crop resize path must keep execution consistent.
+    SwinConfig cfg = swinTinyConfig();
+    cfg.imageH = cfg.imageW = 64;
+    cfg.numClasses = 4;
+    cfg.depths = {1, 1, 1, 1};
+    cfg.embedDim = 8;
+    cfg.numHeads = {1, 2, 4, 8};
+    cfg.decoderChannels = 16;
+    Graph g = buildSwin(cfg);
+    Executor exec(g, 1);
+    Rng rng(2);
+    Tensor out = exec.runSimple(Tensor::randn({1, 3, 64, 64}, rng));
+    EXPECT_EQ(out.shape(), (Shape{1, 4, 64, 64}));
+}
+
+TEST(Swin, TableIIIConfigsBuild)
+{
+    SwinConfig base = swinBaseConfig();
+    const Graph full = buildSwin(base);
+    for (const PruneConfig &config : swinBasePruneCatalog()) {
+        Graph g = applySwinPrune(base, config);
+        EXPECT_LE(g.totalFlops(), full.totalFlops()) << config.label;
+        const Layer &fb = g.layer(g.findLayer("fpn_bottleneck_Conv2D"));
+        EXPECT_EQ(fb.attrs.inChannels, config.fuseInChannels)
+            << config.label;
+    }
+}
+
+TEST(Swin, PpmPoolScalesPresent)
+{
+    Graph g = buildSwin(swinTinyConfig());
+    for (int64_t scale : {1, 2, 3, 6}) {
+        const int id =
+            g.findLayer("decoder.ppm" + std::to_string(scale) + ".pool");
+        ASSERT_GE(id, 0) << "missing PPM scale " << scale;
+        EXPECT_EQ(g.layer(id).outShape[2], scale);
+        EXPECT_EQ(g.layer(id).outShape[3], scale);
+    }
+}
+
+} // namespace
+} // namespace vitdyn

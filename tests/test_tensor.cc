@@ -1,0 +1,150 @@
+/** @file Unit tests for the Tensor value type. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Shape, Numel)
+{
+    EXPECT_EQ(shapeNumel({2, 3, 4}), 24);
+    EXPECT_EQ(shapeNumel({}), 1);
+    EXPECT_EQ(shapeNumel({5}), 5);
+    EXPECT_EQ(shapeNumel({7, 0, 3}), 0);
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ(shapeToString({1, 3, 8, 8}), "[1, 3, 8, 8]");
+    EXPECT_EQ(shapeToString({}), "[]");
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    Tensor t({4}, 2.5f);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, ExplicitDataConstructor)
+{
+    Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+    EXPECT_EQ(t.at2(0, 1), 2.0f);
+    EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(Tensor, DataSizeMismatchPanics)
+{
+    EXPECT_DEATH(Tensor({3}, std::vector<float>{1, 2}), "data size");
+}
+
+TEST(Tensor, At4RowMajor)
+{
+    Tensor t({2, 3, 4, 5});
+    t.at4(1, 2, 3, 4) = 7.0f;
+    EXPECT_EQ(t[1 * 60 + 2 * 20 + 3 * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, At3RowMajor)
+{
+    Tensor t({2, 4, 3});
+    t.at3(1, 2, 1) = 5.0f;
+    EXPECT_EQ(t[1 * 12 + 2 * 3 + 1], 5.0f);
+}
+
+TEST(Tensor, NegativeDimIndexing)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.dim(-1), 4);
+    EXPECT_EQ(t.dim(-3), 2);
+    EXPECT_EQ(t.dim(1), 3);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 6}, std::vector<float>(12, 1.0f));
+    t.at2(1, 5) = 9.0f;
+    Tensor r = t.reshaped({3, 4});
+    EXPECT_EQ(r.shape(), (Shape{3, 4}));
+    EXPECT_EQ(r[11], 9.0f);
+}
+
+TEST(Tensor, ReshapeInfersDimension)
+{
+    Tensor t({4, 6});
+    Tensor r = t.reshaped({2, -1});
+    EXPECT_EQ(r.dim(1), 12);
+}
+
+TEST(Tensor, ReshapeBadCountPanics)
+{
+    Tensor t({4});
+    EXPECT_DEATH(t.reshaped({3}), "reshape");
+}
+
+TEST(Tensor, SumAndMaxAbs)
+{
+    Tensor t({3}, std::vector<float>{1.0f, -4.0f, 2.0f});
+    EXPECT_DOUBLE_EQ(t.sum(), -1.0);
+    EXPECT_EQ(t.maxAbs(), 4.0f);
+}
+
+TEST(Tensor, AllCloseTolerance)
+{
+    Tensor a({2}, std::vector<float>{1.0f, 2.0f});
+    Tensor b({2}, std::vector<float>{1.0f, 2.0f + 1e-6f});
+    Tensor c({2}, std::vector<float>{1.0f, 2.1f});
+    EXPECT_TRUE(a.allClose(b));
+    EXPECT_FALSE(a.allClose(c));
+}
+
+TEST(Tensor, AllCloseShapeMismatch)
+{
+    Tensor a({2});
+    Tensor b({2, 1});
+    EXPECT_FALSE(a.allClose(b));
+}
+
+TEST(Tensor, RandnDeterministic)
+{
+    Rng r1(5);
+    Rng r2(5);
+    Tensor a = Tensor::randn({16}, r1);
+    Tensor b = Tensor::randn({16}, r2);
+    EXPECT_TRUE(a.allClose(b, 0.0f));
+}
+
+TEST(Tensor, RandnMoments)
+{
+    Rng rng(21);
+    Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+    EXPECT_NEAR(t.sum() / t.numel(), 1.0, 0.1);
+}
+
+TEST(Tensor, HeInitVariance)
+{
+    Rng rng(33);
+    const int64_t fan_in = 128;
+    Tensor w = Tensor::heInit({256, fan_in}, rng, fan_in);
+    double sq = 0.0;
+    for (int64_t i = 0; i < w.numel(); ++i)
+        sq += w[i] * w[i];
+    const double var = sq / w.numel();
+    EXPECT_NEAR(var, 2.0 / fan_in, 0.002);
+}
+
+} // namespace
+} // namespace vitdyn

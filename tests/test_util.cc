@@ -1,0 +1,192 @@
+/** @file Unit tests for the util substrate: RNG, tables, arg parsing. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/args.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-2.0, 5.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = rng.uniformInt(0, 7);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 7);
+        saw_lo |= v == 0;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard)
+{
+    Rng rng(13);
+    const int n = 100000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaling)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 0.5);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Table, RejectsMismatchedRowWidth)
+{
+    Table t("x", {"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "row width");
+}
+
+TEST(Table, RendersAllCells)
+{
+    Table t("demo", {"col1", "col2"});
+    t.addRow({"hello", "world"});
+    t.addRow({"42", "43"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("hello"), std::string::npos);
+    EXPECT_NE(s.find("43"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvEscapesCommas)
+{
+    Table t("csv", {"a"});
+    t.addRow({"x,y"});
+    EXPECT_NE(t.toCsv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, CsvHeaderFirst)
+{
+    Table t("csv", {"alpha", "beta"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv().rfind("alpha,beta\n", 0), 0u);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, IntWithCommas)
+{
+    EXPECT_EQ(Table::intWithCommas(4415208), "4,415,208");
+    EXPECT_EQ(Table::intWithCommas(12), "12");
+    EXPECT_EQ(Table::intWithCommas(-1234), "-1,234");
+    EXPECT_EQ(Table::intWithCommas(0), "0");
+}
+
+TEST(ArgParser, DefaultsAndOverrides)
+{
+    ArgParser p;
+    p.addOption("count", "5", "a count");
+    p.addFlag("verbose", "talk more");
+
+    const char *argv[] = {"prog", "--count", "9", "--verbose"};
+    p.parse(4, const_cast<char **>(argv));
+    EXPECT_EQ(p.getInt("count"), 9);
+    EXPECT_TRUE(p.getFlag("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntax)
+{
+    ArgParser p;
+    p.addOption("rate", "1.0", "a rate");
+    const char *argv[] = {"prog", "--rate=2.5"};
+    p.parse(2, const_cast<char **>(argv));
+    EXPECT_DOUBLE_EQ(p.getDouble("rate"), 2.5);
+}
+
+TEST(ArgParser, UnknownOptionIsFatal)
+{
+    ArgParser p;
+    const char *argv[] = {"prog", "--nope", "1"};
+    EXPECT_EXIT(p.parse(3, const_cast<char **>(argv)),
+                testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(ArgParser, UnparsedKeepsDefault)
+{
+    ArgParser p;
+    p.addOption("size", "128", "a size");
+    const char *argv[] = {"prog"};
+    p.parse(1, const_cast<char **>(argv));
+    EXPECT_EQ(p.getInt("size"), 128);
+}
+
+} // namespace
+} // namespace vitdyn

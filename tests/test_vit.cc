@@ -1,0 +1,146 @@
+/** @file Tests of the conv-free ViT / BERT baselines: the Section II
+ * contrast point ("zero convolutions in ViT and BERT"). */
+
+#include <gtest/gtest.h>
+
+#include "graph/executor.hh"
+#include "models/vit.hh"
+#include "profile/flops_profile.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Vit, ZeroConvolutions)
+{
+    Graph g = buildVit(vitB16Config());
+    for (const Layer &l : g.layers())
+        EXPECT_NE(l.kind, LayerKind::Conv2d) << l.name;
+    EXPECT_DOUBLE_EQ(convFlopsShare(g), 0.0);
+}
+
+TEST(Vit, B16MatchesPublishedNumbers)
+{
+    // ViT-B/16 at 224x224: ~86 M params, ~17.6 GMACs.
+    Graph g = buildVit(vitB16Config());
+    EXPECT_NEAR(g.totalParams() / 1e6, 86.0, 4.0);
+    EXPECT_NEAR(g.totalFlops() / 1e9, 17.6, 1.5);
+}
+
+TEST(Vit, L16LargerThanB16)
+{
+    Graph b = buildVit(vitB16Config());
+    Graph l = buildVit(vitL16Config());
+    // Published ViT-L/16: ~307 M params.
+    EXPECT_NEAR(l.totalParams() / 1e6, 307.0, 15.0);
+    EXPECT_GT(l.totalFlops(), 3 * b.totalFlops());
+}
+
+TEST(Vit, MatMulDominates)
+{
+    // The inverse of the paper's modern-ViT finding: with no convs,
+    // virtually all FLOPs are matmuls (linear + attention).
+    Graph g = buildVit(vitB16Config());
+    int64_t matmul = 0;
+    for (const Layer &l : g.layers())
+        if (l.category() == OpCategory::MatMul)
+            matmul += l.flops();
+    EXPECT_GT(static_cast<double>(matmul) / g.totalFlops(), 0.98);
+}
+
+TEST(Vit, TokenCountFromPatches)
+{
+    VitConfig cfg = vitB16Config();
+    Graph g = buildVit(cfg);
+    const Shape &tokens = g.layer(g.findLayer("patch_proj")).outShape;
+    EXPECT_EQ(tokens, (Shape{1, 196, 768}));
+}
+
+TEST(Vit, SmallModelExecutes)
+{
+    VitConfig cfg;
+    cfg.imageH = cfg.imageW = 32;
+    cfg.patch = 8;
+    cfg.embedDim = 16;
+    cfg.depth = 2;
+    cfg.numHeads = 2;
+    cfg.numClasses = 10;
+    Graph g = buildVit(cfg);
+    Executor exec(g, 1);
+    Rng rng(1);
+    Tensor out = exec.runSimple(Tensor::randn({1, 3, 32, 32}, rng));
+    EXPECT_EQ(out.shape(), (Shape{1, 16, 10}));
+}
+
+TEST(Vit, PatchifyRelayoutExact)
+{
+    // Patchify must place patch pixels channel-major, exactly as the
+    // executor's inverse bookkeeping assumes.
+    Graph g("p");
+    int in = g.addInput("x", {1, 1, 4, 4});
+    Layer p;
+    p.name = "patchify";
+    p.kind = LayerKind::Patchify;
+    p.attrs.kernelH = 2;
+    p.inputs = {in};
+    g.markOutput(g.addLayer(std::move(p)));
+
+    Executor exec(g, 1);
+    Tensor x({1, 1, 4, 4});
+    for (int64_t i = 0; i < 16; ++i)
+        x[i] = static_cast<float>(i);
+    Tensor y = exec.runSimple(x);
+    EXPECT_EQ(y.shape(), (Shape{1, 4, 4}));
+    // First patch holds pixels (0,0), (0,1), (1,0), (1,1) = 0,1,4,5.
+    EXPECT_FLOAT_EQ(y.at3(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at3(0, 0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(y.at3(0, 0, 2), 4.0f);
+    EXPECT_FLOAT_EQ(y.at3(0, 0, 3), 5.0f);
+    // Second patch starts at (0, 2).
+    EXPECT_FLOAT_EQ(y.at3(0, 1, 0), 2.0f);
+}
+
+TEST(Bert, ZeroConvolutionsAndPublishedSize)
+{
+    Graph g = buildBert(BertConfig{});
+    EXPECT_DOUBLE_EQ(convFlopsShare(g), 0.0);
+    // BERT-Base encoder stack: ~85 M params (without embeddings).
+    EXPECT_NEAR(g.totalParams() / 1e6, 85.0, 5.0);
+}
+
+TEST(Bert, AttentionShareGrowsWithSequence)
+{
+    auto attention_share = [](int64_t seq) {
+        BertConfig cfg;
+        cfg.seqLen = seq;
+        Graph g = buildBert(cfg);
+        int64_t attn = 0;
+        for (const Layer &l : g.layers())
+            if (l.kind == LayerKind::AttentionScore ||
+                l.kind == LayerKind::AttentionContext)
+                attn += l.flops();
+        return static_cast<double>(attn) / g.totalFlops();
+    };
+    EXPECT_LT(attention_share(128), attention_share(512));
+    EXPECT_LT(attention_share(512), attention_share(2048));
+}
+
+TEST(Bert, SmallModelExecutes)
+{
+    BertConfig cfg;
+    cfg.seqLen = 8;
+    cfg.embedDim = 16;
+    cfg.depth = 2;
+    cfg.numHeads = 2;
+    cfg.ffnDim = 32;
+    Graph g = buildBert(cfg);
+    Executor exec(g, 1);
+    Rng rng(2);
+    Tensor out = exec.runSimple(Tensor::randn({1, 8, 16}, rng));
+    EXPECT_EQ(out.shape(), (Shape{1, 8, 16}));
+}
+
+} // namespace
+} // namespace vitdyn

@@ -1,0 +1,164 @@
+/** @file Tests of the synthetic workload generator and mIoU metrics. */
+
+#include <gtest/gtest.h>
+
+#include "workload/metrics.hh"
+#include "workload/synthetic.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Synthetic, SampleShapesAndRanges)
+{
+    SyntheticSegmentation gen(32, 48, 8);
+    Rng rng(1);
+    SegmentationSample s = gen.nextSample(rng);
+    EXPECT_EQ(s.image.shape(), (Shape{1, 3, 32, 48}));
+    EXPECT_EQ(s.labels.size(), 32u * 48);
+    for (int label : s.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 8);
+    }
+}
+
+TEST(Synthetic, Deterministic)
+{
+    SyntheticSegmentation gen(16, 16, 4);
+    Rng r1(7);
+    Rng r2(7);
+    SegmentationSample a = gen.nextSample(r1);
+    SegmentationSample b = gen.nextSample(r2);
+    EXPECT_TRUE(a.image.allClose(b.image, 0.0f));
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Synthetic, ScenesContainObjects)
+{
+    SyntheticSegmentation gen(64, 64, 6, 8);
+    Rng rng(3);
+    int scenes_with_fg = 0;
+    for (int i = 0; i < 10; ++i) {
+        SegmentationSample s = gen.nextSample(rng);
+        for (int label : s.labels)
+            if (label != 0) {
+                ++scenes_with_fg;
+                break;
+            }
+    }
+    EXPECT_EQ(scenes_with_fg, 10);
+}
+
+TEST(Synthetic, LabelsCorrelateWithColor)
+{
+    // Two pixels with the same label share the same class color (up to
+    // texture), so the image statistics carry the labels.
+    SyntheticSegmentation gen(64, 64, 4, 6);
+    Rng rng(5);
+    SegmentationSample s = gen.nextSample(rng);
+    // Gather per-class mean red value; classes should differ.
+    std::vector<double> mean(4, 0.0);
+    std::vector<int> count(4, 0);
+    for (int64_t y = 0; y < 64; ++y)
+        for (int64_t x = 0; x < 64; ++x) {
+            const int c = s.labels[y * 64 + x];
+            mean[c] += s.image.at4(0, 0, y, x);
+            ++count[c];
+        }
+    int distinct = 0;
+    for (int c = 0; c < 4; ++c)
+        if (count[c] > 50)
+            ++distinct;
+    EXPECT_GE(distinct, 2);
+}
+
+TEST(Metrics, ArgmaxLabels)
+{
+    Tensor logits({1, 3, 1, 2});
+    logits.at4(0, 0, 0, 0) = 5.0f; // pixel 0 -> class 0
+    logits.at4(0, 2, 0, 1) = 9.0f; // pixel 1 -> class 2
+    auto labels = argmaxLabels(logits);
+    EXPECT_EQ(labels, (std::vector<int>{0, 2}));
+}
+
+TEST(Metrics, PerfectPredictionIsOne)
+{
+    std::vector<int> gt{0, 1, 2, 1, 0};
+    EXPECT_DOUBLE_EQ(meanIoU(gt, gt, 3), 1.0);
+    EXPECT_DOUBLE_EQ(pixelAccuracy(gt, gt), 1.0);
+}
+
+TEST(Metrics, DisjointPredictionIsZero)
+{
+    std::vector<int> gt{0, 0, 0};
+    std::vector<int> pred{1, 1, 1};
+    EXPECT_DOUBLE_EQ(meanIoU(pred, gt, 2), 0.0);
+    EXPECT_DOUBLE_EQ(pixelAccuracy(pred, gt), 0.0);
+}
+
+TEST(Metrics, HandComputedIoU)
+{
+    // Class 0: pred {0,1}, gt {0,2}: inter 1 (pixel 0), union 3.
+    // Class 1: pred {2,3}, gt {1,3}: inter 1 (pixel 3), union 3.
+    std::vector<int> gt{0, 1, 0, 1};
+    std::vector<int> pred{0, 0, 1, 1};
+    EXPECT_NEAR(meanIoU(pred, gt, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, AbsentClassesExcluded)
+{
+    // Class 5 never appears: the mean is over present classes only.
+    std::vector<int> gt{0, 0, 1, 1};
+    std::vector<int> pred{0, 0, 1, 1};
+    EXPECT_DOUBLE_EQ(meanIoU(pred, gt, 6), 1.0);
+}
+
+TEST(Metrics, SymmetricForLabelMaps)
+{
+    std::vector<int> a{0, 1, 2, 2, 1};
+    std::vector<int> b{0, 2, 2, 1, 1};
+    EXPECT_DOUBLE_EQ(meanIoU(a, b, 3), meanIoU(b, a, 3));
+}
+
+TEST(Metrics, MismatchedSizesPanic)
+{
+    std::vector<int> a{0, 1};
+    std::vector<int> b{0};
+    EXPECT_DEATH(meanIoU(a, b, 2), "size mismatch");
+}
+
+TEST(Metrics, AgreementMiouSelfIsOne)
+{
+    Rng rng(9);
+    Tensor logits = Tensor::randn({1, 5, 8, 8}, rng);
+    EXPECT_DOUBLE_EQ(agreementMiou(logits, logits), 1.0);
+}
+
+TEST(Metrics, AgreementMiouDropsWithNoise)
+{
+    Rng rng(11);
+    Tensor ref = Tensor::randn({1, 5, 16, 16}, rng);
+    Tensor mild = ref;
+    Tensor heavy = ref;
+    Rng noise(12);
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+        mild[i] += 0.1f * static_cast<float>(noise.normal());
+        heavy[i] += 3.0f * static_cast<float>(noise.normal());
+    }
+    const double m = agreementMiou(ref, mild);
+    const double h = agreementMiou(ref, heavy);
+    EXPECT_GT(m, h);
+    EXPECT_GT(m, 0.5);
+    EXPECT_LT(h, 0.6);
+}
+
+TEST(Metrics, RandomImageShape)
+{
+    Rng rng(1);
+    Tensor img = randomImage(2, 16, 24, rng);
+    EXPECT_EQ(img.shape(), (Shape{2, 3, 16, 24}));
+}
+
+} // namespace
+} // namespace vitdyn

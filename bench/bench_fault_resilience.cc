@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Fault-resilience campaign: a 500-frame closed-loop run (budget
+ * controller in the loop, real tensor execution per frame) under
+ * transient activation faults, comparing the hardened engine
+ * (health checks + quarantine + retry) against an unhardened baseline
+ * that delivers whatever comes out.
+ *
+ * An "abort" is a frame whose delivered output failed the numeric
+ * health checks — a production baseline would crash or drop it, so it
+ * contributes zero accuracy. The hardened engine retries on the next
+ * healthy Pareto path instead and pays a small accuracy cost.
+ *
+ * Everything is seeded: the same binary produces a byte-identical
+ * fault_resilience.csv on every run (deterministic campaigns).
+ */
+
+#include "bench_common.hh"
+
+#include "engine/controller.hh"
+#include "engine/engine.hh"
+#include "fault/fault.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+constexpr int kFrames = 500;
+constexpr double kDeadlineMs = 115.0;
+
+SegformerConfig
+tinyBase()
+{
+    SegformerConfig cfg;
+    cfg.name = "segformer_fault_bench";
+    cfg.imageH = cfg.imageW = 64;
+    cfg.numClasses = 6;
+    cfg.embedDims = {8, 16, 24, 32};
+    cfg.depths = {2, 2, 2, 2};
+    cfg.numHeads = {1, 2, 3, 4};
+    cfg.decoderDim = 32;
+    return cfg;
+}
+
+/**
+ * Four Pareto points with closely spaced accuracies, so degrading one
+ * step under a fault costs little delivered accuracy — the setting the
+ * graceful-degradation design targets.
+ */
+std::vector<TradeoffPoint>
+fourPoints()
+{
+    std::vector<TradeoffPoint> pts(4);
+    pts[0].config = {"full", {2, 2, 2, 2}, 0, 0, 0, 1.0, 1.0};
+    pts[0].normalizedUtil = 1.0;
+    pts[0].absoluteUtil = 100.0;
+    pts[0].normalizedMiou = 1.0;
+    pts[1].config = {"d1", {2, 2, 2, 1}, 96, 0, 0, 0.88, 0.98};
+    pts[1].normalizedUtil = 0.88;
+    pts[1].absoluteUtil = 88.0;
+    pts[1].normalizedMiou = 0.98;
+    pts[2].config = {"d2", {2, 2, 1, 1}, 72, 0, 0, 0.76, 0.96};
+    pts[2].normalizedUtil = 0.76;
+    pts[2].absoluteUtil = 76.0;
+    pts[2].normalizedMiou = 0.96;
+    pts[3].config = {"d3", {1, 1, 1, 1}, 48, 0, 0, 0.62, 0.92};
+    pts[3].normalizedUtil = 0.62;
+    pts[3].absoluteUtil = 62.0;
+    pts[3].normalizedMiou = 0.92;
+    return pts;
+}
+
+struct CampaignStats
+{
+    int aborts = 0;          ///< Frames delivered unhealthy.
+    int degradedFrames = 0;
+    int retries = 0;
+    int quarantineEntries = 0;
+    int deadlineMisses = 0;
+    double meanAccuracy = 0.0;
+};
+
+/**
+ * Run one 500-frame closed-loop campaign. The budget controller sees
+ * the modeled cost and a noisy "observed" platform cost; the engine
+ * sees transient activation faults at @p fault_rate per layer call.
+ */
+CampaignStats
+runCampaign(bool hardened, double fault_rate)
+{
+    DrtEngine engine(ModelFamily::Segformer, tinyBase(), SwinConfig{},
+                     AccuracyResourceLut(fourPoints(), "ms"), 17);
+
+    EngineResilienceConfig res;
+    res.enabled = hardened;
+    res.health.enabled = true; // baseline keeps checks: measurement
+    res.health.exhaustive = true;
+    res.health.absLimit = 1e4f;
+    res.maxRetries = 3;
+    res.probationFrames = 32;
+    engine.setResilience(res);
+
+    // The spec targets one decode-head layer every path contains, so
+    // @p fault_rate is the per-inference probability that a transient
+    // strikes the running path (a "*" pattern would multiply the rate
+    // by the ~170 layers of the graph).
+    FaultPlan plan;
+    plan.seed = 2024;
+    plan.specs.push_back(
+        {FaultKind::Transient, "DecodeLinear3", fault_rate, 4, 1e6});
+    FaultInjector injector(plan);
+    if (fault_rate > 0.0)
+        engine.setFaultInjector(&injector);
+
+    BudgetController controller(kDeadlineMs, 0.1, 0.25);
+
+    Rng rng(7); // platform noise + input image
+    Tensor image = Tensor::randn({1, 3, 64, 64}, rng);
+
+    CampaignStats stats;
+    double accuracy_sum = 0.0;
+    for (int frame = 0; frame < kFrames; ++frame) {
+        const double budget = controller.budgetForNextFrame();
+        DrtResult r = engine.infer(image, budget);
+
+        stats.aborts += !r.healthy;
+        stats.degradedFrames += r.degraded;
+        stats.retries += r.retries;
+        // Each retry quarantined a path; one more if still unhealthy.
+        stats.quarantineEntries += r.retries + (r.healthy ? 0 : 1);
+        accuracy_sum += r.healthy ? r.accuracyEstimate : 0.0;
+
+        // The platform runs the modeled cost with 2% noise; retries
+        // execute extra paths and stretch the observed frame time.
+        double observed = r.resourceCost * rng.uniform(0.98, 1.02);
+        for (int i = 0; i < r.retries; ++i)
+            observed += engine.lut().best().resourceCost;
+        stats.deadlineMisses += observed > kDeadlineMs;
+        controller.observe(r.resourceCost, observed);
+    }
+    stats.meanAccuracy = accuracy_sum / kFrames;
+    return stats;
+}
+
+void
+produceTables()
+{
+    Table table("Fault resilience: 500-frame closed loop, transient "
+                "activation faults",
+                {"Mode", "Fault rate", "Frames", "Aborts", "Degraded",
+                 "Retries", "Quarantines", "Deadline misses",
+                 "Mean acc", "Acc vs fault-free"});
+
+    const double rates[] = {0.0, 0.01, 0.05, 0.10};
+    for (const char *mode : {"hardened", "baseline"}) {
+        const bool hardened = std::string(mode) == "hardened";
+        const double fault_free =
+            runCampaign(hardened, 0.0).meanAccuracy;
+        for (double rate : rates) {
+            CampaignStats s = runCampaign(hardened, rate);
+            table.addRow({mode, Table::num(rate, 3),
+                          std::to_string(kFrames),
+                          std::to_string(s.aborts),
+                          std::to_string(s.degradedFrames),
+                          std::to_string(s.retries),
+                          std::to_string(s.quarantineEntries),
+                          std::to_string(s.deadlineMisses),
+                          Table::num(s.meanAccuracy, 4),
+                          Table::num(s.meanAccuracy / fault_free, 4)});
+        }
+    }
+    emitTable(table, "fault_resilience");
+}
+
+void
+BM_HardenedCampaignFrame(benchmark::State &state)
+{
+    DrtEngine engine(ModelFamily::Segformer, tinyBase(), SwinConfig{},
+                     AccuracyResourceLut(fourPoints(), "ms"), 17);
+    EngineResilienceConfig res;
+    res.enabled = true;
+    res.health.enabled = true;
+    res.health.exhaustive = true;
+    engine.setResilience(res);
+
+    Rng rng(7);
+    Tensor image = Tensor::randn({1, 3, 64, 64}, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            engine.infer(image, 1000.0).accuracyEstimate);
+}
+BENCHMARK(BM_HardenedCampaignFrame);
+
+} // namespace
+} // namespace vitdyn
+
+VITDYN_BENCH_MAIN(vitdyn::produceTables)

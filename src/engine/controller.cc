@@ -1,6 +1,7 @@
 #include "engine/controller.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -23,15 +24,37 @@ BudgetController::BudgetController(double deadline, double safety_margin,
 double
 BudgetController::budgetForNextFrame() const
 {
-    return deadline_ * (1.0 - margin_) / std::max(bias_, 1e-6);
+    return deadline_ * (1.0 - margin_) * scale_ /
+           std::max(bias_, 1e-6);
 }
 
 void
 BudgetController::observe(double modeled_cost, double observed_cost)
 {
-    vitdyn_assert(modeled_cost > 0.0, "modeled cost must be positive");
+    // Reject observations that would poison the EWMA: a NaN ratio
+    // never washes out, and a non-positive cost is a measurement
+    // error, not a platform property.
+    if (!std::isfinite(modeled_cost) || modeled_cost <= 0.0 ||
+        !std::isfinite(observed_cost) || observed_cost <= 0.0) {
+        ++rejected_;
+        warn("BudgetController: rejecting invalid observation "
+             "(modeled=", modeled_cost, ", observed=", observed_cost,
+             ")");
+        return;
+    }
+
     const double ratio = observed_cost / modeled_cost;
     bias_ = (1.0 - smoothing_) * bias_ + smoothing_ * ratio;
+
+    if (observed_cost > deadline_) {
+        ++missStreak_;
+        if (missStreak_ >= panic_.missStreakThreshold)
+            scale_ = std::max(panic_.minScale,
+                              scale_ * panic_.backoffFactor);
+    } else {
+        missStreak_ = 0;
+        scale_ = std::min(1.0, scale_ * panic_.recoveryRate);
+    }
 }
 
 void
@@ -41,40 +64,82 @@ BudgetController::setDeadline(double deadline)
     deadline_ = deadline;
 }
 
+void
+BudgetController::setPanicConfig(const PanicConfig &config)
+{
+    vitdyn_assert(config.missStreakThreshold >= 1,
+                  "miss streak threshold must be >= 1");
+    vitdyn_assert(config.backoffFactor > 0.0 &&
+                  config.backoffFactor < 1.0,
+                  "backoff factor must be in (0, 1)");
+    vitdyn_assert(config.recoveryRate >= 1.0,
+                  "recovery rate must be >= 1");
+    vitdyn_assert(config.minScale > 0.0 && config.minScale <= 1.0,
+                  "min scale must be in (0, 1]");
+    panic_ = config;
+}
+
 ClosedLoopStats
 simulateClosedLoop(const AccuracyResourceLut &lut,
                    BudgetController &controller, double platform_bias,
                    double noise_fraction, int frames, uint64_t seed)
 {
+    ClosedLoopScenario scenario;
+    scenario.platformBias = platform_bias;
+    scenario.noiseFraction = noise_fraction;
+    scenario.frames = frames;
+    scenario.seed = seed;
+    return simulateClosedLoop(lut, controller, scenario);
+}
+
+ClosedLoopStats
+simulateClosedLoop(const AccuracyResourceLut &lut,
+                   BudgetController &controller,
+                   const ClosedLoopScenario &scenario)
+{
     vitdyn_assert(!lut.empty(), "closed loop needs a non-empty LUT");
-    vitdyn_assert(frames > 0, "need at least one frame");
+    vitdyn_assert(scenario.frames > 0, "need at least one frame");
 
-    Rng rng(seed);
+    Rng rng(scenario.seed);
     ClosedLoopStats stats;
-    stats.frames = frames;
+    stats.frames = scenario.frames;
 
+    double bias = scenario.platformBias;
     double acc_sum = 0.0;
-    for (int frame = 0; frame < frames; ++frame) {
+    for (int frame = 0; frame < scenario.frames; ++frame) {
+        if (frame == scenario.biasStepAt)
+            bias *= scenario.biasStepFactor;
+
+        if (controller.panicked())
+            ++stats.panicFrames;
+
         const double budget = controller.budgetForNextFrame();
-        const LutEntry *entry = lut.lookup(budget);
+        const LutEntry *entry =
+            controller.panicked() ? &lut.cheapest() : lut.lookup(budget);
         if (!entry)
             entry = &lut.cheapest();
 
         // The platform runs slower/faster than the model thinks.
         const double noise =
-            1.0 + noise_fraction * rng.uniform(-1.0, 1.0);
-        const double observed =
-            entry->resourceCost * platform_bias * noise;
+            1.0 + scenario.noiseFraction * rng.uniform(-1.0, 1.0);
+        double observed = entry->resourceCost * bias * noise;
+        if (scenario.faultRate > 0.0 &&
+            rng.uniform() < scenario.faultRate)
+            observed *= scenario.faultCostFactor;
 
         if (observed > controller.deadline()) {
             ++stats.deadlineMisses;
             if (frame >= 10)
                 ++stats.missesAfterWarmup;
+            if (frame >= scenario.frames - scenario.frames / 4)
+                ++stats.missesInLastQuarter;
         }
         acc_sum += entry->accuracyEstimate;
         controller.observe(entry->resourceCost, observed);
+        stats.maxMissStreak =
+            std::max(stats.maxMissStreak, controller.missStreak());
     }
-    stats.meanAccuracy = acc_sum / frames;
+    stats.meanAccuracy = acc_sum / scenario.frames;
     stats.finalBias = controller.biasEstimate();
     return stats;
 }

@@ -11,10 +11,17 @@
  * observed/modeled cost ratio and converts the deadline into a
  * modeled-cost budget with a safety margin:
  *
- *     budget = deadline * (1 - margin) / bias_estimate
+ *     budget = deadline * (1 - margin) * panic_scale / bias_estimate
  *
  * so a platform running 30% slower than modeled quickly steers the
  * engine toward cheaper execution paths instead of missing deadlines.
+ *
+ * Panic mode: the EWMA adapts smoothly, which is too slow when the
+ * platform suddenly degrades by a large factor (a co-runner lands, a
+ * thermal throttle kicks in). A streak of consecutive deadline misses
+ * therefore multiplicatively backs off the effective budget
+ * (panic_scale), clamping selection toward the cheapest path at once;
+ * on-time frames recover the scale gradually back to 1.
  */
 
 #ifndef VITDYN_ENGINE_CONTROLLER_HH
@@ -24,6 +31,16 @@
 
 namespace vitdyn
 {
+
+/** Panic-mode thresholds of the budget controller. */
+struct PanicConfig
+{
+    int missStreakThreshold = 3; ///< Consecutive misses that trigger it.
+    double backoffFactor = 0.5;  ///< Budget scale multiplier per miss
+                                 ///< once the streak threshold is hit.
+    double recoveryRate = 1.05;  ///< Scale growth per on-time frame.
+    double minScale = 0.05;      ///< Backoff floor.
+};
 
 /** Adaptive deadline-to-budget converter. */
 class BudgetController
@@ -45,6 +62,11 @@ class BudgetController
     /**
      * Report one executed frame: the LUT's modeled cost for the
      * chosen path and the cost actually observed.
+     *
+     * Invalid observations (non-positive, NaN or infinite costs —
+     * e.g. a timer glitch or an aborted measurement) are rejected
+     * rather than folded into the bias estimate: a single NaN would
+     * otherwise poison the EWMA permanently.
      */
     void observe(double modeled_cost, double observed_cost);
 
@@ -54,11 +76,30 @@ class BudgetController
     double deadline() const { return deadline_; }
     void setDeadline(double deadline);
 
+    void setPanicConfig(const PanicConfig &config);
+    const PanicConfig &panicConfig() const { return panic_; }
+
+    /** True while the multiplicative backoff is engaged (scale < 1). */
+    bool panicked() const { return scale_ < 1.0; }
+
+    /** Current multiplicative budget backoff in (0, 1]. */
+    double panicScale() const { return scale_; }
+
+    /** Current run of consecutive deadline misses. */
+    int missStreak() const { return missStreak_; }
+
+    /** Observations rejected as invalid since construction. */
+    int rejectedObservations() const { return rejected_; }
+
   private:
     double deadline_;
     double margin_;
     double smoothing_;
     double bias_ = 1.0;
+    PanicConfig panic_;
+    double scale_ = 1.0;
+    int missStreak_ = 0;
+    int rejected_ = 0;
 };
 
 /** Outcome of a closed-loop simulation (see simulateClosedLoop). */
@@ -67,13 +108,36 @@ struct ClosedLoopStats
     int frames = 0;
     int deadlineMisses = 0;
     int missesAfterWarmup = 0; ///< Misses beyond the first 10 frames.
+    int missesInLastQuarter = 0; ///< Misses in the final frames/4 —
+                                 ///< ~0 once the loop has converged.
+    int panicFrames = 0;         ///< Frames entered in panic mode.
+    int maxMissStreak = 0;
     double meanAccuracy = 0.0;
     double finalBias = 1.0;
 };
 
+/** A closed-loop stress scenario (faults, platform steps). */
+struct ClosedLoopScenario
+{
+    double platformBias = 1.0;  ///< True cost = modeled * bias * noise.
+    double noiseFraction = 0.0; ///< Uniform observation noise.
+    int frames = 100;
+    uint64_t seed = 1;
+
+    /** Platform bias jumps by biasStepFactor at this frame (-1: no
+     *  step) — a co-runner landing or a clock change mid-stream. */
+    int biasStepAt = -1;
+    double biasStepFactor = 1.0;
+
+    /** Per-frame probability of a transient cost spike (a stall or
+     *  interference burst) multiplying the observed cost. */
+    double faultRate = 0.0;
+    double faultCostFactor = 3.0;
+};
+
 /**
  * Drive the controller + LUT against a platform whose true cost is
- * modeled_cost * @p platform_bias * noise. Demonstrates convergence:
+ * modeled_cost * platform_bias * noise. Demonstrates convergence:
  * after a short warmup the observed times fit the deadline even when
  * the model is systematically off.
  */
@@ -82,6 +146,11 @@ ClosedLoopStats simulateClosedLoop(const AccuracyResourceLut &lut,
                                    double platform_bias,
                                    double noise_fraction, int frames,
                                    uint64_t seed);
+
+/** Scenario-driven overload: bias steps and transient cost faults. */
+ClosedLoopStats simulateClosedLoop(const AccuracyResourceLut &lut,
+                                   BudgetController &controller,
+                                   const ClosedLoopScenario &scenario);
 
 } // namespace vitdyn
 

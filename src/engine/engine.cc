@@ -54,42 +54,199 @@ DrtEngine::DrtEngine(ModelFamily family, const SegformerConfig &seg_base,
     }
 }
 
+Result<std::unique_ptr<DrtEngine>>
+DrtEngine::create(ModelFamily family, const SegformerConfig &seg_base,
+                  const SwinConfig &swin_base, AccuracyResourceLut lut,
+                  uint64_t seed)
+{
+    if (lut.empty())
+        return Status::error("DrtEngine: LUT has no entries");
+    for (const LutEntry &entry : lut.entries()) {
+        if (entry.config.label.empty())
+            return Status::error("DrtEngine: LUT entry with empty label");
+        for (int64_t depth : entry.config.depths)
+            if (depth < 0)
+                return Status::error("DrtEngine: LUT entry '" +
+                                     entry.config.label +
+                                     "' has a negative stage depth");
+        if (!(entry.resourceCost >= 0.0))
+            return Status::error("DrtEngine: LUT entry '" +
+                                 entry.config.label +
+                                 "' has an invalid resource cost");
+    }
+    return std::unique_ptr<DrtEngine>(new DrtEngine(
+        family, seg_base, swin_base, std::move(lut), seed));
+}
+
+void
+DrtEngine::setResilience(const EngineResilienceConfig &config)
+{
+    vitdyn_assert(config.maxRetries >= 0, "maxRetries must be >= 0");
+    vitdyn_assert(config.probationFrames >= 1,
+                  "probationFrames must be >= 1");
+    resilience_ = config;
+    for (Path &path : paths_)
+        path.executor->setHealthChecks(config.health);
+}
+
+void
+DrtEngine::setFaultInjector(FaultInjector *injector)
+{
+    injector_ = injector;
+    for (Path &path : paths_) {
+        if (injector_) {
+            path.executor->setPostLayerHook(
+                [this](const Layer &layer, Tensor &out) {
+                    if (injector_)
+                        injector_->corruptActivation(layer.name, out);
+                });
+        } else {
+            path.executor->setPostLayerHook(nullptr);
+        }
+    }
+}
+
+bool
+DrtEngine::isQuarantined(size_t path_index) const
+{
+    vitdyn_assert(path_index < paths_.size(),
+                  "path index out of range");
+    return paths_[path_index].quarantinedUntil > frame_;
+}
+
+size_t
+DrtEngine::numQuarantined() const
+{
+    size_t count = 0;
+    for (const Path &path : paths_)
+        if (path.quarantinedUntil > frame_)
+            ++count;
+    return count;
+}
+
+size_t
+DrtEngine::lookupIndex(double resource_budget, bool *met) const
+{
+    const std::vector<LutEntry> &entries = lut_.entries();
+    size_t best = entries.size();
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].resourceCost > resource_budget)
+            break; // ascending cost: nothing later fits either
+        if (best == entries.size() ||
+            entries[i].accuracyEstimate > entries[best].accuracyEstimate)
+            best = i;
+    }
+    if (best < entries.size()) {
+        if (met)
+            *met = true;
+        return best;
+    }
+    if (met)
+        *met = false;
+    return 0; // cheapest (entries are sorted by ascending cost)
+}
+
+size_t
+DrtEngine::lookupHealthyIndex(double resource_budget, bool *met) const
+{
+    const std::vector<LutEntry> &entries = lut_.entries();
+    size_t best = entries.size();
+    size_t cheapest_healthy = entries.size();
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (isQuarantined(i))
+            continue;
+        if (cheapest_healthy == entries.size())
+            cheapest_healthy = i; // ascending cost order
+        if (entries[i].resourceCost > resource_budget)
+            continue;
+        if (best == entries.size() ||
+            entries[i].accuracyEstimate > entries[best].accuracyEstimate)
+            best = i;
+    }
+    if (best < entries.size()) {
+        if (met)
+            *met = true;
+        return best;
+    }
+    if (met)
+        *met = false;
+    if (cheapest_healthy < entries.size())
+        return cheapest_healthy;
+    // Everything is quarantined: best effort on the plain lookup so
+    // the engine still answers (an answer beats an abort).
+    bool ignored = false;
+    return lookupIndex(resource_budget, &ignored);
+}
+
 const LutEntry &
 DrtEngine::select(double resource_budget, bool *met) const
 {
-    const LutEntry *entry = lut_.lookup(resource_budget);
-    if (entry) {
-        if (met)
-            *met = true;
-        return *entry;
-    }
-    // Nothing fits: degrade gracefully to the cheapest path (the paper
-    // notes widely varying resources may require multiple weight sets;
-    // within one set this is the best available answer).
-    if (met)
-        *met = false;
-    return lut_.cheapest();
+    return lut_.entries()[lookupIndex(resource_budget, met)];
 }
 
 DrtResult
-DrtEngine::infer(const Tensor &image, double resource_budget)
+DrtEngine::runPath(size_t index, const Tensor &image)
 {
-    bool met = false;
-    const LutEntry &entry = select(resource_budget, &met);
-
-    // Locate the prepared path for the chosen entry.
-    size_t index = 0;
-    for (; index < lut_.entries().size(); ++index)
-        if (&lut_.entries()[index] == &entry)
-            break;
     vitdyn_assert(index < paths_.size(), "LUT/path desync");
+    const LutEntry &entry = lut_.entries()[index];
 
     DrtResult result;
     result.output = paths_[index].executor->runSimple(image);
     result.configLabel = entry.config.label;
     result.accuracyEstimate = entry.accuracyEstimate;
     result.resourceCost = entry.resourceCost;
+    if (resilience_.health.enabled)
+        result.healthy =
+            paths_[index].executor->lastHealthReport().healthy;
+    return result;
+}
+
+DrtResult
+DrtEngine::infer(const Tensor &image, double resource_budget)
+{
+    ++frame_;
+
+    bool met = false;
+    const size_t first_choice = lookupIndex(resource_budget, &met);
+
+    if (!resilience_.enabled) {
+        DrtResult result = runPath(first_choice, image);
+        result.budgetMet = met;
+        result.quarantinedPaths = numQuarantined();
+        return result;
+    }
+
+    size_t index = lookupHealthyIndex(resource_budget, &met);
+    DrtResult result;
+    int attempts = 0;
+    while (true) {
+        result = runPath(index, image);
+        if (result.healthy || attempts >= resilience_.maxRetries)
+            break;
+        // Quarantine the offending path for the probation window and
+        // fall back to the next-best healthy Pareto entry.
+        paths_[index].quarantinedUntil =
+            frame_ + static_cast<uint64_t>(resilience_.probationFrames);
+        warn("DRT path '", result.configLabel,
+             "' failed health checks (",
+             paths_[index].executor->lastHealthReport().summary(),
+             "); quarantined for ", resilience_.probationFrames,
+             " frames");
+        ++attempts;
+        index = lookupHealthyIndex(resource_budget, &met);
+    }
+
+    if (!result.healthy) {
+        // Retries exhausted: deliver best effort, but keep the failing
+        // path out of rotation so the next frame tries elsewhere.
+        paths_[index].quarantinedUntil =
+            frame_ + static_cast<uint64_t>(resilience_.probationFrames);
+    }
+
     result.budgetMet = met;
+    result.retries = attempts;
+    result.degraded = index != first_choice;
+    result.quarantinedPaths = numQuarantined();
     return result;
 }
 
@@ -98,6 +255,13 @@ DrtEngine::pathGraph(size_t index) const
 {
     vitdyn_assert(index < paths_.size(), "path index out of range");
     return *paths_[index].graph;
+}
+
+Executor &
+DrtEngine::pathExecutor(size_t index)
+{
+    vitdyn_assert(index < paths_.size(), "path index out of range");
+    return *paths_[index].executor;
 }
 
 } // namespace vitdyn

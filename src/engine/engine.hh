@@ -15,6 +15,16 @@
  * all execution paths reuse one set of synthesized "pretrained"
  * weights (pruned layers read a slice of the full weight tensors, see
  * Executor::setFullDims).
+ *
+ * Graceful degradation: the paper's resilience to *architectural*
+ * reduction extends here to *runtime* faults. With resilience enabled
+ * the engine health-checks every inference, quarantines an execution
+ * path whose output is numerically corrupt (NaN/Inf/blow-up), retries
+ * on the next-best healthy Pareto entry, and returns the quarantined
+ * path to service after a probation window. A long-running server
+ * therefore survives transient activation corruption and persistent
+ * per-path weight damage at a bounded accuracy cost, instead of
+ * aborting.
  */
 
 #ifndef VITDYN_ENGINE_ENGINE_HH
@@ -25,8 +35,10 @@
 #include <vector>
 
 #include "engine/lut.hh"
+#include "fault/fault.hh"
 #include "graph/executor.hh"
 #include "resilience/sweep.hh"
+#include "util/status.hh"
 
 namespace vitdyn
 {
@@ -40,6 +52,31 @@ struct DrtResult
     double resourceCost = 0;    ///< Modeled cost of the chosen path.
     bool budgetMet = false;     ///< False when even the cheapest path
                                 ///< exceeded the budget (best effort).
+
+    // --- graceful-degradation outcome ---
+    bool degraded = false;      ///< A path other than the budget-optimal
+                                ///< first choice ran (quarantine/retry).
+    bool healthy = true;        ///< Output passed the health checks (or
+                                ///< checks were disabled).
+    int retries = 0;            ///< Extra executions this inference.
+    size_t quarantinedPaths = 0;///< Paths in quarantine afterwards.
+};
+
+/** Degradation policy of the engine (see DESIGN.md fault model). */
+struct EngineResilienceConfig
+{
+    /** Master switch for quarantine + retry (health checks follow
+     *  the nested config independently, for observability). */
+    bool enabled = false;
+
+    /** Per-layer numeric checks applied to every path's executor. */
+    HealthCheckConfig health;
+
+    /** Bounded retries per inference after an unhealthy execution. */
+    int maxRetries = 3;
+
+    /** Inferences a quarantined path sits out before probation ends. */
+    int probationFrames = 32;
 };
 
 /** DRT inference engine over one pretrained model and one LUT. */
@@ -62,18 +99,53 @@ class DrtEngine
               uint64_t seed = 1);
 
     /**
+     * Validating factory for long-running deployments: returns a
+     * recoverable error (instead of aborting) when the LUT is empty
+     * or malformed.
+     */
+    static Result<std::unique_ptr<DrtEngine>>
+    create(ModelFamily family, const SegformerConfig &seg_base,
+           const SwinConfig &swin_base, AccuracyResourceLut lut,
+           uint64_t seed = 1);
+
+    /**
      * Select the execution path for @p resource_budget (in the LUT's
      * native unit). Falls back to the cheapest path when nothing fits.
      */
     const LutEntry &select(double resource_budget, bool *met) const;
 
-    /** Run one dynamic inference. */
+    /** Run one dynamic inference (self-healing when enabled). */
     DrtResult infer(const Tensor &image, double resource_budget);
+
+    /** Install the degradation policy; propagates the health-check
+     *  config to every path executor. */
+    void setResilience(const EngineResilienceConfig &config);
+
+    const EngineResilienceConfig &resilience() const
+    {
+        return resilience_;
+    }
+
+    /**
+     * Attach a fault injector (not owned; nullptr detaches). Every
+     * path's per-layer activations flow through it — the hook for
+     * fault campaigns.
+     */
+    void setFaultInjector(FaultInjector *injector);
+
+    /** True while the path is quarantined (probation not yet over). */
+    bool isQuarantined(size_t path_index) const;
+
+    /** Number of currently quarantined paths. */
+    size_t numQuarantined() const;
 
     const AccuracyResourceLut &lut() const { return lut_; }
 
     /** Graph of a prepared path (for inspection/tests). */
     const Graph &pathGraph(size_t index) const;
+
+    /** Executor of a prepared path (for fault campaigns/tests). */
+    Executor &pathExecutor(size_t index);
 
     size_t numPaths() const { return paths_.size(); }
 
@@ -82,10 +154,27 @@ class DrtEngine
     {
         std::unique_ptr<Graph> graph;
         std::unique_ptr<Executor> executor;
+        uint64_t quarantinedUntil = 0; ///< Frame the probation ends.
     };
+
+    /** Index of the best entry within budget, lookup() semantics. */
+    size_t lookupIndex(double resource_budget, bool *met) const;
+
+    /**
+     * lookupIndex over non-quarantined paths only; falls back to the
+     * cheapest healthy path, then to the plain lookup when everything
+     * is quarantined.
+     */
+    size_t lookupHealthyIndex(double resource_budget, bool *met) const;
+
+    /** Execute one prepared path (applies injector via the hook). */
+    DrtResult runPath(size_t index, const Tensor &image);
 
     AccuracyResourceLut lut_;
     std::vector<Path> paths_; ///< Parallel to lut_.entries().
+    EngineResilienceConfig resilience_;
+    FaultInjector *injector_ = nullptr;
+    uint64_t frame_ = 0; ///< Monotonic inference counter.
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "engine/lut.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -67,16 +68,19 @@ AccuracyResourceLut::toCsv() const
     return oss.str();
 }
 
-void
+Status
 AccuracyResourceLut::save(const std::string &path) const
 {
     std::ofstream out(path);
     if (!out)
-        vitdyn_fatal("cannot open '", path, "' for writing");
+        return Status::error("cannot open '" + path + "' for writing");
     out << toCsv();
+    if (!out)
+        return Status::error("write to '" + path + "' failed");
+    return Status::ok();
 }
 
-AccuracyResourceLut
+Result<AccuracyResourceLut>
 AccuracyResourceLut::fromCsv(const std::string &csv)
 {
     std::istringstream in(csv);
@@ -84,31 +88,54 @@ AccuracyResourceLut::fromCsv(const std::string &csv)
 
     AccuracyResourceLut lut;
     if (!std::getline(in, line) || line.rfind("unit,", 0) != 0)
-        vitdyn_fatal("LUT csv: missing unit header");
+        return Status::error("LUT csv: missing unit header");
     lut.unit_ = line.substr(5);
     if (!std::getline(in, line) || line.rfind("label,", 0) != 0)
-        vitdyn_fatal("LUT csv: missing column header");
+        return Status::error("LUT csv: missing column header");
 
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
         std::istringstream row(line);
         std::string cell;
+        bool truncated = false;
         auto next = [&]() {
             if (!std::getline(row, cell, ','))
-                vitdyn_fatal("LUT csv: truncated row '", line, "'");
+                truncated = true;
             return cell;
+        };
+        auto as_int = [&](int64_t &dst) {
+            try {
+                dst = std::stoll(next());
+            } catch (const std::exception &) {
+                truncated = true;
+            }
+        };
+        auto as_double = [&](double &dst) {
+            try {
+                dst = std::stod(next());
+            } catch (const std::exception &) {
+                truncated = true;
+            }
         };
         LutEntry e;
         e.config.label = next();
         for (int i = 0; i < 4; ++i)
-            e.config.depths[i] = std::stoll(next());
-        e.config.fuseInChannels = std::stoll(next());
-        e.config.predInChannels = std::stoll(next());
-        e.config.decodeLinear0InChannels = std::stoll(next());
-        e.resourceCost = std::stod(next());
-        e.normalizedCost = std::stod(next());
-        e.accuracyEstimate = std::stod(next());
+            as_int(e.config.depths[i]);
+        as_int(e.config.fuseInChannels);
+        as_int(e.config.predInChannels);
+        as_int(e.config.decodeLinear0InChannels);
+        as_double(e.resourceCost);
+        as_double(e.normalizedCost);
+        as_double(e.accuracyEstimate);
+        if (truncated)
+            return Status::error("LUT csv: truncated or malformed row '" +
+                                 line + "'");
+        if (!std::isfinite(e.resourceCost) || e.resourceCost < 0.0 ||
+            !std::isfinite(e.normalizedCost) ||
+            !std::isfinite(e.accuracyEstimate))
+            return Status::error("LUT csv: non-finite or negative "
+                                 "numbers in row '" + line + "'");
         lut.entries_.push_back(std::move(e));
     }
     std::sort(lut.entries_.begin(), lut.entries_.end(),
@@ -118,12 +145,12 @@ AccuracyResourceLut::fromCsv(const std::string &csv)
     return lut;
 }
 
-AccuracyResourceLut
+Result<AccuracyResourceLut>
 AccuracyResourceLut::load(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        vitdyn_fatal("cannot open '", path, "' for reading");
+        return Status::error("cannot open '" + path + "' for reading");
     std::ostringstream oss;
     oss << in.rdbuf();
     return fromCsv(oss.str());

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "resilience/pareto.hh"
+#include "util/status.hh"
 
 namespace vitdyn
 {
@@ -63,14 +64,20 @@ class AccuracyResourceLut
      */
     std::string toCsv() const;
 
-    /** Write toCsv() to @p path; fatal on I/O error. */
-    void save(const std::string &path) const;
+    /** Write toCsv() to @p path; recoverable error on I/O failure. */
+    Status save(const std::string &path) const;
 
-    /** Parse a LUT from CSV text (as produced by toCsv). */
-    static AccuracyResourceLut fromCsv(const std::string &csv);
+    /**
+     * Parse a LUT from CSV text (as produced by toCsv).
+     *
+     * A deployment loads LUTs from operator-supplied files, so every
+     * malformation — truncated rows, garbage numbers, non-finite or
+     * negative costs — is a recoverable error, never a process abort.
+     */
+    static Result<AccuracyResourceLut> fromCsv(const std::string &csv);
 
-    /** Load from a file written by save(). */
-    static AccuracyResourceLut load(const std::string &path);
+    /** Load from a file written by save(); recoverable on error. */
+    static Result<AccuracyResourceLut> load(const std::string &path);
 
   private:
     std::vector<LutEntry> entries_; ///< Ascending cost.

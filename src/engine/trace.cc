@@ -1,5 +1,6 @@
 #include "engine/trace.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -94,6 +95,58 @@ runTrace(const AccuracyResourceLut &lut, const BudgetTrace &trace)
     stats.meanAccuracy = stats.frames ? acc_sum / stats.frames : 0.0;
     stats.meanHeadroom = met_frames ? headroom_sum / met_frames : 0.0;
     stats.accuracyGapToBest = best_acc - stats.meanAccuracy;
+    return stats;
+}
+
+EngineTraceStats
+runEngineTrace(DrtEngine &engine, const BudgetTrace &trace,
+               const Tensor &image)
+{
+    EngineTraceStats stats;
+    stats.frames = static_cast<int>(trace.budgets.size());
+    stats.records.reserve(trace.budgets.size());
+
+    size_t prev_quarantined = engine.numQuarantined();
+    double acc_sum = 0.0;
+    int frame = 0;
+    for (double budget : trace.budgets) {
+        DrtResult result = engine.infer(image, budget);
+
+        InferenceTraceRecord record;
+        record.frame = frame++;
+        record.budget = budget;
+        record.configLabel = result.configLabel;
+        record.budgetMet = result.budgetMet;
+        record.healthy = result.healthy;
+        record.degraded = result.degraded;
+        record.retries = result.retries;
+        record.quarantinedPaths = result.quarantinedPaths;
+
+        if (!result.budgetMet)
+            ++stats.budgetMisses;
+        if (result.degraded)
+            ++stats.degradedFrames;
+        if (!result.healthy)
+            ++stats.unhealthyFrames;
+        stats.totalRetries += result.retries;
+        // Every retry quarantined one path, plus one more when the
+        // delivered result is still unhealthy (retries exhausted).
+        // Releases follow from population conservation — this also
+        // catches a probation expiry whose path is re-quarantined
+        // within the same frame (population unchanged).
+        const int entries =
+            result.retries + (result.healthy ? 0 : 1);
+        stats.quarantineEntries += entries;
+        const int releases =
+            static_cast<int>(prev_quarantined) + entries -
+            static_cast<int>(result.quarantinedPaths);
+        stats.quarantineReleases += std::max(0, releases);
+        prev_quarantined = result.quarantinedPaths;
+
+        acc_sum += result.accuracyEstimate;
+        stats.records.push_back(std::move(record));
+    }
+    stats.meanAccuracy = stats.frames ? acc_sum / stats.frames : 0.0;
     return stats;
 }
 

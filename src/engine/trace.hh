@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hh"
 #include "engine/lut.hh"
 
 namespace vitdyn
@@ -60,6 +61,47 @@ struct TraceStats
 /** Evaluate the selection policy of @p lut over @p trace. */
 TraceStats runTrace(const AccuracyResourceLut &lut,
                     const BudgetTrace &trace);
+
+/**
+ * One executed inference in an engine-driven trace, including the
+ * health/degradation outcome — the per-frame observability record a
+ * production deployment would ship to its metrics pipeline.
+ */
+struct InferenceTraceRecord
+{
+    int frame = 0;
+    double budget = 0.0;
+    std::string configLabel;    ///< Path that actually ran.
+    bool budgetMet = true;
+    bool healthy = true;        ///< Final output passed health checks.
+    bool degraded = false;      ///< Ran off the budget-optimal path.
+    int retries = 0;
+    size_t quarantinedPaths = 0;///< Quarantine population afterwards.
+};
+
+/** Aggregate outcome of an engine-driven (executed) trace. */
+struct EngineTraceStats
+{
+    int frames = 0;
+    int budgetMisses = 0;
+    int degradedFrames = 0;
+    int unhealthyFrames = 0;    ///< Delivered without passing checks.
+    int totalRetries = 0;
+    int quarantineEntries = 0;  ///< Transitions into quarantine.
+    int quarantineReleases = 0; ///< Probation expiries.
+    double meanAccuracy = 0.0;
+    std::vector<InferenceTraceRecord> records; ///< One per frame.
+};
+
+/**
+ * Execute @p engine over @p trace on a fixed @p image, recording the
+ * per-frame health, retry, and quarantine outcomes. Unlike runTrace
+ * (pure LUT policy evaluation) this runs real tensors, so fault
+ * injectors and health checks attached to the engine take effect.
+ */
+EngineTraceStats runEngineTrace(DrtEngine &engine,
+                                const BudgetTrace &trace,
+                                const Tensor &image);
 
 } // namespace vitdyn
 

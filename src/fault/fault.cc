@@ -1,0 +1,248 @@
+#include "fault/fault.hh"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "tensor/quant.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/** FNV-1a, the same stable string hash the executor seeds with. */
+uint64_t
+hashString(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** splitmix64 step, to decorrelate the seed components. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::BitFlip:
+        return "bitflip";
+      case FaultKind::StuckChannel:
+        return "stuck_channel";
+      case FaultKind::NaNPoison:
+        return "nan";
+      case FaultKind::InfPoison:
+        return "inf";
+      case FaultKind::Transient:
+        return "transient";
+    }
+    vitdyn_panic("unhandled FaultKind");
+}
+
+Result<FaultKind>
+faultKindFromName(const std::string &name)
+{
+    for (FaultKind kind :
+         {FaultKind::BitFlip, FaultKind::StuckChannel,
+          FaultKind::NaNPoison, FaultKind::InfPoison,
+          FaultKind::Transient}) {
+        if (name == faultKindName(kind))
+            return kind;
+    }
+    return Status::error("unknown fault kind '" + name + "'");
+}
+
+bool
+faultPatternMatches(const std::string &pattern,
+                    const std::string &layer_name)
+{
+    return pattern == "*" ||
+           layer_name.find(pattern) != std::string::npos;
+}
+
+std::string
+FaultPlan::toCsv() const
+{
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << "seed," << seed << "\n";
+    oss << "kind,pattern,rate,count,magnitude\n";
+    for (const FaultSpec &spec : specs)
+        oss << faultKindName(spec.kind) << "," << spec.layerPattern
+            << "," << spec.rate << "," << spec.count << ","
+            << spec.magnitude << "\n";
+    return oss.str();
+}
+
+Result<FaultPlan>
+FaultPlan::fromCsv(const std::string &csv)
+{
+    std::istringstream in(csv);
+    std::string line;
+
+    FaultPlan plan;
+    if (!std::getline(in, line) || line.rfind("seed,", 0) != 0)
+        return Status::error("fault plan csv: missing seed header");
+    try {
+        plan.seed = std::stoull(line.substr(5));
+    } catch (const std::exception &) {
+        return Status::error("fault plan csv: bad seed '" +
+                             line.substr(5) + "'");
+    }
+    if (!std::getline(in, line) || line.rfind("kind,", 0) != 0)
+        return Status::error("fault plan csv: missing column header");
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::string cell;
+        std::vector<std::string> cells;
+        while (std::getline(row, cell, ','))
+            cells.push_back(cell);
+        if (cells.size() != 5)
+            return Status::error("fault plan csv: row '" + line +
+                                 "' has " + std::to_string(cells.size()) +
+                                 " fields, expected 5");
+        Result<FaultKind> kind = faultKindFromName(cells[0]);
+        if (!kind)
+            return kind.status();
+        FaultSpec spec;
+        spec.kind = kind.value();
+        spec.layerPattern = cells[1];
+        try {
+            spec.rate = std::stod(cells[2]);
+            spec.count = std::stoll(cells[3]);
+            spec.magnitude = std::stod(cells[4]);
+        } catch (const std::exception &) {
+            return Status::error("fault plan csv: bad number in row '" +
+                                 line + "'");
+        }
+        if (!(spec.rate >= 0.0 && spec.rate <= 1.0))
+            return Status::error("fault plan csv: rate " + cells[2] +
+                                 " outside [0, 1]");
+        if (spec.count < 1)
+            return Status::error("fault plan csv: count must be >= 1");
+        plan.specs.push_back(std::move(spec));
+    }
+    return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void
+FaultInjector::reset()
+{
+    activationCalls_ = 0;
+    weightCalls_ = 0;
+    fired_ = 0;
+}
+
+size_t
+FaultInjector::corruptActivation(const std::string &layer_name,
+                                 Tensor &t)
+{
+    return corrupt(layer_name, t, mix(0xac7100ULL + activationCalls_++));
+}
+
+size_t
+FaultInjector::corruptWeights(const std::string &layer_name, Tensor &t)
+{
+    return corrupt(layer_name, t, mix(0x3e1647ULL + weightCalls_++));
+}
+
+size_t
+FaultInjector::corrupt(const std::string &layer_name, Tensor &t,
+                       uint64_t stream)
+{
+    if (plan_.empty() || t.numel() == 0)
+        return 0;
+
+    size_t fired_here = 0;
+    const uint64_t name_hash = hashString(layer_name);
+    for (size_t si = 0; si < plan_.specs.size(); ++si) {
+        const FaultSpec &spec = plan_.specs[si];
+        if (!faultPatternMatches(spec.layerPattern, layer_name))
+            continue;
+        Rng rng(mix(plan_.seed ^ name_hash) ^ mix(stream + si));
+        if (rng.uniform() >= spec.rate)
+            continue;
+        ++fired_here;
+        ++fired_;
+
+        const int64_t n = t.numel();
+        const int64_t count = std::min<int64_t>(spec.count, n);
+        switch (spec.kind) {
+          case FaultKind::BitFlip: {
+            // INT8 domain: quantize, flip one storage bit of `count`
+            // random values, write their dequantized forms back.
+            QuantTensor q = quantize(t);
+            for (int64_t i = 0; i < count; ++i) {
+                const int64_t at = rng.uniformInt(0, n - 1);
+                const int bit =
+                    static_cast<int>(rng.uniformInt(0, 7));
+                const int8_t flipped = static_cast<int8_t>(
+                    static_cast<uint8_t>(q.data[at]) ^ (1u << bit));
+                t[at] = static_cast<float>(flipped) * q.scale;
+            }
+            break;
+          }
+          case FaultKind::StuckChannel: {
+            // Channel dim: 1 for NCHW maps, the last for token layouts.
+            const int64_t channels =
+                t.rank() >= 4 ? t.dim(1) : t.dim(-1);
+            const int64_t c = rng.uniformInt(0, channels - 1);
+            if (t.rank() >= 4) {
+                const int64_t nhw = n / t.dim(1);
+                const int64_t hw = nhw / t.dim(0);
+                for (int64_t b = 0; b < t.dim(0); ++b)
+                    for (int64_t i = 0; i < hw; ++i)
+                        t[(b * t.dim(1) + c) * hw + i] = 0.0f;
+            } else {
+                const int64_t rows = n / channels;
+                for (int64_t r = 0; r < rows; ++r)
+                    t[r * channels + c] = 0.0f;
+            }
+            break;
+          }
+          case FaultKind::NaNPoison:
+            for (int64_t i = 0; i < count; ++i)
+                t[rng.uniformInt(0, n - 1)] =
+                    std::numeric_limits<float>::quiet_NaN();
+            break;
+          case FaultKind::InfPoison:
+            for (int64_t i = 0; i < count; ++i)
+                t[rng.uniformInt(0, n - 1)] =
+                    (rng.uniform() < 0.5 ? -1.0f : 1.0f) *
+                    std::numeric_limits<float>::infinity();
+            break;
+          case FaultKind::Transient: {
+            const float base = std::max(t.maxAbs(), 1.0f);
+            for (int64_t i = 0; i < count; ++i)
+                t[rng.uniformInt(0, n - 1)] =
+                    (rng.uniform() < 0.5 ? -1.0f : 1.0f) *
+                    static_cast<float>(spec.magnitude) * base;
+            break;
+          }
+        }
+    }
+    return fired_here;
+}
+
+} // namespace vitdyn

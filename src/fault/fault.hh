@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Deterministic fault injection for resilience campaigns.
+ *
+ * The paper's resilience claim (Sections III-IV) is architectural:
+ * pretrained ViT pipelines tolerate bypassed layers and shrunk
+ * channels without retraining. A deployed DRT engine must also
+ * tolerate *runtime* faults — bit flips in INT8 weight transfers,
+ * NaN/Inf blow-ups on a reduced execution path, stuck-at-zero
+ * channels after a hardware fault. This module injects exactly those
+ * faults, reproducibly:
+ *
+ *  - every corruption is drawn from an Rng derived from the plan
+ *    seed, the target layer name, and an invocation counter, so a
+ *    campaign (same FaultPlan, same workload) replays byte-identically;
+ *  - bit flips go through the INT8 domain of tensor/quant.hh — the
+ *    tensor is quantized, one bit of a stored int8 value flips, and
+ *    the flipped value is dequantized back — matching how a real
+ *    accelerator-side weight corruption manifests;
+ *  - fault targeting is by layer-name substring and rate, so
+ *    campaigns can stress one decoder conv, one encoder stage, or the
+ *    whole network.
+ *
+ * FaultPlan serializes to CSV so campaigns are shareable artifacts,
+ * mirroring AccuracyResourceLut's offline-built persistence.
+ */
+
+#ifndef VITDYN_FAULT_FAULT_HH
+#define VITDYN_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/status.hh"
+
+namespace vitdyn
+{
+
+/** The fault taxonomy (see DESIGN.md "Fault model"). */
+enum class FaultKind
+{
+    BitFlip,      ///< Flip one bit of an INT8-quantized value.
+    StuckChannel, ///< Force one channel of the tensor to zero.
+    NaNPoison,    ///< Overwrite elements with quiet NaN.
+    InfPoison,    ///< Overwrite elements with +/-infinity.
+    Transient,    ///< Overwrite elements with a huge finite value.
+};
+
+/** Short stable name for serialization ("bitflip", "nan", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Parse faultKindName output; error on unknown names. */
+Result<FaultKind> faultKindFromName(const std::string &name);
+
+/** One fault population: what, where, how often, how hard. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::Transient;
+
+    /**
+     * Which layers the fault can hit: "*" matches every layer, any
+     * other pattern matches layers whose name contains it as a
+     * substring (e.g. "Conv2DFuse", "stage3", ".block1").
+     */
+    std::string layerPattern = "*";
+
+    /** Probability the fault fires per matching tensor visit. */
+    double rate = 0.0;
+
+    /** Elements corrupted per firing (ignored by StuckChannel). */
+    int64_t count = 1;
+
+    /**
+     * Transient severity: corrupted elements become
+     * +/- magnitude * max(|t|, 1). Ignored by the other kinds.
+     */
+    double magnitude = 1e6;
+};
+
+/** A reproducible fault campaign: a seed plus its fault populations. */
+struct FaultPlan
+{
+    uint64_t seed = 1;
+    std::vector<FaultSpec> specs;
+
+    bool empty() const { return specs.empty(); }
+
+    /** Serialize for checked-in campaign artifacts. */
+    std::string toCsv() const;
+
+    /** Parse toCsv() output; recoverable error on malformed input. */
+    static Result<FaultPlan> fromCsv(const std::string &csv);
+};
+
+/**
+ * Applies a FaultPlan to tensors, deterministically.
+ *
+ * The injector keeps one invocation counter per call site kind
+ * (activations vs weights); a fresh injector — or reset() — replays
+ * the identical fault sequence for the identical call sequence.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+    explicit FaultInjector(FaultPlan plan);
+
+    /**
+     * Corrupt the activation tensor @p t produced by @p layer_name
+     * according to every matching spec. Returns the number of specs
+     * that fired.
+     */
+    size_t corruptActivation(const std::string &layer_name, Tensor &t);
+
+    /**
+     * Corrupt a weight tensor of @p layer_name. Same taxonomy; bit
+     * flips model INT8 storage/transfer corruption of persistent
+     * parameters.
+     */
+    size_t corruptWeights(const std::string &layer_name, Tensor &t);
+
+    /** Restart the deterministic fault stream from the beginning. */
+    void reset();
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Total spec firings since construction/reset. */
+    size_t faultsFired() const { return fired_; }
+
+  private:
+    size_t corrupt(const std::string &layer_name, Tensor &t,
+                   uint64_t stream);
+
+    FaultPlan plan_;
+    uint64_t activationCalls_ = 0;
+    uint64_t weightCalls_ = 0;
+    size_t fired_ = 0;
+};
+
+/** True when @p pattern ("*" or substring) matches @p layer_name. */
+bool faultPatternMatches(const std::string &pattern,
+                         const std::string &layer_name);
+
+} // namespace vitdyn
+
+#endif // VITDYN_FAULT_FAULT_HH

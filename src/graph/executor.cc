@@ -63,9 +63,82 @@ sliceVector(const Tensor &full, int64_t n)
 
 } // namespace
 
+std::string
+HealthReport::summary() const
+{
+    if (healthy)
+        return "healthy";
+    std::string s = std::to_string(issues.size()) + " unhealthy layer" +
+                    (issues.size() == 1 ? "" : "s");
+    if (!issues.empty()) {
+        const LayerHealthIssue &first = issues.front();
+        s += " (first: '" + first.layer + "', " +
+             std::to_string(first.nanCount) + " NaN, " +
+             std::to_string(first.infCount) + " Inf, " +
+             std::to_string(first.rangeCount) + " out-of-range)";
+    }
+    return s;
+}
+
 Executor::Executor(const Graph &graph, uint64_t seed)
     : graph_(graph), seed_(seed)
 {
+}
+
+bool
+Executor::mutateWeights(const std::string &layer_name,
+                        const std::function<void(Tensor &)> &fn)
+{
+    for (const Layer &layer : graph_.layers()) {
+        if (layer.name != layer_name)
+            continue;
+        switch (layer.kind) {
+          case LayerKind::Conv2d:
+          case LayerKind::Linear:
+          case LayerKind::LayerNorm:
+          case LayerKind::BatchNorm:
+            break;
+          default:
+            return false;
+        }
+        weightsFor(layer); // synthesize into the cache if not yet done
+        Tensor &weight = cache_.at(layer.id).weight;
+        if (weight.numel() == 0)
+            return false;
+        fn(weight);
+        return true;
+    }
+    return false;
+}
+
+void
+Executor::checkHealth(const Layer &layer, const Tensor &tensor)
+{
+    const int64_t n = tensor.numel();
+    const int64_t stride =
+        health_.exhaustive ? 1 : std::max<int64_t>(1, health_.sampleStride);
+
+    LayerHealthIssue issue;
+    for (int64_t i = 0; i < n; i += stride) {
+        const float v = tensor[i];
+        ++healthReport_.elementsChecked;
+        if (std::isnan(v)) {
+            ++issue.nanCount;
+        } else if (std::isinf(v)) {
+            ++issue.infCount;
+        } else {
+            const float mag = std::fabs(v);
+            issue.maxAbs = std::max(issue.maxAbs, mag);
+            if (mag > health_.absLimit)
+                ++issue.rangeCount;
+        }
+    }
+    ++healthReport_.layersChecked;
+    if (issue.nanCount || issue.infCount || issue.rangeCount) {
+        issue.layer = layer.name;
+        healthReport_.healthy = false;
+        healthReport_.issues.push_back(std::move(issue));
+    }
 }
 
 void
@@ -358,6 +431,8 @@ Executor::run(const std::map<std::string, Tensor> &inputs)
     std::vector<Tensor> values(n);
     std::vector<bool> computed(n, false);
 
+    healthReport_ = HealthReport{};
+
     // Liveness: free each activation after its last consumer runs.
     std::vector<int> last_use(n, -1);
     for (const Layer &layer : graph_.layers())
@@ -392,6 +467,10 @@ Executor::run(const std::map<std::string, Tensor> &inputs)
                 ins.push_back(&values[in_id]);
             }
             values[layer.id] = execute(layer, ins);
+            if (postHook_)
+                postHook_(layer, values[layer.id]);
+            if (health_.enabled)
+                checkHealth(layer, values[layer.id]);
         }
         computed[layer.id] = true;
 

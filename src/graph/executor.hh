@@ -16,6 +16,7 @@
 #ifndef VITDYN_GRAPH_EXECUTOR_HH
 #define VITDYN_GRAPH_EXECUTOR_HH
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -24,6 +25,46 @@
 
 namespace vitdyn
 {
+
+/**
+ * Numeric-health checking of per-layer activations.
+ *
+ * On the hot path every stride-th element of each layer output is
+ * inspected (NaN, Inf, |x| beyond absLimit); exhaustive mode inspects
+ * every element for debug runs and fault campaigns. A corruption that
+ * slips through sampling at one layer is usually caught downstream:
+ * NaN/Inf propagate through convolutions, norms and matmuls, touching
+ * ever more elements.
+ */
+struct HealthCheckConfig
+{
+    bool enabled = false;
+    bool exhaustive = false;   ///< Check every element (debug mode).
+    int64_t sampleStride = 61; ///< Hot-path sampling stride (prime).
+    float absLimit = 1e6f;     ///< |x| beyond this is unhealthy.
+};
+
+/** One layer that failed its post-execution health check. */
+struct LayerHealthIssue
+{
+    std::string layer;
+    int64_t nanCount = 0;
+    int64_t infCount = 0;
+    int64_t rangeCount = 0; ///< Finite but beyond absLimit.
+    float maxAbs = 0.0f;    ///< Largest finite magnitude seen.
+};
+
+/** Aggregate health outcome of one Executor::run. */
+struct HealthReport
+{
+    bool healthy = true;
+    size_t layersChecked = 0;
+    size_t elementsChecked = 0;
+    std::vector<LayerHealthIssue> issues;
+
+    /** "healthy" or a one-line description of the first issues. */
+    std::string summary() const;
+};
 
 /** Runs a Graph on tensor inputs with synthetic deterministic weights. */
 class Executor
@@ -79,6 +120,38 @@ class Executor
      */
     const RunStats &lastRunStats() const { return stats_; }
 
+    /**
+     * Hook invoked after each non-input layer executes, with mutable
+     * access to its output — the fault-injection point. Runs before
+     * the health check so injected corruption is observable.
+     */
+    using PostLayerHook = std::function<void(const Layer &, Tensor &)>;
+
+    void setPostLayerHook(PostLayerHook hook)
+    {
+        postHook_ = std::move(hook);
+    }
+
+    /** Enable/configure per-layer numeric-health checks. */
+    void setHealthChecks(const HealthCheckConfig &config)
+    {
+        health_ = config;
+    }
+
+    const HealthCheckConfig &healthChecks() const { return health_; }
+
+    /** Health outcome of the most recent run(). */
+    const HealthReport &lastHealthReport() const { return healthReport_; }
+
+    /**
+     * Mutate the cached weight tensor of the named layer in place
+     * (synthesizing it first if needed) — the persistent-fault
+     * injection point. Returns false when the layer does not exist or
+     * carries no weights.
+     */
+    bool mutateWeights(const std::string &layer_name,
+                       const std::function<void(Tensor &)> &fn);
+
   private:
     /** Generate (and cache) the weight tensors for a layer. */
     struct LayerWeights
@@ -93,10 +166,16 @@ class Executor
 
     Tensor execute(const Layer &layer, const std::vector<Tensor *> &ins);
 
+    /** Append @p tensor's health to healthReport_. */
+    void checkHealth(const Layer &layer, const Tensor &tensor);
+
     const Graph &graph_;
     uint64_t seed_;
     bool int8_ = false;
     RunStats stats_;
+    HealthCheckConfig health_;
+    HealthReport healthReport_;
+    PostLayerHook postHook_;
     std::map<std::string, std::pair<int64_t, int64_t>> fullDims_;
     std::map<int, LayerWeights> cache_;
 };

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Recoverable error propagation for long-running deployments.
+ *
+ * The library's original error paths (vitdyn_fatal / vitdyn_panic,
+ * see logging.hh) terminate the process — correct for batch
+ * experiments, unacceptable for a serving engine that must survive a
+ * malformed LUT file or a corrupted request. Status / Result<T> give
+ * entry points a way to report "this input is bad" without taking the
+ * process down; callers decide whether to retry, degrade, or abort.
+ *
+ * Deliberately minimal (no error-code taxonomy, no stack capture):
+ * a boolean plus a human-readable message is what the engine's
+ * degradation logic and the tests need.
+ */
+
+#ifndef VITDYN_UTIL_STATUS_HH
+#define VITDYN_UTIL_STATUS_HH
+
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+/** Success or a recoverable error with a diagnostic message. */
+class Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    static Status ok() { return Status(); }
+
+    /** A recoverable failure described by @p message. */
+    static Status error(std::string message)
+    {
+        Status s;
+        s.ok_ = false;
+        s.message_ = std::move(message);
+        return s;
+    }
+
+    bool isOk() const { return ok_; }
+    explicit operator bool() const { return ok_; }
+
+    /** Empty for success. */
+    const std::string &message() const { return message_; }
+
+  private:
+    bool ok_ = true;
+    std::string message_;
+};
+
+/** A value of type T or the Status explaining why it is absent. */
+template <typename T>
+class Result
+{
+  public:
+    /** Successful result carrying @p value. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Failed result; @p status must not be OK. */
+    Result(Status status) : status_(std::move(status))
+    {
+        vitdyn_assert(!status_.isOk(),
+                      "Result built from an OK status without a value");
+    }
+
+    bool isOk() const { return status_.isOk(); }
+    explicit operator bool() const { return status_.isOk(); }
+
+    const Status &status() const { return status_; }
+
+    /** The carried value; panics when the result is an error. */
+    const T &value() const &
+    {
+        vitdyn_assert(status_.isOk(), "Result::value on error: ",
+                      status_.message());
+        return value_;
+    }
+
+    T &value() &
+    {
+        vitdyn_assert(status_.isOk(), "Result::value on error: ",
+                      status_.message());
+        return value_;
+    }
+
+    /** Move the carried value out; panics when the result is an error. */
+    T take()
+    {
+        vitdyn_assert(status_.isOk(), "Result::take on error: ",
+                      status_.message());
+        return std::move(value_);
+    }
+
+    /**
+     * The carried value, or exit(1) with the error message — the
+     * bridge for CLI tools that still want fatal semantics.
+     */
+    T takeOrFatal()
+    {
+        if (!status_.isOk())
+            vitdyn_fatal(status_.message());
+        return std::move(value_);
+    }
+
+  private:
+    T value_{};
+    Status status_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_UTIL_STATUS_HH

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "engine/controller.hh"
 #include "graph/executor.hh"
 #include "models/segformer.hh"
@@ -68,6 +71,90 @@ TEST(Controller, InvalidParametersPanic)
     EXPECT_DEATH(BudgetController(1.0, 0.1, 0.0), "smoothing");
 }
 
+TEST(Controller, RejectsInvalidObservations)
+{
+    // Regression: a single NaN/non-positive observation used to fold
+    // into the EWMA and poison the bias estimate permanently.
+    BudgetController c(100.0, 0.1, 0.25);
+    c.observe(10.0, 12.0);
+    const double bias_before = c.biasEstimate();
+
+    c.observe(10.0, std::nan(""));
+    c.observe(10.0, -3.0);
+    c.observe(10.0, 0.0);
+    c.observe(std::nan(""), 12.0);
+    c.observe(-1.0, 12.0);
+    c.observe(10.0, std::numeric_limits<double>::infinity());
+
+    EXPECT_DOUBLE_EQ(c.biasEstimate(), bias_before);
+    EXPECT_EQ(c.rejectedObservations(), 6);
+    EXPECT_FALSE(std::isnan(c.budgetForNextFrame()));
+
+    // Valid observations keep flowing afterwards.
+    c.observe(10.0, 12.0);
+    EXPECT_GT(c.biasEstimate(), bias_before);
+}
+
+TEST(Controller, PanicModeBacksOffAfterMissStreak)
+{
+    BudgetController c(20.0, 0.1, 0.25);
+    EXPECT_FALSE(c.panicked());
+
+    // Two misses: below the default threshold of three.
+    c.observe(10.0, 30.0);
+    c.observe(10.0, 30.0);
+    EXPECT_FALSE(c.panicked());
+    EXPECT_EQ(c.missStreak(), 2);
+
+    // Third consecutive miss trips panic; budget shrinks beyond what
+    // the bias estimate alone explains.
+    const double before = c.budgetForNextFrame();
+    c.observe(10.0, 30.0);
+    EXPECT_TRUE(c.panicked());
+    EXPECT_LT(c.panicScale(), 1.0);
+    EXPECT_LT(c.budgetForNextFrame(), before);
+
+    // Continued misses keep multiplying the backoff down.
+    const double scale_one_miss = c.panicScale();
+    c.observe(10.0, 30.0);
+    EXPECT_LT(c.panicScale(), scale_one_miss);
+    EXPECT_GE(c.panicScale(), c.panicConfig().minScale);
+}
+
+TEST(Controller, PanicModeRecoversGradually)
+{
+    BudgetController c(20.0, 0.1, 0.25);
+    for (int i = 0; i < 4; ++i)
+        c.observe(10.0, 30.0);
+    ASSERT_TRUE(c.panicked());
+    const double panicked_scale = c.panicScale();
+
+    // One on-time frame does not snap back to full budget...
+    c.observe(10.0, 8.0);
+    EXPECT_GT(c.panicScale(), panicked_scale);
+    EXPECT_TRUE(c.panicked());
+
+    // ...but a sustained healthy run restores it completely.
+    for (int i = 0; i < 100; ++i)
+        c.observe(10.0, 8.0);
+    EXPECT_FALSE(c.panicked());
+    EXPECT_DOUBLE_EQ(c.panicScale(), 1.0);
+}
+
+TEST(Controller, PanicConfigValidation)
+{
+    BudgetController c(20.0);
+    PanicConfig bad;
+    bad.missStreakThreshold = 0;
+    EXPECT_DEATH(c.setPanicConfig(bad), "streak");
+    bad = PanicConfig{};
+    bad.backoffFactor = 1.5;
+    EXPECT_DEATH(c.setPanicConfig(bad), "backoff");
+    bad = PanicConfig{};
+    bad.recoveryRate = 0.5;
+    EXPECT_DEATH(c.setPanicConfig(bad), "recovery");
+}
+
 TEST(ClosedLoop, UnbiasedPlatformNeverMisses)
 {
     AccuracyResourceLut lut = threePointLut();
@@ -94,6 +181,58 @@ TEST(ClosedLoop, SlowPlatformConvergesAfterWarmup)
     EXPECT_EQ(stats.missesAfterWarmup, 0);     // then it converges
     EXPECT_NEAR(stats.finalBias, 1.4, 0.1);
     EXPECT_LT(stats.meanAccuracy, 1.0);        // accuracy was traded
+}
+
+TEST(ClosedLoop, BiasStepTriggersPanicThenConverges)
+{
+    // The platform abruptly runs 2x slower mid-stream (a co-runner
+    // lands). A slow EWMA (smoothing 0.05) takes many frames to absorb
+    // a jump that large; panic mode clamps to the cheapest path after
+    // three straight misses and the loop is deadline-clean again well
+    // before the end.
+    AccuracyResourceLut lut = threePointLut();
+    BudgetController c(23.0, 0.1, 0.05);
+
+    ClosedLoopScenario scenario;
+    scenario.platformBias = 1.0;
+    scenario.noiseFraction = 0.02;
+    scenario.frames = 400;
+    scenario.seed = 3;
+    scenario.biasStepAt = 100;
+    scenario.biasStepFactor = 2.0;
+
+    ClosedLoopStats stats = simulateClosedLoop(lut, c, scenario);
+    EXPECT_GT(stats.deadlineMisses, 0);     // the step costs something
+    EXPECT_GT(stats.panicFrames, 0);        // panic mode engaged
+    EXPECT_EQ(stats.missesInLastQuarter, 0);// and the loop re-converged
+    EXPECT_NEAR(stats.finalBias, 2.0, 0.3);
+}
+
+TEST(ClosedLoop, TransientCostFaultsDoNotDestabilize)
+{
+    // Sporadic 3x cost spikes (stalls, interference bursts) miss their
+    // own deadline but must not spiral the controller: isolated misses
+    // never reach the panic streak, and accuracy stays high.
+    AccuracyResourceLut lut = threePointLut();
+    BudgetController c(23.0, 0.1, 0.25);
+
+    ClosedLoopScenario scenario;
+    scenario.platformBias = 1.0;
+    scenario.noiseFraction = 0.02;
+    scenario.frames = 400;
+    scenario.seed = 4;
+    scenario.faultRate = 0.05;
+    scenario.faultCostFactor = 3.0;
+
+    ClosedLoopStats stats = simulateClosedLoop(lut, c, scenario);
+    EXPECT_GT(stats.deadlineMisses, 0);
+    EXPECT_LT(stats.deadlineMisses, 60); // ~5% of frames, not a spiral
+    EXPECT_GT(stats.meanAccuracy, 0.9);
+    // The bias estimate stays bounded: a spike decays instead of
+    // compounding (it can be transiently high if a fault lands on the
+    // final frames, but never approaches the 3x fault factor).
+    EXPECT_GT(stats.finalBias, 0.8);
+    EXPECT_LT(stats.finalBias, 2.0);
 }
 
 TEST(ClosedLoop, DeadlineChangeTakesEffect)

@@ -184,5 +184,98 @@ TEST(Engine, EmptyLutFatal)
                  "non-empty LUT");
 }
 
+TEST(Engine, CreateReportsEmptyLutRecoverably)
+{
+    // The serving entry point must survive a bad LUT without dying.
+    auto r = DrtEngine::create(ModelFamily::Segformer, tinyBase(),
+                               SwinConfig{},
+                               AccuracyResourceLut({}, "ms"), 1);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_NE(r.status().message().find("no entries"),
+              std::string::npos);
+}
+
+TEST(Engine, CreateBuildsWorkingEngine)
+{
+    auto r = DrtEngine::create(ModelFamily::Segformer, tinyBase(),
+                               SwinConfig{},
+                               AccuracyResourceLut(tinyPoints(), "ms"),
+                               17);
+    ASSERT_TRUE(r.isOk()) << r.status().message();
+    EXPECT_EQ(r.value()->numPaths(), 3u);
+}
+
+TEST(LutCsv, MalformedInputsAreRecoverableErrors)
+{
+    const std::string good = AccuracyResourceLut(tinyPoints(), "ms")
+                                 .toCsv();
+
+    // Each malformation must produce an error, never an abort.
+    const std::pair<std::string, std::string> cases[] = {
+        {"", "missing unit header"},
+        {"unit,ms\n", "missing column header"},
+        {"garbage\nmore garbage\n", "missing unit header"},
+        {"unit,ms\nlabel,d0,d1,d2,d3,fuse,pred,dl0,cost,norm_cost,"
+         "accuracy\nA,1,2,3\n",
+         "truncated or malformed"},
+        {"unit,ms\nlabel,d0,d1,d2,d3,fuse,pred,dl0,cost,norm_cost,"
+         "accuracy\nA,x,2,2,2,0,0,0,10,1,1\n",
+         "truncated or malformed"},
+        {"unit,ms\nlabel,d0,d1,d2,d3,fuse,pred,dl0,cost,norm_cost,"
+         "accuracy\nA,2,2,2,2,0,0,0,nan,1,1\n",
+         "non-finite or negative"},
+        {"unit,ms\nlabel,d0,d1,d2,d3,fuse,pred,dl0,cost,norm_cost,"
+         "accuracy\nA,2,2,2,2,0,0,0,-5,1,1\n",
+         "non-finite or negative"},
+        // Truncating a valid CSV mid-row must fail cleanly too.
+        {good.substr(0, good.size() - 20), "truncated or malformed"},
+    };
+    for (const auto &[csv, expected] : cases) {
+        Result<AccuracyResourceLut> r = AccuracyResourceLut::fromCsv(csv);
+        ASSERT_FALSE(r.isOk()) << "accepted: " << csv;
+        EXPECT_NE(r.status().message().find(expected), std::string::npos)
+            << "message '" << r.status().message()
+            << "' does not mention '" << expected << "'";
+    }
+}
+
+TEST(LutCsv, RoundTripFuzz)
+{
+    // Random LUTs survive serialize -> parse -> serialize unchanged,
+    // and mutilated serializations never abort the parser.
+    Rng rng(2024);
+    for (int iter = 0; iter < 50; ++iter) {
+        const int n = static_cast<int>(rng.uniformInt(1, 6));
+        std::vector<TradeoffPoint> pts(n);
+        for (int i = 0; i < n; ++i) {
+            pts[i].config.label = "cfg" + std::to_string(i);
+            for (int d = 0; d < 4; ++d)
+                pts[i].config.depths[d] = rng.uniformInt(1, 4);
+            pts[i].config.fuseInChannels = rng.uniformInt(0, 512);
+            pts[i].absoluteUtil = rng.uniform(1.0, 100.0);
+            // Strictly increasing accuracy with cost keeps every
+            // point on the Pareto frontier regardless of cost order.
+            pts[i].normalizedUtil = pts[i].absoluteUtil / 100.0;
+            pts[i].normalizedMiou = pts[i].absoluteUtil / 100.0;
+        }
+        AccuracyResourceLut lut(pts, "ms");
+        Result<AccuracyResourceLut> loaded =
+            AccuracyResourceLut::fromCsv(lut.toCsv());
+        ASSERT_TRUE(loaded.isOk()) << loaded.status().message();
+        EXPECT_EQ(loaded.value().toCsv(), lut.toCsv());
+
+        // Chop the text at a random point: must error or parse, never
+        // crash; a successful parse can only have fewer entries.
+        const std::string csv = lut.toCsv();
+        const size_t cut = static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(csv.size())));
+        Result<AccuracyResourceLut> chopped =
+            AccuracyResourceLut::fromCsv(csv.substr(0, cut));
+        if (chopped.isOk())
+            EXPECT_LE(chopped.value().entries().size(),
+                      lut.entries().size());
+    }
+}
+
 } // namespace
 } // namespace vitdyn

@@ -143,8 +143,10 @@ TEST(LutSerialization, RoundTrip)
     pts[1].normalizedMiou = 0.63;
 
     AccuracyResourceLut lut(pts, "ms");
-    AccuracyResourceLut loaded =
+    Result<AccuracyResourceLut> parsed =
         AccuracyResourceLut::fromCsv(lut.toCsv());
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().message();
+    AccuracyResourceLut loaded = parsed.take();
 
     ASSERT_EQ(loaded.entries().size(), lut.entries().size());
     EXPECT_EQ(loaded.resourceUnit(), "ms");
@@ -174,17 +176,32 @@ TEST(LutSerialization, FileRoundTrip)
     AccuracyResourceLut lut(pts, "cycles");
 
     const std::string path = "/tmp/vitdyn_lut_test.csv";
-    lut.save(path);
-    AccuracyResourceLut loaded = AccuracyResourceLut::load(path);
-    ASSERT_EQ(loaded.entries().size(), 1u);
-    EXPECT_DOUBLE_EQ(loaded.entries()[0].resourceCost, 7.5);
+    ASSERT_TRUE(lut.save(path).isOk());
+    Result<AccuracyResourceLut> loaded = AccuracyResourceLut::load(path);
+    ASSERT_TRUE(loaded.isOk()) << loaded.status().message();
+    ASSERT_EQ(loaded.value().entries().size(), 1u);
+    EXPECT_DOUBLE_EQ(loaded.value().entries()[0].resourceCost, 7.5);
     std::remove(path.c_str());
 }
 
 TEST(LutSerialization, RejectsGarbage)
 {
-    EXPECT_EXIT(AccuracyResourceLut::fromCsv("not a lut"),
-                testing::ExitedWithCode(1), "missing unit header");
+    // Serving deployments load operator-supplied LUT files: a bad
+    // file must surface as a recoverable error, not a process abort.
+    Result<AccuracyResourceLut> r =
+        AccuracyResourceLut::fromCsv("not a lut");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_NE(r.status().message().find("missing unit header"),
+              std::string::npos);
+}
+
+TEST(LutSerialization, LoadMissingFileIsRecoverable)
+{
+    Result<AccuracyResourceLut> r =
+        AccuracyResourceLut::load("/nonexistent/vitdyn_lut.csv");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_NE(r.status().message().find("cannot open"),
+              std::string::npos);
 }
 
 } // namespace

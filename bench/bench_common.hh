@@ -4,6 +4,13 @@
  * binaries. Each binary prints the rows the paper reports (and writes
  * them as CSV next to the binary), then runs its registered
  * google-benchmark timings.
+ *
+ * Every bench built on VITDYN_BENCH_MAIN also understands
+ * --trace-out=<path> (enable the scoped-span tracer and dump a Chrome
+ * trace-event JSON at exit) and --metrics-out=<path> (dump a metrics
+ * snapshot as CSV, or JSON for a .json path) — no per-bench code
+ * needed. Both flags are stripped from argv before google-benchmark
+ * sees them.
  */
 
 #ifndef VITDYN_BENCH_COMMON_HH
@@ -14,6 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 namespace vitdyn
@@ -28,16 +38,98 @@ emitTable(const Table &table, const std::string &csv_name)
 }
 
 /**
+ * Telemetry plumbing for bench binaries: consumes the
+ * --trace-out/--metrics-out flags (both "--flag=value" and
+ * "--flag value" forms), enables the tracer when a trace is
+ * requested, and writes the requested outputs on flush().
+ */
+class BenchTelemetry
+{
+  public:
+    /** Strips the telemetry flags out of @p argc / @p argv. */
+    BenchTelemetry(int *argc, char **argv)
+    {
+        int out = 1;
+        for (int i = 1; i < *argc; ++i) {
+            const std::string arg = argv[i];
+            auto take_value = [&](const char *flag,
+                                  std::string *dest) {
+                if (arg == flag) {
+                    if (i + 1 >= *argc)
+                        vitdyn_fatal("missing value after ", flag);
+                    *dest = argv[++i];
+                    return true;
+                }
+                const std::string prefix = std::string(flag) + "=";
+                if (arg.rfind(prefix, 0) == 0) {
+                    *dest = arg.substr(prefix.size());
+                    return true;
+                }
+                return false;
+            };
+            if (take_value("--trace-out", &traceOut_) ||
+                take_value("--metrics-out", &metricsOut_))
+                continue;
+            argv[out++] = argv[i];
+        }
+        argv[out] = nullptr;
+        *argc = out;
+
+        if (!traceOut_.empty())
+            Tracer::instance().setEnabled(true);
+    }
+
+    /** Write the requested trace/metrics files (idempotent). */
+    void flush()
+    {
+        if (!traceOut_.empty()) {
+            const Status status = writeChromeTrace(
+                Tracer::instance().events(), traceOut_);
+            if (status)
+                inform("wrote Chrome trace to ", traceOut_,
+                       " (load in chrome://tracing)");
+            else
+                warn("bench telemetry: ", status.message());
+            if (Tracer::instance().dropped())
+                warn("trace ring dropped ",
+                     Tracer::instance().dropped(),
+                     " spans; raise the capacity for full traces");
+        }
+        if (!metricsOut_.empty()) {
+            const Status status =
+                MetricsRegistry::instance().snapshot().write(
+                    metricsOut_);
+            if (status)
+                inform("wrote metrics snapshot to ", metricsOut_);
+            else
+                warn("bench telemetry: ", status.message());
+        }
+        traceOut_.clear();
+        metricsOut_.clear();
+    }
+
+    const std::string &traceOut() const { return traceOut_; }
+    const std::string &metricsOut() const { return metricsOut_; }
+
+  private:
+    std::string traceOut_;
+    std::string metricsOut_;
+};
+
+/**
  * Standard bench main body: run the table-producing function, then the
- * registered google-benchmark timings.
+ * registered google-benchmark timings, then flush any telemetry the
+ * command line asked for.
  */
 #define VITDYN_BENCH_MAIN(produce_tables)                                \
     int main(int argc, char **argv)                                     \
     {                                                                   \
+        vitdyn::BenchTelemetry telemetry(&argc, argv);                  \
         produce_tables();                                               \
         benchmark::Initialize(&argc, argv);                             \
         benchmark::RunSpecifiedBenchmarks();                            \
         benchmark::Shutdown();                                          \
+        telemetry.flush();                                              \
         return 0;                                                       \
     }
 

@@ -172,6 +172,19 @@ produceTables()
         }
     }
     emitTable(table, "fault_resilience");
+
+    // One-line registry summary: the campaigns above fed the
+    // process-wide metrics, so this is also what a --metrics-out
+    // snapshot of this binary contains.
+    const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+    const HistogramSnapshot *lat =
+        snap.findHistogram("drt.frame_latency_ms");
+    inform("telemetry: frames=", snap.counterValue("drt.frames"),
+           " retries=", snap.counterValue("drt.retries"),
+           " quarantines=",
+           snap.counterValue("drt.quarantine_entries"),
+           " p95_frame_ms=",
+           Table::num(lat ? lat->quantile(0.95) : 0.0, 3));
 }
 
 void

@@ -7,6 +7,7 @@
  * completes — at reduced accuracy when the system is busy.
  *
  *   ./drt_video_pipeline [--frames 12] [--seed 3]
+ *       [--trace-out trace.json] [--metrics-out metrics.csv]
  */
 
 #include <cmath>
@@ -15,6 +16,8 @@
 #include "util/logging.hh"
 
 #include "engine/engine.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "profile/gpu_model.hh"
 #include "util/args.hh"
 #include "workload/synthetic.hh"
@@ -27,7 +30,17 @@ main(int argc, char **argv)
     ArgParser args;
     args.addOption("frames", "12", "number of video frames to process");
     args.addOption("seed", "3", "stream randomness seed");
+    args.addOption("trace-out", "",
+                   "write a Chrome trace-event JSON here");
+    args.addOption("metrics-out", "",
+                   "write a metrics snapshot here (.json for JSON, "
+                   "anything else CSV)");
     args.parse(argc, argv);
+
+    const std::string trace_out = args.get("trace-out");
+    const std::string metrics_out = args.get("metrics-out");
+    if (!trace_out.empty())
+        Tracer::instance().setEnabled(true);
 
     // A scaled-down SegFormer so real tensor execution is quick.
     SegformerConfig base;
@@ -87,5 +100,23 @@ main(int argc, char **argv)
 
     inform("every frame completed; accuracy traded for deadline "
            "compliance exactly as in Fig 8");
+
+    if (!trace_out.empty()) {
+        const Status status =
+            writeChromeTrace(Tracer::instance().events(), trace_out);
+        if (status)
+            inform("wrote Chrome trace to ", trace_out,
+                   " (load in chrome://tracing)");
+        else
+            warn(status.message());
+    }
+    if (!metrics_out.empty()) {
+        const Status status =
+            MetricsRegistry::instance().snapshot().write(metrics_out);
+        if (status)
+            inform("wrote metrics snapshot to ", metrics_out);
+        else
+            warn(status.message());
+    }
     return 0;
 }

@@ -1,6 +1,8 @@
 #include "accel/simulator.hh"
 
 #include "accel/scheduler.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/logging.hh"
 
 namespace vitdyn
@@ -31,6 +33,17 @@ AcceleratorSim::simulateLayer(const Graph &graph,
     result.unit = classifyLayer(config_, graph, layer);
     result.macs = layer.macs();
 
+    MetricsRegistry &metrics = MetricsRegistry::instance();
+    static Counter &compute_cycles =
+        metrics.counter("accel.compute_cycles");
+    static Counter &stall_cycles =
+        metrics.counter("accel.stall_cycles");
+    static Counter &spill_layers =
+        metrics.counter("accel.weight_spill_layers");
+    static Histogram &util_hist = metrics.histogram(
+        "accel.layer_utilization",
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+
     switch (result.unit) {
       case ExecUnit::MacArray: {
         const TilingSolution sol = solveTiling(config_,
@@ -39,6 +52,11 @@ AcceleratorSim::simulateLayer(const Graph &graph,
         result.utilization = sol.utilization;
         result.weightsResident = sol.weightsResident;
         result.energyMj = layerEnergyMj(config_, sol, energy_);
+        compute_cycles.add(static_cast<uint64_t>(sol.computeCycles));
+        stall_cycles.add(static_cast<uint64_t>(sol.stallCycles));
+        if (!sol.weightsResident)
+            spill_layers.add();
+        util_hist.observe(sol.utilization);
         break;
       }
       case ExecUnit::Ppu: {
@@ -62,10 +80,19 @@ AcceleratorSim::simulateLayer(const Graph &graph,
 GraphSimResult
 AcceleratorSim::run(const Graph &graph) const
 {
+    Tracer &tracer = Tracer::instance();
+    ScopedSpan graph_span(tracer, "accel.graph", "accel");
+
     GraphSimResult result;
     result.layers.reserve(graph.numLayers());
     for (const Layer &layer : graph.layers()) {
+        ScopedSpan span(tracer, layer.name, "accel");
         LayerSimResult l = simulateLayer(graph, layer);
+        if (span.active()) {
+            span.arg("cycles", static_cast<int64_t>(l.cycles));
+            span.arg("utilization", l.utilization);
+            span.arg("energy_mj", l.energyMj);
+        }
         result.totalCycles += l.cycles;
         result.totalEnergyMj += l.energyMj;
         result.layers.push_back(std::move(l));
@@ -73,6 +100,21 @@ AcceleratorSim::run(const Graph &graph) const
     result.scheduledCycles = scheduleCycles(graph, result.layers, true);
     result.timeMs = static_cast<double>(result.scheduledCycles) /
                     (config_.clockGhz * 1e6);
+
+    MetricsRegistry &metrics = MetricsRegistry::instance();
+    static Counter &graphs = metrics.counter("accel.graphs_simulated");
+    static Counter &layers = metrics.counter("accel.layers_simulated");
+    graphs.add();
+    layers.add(static_cast<uint64_t>(result.layers.size()));
+    if (graph_span.active()) {
+        graph_span.arg("layers",
+                       static_cast<uint64_t>(result.layers.size()));
+        graph_span.arg("total_cycles",
+                       static_cast<int64_t>(result.totalCycles));
+        graph_span.arg("scheduled_cycles",
+                       static_cast<int64_t>(result.scheduledCycles));
+        graph_span.arg("energy_mj", result.totalEnergyMj);
+    }
     return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -24,6 +26,9 @@ BudgetController::BudgetController(double deadline, double safety_margin,
 double
 BudgetController::budgetForNextFrame() const
 {
+    static Counter &decisions =
+        MetricsRegistry::instance().counter("controller.decisions");
+    decisions.add();
     return deadline_ * (1.0 - margin_) * scale_ /
            std::max(bias_, 1e-6);
 }
@@ -31,12 +36,28 @@ BudgetController::budgetForNextFrame() const
 void
 BudgetController::observe(double modeled_cost, double observed_cost)
 {
+    MetricsRegistry &metrics = MetricsRegistry::instance();
+    static Counter &observations =
+        metrics.counter("controller.observations");
+    static Counter &rejections =
+        metrics.counter("controller.rejected_observations");
+    static Counter &deadline_misses =
+        metrics.counter("controller.deadline_misses");
+    static Counter &panic_entries =
+        metrics.counter("controller.panic_entries");
+    static Gauge &bias_gauge = metrics.gauge("controller.bias");
+    static Gauge &scale_gauge =
+        metrics.gauge("controller.panic_scale");
+
+    observations.add();
+
     // Reject observations that would poison the EWMA: a NaN ratio
     // never washes out, and a non-positive cost is a measurement
     // error, not a platform property.
     if (!std::isfinite(modeled_cost) || modeled_cost <= 0.0 ||
         !std::isfinite(observed_cost) || observed_cost <= 0.0) {
         ++rejected_;
+        rejections.add();
         warn("BudgetController: rejecting invalid observation "
              "(modeled=", modeled_cost, ", observed=", observed_cost,
              ")");
@@ -46,7 +67,9 @@ BudgetController::observe(double modeled_cost, double observed_cost)
     const double ratio = observed_cost / modeled_cost;
     bias_ = (1.0 - smoothing_) * bias_ + smoothing_ * ratio;
 
+    const bool was_panicked = panicked();
     if (observed_cost > deadline_) {
+        deadline_misses.add();
         ++missStreak_;
         if (missStreak_ >= panic_.missStreakThreshold)
             scale_ = std::max(panic_.minScale,
@@ -55,6 +78,14 @@ BudgetController::observe(double modeled_cost, double observed_cost)
         missStreak_ = 0;
         scale_ = std::min(1.0, scale_ * panic_.recoveryRate);
     }
+    if (!was_panicked && panicked()) {
+        panic_entries.add();
+        Tracer::instance().instant("controller.panic", "controller");
+        debug("BudgetController: entering panic mode (miss streak ",
+              missStreak_, ", scale ", scale_, ")");
+    }
+    bias_gauge.set(bias_);
+    scale_gauge.set(scale_);
 }
 
 void

@@ -1,5 +1,7 @@
 #include "engine/engine.hh"
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/logging.hh"
 
 namespace vitdyn
@@ -190,6 +192,9 @@ DrtEngine::runPath(size_t index, const Tensor &image)
     vitdyn_assert(index < paths_.size(), "LUT/path desync");
     const LutEntry &entry = lut_.entries()[index];
 
+    ScopedSpan span(Tracer::instance(), "drt.execute", "engine");
+    span.arg("path", entry.config.label);
+
     DrtResult result;
     result.output = paths_[index].executor->runSimple(image);
     result.configLabel = entry.config.label;
@@ -198,16 +203,66 @@ DrtEngine::runPath(size_t index, const Tensor &image)
     if (resilience_.health.enabled)
         result.healthy =
             paths_[index].executor->lastHealthReport().healthy;
+    span.arg("healthy", result.healthy);
     return result;
 }
 
 DrtResult
 DrtEngine::infer(const Tensor &image, double resource_budget)
 {
+    Tracer &tracer = Tracer::instance();
+    const uint64_t t0 = tracer.now();
+    ScopedSpan frame_span(tracer, "drt.infer", "engine");
+
+    DrtResult result = inferImpl(image, resource_budget);
+
+    MetricsRegistry &metrics = MetricsRegistry::instance();
+    static Counter &frames = metrics.counter("drt.frames");
+    static Counter &retries = metrics.counter("drt.retries");
+    static Counter &misses = metrics.counter("drt.budget_misses");
+    static Counter &unhealthy = metrics.counter("drt.unhealthy_frames");
+    static Counter &degraded = metrics.counter("drt.degraded_frames");
+    static Histogram &latency =
+        metrics.histogram("drt.frame_latency_ms");
+    frames.add();
+    retries.add(static_cast<uint64_t>(result.retries));
+    if (!result.budgetMet)
+        misses.add();
+    if (!result.healthy)
+        unhealthy.add();
+    if (result.degraded)
+        degraded.add();
+    latency.observe(static_cast<double>(tracer.now() - t0) / 1e6);
+
+    if (frame_span.active()) {
+        frame_span.arg("frame", static_cast<uint64_t>(frame_));
+        frame_span.arg("budget", resource_budget);
+        frame_span.arg("config", result.configLabel);
+        frame_span.arg("budget_met", result.budgetMet);
+        frame_span.arg("healthy", result.healthy);
+        frame_span.arg("degraded", result.degraded);
+        frame_span.arg("retries", result.retries);
+        frame_span.arg("quarantined",
+                       static_cast<uint64_t>(result.quarantinedPaths));
+    }
+    return result;
+}
+
+DrtResult
+DrtEngine::inferImpl(const Tensor &image, double resource_budget)
+{
     ++frame_;
+    Tracer &tracer = Tracer::instance();
 
     bool met = false;
-    const size_t first_choice = lookupIndex(resource_budget, &met);
+    size_t first_choice;
+    {
+        ScopedSpan select_span(tracer, "drt.select", "engine");
+        first_choice = lookupIndex(resource_budget, &met);
+        select_span.arg("budget", resource_budget);
+        select_span.arg(
+            "path", lut_.entries()[first_choice].config.label);
+    }
 
     if (!resilience_.enabled) {
         DrtResult result = runPath(first_choice, image);
@@ -215,6 +270,9 @@ DrtEngine::infer(const Tensor &image, double resource_budget)
         result.quarantinedPaths = numQuarantined();
         return result;
     }
+
+    static Counter &quarantines =
+        MetricsRegistry::instance().counter("drt.quarantine_entries");
 
     size_t index = lookupHealthyIndex(resource_budget, &met);
     DrtResult result;
@@ -227,6 +285,8 @@ DrtEngine::infer(const Tensor &image, double resource_budget)
         // fall back to the next-best healthy Pareto entry.
         paths_[index].quarantinedUntil =
             frame_ + static_cast<uint64_t>(resilience_.probationFrames);
+        quarantines.add();
+        tracer.instant("drt.quarantine", "engine");
         warn("DRT path '", result.configLabel,
              "' failed health checks (",
              paths_[index].executor->lastHealthReport().summary(),
@@ -241,6 +301,8 @@ DrtEngine::infer(const Tensor &image, double resource_budget)
         // path out of rotation so the next frame tries elsewhere.
         paths_[index].quarantinedUntil =
             frame_ + static_cast<uint64_t>(resilience_.probationFrames);
+        quarantines.add();
+        tracer.instant("drt.quarantine", "engine");
     }
 
     result.budgetMet = met;

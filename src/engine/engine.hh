@@ -114,7 +114,15 @@ class DrtEngine
      */
     const LutEntry &select(double resource_budget, bool *met) const;
 
-    /** Run one dynamic inference (self-healing when enabled). */
+    /**
+     * Run one dynamic inference (self-healing when enabled). Emits a
+     * per-frame "drt.infer" span (budget, chosen path, retries,
+     * health) nesting the per-layer executor spans, and feeds the
+     * process-wide metrics registry: drt.frames, drt.retries,
+     * drt.budget_misses, drt.unhealthy_frames, drt.degraded_frames,
+     * drt.quarantine_entries counters plus the drt.frame_latency_ms
+     * histogram (p50/p95/p99).
+     */
     DrtResult infer(const Tensor &image, double resource_budget);
 
     /** Install the degradation policy; propagates the health-check
@@ -156,6 +164,9 @@ class DrtEngine
         std::unique_ptr<Executor> executor;
         uint64_t quarantinedUntil = 0; ///< Frame the probation ends.
     };
+
+    /** infer() body; the public wrapper adds telemetry around it. */
+    DrtResult inferImpl(const Tensor &image, double resource_budget);
 
     /** Index of the best entry within budget, lookup() semantics. */
     size_t lookupIndex(double resource_budget, bool *met) const;

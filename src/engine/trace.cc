@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
+#include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -148,6 +152,139 @@ runEngineTrace(DrtEngine &engine, const BudgetTrace &trace,
     }
     stats.meanAccuracy = stats.frames ? acc_sum / stats.frames : 0.0;
     return stats;
+}
+
+namespace
+{
+
+const std::vector<std::string> kEngineTraceHeader = {
+    "frame", "budget", "config", "budget_met", "healthy", "degraded",
+    "retries", "quarantined_paths",
+};
+
+/** Shortest decimal that round-trips an IEEE double. */
+std::string
+formatBudget(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+bool
+parseDoubleField(const std::string &field, double *out)
+{
+    if (field.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(field.c_str(), &end);
+    return end && *end == '\0';
+}
+
+bool
+parseIntField(const std::string &field, long long *out)
+{
+    if (field.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtoll(field.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+parseBoolField(const std::string &field, bool *out)
+{
+    if (field == "0") {
+        *out = false;
+        return true;
+    }
+    if (field == "1") {
+        *out = true;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+engineTraceCsv(const EngineTraceStats &stats)
+{
+    std::string out = csvJoin(kEngineTraceHeader) + "\n";
+    for (const InferenceTraceRecord &rec : stats.records) {
+        out += csvJoin({
+            std::to_string(rec.frame),
+            formatBudget(rec.budget),
+            rec.configLabel,
+            rec.budgetMet ? "1" : "0",
+            rec.healthy ? "1" : "0",
+            rec.degraded ? "1" : "0",
+            std::to_string(rec.retries),
+            std::to_string(rec.quarantinedPaths),
+        });
+        out += "\n";
+    }
+    return out;
+}
+
+Status
+writeEngineTraceCsv(const EngineTraceStats &stats,
+                    const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return Status::error("cannot open '" + path +
+                             "' for writing");
+    out << engineTraceCsv(stats);
+    if (!out)
+        return Status::error("short write to '" + path + "'");
+    return Status::ok();
+}
+
+Result<std::vector<InferenceTraceRecord>>
+parseEngineTraceCsv(const std::string &csv)
+{
+    const std::vector<std::vector<std::string>> rows = csvParse(csv);
+    if (rows.empty())
+        return Status::error("engine-trace CSV: empty document");
+    if (rows[0] != kEngineTraceHeader)
+        return Status::error("engine-trace CSV: unexpected header '" +
+                             csvJoin(rows[0]) + "'");
+
+    std::vector<InferenceTraceRecord> records;
+    records.reserve(rows.size() - 1);
+    for (size_t r = 1; r < rows.size(); ++r) {
+        const std::vector<std::string> &row = rows[r];
+        const std::string where =
+            "engine-trace CSV row " + std::to_string(r);
+        if (row.size() != kEngineTraceHeader.size())
+            return Status::error(where + ": expected " +
+                                 std::to_string(
+                                     kEngineTraceHeader.size()) +
+                                 " fields, got " +
+                                 std::to_string(row.size()));
+
+        InferenceTraceRecord rec;
+        long long frame = 0, retries = 0, quarantined = 0;
+        if (!parseIntField(row[0], &frame) ||
+            !parseDoubleField(row[1], &rec.budget) ||
+            !parseIntField(row[6], &retries) ||
+            !parseIntField(row[7], &quarantined) ||
+            quarantined < 0)
+            return Status::error(where + ": malformed numeric field");
+        if (!parseBoolField(row[3], &rec.budgetMet) ||
+            !parseBoolField(row[4], &rec.healthy) ||
+            !parseBoolField(row[5], &rec.degraded))
+            return Status::error(where +
+                                 ": malformed boolean field "
+                                 "(expected 0 or 1)");
+        rec.frame = static_cast<int>(frame);
+        rec.configLabel = row[2];
+        rec.retries = static_cast<int>(retries);
+        rec.quarantinedPaths = static_cast<size_t>(quarantined);
+        records.push_back(std::move(rec));
+    }
+    return records;
 }
 
 } // namespace vitdyn

@@ -103,6 +103,30 @@ EngineTraceStats runEngineTrace(DrtEngine &engine,
                                 const BudgetTrace &trace,
                                 const Tensor &image);
 
+/**
+ * Per-frame records as RFC-4180 CSV with a fixed column set:
+ *
+ *     frame,budget,config,budget_met,healthy,degraded,retries,
+ *     quarantined_paths
+ *
+ * Every row always carries the health/quarantine columns (bools as
+ * 0/1) so downstream tooling never sees ragged rows, config labels
+ * are quoted/escaped when they contain delimiters, and budgets are
+ * printed with enough digits to round-trip exactly.
+ */
+std::string engineTraceCsv(const EngineTraceStats &stats);
+
+/** engineTraceCsv to a file. */
+Status writeEngineTraceCsv(const EngineTraceStats &stats,
+                           const std::string &path);
+
+/**
+ * Inverse of engineTraceCsv: parse the records back, returning a
+ * recoverable error on a wrong header or a malformed row/field.
+ */
+Result<std::vector<InferenceTraceRecord>>
+parseEngineTraceCsv(const std::string &csv);
+
 } // namespace vitdyn
 
 #endif // VITDYN_ENGINE_TRACE_HH

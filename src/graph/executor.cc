@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "tensor/ops.hh"
 #include "tensor/quant.hh"
 #include "util/logging.hh"
@@ -433,6 +435,9 @@ Executor::run(const std::map<std::string, Tensor> &inputs)
 
     healthReport_ = HealthReport{};
 
+    Tracer &tracer = Tracer::instance();
+    ScopedSpan run_span(tracer, "executor.run", "executor");
+
     // Liveness: free each activation after its last consumer runs.
     std::vector<int> last_use(n, -1);
     for (const Layer &layer : graph_.layers())
@@ -466,11 +471,21 @@ Executor::run(const std::map<std::string, Tensor> &inputs)
                               "' consumed before producer ran");
                 ins.push_back(&values[in_id]);
             }
+            const size_t issues_before = healthReport_.issues.size();
+            ScopedSpan span(tracer, layer.name,
+                            opCategoryName(layer.category()));
             values[layer.id] = execute(layer, ins);
             if (postHook_)
                 postHook_(layer, values[layer.id]);
             if (health_.enabled)
                 checkHealth(layer, values[layer.id]);
+            if (span.active()) {
+                span.arg("kind", layerKindName(layer.kind));
+                span.arg("flops", layer.flops());
+                if (health_.enabled)
+                    span.arg("healthy", healthReport_.issues.size() ==
+                                            issues_before);
+            }
         }
         computed[layer.id] = true;
 
@@ -497,6 +512,23 @@ Executor::run(const std::map<std::string, Tensor> &inputs)
             }
         }
     }
+
+    if (run_span.active()) {
+        run_span.arg("layers", static_cast<int64_t>(n));
+        run_span.arg("peak_live_bytes",
+                     static_cast<uint64_t>(stats_.peakLiveBytes));
+        if (health_.enabled)
+            run_span.arg("healthy", healthReport_.healthy);
+    }
+
+    // References cached once: registration locks, increments do not
+    // (and MetricsRegistry::reset zeroes in place, so they stay valid).
+    static Counter &runs =
+        MetricsRegistry::instance().counter("executor.runs");
+    static Counter &unhealthy_layers =
+        MetricsRegistry::instance().counter("executor.unhealthy_layers");
+    runs.add();
+    unhealthy_layers.add(healthReport_.issues.size());
 
     std::map<std::string, Tensor> outs;
     for (int out_id : graph_.outputs())

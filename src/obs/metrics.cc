@@ -1,0 +1,356 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/** Shortest deterministic rendering of a metric value. */
+std::string
+formatMetric(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** JSON string-body escaping (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out.push_back(ch);
+            }
+        }
+    }
+    return out;
+}
+
+/** fetch_add / fetch_min / fetch_max for atomic<double> via CAS. */
+void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMin(std::atomic<double> &target, double v)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !target.compare_exchange_weak(cur, v,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<double> &target, double v)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !target.compare_exchange_weak(cur, v,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+Status
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out)
+        return Status::error("cannot open '" + path + "' for writing");
+    out << content;
+    if (!out)
+        return Status::error("short write to '" + path + "'");
+    return Status::ok();
+}
+
+} // namespace
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count);
+
+    uint64_t cum = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        const uint64_t in_bucket = buckets[i];
+        if (in_bucket == 0)
+            continue;
+        const double prev = static_cast<double>(cum);
+        cum += in_bucket;
+        if (static_cast<double>(cum) < target)
+            continue;
+        // Bucket i spans (lo, hi]: the first bucket starts at the
+        // observed min, the overflow bucket ends at the observed max.
+        const double lo = i == 0 ? min : bounds[i - 1];
+        const double hi = i < bounds.size() ? bounds[i] : max;
+        const double fraction =
+            (target - prev) / static_cast<double>(in_bucket);
+        return lo + std::clamp(fraction, 0.0, 1.0) * (hi - lo);
+    }
+    return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    vitdyn_assert(!bounds_.empty(), "histogram needs >= 1 bucket bound");
+    vitdyn_assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                      bounds_.end(),
+                  "histogram bounds must be strictly ascending");
+}
+
+std::vector<double>
+Histogram::defaultLatencyBoundsMs()
+{
+    return {0.05, 0.1, 0.25, 0.5, 1.0,  2.5,  5.0,  10.0,  25.0,
+            50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+}
+
+void
+Histogram::observe(double value)
+{
+    const size_t i =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin();
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, value);
+    atomicMin(min_, value);
+    atomicMax(max_, value);
+}
+
+HistogramSnapshot
+Histogram::snapshot(const std::string &name) const
+{
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    // min/max idle at +/-inf until the first observation.
+    snap.min = snap.count ? min_.load(std::memory_order_relaxed) : 0.0;
+    snap.max = snap.count ? max_.load(std::memory_order_relaxed) : 0.0;
+    snap.bounds = bounds_;
+    snap.buckets.reserve(buckets_.size());
+    for (const auto &b : buckets_)
+        snap.buckets.push_back(b.load(std::memory_order_relaxed));
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+}
+
+const HistogramSnapshot *
+MetricsSnapshot::findHistogram(const std::string &n) const
+{
+    for (const HistogramSnapshot &h : histograms)
+        if (h.name == n)
+            return &h;
+    return nullptr;
+}
+
+uint64_t
+MetricsSnapshot::counterValue(const std::string &n) const
+{
+    for (const auto &[name, value] : counters)
+        if (name == n)
+            return value;
+    return 0;
+}
+
+std::string
+MetricsSnapshot::toCsv() const
+{
+    std::string out =
+        "kind,name,value,count,sum,min,max,p50,p95,p99\n";
+    for (const auto &[name, value] : counters)
+        out += csvJoin({"counter", name, std::to_string(value), "", "",
+                        "", "", "", "", ""}) +
+               "\n";
+    for (const auto &[name, value] : gauges)
+        out += csvJoin({"gauge", name, formatMetric(value), "", "", "",
+                        "", "", "", ""}) +
+               "\n";
+    for (const HistogramSnapshot &h : histograms)
+        out += csvJoin({"histogram", h.name, "",
+                        std::to_string(h.count), formatMetric(h.sum),
+                        formatMetric(h.min), formatMetric(h.max),
+                        formatMetric(h.quantile(0.50)),
+                        formatMetric(h.quantile(0.95)),
+                        formatMetric(h.quantile(0.99))}) +
+               "\n";
+    return out;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{\n  \"counters\": {";
+    for (size_t i = 0; i < counters.size(); ++i)
+        out += std::string(i ? "," : "") + "\n    \"" +
+               jsonEscape(counters[i].first) +
+               "\": " + std::to_string(counters[i].second);
+    out += counters.empty() ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    for (size_t i = 0; i < gauges.size(); ++i)
+        out += std::string(i ? "," : "") + "\n    \"" +
+               jsonEscape(gauges[i].first) +
+               "\": " + formatMetric(gauges[i].second);
+    out += gauges.empty() ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    for (size_t i = 0; i < histograms.size(); ++i) {
+        const HistogramSnapshot &h = histograms[i];
+        out += std::string(i ? "," : "") + "\n    \"" +
+               jsonEscape(h.name) + "\": {\"count\": " +
+               std::to_string(h.count) +
+               ", \"sum\": " + formatMetric(h.sum) +
+               ", \"min\": " + formatMetric(h.min) +
+               ", \"max\": " + formatMetric(h.max) +
+               ", \"p50\": " + formatMetric(h.quantile(0.50)) +
+               ", \"p95\": " + formatMetric(h.quantile(0.95)) +
+               ", \"p99\": " + formatMetric(h.quantile(0.99)) +
+               ", \"buckets\": [";
+        for (size_t b = 0; b < h.buckets.size(); ++b) {
+            const std::string le =
+                b < h.bounds.size()
+                    ? "\"le\": " + formatMetric(h.bounds[b])
+                    : std::string("\"le\": \"inf\"");
+            out += std::string(b ? ", " : "") + "{" + le +
+                   ", \"count\": " + std::to_string(h.buckets[b]) +
+                   "}";
+        }
+        out += "]}";
+    }
+    out += histograms.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+Status
+MetricsSnapshot::writeCsv(const std::string &path) const
+{
+    return writeFile(path, toCsv());
+}
+
+Status
+MetricsSnapshot::writeJson(const std::string &path) const
+{
+    return writeFile(path, toJson());
+}
+
+Status
+MetricsSnapshot::write(const std::string &path) const
+{
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    return json ? writeJson(path) : writeCsv(path);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<double> &bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(
+            bounds.empty() ? Histogram::defaultLatencyBoundsMs()
+                           : bounds);
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, c] : counters_)
+        snap.counters.emplace_back(name, c->value());
+    for (const auto &[name, g] : gauges_)
+        snap.gauges.emplace_back(name, g->value());
+    for (const auto &[name, h] : histograms_)
+        snap.histograms.push_back(h->snapshot(name));
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace vitdyn

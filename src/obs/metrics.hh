@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and fixed-bucket
+ * latency histograms with percentile estimation.
+ *
+ * Every subsystem of the DRT stack (executor, engine, budget
+ * controller, accelerator simulator) reports into one registry so a
+ * bench or a long-running deployment can snapshot "what happened" in
+ * one call and export it as CSV or JSON. Updates are lock-free after
+ * first registration (atomics); registration takes a mutex, so hot
+ * paths should cache the returned reference — metric objects are
+ * never deallocated while the registry lives, and reset() zeroes
+ * values in place rather than invalidating references.
+ *
+ * Percentiles use Prometheus-style linear interpolation inside the
+ * bucket containing the requested rank, which makes them exact at
+ * bucket boundaries (tested) and deterministic everywhere.
+ */
+
+#ifndef VITDYN_OBS_METRICS_HH
+#define VITDYN_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace vitdyn
+{
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Point-in-time copy of one histogram, with percentile estimation. */
+struct HistogramSnapshot
+{
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> bounds;     ///< Ascending upper bounds.
+    std::vector<uint64_t> buckets;  ///< bounds.size() + 1 (overflow).
+
+    double mean() const { return count ? sum / count : 0.0; }
+
+    /**
+     * Value at quantile @p q in [0, 1], linearly interpolated inside
+     * the containing bucket (first bucket starts at the observed min,
+     * the overflow bucket ends at the observed max). 0 when empty.
+     */
+    double quantile(double q) const;
+};
+
+/**
+ * Fixed-bucket histogram. A value lands in the first bucket whose
+ * upper bound is >= the value; values above every bound land in the
+ * overflow bucket. observe() is lock-free.
+ */
+class Histogram
+{
+  public:
+    /** @p bounds must be non-empty and strictly ascending. */
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double value);
+
+    HistogramSnapshot snapshot(const std::string &name) const;
+
+    void reset();
+
+    /** Default bounds: exponential milliseconds, 0.05 ms .. 10 s. */
+    static std::vector<double> defaultLatencyBoundsMs();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<uint64_t>> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    /** Idle at +/-inf so concurrent first observers need no seeding. */
+    std::atomic<double> min_{
+        std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{
+        -std::numeric_limits<double>::infinity()};
+};
+
+/** Point-in-time copy of a whole registry. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+
+    const HistogramSnapshot *findHistogram(const std::string &n) const;
+    /** Counter value, or 0 when absent. */
+    uint64_t counterValue(const std::string &n) const;
+
+    /**
+     * One row per metric: kind,name,value,count,sum,min,max,
+     * p50,p95,p99 — every row carries the full column set so
+     * downstream tooling never sees ragged rows.
+     */
+    std::string toCsv() const;
+
+    /** Nested JSON object keyed by metric name. */
+    std::string toJson() const;
+
+    Status writeCsv(const std::string &path) const;
+    Status writeJson(const std::string &path) const;
+
+    /** By extension: ".json" writes JSON, anything else CSV. */
+    Status write(const std::string &path) const;
+};
+
+/** Named metric registry; see file comment for the threading model. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry every subsystem reports into. */
+    static MetricsRegistry &instance();
+
+    /** Find-or-create; the reference stays valid for the registry's
+     *  lifetime (cache it on hot paths). */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find-or-create a histogram. @p bounds applies on first creation
+     * only (empty selects defaultLatencyBoundsMs()); later callers get
+     * the existing histogram regardless of bounds.
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &bounds = {});
+
+    /** Snapshot every metric, sorted by name. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero all values in place; references stay valid. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_OBS_METRICS_HH

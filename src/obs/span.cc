@@ -1,0 +1,285 @@
+#include "obs/span.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/** Per-thread nesting depth for span containment reporting. */
+thread_local int tlsSpanDepth = 0;
+
+/** Small sequential thread ids, stable for the process lifetime. */
+int
+threadId()
+{
+    static std::atomic<int> next{1};
+    thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+uint64_t
+steadyNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out.push_back(ch);
+            }
+        }
+    }
+    return out;
+}
+
+/** Nanoseconds -> microseconds with fixed 3-decimal rendering. */
+std::string
+microseconds(uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity)
+{
+    vitdyn_assert(capacity_ > 0, "tracer capacity must be positive");
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::setEnabled(bool on)
+{
+#ifdef VITDYN_TRACING_DISABLED
+    if (on)
+        warn("tracing requested but compiled out "
+             "(rebuild with -DVITDYN_TRACING=ON)");
+#else
+    enabled_.store(on, std::memory_order_relaxed);
+#endif
+}
+
+void
+Tracer::setClock(std::function<uint64_t()> clock)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    clock_ = std::move(clock);
+}
+
+uint64_t
+Tracer::now() const
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (clock_)
+            return clock_();
+    }
+    return steadyNowNs();
+}
+
+void
+Tracer::record(SpanEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    event.seq = seq_++;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+        ++size_;
+        return;
+    }
+    // Full: overwrite the oldest slot.
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Tracer::instant(std::string_view name, std::string_view category)
+{
+    if (!enabled())
+        return;
+    SpanEvent event;
+    event.name.assign(name);
+    event.category.assign(category);
+    event.startNs = now();
+    event.instant = true;
+    event.tid = threadId();
+    event.depth = tlsSpanDepth;
+    record(std::move(event));
+}
+
+std::vector<SpanEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SpanEvent> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+    head_ = 0;
+    size_ = 0;
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+void
+Tracer::setCapacity(size_t capacity)
+{
+    vitdyn_assert(capacity > 0, "tracer capacity must be positive");
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+    ring_.shrink_to_fit();
+    capacity_ = capacity;
+    head_ = 0;
+    size_ = 0;
+}
+
+void
+ScopedSpan::open(Tracer &tracer, std::string_view name,
+                 std::string_view category)
+{
+    tracer_ = &tracer;
+    event_.name.assign(name);
+    event_.category.assign(category);
+    event_.tid = threadId();
+    event_.depth = tlsSpanDepth++;
+    event_.startNs = tracer.now();
+}
+
+void
+ScopedSpan::close()
+{
+    const uint64_t end = tracer_->now();
+    event_.durationNs =
+        end > event_.startNs ? end - event_.startNs : 0;
+    --tlsSpanDepth;
+    tracer_->record(std::move(event_));
+    tracer_ = nullptr;
+}
+
+void
+ScopedSpan::pushArg(std::string_view key, std::string value,
+                    bool numeric)
+{
+    SpanArg arg;
+    arg.key.assign(key);
+    arg.value = std::move(value);
+    arg.numeric = numeric;
+    event_.args.push_back(std::move(arg));
+}
+
+void
+ScopedSpan::arg(std::string_view key, double value)
+{
+    if (!tracer_)
+        return;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    pushArg(key, buf, true);
+}
+
+std::string
+chromeTraceJson(const std::vector<SpanEvent> &events)
+{
+    std::vector<const SpanEvent *> sorted;
+    sorted.reserve(events.size());
+    for (const SpanEvent &e : events)
+        sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SpanEvent *a, const SpanEvent *b) {
+                  return a->startNs != b->startNs
+                             ? a->startNs < b->startNs
+                             : a->seq < b->seq;
+              });
+
+    std::string out = "{\"traceEvents\":[";
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        const SpanEvent &e = *sorted[i];
+        out += i ? ",\n" : "\n";
+        out += "{\"name\":\"" + jsonEscape(e.name) + "\",\"cat\":\"" +
+               jsonEscape(e.category) + "\",\"ph\":\"" +
+               (e.instant ? "i" : "X") +
+               "\",\"ts\":" + microseconds(e.startNs);
+        if (e.instant)
+            out += ",\"s\":\"t\"";
+        else
+            out += ",\"dur\":" + microseconds(e.durationNs);
+        out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+        if (!e.args.empty()) {
+            out += ",\"args\":{";
+            for (size_t a = 0; a < e.args.size(); ++a) {
+                const SpanArg &arg = e.args[a];
+                out += std::string(a ? "," : "") + "\"" +
+                       jsonEscape(arg.key) + "\":";
+                if (arg.numeric)
+                    out += arg.value;
+                else
+                    out += "\"" + jsonEscape(arg.value) + "\"";
+            }
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+Status
+writeChromeTrace(const std::vector<SpanEvent> &events,
+                 const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return Status::error("cannot open '" + path +
+                             "' for writing");
+    out << chromeTraceJson(events);
+    if (!out)
+        return Status::error("short write to '" + path + "'");
+    return Status::ok();
+}
+
+} // namespace vitdyn

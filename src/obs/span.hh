@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Low-overhead scoped-span tracer with a Chrome trace-event exporter.
+ *
+ * A ScopedSpan brackets a region of work (one engine frame, one layer
+ * execution, one simulated graph) with monotonic-clock timestamps and
+ * optional key/value args; completed spans land in a thread-safe ring
+ * buffer whose contents export as Chrome trace-event JSON, loadable
+ * in chrome://tracing / https://ui.perfetto.dev.
+ *
+ * Cost model:
+ *  - runtime off (the default): one relaxed atomic load per span —
+ *    measured <2% on the engine's real-tensor hot path;
+ *  - compiled out (cmake -DVITDYN_TRACING=OFF defines
+ *    VITDYN_TRACING_DISABLED): Tracer::enabled() is a constant false
+ *    and every span inlines to nothing;
+ *  - enabled: timestamps are taken without a lock; only the final
+ *    ring push locks. When the ring is full the oldest span is
+ *    dropped and dropped() counts it — tracing never blocks the
+ *    workload.
+ *
+ * The clock is injectable (setClock) so tests get byte-stable
+ * exporter output; the default reads std::chrono::steady_clock.
+ */
+
+#ifndef VITDYN_OBS_SPAN_HH
+#define VITDYN_OBS_SPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace vitdyn
+{
+
+/** One key/value annotation on a span. */
+struct SpanArg
+{
+    std::string key;
+    std::string value;
+    bool numeric = false; ///< Emit unquoted in JSON (number/bool).
+};
+
+/** A completed span (or instant event) in the ring buffer. */
+struct SpanEvent
+{
+    std::string name;
+    std::string category;
+    uint64_t startNs = 0;
+    uint64_t durationNs = 0;
+    int tid = 0;        ///< Small sequential thread id.
+    int depth = 0;      ///< Nesting depth at record time (0 = root).
+    uint64_t seq = 0;   ///< Global record order (ties in startNs).
+    bool instant = false;
+    std::vector<SpanArg> args;
+};
+
+/** Thread-safe fixed-capacity span sink; see file comment. */
+class Tracer
+{
+  public:
+    explicit Tracer(size_t capacity = 1 << 16);
+
+    /** The process-wide tracer all instrumentation reports into. */
+    static Tracer &instance();
+
+    /** Runtime switch; off by default. No-op when compiled out. */
+    void setEnabled(bool on);
+
+    bool enabled() const
+    {
+#ifdef VITDYN_TRACING_DISABLED
+        return false;
+#else
+        return enabled_.load(std::memory_order_relaxed);
+#endif
+    }
+
+    /**
+     * Install a deterministic clock returning nanoseconds (tests);
+     * nullptr restores the monotonic std::chrono::steady_clock.
+     */
+    void setClock(std::function<uint64_t()> clock);
+
+    /** Current time in nanoseconds on the (possibly stubbed) clock. */
+    uint64_t now() const;
+
+    /** Completed spans, oldest first. */
+    std::vector<SpanEvent> events() const;
+
+    /** Record a zero-duration marker event (quarantine, panic...). */
+    void instant(std::string_view name, std::string_view category);
+
+    /** Append a completed span; called by ScopedSpan. */
+    void record(SpanEvent event);
+
+    void clear();
+
+    /** Spans discarded because the ring was full. */
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Resize the ring; existing events are discarded. */
+    void setCapacity(size_t capacity);
+
+  private:
+    int currentTid();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> dropped_{0};
+    mutable std::mutex mutex_;
+    std::vector<SpanEvent> ring_;
+    size_t capacity_;
+    size_t head_ = 0; ///< Index of the oldest event.
+    size_t size_ = 0;
+    uint64_t seq_ = 0;
+    std::function<uint64_t()> clock_;
+};
+
+/**
+ * RAII span: captures the start time at construction (when the tracer
+ * is enabled) and records itself at scope exit. arg() annotates; all
+ * methods are no-ops on an inactive span, so call sites need no
+ * enabled() guards of their own.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Tracer &tracer, std::string_view name,
+               std::string_view category)
+    {
+        if (tracer.enabled())
+            open(tracer, name, category);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan()
+    {
+        if (tracer_)
+            close();
+    }
+
+    bool active() const { return tracer_ != nullptr; }
+
+    void arg(std::string_view key, std::string_view value)
+    {
+        if (tracer_)
+            pushArg(key, std::string(value), false);
+    }
+
+    void arg(std::string_view key, const char *value)
+    {
+        if (tracer_)
+            pushArg(key, value, false);
+    }
+
+    void arg(std::string_view key, double value);
+
+    void arg(std::string_view key, int64_t value)
+    {
+        if (tracer_)
+            pushArg(key, std::to_string(value), true);
+    }
+
+    void arg(std::string_view key, uint64_t value)
+    {
+        if (tracer_)
+            pushArg(key, std::to_string(value), true);
+    }
+
+    void arg(std::string_view key, int value)
+    {
+        arg(key, static_cast<int64_t>(value));
+    }
+
+    void arg(std::string_view key, bool value)
+    {
+        if (tracer_)
+            pushArg(key, value ? "true" : "false", true);
+    }
+
+  private:
+    void open(Tracer &tracer, std::string_view name,
+              std::string_view category);
+    void close();
+    void pushArg(std::string_view key, std::string value,
+                 bool numeric);
+
+    Tracer *tracer_ = nullptr;
+    SpanEvent event_;
+};
+
+/**
+ * Render spans as a Chrome trace-event JSON document (the
+ * {"traceEvents": [...]} object form), sorted by start time so
+ * nesting reads naturally. Timestamps are microseconds with
+ * nanosecond resolution.
+ */
+std::string chromeTraceJson(const std::vector<SpanEvent> &events);
+
+/** chromeTraceJson to a file. */
+Status writeChromeTrace(const std::vector<SpanEvent> &events,
+                        const std::string &path);
+
+} // namespace vitdyn
+
+#endif // VITDYN_OBS_SPAN_HH

@@ -1,0 +1,102 @@
+#include "util/csv.hh"
+
+namespace vitdyn
+{
+
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\r\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += "\"\"";
+        else
+            out.push_back(ch);
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+csvJoin(const std::vector<std::string> &fields)
+{
+    std::string out;
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out.push_back(',');
+        out += csvEscape(fields[i]);
+    }
+    return out;
+}
+
+std::vector<std::vector<std::string>>
+csvParse(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string field;
+    bool quoted = false;
+    bool field_started = false;
+
+    auto end_field = [&] {
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = false;
+    };
+    auto end_row = [&] {
+        end_field();
+        rows.push_back(std::move(row));
+        row.clear();
+    };
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char ch = text[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field.push_back('"');
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field.push_back(ch);
+            }
+            continue;
+        }
+        switch (ch) {
+          case '"':
+            // Only a quote opening an empty field starts quoting;
+            // a stray quote mid-field is kept literally.
+            if (field.empty() && !field_started)
+                quoted = true;
+            else
+                field.push_back(ch);
+            field_started = true;
+            break;
+          case ',':
+            end_field();
+            break;
+          case '\r':
+            if (i + 1 < text.size() && text[i + 1] == '\n')
+                ++i;
+            end_row();
+            break;
+          case '\n':
+            end_row();
+            break;
+          default:
+            field.push_back(ch);
+            field_started = true;
+            break;
+        }
+    }
+    // Final row without a trailing newline.
+    if (field_started || !field.empty() || !row.empty())
+        end_row();
+    return rows;
+}
+
+} // namespace vitdyn

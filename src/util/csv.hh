@@ -1,0 +1,42 @@
+/**
+ * @file
+ * RFC-4180-style CSV escaping, joining, and parsing.
+ *
+ * Every CSV the library emits (tables, metrics snapshots, engine
+ * traces, fault plans) funnels through these helpers so fields
+ * containing commas, quotes, or newlines survive a round trip through
+ * external tooling. Parsing is the exact inverse of emission: quoted
+ * fields may contain embedded separators, doubled quotes, and
+ * newlines.
+ */
+
+#ifndef VITDYN_UTIL_CSV_HH
+#define VITDYN_UTIL_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace vitdyn
+{
+
+/**
+ * Escape one field for CSV emission: fields containing a comma, a
+ * double quote, or a line break are wrapped in quotes with inner
+ * quotes doubled; anything else passes through unchanged.
+ */
+std::string csvEscape(const std::string &field);
+
+/** Join fields into one CSV row (no trailing newline). */
+std::string csvJoin(const std::vector<std::string> &fields);
+
+/**
+ * Parse a CSV document into rows of unescaped fields. Handles quoted
+ * fields with embedded commas, doubled quotes, and newlines; accepts
+ * both \n and \r\n row terminators. A trailing newline does not
+ * produce an empty final row.
+ */
+std::vector<std::vector<std::string>> csvParse(const std::string &text);
+
+} // namespace vitdyn
+
+#endif // VITDYN_UTIL_CSV_HH

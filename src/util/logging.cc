@@ -1,6 +1,7 @@
 #include "util/logging.hh"
 
 #include <atomic>
+#include <cctype>
 
 namespace vitdyn
 {
@@ -8,7 +9,29 @@ namespace vitdyn
 namespace
 {
 
-std::atomic<LogLevel> globalLevel{LogLevel::Inform};
+/**
+ * Startup level from the VITDYN_LOG_LEVEL environment variable.
+ * Runs during static initialization, so an unknown value reports via
+ * raw stderr (the logging machinery itself is what is being set up).
+ */
+LogLevel
+initialLogLevel()
+{
+    const char *env = std::getenv("VITDYN_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Inform;
+    bool ok = false;
+    const LogLevel level = parseLogLevel(env, &ok);
+    if (!ok)
+        std::fprintf(stderr,
+                     "warn: unknown VITDYN_LOG_LEVEL '%s' "
+                     "(expected silent/warn/inform/debug); "
+                     "defaulting to inform\n",
+                     env);
+    return level;
+}
+
+std::atomic<LogLevel> globalLevel{initialLogLevel()};
 
 } // namespace
 
@@ -22,6 +45,30 @@ void
 setLogLevel(LogLevel level)
 {
     globalLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string &name, bool *ok)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char ch : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch))));
+
+    if (ok)
+        *ok = true;
+    if (lower == "silent")
+        return LogLevel::Silent;
+    if (lower == "warn")
+        return LogLevel::Warn;
+    if (lower == "inform")
+        return LogLevel::Inform;
+    if (lower == "debug")
+        return LogLevel::Debug;
+    if (ok)
+        *ok = false;
+    return LogLevel::Inform;
 }
 
 namespace detail
@@ -51,6 +98,12 @@ void
 informImpl(const std::string &msg)
 {
     std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 
 } // namespace detail

@@ -27,11 +27,22 @@ namespace vitdyn
 /** Verbosity levels for status messages. */
 enum class LogLevel { Silent, Warn, Inform, Debug };
 
-/** Global log level; messages below this level are suppressed. */
+/**
+ * Global log level; messages below this level are suppressed.
+ * Initialized from the VITDYN_LOG_LEVEL environment variable
+ * (silent / warn / inform / debug, case-insensitive) at startup,
+ * defaulting to Inform.
+ */
 LogLevel logLevel();
 
 /** Set the global log level. */
 void setLogLevel(LogLevel level);
+
+/**
+ * Parse a level name ("silent"/"warn"/"inform"/"debug",
+ * case-insensitive). Unknown names return Inform and set *ok false.
+ */
+LogLevel parseLogLevel(const std::string &name, bool *ok = nullptr);
 
 namespace detail
 {
@@ -52,6 +63,7 @@ formatParts(Args &&...args)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 } // namespace detail
 
@@ -97,6 +109,15 @@ inform(Args &&...args)
 {
     if (logLevel() >= LogLevel::Inform)
         detail::informImpl(detail::formatParts(std::forward<Args>(args)...));
+}
+
+/** Emit a verbose diagnostic (VITDYN_LOG_LEVEL=debug only). */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::debugImpl(detail::formatParts(std::forward<Args>(args)...));
 }
 
 } // namespace vitdyn

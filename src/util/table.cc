@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/csv.hh"
 #include "util/logging.hh"
 
 namespace vitdyn
@@ -87,28 +88,9 @@ Table::toString() const
 std::string
 Table::toCsv() const
 {
-    auto esc = [](const std::string &s) {
-        if (s.find_first_of(",\"\n") == std::string::npos)
-            return s;
-        std::string q = "\"";
-        for (char ch : s) {
-            if (ch == '"')
-                q += "\"\"";
-            else
-                q.push_back(ch);
-        }
-        return q + "\"";
-    };
-
-    std::string out;
-    for (size_t c = 0; c < headers_.size(); ++c)
-        out += (c ? "," : "") + esc(headers_[c]);
-    out += "\n";
-    for (const auto &row : rows_) {
-        for (size_t c = 0; c < row.size(); ++c)
-            out += (c ? "," : "") + esc(row[c]);
-        out += "\n";
-    }
+    std::string out = csvJoin(headers_) + "\n";
+    for (const auto &row : rows_)
+        out += csvJoin(row) + "\n";
     return out;
 }
 

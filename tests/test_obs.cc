@@ -1,0 +1,292 @@
+/** @file Tests of the observability layer: metrics registry,
+ * histogram percentiles, scoped spans, and the exporters. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(Histogram, QuantilesExactAtBucketBoundaries)
+{
+    // 1..100 with bounds at the quantile targets: the Prometheus
+    // interpolation is exact when the rank lands on a bucket edge.
+    Histogram h({50.0, 95.0, 99.0, 100.0});
+    for (int v = 1; v <= 100; ++v)
+        h.observe(static_cast<double>(v));
+
+    const HistogramSnapshot snap = h.snapshot("h");
+    EXPECT_EQ(snap.count, 100u);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, 100.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.00), 100.0);
+}
+
+TEST(Histogram, QuantileInterpolatesInsideBucket)
+{
+    // One bucket spanning (min, 10]: quantiles interpolate linearly
+    // between the observed min and the bucket bound.
+    Histogram h({10.0});
+    h.observe(2.0);
+    h.observe(4.0);
+    h.observe(6.0);
+    h.observe(8.0);
+
+    const HistogramSnapshot snap = h.snapshot("h");
+    // target = 0.5 * 4 = 2 of 4 in-bucket -> halfway from min to 10.
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 2.0 + 0.5 * (10.0 - 2.0));
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero)
+{
+    Histogram h({1.0, 2.0});
+    const HistogramSnapshot snap = h.snapshot("empty");
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_DOUBLE_EQ(snap.min, 0.0);
+    EXPECT_DOUBLE_EQ(snap.max, 0.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, OverflowBucketEndsAtObservedMax)
+{
+    Histogram h({1.0});
+    h.observe(5.0);
+    h.observe(9.0); // both above every bound -> overflow bucket
+    const HistogramSnapshot snap = h.snapshot("h");
+    EXPECT_EQ(snap.buckets.back(), 2u);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 9.0);
+}
+
+TEST(Histogram, ResetZeroesInPlace)
+{
+    Histogram h({1.0});
+    h.observe(0.5);
+    h.reset();
+    const HistogramSnapshot snap = h.snapshot("h");
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+    EXPECT_DOUBLE_EQ(snap.min, 0.0);
+    h.observe(3.0);
+    EXPECT_DOUBLE_EQ(h.snapshot("h").min, 3.0);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsAllLand)
+{
+    MetricsRegistry registry;
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 10000;
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&registry] {
+            Counter &c = registry.counter("hits");
+            for (int i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(registry.counter("hits").value(),
+              static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Metrics, ConcurrentHistogramObservesAllLand)
+{
+    MetricsRegistry registry;
+    constexpr int kThreads = 4;
+    constexpr int kObs = 5000;
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&registry, t] {
+            Histogram &h = registry.histogram("lat", {1.0, 2.0});
+            for (int i = 0; i < kObs; ++i)
+                h.observe(t == 0 ? 0.5 : 1.5);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    const HistogramSnapshot snap =
+        registry.histogram("lat").snapshot("lat");
+    EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kObs);
+    EXPECT_DOUBLE_EQ(snap.min, 0.5);
+    EXPECT_DOUBLE_EQ(snap.max, 1.5);
+    EXPECT_EQ(snap.buckets[0], static_cast<uint64_t>(kObs));
+    EXPECT_EQ(snap.buckets[1], static_cast<uint64_t>(3 * kObs));
+}
+
+TEST(Metrics, RegistryReferencesSurviveReset)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("events");
+    c.add(41);
+    registry.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.add(1);
+    EXPECT_EQ(registry.snapshot().counterValue("events"), 1u);
+}
+
+TEST(Metrics, SnapshotCsvIsByteStable)
+{
+    MetricsRegistry registry;
+    registry.counter("drt.frames").add(3);
+    registry.gauge("controller.bias").set(1.25);
+    Histogram &h = registry.histogram("lat", {1.0, 2.0});
+    h.observe(1.0);
+    h.observe(2.0);
+
+    EXPECT_EQ(registry.snapshot().toCsv(),
+              "kind,name,value,count,sum,min,max,p50,p95,p99\n"
+              "counter,drt.frames,3,,,,,,,\n"
+              "gauge,controller.bias,1.25,,,,,,,\n"
+              "histogram,lat,,2,3,1,2,1,1.9,1.98\n");
+}
+
+#ifdef VITDYN_TRACING_DISABLED
+TEST(Span, CompiledOutSpansAreInert)
+{
+    Tracer tracer;
+    tracer.setEnabled(true); // warns; stays off
+    EXPECT_FALSE(tracer.enabled());
+    ScopedSpan span(tracer, "x", "test");
+    EXPECT_FALSE(span.active());
+}
+#else
+
+/** A tracer on a deterministic clock advancing 1 us per read. */
+struct FixedClockTracer
+{
+    Tracer tracer;
+    uint64_t nowNs = 0;
+
+    FixedClockTracer()
+    {
+        tracer.setClock([this] {
+            const uint64_t t = nowNs;
+            nowNs += 1000;
+            return t;
+        });
+        tracer.setEnabled(true);
+    }
+};
+
+TEST(Span, DisabledTracerRecordsNothing)
+{
+    Tracer tracer;
+    {
+        ScopedSpan span(tracer, "x", "test");
+        EXPECT_FALSE(span.active());
+        span.arg("k", "v"); // no-op, must not crash
+    }
+    EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Span, NestingDepthAndOrdering)
+{
+    FixedClockTracer fixture;
+    Tracer &tracer = fixture.tracer;
+    {
+        ScopedSpan outer(tracer, "frame", "engine");
+        {
+            ScopedSpan inner(tracer, "layer", "executor");
+        }
+        tracer.instant("quarantine", "engine");
+    }
+
+    const std::vector<SpanEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 3u);
+    // Inner closes first, the instant lands next, outer closes last.
+    EXPECT_EQ(events[0].name, "layer");
+    EXPECT_EQ(events[0].depth, 1);
+    EXPECT_EQ(events[1].name, "quarantine");
+    EXPECT_TRUE(events[1].instant);
+    EXPECT_EQ(events[2].name, "frame");
+    EXPECT_EQ(events[2].depth, 0);
+    // The outer span starts before and ends after the inner one.
+    EXPECT_LT(events[2].startNs, events[0].startNs);
+    EXPECT_GT(events[2].startNs + events[2].durationNs,
+              events[0].startNs + events[0].durationNs);
+}
+
+TEST(Span, RingOverflowDropsOldest)
+{
+    Tracer tracer(4);
+    tracer.setEnabled(true);
+    for (int i = 0; i < 6; ++i)
+        tracer.instant("e" + std::to_string(i), "test");
+
+    const std::vector<SpanEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(tracer.dropped(), 2u);
+    EXPECT_EQ(events.front().name, "e2");
+    EXPECT_EQ(events.back().name, "e5");
+}
+
+TEST(Span, ChromeTraceJsonIsByteStable)
+{
+    // Hand-built events: no thread ids or clocks involved, so the
+    // exporter output must match byte for byte.
+    SpanEvent outer;
+    outer.name = "drt.infer";
+    outer.category = "engine";
+    outer.startNs = 1000;
+    outer.durationNs = 4500;
+    outer.tid = 1;
+    outer.seq = 1;
+    outer.args = {{"budget", "12.5", true}, {"path", "full", false}};
+
+    SpanEvent inner;
+    inner.name = "layer \"a\"";
+    inner.category = "executor";
+    inner.startNs = 2000;
+    inner.durationNs = 1000;
+    inner.tid = 1;
+    inner.seq = 0; // recorded first (closed first), starts later
+    inner.depth = 1;
+
+    EXPECT_EQ(
+        chromeTraceJson({inner, outer}),
+        "{\"traceEvents\":[\n"
+        "{\"name\":\"drt.infer\",\"cat\":\"engine\",\"ph\":\"X\","
+        "\"ts\":1.000,\"dur\":4.500,\"pid\":1,\"tid\":1,"
+        "\"args\":{\"budget\":12.5,\"path\":\"full\"}},\n"
+        "{\"name\":\"layer \\\"a\\\"\",\"cat\":\"executor\","
+        "\"ph\":\"X\",\"ts\":2.000,\"dur\":1.000,\"pid\":1,"
+        "\"tid\":1}\n"
+        "],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(Span, ScopedSpanArgsRenderTyped)
+{
+    FixedClockTracer fixture;
+    Tracer &tracer = fixture.tracer;
+    {
+        ScopedSpan span(tracer, "s", "test");
+        span.arg("str", "text");
+        span.arg("int", static_cast<int64_t>(-3));
+        span.arg("flag", true);
+        span.arg("ratio", 0.5);
+    }
+    const std::vector<SpanEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 1u);
+    ASSERT_EQ(events[0].args.size(), 4u);
+    EXPECT_FALSE(events[0].args[0].numeric);
+    EXPECT_TRUE(events[0].args[1].numeric);
+    EXPECT_EQ(events[0].args[1].value, "-3");
+    EXPECT_EQ(events[0].args[2].value, "true");
+    EXPECT_EQ(events[0].args[3].value, "0.5");
+}
+#endif // VITDYN_TRACING_DISABLED
+
+} // namespace
+} // namespace vitdyn

@@ -139,5 +139,71 @@ TEST_P(TracePolicy, SelectionAlwaysRespectsBudgetWhenPossible)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TracePolicy, testing::Range(1, 9));
 
+TEST(TraceCsv, RoundTripsRecordsExactly)
+{
+    EngineTraceStats stats;
+    InferenceTraceRecord a;
+    a.frame = 0;
+    a.budget = 12.300000000000001; // not representable in few digits
+    a.configLabel = "full,fused"; // needs quoting
+    a.budgetMet = true;
+    a.healthy = false;
+    a.degraded = true;
+    a.retries = 2;
+    a.quarantinedPaths = 1;
+    InferenceTraceRecord b;
+    b.frame = 1;
+    b.budget = 0.1;
+    b.configLabel = "say \"hi\""; // needs quote doubling
+    b.budgetMet = false;
+    stats.records = {a, b};
+
+    const std::string csv = engineTraceCsv(stats);
+    // Fixed header; health/quarantine columns always present.
+    EXPECT_EQ(csv.rfind("frame,budget,config,budget_met,healthy,"
+                        "degraded,retries,quarantined_paths\n",
+                        0),
+              0u);
+
+    auto parsed = parseEngineTraceCsv(csv);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().message();
+    const std::vector<InferenceTraceRecord> &records = parsed.value();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].frame, 0);
+    EXPECT_DOUBLE_EQ(records[0].budget, a.budget);
+    EXPECT_EQ(records[0].configLabel, "full,fused");
+    EXPECT_TRUE(records[0].budgetMet);
+    EXPECT_FALSE(records[0].healthy);
+    EXPECT_TRUE(records[0].degraded);
+    EXPECT_EQ(records[0].retries, 2);
+    EXPECT_EQ(records[0].quarantinedPaths, 1u);
+    EXPECT_EQ(records[1].configLabel, "say \"hi\"");
+    EXPECT_DOUBLE_EQ(records[1].budget, 0.1);
+    EXPECT_FALSE(records[1].budgetMet);
+    EXPECT_TRUE(records[1].healthy);
+}
+
+TEST(TraceCsv, ParseRejectsMalformedInput)
+{
+    EXPECT_FALSE(parseEngineTraceCsv("").isOk());
+    EXPECT_FALSE(parseEngineTraceCsv("frame,nope\n").isOk());
+
+    const std::string header =
+        "frame,budget,config,budget_met,healthy,degraded,retries,"
+        "quarantined_paths\n";
+    // Ragged row.
+    EXPECT_FALSE(parseEngineTraceCsv(header + "0,1.0,full\n").isOk());
+    // Non-numeric frame and non-0/1 boolean.
+    EXPECT_FALSE(
+        parseEngineTraceCsv(header + "x,1.0,full,1,1,0,0,0\n").isOk());
+    EXPECT_FALSE(
+        parseEngineTraceCsv(header + "0,1.0,full,yes,1,0,0,0\n")
+            .isOk());
+    // Header alone is a valid empty trace.
+    auto empty = parseEngineTraceCsv(header);
+    ASSERT_TRUE(empty.isOk());
+    EXPECT_TRUE(empty.value().empty());
+}
+
 } // namespace
 } // namespace vitdyn

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "util/args.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 #include "util/table.hh"
 
@@ -186,6 +188,50 @@ TEST(ArgParser, UnparsedKeepsDefault)
     const char *argv[] = {"prog"};
     p.parse(1, const_cast<char **>(argv));
     EXPECT_EQ(p.getInt("size"), 128);
+}
+
+TEST(Csv, EscapeQuotesOnlyWhenNeeded)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, ParseInvertsEmission)
+{
+    const std::vector<std::vector<std::string>> rows = {
+        {"frame", "label", "note"},
+        {"0", "full,fused", "said \"ok\""},
+        {"1", "multi\nline", ""},
+    };
+    std::string doc;
+    for (const auto &row : rows)
+        doc += csvJoin(row) + "\n";
+    EXPECT_EQ(csvParse(doc), rows);
+}
+
+TEST(Csv, ParseHandlesCrLfAndNoTrailingNewline)
+{
+    const auto rows = csvParse("a,b\r\n1,2");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Logging, ParseLogLevelNamesAndCase)
+{
+    bool ok = false;
+    EXPECT_EQ(parseLogLevel("silent", &ok), LogLevel::Silent);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("WARN", &ok), LogLevel::Warn);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("Inform", &ok), LogLevel::Inform);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("debug", &ok), LogLevel::Debug);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("loud", &ok), LogLevel::Inform);
+    EXPECT_FALSE(ok);
 }
 
 } // namespace

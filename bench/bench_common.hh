@@ -7,10 +7,11 @@
  *
  * Every bench built on VITDYN_BENCH_MAIN also understands
  * --trace-out=<path> (enable the scoped-span tracer and dump a Chrome
- * trace-event JSON at exit) and --metrics-out=<path> (dump a metrics
- * snapshot as CSV, or JSON for a .json path) — no per-bench code
- * needed. Both flags are stripped from argv before google-benchmark
- * sees them.
+ * trace-event JSON at exit), --metrics-out=<path> (dump a metrics
+ * snapshot as CSV, or JSON for a .json path), and --threads=<n>
+ * (resize the process-wide kernel thread pool; n=0 restores the
+ * VITDYN_THREADS / hardware default) — no per-bench code needed. All
+ * flags are stripped from argv before google-benchmark sees them.
  */
 
 #ifndef VITDYN_BENCH_COMMON_HH
@@ -18,6 +19,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -25,6 +28,7 @@
 #include "obs/span.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/threadpool.hh"
 
 namespace vitdyn
 {
@@ -67,9 +71,15 @@ class BenchTelemetry
                 }
                 return false;
             };
+            std::string threads;
             if (take_value("--trace-out", &traceOut_) ||
                 take_value("--metrics-out", &metricsOut_))
                 continue;
+            if (take_value("--threads", &threads)) {
+                ThreadPool::instance().resize(
+                    std::max(0, std::atoi(threads.c_str())));
+                continue;
+            }
             argv[out++] = argv[i];
         }
         argv[out] = nullptr;

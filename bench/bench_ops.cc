@@ -9,14 +9,93 @@
 
 #include "bench_common.hh"
 
+#include <chrono>
+#include <cstring>
+#include <functional>
+
 #include "tensor/ops.hh"
 #include "tensor/quant.hh"
 #include "util/random.hh"
+#include "util/threadpool.hh"
 
 namespace vitdyn
 {
 namespace
 {
+
+/** Median-of-3 wall time of @p fn, in milliseconds. */
+double
+timeMs(const std::function<Tensor()> &fn, Tensor *out = nullptr)
+{
+    double best = 0.0;
+    std::vector<double> runs;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Tensor y = fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        runs.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        if (rep == 0 && out)
+            *out = std::move(y);
+    }
+    std::sort(runs.begin(), runs.end());
+    best = runs[1];
+    return best;
+}
+
+/**
+ * The before/after table the threading work is judged on: the
+ * SegFormer-B2 decoder Conv2DFuse layer (1x1 conv fusing the four
+ * upsampled stage embeddings, C = 4*768 = 3072 -> K = 768) timed
+ * sequentially, threaded, and through the im2col/GEMM fast path.
+ * Outputs are checked bit-identical across all variants.
+ */
+void
+conv2dFuseTable()
+{
+    const int threads = ThreadPool::instance().threads();
+    Rng rng(42);
+    Tensor x = Tensor::randn({1, 3072, 16, 16}, rng);
+    Tensor w = Tensor::randn({768, 3072, 1, 1}, rng);
+    Tensor b = Tensor::randn({768}, rng);
+    const Conv2dParams p;
+    const double gflop = 2.0 * 768 * 3072 * 16 * 16 / 1e9;
+
+    Tensor ref, y;
+    ThreadPool::instance().resize(1);
+    const double seq_ms = timeMs(
+        [&] { return conv2d(x, w, b, p, Conv2dAlgo::Direct); }, &ref);
+    ThreadPool::instance().resize(threads);
+    const double par_ms = timeMs(
+        [&] { return conv2d(x, w, b, p, Conv2dAlgo::Direct); }, &y);
+    const bool par_ok = std::memcmp(ref.data(), y.data(),
+                                    sizeof(float) * ref.numel()) == 0;
+    Conv2dWorkspace ws;
+    const double gemm_cold_ms = timeMs(
+        [&] { return conv2d(x, w, b, p, Conv2dAlgo::Im2col, &ws); }, &y);
+    const bool gemm_ok = std::memcmp(ref.data(), y.data(),
+                                     sizeof(float) * ref.numel()) == 0;
+    // Warm workspace: what the Executor sees from frame 2 onward.
+    const double gemm_ms = timeMs(
+        [&] { return conv2d(x, w, b, p, Conv2dAlgo::Im2col, &ws); });
+
+    auto row = [&](const char *name, int t, double ms, bool exact) {
+        return std::vector<std::string>{
+            name, std::to_string(t), Table::num(ms, 1),
+            Table::num(gflop / (ms / 1e3), 2),
+            Table::num(seq_ms / ms, 2), exact ? "yes" : "NO"};
+    };
+    Table table("SegFormer-B2 Conv2DFuse (1x3072x16x16 -> 768): "
+                "threading before/after",
+                {"variant", "threads", "ms", "GFLOP/s", "speedup",
+                 "bit-identical"});
+    table.addRow(row("direct sequential", 1, seq_ms, true));
+    table.addRow(row("direct threaded", threads, par_ms, par_ok));
+    table.addRow(
+        row("im2col cold workspace", threads, gemm_cold_ms, gemm_ok));
+    table.addRow(row("im2col warm workspace", threads, gemm_ms, gemm_ok));
+    emitTable(table, "bench_ops_conv2dfuse");
+}
 
 void
 produceTables()
@@ -26,6 +105,7 @@ produceTables()
     note.addRow({"conv2d / linear / attention / softmax / layernorm / "
                  "interpolate / int8 variants"});
     note.print();
+    conv2dFuseTable();
 }
 
 void

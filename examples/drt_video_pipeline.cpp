@@ -6,7 +6,7 @@
  * execution path that fits the remaining time budget, and every frame
  * completes — at reduced accuracy when the system is busy.
  *
- *   ./drt_video_pipeline [--frames 12] [--seed 3]
+ *   ./drt_video_pipeline [--frames 12] [--seed 3] [--threads N]
  *       [--trace-out trace.json] [--metrics-out metrics.csv]
  */
 
@@ -20,6 +20,7 @@
 #include "obs/span.hh"
 #include "profile/gpu_model.hh"
 #include "util/args.hh"
+#include "util/threadpool.hh"
 #include "workload/synthetic.hh"
 
 using namespace vitdyn;
@@ -35,7 +36,14 @@ main(int argc, char **argv)
     args.addOption("metrics-out", "",
                    "write a metrics snapshot here (.json for JSON, "
                    "anything else CSV)");
+    args.addOption("threads", "0",
+                   "kernel thread-pool size (0 = VITDYN_THREADS or "
+                   "hardware default)");
     args.parse(argc, argv);
+
+    const int threads = static_cast<int>(args.getInt("threads"));
+    if (threads > 0)
+        ThreadPool::instance().resize(threads);
 
     const std::string trace_out = args.get("trace-out");
     const std::string metrics_out = args.get("metrics-out");

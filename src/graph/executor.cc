@@ -108,6 +108,10 @@ Executor::mutateWeights(const std::string &layer_name,
         if (weight.numel() == 0)
             return false;
         fn(weight);
+        // The conv workspace may cache a repacked copy of the weights;
+        // drop it so the mutation is visible to the next run.
+        if (auto ws = convWs_.find(layer.id); ws != convWs_.end())
+            ws->second.invalidate();
         return true;
     }
     return false;
@@ -261,7 +265,8 @@ Executor::execute(const Layer &layer, const std::vector<Tensor *> &ins)
         if (int8_)
             return conv2dInt8(quantize(*ins.at(0)),
                               quantize(lw.weight), lw.bias, p);
-        return conv2d(*ins.at(0), lw.weight, lw.bias, p);
+        return conv2d(*ins.at(0), lw.weight, lw.bias, p,
+                      Conv2dAlgo::Auto, &convWs_[layer.id]);
       }
       case LayerKind::Linear: {
         const LayerWeights &lw = weightsFor(layer);

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "graph/graph.hh"
+#include "tensor/ops.hh"
 #include "tensor/tensor.hh"
 
 namespace vitdyn
@@ -178,6 +179,13 @@ class Executor
     PostLayerHook postHook_;
     std::map<std::string, std::pair<int64_t, int64_t>> fullDims_;
     std::map<int, LayerWeights> cache_;
+    /**
+     * Per-conv-layer im2col/GEMM scratch, reused across run() calls
+     * (frames). Keyed by layer id, so a config switch — which builds a
+     * new graph via surgery and a new Executor — starts clean;
+     * mutateWeights invalidates the affected layer's cached packing.
+     */
+    std::map<int, Conv2dWorkspace> convWs_;
 };
 
 } // namespace vitdyn

@@ -35,8 +35,43 @@ struct Conv2dParams
     int64_t groups = 1;
 };
 
-/** Output spatial extent of a convolution along one axis. */
+/**
+ * Output spatial extent of a convolution along one axis. Floored (not
+ * truncated toward zero), so a kernel that does not fit the padded
+ * input yields a non-positive extent the callers' `p > 0` asserts
+ * catch instead of a silent spurious 1.
+ */
 int64_t convOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad);
+
+/** Kernel-path selector for conv2d; Auto picks per shape. */
+enum class Conv2dAlgo
+{
+    Auto,   ///< Im2col when groups == 1 and the layer is big enough.
+    Direct, ///< The loop-nest reference path.
+    Im2col, ///< Column matrix + blocked GEMM (groups == 1 only).
+};
+
+/**
+ * Reusable scratch for conv2d's im2col + blocked-GEMM path: the column
+ * matrix and the (R,S,C)-ordered repacked weights. Caching one per
+ * layer (as Executor does) amortizes both across frames. All paths
+ * produce bit-identical outputs — the repack exists precisely so the
+ * GEMM accumulates in the direct path's r -> s -> c order.
+ */
+struct Conv2dWorkspace
+{
+    std::vector<float> col;   ///< (R*S*C, P*Q) column matrix.
+    std::vector<float> wpack; ///< (K, R*S*C) repacked weights.
+    Shape packedFor;          ///< Weight shape wpack was built from.
+
+    /** Drop the cached packing (required after in-place weight
+     *  mutation; the column matrix is rebuilt every call anyway). */
+    void invalidate()
+    {
+        wpack.clear();
+        packedFor.clear();
+    }
+};
 
 /**
  * 2-D convolution.
@@ -46,6 +81,15 @@ int64_t convOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad);
  */
 Tensor conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
               const Conv2dParams &params = {});
+
+/**
+ * conv2d with an explicit algorithm and an optional cross-call
+ * workspace (nullptr allocates locally). Every algorithm returns
+ * bit-identical results for any thread count.
+ */
+Tensor conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
+              const Conv2dParams &params, Conv2dAlgo algo,
+              Conv2dWorkspace *workspace = nullptr);
 
 /**
  * Fully connected layer over the last dimension.

@@ -1,6 +1,10 @@
 #include "tensor/ops.hh"
 
+#include <algorithm>
+#include <limits>
+
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace vitdyn
 {
@@ -8,12 +12,198 @@ namespace vitdyn
 int64_t
 convOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
 {
-    return (in + 2 * pad - kernel) / stride + 1;
+    // Floor the division: C++ '/' truncates toward zero, which would
+    // turn a negative numerator (kernel larger than the padded input)
+    // into a bogus extent of 1 instead of <= 0.
+    const int64_t num = in + 2 * pad - kernel;
+    const int64_t q =
+        num >= 0 ? num / stride : -((-num + stride - 1) / stride);
+    return q + 1;
 }
+
+namespace
+{
+
+/**
+ * Direct loop-nest conv2d over the [nk_begin, nk_end) slice of the
+ * flattened (n, k) output-image space. Shards write disjoint (n, k)
+ * output planes, so any partitioning is bit-identical.
+ */
+void
+conv2dDirectSlice(const Tensor &input, const Tensor &weight,
+                  const Tensor &bias, const Conv2dParams &params,
+                  Tensor &out, int64_t nk_begin, int64_t nk_end)
+{
+    const int64_t h = input.dim(2);
+    const int64_t w = input.dim(3);
+    const int64_t k = weight.dim(0);
+    const int64_t cg = weight.dim(1);
+    const int64_t r = weight.dim(2);
+    const int64_t s = weight.dim(3);
+    const int64_t p = out.dim(2);
+    const int64_t q = out.dim(3);
+    const int64_t kpg = k / params.groups;
+
+    for (int64_t nk = nk_begin; nk < nk_end; ++nk) {
+        const int64_t in_n = nk / k;
+        const int64_t ok = nk % k;
+        const int64_t g = ok / kpg;
+        const int64_t c_base = g * cg;
+        const float b = bias.numel() ? bias[ok] : 0.0f;
+        for (int64_t op = 0; op < p; ++op) {
+            const int64_t ih0 = op * params.strideH - params.padH;
+            for (int64_t oq = 0; oq < q; ++oq) {
+                const int64_t iw0 = oq * params.strideW - params.padW;
+                float acc = b;
+                for (int64_t rr = 0; rr < r; ++rr) {
+                    const int64_t ih = ih0 + rr;
+                    if (ih < 0 || ih >= h)
+                        continue;
+                    for (int64_t ss = 0; ss < s; ++ss) {
+                        const int64_t iw = iw0 + ss;
+                        if (iw < 0 || iw >= w)
+                            continue;
+                        for (int64_t cc = 0; cc < cg; ++cc) {
+                            acc += input.at4(in_n, c_base + cc, ih, iw) *
+                                   weight.at4(ok, cc, rr, ss);
+                        }
+                    }
+                }
+                out.at4(in_n, ok, op, oq) = acc;
+            }
+        }
+    }
+}
+
+/**
+ * Im2col + blocked GEMM path (groups == 1). The column matrix is
+ * (R*S*C, P*Q) with row index l = (r*S + s)*C + c — ascending l is the
+ * direct path's r -> s -> c accumulation order, and padded taps become
+ * explicit zeros (acc + 0*w == acc), so the result is bit-identical to
+ * conv2dDirectSlice. The 1x1 stride-1 unpadded case skips the column
+ * copy entirely: the (C, H*W) image block already is the matrix.
+ */
+void
+conv2dIm2col(const Tensor &input, const Tensor &weight, const Tensor &bias,
+             const Conv2dParams &params, Conv2dWorkspace &ws, Tensor &out)
+{
+    const int64_t n = input.dim(0);
+    const int64_t c = input.dim(1);
+    const int64_t h = input.dim(2);
+    const int64_t w = input.dim(3);
+    const int64_t k = weight.dim(0);
+    const int64_t r = weight.dim(2);
+    const int64_t s = weight.dim(3);
+    const int64_t p = out.dim(2);
+    const int64_t q = out.dim(3);
+    const int64_t pq = p * q;
+    const int64_t len = c * r * s;
+
+    const bool input_is_col = r == 1 && s == 1 && params.strideH == 1 &&
+                              params.strideW == 1 && params.padH == 0 &&
+                              params.padW == 0;
+
+    // 1x1 kernels are already (K, C)-contiguous in r->s->c order;
+    // larger kernels are repacked once per weight tensor.
+    const float *wp = weight.data();
+    if (r != 1 || s != 1) {
+        if (ws.packedFor != weight.shape()) {
+            ws.wpack.resize(static_cast<size_t>(k * len));
+            float *pack = ws.wpack.data();
+            parallelFor(0, k, grainForFlops(len),
+                        [&](int64_t k0, int64_t k1) {
+                for (int64_t ok = k0; ok < k1; ++ok)
+                    for (int64_t rr = 0; rr < r; ++rr)
+                        for (int64_t ss = 0; ss < s; ++ss)
+                            for (int64_t cc = 0; cc < c; ++cc)
+                                pack[ok * len + (rr * s + ss) * c + cc] =
+                                    weight.at4(ok, cc, rr, ss);
+            });
+            ws.packedFor = weight.shape();
+        }
+        wp = ws.wpack.data();
+    }
+
+    for (int64_t nn = 0; nn < n; ++nn) {
+        const float *col;
+        if (input_is_col) {
+            col = input.data() + nn * c * h * w;
+        } else {
+            ws.col.resize(static_cast<size_t>(len * pq));
+            float *cm = ws.col.data();
+            parallelFor(0, len, grainForFlops(pq),
+                        [&](int64_t l0, int64_t l1) {
+                for (int64_t l = l0; l < l1; ++l) {
+                    const int64_t cc = l % c;
+                    const int64_t ss = (l / c) % s;
+                    const int64_t rr = l / (c * s);
+                    const float *src =
+                        input.data() + ((nn * c + cc) * h) * w;
+                    float *dst = cm + l * pq;
+                    for (int64_t op = 0; op < p; ++op) {
+                        const int64_t ih =
+                            op * params.strideH - params.padH + rr;
+                        if (ih < 0 || ih >= h) {
+                            std::fill(dst + op * q, dst + (op + 1) * q,
+                                      0.0f);
+                            continue;
+                        }
+                        const float *row = src + ih * w;
+                        for (int64_t oq = 0; oq < q; ++oq) {
+                            const int64_t iw =
+                                oq * params.strideW - params.padW + ss;
+                            dst[op * q + oq] =
+                                (iw >= 0 && iw < w) ? row[iw] : 0.0f;
+                        }
+                    }
+                }
+            });
+            col = ws.col.data();
+        }
+
+        // out_n(K, PQ) = W(K, len) x col(len, PQ) + bias. Column
+        // blocks keep `col` rows hot across the K loop; each output
+        // element still accumulates over ascending l in one scalar.
+        float *on = out.data() + nn * k * pq;
+        parallelFor(0, k, grainForFlops(2 * len * pq),
+                    [&](int64_t k0, int64_t k1) {
+            constexpr int64_t kColBlock = 128;
+            float acc[kColBlock];
+            for (int64_t j0 = 0; j0 < pq; j0 += kColBlock) {
+                const int64_t jb = std::min(kColBlock, pq - j0);
+                for (int64_t ok = k0; ok < k1; ++ok) {
+                    const float b = bias.numel() ? bias[ok] : 0.0f;
+                    for (int64_t jj = 0; jj < jb; ++jj)
+                        acc[jj] = b;
+                    const float *wr = wp + ok * len;
+                    for (int64_t l = 0; l < len; ++l) {
+                        const float a = wr[l];
+                        const float *crow = col + l * pq + j0;
+                        for (int64_t jj = 0; jj < jb; ++jj)
+                            acc[jj] += a * crow[jj];
+                    }
+                    float *orow = on + ok * pq + j0;
+                    for (int64_t jj = 0; jj < jb; ++jj)
+                        orow[jj] = acc[jj];
+                }
+            }
+        });
+    }
+}
+
+} // namespace
 
 Tensor
 conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
        const Conv2dParams &params)
+{
+    return conv2d(input, weight, bias, params, Conv2dAlgo::Auto, nullptr);
+}
+
+Tensor
+conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
+       const Conv2dParams &params, Conv2dAlgo algo,
+       Conv2dWorkspace *workspace)
 {
     vitdyn_assert(input.rank() == 4, "conv2d input must be NCHW, got ",
                   shapeToString(input.shape()));
@@ -44,36 +234,37 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
                   "input ", h, "x", w, " kernel ", r, "x", s);
 
     Tensor out({n, k, p, q});
-    const int64_t kpg = k / groups;
 
-    for (int64_t in_n = 0; in_n < n; ++in_n) {
-        for (int64_t ok = 0; ok < k; ++ok) {
-            const int64_t g = ok / kpg;
-            const int64_t c_base = g * cg;
-            const float b = bias.numel() ? bias[ok] : 0.0f;
-            for (int64_t op = 0; op < p; ++op) {
-                const int64_t ih0 = op * params.strideH - params.padH;
-                for (int64_t oq = 0; oq < q; ++oq) {
-                    const int64_t iw0 = oq * params.strideW - params.padW;
-                    float acc = b;
-                    for (int64_t rr = 0; rr < r; ++rr) {
-                        const int64_t ih = ih0 + rr;
-                        if (ih < 0 || ih >= h)
-                            continue;
-                        for (int64_t ss = 0; ss < s; ++ss) {
-                            const int64_t iw = iw0 + ss;
-                            if (iw < 0 || iw >= w)
-                                continue;
-                            for (int64_t cc = 0; cc < cg; ++cc) {
-                                acc += input.at4(in_n, c_base + cc, ih, iw) *
-                                       weight.at4(ok, cc, rr, ss);
-                            }
-                        }
-                    }
-                    out.at4(in_n, ok, op, oq) = acc;
-                }
-            }
-        }
+    const int64_t flops_per_nk = 2 * p * q * r * s * cg;
+    bool use_gemm = false;
+    switch (algo) {
+      case Conv2dAlgo::Direct:
+        break;
+      case Conv2dAlgo::Im2col:
+        vitdyn_assert(groups == 1, "im2col conv2d requires groups == 1");
+        use_gemm = true;
+        break;
+      case Conv2dAlgo::Auto: {
+        // GEMM pays off once the layer is non-trivial and the column
+        // matrix stays within a sane footprint.
+        constexpr int64_t kMinGemmFlops = 1 << 16;
+        constexpr int64_t kMaxColBytes = int64_t{256} << 20;
+        use_gemm = groups == 1 && k * flops_per_nk >= kMinGemmFlops &&
+                   c * r * s * p * q * 4 <= kMaxColBytes;
+        break;
+      }
+    }
+
+    if (use_gemm) {
+        Conv2dWorkspace local;
+        conv2dIm2col(input, weight, bias, params,
+                     workspace ? *workspace : local, out);
+    } else {
+        parallelFor(0, n * k, grainForFlops(flops_per_nk),
+                    [&](int64_t nk0, int64_t nk1) {
+            conv2dDirectSlice(input, weight, bias, params, out, nk0,
+                              nk1);
+        });
     }
     return out;
 }
@@ -82,19 +273,31 @@ Tensor
 maxPool2d(const Tensor &input, int64_t kernel, int64_t stride, int64_t pad)
 {
     vitdyn_assert(input.rank() == 4, "maxPool2d input must be NCHW");
+    vitdyn_assert(kernel > 0 && stride > 0, "bad maxPool2d kernel=",
+                  kernel, " stride=", stride);
+    // pad < kernel guarantees every window overlaps the input, so the
+    // -inf init below can never leak into the output.
+    vitdyn_assert(pad >= 0 && pad < kernel, "maxPool2d pad ", pad,
+                  " must be in [0, kernel=", kernel, ")");
     const int64_t n = input.dim(0);
     const int64_t c = input.dim(1);
     const int64_t h = input.dim(2);
     const int64_t w = input.dim(3);
     const int64_t p = convOutDim(h, kernel, stride, pad);
     const int64_t q = convOutDim(w, kernel, stride, pad);
+    vitdyn_assert(p > 0 && q > 0, "maxPool2d output collapsed to zero: ",
+                  "input ", h, "x", w, " kernel ", kernel);
 
     Tensor out({n, c, p, q});
-    for (int64_t in_n = 0; in_n < n; ++in_n) {
-        for (int64_t cc = 0; cc < c; ++cc) {
+    parallelFor(0, n * c, grainForFlops(p * q * kernel * kernel),
+                [&](int64_t nc0, int64_t nc1) {
+        for (int64_t nc = nc0; nc < nc1; ++nc) {
+            const int64_t in_n = nc / c;
+            const int64_t cc = nc % c;
             for (int64_t op = 0; op < p; ++op) {
                 for (int64_t oq = 0; oq < q; ++oq) {
-                    float best = -3.4e38f;
+                    float best =
+                        -std::numeric_limits<float>::infinity();
                     for (int64_t rr = 0; rr < kernel; ++rr) {
                         const int64_t ih = op * stride - pad + rr;
                         if (ih < 0 || ih >= h)
@@ -103,15 +306,15 @@ maxPool2d(const Tensor &input, int64_t kernel, int64_t stride, int64_t pad)
                             const int64_t iw = oq * stride - pad + ss;
                             if (iw < 0 || iw >= w)
                                 continue;
-                            best = std::max(best,
-                                            input.at4(in_n, cc, ih, iw));
+                            best = std::max(
+                                best, input.at4(in_n, cc, ih, iw));
                         }
                     }
                     out.at4(in_n, cc, op, oq) = best;
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -126,26 +329,29 @@ adaptiveAvgPool2d(const Tensor &input, int64_t out_h, int64_t out_w)
     vitdyn_assert(out_h > 0 && out_w > 0, "bad adaptive pool output size");
 
     Tensor out({n, c, out_h, out_w});
-    for (int64_t in_n = 0; in_n < n; ++in_n) {
-        for (int64_t cc = 0; cc < c; ++cc) {
+    parallelFor(0, n * c, grainForFlops(h * w),
+                [&](int64_t nc0, int64_t nc1) {
+        for (int64_t nc = nc0; nc < nc1; ++nc) {
+            const int64_t in_n = nc / c;
+            const int64_t cc = nc % c;
             for (int64_t op = 0; op < out_h; ++op) {
                 const int64_t h0 = op * h / out_h;
-                const int64_t h1 = std::max<int64_t>((op + 1) * h / out_h,
-                                                     h0 + 1);
+                const int64_t h1 = std::max<int64_t>(
+                    (op + 1) * h / out_h, h0 + 1);
                 for (int64_t oq = 0; oq < out_w; ++oq) {
                     const int64_t w0 = oq * w / out_w;
-                    const int64_t w1 =
-                        std::max<int64_t>((oq + 1) * w / out_w, w0 + 1);
+                    const int64_t w1 = std::max<int64_t>(
+                        (oq + 1) * w / out_w, w0 + 1);
                     double acc = 0.0;
                     for (int64_t ih = h0; ih < h1; ++ih)
                         for (int64_t iw = w0; iw < w1; ++iw)
                             acc += input.at4(in_n, cc, ih, iw);
-                    out.at4(in_n, cc, op, oq) =
-                        static_cast<float>(acc / ((h1 - h0) * (w1 - w0)));
+                    out.at4(in_n, cc, op, oq) = static_cast<float>(
+                        acc / ((h1 - h0) * (w1 - w0)));
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -163,21 +369,25 @@ interpolateBilinear(const Tensor &input, int64_t out_h, int64_t out_w)
     const float scale_h = static_cast<float>(h) / out_h;
     const float scale_w = static_cast<float>(w) / out_w;
 
-    for (int64_t in_n = 0; in_n < n; ++in_n) {
-        for (int64_t cc = 0; cc < c; ++cc) {
+    parallelFor(0, n * c, grainForFlops(8 * out_h * out_w),
+                [&](int64_t nc0, int64_t nc1) {
+        for (int64_t nc = nc0; nc < nc1; ++nc) {
+            const int64_t in_n = nc / c;
+            const int64_t cc = nc % c;
             for (int64_t op = 0; op < out_h; ++op) {
                 // align_corners = false source coordinate.
                 float src_h = (op + 0.5f) * scale_h - 0.5f;
-                src_h = std::max(0.0f, std::min(src_h,
-                                                static_cast<float>(h - 1)));
+                src_h = std::max(
+                    0.0f,
+                    std::min(src_h, static_cast<float>(h - 1)));
                 const int64_t h0 = static_cast<int64_t>(src_h);
                 const int64_t h1 = std::min(h0 + 1, h - 1);
                 const float fh = src_h - h0;
                 for (int64_t oq = 0; oq < out_w; ++oq) {
                     float src_w = (oq + 0.5f) * scale_w - 0.5f;
-                    src_w = std::max(0.0f,
-                                     std::min(src_w,
-                                              static_cast<float>(w - 1)));
+                    src_w = std::max(
+                        0.0f,
+                        std::min(src_w, static_cast<float>(w - 1)));
                     const int64_t w0 = static_cast<int64_t>(src_w);
                     const int64_t w1 = std::min(w0 + 1, w - 1);
                     const float fw = src_w - w0;
@@ -187,12 +397,13 @@ interpolateBilinear(const Tensor &input, int64_t out_h, int64_t out_w)
                     const float v10 = input.at4(in_n, cc, h1, w0);
                     const float v11 = input.at4(in_n, cc, h1, w1);
                     out.at4(in_n, cc, op, oq) =
-                        v00 * (1 - fh) * (1 - fw) + v01 * (1 - fh) * fw +
-                        v10 * fh * (1 - fw) + v11 * fh * fw;
+                        v00 * (1 - fh) * (1 - fw) +
+                        v01 * (1 - fh) * fw + v10 * fh * (1 - fw) +
+                        v11 * fh * fw;
                 }
             }
         }
-    }
+    });
     return out;
 }
 

@@ -1,8 +1,11 @@
 #include "tensor/ops.hh"
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace vitdyn
 {
@@ -28,17 +31,20 @@ linear(const Tensor &input, const Tensor &weight, const Tensor &bias)
     const float *wt = weight.data();
     float *y = out.data();
 
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *xr = x + r * in_f;
-        float *yr = y + r * out_f;
-        for (int64_t o = 0; o < out_f; ++o) {
-            const float *wr = wt + o * in_f;
-            float acc = bias.numel() ? bias[o] : 0.0f;
-            for (int64_t i = 0; i < in_f; ++i)
-                acc += xr[i] * wr[i];
-            yr[o] = acc;
+    parallelFor(0, rows, grainForFlops(2 * out_f * in_f),
+                [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const float *xr = x + r * in_f;
+            float *yr = y + r * out_f;
+            for (int64_t o = 0; o < out_f; ++o) {
+                const float *wr = wt + o * in_f;
+                float acc = bias.numel() ? bias[o] : 0.0f;
+                for (int64_t i = 0; i < in_f; ++i)
+                    acc += xr[i] * wr[i];
+                yr[o] = acc;
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -52,15 +58,18 @@ matmul(const Tensor &a, const Tensor &b)
     const int64_t n = b.dim(1);
 
     Tensor out({m, n});
-    for (int64_t i = 0; i < m; ++i) {
-        for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = a.at2(i, kk);
-            if (av == 0.0f)
-                continue;
-            for (int64_t j = 0; j < n; ++j)
-                out.at2(i, j) += av * b.at2(kk, j);
+    parallelFor(0, m, grainForFlops(2 * k * n),
+                [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float av = a.at2(i, kk);
+                if (av == 0.0f)
+                    continue;
+                for (int64_t j = 0; j < n; ++j)
+                    out.at2(i, j) += av * b.at2(kk, j);
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -76,22 +85,26 @@ bmm(const Tensor &a, const Tensor &b)
     const int64_t n = b.dim(2);
 
     Tensor out({batch, m, n});
-    for (int64_t bb = 0; bb < batch; ++bb) {
-        const float *ab = a.data() + bb * m * k;
-        const float *bbp = b.data() + bb * k * n;
-        float *ob = out.data() + bb * m * n;
-        for (int64_t i = 0; i < m; ++i) {
+    // Sharded over the flattened (batch, row) space: each item owns
+    // one output row, so any partitioning is bit-identical.
+    parallelFor(0, batch * m, grainForFlops(2 * k * n),
+                [&](int64_t bi0, int64_t bi1) {
+        for (int64_t bi = bi0; bi < bi1; ++bi) {
+            const int64_t bb = bi / m;
+            const int64_t i = bi % m;
+            const float *arow = a.data() + (bb * m + i) * k;
+            const float *bbp = b.data() + bb * k * n;
+            float *orow = out.data() + (bb * m + i) * n;
             for (int64_t kk = 0; kk < k; ++kk) {
-                const float av = ab[i * k + kk];
+                const float av = arow[kk];
                 if (av == 0.0f)
                     continue;
                 const float *brow = bbp + kk * n;
-                float *orow = ob + i * n;
                 for (int64_t j = 0; j < n; ++j)
                     orow[j] += av * brow[j];
             }
         }
-    }
+    });
     return out;
 }
 
@@ -116,18 +129,23 @@ attention(const Tensor &q, const Tensor &k, const Tensor &v,
     const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
     Tensor out({n, lq, c});
-    std::vector<float> scores(static_cast<size_t>(lkv));
-
-    for (int64_t nn = 0; nn < n; ++nn) {
-        for (int64_t hh = 0; hh < num_heads; ++hh) {
+    // Sharded over (batch, head): shards write disjoint head slices
+    // of the output and keep a private score buffer.
+    parallelFor(0, n * num_heads, grainForFlops(4 * lq * lkv * dh),
+                [&](int64_t nh0, int64_t nh1) {
+        std::vector<float> scores(static_cast<size_t>(lkv));
+        for (int64_t nh = nh0; nh < nh1; ++nh) {
+            const int64_t nn = nh / num_heads;
+            const int64_t hh = nh % num_heads;
             const int64_t c0 = hh * dh;
             for (int64_t i = 0; i < lq; ++i) {
                 // scores = softmax(q_i . k_j * scale)
-                float max_s = -3.4e38f;
+                float max_s = -std::numeric_limits<float>::infinity();
                 for (int64_t j = 0; j < lkv; ++j) {
                     float dot = 0.0f;
                     for (int64_t d = 0; d < dh; ++d)
-                        dot += q.at3(nn, i, c0 + d) * k.at3(nn, j, c0 + d);
+                        dot += q.at3(nn, i, c0 + d) *
+                               k.at3(nn, j, c0 + d);
                     scores[j] = dot * scale;
                     max_s = std::max(max_s, scores[j]);
                 }
@@ -145,7 +163,7 @@ attention(const Tensor &q, const Tensor &k, const Tensor &v,
                 }
             }
         }
-    }
+    });
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace vitdyn
 {
@@ -49,10 +50,22 @@ conv2dInt8(const QuantTensor &input, const QuantTensor &weight,
     const int64_t r = weight.shape[2];
     const int64_t s = weight.shape[3];
     const int64_t groups = params.groups;
-    vitdyn_assert(cg == c / groups, "conv2dInt8 group/channel mismatch");
+    // Same validation as the fp32 twin: catch bad group counts, bias
+    // sizes, and collapsed outputs before touching the int8 data.
+    vitdyn_assert(groups >= 1 && c % groups == 0 && k % groups == 0,
+                  "bad conv2dInt8 groups=", groups, " for C=", c,
+                  " K=", k);
+    vitdyn_assert(cg == c / groups,
+                  "conv2dInt8 weight C/g mismatch: weight has ", cg,
+                  ", expected ", c / groups);
+    vitdyn_assert(bias.numel() == 0 || bias.numel() == k,
+                  "conv2dInt8 bias size ", bias.numel(), " != K ", k);
 
     const int64_t p = convOutDim(h, r, params.strideH, params.padH);
     const int64_t q = convOutDim(w, s, params.strideW, params.padW);
+    vitdyn_assert(p > 0 && q > 0,
+                  "conv2dInt8 output collapsed to zero: input ", h, "x",
+                  w, " kernel ", r, "x", s);
 
     const float out_scale = input.scale * weight.scale;
     const int64_t kpg = k / groups;
@@ -67,8 +80,13 @@ conv2dInt8(const QuantTensor &input, const QuantTensor &weight,
             weight.data[((kk * cg + cc) * r + rr) * s + ss]);
     };
 
-    for (int64_t nn = 0; nn < n; ++nn) {
-        for (int64_t ok = 0; ok < k; ++ok) {
+    // Sharded over (n, k) output planes; int32/int64 accumulation is
+    // order-independent, so any partitioning is bit-identical anyway.
+    parallelFor(0, n * k, grainForFlops(2 * p * q * r * s * cg),
+                [&](int64_t nk0, int64_t nk1) {
+        for (int64_t nk = nk0; nk < nk1; ++nk) {
+            const int64_t nn = nk / k;
+            const int64_t ok = nk % k;
             const int64_t g = ok / kpg;
             const int64_t c_base = g * cg;
             const float b = bias.numel() ? bias[ok] : 0.0f;
@@ -94,7 +112,7 @@ conv2dInt8(const QuantTensor &input, const QuantTensor &weight,
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -114,18 +132,21 @@ linearInt8(const QuantTensor &input, const QuantTensor &weight,
     Tensor out(out_shape);
 
     const float out_scale = input.scale * weight.scale;
-    for (int64_t r = 0; r < rows; ++r) {
-        const int8_t *xr = input.data.data() + r * in_f;
-        for (int64_t o = 0; o < out_f; ++o) {
-            const int8_t *wr = weight.data.data() + o * in_f;
-            int64_t acc = 0;
-            for (int64_t i = 0; i < in_f; ++i)
-                acc += static_cast<int32_t>(xr[i]) *
-                       static_cast<int32_t>(wr[i]);
-            out[r * out_f + o] = acc * out_scale +
-                                 (bias.numel() ? bias[o] : 0.0f);
+    parallelFor(0, rows, grainForFlops(2 * out_f * in_f),
+                [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+            const int8_t *xr = input.data.data() + r * in_f;
+            for (int64_t o = 0; o < out_f; ++o) {
+                const int8_t *wr = weight.data.data() + o * in_f;
+                int64_t acc = 0;
+                for (int64_t i = 0; i < in_f; ++i)
+                    acc += static_cast<int32_t>(xr[i]) *
+                           static_cast<int32_t>(wr[i]);
+                out[r * out_f + o] = acc * out_scale +
+                                     (bias.numel() ? bias[o] : 0.0f);
+            }
         }
-    }
+    });
     return out;
 }
 

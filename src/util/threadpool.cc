@@ -1,0 +1,228 @@
+#include "util/threadpool.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+thread_local bool t_on_worker = false;
+
+int
+defaultThreads()
+{
+    if (const char *env = std::getenv("VITDYN_THREADS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+        warn("ignoring invalid VITDYN_THREADS='", env,
+             "'; using hardware concurrency");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+/** Join state of one parallelFor call, living on the caller's stack. */
+struct ThreadPool::Batch
+{
+    const RangeFn &fn;
+    std::mutex mutex;
+    std::condition_variable done;
+    int64_t remaining = 0;
+    std::exception_ptr error;
+
+    explicit Batch(const RangeFn &f) : fn(f) {}
+};
+
+ThreadPool::ThreadPool(int threads)
+    : tasks_(MetricsRegistry::instance().counter("pool.tasks")),
+      parallelFors_(
+          MetricsRegistry::instance().counter("pool.parallel_fors")),
+      queueDepth_(MetricsRegistry::instance().gauge("pool.queue_depth")),
+      shardMs_(MetricsRegistry::instance().histogram("pool.shard_ms"))
+{
+    Tracer::instance(); // force construction before any worker uses it
+    start(threads);
+}
+
+ThreadPool::~ThreadPool()
+{
+    stopWorkers();
+}
+
+ThreadPool &
+ThreadPool::instance()
+{
+    // Intentionally leaked: a static instance would register a
+    // destructor that joins the workers at exit(), which crashes in
+    // fork()ed children (gtest death tests, daemonizing callers) where
+    // the worker threads do not exist. Idle workers hold no locks and
+    // touch nothing during static destruction, so letting process
+    // teardown reap them is safe.
+    static ThreadPool *pool = new ThreadPool();
+    return *pool;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return t_on_worker;
+}
+
+void
+ThreadPool::start(int threads)
+{
+    threads_ = threads > 0 ? threads : defaultThreads();
+    stopping_ = false;
+    const int workers = threads_ - 1;
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::stopWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+void
+ThreadPool::resize(int threads)
+{
+    stopWorkers();
+    vitdyn_assert(queue_.empty(),
+                  "ThreadPool::resize with shards still queued");
+    start(threads);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_on_worker = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        queueDepth_.set(static_cast<double>(queue_.size()));
+        lock.unlock();
+        task();
+        lock.lock();
+    }
+}
+
+void
+ThreadPool::runShard(Batch &batch, int64_t shard_begin, int64_t shard_end)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        ScopedSpan span(Tracer::instance(), "pool.task", "pool");
+        if (span.active()) {
+            span.arg("begin", shard_begin);
+            span.arg("end", shard_end);
+        }
+        try {
+            batch.fn(shard_begin, shard_end);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(batch.mutex);
+            if (!batch.error)
+                batch.error = std::current_exception();
+        }
+    }
+    shardMs_.observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    tasks_.add();
+
+    // Notify under the batch mutex: the caller may destroy the batch
+    // the moment it observes remaining == 0.
+    std::lock_guard<std::mutex> lock(batch.mutex);
+    if (--batch.remaining == 0)
+        batch.done.notify_all();
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const RangeFn &fn)
+{
+    const int64_t range = end - begin;
+    if (range <= 0)
+        return;
+    if (grain < 1)
+        grain = 1;
+    const int64_t max_shards = (range + grain - 1) / grain;
+    const int64_t shards = std::min<int64_t>(threads_, max_shards);
+
+    // One shard, a degenerate pool, or a nested call from a worker
+    // (which must never block on the queue it is draining): inline.
+    if (shards <= 1 || t_on_worker) {
+        fn(begin, end);
+        return;
+    }
+
+    parallelFors_.add();
+    Batch batch(fn);
+    batch.remaining = shards;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (int64_t i = 1; i < shards; ++i) {
+            const int64_t s_begin = begin + range * i / shards;
+            const int64_t s_end = begin + range * (i + 1) / shards;
+            queue_.emplace_back([this, &batch, s_begin, s_end] {
+                runShard(batch, s_begin, s_end);
+            });
+        }
+        queueDepth_.set(static_cast<double>(queue_.size()));
+    }
+    cv_.notify_all();
+
+    // The caller contributes the first shard instead of idling.
+    runShard(batch, begin, begin + range / shards);
+
+    std::unique_lock<std::mutex> lock(batch.mutex);
+    batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain,
+            const ThreadPool::RangeFn &fn)
+{
+    ThreadPool::instance().parallelFor(begin, end, grain, fn);
+}
+
+int64_t
+grainForFlops(int64_t flops_per_item)
+{
+    constexpr int64_t kTargetShardFlops = 1 << 18;
+    if (flops_per_item <= 0)
+        return kTargetShardFlops;
+    return std::max<int64_t>(1, kTargetShardFlops / flops_per_item);
+}
+
+} // namespace vitdyn

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Process-wide thread pool with a deterministic parallelFor primitive.
+ *
+ * The pool is deliberately work-stealing-free: parallelFor statically
+ * partitions [begin, end) into at most threads() contiguous shards,
+ * hands all but the first to the workers, and runs the first on the
+ * calling thread. Because every kernel built on it writes a disjoint
+ * output shard per index (no atomics, no shared accumulators), results
+ * are bit-identical to the sequential path for any thread count — the
+ * shard boundaries change which thread computes an element, never the
+ * per-element arithmetic or its accumulation order.
+ *
+ * Sizing: VITDYN_THREADS (default: hardware_concurrency). A `grain`
+ * cutoff makes small loops run inline on the caller — tiny tensors pay
+ * only an integer division, no enqueue, no wakeup. Nested parallelFor
+ * calls from a worker run inline too, so kernels may freely compose.
+ *
+ * The pool reports into src/obs/: `pool.tasks` / `pool.parallel_fors`
+ * counters, a `pool.queue_depth` gauge, the `pool.shard_ms` histogram,
+ * and a `pool.task` span per worker shard when tracing is enabled.
+ *
+ * Exceptions thrown by the body are caught per shard; the first one
+ * is rethrown on the calling thread after every shard finished.
+ */
+
+#ifndef VITDYN_UTIL_THREADPOOL_HH
+#define VITDYN_UTIL_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vitdyn
+{
+
+class Counter;
+class Gauge;
+class Histogram;
+
+/** Fixed-size worker pool; see file comment for the execution model. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total concurrency including the calling thread
+     *        (1 = fully inline, no workers); 0 reads VITDYN_THREADS,
+     *        falling back to hardware_concurrency.
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** The process-wide pool every kernel submits to. */
+    static ThreadPool &instance();
+
+    /** Total concurrency (workers + the calling thread), >= 1. */
+    int threads() const { return threads_; }
+
+    /**
+     * Re-size the pool, joining the current workers first. Not safe
+     * concurrently with an active parallelFor; call it at startup or
+     * between kernels. 0 restores the VITDYN_THREADS /
+     * hardware_concurrency default.
+     */
+    void resize(int threads);
+
+    /** Loop body: process the half-open index range it is given. */
+    using RangeFn = std::function<void(int64_t, int64_t)>;
+
+    /**
+     * Run @p fn over [begin, end), split into at most threads()
+     * contiguous shards of at least @p grain indices each. Runs
+     * inline when one shard suffices or when called from a worker.
+     */
+    void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const RangeFn &fn);
+
+    /** True when called from one of this process's pool workers. */
+    static bool onWorkerThread();
+
+  private:
+    struct Batch;
+
+    void start(int threads);
+    void stopWorkers();
+    void workerLoop();
+    void runShard(Batch &batch, int64_t shard_begin, int64_t shard_end);
+
+    int threads_ = 1;
+    bool stopping_ = false;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+
+    // Cached obs/ handles (registration locks once; updates are
+    // lock-free). Grabbing them in the constructor also forces the
+    // registry/tracer singletons to outlive the pool's workers.
+    Counter &tasks_;
+    Counter &parallelFors_;
+    Gauge &queueDepth_;
+    Histogram &shardMs_;
+};
+
+/** parallelFor on the process-wide pool. */
+void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const ThreadPool::RangeFn &fn);
+
+/**
+ * Grain (indices per shard) that amortizes dispatch overhead: sized so
+ * each shard carries roughly a quarter MFLOP of work given the cost of
+ * one index. Loops cheaper than one shard run inline via the
+ * parallelFor cutoff.
+ */
+int64_t grainForFlops(int64_t flops_per_item);
+
+} // namespace vitdyn
+
+#endif // VITDYN_UTIL_THREADPOOL_HH

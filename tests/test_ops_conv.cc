@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+#include <vector>
+
 #include "tensor/ops.hh"
 #include "util/random.hh"
+#include "util/threadpool.hh"
 
 namespace vitdyn
 {
@@ -16,6 +21,26 @@ TEST(ConvOutDim, Formula)
     EXPECT_EQ(convOutDim(128, 3, 2, 1), 64);
     EXPECT_EQ(convOutDim(8, 3, 1, 1), 8);
     EXPECT_EQ(convOutDim(8, 2, 2, 0), 4);
+}
+
+TEST(ConvOutDim, FloorsNegativeNumerators)
+{
+    // kernel larger than padded input: (2 - 3) / 2 must floor to -1,
+    // giving 0 output positions — not truncate toward zero to 0,
+    // which would report a bogus single output.
+    EXPECT_EQ(convOutDim(2, 3, 2, 0), 0);
+    EXPECT_EQ(convOutDim(1, 4, 3, 0), 0);
+    EXPECT_EQ(convOutDim(2, 7, 2, 1), -1);
+    // Exactly-fitting kernels still give one output.
+    EXPECT_EQ(convOutDim(3, 3, 2, 0), 1);
+}
+
+TEST(Conv2d, CollapsedOutputPanics)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Tensor x({1, 1, 2, 2});
+    Tensor w({1, 1, 3, 3}); // kernel bigger than unpadded input
+    EXPECT_DEATH(conv2d(x, w, Tensor{}), "collapsed");
 }
 
 TEST(Conv2d, IdentityKernel)
@@ -165,6 +190,139 @@ TEST(Conv2d, ShapeMismatchPanics)
     EXPECT_DEATH(conv2d(x, w, Tensor{}), "mismatch");
 }
 
+/**
+ * Restore the global pool to its default size when a test returns or
+ * fails mid-way.
+ */
+struct PoolSizeGuard
+{
+    explicit PoolSizeGuard(int threads)
+    {
+        ThreadPool::instance().resize(threads);
+    }
+    ~PoolSizeGuard() { ThreadPool::instance().resize(0); }
+};
+
+TEST(Conv2d, ThreadedAndIm2colBitIdenticalToSequential)
+{
+    Rng rng(11);
+    // Large enough that Auto picks the GEMM path and parallelFor
+    // actually shards.
+    Tensor x = Tensor::randn({2, 16, 14, 14}, rng);
+    Tensor w = Tensor::randn({32, 16, 3, 3}, rng);
+    Tensor b = Tensor::randn({32}, rng);
+    Conv2dParams p;
+    p.padH = p.padW = 1;
+
+    Tensor seq, par, gemm;
+    {
+        PoolSizeGuard guard(1);
+        seq = conv2d(x, w, b, p, Conv2dAlgo::Direct);
+    }
+    {
+        PoolSizeGuard guard(8);
+        par = conv2d(x, w, b, p, Conv2dAlgo::Direct);
+        Conv2dWorkspace ws;
+        gemm = conv2d(x, w, b, p, Conv2dAlgo::Im2col, &ws);
+        // Reuse of a warm workspace must not change results.
+        Tensor gemm2 = conv2d(x, w, b, p, Conv2dAlgo::Im2col, &ws);
+        ASSERT_EQ(gemm.shape(), gemm2.shape());
+        EXPECT_EQ(std::memcmp(gemm.data(), gemm2.data(),
+                              sizeof(float) * gemm.numel()),
+                  0);
+    }
+    ASSERT_EQ(seq.shape(), par.shape());
+    ASSERT_EQ(seq.shape(), gemm.shape());
+    EXPECT_EQ(std::memcmp(seq.data(), par.data(),
+                          sizeof(float) * seq.numel()),
+              0)
+        << "threaded direct conv diverged from sequential";
+    EXPECT_EQ(std::memcmp(seq.data(), gemm.data(),
+                          sizeof(float) * seq.numel()),
+              0)
+        << "im2col conv diverged from sequential direct";
+}
+
+TEST(Conv2d, Im2colBitIdenticalAcrossShapes)
+{
+    Rng rng(13);
+    struct Case
+    {
+        Shape xs, ws;
+        Conv2dParams p;
+    };
+    std::vector<Case> cases;
+    // 1x1 stride-1 unpadded (in-place column matrix fast path).
+    cases.push_back({{1, 24, 9, 9}, {16, 24, 1, 1}, {}});
+    // 1x1 strided (needs a gathered column matrix, no repack).
+    {
+        Conv2dParams p;
+        p.strideH = p.strideW = 2;
+        cases.push_back({{2, 8, 10, 10}, {12, 8, 1, 1}, p});
+    }
+    // 3x3 padded (repacked weights, zero-filled halo).
+    {
+        Conv2dParams p;
+        p.padH = p.padW = 1;
+        cases.push_back({{1, 6, 12, 12}, {8, 6, 3, 3}, p});
+    }
+    // 7x7 stride-4 pad-3 (SegFormer/ResNet stem shape).
+    {
+        Conv2dParams p;
+        p.strideH = p.strideW = 4;
+        p.padH = p.padW = 3;
+        cases.push_back({{1, 3, 32, 32}, {10, 3, 7, 7}, p});
+    }
+    // Asymmetric kernel and stride.
+    {
+        Conv2dParams p;
+        p.strideH = 2;
+        p.strideW = 1;
+        p.padH = 0;
+        p.padW = 2;
+        cases.push_back({{1, 5, 11, 9}, {7, 5, 3, 5}, p});
+    }
+    PoolSizeGuard guard(4);
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const Case &tc = cases[i];
+        Tensor x = Tensor::randn(tc.xs, rng);
+        Tensor w = Tensor::randn(tc.ws, rng);
+        Tensor b = Tensor::randn({tc.ws[0]}, rng);
+        Tensor direct = conv2d(x, w, b, tc.p, Conv2dAlgo::Direct);
+        Tensor gemm = conv2d(x, w, b, tc.p, Conv2dAlgo::Im2col);
+        ASSERT_EQ(direct.shape(), gemm.shape()) << "case " << i;
+        EXPECT_EQ(std::memcmp(direct.data(), gemm.data(),
+                              sizeof(float) * direct.numel()),
+                  0)
+            << "case " << i << " im2col mismatch";
+    }
+}
+
+TEST(Conv2d, GroupedStridedPaddedThreadedParity)
+{
+    Rng rng(17);
+    Tensor x = Tensor::randn({2, 8, 13, 13}, rng);
+    Tensor w = Tensor::randn({12, 4, 3, 3}, rng);
+    Tensor b = Tensor::randn({12}, rng);
+    Conv2dParams p;
+    p.groups = 2;
+    p.strideH = p.strideW = 2;
+    p.padH = p.padW = 1;
+    Tensor seq, par;
+    {
+        PoolSizeGuard guard(1);
+        seq = conv2d(x, w, b, p);
+    }
+    {
+        PoolSizeGuard guard(8);
+        par = conv2d(x, w, b, p);
+    }
+    ASSERT_EQ(seq.shape(), par.shape());
+    EXPECT_EQ(std::memcmp(seq.data(), par.data(),
+                          sizeof(float) * seq.numel()),
+              0);
+}
+
 TEST(MaxPool2d, Basic)
 {
     Tensor x({1, 1, 4, 4});
@@ -183,6 +341,47 @@ TEST(MaxPool2d, PaddingIgnoredInMax)
     // Padded positions must not contribute zeros.
     for (int64_t i = 0; i < y.numel(); ++i)
         EXPECT_FLOAT_EQ(y[i], -3.0f);
+}
+
+TEST(MaxPool2d, AllLowestFloatInputSurvives)
+{
+    // The old implementation initialized the running max with a raw
+    // -3.4e38f sentinel, which an input of std::numeric_limits
+    // ::lowest() ties with; -inf initialization must reproduce the
+    // input exactly.
+    Tensor x({1, 1, 2, 2}, std::numeric_limits<float>::lowest());
+    Tensor y = maxPool2d(x, 2, 2);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+    EXPECT_EQ(y[0], std::numeric_limits<float>::lowest());
+}
+
+TEST(MaxPool2d, PadMustBeSmallerThanKernel)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Tensor x({1, 1, 4, 4}, 1.0f);
+    // pad == kernel would create windows made purely of padding,
+    // whose max is undefined.
+    EXPECT_DEATH(maxPool2d(x, 2, 2, 2), "pad");
+    EXPECT_DEATH(maxPool2d(x, 2, 2, 3), "pad");
+}
+
+TEST(MaxPool2d, ThreadedMatchesSequential)
+{
+    Rng rng(19);
+    Tensor x = Tensor::randn({2, 6, 16, 16}, rng);
+    Tensor seq, par;
+    {
+        PoolSizeGuard guard(1);
+        seq = maxPool2d(x, 3, 2, 1);
+    }
+    {
+        PoolSizeGuard guard(8);
+        par = maxPool2d(x, 3, 2, 1);
+    }
+    ASSERT_EQ(seq.shape(), par.shape());
+    EXPECT_EQ(std::memcmp(seq.data(), par.data(),
+                          sizeof(float) * seq.numel()),
+              0);
 }
 
 TEST(AdaptiveAvgPool2d, GlobalAverage)

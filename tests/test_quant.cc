@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "tensor/quant.hh"
 #include "util/random.hh"
+#include "util/threadpool.hh"
 
 namespace vitdyn
 {
@@ -108,6 +110,87 @@ TEST(QuantLinear, BiasAppliedInFloat)
     Tensor b({1}, std::vector<float>{0.123f});
     Tensor y = linearInt8(quantize(x), quantize(w), b);
     EXPECT_FLOAT_EQ(y[0], 0.123f);
+}
+
+TEST(QuantConv, MatchesDequantizedFloatReference)
+{
+    // conv2dInt8 computes exactly conv2d(dequantize(qx),
+    // dequantize(qw)) + bias, because int32/int64 accumulation is
+    // exact and the output rescale applies the combined scale once.
+    Rng rng(23);
+    Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+    Tensor w = Tensor::randn({5, 3, 3, 3}, rng, 0.0f, 0.2f);
+    Tensor b = Tensor::randn({5}, rng, 0.0f, 0.05f);
+    Conv2dParams p;
+    p.strideH = p.strideW = 2;
+    p.padH = p.padW = 1;
+    QuantTensor qx = quantize(x);
+    QuantTensor qw = quantize(w);
+    Tensor qy = conv2dInt8(qx, qw, b, p);
+    Tensor ref = conv2d(dequantize(qx), dequantize(qw), b, p);
+    ASSERT_EQ(qy.shape(), ref.shape());
+    // Not bit-identical (the fp32 path accumulates in float, the int8
+    // path in int64 with one final rescale), but far tighter than the
+    // quantization error itself.
+    EXPECT_LT(meanAbsError(ref, qy), 1e-4);
+}
+
+TEST(QuantConv, ThreadedBitIdenticalToSequential)
+{
+    Rng rng(29);
+    Tensor x = Tensor::randn({2, 6, 10, 10}, rng);
+    Tensor w = Tensor::randn({8, 3, 3, 3}, rng, 0.0f, 0.2f);
+    Conv2dParams p;
+    p.groups = 2;
+    p.padH = p.padW = 1;
+    QuantTensor qx = quantize(x);
+    QuantTensor qw = quantize(w);
+    Tensor seq, par;
+    {
+        ThreadPool::instance().resize(1);
+        seq = conv2dInt8(qx, qw, Tensor{}, p);
+    }
+    {
+        ThreadPool::instance().resize(8);
+        par = conv2dInt8(qx, qw, Tensor{}, p);
+        ThreadPool::instance().resize(0);
+    }
+    ASSERT_EQ(seq.shape(), par.shape());
+    EXPECT_EQ(std::memcmp(seq.data(), par.data(),
+                          sizeof(float) * seq.numel()),
+              0);
+}
+
+TEST(QuantConv, ValidationPanics)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Rng rng(31);
+    Tensor x = Tensor::randn({1, 4, 6, 6}, rng);
+    Tensor w = Tensor::randn({8, 4, 3, 3}, rng);
+    QuantTensor qx = quantize(x);
+    QuantTensor qw = quantize(w);
+
+    // Group count that does not divide the channel counts.
+    Conv2dParams bad_groups;
+    bad_groups.groups = 3;
+    EXPECT_DEATH(conv2dInt8(qx, qw, Tensor{}, bad_groups), "groups");
+
+    // Weight C/g inconsistent with the input channels.
+    Conv2dParams two_groups;
+    two_groups.groups = 2;
+    EXPECT_DEATH(conv2dInt8(qx, qw, Tensor{}, two_groups), "C/g");
+
+    // Bias length must match K.
+    Tensor bad_bias({3}, 0.0f);
+    Conv2dParams pad1;
+    pad1.padH = pad1.padW = 1;
+    EXPECT_DEATH(conv2dInt8(qx, qw, bad_bias, pad1), "bias");
+
+    // Kernel larger than the unpadded input collapses the output.
+    Tensor tiny = Tensor::randn({1, 4, 2, 2}, rng);
+    EXPECT_DEATH(conv2dInt8(quantize(tiny), qw, Tensor{},
+                            Conv2dParams{}),
+                 "collapsed");
 }
 
 TEST(MeanAbsError, Basics)

@@ -1,0 +1,257 @@
+/** @file Tests of the process-wide thread pool and parallelFor. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "util/threadpool.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr int64_t n = 10'000;
+    std::vector<int> hits(n, 0);
+    pool.parallelFor(0, n, 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            ++hits[i];
+    });
+    for (int64_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, MatchesInlineResult)
+{
+    ThreadPool pool(8);
+    constexpr int64_t n = 4096;
+    std::vector<double> seq(n), par(n);
+    auto body = [](std::vector<double> &out) {
+        return [&out](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i)
+                out[i] = static_cast<double>(i) * 1.5 + 2.0;
+        };
+    };
+    ThreadPool inline_pool(1);
+    inline_pool.parallelFor(0, n, 1, body(seq));
+    pool.parallelFor(0, n, 1, body(par));
+    EXPECT_EQ(seq, par);
+}
+
+TEST(ParallelFor, EmptyAndBackwardRangesAreNoOps)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+    pool.parallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, GrainCutoffRunsInline)
+{
+    ThreadPool pool(4);
+    // Range below one grain: must run as a single inline shard on the
+    // calling thread.
+    const std::thread::id self = std::this_thread::get_id();
+    int calls = 0;
+    pool.parallelFor(0, 64, 128, [&](int64_t b, int64_t e) {
+        ++calls;
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 64);
+        EXPECT_EQ(std::this_thread::get_id(), self);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, SingleThreadPoolDegeneratesToInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    const std::thread::id self = std::this_thread::get_id();
+    std::set<std::thread::id> ids;
+    pool.parallelFor(0, 100'000, 1, [&](int64_t b, int64_t e) {
+        ids.insert(std::this_thread::get_id());
+        // Inline execution arrives as one undivided range.
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 100'000);
+    });
+    EXPECT_EQ(ids, std::set<std::thread::id>{self});
+}
+
+TEST(ParallelFor, UsesWorkerThreads)
+{
+    ThreadPool pool(4);
+    std::mutex m;
+    std::set<std::thread::id> ids;
+    pool.parallelFor(0, 4, 1, [&](int64_t, int64_t) {
+        // Enough per-shard work that all shards overlap.
+        volatile double sink = 0;
+        for (int i = 0; i < 2'000'000; ++i)
+            sink = sink + i;
+        std::lock_guard<std::mutex> lock(m);
+        ids.insert(std::this_thread::get_id());
+    });
+    EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineAndStayCorrect)
+{
+    ThreadPool pool(4);
+    constexpr int64_t outer = 16;
+    constexpr int64_t inner = 512;
+    std::vector<int> hits(outer * inner, 0);
+    pool.parallelFor(0, outer, 1, [&](int64_t ob, int64_t oe) {
+        for (int64_t o = ob; o < oe; ++o) {
+            const bool from_worker = ThreadPool::onWorkerThread();
+            pool.parallelFor(0, inner, 1, [&](int64_t ib, int64_t ie) {
+                // A nested call issued from a worker must not hop to
+                // another worker (it runs inline).
+                if (from_worker) {
+                    EXPECT_TRUE(ThreadPool::onWorkerThread());
+                }
+                for (int64_t i = ib; i < ie; ++i)
+                    ++hits[o * inner + i];
+            });
+        }
+    });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              outer * inner);
+    EXPECT_EQ(*std::min_element(hits.begin(), hits.end()), 1);
+    EXPECT_EQ(*std::max_element(hits.begin(), hits.end()), 1);
+}
+
+TEST(ParallelFor, ExceptionInWorkerShardPropagates)
+{
+    ThreadPool pool(4);
+    // Index n-1 lands in the last shard, which a worker executes.
+    EXPECT_THROW(
+        pool.parallelFor(0, 1000, 1,
+                         [&](int64_t b, int64_t e) {
+                             for (int64_t i = b; i < e; ++i)
+                                 if (i == 999)
+                                     throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionInCallerShardPropagates)
+{
+    ThreadPool pool(4);
+    // Index 0 lands in the first shard, which the caller executes.
+    EXPECT_THROW(pool.parallelFor(0, 1000, 1,
+                                  [&](int64_t b, int64_t) {
+                                      if (b == 0)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    // The pool must stay usable afterwards.
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(0, 100, 1, [&](int64_t b, int64_t e) {
+        sum += e - b;
+    });
+    EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ParallelFor, StressManyBatches)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 200; ++round) {
+        const int64_t n = 1 + (round * 37) % 500;
+        std::vector<int64_t> vals(n, 0);
+        pool.parallelFor(0, n, 1, [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i)
+                vals[i] = i;
+        });
+        int64_t sum = 0;
+        for (int64_t v : vals)
+            sum += v;
+        ASSERT_EQ(sum, n * (n - 1) / 2) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, EnvVarSizesDefaultPool)
+{
+    ASSERT_EQ(setenv("VITDYN_THREADS", "3", 1), 0);
+    {
+        ThreadPool pool(0);
+        EXPECT_EQ(pool.threads(), 3);
+    }
+    ASSERT_EQ(setenv("VITDYN_THREADS", "bogus", 1), 0);
+    {
+        ThreadPool pool(0);
+        EXPECT_GE(pool.threads(), 1);
+    }
+    unsetenv("VITDYN_THREADS");
+}
+
+TEST(ThreadPool, ResizeTakesEffect)
+{
+    ThreadPool pool(2);
+    pool.resize(5);
+    EXPECT_EQ(pool.threads(), 5);
+    std::vector<int> hits(1000, 0);
+    pool.parallelFor(0, 1000, 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            ++hits[i];
+    });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+    pool.resize(1);
+    EXPECT_EQ(pool.threads(), 1);
+}
+
+TEST(ThreadPool, GlobalInstanceIsUsable)
+{
+    std::atomic<int64_t> count{0};
+    parallelFor(0, 256, 1, [&](int64_t b, int64_t e) {
+        count += e - b;
+    });
+    EXPECT_EQ(count.load(), 256);
+    EXPECT_GE(ThreadPool::instance().threads(), 1);
+}
+
+TEST(ThreadPool, ReportsMetrics)
+{
+    // Force sharded execution on the global pool (metrics are
+    // process-wide) and check the counters move.
+    ThreadPool &pool = ThreadPool::instance();
+    if (pool.threads() < 2)
+        pool.resize(2);
+    MetricsSnapshot before = MetricsRegistry::instance().snapshot();
+    std::atomic<int64_t> sink{0};
+    pool.parallelFor(0, 1000, 1, [&](int64_t b, int64_t e) {
+        sink += e - b;
+    });
+    MetricsSnapshot after = MetricsRegistry::instance().snapshot();
+    EXPECT_GT(after.counterValue("pool.parallel_fors"),
+              before.counterValue("pool.parallel_fors"));
+    EXPECT_GT(after.counterValue("pool.tasks"),
+              before.counterValue("pool.tasks"));
+    const HistogramSnapshot *h = after.findHistogram("pool.shard_ms");
+    ASSERT_NE(h, nullptr);
+    EXPECT_GT(h->count, 0u);
+    pool.resize(0);
+}
+
+TEST(GrainForFlops, ScalesInverselyWithItemCost)
+{
+    EXPECT_GE(grainForFlops(0), 1);
+    EXPECT_EQ(grainForFlops(1 << 18), 1);
+    EXPECT_EQ(grainForFlops(1 << 17), 2);
+    EXPECT_GT(grainForFlops(8), grainForFlops(1024));
+    EXPECT_GE(grainForFlops(int64_t{1} << 40), 1);
+}
+
+} // namespace
+} // namespace vitdyn

@@ -78,9 +78,7 @@ main(int argc, char **argv)
     for (int frame = 0; frame < args.getInt("frames"); ++frame) {
         const double budget =
             full_cycles * (0.35 + 0.75 * rng.uniform());
-        const LutEntry *choice = lut.lookup(budget);
-        if (!choice)
-            choice = &lut.cheapest();
+        const LutEntry *choice = &lut.lookupOrCheapest(budget);
         std::printf("%-6d %-14s %-22s %-10.3f\n", frame,
                     Table::intWithCommas(
                         static_cast<long long>(budget))

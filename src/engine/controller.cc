@@ -145,10 +145,12 @@ simulateClosedLoop(const AccuracyResourceLut &lut,
             ++stats.panicFrames;
 
         const double budget = controller.budgetForNextFrame();
-        const LutEntry *entry =
-            controller.panicked() ? &lut.cheapest() : lut.lookup(budget);
-        if (!entry)
-            entry = &lut.cheapest();
+        // Panic pins the cheapest path outright; otherwise a budget
+        // below the floor falls back deliberately (and is counted on
+        // lut.budget_floor) instead of dereferencing null.
+        const LutEntry *entry = controller.panicked()
+                                    ? &lut.cheapest()
+                                    : &lut.lookupOrCheapest(budget);
 
         // The platform runs slower/faster than the model thinks.
         const double noise =

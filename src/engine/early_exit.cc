@@ -94,9 +94,9 @@ contrastPolicies(const EarlyExitModel &model,
         }
 
         // DRT: the budget decides, the input is irrelevant to cost.
-        const LutEntry *entry = lut.lookup(budget);
-        if (!entry) {
-            entry = &lut.cheapest();
+        bool met = false;
+        const LutEntry *entry = &lut.lookupOrCheapest(budget, &met);
+        if (!met) {
             ++result.drt.deadlineMisses;
             result.drt.worstOverrun = std::max(
                 result.drt.worstOverrun,

@@ -1,5 +1,7 @@
 #include "engine/engine.hh"
 
+#include <chrono>
+
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "util/logging.hh"
@@ -34,32 +36,35 @@ registerFullDims(const Graph &full_graph, Executor &executor)
 
 DrtEngine::DrtEngine(ModelFamily family, const SegformerConfig &seg_base,
                      const SwinConfig &swin_base, AccuracyResourceLut lut,
-                     uint64_t seed)
-    : lut_(std::move(lut))
+                     uint64_t seed, DrtEngineOptions options)
+    : lut_(std::move(lut)), family_(family), segBase_(seg_base),
+      swinBase_(swin_base), seed_(seed), options_(options),
+      // The unpruned reference defines the shared weight dimensions.
+      fullGraph_(family == ModelFamily::Segformer
+                     ? buildSegformer(seg_base)
+                     : buildSwin(swin_base)),
+      quarantinedUntil_(lut_.entries().size(), 0)
 {
     vitdyn_assert(!lut_.empty(), "DrtEngine needs a non-empty LUT");
 
-    // The unpruned reference defines the shared weight dimensions.
-    Graph full = family == ModelFamily::Segformer
-                     ? buildSegformer(seg_base)
-                     : buildSwin(swin_base);
-
-    for (const LutEntry &entry : lut_.entries()) {
-        Path path;
-        path.graph = std::make_unique<Graph>(
-            family == ModelFamily::Segformer
-                ? applySegformerPrune(seg_base, entry.config)
-                : applySwinPrune(swin_base, entry.config));
-        path.executor = std::make_unique<Executor>(*path.graph, seed);
-        registerFullDims(full, *path.executor);
-        paths_.push_back(std::move(path));
+    if (options_.prewarm) {
+        // Materialize cheapest-first so a bounded cache retains the
+        // configs a tight budget will actually request.
+        ScopedSpan span(Tracer::instance(), "engine.prewarm", "engine");
+        const size_t n = lut_.entries().size();
+        const size_t keep = options_.executorCacheCapacity == 0
+                                ? n
+                                : std::min(n, options_.executorCacheCapacity);
+        for (size_t i = 0; i < keep; ++i)
+            acquirePath(i);
+        span.arg("paths", static_cast<uint64_t>(keep));
     }
 }
 
 Result<std::unique_ptr<DrtEngine>>
 DrtEngine::create(ModelFamily family, const SegformerConfig &seg_base,
                   const SwinConfig &swin_base, AccuracyResourceLut lut,
-                  uint64_t seed)
+                  uint64_t seed, DrtEngineOptions options)
 {
     if (lut.empty())
         return Status::error("DrtEngine: LUT has no entries");
@@ -77,7 +82,99 @@ DrtEngine::create(ModelFamily family, const SegformerConfig &seg_base,
                                  "' has an invalid resource cost");
     }
     return std::unique_ptr<DrtEngine>(new DrtEngine(
-        family, seg_base, swin_base, std::move(lut), seed));
+        family, seg_base, swin_base, std::move(lut), seed, options));
+}
+
+void
+DrtEngine::configureExecutor(Executor &executor) const
+{
+    executor.setHealthChecks(resilience_.health);
+    if (injector_) {
+        executor.setPostLayerHook(
+            [this](const Layer &layer, Tensor &out) {
+                if (injector_)
+                    injector_->corruptActivation(layer.name, out);
+            });
+    } else {
+        executor.setPostLayerHook(nullptr);
+    }
+}
+
+DrtEngine::Path &
+DrtEngine::acquirePath(size_t index) const
+{
+    vitdyn_assert(index < lut_.entries().size(), "LUT/path desync");
+
+    // References cached once: registration locks, increments do not.
+    static Counter &hits =
+        MetricsRegistry::instance().counter("engine.executor_cache_hits");
+    static Counter &misses = MetricsRegistry::instance().counter(
+        "engine.executor_cache_misses");
+    static Histogram &switch_ms =
+        MetricsRegistry::instance().histogram("engine.switch_ms");
+
+    ++useTick_;
+    if (auto it = paths_.find(index); it != paths_.end()) {
+        hits.add();
+        it->second.lastUsed = useTick_;
+        return it->second;
+    }
+
+    misses.add();
+    const LutEntry &entry = lut_.entries()[index];
+    const auto t0 = std::chrono::steady_clock::now();
+    ScopedSpan span(Tracer::instance(), "engine.materialize", "engine");
+    span.arg("path", entry.config.label);
+
+    Path path;
+    path.graph = std::make_unique<Graph>(
+        family_ == ModelFamily::Segformer
+            ? applySegformerPrune(segBase_, entry.config)
+            : applySwinPrune(swinBase_, entry.config));
+    path.executor = std::make_unique<Executor>(*path.graph, seed_,
+                                               options_.weightStore);
+    registerFullDims(fullGraph_, *path.executor);
+    configureExecutor(*path.executor);
+    // Synthesize (or fetch from the store) every weight now, so the
+    // first frame on this path pays no lazy-synthesis stall and
+    // switch_ms reflects the true cost of readying the path.
+    path.executor->warmupWeights();
+    path.lastUsed = useTick_;
+
+    if (options_.executorCacheCapacity > 0) {
+        while (paths_.size() >= options_.executorCacheCapacity &&
+               !paths_.empty()) {
+            auto victim = paths_.begin();
+            for (auto it = paths_.begin(); it != paths_.end(); ++it)
+                if (it->second.lastUsed < victim->second.lastUsed)
+                    victim = it;
+            paths_.erase(victim);
+        }
+    }
+
+    Path &slot = paths_[index] = std::move(path);
+    switch_ms.observe(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    return slot;
+}
+
+bool
+DrtEngine::isQuarantined(size_t path_index) const
+{
+    vitdyn_assert(path_index < quarantinedUntil_.size(),
+                  "path index out of range");
+    return quarantinedUntil_[path_index] > frame_;
+}
+
+size_t
+DrtEngine::numQuarantined() const
+{
+    size_t count = 0;
+    for (uint64_t until : quarantinedUntil_)
+        if (until > frame_)
+            ++count;
+    return count;
 }
 
 void
@@ -87,7 +184,7 @@ DrtEngine::setResilience(const EngineResilienceConfig &config)
     vitdyn_assert(config.probationFrames >= 1,
                   "probationFrames must be >= 1");
     resilience_ = config;
-    for (Path &path : paths_)
+    for (auto &[index, path] : paths_)
         path.executor->setHealthChecks(config.health);
 }
 
@@ -95,35 +192,8 @@ void
 DrtEngine::setFaultInjector(FaultInjector *injector)
 {
     injector_ = injector;
-    for (Path &path : paths_) {
-        if (injector_) {
-            path.executor->setPostLayerHook(
-                [this](const Layer &layer, Tensor &out) {
-                    if (injector_)
-                        injector_->corruptActivation(layer.name, out);
-                });
-        } else {
-            path.executor->setPostLayerHook(nullptr);
-        }
-    }
-}
-
-bool
-DrtEngine::isQuarantined(size_t path_index) const
-{
-    vitdyn_assert(path_index < paths_.size(),
-                  "path index out of range");
-    return paths_[path_index].quarantinedUntil > frame_;
-}
-
-size_t
-DrtEngine::numQuarantined() const
-{
-    size_t count = 0;
-    for (const Path &path : paths_)
-        if (path.quarantinedUntil > frame_)
-            ++count;
-    return count;
+    for (auto &[index, path] : paths_)
+        configureExecutor(*path.executor);
 }
 
 size_t
@@ -189,20 +259,21 @@ DrtEngine::select(double resource_budget, bool *met) const
 DrtResult
 DrtEngine::runPath(size_t index, const Tensor &image)
 {
-    vitdyn_assert(index < paths_.size(), "LUT/path desync");
+    vitdyn_assert(index < lut_.entries().size(), "LUT/path desync");
     const LutEntry &entry = lut_.entries()[index];
 
     ScopedSpan span(Tracer::instance(), "drt.execute", "engine");
     span.arg("path", entry.config.label);
 
+    Path &path = acquirePath(index);
+
     DrtResult result;
-    result.output = paths_[index].executor->runSimple(image);
+    result.output = path.executor->runSimple(image);
     result.configLabel = entry.config.label;
     result.accuracyEstimate = entry.accuracyEstimate;
     result.resourceCost = entry.resourceCost;
     if (resilience_.health.enabled)
-        result.healthy =
-            paths_[index].executor->lastHealthReport().healthy;
+        result.healthy = path.executor->lastHealthReport().healthy;
     span.arg("healthy", result.healthy);
     return result;
 }
@@ -283,13 +354,13 @@ DrtEngine::inferImpl(const Tensor &image, double resource_budget)
             break;
         // Quarantine the offending path for the probation window and
         // fall back to the next-best healthy Pareto entry.
-        paths_[index].quarantinedUntil =
+        quarantinedUntil_[index] =
             frame_ + static_cast<uint64_t>(resilience_.probationFrames);
         quarantines.add();
         tracer.instant("drt.quarantine", "engine");
         warn("DRT path '", result.configLabel,
              "' failed health checks (",
-             paths_[index].executor->lastHealthReport().summary(),
+             acquirePath(index).executor->lastHealthReport().summary(),
              "); quarantined for ", resilience_.probationFrames,
              " frames");
         ++attempts;
@@ -299,7 +370,7 @@ DrtEngine::inferImpl(const Tensor &image, double resource_budget)
     if (!result.healthy) {
         // Retries exhausted: deliver best effort, but keep the failing
         // path out of rotation so the next frame tries elsewhere.
-        paths_[index].quarantinedUntil =
+        quarantinedUntil_[index] =
             frame_ + static_cast<uint64_t>(resilience_.probationFrames);
         quarantines.add();
         tracer.instant("drt.quarantine", "engine");
@@ -315,15 +386,17 @@ DrtEngine::inferImpl(const Tensor &image, double resource_budget)
 const Graph &
 DrtEngine::pathGraph(size_t index) const
 {
-    vitdyn_assert(index < paths_.size(), "path index out of range");
-    return *paths_[index].graph;
+    vitdyn_assert(index < lut_.entries().size(),
+                  "path index out of range");
+    return *acquirePath(index).graph;
 }
 
 Executor &
 DrtEngine::pathExecutor(size_t index)
 {
-    vitdyn_assert(index < paths_.size(), "path index out of range");
-    return *paths_[index].executor;
+    vitdyn_assert(index < lut_.entries().size(),
+                  "path index out of range");
+    return *acquirePath(index).executor;
 }
 
 } // namespace vitdyn

@@ -79,13 +79,42 @@ struct EngineResilienceConfig
     int probationFrames = 32;
 };
 
+/** Materialization policy for DrtEngine execution paths. */
+struct DrtEngineOptions
+{
+    /**
+     * Max execution paths kept materialized (graph + executor + conv
+     * workspaces). 0 means unbounded — every path used stays resident,
+     * the historical behavior. A bounded cache evicts the
+     * least-recently-run path; note eviction also discards any
+     * persistent weight damage injected into that path's executor
+     * (the replacement re-reads pristine store weights).
+     */
+    size_t executorCacheCapacity = 0;
+
+    /**
+     * Materialize every Pareto-frontier path (and synthesize its
+     * weights through the store) at engine construction, so the first
+     * switch to any config pays nothing. With a bounded cache only
+     * the `executorCacheCapacity` cheapest-first entries stay.
+     */
+    bool prewarm = true;
+
+    /** Weight store for all paths; nullptr = process-wide instance. */
+    WeightStore *weightStore = nullptr;
+};
+
 /** DRT inference engine over one pretrained model and one LUT. */
 class DrtEngine
 {
   public:
     /**
-     * Pre-build a graph + executor for every LUT entry so the only
+     * Prepare an execution path for every LUT entry so the only
      * per-inference overhead beyond model execution is the lookup.
+     * Paths materialize through a keep-warm cache (see
+     * DrtEngineOptions): weights come from the shared WeightStore, so
+     * even a cold materialization synthesizes nothing that any prior
+     * executor of this family already forced.
      *
      * @param family      which builder the configs apply to.
      * @param seg_base    SegFormer base config (used when family is
@@ -93,10 +122,11 @@ class DrtEngine
      * @param swin_base   Swin base config (used when family is Swin).
      * @param lut         Pareto LUT from the resilience sweep.
      * @param seed        weight-synthesis seed shared by all paths.
+     * @param options     cache/prewarm policy.
      */
     DrtEngine(ModelFamily family, const SegformerConfig &seg_base,
               const SwinConfig &swin_base, AccuracyResourceLut lut,
-              uint64_t seed = 1);
+              uint64_t seed = 1, DrtEngineOptions options = {});
 
     /**
      * Validating factory for long-running deployments: returns a
@@ -106,7 +136,7 @@ class DrtEngine
     static Result<std::unique_ptr<DrtEngine>>
     create(ModelFamily family, const SegformerConfig &seg_base,
            const SwinConfig &swin_base, AccuracyResourceLut lut,
-           uint64_t seed = 1);
+           uint64_t seed = 1, DrtEngineOptions options = {});
 
     /**
      * Select the execution path for @p resource_budget (in the LUT's
@@ -149,21 +179,36 @@ class DrtEngine
 
     const AccuracyResourceLut &lut() const { return lut_; }
 
-    /** Graph of a prepared path (for inspection/tests). */
+    /** Graph of a prepared path (for inspection/tests; materializes
+     *  the path if it is not currently cached). */
     const Graph &pathGraph(size_t index) const;
 
-    /** Executor of a prepared path (for fault campaigns/tests). */
+    /** Executor of a prepared path (for fault campaigns/tests;
+     *  materializes the path if it is not currently cached). */
     Executor &pathExecutor(size_t index);
 
-    size_t numPaths() const { return paths_.size(); }
+    size_t numPaths() const { return lut_.entries().size(); }
+
+    /** Number of paths currently materialized (graph + executor). */
+    size_t numMaterializedPaths() const { return paths_.size(); }
 
   private:
     struct Path
     {
         std::unique_ptr<Graph> graph;
         std::unique_ptr<Executor> executor;
-        uint64_t quarantinedUntil = 0; ///< Frame the probation ends.
+        uint64_t lastUsed = 0; ///< LRU tick of the last acquire.
     };
+
+    /**
+     * The materialized path for LUT entry @p index: cache hit updates
+     * recency; miss builds the pruned graph, its executor (shared
+     * store weights, eagerly warmed), applies the current resilience
+     * and injector hooks, and evicts the least-recently-used path
+     * beyond capacity. Feeds engine.executor_cache_hits/misses and
+     * the engine.switch_ms histogram.
+     */
+    Path &acquirePath(size_t index) const;
 
     /** infer() body; the public wrapper adds telemetry around it. */
     DrtResult inferImpl(const Tensor &image, double resource_budget);
@@ -181,8 +226,22 @@ class DrtEngine
     /** Execute one prepared path (applies injector via the hook). */
     DrtResult runPath(size_t index, const Tensor &image);
 
+    /** (Re)attach health config + injector hook to an executor. */
+    void configureExecutor(Executor &executor) const;
+
     AccuracyResourceLut lut_;
-    std::vector<Path> paths_; ///< Parallel to lut_.entries().
+    ModelFamily family_;
+    SegformerConfig segBase_;
+    SwinConfig swinBase_;
+    uint64_t seed_;
+    DrtEngineOptions options_;
+    Graph fullGraph_; ///< Unpruned reference for shared weight dims.
+    /** Materialized paths keyed by LUT index (see acquirePath). */
+    mutable std::map<size_t, Path> paths_;
+    mutable uint64_t useTick_ = 0; ///< LRU clock for paths_.
+    /** Quarantine deadlines, parallel to lut_.entries() — kept apart
+     *  from the path cache so probation survives eviction. */
+    std::vector<uint64_t> quarantinedUntil_;
     EngineResilienceConfig resilience_;
     FaultInjector *injector_ = nullptr;
     uint64_t frame_ = 0; ///< Monotonic inference counter.

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hh"
+#include "util/csv.hh"
 #include "util/logging.hh"
 
 namespace vitdyn
@@ -48,22 +50,49 @@ AccuracyResourceLut::cheapest() const
     return entries_.front();
 }
 
+const LutEntry &
+AccuracyResourceLut::lookupOrCheapest(double budget, bool *met) const
+{
+    if (const LutEntry *entry = lookup(budget)) {
+        if (met)
+            *met = true;
+        return *entry;
+    }
+    static Counter &floor_hits =
+        MetricsRegistry::instance().counter("lut.budget_floor");
+    floor_hits.add();
+    if (met)
+        *met = false;
+    return cheapest();
+}
+
 std::string
 AccuracyResourceLut::toCsv() const
 {
+    const auto num = [](double v) {
+        std::ostringstream oss;
+        oss.precision(12);
+        oss << v;
+        return oss.str();
+    };
+
+    // RFC-4180 emission via util/csv: labels (and the unit) may
+    // contain commas or quotes and still round-trip.
     std::ostringstream oss;
-    oss << "unit," << unit_ << "\n";
+    oss << csvJoin({"unit", unit_}) << "\n";
     oss << "label,d0,d1,d2,d3,fuse,pred,dl0,cost,norm_cost,accuracy\n";
-    oss.precision(12);
     for (const LutEntry &e : entries_) {
-        oss << e.config.label;
+        std::vector<std::string> row;
+        row.push_back(e.config.label);
         for (int i = 0; i < 4; ++i)
-            oss << "," << e.config.depths[i];
-        oss << "," << e.config.fuseInChannels << ","
-            << e.config.predInChannels << ","
-            << e.config.decodeLinear0InChannels << "," << e.resourceCost
-            << "," << e.normalizedCost << "," << e.accuracyEstimate
-            << "\n";
+            row.push_back(std::to_string(e.config.depths[i]));
+        row.push_back(std::to_string(e.config.fuseInChannels));
+        row.push_back(std::to_string(e.config.predInChannels));
+        row.push_back(std::to_string(e.config.decodeLinear0InChannels));
+        row.push_back(num(e.resourceCost));
+        row.push_back(num(e.normalizedCost));
+        row.push_back(num(e.accuracyEstimate));
+        oss << csvJoin(row) << "\n";
     }
     return oss.str();
 }
@@ -80,62 +109,95 @@ AccuracyResourceLut::save(const std::string &path) const
     return Status::ok();
 }
 
+namespace
+{
+
+constexpr size_t kLutColumns = 11; // label + 7 ints + 3 doubles
+
+/** Rejoin a parsed row for error messages. */
+std::string
+rowForError(const std::vector<std::string> &row)
+{
+    return csvJoin(row);
+}
+
+} // namespace
+
 Result<AccuracyResourceLut>
 AccuracyResourceLut::fromCsv(const std::string &csv)
 {
-    std::istringstream in(csv);
-    std::string line;
+    const std::vector<std::vector<std::string>> rows = csvParse(csv);
 
     AccuracyResourceLut lut;
-    if (!std::getline(in, line) || line.rfind("unit,", 0) != 0)
+    if (rows.empty() || rows[0].empty() || rows[0][0] != "unit" ||
+        rows[0].size() != 2)
         return Status::error("LUT csv: missing unit header");
-    lut.unit_ = line.substr(5);
-    if (!std::getline(in, line) || line.rfind("label,", 0) != 0)
+    lut.unit_ = rows[0][1];
+    if (rows.size() < 2 || rows[1].empty() || rows[1][0] != "label")
         return Status::error("LUT csv: missing column header");
 
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        std::istringstream row(line);
-        std::string cell;
-        bool truncated = false;
-        auto next = [&]() {
-            if (!std::getline(row, cell, ','))
-                truncated = true;
-            return cell;
-        };
-        auto as_int = [&](int64_t &dst) {
+    for (size_t r = 2; r < rows.size(); ++r) {
+        const std::vector<std::string> &row = rows[r];
+        if (row.empty() || (row.size() == 1 && row[0].empty()))
+            continue; // blank line
+        // Distinguish the two operator mistakes: a row that lost
+        // fields (bad splice/truncated download) vs a row whose cell
+        // isn't a number (hand edit gone wrong).
+        if (row.size() != kLutColumns)
+            return Status::error(
+                "LUT csv: truncated row '" + rowForError(row) +
+                "' (expected " + std::to_string(kLutColumns) +
+                " fields, got " + std::to_string(row.size()) + ")");
+        bool malformed = false;
+        std::string bad_cell;
+        auto as_int = [&](const std::string &cell) -> int64_t {
             try {
-                dst = std::stoll(next());
+                size_t pos = 0;
+                const int64_t v = std::stoll(cell, &pos);
+                if (pos != cell.size())
+                    throw std::invalid_argument("trailing chars");
+                return v;
             } catch (const std::exception &) {
-                truncated = true;
+                if (!malformed)
+                    bad_cell = cell;
+                malformed = true;
+                return 0;
             }
         };
-        auto as_double = [&](double &dst) {
+        auto as_double = [&](const std::string &cell) -> double {
             try {
-                dst = std::stod(next());
+                size_t pos = 0;
+                const double v = std::stod(cell, &pos);
+                if (pos != cell.size())
+                    throw std::invalid_argument("trailing chars");
+                return v;
             } catch (const std::exception &) {
-                truncated = true;
+                if (!malformed)
+                    bad_cell = cell;
+                malformed = true;
+                return 0.0;
             }
         };
         LutEntry e;
-        e.config.label = next();
+        e.config.label = row[0];
         for (int i = 0; i < 4; ++i)
-            as_int(e.config.depths[i]);
-        as_int(e.config.fuseInChannels);
-        as_int(e.config.predInChannels);
-        as_int(e.config.decodeLinear0InChannels);
-        as_double(e.resourceCost);
-        as_double(e.normalizedCost);
-        as_double(e.accuracyEstimate);
-        if (truncated)
-            return Status::error("LUT csv: truncated or malformed row '" +
-                                 line + "'");
+            e.config.depths[i] = as_int(row[1 + i]);
+        e.config.fuseInChannels = as_int(row[5]);
+        e.config.predInChannels = as_int(row[6]);
+        e.config.decodeLinear0InChannels = as_int(row[7]);
+        e.resourceCost = as_double(row[8]);
+        e.normalizedCost = as_double(row[9]);
+        e.accuracyEstimate = as_double(row[10]);
+        if (malformed)
+            return Status::error("LUT csv: malformed number '" +
+                                 bad_cell + "' in row '" +
+                                 rowForError(row) + "'");
         if (!std::isfinite(e.resourceCost) || e.resourceCost < 0.0 ||
             !std::isfinite(e.normalizedCost) ||
             !std::isfinite(e.accuracyEstimate))
             return Status::error("LUT csv: non-finite or negative "
-                                 "numbers in row '" + line + "'");
+                                 "numbers in row '" + rowForError(row) +
+                                 "'");
         lut.entries_.push_back(std::move(e));
     }
     std::sort(lut.entries_.begin(), lut.entries_.end(),

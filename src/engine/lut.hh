@@ -50,6 +50,17 @@ class AccuracyResourceLut
     /** Cheapest entry (fallback when no entry meets the budget). */
     const LutEntry &cheapest() const;
 
+    /**
+     * lookup() with the deliberate best-effort fallback every serving
+     * caller wants: when the budget sits below even the cheapest
+     * entry, return cheapest() and count the event on the
+     * `lut.budget_floor` metric instead of handing out nullptr.
+     * @p met (optional) reports whether the budget was actually met.
+     * Asserts on an empty LUT, like cheapest().
+     */
+    const LutEntry &lookupOrCheapest(double budget,
+                                     bool *met = nullptr) const;
+
     /** Most accurate (most expensive) entry — the full model. */
     const LutEntry &best() const;
 

@@ -1,5 +1,10 @@
 #include "engine/model_switching.hh"
 
+#include <chrono>
+
+#include "engine/engine.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/logging.hh"
 
 namespace vitdyn
@@ -47,10 +52,8 @@ ModelSwitchingEngine::ModelSwitchingEngine(
 ModelSwitchingEngine::Choice
 ModelSwitchingEngine::select(double budget) const
 {
-    const LutEntry *entry = lut_.lookup(budget);
-    const bool met = entry != nullptr;
-    if (!entry)
-        entry = &lut_.cheapest();
+    bool met = false;
+    const LutEntry *entry = &lut_.lookupOrCheapest(budget, &met);
 
     Choice choice;
     const std::string &label = entry->config.label;
@@ -102,6 +105,75 @@ ModelSwitchingEngine::buildChoice(const Choice &choice) const
                        : applySwinPrune(variants_[0].swinConfig,
                                         candidate);
     vitdyn_fatal("unknown pruned path '", choice.name, "'");
+}
+
+std::shared_ptr<ModelSwitchingEngine::MaterializedChoice>
+ModelSwitchingEngine::acquireExecutor(const Choice &choice) const
+{
+    // Same switch metrics as DrtEngine::acquirePath — one process-wide
+    // view of configuration-switch cost, whatever engine drives it.
+    static Counter &hits =
+        MetricsRegistry::instance().counter("engine.executor_cache_hits");
+    static Counter &misses = MetricsRegistry::instance().counter(
+        "engine.executor_cache_misses");
+    static Histogram &switch_ms =
+        MetricsRegistry::instance().histogram("engine.switch_ms");
+
+    // Trained variants and pruned paths share the label namespace via
+    // the prefix, so one cache key covers both.
+    const std::string key =
+        (choice.isTrainedVariant ? std::string(kTrainedPrefix) : "") +
+        choice.name;
+
+    ++useTick_;
+    if (auto it = execCache_.find(key); it != execCache_.end()) {
+        hits.add();
+        it->second.lastUsed = useTick_;
+        return it->second.materialized;
+    }
+
+    misses.add();
+    const auto t0 = std::chrono::steady_clock::now();
+    ScopedSpan span(Tracer::instance(), "engine.materialize", "engine");
+    span.arg("path", key);
+
+    // The executor holds a reference to the graph, so both live in one
+    // heap block and the cache only ever moves the shared_ptr.
+    auto m = std::make_shared<MaterializedChoice>();
+    m->graph = buildChoice(choice);
+    m->executor = std::make_unique<Executor>(m->graph, seed_, store_);
+    if (!choice.isTrainedVariant) {
+        // Pruned paths slice the reference variant's full weights —
+        // the paper's shared-weight property. Trained variants are
+        // their own full models.
+        if (!referenceFull_)
+            referenceFull_ = std::make_unique<Graph>(
+                family_ == ModelFamily::Segformer
+                    ? buildSegformer(variants_[0].segConfig)
+                    : buildSwin(variants_[0].swinConfig));
+        registerFullDims(*referenceFull_, *m->executor);
+    }
+    m->executor->warmupWeights();
+
+    if (cacheCapacity_ > 0) {
+        while (execCache_.size() >= cacheCapacity_ &&
+               !execCache_.empty()) {
+            auto victim = execCache_.begin();
+            for (auto it = execCache_.begin(); it != execCache_.end();
+                 ++it)
+                if (it->second.lastUsed < victim->second.lastUsed)
+                    victim = it;
+            execCache_.erase(victim);
+        }
+    }
+
+    CacheSlot &slot = execCache_[key];
+    slot.materialized = m;
+    slot.lastUsed = useTick_;
+    switch_ms.observe(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    return m;
 }
 
 std::vector<TrainedVariant>

@@ -12,10 +12,13 @@
 #ifndef VITDYN_ENGINE_MODEL_SWITCHING_HH
 #define VITDYN_ENGINE_MODEL_SWITCHING_HH
 
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "engine/lut.hh"
+#include "graph/executor.hh"
 #include "resilience/sweep.hh"
 
 namespace vitdyn
@@ -72,15 +75,66 @@ class ModelSwitchingEngine
     /** Build the graph for a selected choice. */
     Graph buildChoice(const Choice &choice) const;
 
+    /** A materialized execution path: the built graph plus a
+     *  weight-warmed executor (which references the graph). */
+    struct MaterializedChoice
+    {
+        Graph graph;
+        std::unique_ptr<Executor> executor;
+    };
+
+    /**
+     * Executor for a selected choice, served from a bounded LRU
+     * keyed by the choice name — the switch hot path. A cache hit
+     * returns the resident executor (conv workspaces intact, zero
+     * weight work); a miss builds the graph, warms its weights
+     * through the shared WeightStore, and evicts the
+     * least-recently-used entry beyond the capacity. Shared
+     * ownership: an evicted entry stays valid for holders. Pruned
+     * choices register the reference variant's full dims so they
+     * slice the same stored weights. Feeds the same
+     * engine.executor_cache_hits/misses counters and engine.switch_ms
+     * histogram as DrtEngine.
+     */
+    std::shared_ptr<MaterializedChoice>
+    acquireExecutor(const Choice &choice) const;
+
+    /** Weight-synthesis seed used by acquireExecutor (default 1). */
+    void setExecutorSeed(uint64_t seed) { seed_ = seed; }
+
+    /** Max executors kept resident by acquireExecutor; 0 = unbounded
+     *  (default 8). Shrinking takes effect on the next acquire. */
+    void setExecutorCacheCapacity(size_t capacity)
+    {
+        cacheCapacity_ = capacity;
+    }
+
+    /** Weight store for acquired executors; nullptr = process-wide. */
+    void setWeightStore(WeightStore *store) { store_ = store; }
+
     const AccuracyResourceLut &lut() const { return lut_; }
 
   private:
     static constexpr const char *kTrainedPrefix = "trained:";
 
+    struct CacheSlot
+    {
+        std::shared_ptr<MaterializedChoice> materialized;
+        uint64_t lastUsed = 0;
+    };
+
     ModelFamily family_;
     std::vector<TrainedVariant> variants_;
     std::vector<PruneConfig> candidates_;
     AccuracyResourceLut lut_;
+    uint64_t seed_ = 1;
+    size_t cacheCapacity_ = 8;
+    WeightStore *store_ = nullptr;
+    /** Reference (largest variant) graph, built on first pruned
+     *  acquire, for registerFullDims-style weight sharing. */
+    mutable std::unique_ptr<Graph> referenceFull_;
+    mutable std::map<std::string, CacheSlot> execCache_;
+    mutable uint64_t useTick_ = 0;
 };
 
 /** SegFormer B0/B1/B2 trained variants for a dataset preset. */

@@ -79,10 +79,10 @@ runTrace(const AccuracyResourceLut &lut, const BudgetTrace &trace)
     int met_frames = 0;
 
     for (double budget : trace.budgets) {
-        const LutEntry *entry = lut.lookup(budget);
-        if (!entry) {
+        bool met = false;
+        const LutEntry *entry = &lut.lookupOrCheapest(budget, &met);
+        if (!met) {
             ++stats.budgetMisses;
-            entry = &lut.cheapest();
         } else {
             ++met_frames;
             headroom_sum += (budget - entry->resourceCost) /

@@ -7,63 +7,9 @@
 #include "tensor/ops.hh"
 #include "tensor/quant.hh"
 #include "util/logging.hh"
-#include "util/random.hh"
 
 namespace vitdyn
 {
-
-namespace
-{
-
-/** FNV-1a hash of a string, for stable per-layer weight seeds. */
-uint64_t
-hashName(const std::string &name)
-{
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (char c : name) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-/** Slice the leading [out, in] block of a rank-4 KCRS weight tensor. */
-Tensor
-sliceConvWeight(const Tensor &full, int64_t k, int64_t c)
-{
-    const int64_t r = full.dim(2);
-    const int64_t s = full.dim(3);
-    Tensor out({k, c, r, s});
-    for (int64_t kk = 0; kk < k; ++kk)
-        for (int64_t cc = 0; cc < c; ++cc)
-            for (int64_t rr = 0; rr < r; ++rr)
-                for (int64_t ss = 0; ss < s; ++ss)
-                    out.at4(kk, cc, rr, ss) = full.at4(kk, cc, rr, ss);
-    return out;
-}
-
-/** Slice the leading [out, in] block of a rank-2 linear weight tensor. */
-Tensor
-sliceLinearWeight(const Tensor &full, int64_t out_f, int64_t in_f)
-{
-    Tensor out({out_f, in_f});
-    for (int64_t o = 0; o < out_f; ++o)
-        for (int64_t i = 0; i < in_f; ++i)
-            out.at2(o, i) = full.at2(o, i);
-    return out;
-}
-
-/** Slice the first @p n entries of a rank-1 tensor. */
-Tensor
-sliceVector(const Tensor &full, int64_t n)
-{
-    Tensor out({n});
-    for (int64_t i = 0; i < n; ++i)
-        out[i] = full[i];
-    return out;
-}
-
-} // namespace
 
 std::string
 HealthReport::summary() const
@@ -82,8 +28,9 @@ HealthReport::summary() const
     return s;
 }
 
-Executor::Executor(const Graph &graph, uint64_t seed)
-    : graph_(graph), seed_(seed)
+Executor::Executor(const Graph &graph, uint64_t seed, WeightStore *store)
+    : graph_(graph), seed_(seed),
+      store_(store != nullptr ? store : &WeightStore::instance())
 {
 }
 
@@ -103,11 +50,16 @@ Executor::mutateWeights(const std::string &layer_name,
           default:
             return false;
         }
-        weightsFor(layer); // synthesize into the cache if not yet done
-        Tensor &weight = cache_.at(layer.id).weight;
-        if (weight.numel() == 0)
+        weightsFor(layer); // fetch into the cache if not yet done
+        SharedLayerWeights &lw = cache_.at(layer.id);
+        if (lw.weight->numel() == 0)
             return false;
-        fn(weight);
+        // Copy-on-write: the store's tensor is shared with every other
+        // executor of this model family; clone before damaging it so
+        // the fault stays local to this execution path.
+        Tensor damaged = *lw.weight;
+        fn(damaged);
+        lw.weight = std::make_shared<const Tensor>(std::move(damaged));
         // The conv workspace may cache a repacked copy of the weights;
         // drop it so the mutation is visible to the next run.
         if (auto ws = convWs_.find(layer.id); ws != convWs_.end())
@@ -115,6 +67,23 @@ Executor::mutateWeights(const std::string &layer_name,
         return true;
     }
     return false;
+}
+
+void
+Executor::warmupWeights()
+{
+    for (const Layer &layer : graph_.layers()) {
+        switch (layer.kind) {
+          case LayerKind::Conv2d:
+          case LayerKind::Linear:
+          case LayerKind::LayerNorm:
+          case LayerKind::BatchNorm:
+            weightsFor(layer);
+            break;
+          default:
+            break;
+        }
+    }
 }
 
 void
@@ -154,16 +123,12 @@ Executor::setFullDims(const std::string &layer_name, int64_t full_out,
     fullDims_[layer_name] = {full_out, full_in};
 }
 
-const Executor::LayerWeights &
+const SharedLayerWeights &
 Executor::weightsFor(const Layer &layer)
 {
     auto it = cache_.find(layer.id);
     if (it != cache_.end())
         return it->second;
-
-    Rng rng(seed_ ^ hashName(layer.name));
-    LayerWeights lw;
-    const LayerAttrs &a = layer.attrs;
 
     // Full (unpruned) dimensions: default to the layer's own, override
     // from the registered full model dims so pruned graphs share weights.
@@ -174,71 +139,9 @@ Executor::weightsFor(const Layer &layer)
         full_in = fit->second.second;
     }
 
-    switch (layer.kind) {
-      case LayerKind::Conv2d: {
-        const int64_t cg = a.inChannels / a.groups;
-        const int64_t fo = std::max(full_out, a.outChannels);
-        const int64_t fi = std::max(full_in / a.groups, cg);
-        Tensor full = Tensor::heInit({fo, fi, a.kernelH, a.kernelW}, rng,
-                                     fi * a.kernelH * a.kernelW);
-        lw.weight = (fo == a.outChannels && fi == cg)
-                        ? std::move(full)
-                        : sliceConvWeight(full, a.outChannels, cg);
-        if (a.hasBias) {
-            Tensor fb = Tensor::randn({fo}, rng, 0.0f, 0.01f);
-            lw.bias = fo == a.outChannels ? std::move(fb)
-                                          : sliceVector(fb, a.outChannels);
-        }
-        break;
-      }
-      case LayerKind::Linear: {
-        const int64_t fo = std::max(full_out, a.outFeatures);
-        const int64_t fi = std::max(full_in, a.inFeatures);
-        Tensor full = Tensor::heInit({fo, fi}, rng, fi);
-        lw.weight = (fo == a.outFeatures && fi == a.inFeatures)
-                        ? std::move(full)
-                        : sliceLinearWeight(full, a.outFeatures,
-                                            a.inFeatures);
-        if (a.hasBias) {
-            Tensor fb = Tensor::randn({fo}, rng, 0.0f, 0.01f);
-            lw.bias = fo == a.outFeatures ? std::move(fb)
-                                          : sliceVector(fb, a.outFeatures);
-        }
-        break;
-      }
-      case LayerKind::LayerNorm: {
-        const int64_t fi = std::max(full_in, a.inFeatures);
-        Tensor g = Tensor::randn({fi}, rng, 1.0f, 0.02f);
-        Tensor b = Tensor::randn({fi}, rng, 0.0f, 0.02f);
-        lw.weight = fi == a.inFeatures ? std::move(g)
-                                       : sliceVector(g, a.inFeatures);
-        lw.bias = fi == a.inFeatures ? std::move(b)
-                                     : sliceVector(b, a.inFeatures);
-        break;
-      }
-      case LayerKind::BatchNorm: {
-        const int64_t fi = std::max(full_in, a.inChannels);
-        Tensor g = Tensor::randn({fi}, rng, 1.0f, 0.02f);
-        Tensor b = Tensor::randn({fi}, rng, 0.0f, 0.02f);
-        Tensor m = Tensor::randn({fi}, rng, 0.0f, 0.1f);
-        Tensor v = Tensor::randn({fi}, rng, 1.0f, 0.05f);
-        for (int64_t i = 0; i < v.numel(); ++i)
-            v[i] = std::max(0.1f, v[i]);
-        lw.weight = fi == a.inChannels ? std::move(g)
-                                       : sliceVector(g, a.inChannels);
-        lw.bias = fi == a.inChannels ? std::move(b)
-                                     : sliceVector(b, a.inChannels);
-        lw.mean = fi == a.inChannels ? std::move(m)
-                                     : sliceVector(m, a.inChannels);
-        lw.var = fi == a.inChannels ? std::move(v)
-                                    : sliceVector(v, a.inChannels);
-        break;
-      }
-      default:
-        break;
-    }
-
-    return cache_.emplace(layer.id, std::move(lw)).first->second;
+    return cache_
+        .emplace(layer.id, store_->get(seed_, layer, full_out, full_in))
+        .first->second;
 }
 
 Tensor
@@ -255,7 +158,7 @@ Executor::execute(const Layer &layer, const std::vector<Tensor *> &ins)
       case LayerKind::Identity:
         return *ins.at(0);
       case LayerKind::Conv2d: {
-        const LayerWeights &lw = weightsFor(layer);
+        const SharedLayerWeights &lw = weightsFor(layer);
         Conv2dParams p;
         p.strideH = a.strideH;
         p.strideW = a.strideW;
@@ -264,16 +167,16 @@ Executor::execute(const Layer &layer, const std::vector<Tensor *> &ins)
         p.groups = a.groups;
         if (int8_)
             return conv2dInt8(quantize(*ins.at(0)),
-                              quantize(lw.weight), lw.bias, p);
-        return conv2d(*ins.at(0), lw.weight, lw.bias, p,
+                              quantize(*lw.weight), *lw.bias, p);
+        return conv2d(*ins.at(0), *lw.weight, *lw.bias, p,
                       Conv2dAlgo::Auto, &convWs_[layer.id]);
       }
       case LayerKind::Linear: {
-        const LayerWeights &lw = weightsFor(layer);
+        const SharedLayerWeights &lw = weightsFor(layer);
         if (int8_)
             return linearInt8(quantize(*ins.at(0)),
-                              quantize(lw.weight), lw.bias);
-        return linear(*ins.at(0), lw.weight, lw.bias);
+                              quantize(*lw.weight), *lw.bias);
+        return linear(*ins.at(0), *lw.weight, *lw.bias);
       }
       case LayerKind::AttentionScore: {
         const Tensor &q = *ins.at(0);
@@ -323,12 +226,13 @@ Executor::execute(const Layer &layer, const std::vector<Tensor *> &ins)
       case LayerKind::Softmax:
         return softmax(*ins.at(0));
       case LayerKind::LayerNorm: {
-        const LayerWeights &lw = weightsFor(layer);
-        return layerNorm(*ins.at(0), lw.weight, lw.bias);
+        const SharedLayerWeights &lw = weightsFor(layer);
+        return layerNorm(*ins.at(0), *lw.weight, *lw.bias);
       }
       case LayerKind::BatchNorm: {
-        const LayerWeights &lw = weightsFor(layer);
-        return batchNorm(*ins.at(0), lw.weight, lw.bias, lw.mean, lw.var);
+        const SharedLayerWeights &lw = weightsFor(layer);
+        return batchNorm(*ins.at(0), *lw.weight, *lw.bias, *lw.mean,
+                         *lw.var);
       }
       case LayerKind::ReLU:
         return relu(*ins.at(0));

@@ -3,14 +3,16 @@
  * Reference executor: interprets a Graph against real tensors.
  *
  * Weights are synthesized deterministically per layer (He-initialized from
- * a seed mixed with the layer id), standing in for pretrained checkpoints
+ * a seed mixed with the layer name), standing in for pretrained checkpoints
  * we do not have (see DESIGN.md substitutions). Because the same seed and
  * the same layer naming produce the same weights, a pruned graph derived
  * from a full graph shares the surviving weight slices with the original
  * — exactly the paper's "same model weights, different execution path"
- * property. This is implemented by generating each layer's full-size
- * weight tensor first and slicing it to the (possibly pruned) layer
- * dimensions.
+ * property. Synthesis and slicing live in the shared WeightStore
+ * (graph/weight_store.hh): each layer's full-size weight tensor is
+ * generated once per process and every executor — of any pruned
+ * configuration — receives immutable shared views, so building a new
+ * executor for a configuration switch re-synthesizes nothing.
  */
 
 #ifndef VITDYN_GRAPH_EXECUTOR_HH
@@ -21,6 +23,7 @@
 #include <string>
 
 #include "graph/graph.hh"
+#include "graph/weight_store.hh"
 #include "tensor/ops.hh"
 #include "tensor/tensor.hh"
 
@@ -75,12 +78,14 @@ class Executor
      * @param graph  the model to execute (not owned; must outlive us).
      * @param seed   weight synthesis seed; equal seeds + layer names give
      *               equal weights.
-     * @param full_dims  optional map layer-name -> (out, in) channel
-     *               extents of the *unpruned* model. When present, weights
-     *               are generated at the full size and sliced, so pruned
-     *               and full models share weights.
+     * @param store  weight store to synthesize through (not owned; must
+     *               outlive us). Defaults to the process-wide
+     *               WeightStore::instance(), so executors of the same
+     *               model family share one physical weight copy; pass a
+     *               standalone store to model an independent weight set.
      */
-    explicit Executor(const Graph &graph, uint64_t seed = 1);
+    explicit Executor(const Graph &graph, uint64_t seed = 1,
+                      WeightStore *store = nullptr);
 
     /**
      * Record the full (unpruned) dimensions for a layer so a pruned
@@ -98,6 +103,14 @@ class Executor
      */
     void setInt8(bool enable) { int8_ = enable; }
     bool int8() const { return int8_; }
+
+    /**
+     * Synthesize (or fetch from the store) every weight tensor of the
+     * graph now, instead of lazily on first run(). An engine calls
+     * this when materializing an execution path so the first frame
+     * after a configuration switch pays no synthesis stall.
+     */
+    void warmupWeights();
 
     /** Run the graph; @p inputs maps graph-input name to tensor. */
     std::map<std::string, Tensor>
@@ -145,25 +158,20 @@ class Executor
     const HealthReport &lastHealthReport() const { return healthReport_; }
 
     /**
-     * Mutate the cached weight tensor of the named layer in place
+     * Mutate this executor's copy of the named layer's weight tensor
      * (synthesizing it first if needed) — the persistent-fault
-     * injection point. Returns false when the layer does not exist or
-     * carries no weights.
+     * injection point. Copy-on-write: the shared store tensor is
+     * cloned into executor-local storage before mutation, so weight
+     * damage never leaks to other executors sharing the store.
+     * Returns false when the layer does not exist or carries no
+     * weights.
      */
     bool mutateWeights(const std::string &layer_name,
                        const std::function<void(Tensor &)> &fn);
 
   private:
-    /** Generate (and cache) the weight tensors for a layer. */
-    struct LayerWeights
-    {
-        Tensor weight;
-        Tensor bias;
-        Tensor mean; ///< BatchNorm running mean.
-        Tensor var;  ///< BatchNorm running variance.
-    };
-
-    const LayerWeights &weightsFor(const Layer &layer);
+    /** Fetch (and cache) the shared weight views for a layer. */
+    const SharedLayerWeights &weightsFor(const Layer &layer);
 
     Tensor execute(const Layer &layer, const std::vector<Tensor *> &ins);
 
@@ -172,13 +180,14 @@ class Executor
 
     const Graph &graph_;
     uint64_t seed_;
+    WeightStore *store_;
     bool int8_ = false;
     RunStats stats_;
     HealthCheckConfig health_;
     HealthReport healthReport_;
     PostLayerHook postHook_;
     std::map<std::string, std::pair<int64_t, int64_t>> fullDims_;
-    std::map<int, LayerWeights> cache_;
+    std::map<int, SharedLayerWeights> cache_;
     /**
      * Per-conv-layer im2col/GEMM scratch, reused across run() calls
      * (frames). Keyed by layer id, so a config switch — which builds a

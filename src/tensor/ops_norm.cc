@@ -24,6 +24,16 @@ softmax(const Tensor &input)
         float max_v = xr[0];
         for (int64_t i = 1; i < c; ++i)
             max_v = std::max(max_v, xr[i]);
+        // Fully-masked row (every logit -inf, as attention masks
+        // produce): exp(-inf - -inf) is NaN and denom is 0. Define the
+        // result as uniform — the limit of softmax over equal logits —
+        // so masked rows stay finite instead of poisoning downstream.
+        if (std::isinf(max_v) && max_v < 0.0f) {
+            const float uniform = 1.0f / static_cast<float>(c);
+            for (int64_t i = 0; i < c; ++i)
+                yr[i] = uniform;
+            continue;
+        }
         float denom = 0.0f;
         for (int64_t i = 0; i < c; ++i) {
             yr[i] = std::exp(xr[i] - max_v);

@@ -215,12 +215,19 @@ TEST(LutCsv, MalformedInputsAreRecoverableErrors)
         {"", "missing unit header"},
         {"unit,ms\n", "missing column header"},
         {"garbage\nmore garbage\n", "missing unit header"},
+        // Lost fields vs unparseable cell produce distinct messages,
+        // so an operator knows whether the file was cut or hand-edited.
         {"unit,ms\nlabel,d0,d1,d2,d3,fuse,pred,dl0,cost,norm_cost,"
          "accuracy\nA,1,2,3\n",
-         "truncated or malformed"},
+         "truncated row"},
         {"unit,ms\nlabel,d0,d1,d2,d3,fuse,pred,dl0,cost,norm_cost,"
          "accuracy\nA,x,2,2,2,0,0,0,10,1,1\n",
-         "truncated or malformed"},
+         "malformed number 'x'"},
+        // Full-consumption parsing: trailing garbage on a numeric
+        // cell is malformed, not silently accepted as its prefix.
+        {"unit,ms\nlabel,d0,d1,d2,d3,fuse,pred,dl0,cost,norm_cost,"
+         "accuracy\nA,3x,2,2,2,0,0,0,10,1,1\n",
+         "malformed number '3x'"},
         {"unit,ms\nlabel,d0,d1,d2,d3,fuse,pred,dl0,cost,norm_cost,"
          "accuracy\nA,2,2,2,2,0,0,0,nan,1,1\n",
          "non-finite or negative"},
@@ -228,7 +235,7 @@ TEST(LutCsv, MalformedInputsAreRecoverableErrors)
          "accuracy\nA,2,2,2,2,0,0,0,-5,1,1\n",
          "non-finite or negative"},
         // Truncating a valid CSV mid-row must fail cleanly too.
-        {good.substr(0, good.size() - 20), "truncated or malformed"},
+        {good.substr(0, good.size() - 20), "truncated row"},
     };
     for (const auto &[csv, expected] : cases) {
         Result<AccuracyResourceLut> r = AccuracyResourceLut::fromCsv(csv);

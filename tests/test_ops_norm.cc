@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/ops.hh"
 #include "util/random.hh"
@@ -64,6 +65,56 @@ TEST(Softmax, PreservesArgmax)
     }
 }
 
+TEST(Softmax, SingleElementRow)
+{
+    Tensor x({3, 1}, std::vector<float>{5.0f, -3.0f, 0.0f});
+    Tensor y = softmax(x);
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(y[i], 1.0f);
+}
+
+TEST(Softmax, AllEqualRowIsUniform)
+{
+    Tensor x({1, 4}, 7.0f);
+    Tensor y = softmax(x);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(y[i], 0.25f, 1e-6f);
+}
+
+TEST(Softmax, FullyMaskedRowIsUniformNotNaN)
+{
+    // An attention mask can -inf out an entire row; softmax must not
+    // return NaN (exp(-inf - -inf) / 0). Defined output: uniform.
+    const float ninf = -std::numeric_limits<float>::infinity();
+    Tensor x({2, 4}, std::vector<float>{ninf, ninf, ninf, ninf, //
+                                        0.0f, 1.0f, 2.0f, 3.0f});
+    Tensor y = softmax(x);
+    float masked_sum = 0.0f;
+    for (int64_t i = 0; i < 4; ++i) {
+        EXPECT_FALSE(std::isnan(y[i])) << "index " << i;
+        EXPECT_NEAR(y.at2(0, i), 0.25f, 1e-6f);
+        masked_sum += y.at2(0, i);
+    }
+    EXPECT_NEAR(masked_sum, 1.0f, 1e-5f);
+    // The unmasked row is untouched by the guard.
+    float sum = 0.0f;
+    for (int64_t i = 0; i < 4; ++i)
+        sum += y.at2(1, i);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    EXPECT_GT(y.at2(1, 3), y.at2(1, 0));
+}
+
+TEST(Softmax, PartiallyMaskedRowRenormalizes)
+{
+    const float ninf = -std::numeric_limits<float>::infinity();
+    Tensor x({1, 4}, std::vector<float>{ninf, 0.0f, ninf, 0.0f});
+    Tensor y = softmax(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_NEAR(y[1], 0.5f, 1e-6f);
+    EXPECT_FLOAT_EQ(y[2], 0.0f);
+    EXPECT_NEAR(y[3], 0.5f, 1e-6f);
+}
+
 TEST(LayerNorm, ZeroMeanUnitVar)
 {
     Rng rng(4);
@@ -93,6 +144,37 @@ TEST(LayerNorm, AffineApplied)
     // Normalized input is [-1, 1] (up to eps), so y ~ [3, 7].
     EXPECT_NEAR(y[0], 3.0f, 1e-2f);
     EXPECT_NEAR(y[1], 7.0f, 1e-2f);
+}
+
+TEST(LayerNorm, GoldenValues)
+{
+    // x = [1,2,3,4]: mean 2.5, var 1.25, normalized
+    // [-1.5,-0.5,0.5,1.5]/sqrt(1.25) = [-1.34164,-0.44721,0.44721,
+    // 1.34164]; gamma 2, beta 1 maps that to the values below.
+    Tensor x({1, 4}, std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+    Tensor gamma({4}, 2.0f);
+    Tensor beta({4}, 1.0f);
+    Tensor y = layerNorm(x, gamma, beta);
+    EXPECT_NEAR(y[0], -1.683281f, 1e-3f);
+    EXPECT_NEAR(y[1], 0.105573f, 1e-3f);
+    EXPECT_NEAR(y[2], 1.894427f, 1e-3f);
+    EXPECT_NEAR(y[3], 3.683281f, 1e-3f);
+}
+
+TEST(BatchNorm, GoldenValues)
+{
+    // Channel 0: scale 1/sqrt(4) = 0.5, shift -0.5 -> [0, 0.5].
+    // Channel 1: scale 0.5/sqrt(0.25) = 1, shift 1-2 = -1 -> [2, 3].
+    Tensor x({1, 2, 2, 1}, std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+    Tensor gamma({2}, std::vector<float>{1.0f, 0.5f});
+    Tensor beta({2}, std::vector<float>{0.0f, 1.0f});
+    Tensor mean({2}, std::vector<float>{1.0f, 2.0f});
+    Tensor var({2}, std::vector<float>{4.0f, 0.25f});
+    Tensor y = batchNorm(x, gamma, beta, mean, var);
+    EXPECT_NEAR(y[0], 0.0f, 1e-3f);
+    EXPECT_NEAR(y[1], 0.5f, 1e-3f);
+    EXPECT_NEAR(y[2], 2.0f, 1e-3f);
+    EXPECT_NEAR(y[3], 3.0f, 1e-3f);
 }
 
 TEST(BatchNorm, FoldedStatistics)

@@ -1,0 +1,150 @@
+#include "analysis/diagnostic.hh"
+
+#include <sstream>
+
+namespace vitdyn
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+void
+LintReport::add(Diagnostic diagnostic)
+{
+    diagnostics_.push_back(std::move(diagnostic));
+}
+
+void
+LintReport::add(Severity severity, std::string check, int layer_id,
+                std::string layer_name, std::string message)
+{
+    Diagnostic d;
+    d.severity = severity;
+    d.check = std::move(check);
+    d.layerId = layer_id;
+    d.layerName = std::move(layer_name);
+    d.message = std::move(message);
+    diagnostics_.push_back(std::move(d));
+}
+
+void
+LintReport::addGraph(Severity severity, std::string check,
+                     std::string message)
+{
+    add(severity, std::move(check), -1, "", std::move(message));
+}
+
+void
+LintReport::merge(const LintReport &other)
+{
+    diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                        other.diagnostics_.end());
+}
+
+void
+LintReport::mergeWithContext(const LintReport &other,
+                             const std::string &context)
+{
+    for (Diagnostic d : other.diagnostics_) {
+        d.message = context + ": " + d.message;
+        diagnostics_.push_back(std::move(d));
+    }
+}
+
+size_t
+LintReport::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diagnostics_)
+        if (d.severity == severity)
+            ++n;
+    return n;
+}
+
+bool
+LintReport::clean() const
+{
+    return count(Severity::Error) == 0 && count(Severity::Warning) == 0;
+}
+
+Status
+LintReport::toStatus() const
+{
+    const size_t errors = count(Severity::Error);
+    if (errors == 0)
+        return Status::ok();
+    for (const Diagnostic &d : diagnostics_) {
+        if (d.severity != Severity::Error)
+            continue;
+        std::ostringstream oss;
+        oss << "lint: " << d.check << ": " << d.message;
+        if (errors > 1)
+            oss << " (+" << errors - 1 << " more error"
+                << (errors > 2 ? "s" : "") << ")";
+        return Status::error(oss.str());
+    }
+    return Status::error("lint: errors present");
+}
+
+std::string
+LintReport::toText() const
+{
+    std::ostringstream oss;
+    for (const Diagnostic &d : diagnostics_) {
+        oss << severityName(d.severity) << " " << d.check;
+        if (d.layerId >= 0 || !d.layerName.empty()) {
+            oss << " [";
+            if (d.layerId >= 0)
+                oss << d.layerId;
+            if (!d.layerName.empty())
+                oss << (d.layerId >= 0 ? ":" : "") << d.layerName;
+            oss << "]";
+        }
+        oss << " " << d.message << "\n";
+    }
+    return oss.str();
+}
+
+namespace
+{
+
+/** CSV-quote a field when it contains a delimiter, quote or newline. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+LintReport::toCsv() const
+{
+    std::ostringstream oss;
+    oss << "severity,check,layer_id,layer_name,message\n";
+    for (const Diagnostic &d : diagnostics_) {
+        oss << severityName(d.severity) << "," << csvField(d.check)
+            << "," << d.layerId << "," << csvField(d.layerName) << ","
+            << csvField(d.message) << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace vitdyn

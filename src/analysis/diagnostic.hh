@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Diagnostics engine for the graph static-analysis subsystem.
+ *
+ * Every analysis check reports findings as structured Diagnostic
+ * records collected into a LintReport, instead of asserting or
+ * printing. This gives three consumers one shared currency:
+ *
+ *  - the `vitdyn_lint` CLI renders reports as text or CSV,
+ *  - the serving engines turn Error-severity findings into config
+ *    vetoes (quarantine-without-probation) while continuing to serve,
+ *  - tests assert on exact check ids rather than message substrings.
+ *
+ * Severity policy: Error means "executing or trusting this graph/LUT
+ * row is unsafe" (engines veto). Warning means "suspicious but
+ * runnable" (duplicate layer names aliasing synthesized weights,
+ * normalized-cost drift within loose tolerance). Info is advisory.
+ */
+
+#ifndef VITDYN_ANALYSIS_DIAGNOSTIC_HH
+#define VITDYN_ANALYSIS_DIAGNOSTIC_HH
+
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace vitdyn
+{
+
+/** How bad a finding is; see the file comment for the policy. */
+enum class Severity
+{
+    Info,
+    Warning,
+    Error,
+};
+
+/** Printable name ("info" / "warning" / "error"). */
+const char *severityName(Severity severity);
+
+/** One finding of one check against one layer (or the whole graph). */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Stable dotted check id, e.g. "graph.cycle", "attr.conv.stride",
+     *  "shape.mismatch", "lut.stale-cost". */
+    std::string check;
+    /** Offending layer id; -1 for graph- or LUT-level findings. */
+    int layerId = -1;
+    /** Offending layer name; empty for graph-level findings. */
+    std::string layerName;
+    /** Human-readable description of the violation. */
+    std::string message;
+};
+
+/** All findings of one analysis run. */
+class LintReport
+{
+  public:
+    void add(Diagnostic diagnostic);
+
+    /** Convenience for check implementations. */
+    void add(Severity severity, std::string check, int layer_id,
+             std::string layer_name, std::string message);
+
+    /** Graph-level finding (no layer). */
+    void addGraph(Severity severity, std::string check,
+                  std::string message);
+
+    /** Append every finding of @p other, unchanged. */
+    void merge(const LintReport &other);
+
+    /** Append @p other with "@p context: " prepended to each message
+     *  (e.g. the config label when linting a LUT's graphs). */
+    void mergeWithContext(const LintReport &other,
+                          const std::string &context);
+
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    size_t count(Severity severity) const;
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+    /** No findings at Warning or Error severity. */
+    bool clean() const;
+
+    /**
+     * OK when the report has no errors; otherwise an error Status
+     * carrying the first Error finding (and the total error count) —
+     * the bridge into the engines' Status-based rejection paths.
+     */
+    Status toStatus() const;
+
+    /** One "severity check [layer] message" line per finding. */
+    std::string toText() const;
+
+    /** CSV with header: severity,check,layer_id,layer_name,message. */
+    std::string toCsv() const;
+
+  private:
+    std::vector<Diagnostic> diagnostics_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_ANALYSIS_DIAGNOSTIC_HH

@@ -1,0 +1,416 @@
+#include "analysis/lint.hh"
+
+#include <map>
+#include <sstream>
+
+#include "analysis/shape_check.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+std::string
+shapeText(const Shape &shape)
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < shape.size(); ++i)
+        oss << (i ? ", " : "") << shape[i];
+    oss << "]";
+    return oss.str();
+}
+
+/** Per-layer flags threaded between check families. */
+struct LayerState
+{
+    bool edgesOk = true; ///< All input references valid and backward.
+    bool attrsOk = true; ///< No attr.* errors (gates acct checks).
+};
+
+void
+checkStructure(const Graph &graph, const LintOptions &options,
+               LintReport &report, std::vector<LayerState> &state)
+{
+    const std::vector<Layer> &layers = graph.layers();
+    const int n = static_cast<int>(layers.size());
+
+    if (n == 0)
+        report.addGraph(Severity::Error, "graph.empty",
+                        "graph has no layers");
+    if (graph.outputs().empty())
+        report.addGraph(Severity::Error, "graph.no-outputs",
+                        "graph has no outputs");
+    for (int id : graph.outputs())
+        if (id < 0 || id >= n)
+            report.addGraph(Severity::Error, "graph.output-range",
+                            "output id " + std::to_string(id) +
+                                " out of range");
+    for (int id : graph.inputs()) {
+        if (id < 0 || id >= n) {
+            report.addGraph(Severity::Error, "graph.input-range",
+                            "input id " + std::to_string(id) +
+                                " out of range");
+        } else if (layers[id].kind != LayerKind::Input) {
+            report.add(Severity::Error, "graph.input-kind", id,
+                       layers[id].name,
+                       "listed as a graph input but is not an Input "
+                       "layer");
+        }
+    }
+
+    // Dense ids: layer(id) indexes the vector directly, so ids must
+    // equal positions. One finding is enough.
+    for (int i = 0; i < n; ++i) {
+        if (layers[i].id != i) {
+            report.add(Severity::Error, "graph.id-dense", layers[i].id,
+                       layers[i].name,
+                       "layer id does not match its vector position " +
+                           std::to_string(i));
+            break;
+        }
+    }
+
+    // Edge validity: in-range and strictly backward (the vector order
+    // is the executor's schedule).
+    for (int i = 0; i < n; ++i) {
+        const Layer &layer = layers[i];
+        if (layer.kind == LayerKind::Input && !layer.inputs.empty()) {
+            report.add(Severity::Error, "graph.input-kind", layer.id,
+                       layer.name, "Input layer has producers");
+            state[i].edgesOk = false;
+        }
+        for (int in_id : layer.inputs) {
+            if (in_id < 0 || in_id >= n) {
+                report.add(Severity::Error, "graph.dangling-input",
+                           layer.id, layer.name,
+                           "references nonexistent layer id " +
+                               std::to_string(in_id));
+                state[i].edgesOk = false;
+            } else if (in_id >= i) {
+                report.add(Severity::Error, "graph.forward-input",
+                           layer.id, layer.name,
+                           "references layer id " +
+                               std::to_string(in_id) +
+                               " at or after its own position (not a "
+                               "topological order)");
+                state[i].edgesOk = false;
+            }
+        }
+    }
+
+    // Cycle detection, deliberately independent of normalize(): Kahn
+    // over the raw edge list (in-range edges only), ignoring vector
+    // order entirely.
+    {
+        std::vector<int> indegree(n, 0);
+        std::vector<std::vector<int>> consumers(n);
+        for (int i = 0; i < n; ++i) {
+            for (int in_id : layers[i].inputs) {
+                if (in_id < 0 || in_id >= n)
+                    continue;
+                ++indegree[i];
+                consumers[in_id].push_back(i);
+            }
+        }
+        std::vector<int> ready;
+        for (int i = 0; i < n; ++i)
+            if (indegree[i] == 0)
+                ready.push_back(i);
+        size_t processed = 0;
+        while (processed < ready.size()) {
+            const int id = ready[processed++];
+            for (int next : consumers[id])
+                if (--indegree[next] == 0)
+                    ready.push_back(next);
+        }
+        if (static_cast<int>(processed) != n)
+            report.addGraph(Severity::Error, "graph.cycle",
+                            "dependency cycle through " +
+                                std::to_string(n - processed) +
+                                " layer(s)");
+    }
+
+    // Reachability: layers no output depends on are dead weight that
+    // normalize() would silently drop (Input layers are exempt — they
+    // are kept by design).
+    {
+        std::vector<bool> live(n, false);
+        std::vector<int> stack;
+        for (int id : graph.outputs())
+            if (id >= 0 && id < n)
+                stack.push_back(id);
+        while (!stack.empty()) {
+            const int id = stack.back();
+            stack.pop_back();
+            if (live[id])
+                continue;
+            live[id] = true;
+            for (int in_id : layers[id].inputs)
+                if (in_id >= 0 && in_id < n)
+                    stack.push_back(in_id);
+        }
+        for (int i = 0; i < n; ++i)
+            if (!live[i] && layers[i].kind != LayerKind::Input)
+                report.add(Severity::Warning, "graph.unreachable",
+                           layers[i].id, layers[i].name,
+                           "no graph output depends on this layer");
+    }
+
+    // Duplicate names alias synthesized weights (store keys on name).
+    {
+        std::map<std::string, int> first_id;
+        for (const Layer &layer : layers) {
+            auto [it, inserted] =
+                first_id.emplace(layer.name, layer.id);
+            if (!inserted)
+                report.add(options.duplicateNameSeverity,
+                           "graph.duplicate-name", layer.id, layer.name,
+                           "name already used by layer " +
+                               std::to_string(it->second) +
+                               "; synthesized weights alias by name");
+        }
+    }
+
+    // Input layers need a usable shape; nothing derives it for them.
+    for (const Layer &layer : layers) {
+        if (layer.kind != LayerKind::Input)
+            continue;
+        bool bad = layer.outShape.empty();
+        for (int64_t d : layer.outShape)
+            bad = bad || d <= 0;
+        if (bad)
+            report.add(Severity::Error, "graph.input-shape", layer.id,
+                       layer.name,
+                       "input shape " + shapeText(layer.outShape) +
+                           " is empty or non-positive");
+    }
+}
+
+void
+checkAttributes(const Graph &graph, LintReport &report,
+                std::vector<LayerState> &state)
+{
+    const std::vector<Layer> &layers = graph.layers();
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const Layer &layer = layers[i];
+        const LayerAttrs &a = layer.attrs;
+        const size_t before = report.diagnostics().size();
+        auto bad = [&](const char *check, const std::string &message) {
+            report.add(Severity::Error, check, layer.id, layer.name,
+                       message);
+        };
+
+        switch (layer.kind) {
+          case LayerKind::Conv2d:
+            if (a.inChannels <= 0 || a.outChannels <= 0)
+                bad("attr.conv.channels",
+                    "channel counts must be positive");
+            if (a.kernelH <= 0 || a.kernelW <= 0)
+                bad("attr.conv.kernel", "kernel must be positive");
+            if (a.strideH <= 0 || a.strideW <= 0)
+                bad("attr.conv.stride", "stride must be positive");
+            if (a.padH < 0 || a.padW < 0)
+                bad("attr.conv.pad", "padding must be non-negative");
+            if (a.groups <= 0) {
+                bad("attr.conv.groups", "groups must be positive");
+            } else if (a.inChannels % a.groups != 0 ||
+                       a.outChannels % a.groups != 0) {
+                bad("attr.conv.groups",
+                    "groups=" + std::to_string(a.groups) +
+                        " must divide inChannels=" +
+                        std::to_string(a.inChannels) +
+                        " and outChannels=" +
+                        std::to_string(a.outChannels));
+            }
+            break;
+          case LayerKind::Linear:
+            if (a.inFeatures <= 0 || a.outFeatures <= 0)
+                bad("attr.linear.features",
+                    "feature counts must be positive");
+            break;
+          case LayerKind::AttentionScore:
+            if (a.numHeads <= 0) {
+                bad("attr.attn.heads", "numHeads must be positive");
+            } else if (a.inFeatures <= 0 ||
+                       a.inFeatures % a.numHeads != 0) {
+                bad("attr.attn.head-div",
+                    "numHeads=" + std::to_string(a.numHeads) +
+                        " must divide channels=" +
+                        std::to_string(a.inFeatures));
+            }
+            break;
+          case LayerKind::AttentionContext:
+            if (a.inFeatures <= 0)
+                bad("attr.attn.lkv",
+                    "inFeatures must record a positive Lkv");
+            break;
+          case LayerKind::BatchNorm:
+            if (a.inChannels <= 0)
+                bad("attr.norm.channels",
+                    "inChannels must be positive");
+            break;
+          case LayerKind::LayerNorm:
+            if (a.inFeatures <= 0)
+                bad("attr.norm.features",
+                    "inFeatures must be positive");
+            break;
+          case LayerKind::MaxPool:
+            if (a.kernelH <= 0 || a.kernelW <= 0)
+                bad("attr.pool.kernel", "kernel must be positive");
+            if (a.strideH <= 0 || a.strideW <= 0)
+                bad("attr.pool.stride", "stride must be positive");
+            if (a.padH < 0 || a.padW < 0)
+                bad("attr.pool.pad", "padding must be non-negative");
+            break;
+          case LayerKind::AvgPool:
+          case LayerKind::Interpolate:
+            if (a.outH <= 0 || a.outW <= 0)
+                bad("attr.resize.target",
+                    "target size must be positive");
+            break;
+          case LayerKind::Narrow:
+            if (a.outChannels <= 0)
+                bad("attr.narrow.channels",
+                    "kept channel count must be positive");
+            break;
+          case LayerKind::Patchify:
+            if (a.kernelH <= 0)
+                bad("attr.patch.size", "patch size must be positive");
+            break;
+          case LayerKind::TokensToImage:
+            if (a.gridH <= 0 || a.gridW <= 0)
+                bad("attr.grid.size", "grid must be positive");
+            break;
+          case LayerKind::WindowPartition:
+          case LayerKind::WindowReverse:
+            if (a.window <= 0) {
+                bad("attr.window.size", "window must be positive");
+            } else if (a.gridH <= 0 || a.gridW <= 0) {
+                bad("attr.grid.size", "grid must be positive");
+            } else if (a.gridH % a.window != 0 ||
+                       a.gridW % a.window != 0) {
+                bad("attr.window.divisibility",
+                    "window=" + std::to_string(a.window) +
+                        " must divide grid " +
+                        std::to_string(a.gridH) + "x" +
+                        std::to_string(a.gridW));
+            }
+            break;
+          case LayerKind::Input:
+          case LayerKind::Softmax:
+          case LayerKind::ReLU:
+          case LayerKind::GELU:
+          case LayerKind::Add:
+          case LayerKind::Concat:
+          case LayerKind::ImageToTokens:
+          case LayerKind::Identity:
+            break;
+        }
+
+        if (report.diagnostics().size() != before)
+            state[i].attrsOk = false;
+    }
+}
+
+void
+checkShapeFlow(const Graph &graph, LintReport &report,
+               const std::vector<LayerState> &state)
+{
+    const std::vector<Layer> &layers = graph.layers();
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const Layer &layer = layers[i];
+        if (layer.kind == LayerKind::Input || !state[i].edgesOk)
+            continue;
+        std::vector<Shape> in_shapes;
+        in_shapes.reserve(layer.inputs.size());
+        for (int in_id : layer.inputs)
+            in_shapes.push_back(layers[in_id].outShape);
+
+        Result<Shape> derived = analysis::deriveShape(layer, in_shapes);
+        if (!derived) {
+            report.add(Severity::Error, "shape.invalid", layer.id,
+                       layer.name, derived.status().message());
+            continue;
+        }
+        if (derived.value() != layer.outShape)
+            report.add(Severity::Error, "shape.mismatch", layer.id,
+                       layer.name,
+                       "stored " + shapeText(layer.outShape) +
+                           " vs derived " +
+                           shapeText(derived.value()));
+    }
+}
+
+void
+checkAccounting(const Graph &graph, LintReport &report,
+                const std::vector<LayerState> &state)
+{
+    const std::vector<Layer> &layers = graph.layers();
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const Layer &layer = layers[i];
+        // Layer::macs()/flops() divide by attrs the attr checks vet;
+        // skip layers already flagged there.
+        if (!state[i].attrsOk)
+            continue;
+        const int64_t macs = analysis::deriveMacs(layer);
+        if (macs != layer.macs())
+            report.add(Severity::Error, "acct.macs", layer.id,
+                       layer.name,
+                       "reported " + std::to_string(layer.macs()) +
+                           " MACs vs derived " + std::to_string(macs));
+        const int64_t flops = analysis::deriveFlops(layer);
+        if (flops != layer.flops())
+            report.add(Severity::Error, "acct.flops", layer.id,
+                       layer.name,
+                       "reported " + std::to_string(layer.flops()) +
+                           " FLOPs vs derived " +
+                           std::to_string(flops));
+        const int64_t params = analysis::deriveParams(layer);
+        if (params != layer.paramCount())
+            report.add(Severity::Error, "acct.params", layer.id,
+                       layer.name,
+                       "reported " +
+                           std::to_string(layer.paramCount()) +
+                           " params vs derived " +
+                           std::to_string(params));
+    }
+}
+
+} // namespace
+
+LintReport
+lintGraph(const Graph &graph, const LintOptions &options)
+{
+    LintReport report;
+    std::vector<LayerState> state(graph.numLayers());
+
+    if (options.structure)
+        checkStructure(graph, options, report, state);
+    if (options.attributes)
+        checkAttributes(graph, report, state);
+    if (options.shapes)
+        checkShapeFlow(graph, report, state);
+    if (options.accounting)
+        checkAccounting(graph, report, state);
+
+    if (options.suppressions.empty())
+        return report;
+    LintReport kept;
+    for (const Diagnostic &d : report.diagnostics()) {
+        bool suppressed = false;
+        for (const LintSuppression &s : options.suppressions)
+            if (d.check == s.check && !s.layerNameContains.empty() &&
+                d.layerName.find(s.layerNameContains) !=
+                    std::string::npos) {
+                suppressed = true;
+                break;
+            }
+        if (!suppressed)
+            kept.add(d);
+    }
+    return kept;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Graph linter: the static-analysis battery over the model IR.
+ *
+ * lintGraph inspects any Graph without touching tensor data and
+ * reports structured diagnostics (see diagnostic.hh) across four
+ * check families:
+ *
+ *  - structure (graph.*): dangling/forward input references, cycles
+ *    (detected independently of normalize()'s Kahn sort), unreachable
+ *    layers, duplicate layer names (which alias synthesized weights —
+ *    the store keys on name), malformed input/output lists.
+ *
+ *  - attributes (attr.*): per-LayerKind sanity — positive kernels and
+ *    strides, non-negative padding, `groups` dividing both channel
+ *    counts, `numHeads` dividing the attention width, window/grid
+ *    divisibility.
+ *
+ *  - shape flow (shape.*): every stored Layer::outShape re-derived by
+ *    an independent second implementation of the inference rules
+ *    (analysis::deriveShape) and cross-checked.
+ *
+ *  - accounting (acct.*): FLOPs / MACs / parameter counts re-derived
+ *    and cross-checked against the Layer methods the LUTs and sweeps
+ *    are built from.
+ *
+ * The full catalog with severities lives in DESIGN.md.
+ */
+
+#ifndef VITDYN_ANALYSIS_LINT_HH
+#define VITDYN_ANALYSIS_LINT_HH
+
+#include "analysis/diagnostic.hh"
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+/** One sanctioned lint exception (see LintOptions::suppressions). */
+struct LintSuppression
+{
+    /** Exact check id to drop, e.g. "graph.unreachable". */
+    std::string check;
+    /** Dropped only when the finding's layer name contains this
+     *  (empty never matches: graph-level findings have no layer). */
+    std::string layerNameContains;
+};
+
+/** Which check families run, and tunable severities. */
+struct LintOptions
+{
+    bool structure = true;
+    bool attributes = true;
+    bool shapes = true;
+    bool accounting = true;
+
+    /**
+     * Duplicate layer names alias weight storage (the store keys on
+     * (seed, name, dims)) — suspicious but intentional in some
+     * builders, so a Warning by default.
+     */
+    Severity duplicateNameSeverity = Severity::Warning;
+
+    /**
+     * Sanctioned exceptions: drop any diagnostic whose check id
+     * matches and whose layer name contains the substring. The
+     * escape hatch for builders that intentionally carry dead
+     * compute — e.g. the deformable-DETR proxy's cost-only
+     * sampling-offset projections.
+     */
+    std::vector<LintSuppression> suppressions;
+};
+
+/** Run every enabled check family over @p graph. */
+LintReport lintGraph(const Graph &graph, const LintOptions &options = {});
+
+} // namespace vitdyn
+
+#endif // VITDYN_ANALYSIS_LINT_HH

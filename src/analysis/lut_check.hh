@@ -1,0 +1,64 @@
+/**
+ * @file
+ * LUT cross-checking: catches stale or corrupt accuracy/resource rows
+ * before a serving engine trusts them.
+ *
+ * A LUT is built offline and loaded from operator-supplied files, so
+ * its rows can drift out of sync with the code that builds graphs
+ * (builder changes, prune-rule changes, hand edits). checkLut rebuilds
+ * every row's pruned graph and cross-checks:
+ *
+ *  - feasibility: the config passes validatePrune and its graph lints
+ *    clean of errors (lut.config / graph-level findings),
+ *  - ordering and numeric sanity of costs and accuracy estimates,
+ *  - exact resource cost, when the caller supplies the same GraphCostFn
+ *    the LUT was generated with (lut.stale-cost, Error severity — this
+ *    is the stale-row detector), and
+ *  - normalized-cost vs recomputed-FLOP-ratio drift at a loose
+ *    tolerance (lut.flop-drift, Warning — native cost units are not
+ *    FLOPs, so only gross drift is flagged without a cost function).
+ */
+
+#ifndef VITDYN_ANALYSIS_LUT_CHECK_HH
+#define VITDYN_ANALYSIS_LUT_CHECK_HH
+
+#include "analysis/lint.hh"
+#include "engine/lut.hh"
+#include "resilience/sweep.hh"
+
+namespace vitdyn
+{
+
+/** Tolerances and the optional exact-cost oracle. */
+struct LutCheckOptions
+{
+    /**
+     * The cost function the LUT was generated with. When set, each
+     * row's resourceCost is recomputed from its rebuilt graph and a
+     * relative mismatch beyond costRelTolerance is an Error
+     * ("lut.stale-cost"). When empty, only the loose FLOP-ratio
+     * Warning applies.
+     */
+    GraphCostFn cost;
+    double costRelTolerance = 0.05;
+
+    /** Loose bound for |normalizedCost - flopRatio| / flopRatio. */
+    double flopRelTolerance = 0.25;
+
+    /** Lint options applied to every rebuilt per-row graph. */
+    LintOptions lint;
+};
+
+/**
+ * Cross-check every row of @p lut against graphs rebuilt from
+ * @p family's base config. Diagnostics carry the row's config label in
+ * their message.
+ */
+LintReport checkLut(const AccuracyResourceLut &lut, ModelFamily family,
+                    const SegformerConfig &seg_base,
+                    const SwinConfig &swin_base,
+                    const LutCheckOptions &options = {});
+
+} // namespace vitdyn
+
+#endif // VITDYN_ANALYSIS_LUT_CHECK_HH

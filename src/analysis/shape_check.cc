@@ -1,0 +1,384 @@
+#include "analysis/shape_check.hh"
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+namespace analysis
+{
+
+namespace
+{
+
+int64_t
+numel(const Shape &shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape)
+        n *= d;
+    return n;
+}
+
+Status
+derivationError(const Layer &layer, const std::string &detail)
+{
+    return Status::error(detail::formatParts(
+        "derive '", layer.name, "' (", layerKindName(layer.kind), "): ",
+        detail));
+}
+
+/**
+ * Output extent of a sliding window (convolution / max-pool):
+ * floor((in + 2*pad - kernel) / stride) + 1, valid only when the
+ * padded input covers at least one window and the stride is positive.
+ */
+Result<int64_t>
+slidingExtent(const Layer &layer, int64_t in, int64_t kernel,
+              int64_t stride, int64_t pad)
+{
+    if (stride <= 0)
+        return derivationError(layer, "stride must be positive");
+    const int64_t span = in + 2 * pad - kernel;
+    if (span < 0)
+        return derivationError(layer, "window larger than padded input");
+    return span / stride + 1;
+}
+
+bool
+isRank(const Shape &shape, size_t rank)
+{
+    return shape.size() == rank;
+}
+
+} // namespace
+
+Result<Shape>
+deriveShape(const Layer &layer, const std::vector<Shape> &inputs)
+{
+    const LayerAttrs &a = layer.attrs;
+
+    auto single = [&]() -> Result<Shape> {
+        if (inputs.size() != 1)
+            return derivationError(layer, "wants exactly one input");
+        return inputs[0];
+    };
+
+    switch (layer.kind) {
+      case LayerKind::Input:
+        return derivationError(layer, "inputs have no derivation");
+
+      case LayerKind::Conv2d: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        const Shape &x = in.value();
+        if (!isRank(x, 4))
+            return derivationError(layer, "wants an NCHW input");
+        if (x[1] != a.inChannels)
+            return derivationError(layer, "input channel mismatch");
+        Result<int64_t> h =
+            slidingExtent(layer, x[2], a.kernelH, a.strideH, a.padH);
+        if (!h)
+            return h.status();
+        Result<int64_t> w =
+            slidingExtent(layer, x[3], a.kernelW, a.strideW, a.padW);
+        if (!w)
+            return w.status();
+        return Shape{x[0], a.outChannels, h.value(), w.value()};
+      }
+
+      case LayerKind::Linear: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        Shape x = in.take();
+        if (x.empty() || x.back() != a.inFeatures)
+            return derivationError(layer, "last-dim feature mismatch");
+        x.back() = a.outFeatures;
+        return x;
+      }
+
+      case LayerKind::AttentionScore: {
+        if (inputs.size() != 2)
+            return derivationError(layer, "wants Q and K");
+        const Shape &q = inputs[0];
+        const Shape &k = inputs[1];
+        if (!isRank(q, 3) || !isRank(k, 3))
+            return derivationError(layer, "wants rank-3 Q and K");
+        if (q[0] != k[0] || q[2] != k[2])
+            return derivationError(layer, "Q/K batch or channel mismatch");
+        if (q[2] != a.inFeatures)
+            return derivationError(layer, "channel attr mismatch");
+        return Shape{q[0], a.numHeads, q[1], k[1]};
+      }
+
+      case LayerKind::AttentionContext: {
+        if (inputs.size() != 2)
+            return derivationError(layer, "wants scores and V");
+        const Shape &s = inputs[0];
+        const Shape &v = inputs[1];
+        if (!isRank(s, 4) || !isRank(v, 3))
+            return derivationError(layer,
+                                   "wants rank-4 scores and rank-3 V");
+        if (s[3] != v[1] || s[3] != a.inFeatures)
+            return derivationError(layer, "Lkv mismatch");
+        return Shape{s[0], s[2], v[2]};
+      }
+
+      case LayerKind::Softmax:
+      case LayerKind::LayerNorm:
+      case LayerKind::ReLU:
+      case LayerKind::GELU:
+      case LayerKind::Identity:
+        return single();
+
+      case LayerKind::BatchNorm: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        const Shape &x = in.value();
+        if (!isRank(x, 4) || x[1] != a.inChannels)
+            return derivationError(layer, "channel mismatch");
+        return x;
+      }
+
+      case LayerKind::Add: {
+        if (inputs.size() != 2)
+            return derivationError(layer, "wants two inputs");
+        if (inputs[0] != inputs[1])
+            return derivationError(layer, "operand shapes differ");
+        return inputs[0];
+      }
+
+      case LayerKind::Concat: {
+        if (inputs.empty())
+            return derivationError(layer, "wants at least one input");
+        Shape out = inputs[0];
+        if (!isRank(out, 4) && !isRank(out, 3))
+            return derivationError(layer, "wants NCHW or (N, L, C)");
+        // Stacks along dimension 1 in both layouts (channels for NCHW,
+        // tokens for (N, L, C)); all other dims must agree.
+        for (size_t i = 1; i < inputs.size(); ++i) {
+            const Shape &x = inputs[i];
+            if (x.size() != out.size())
+                return derivationError(layer, "input rank mismatch");
+            for (size_t d = 0; d < out.size(); ++d)
+                if (d != 1 && x[d] != out[d])
+                    return derivationError(layer,
+                                           "non-stacked dim mismatch");
+            out[1] += x[1];
+        }
+        return out;
+      }
+
+      case LayerKind::Interpolate:
+      case LayerKind::AvgPool: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        const Shape &x = in.value();
+        if (!isRank(x, 4))
+            return derivationError(layer, "wants an NCHW input");
+        if (a.outH <= 0 || a.outW <= 0)
+            return derivationError(layer, "target size not positive");
+        return Shape{x[0], x[1], a.outH, a.outW};
+      }
+
+      case LayerKind::MaxPool: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        const Shape &x = in.value();
+        if (!isRank(x, 4))
+            return derivationError(layer, "wants an NCHW input");
+        Result<int64_t> h =
+            slidingExtent(layer, x[2], a.kernelH, a.strideH, a.padH);
+        if (!h)
+            return h.status();
+        Result<int64_t> w =
+            slidingExtent(layer, x[3], a.kernelW, a.strideW, a.padW);
+        if (!w)
+            return w.status();
+        return Shape{x[0], x[1], h.value(), w.value()};
+      }
+
+      case LayerKind::TokensToImage: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        const Shape &x = in.value();
+        if (!isRank(x, 3) || x[1] != a.gridH * a.gridW)
+            return derivationError(layer, "token count != grid");
+        return Shape{x[0], x[2], a.gridH, a.gridW};
+      }
+
+      case LayerKind::ImageToTokens: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        const Shape &x = in.value();
+        if (!isRank(x, 4))
+            return derivationError(layer, "wants an NCHW input");
+        return Shape{x[0], x[2] * x[3], x[1]};
+      }
+
+      case LayerKind::Narrow: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        Shape x = in.take();
+        if (x.empty())
+            return derivationError(layer, "wants a ranked input");
+        const size_t channel_dim = isRank(x, 4) ? 1 : x.size() - 1;
+        if (a.outChannels <= 0 || a.outChannels > x[channel_dim])
+            return derivationError(layer, "slice out of range");
+        x[channel_dim] = a.outChannels;
+        return x;
+      }
+
+      case LayerKind::Patchify: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        const Shape &x = in.value();
+        const int64_t patch = a.kernelH;
+        if (!isRank(x, 4) || patch <= 0 || x[2] % patch != 0 ||
+            x[3] % patch != 0)
+            return derivationError(layer,
+                                   "image not divisible into patches");
+        return Shape{x[0], (x[2] / patch) * (x[3] / patch),
+                     x[1] * patch * patch};
+      }
+
+      case LayerKind::WindowPartition: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        const Shape &x = in.value();
+        if (a.window <= 0 || a.gridH % a.window != 0 ||
+            a.gridW % a.window != 0)
+            return derivationError(layer,
+                                   "grid not divisible into windows");
+        if (!isRank(x, 3) || x[1] != a.gridH * a.gridW)
+            return derivationError(layer, "token count != grid");
+        const int64_t windows =
+            (a.gridH / a.window) * (a.gridW / a.window);
+        return Shape{x[0] * windows, a.window * a.window, x[2]};
+      }
+
+      case LayerKind::WindowReverse: {
+        Result<Shape> in = single();
+        if (!in)
+            return in;
+        const Shape &x = in.value();
+        if (a.window <= 0 || a.gridH % a.window != 0 ||
+            a.gridW % a.window != 0)
+            return derivationError(layer,
+                                   "grid not divisible into windows");
+        const int64_t windows =
+            (a.gridH / a.window) * (a.gridW / a.window);
+        if (!isRank(x, 3) || x[0] % windows != 0 ||
+            x[1] != a.window * a.window)
+            return derivationError(layer, "batch/window mismatch");
+        return Shape{x[0] / windows, a.gridH * a.gridW, x[2]};
+      }
+    }
+    return derivationError(layer, "unknown layer kind");
+}
+
+int64_t
+deriveMacs(const Layer &layer)
+{
+    if (layer.bypassed)
+        return 0;
+    const LayerAttrs &a = layer.attrs;
+    switch (layer.kind) {
+      case LayerKind::Conv2d: {
+        if (a.groups <= 0)
+            return 0;
+        // Each of the N*K*P*Q outputs reduces over (C/g)*R*S taps.
+        return numel(layer.outShape) * (a.inChannels / a.groups) *
+               a.kernelH * a.kernelW;
+      }
+      case LayerKind::Linear: {
+        if (a.outFeatures <= 0)
+            return 0;
+        const int64_t rows = numel(layer.outShape) / a.outFeatures;
+        return rows * a.inFeatures * a.outFeatures;
+      }
+      case LayerKind::AttentionScore: {
+        if (a.numHeads <= 0)
+            return 0;
+        // (N, h, Lq, Lkv) outputs, each a dot product of length dh.
+        return numel(layer.outShape) * (a.inFeatures / a.numHeads);
+      }
+      case LayerKind::AttentionContext:
+        // (N, Lq, C) outputs, each summing over Lkv (= inFeatures).
+        return numel(layer.outShape) * a.inFeatures;
+      default:
+        return 0;
+    }
+}
+
+int64_t
+deriveParams(const Layer &layer)
+{
+    if (layer.bypassed)
+        return 0;
+    const LayerAttrs &a = layer.attrs;
+    switch (layer.kind) {
+      case LayerKind::Conv2d: {
+        if (a.groups <= 0)
+            return 0;
+        const int64_t bias = a.hasBias ? a.outChannels : 0;
+        return a.outChannels * (a.inChannels / a.groups) * a.kernelH *
+                   a.kernelW +
+               bias;
+      }
+      case LayerKind::Linear: {
+        const int64_t bias = a.hasBias ? a.outFeatures : 0;
+        return a.inFeatures * a.outFeatures + bias;
+      }
+      case LayerKind::LayerNorm:
+        return 2 * a.inFeatures; // scale + shift per feature
+      case LayerKind::BatchNorm:
+        return 2 * a.inChannels; // folded scale + shift per channel
+      default:
+        return 0;
+    }
+}
+
+int64_t
+deriveFlops(const Layer &layer)
+{
+    if (layer.bypassed)
+        return 0;
+    const int64_t elems = numel(layer.outShape);
+    switch (layer.kind) {
+      case LayerKind::Conv2d:
+      case LayerKind::Linear:
+      case LayerKind::AttentionScore:
+      case LayerKind::AttentionContext:
+        // MAC-counting convention (one multiply-accumulate = 1 FLOP).
+        return deriveMacs(layer);
+      case LayerKind::Softmax:
+        return 5 * elems;
+      case LayerKind::LayerNorm:
+      case LayerKind::GELU:
+      case LayerKind::Interpolate:
+        return 8 * elems;
+      case LayerKind::BatchNorm:
+        return 2 * elems;
+      case LayerKind::ReLU:
+      case LayerKind::Add:
+        return elems;
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool:
+        return elems * layer.attrs.kernelH * layer.attrs.kernelW;
+      default:
+        return 0;
+    }
+}
+
+} // namespace analysis
+} // namespace vitdyn

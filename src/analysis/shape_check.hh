@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Independent re-derivation of shape and accounting rules.
+ *
+ * The linter cross-checks every Layer::outShape (and the FLOP/MAC/
+ * param accounting behind the LUTs) against a SECOND implementation of
+ * the inference rules, written from the documented layer semantics in
+ * layer.hh rather than sharing code with graph/layer.cc. A bug in
+ * either implementation — or a graph whose stored shapes were mutated
+ * by surgery without a recompute — shows up as a "shape.mismatch" or
+ * "acct.*" diagnostic instead of silently skewing a sweep.
+ *
+ * Keep this file free of includes from graph/layer.cc's helpers
+ * (tensor/ops.hh convOutDim etc.); redundancy is the point.
+ */
+
+#ifndef VITDYN_ANALYSIS_SHAPE_CHECK_HH
+#define VITDYN_ANALYSIS_SHAPE_CHECK_HH
+
+#include <vector>
+
+#include "graph/layer.hh"
+#include "util/status.hh"
+
+namespace vitdyn
+{
+namespace analysis
+{
+
+/**
+ * Output shape of @p layer given @p inputs, derived from the semantics
+ * documented in layer.hh. Error when the configuration is
+ * inconsistent. Agrees with tryInferShape by construction of the
+ * rules, not by sharing code.
+ */
+Result<Shape> deriveShape(const Layer &layer,
+                          const std::vector<Shape> &inputs);
+
+/** Multiply-accumulate count re-derived from attrs and outShape. */
+int64_t deriveMacs(const Layer &layer);
+
+/** Learned parameter count re-derived from attrs. */
+int64_t deriveParams(const Layer &layer);
+
+/** FLOP count re-derived from attrs and outShape (MAC convention of
+ *  the paper: one multiply-accumulate = one FLOP). */
+int64_t deriveFlops(const Layer &layer);
+
+} // namespace analysis
+} // namespace vitdyn
+
+#endif // VITDYN_ANALYSIS_SHAPE_CHECK_HH

@@ -1,13 +1,55 @@
 #include "engine/engine.hh"
 
 #include <chrono>
+#include <cmath>
 
+#include "analysis/lint.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "util/logging.hh"
 
 namespace vitdyn
 {
+
+namespace
+{
+
+/**
+ * The load-time lint gate for one LUT row: rebuild the config's graph
+ * (recoverably), lint it, and — when the caller supplied the cost
+ * oracle — cross-check the stored resource cost for staleness. An
+ * error here vetoes the config.
+ */
+Status
+lintLutEntry(ModelFamily family, const SegformerConfig &seg_base,
+             const SwinConfig &swin_base, const LutEntry &entry,
+             const DrtLintOptions &options)
+{
+    Result<Graph> built =
+        tryApplyPrune(family, seg_base, swin_base, entry.config);
+    if (!built)
+        return built.status();
+
+    Status lint = lintGraph(built.value()).toStatus();
+    if (!lint)
+        return lint.withContext("config '" + entry.config.label + "'");
+
+    if (options.cost) {
+        const double recomputed = options.cost(built.value());
+        const double denom =
+            entry.resourceCost > 0.0 ? entry.resourceCost : 1.0;
+        const double rel =
+            std::abs(recomputed - entry.resourceCost) / denom;
+        if (!std::isfinite(recomputed) ||
+            rel > options.costRelTolerance)
+            return Status::error(detail::formatParts(
+                "config '", entry.config.label, "': stale LUT cost ",
+                entry.resourceCost, " vs recomputed ", recomputed));
+    }
+    return Status::ok();
+}
+
+} // namespace
 
 void
 registerFullDims(const Graph &full_graph, Executor &executor)
@@ -43,21 +85,52 @@ DrtEngine::DrtEngine(ModelFamily family, const SegformerConfig &seg_base,
       fullGraph_(family == ModelFamily::Segformer
                      ? buildSegformer(seg_base)
                      : buildSwin(swin_base)),
-      quarantinedUntil_(lut_.entries().size(), 0)
+      quarantinedUntil_(lut_.entries().size(), 0),
+      configVetoed_(lut_.entries().size(), false)
 {
     vitdyn_assert(!lut_.empty(), "DrtEngine needs a non-empty LUT");
 
+    if (options_.lint.enabled) {
+        static Counter &checked = MetricsRegistry::instance().counter(
+            "lint.configs_checked");
+        static Counter &vetoes = MetricsRegistry::instance().counter(
+            "lint.configs_vetoed");
+        size_t alive = 0;
+        for (size_t i = 0; i < lut_.entries().size(); ++i) {
+            checked.add();
+            const LutEntry &entry = lut_.entries()[i];
+            Status verdict = lintLutEntry(family_, segBase_, swinBase_,
+                                          entry, options_.lint);
+            if (verdict) {
+                ++alive;
+                continue;
+            }
+            vetoes.add();
+            configVetoed_[i] = true;
+            warn("DRT config '", entry.config.label,
+                 "' failed lint and is disabled: ", verdict.message());
+        }
+        vitdyn_assert(alive > 0,
+                      "DrtEngine: every LUT config failed lint");
+    }
+
     if (options_.prewarm) {
         // Materialize cheapest-first so a bounded cache retains the
-        // configs a tight budget will actually request.
+        // configs a tight budget will actually request. Vetoed configs
+        // are never materialized.
         ScopedSpan span(Tracer::instance(), "engine.prewarm", "engine");
         const size_t n = lut_.entries().size();
         const size_t keep = options_.executorCacheCapacity == 0
                                 ? n
                                 : std::min(n, options_.executorCacheCapacity);
-        for (size_t i = 0; i < keep; ++i)
+        size_t warmed = 0;
+        for (size_t i = 0; i < n && warmed < keep; ++i) {
+            if (configVetoed_[i])
+                continue;
             acquirePath(i);
-        span.arg("paths", static_cast<uint64_t>(keep));
+            ++warmed;
+        }
+        span.arg("paths", static_cast<uint64_t>(warmed));
     }
 }
 
@@ -80,6 +153,25 @@ DrtEngine::create(ModelFamily family, const SegformerConfig &seg_base,
             return Status::error("DrtEngine: LUT entry '" +
                                  entry.config.label +
                                  "' has an invalid resource cost");
+    }
+    if (options.lint.enabled) {
+        // The constructor aborts when the lint gate vetoes everything;
+        // prove at least one config survives before constructing.
+        bool any_alive = false;
+        Status first_verdict;
+        for (const LutEntry &entry : lut.entries()) {
+            Status verdict = lintLutEntry(family, seg_base, swin_base,
+                                          entry, options.lint);
+            if (verdict) {
+                any_alive = true;
+                break;
+            }
+            if (first_verdict.isOk())
+                first_verdict = verdict;
+        }
+        if (!any_alive)
+            return first_verdict.withContext(
+                "DrtEngine: every LUT config failed lint");
     }
     return std::unique_ptr<DrtEngine>(new DrtEngine(
         family, seg_base, swin_base, std::move(lut), seed, options));
@@ -104,6 +196,8 @@ DrtEngine::Path &
 DrtEngine::acquirePath(size_t index) const
 {
     vitdyn_assert(index < lut_.entries().size(), "LUT/path desync");
+    vitdyn_assert(!configVetoed_[index],
+                  "acquirePath on a lint-vetoed config");
 
     // References cached once: registration locks, increments do not.
     static Counter &hits =
@@ -164,15 +258,34 @@ DrtEngine::isQuarantined(size_t path_index) const
 {
     vitdyn_assert(path_index < quarantinedUntil_.size(),
                   "path index out of range");
-    return quarantinedUntil_[path_index] > frame_;
+    return configVetoed_[path_index] ||
+           quarantinedUntil_[path_index] > frame_;
 }
 
 size_t
 DrtEngine::numQuarantined() const
 {
     size_t count = 0;
-    for (uint64_t until : quarantinedUntil_)
-        if (until > frame_)
+    for (size_t i = 0; i < quarantinedUntil_.size(); ++i)
+        if (configVetoed_[i] || quarantinedUntil_[i] > frame_)
+            ++count;
+    return count;
+}
+
+bool
+DrtEngine::isVetoed(size_t path_index) const
+{
+    vitdyn_assert(path_index < configVetoed_.size(),
+                  "path index out of range");
+    return configVetoed_[path_index];
+}
+
+size_t
+DrtEngine::numVetoed() const
+{
+    size_t count = 0;
+    for (bool vetoed : configVetoed_)
+        if (vetoed)
             ++count;
     return count;
 }
@@ -244,8 +357,14 @@ DrtEngine::lookupHealthyIndex(double resource_budget, bool *met) const
         *met = false;
     if (cheapest_healthy < entries.size())
         return cheapest_healthy;
-    // Everything is quarantined: best effort on the plain lookup so
-    // the engine still answers (an answer beats an abort).
+    // Probation may cover every servable path; prefer any non-vetoed
+    // entry (probation is transient, best effort) over a lint-vetoed
+    // one (permanently unbuildable — running it could abort).
+    for (size_t i = 0; i < entries.size(); ++i)
+        if (!configVetoed_[i])
+            return i;
+    // Unreachable when the lint gate ran (construction requires a
+    // survivor); with lint disabled nothing is ever vetoed.
     bool ignored = false;
     return lookupIndex(resource_budget, &ignored);
 }
@@ -336,8 +455,13 @@ DrtEngine::inferImpl(const Tensor &image, double resource_budget)
     }
 
     if (!resilience_.enabled) {
-        DrtResult result = runPath(first_choice, image);
+        // Still veto-aware: a lint-vetoed first choice is replaced by
+        // the best servable path (lookupHealthyIndex degenerates to a
+        // veto-only filter here, since nothing enters probation).
+        size_t index = lookupHealthyIndex(resource_budget, &met);
+        DrtResult result = runPath(index, image);
         result.budgetMet = met;
+        result.degraded = index != first_choice;
         result.quarantinedPaths = numQuarantined();
         return result;
     }

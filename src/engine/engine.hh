@@ -79,6 +79,28 @@ struct EngineResilienceConfig
     int probationFrames = 32;
 };
 
+/**
+ * Static-analysis gate applied to every LUT config when the engine
+ * loads it (see src/analysis/). A config whose rebuilt graph fails
+ * lint — or whose stored cost is stale against the optional cost
+ * oracle — is permanently vetoed: never selected, never prewarmed,
+ * reported on the lint.* metrics. The engine keeps serving on the
+ * remaining configs (construction fails only when nothing survives).
+ */
+struct DrtLintOptions
+{
+    bool enabled = true;
+
+    /**
+     * The cost function the LUT was generated with. When set, a row
+     * whose stored resourceCost drifts beyond costRelTolerance from
+     * the rebuilt graph's recomputed cost is vetoed as stale. Empty
+     * by default: native cost units are opaque to the engine.
+     */
+    GraphCostFn cost;
+    double costRelTolerance = 0.05;
+};
+
 /** Materialization policy for DrtEngine execution paths. */
 struct DrtEngineOptions
 {
@@ -102,6 +124,9 @@ struct DrtEngineOptions
 
     /** Weight store for all paths; nullptr = process-wide instance. */
     WeightStore *weightStore = nullptr;
+
+    /** Config lint gate (see DrtLintOptions). */
+    DrtLintOptions lint;
 };
 
 /** DRT inference engine over one pretrained model and one LUT. */
@@ -171,11 +196,18 @@ class DrtEngine
      */
     void setFaultInjector(FaultInjector *injector);
 
-    /** True while the path is quarantined (probation not yet over). */
+    /** True while the path is out of rotation: lint-vetoed at load
+     *  time (permanent) or health-quarantined (probation running). */
     bool isQuarantined(size_t path_index) const;
 
-    /** Number of currently quarantined paths. */
+    /** Number of currently quarantined (incl. vetoed) paths. */
     size_t numQuarantined() const;
+
+    /** True when the config failed the load-time lint gate. */
+    bool isVetoed(size_t path_index) const;
+
+    /** Number of lint-vetoed configs. */
+    size_t numVetoed() const;
 
     const AccuracyResourceLut &lut() const { return lut_; }
 
@@ -242,6 +274,9 @@ class DrtEngine
     /** Quarantine deadlines, parallel to lut_.entries() — kept apart
      *  from the path cache so probation survives eviction. */
     std::vector<uint64_t> quarantinedUntil_;
+    /** Permanent lint vetoes, parallel to lut_.entries(): set once at
+     *  construction, never selected or prewarmed afterwards. */
+    std::vector<bool> configVetoed_;
     EngineResilienceConfig resilience_;
     FaultInjector *injector_ = nullptr;
     uint64_t frame_ = 0; ///< Monotonic inference counter.

@@ -20,6 +20,29 @@ ModelSwitchingEngine::ModelSwitchingEngine(
     vitdyn_assert(!variants_.empty(),
                   "need at least the reference variant");
 
+    // Lint gate: a candidate that cannot build against the reference
+    // variant is dropped up front — the sweep below would otherwise
+    // abort the process on the first bad config.
+    {
+        static Counter &dropped = MetricsRegistry::instance().counter(
+            "lint.dropped_candidates");
+        std::vector<PruneConfig> kept;
+        kept.reserve(candidates_.size());
+        for (const PruneConfig &candidate : candidates_) {
+            Status valid =
+                validatePrune(family_, variants_[0].segConfig,
+                              variants_[0].swinConfig, candidate);
+            if (valid) {
+                kept.push_back(candidate);
+                continue;
+            }
+            dropped.add();
+            warn("model-switching candidate '", candidate.label,
+                 "' dropped by lint: ", valid.message());
+        }
+        candidates_ = std::move(kept);
+    }
+
     // Pruned execution paths of the reference (largest) variant.
     std::vector<TradeoffPoint> points =
         family_ == ModelFamily::Segformer

@@ -92,6 +92,14 @@ Graph::appendUnordered(Layer layer)
 void
 Graph::normalize()
 {
+    Status status = tryNormalize();
+    if (!status)
+        vitdyn_panic(status.message());
+}
+
+Status
+Graph::tryNormalize()
+{
     const int n = static_cast<int>(layers_.size());
 
     // Reachability: walk backwards from the outputs.
@@ -138,8 +146,9 @@ Graph::normalize()
     int live_count = 0;
     for (int id = 0; id < n; ++id)
         live_count += live[id] ? 1 : 0;
-    vitdyn_assert(static_cast<int>(order.size()) == live_count,
-                  "cycle detected in graph '", name_, "'");
+    if (static_cast<int>(order.size()) != live_count)
+        return Status::error(detail::formatParts(
+            "cycle detected in graph '", name_, "'"));
 
     std::vector<int> old_to_new(n, -1);
     for (size_t i = 0; i < order.size(); ++i)
@@ -161,7 +170,7 @@ Graph::normalize()
     for (int &id : outputs_)
         id = old_to_new[id];
 
-    recomputeShapes();
+    return tryRecomputeShapes();
 }
 
 const Layer &
@@ -242,15 +251,32 @@ Graph::totalParams() const
 void
 Graph::recomputeShapes()
 {
+    Status status = tryRecomputeShapes();
+    if (!status)
+        vitdyn_panic(status.message());
+}
+
+Status
+Graph::tryRecomputeShapes()
+{
     for (Layer &layer : layers_) {
         if (layer.kind == LayerKind::Input)
             continue;
         std::vector<Shape> in_shapes;
         in_shapes.reserve(layer.inputs.size());
-        for (int in_id : layer.inputs)
+        for (int in_id : layer.inputs) {
+            if (in_id < 0 || in_id >= static_cast<int>(layers_.size()))
+                return Status::error(detail::formatParts(
+                    "layer '", layer.name, "' references id ", in_id,
+                    " out of range"));
             in_shapes.push_back(layers_[in_id].outShape);
-        layer.outShape = inferShape(layer, in_shapes);
+        }
+        Result<Shape> out = tryInferShape(layer, in_shapes);
+        if (!out)
+            return out.status();
+        layer.outShape = out.take();
     }
+    return Status::ok();
 }
 
 std::string

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/layer.hh"
+#include "util/status.hh"
 
 namespace vitdyn
 {
@@ -60,6 +61,14 @@ class Graph
      */
     void normalize();
 
+    /**
+     * normalize() with recoverable semantics for the surgery/engine
+     * boundary: a cycle or a shape inconsistency in the re-sorted
+     * graph yields an error Status instead of terminating. On error
+     * the graph may be partially renumbered and must be discarded.
+     */
+    Status tryNormalize();
+
     const std::string &name() const { return name_; }
     void setName(std::string name) { name_ = std::move(name); }
 
@@ -97,6 +106,14 @@ class Graph
      * graph is inconsistent.
      */
     void recomputeShapes();
+
+    /**
+     * recomputeShapes() with recoverable semantics: an inconsistent
+     * layer yields an error Status naming the layer instead of
+     * terminating. Shapes of layers preceding the inconsistency are
+     * updated in place; the rest keep their previous values.
+     */
+    Status tryRecomputeShapes();
 
     /** Multi-line human-readable dump (id, name, kind, shape, MFLOPs). */
     std::string toString() const;

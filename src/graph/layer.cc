@@ -226,189 +226,267 @@ Layer::outputBytes(int bytes_per_element) const
 namespace
 {
 
-const Shape &
-only(const std::vector<Shape> &inputs, const Layer &layer)
+/**
+ * Fail shape inference recoverably: evaluates to a Result<Shape> error
+ * carrying the formatted message. Keeping the wording identical to the
+ * historical asserts preserves the diagnostics builders rely on.
+ */
+#define infer_error(...) \
+    return Status::error(detail::formatParts(__VA_ARGS__))
+
+/** infer_error unless @p cond holds. */
+#define infer_check(cond, ...) \
+    do { \
+        if (!(cond)) \
+            infer_error(__VA_ARGS__); \
+    } while (0)
+
+Result<Shape>
+onlyInput(const std::vector<Shape> &inputs, const Layer &layer)
 {
-    vitdyn_assert(inputs.size() == 1, "layer '", layer.name, "' (",
-                  layerKindName(layer.kind), ") expects one input, got ",
-                  inputs.size());
+    infer_check(inputs.size() == 1, "layer '", layer.name, "' (",
+                layerKindName(layer.kind), ") expects one input, got ",
+                inputs.size());
     return inputs[0];
 }
 
 } // namespace
 
-Shape
-inferShape(const Layer &layer, const std::vector<Shape> &inputs)
+Result<Shape>
+tryInferShape(const Layer &layer, const std::vector<Shape> &inputs)
 {
     const LayerAttrs &a = layer.attrs;
     switch (layer.kind) {
       case LayerKind::Input:
-        vitdyn_panic("inferShape called on Input layer");
+        infer_error("inferShape called on Input layer");
       case LayerKind::Conv2d: {
-        const Shape &in = only(inputs, layer);
-        vitdyn_assert(in.size() == 4, "conv input must be NCHW for '",
-                      layer.name, "', got ", shapeToString(in));
-        vitdyn_assert(in[1] == a.inChannels, "conv '", layer.name,
-                      "' expects C=", a.inChannels, ", got ", in[1]);
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(in.size() == 4, "conv input must be NCHW for '",
+                    layer.name, "', got ", shapeToString(in));
+        infer_check(in[1] == a.inChannels, "conv '", layer.name,
+                    "' expects C=", a.inChannels, ", got ", in[1]);
+        infer_check(a.strideH > 0 && a.strideW > 0, "conv '", layer.name,
+                    "' has non-positive stride");
         const int64_t p = convOutDim(in[2], a.kernelH, a.strideH, a.padH);
         const int64_t q = convOutDim(in[3], a.kernelW, a.strideW, a.padW);
-        vitdyn_assert(p > 0 && q > 0, "conv '", layer.name,
-                      "' output collapsed");
-        return {in[0], a.outChannels, p, q};
+        infer_check(p > 0 && q > 0, "conv '", layer.name,
+                    "' output collapsed");
+        return Shape{in[0], a.outChannels, p, q};
       }
       case LayerKind::Linear: {
-        const Shape &in = only(inputs, layer);
-        vitdyn_assert(!in.empty() && in.back() == a.inFeatures,
-                      "linear '", layer.name, "' expects last dim ",
-                      a.inFeatures, ", got ", shapeToString(in));
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(!in.empty() && in.back() == a.inFeatures,
+                    "linear '", layer.name, "' expects last dim ",
+                    a.inFeatures, ", got ", shapeToString(in));
         Shape out = in;
         out.back() = a.outFeatures;
         return out;
       }
       case LayerKind::AttentionScore: {
-        vitdyn_assert(inputs.size() == 2, "attention score needs Q and K");
+        infer_check(inputs.size() == 2, "attention score needs Q and K");
         const Shape &q = inputs[0];
         const Shape &k = inputs[1];
-        vitdyn_assert(q.size() == 3 && k.size() == 3 && q[2] == k[2] &&
-                      q[0] == k[0],
-                      "attention score wants (N, L, C) Q/K");
-        vitdyn_assert(q[2] == a.inFeatures, "attention '", layer.name,
-                      "' C mismatch");
-        return {q[0], a.numHeads, q[1], k[1]};
+        infer_check(q.size() == 3 && k.size() == 3 && q[2] == k[2] &&
+                    q[0] == k[0],
+                    "attention score wants (N, L, C) Q/K");
+        infer_check(q[2] == a.inFeatures, "attention '", layer.name,
+                    "' C mismatch");
+        return Shape{q[0], a.numHeads, q[1], k[1]};
       }
       case LayerKind::AttentionContext: {
-        vitdyn_assert(inputs.size() == 2,
-                      "attention context needs scores and V");
+        infer_check(inputs.size() == 2,
+                    "attention context needs scores and V");
         const Shape &s = inputs[0];
         const Shape &v = inputs[1];
-        vitdyn_assert(s.size() == 4 && v.size() == 3,
-                      "attention context wants (N,h,Lq,Lkv) and (N,Lkv,C)");
-        vitdyn_assert(s[3] == v[1], "context Lkv mismatch: ", s[3], " vs ",
-                      v[1]);
-        vitdyn_assert(s[3] == a.inFeatures,
-                      "context layer should record Lkv in inFeatures");
-        return {s[0], s[2], v[2]};
+        infer_check(s.size() == 4 && v.size() == 3,
+                    "attention context wants (N,h,Lq,Lkv) and (N,Lkv,C)");
+        infer_check(s[3] == v[1], "context Lkv mismatch: ", s[3], " vs ",
+                    v[1]);
+        infer_check(s[3] == a.inFeatures,
+                    "context layer should record Lkv in inFeatures");
+        return Shape{s[0], s[2], v[2]};
       }
       case LayerKind::Softmax:
       case LayerKind::LayerNorm:
       case LayerKind::ReLU:
       case LayerKind::GELU:
       case LayerKind::Identity:
-        return only(inputs, layer);
+        return onlyInput(inputs, layer);
       case LayerKind::BatchNorm: {
-        const Shape &in = only(inputs, layer);
-        vitdyn_assert(in.size() == 4 && in[1] == a.inChannels,
-                      "batchnorm '", layer.name, "' channel mismatch");
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(in.size() == 4 && in[1] == a.inChannels,
+                    "batchnorm '", layer.name, "' channel mismatch");
         return in;
       }
       case LayerKind::Add: {
-        vitdyn_assert(inputs.size() == 2 && inputs[0] == inputs[1],
-                      "add '", layer.name, "' needs equal shapes, got ",
-                      inputs.size() == 2
-                          ? shapeToString(inputs[0]) + " vs " +
-                                shapeToString(inputs[1])
-                          : std::to_string(inputs.size()) + " inputs");
+        infer_check(inputs.size() == 2 && inputs[0] == inputs[1],
+                    "add '", layer.name, "' needs equal shapes, got ",
+                    inputs.size() == 2
+                        ? shapeToString(inputs[0]) + " vs " +
+                              shapeToString(inputs[1])
+                        : std::to_string(inputs.size()) + " inputs");
         return inputs[0];
       }
       case LayerKind::Concat: {
-        vitdyn_assert(!inputs.empty(), "concat without inputs");
+        infer_check(!inputs.empty(), "concat without inputs");
         Shape out = inputs[0];
         if (out.size() == 4) {
             // NCHW: concatenate channels.
             for (size_t i = 1; i < inputs.size(); ++i) {
                 const Shape &in = inputs[i];
-                vitdyn_assert(in.size() == 4 && in[0] == out[0] &&
-                              in[2] == out[2] && in[3] == out[3],
-                              "concat '", layer.name,
-                              "' mismatched input ", shapeToString(in));
+                infer_check(in.size() == 4 && in[0] == out[0] &&
+                            in[2] == out[2] && in[3] == out[3],
+                            "concat '", layer.name,
+                            "' mismatched input ", shapeToString(in));
                 out[1] += in[1];
             }
             return out;
         }
         // (N, L, C): concatenate along the token dimension.
-        vitdyn_assert(out.size() == 3, "concat needs NCHW or (N, L, C)");
+        infer_check(out.size() == 3, "concat needs NCHW or (N, L, C)");
         for (size_t i = 1; i < inputs.size(); ++i) {
             const Shape &in = inputs[i];
-            vitdyn_assert(in.size() == 3 && in[0] == out[0] &&
-                          in[2] == out[2],
-                          "token concat '", layer.name,
-                          "' mismatched input ", shapeToString(in));
+            infer_check(in.size() == 3 && in[0] == out[0] &&
+                        in[2] == out[2],
+                        "token concat '", layer.name,
+                        "' mismatched input ", shapeToString(in));
             out[1] += in[1];
         }
         return out;
       }
       case LayerKind::Interpolate: {
-        const Shape &in = only(inputs, layer);
-        vitdyn_assert(in.size() == 4, "interpolate needs NCHW");
-        return {in[0], in[1], a.outH, a.outW};
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(in.size() == 4, "interpolate needs NCHW");
+        infer_check(a.outH > 0 && a.outW > 0, "interpolate '", layer.name,
+                    "' target collapsed");
+        return Shape{in[0], in[1], a.outH, a.outW};
       }
       case LayerKind::MaxPool: {
-        const Shape &in = only(inputs, layer);
-        vitdyn_assert(in.size() == 4, "pool needs NCHW");
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(in.size() == 4, "pool needs NCHW");
+        infer_check(a.strideH > 0 && a.strideW > 0, "pool '", layer.name,
+                    "' has non-positive stride");
         const int64_t p = convOutDim(in[2], a.kernelH, a.strideH, a.padH);
         const int64_t q = convOutDim(in[3], a.kernelW, a.strideW, a.padW);
-        return {in[0], in[1], p, q};
+        infer_check(p > 0 && q > 0, "pool '", layer.name,
+                    "' output collapsed");
+        return Shape{in[0], in[1], p, q};
       }
       case LayerKind::AvgPool: {
-        const Shape &in = only(inputs, layer);
-        vitdyn_assert(in.size() == 4, "pool needs NCHW");
-        return {in[0], in[1], a.outH, a.outW};
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(in.size() == 4, "pool needs NCHW");
+        infer_check(a.outH > 0 && a.outW > 0, "pool '", layer.name,
+                    "' target collapsed");
+        return Shape{in[0], in[1], a.outH, a.outW};
       }
       case LayerKind::TokensToImage: {
-        const Shape &in = only(inputs, layer);
-        vitdyn_assert(in.size() == 3 && in[1] == a.gridH * a.gridW,
-                      "tokensToImage '", layer.name, "' grid mismatch: L=",
-                      in.size() == 3 ? in[1] : -1, " grid ", a.gridH, "x",
-                      a.gridW);
-        return {in[0], in[2], a.gridH, a.gridW};
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(in.size() == 3 && in[1] == a.gridH * a.gridW,
+                    "tokensToImage '", layer.name, "' grid mismatch: L=",
+                    in.size() == 3 ? in[1] : -1, " grid ", a.gridH, "x",
+                    a.gridW);
+        return Shape{in[0], in[2], a.gridH, a.gridW};
       }
       case LayerKind::ImageToTokens: {
-        const Shape &in = only(inputs, layer);
-        vitdyn_assert(in.size() == 4, "imageToTokens needs NCHW");
-        return {in[0], in[2] * in[3], in[1]};
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(in.size() == 4, "imageToTokens needs NCHW");
+        return Shape{in[0], in[2] * in[3], in[1]};
       }
       case LayerKind::Narrow: {
-        const Shape &in = only(inputs, layer);
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(!in.empty(), "narrow '", layer.name,
+                    "' needs a ranked input");
         Shape out = in;
         // Channel dim: dim 1 for NCHW, last dim for token layouts.
         const size_t c_dim = in.size() == 4 ? 1 : in.size() - 1;
-        vitdyn_assert(a.outChannels > 0 &&
-                      a.outChannels <= in[c_dim],
-                      "narrow '", layer.name, "' keeps ", a.outChannels,
-                      " of ", in[c_dim], " channels");
+        infer_check(a.outChannels > 0 && a.outChannels <= in[c_dim],
+                    "narrow '", layer.name, "' keeps ", a.outChannels,
+                    " of ", in[c_dim], " channels");
         out[c_dim] = a.outChannels;
         return out;
       }
       case LayerKind::Patchify: {
-        const Shape &in = only(inputs, layer);
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
         const int64_t p = a.kernelH;
-        vitdyn_assert(in.size() == 4 && p > 0 && in[2] % p == 0 &&
-                      in[3] % p == 0,
-                      "patchify '", layer.name,
-                      "' needs NCHW divisible by patch ", p);
-        return {in[0], (in[2] / p) * (in[3] / p), in[1] * p * p};
+        infer_check(in.size() == 4 && p > 0 && in[2] % p == 0 &&
+                    in[3] % p == 0,
+                    "patchify '", layer.name,
+                    "' needs NCHW divisible by patch ", p);
+        return Shape{in[0], (in[2] / p) * (in[3] / p), in[1] * p * p};
       }
       case LayerKind::WindowPartition: {
-        const Shape &in = only(inputs, layer);
-        vitdyn_assert(in.size() == 3 && in[1] == a.gridH * a.gridW,
-                      "windowPartition '", layer.name, "' grid mismatch");
-        vitdyn_assert(a.window > 0 && a.gridH % a.window == 0 &&
-                      a.gridW % a.window == 0,
-                      "windowPartition '", layer.name,
-                      "' grid not divisible by window");
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(in.size() == 3 && in[1] == a.gridH * a.gridW,
+                    "windowPartition '", layer.name, "' grid mismatch");
+        infer_check(a.window > 0 && a.gridH % a.window == 0 &&
+                    a.gridW % a.window == 0,
+                    "windowPartition '", layer.name,
+                    "' grid not divisible by window");
         const int64_t nw = (a.gridH / a.window) * (a.gridW / a.window);
-        return {in[0] * nw, a.window * a.window, in[2]};
+        return Shape{in[0] * nw, a.window * a.window, in[2]};
       }
       case LayerKind::WindowReverse: {
-        const Shape &in = only(inputs, layer);
+        Result<Shape> in_r = onlyInput(inputs, layer);
+        if (!in_r)
+            return in_r;
+        const Shape &in = in_r.value();
+        infer_check(a.window > 0 && a.gridH % a.window == 0 &&
+                    a.gridW % a.window == 0,
+                    "windowReverse '", layer.name,
+                    "' grid not divisible by window");
         const int64_t nw = (a.gridH / a.window) * (a.gridW / a.window);
-        vitdyn_assert(in.size() == 3 && in[0] % nw == 0 &&
-                      in[1] == a.window * a.window,
-                      "windowReverse '", layer.name, "' shape mismatch");
-        return {in[0] / nw, a.gridH * a.gridW, in[2]};
+        infer_check(in.size() == 3 && in[0] % nw == 0 &&
+                    in[1] == a.window * a.window,
+                    "windowReverse '", layer.name, "' shape mismatch");
+        return Shape{in[0] / nw, a.gridH * a.gridW, in[2]};
       }
     }
-    vitdyn_panic("unhandled layer kind in inferShape");
+    infer_error("unhandled layer kind in inferShape");
+}
+
+#undef infer_check
+#undef infer_error
+
+Shape
+inferShape(const Layer &layer, const std::vector<Shape> &inputs)
+{
+    Result<Shape> r = tryInferShape(layer, inputs);
+    if (!r)
+        vitdyn_panic(r.status().message());
+    return r.take();
 }
 
 } // namespace vitdyn

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "tensor/tensor.hh"
+#include "util/status.hh"
 
 namespace vitdyn
 {
@@ -159,6 +160,17 @@ struct Layer
  * Fatal on inconsistent configuration (user error when building models).
  */
 Shape inferShape(const Layer &layer, const std::vector<Shape> &inputs);
+
+/**
+ * Recoverable shape inference: the same rules as inferShape, but an
+ * inconsistent layer yields an error Status instead of terminating.
+ * This is the form the surgery/engine boundary uses, so a malformed
+ * *runtime* configuration (a bad prune config loaded from a LUT) can
+ * be rejected while the process keeps serving; inferShape stays fatal
+ * for model-builder misuse.
+ */
+Result<Shape> tryInferShape(const Layer &layer,
+                            const std::vector<Shape> &inputs);
 
 } // namespace vitdyn
 

@@ -11,6 +11,119 @@ namespace vitdyn
 namespace
 {
 
+/** Channel extent of a shape: dim 1 for NCHW, last dim for tokens. */
+int64_t
+channelWidth(const Shape &shape)
+{
+    if (shape.empty())
+        return 0;
+    return shape.size() == 4 ? shape[1] : shape.back();
+}
+
+/**
+ * Read-only mirror of shrinkProducer: proves the backward-propagation
+ * walk rooted at producer @p id can deliver @p new_c channels — either
+ * by shrinking layers or by stopping at a valid Narrow slice — without
+ * hitting any of the mutating walk's fatal cases (grouped convs,
+ * over-wide shrinks, under-provisioned concats).
+ */
+Status
+canShrinkProducer(const Graph &graph, int id, int64_t new_c, int via)
+{
+    const Layer &layer = graph.layer(id);
+
+    // A Narrow slice is the fallback wherever the mutating walk stops;
+    // it is only valid when the producer is at least new_c wide.
+    auto narrow_ok = [&]() -> Status {
+        const int64_t width = channelWidth(layer.outShape);
+        if (new_c > width)
+            return Status::error(detail::formatParts(
+                "cannot narrow '", layer.name, "' (width ", width,
+                ") to ", new_c, " channels"));
+        return Status::ok();
+    };
+
+    // Another consumer still needs the full-width output: Narrow here.
+    for (int consumer : graph.consumersOf(id))
+        if (consumer != via)
+            return narrow_ok();
+    // Graph outputs must keep their width: Narrow here.
+    for (int out_id : graph.outputs())
+        if (out_id == id)
+            return narrow_ok();
+
+    switch (layer.kind) {
+      case LayerKind::Conv2d:
+        if (layer.attrs.groups != 1)
+            return Status::error(detail::formatParts(
+                "cannot shrink grouped conv '", layer.name,
+                "' outputs generically"));
+        if (new_c > layer.attrs.outChannels)
+            return Status::error(detail::formatParts(
+                "shrink beyond width of '", layer.name, "'"));
+        return Status::ok();
+      case LayerKind::Linear:
+        if (new_c > layer.attrs.outFeatures)
+            return Status::error(detail::formatParts(
+                "shrink beyond width of '", layer.name, "'"));
+        return Status::ok();
+      case LayerKind::Narrow:
+        if (new_c > layer.attrs.outChannels)
+            return Status::error(detail::formatParts(
+                "narrow widened: '", layer.name, "'"));
+        return Status::ok();
+      case LayerKind::BatchNorm:
+      case LayerKind::LayerNorm:
+      case LayerKind::ReLU:
+      case LayerKind::GELU:
+      case LayerKind::Identity:
+      case LayerKind::Interpolate:
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool:
+      case LayerKind::TokensToImage:
+      case LayerKind::ImageToTokens:
+      case LayerKind::WindowPartition:
+      case LayerKind::WindowReverse:
+        return canShrinkProducer(graph, layer.inputs[0], new_c, id);
+      case LayerKind::Add: {
+        Status first = canShrinkProducer(graph, layer.inputs[0], new_c,
+                                         id);
+        if (!first)
+            return first;
+        return canShrinkProducer(graph, layer.inputs[1], new_c, id);
+      }
+      case LayerKind::Concat: {
+        int64_t remaining = new_c;
+        for (size_t i = 0; i < layer.inputs.size(); ++i) {
+            const int64_t width =
+                channelWidth(graph.layer(layer.inputs[i]).outShape);
+            const int64_t keep = std::min(width, remaining);
+            remaining -= keep;
+            if (keep == 0)
+                continue;
+            if (keep < width) {
+                Status arm = canShrinkProducer(graph, layer.inputs[i],
+                                               keep, id);
+                if (!arm)
+                    return arm;
+            }
+        }
+        if (remaining != 0)
+            return Status::error(detail::formatParts(
+                "concat '", layer.name, "' cannot provide ", new_c,
+                " channels"));
+        return Status::ok();
+      }
+      case LayerKind::Input:
+      case LayerKind::Patchify:
+      case LayerKind::AttentionScore:
+      case LayerKind::AttentionContext:
+      case LayerKind::Softmax:
+        return narrow_ok();
+    }
+    return narrow_ok();
+}
+
 /**
  * Try to make producer @p id emit only @p new_c channels, recursing
  * through shape-preserving layers. @p via is the consumer on whose
@@ -130,45 +243,125 @@ shrinkProducer(Graph &graph, int id, int64_t new_c, int via)
     return false;
 }
 
+/** Validated endpoints of a bypass rewrite. */
+struct BypassPlan
+{
+    std::set<int> inBlock;
+    int src = -1;
+    int exit = -1;
+};
+
+Result<BypassPlan>
+planBypass(const Graph &graph, const std::string &block_prefix)
+{
+    const std::vector<int> block = graph.layersInStage(block_prefix);
+    if (block.empty())
+        return Status::error(detail::formatParts(
+            "bypassBlock: no layers tagged '", block_prefix, "'"));
+
+    BypassPlan plan;
+    plan.inBlock = std::set<int>(block.begin(), block.end());
+
+    // External producer(s) feeding the block.
+    std::set<int> external_inputs;
+    for (int id : block)
+        for (int in_id : graph.layer(id).inputs)
+            if (!plan.inBlock.count(in_id))
+                external_inputs.insert(in_id);
+    if (external_inputs.size() != 1)
+        return Status::error(detail::formatParts(
+            "block '", block_prefix, "' has ", external_inputs.size(),
+            " external inputs; need exactly 1 to bypass"));
+    plan.src = *external_inputs.begin();
+
+    // Block layer(s) consumed from outside.
+    std::set<int> exits;
+    for (int id : block)
+        for (int consumer : graph.consumersOf(id))
+            if (!plan.inBlock.count(consumer))
+                exits.insert(id);
+    for (int out_id : graph.outputs())
+        if (plan.inBlock.count(out_id))
+            exits.insert(out_id);
+    if (exits.size() != 1)
+        return Status::error(detail::formatParts(
+            "block '", block_prefix, "' has ", exits.size(),
+            " exit layers; need exactly 1 to bypass"));
+    plan.exit = *exits.begin();
+
+    if (graph.layer(plan.src).outShape !=
+        graph.layer(plan.exit).outShape)
+        return Status::error(detail::formatParts(
+            "block '", block_prefix, "' is not shape-preserving: ",
+            shapeToString(graph.layer(plan.src).outShape), " vs ",
+            shapeToString(graph.layer(plan.exit).outShape)));
+
+    return plan;
+}
+
 } // namespace
 
-int64_t
-pruneInputChannels(Graph &graph, const std::string &layer_name,
-                   int64_t new_in_channels)
+Status
+validatePruneInputChannels(const Graph &graph,
+                           const std::string &layer_name,
+                           int64_t new_in_channels)
 {
     const int id = graph.findLayer(layer_name);
     if (id < 0)
-        vitdyn_fatal("pruneInputChannels: no layer named '", layer_name,
-                     "'");
+        return Status::error(detail::formatParts(
+            "pruneInputChannels: no layer named '", layer_name, "'"));
+
+    const Layer &layer = graph.layer(id);
+    switch (layer.kind) {
+      case LayerKind::Conv2d:
+        if (layer.attrs.groups != 1)
+            return Status::error(detail::formatParts(
+                "cannot channel-prune grouped conv '", layer_name, "'"));
+        if (new_in_channels <= 0 ||
+            new_in_channels > layer.attrs.inChannels)
+            return Status::error(detail::formatParts(
+                "bad channel count ", new_in_channels, " for '",
+                layer_name, "' with C=", layer.attrs.inChannels));
+        break;
+      case LayerKind::Linear:
+        if (new_in_channels <= 0 ||
+            new_in_channels > layer.attrs.inFeatures)
+            return Status::error(detail::formatParts(
+                "bad channel count ", new_in_channels, " for '",
+                layer_name, "'"));
+        break;
+      default:
+        return Status::error(detail::formatParts(
+            "pruneInputChannels: '", layer_name,
+            "' is not a conv or linear layer"));
+    }
+
+    if (layer.inputs.size() != 1)
+        return Status::error(detail::formatParts(
+            "pruneInputChannels target must have one input"));
+    return canShrinkProducer(graph, layer.inputs[0], new_in_channels,
+                             id);
+}
+
+Result<int64_t>
+tryPruneInputChannels(Graph &graph, const std::string &layer_name,
+                      int64_t new_in_channels)
+{
+    Status valid = validatePruneInputChannels(graph, layer_name,
+                                              new_in_channels);
+    if (!valid)
+        return valid;
+
+    const int id = graph.findLayer(layer_name);
     const int64_t before = graph.totalMacs();
 
     Layer &layer = graph.layer(id);
-    switch (layer.kind) {
-      case LayerKind::Conv2d:
-        vitdyn_assert(layer.attrs.groups == 1,
-                      "cannot channel-prune grouped conv '", layer_name,
-                      "'");
-        vitdyn_assert(new_in_channels > 0 &&
-                      new_in_channels <= layer.attrs.inChannels,
-                      "bad channel count ", new_in_channels, " for '",
-                      layer_name, "' with C=", layer.attrs.inChannels);
+    if (layer.kind == LayerKind::Conv2d)
         layer.attrs.inChannels = new_in_channels;
-        break;
-      case LayerKind::Linear:
-        vitdyn_assert(new_in_channels > 0 &&
-                      new_in_channels <= layer.attrs.inFeatures,
-                      "bad channel count ", new_in_channels, " for '",
-                      layer_name, "'");
+    else
         layer.attrs.inFeatures = new_in_channels;
-        break;
-      default:
-        vitdyn_fatal("pruneInputChannels: '", layer_name,
-                     "' is not a conv or linear layer");
-    }
 
     // Propagate backwards through the (single) producer.
-    vitdyn_assert(layer.inputs.size() == 1,
-                  "pruneInputChannels target must have one input");
     const int producer = layer.inputs[0];
     if (!shrinkProducer(graph, producer, new_in_channels, id)) {
         Layer narrow;
@@ -181,66 +374,61 @@ pruneInputChannels(Graph &graph, const std::string &layer_name,
         graph.layer(id).inputs[0] = nid;
     }
 
-    graph.normalize();
+    Status normalized = graph.tryNormalize();
+    if (!normalized)
+        return normalized.withContext("pruneInputChannels '" +
+                                      layer_name + "'");
     return before - graph.totalMacs();
+}
+
+int64_t
+pruneInputChannels(Graph &graph, const std::string &layer_name,
+                   int64_t new_in_channels)
+{
+    return tryPruneInputChannels(graph, layer_name, new_in_channels)
+        .takeOrFatal();
+}
+
+Status
+validateBypassBlock(const Graph &graph, const std::string &block_prefix)
+{
+    return planBypass(graph, block_prefix).status();
+}
+
+Result<int>
+tryBypassBlock(Graph &graph, const std::string &block_prefix)
+{
+    Result<BypassPlan> planned = planBypass(graph, block_prefix);
+    if (!planned)
+        return planned.status();
+    const BypassPlan plan = planned.take();
+
+    // Reroute consumers and outputs, then let normalize() drop the block.
+    for (Layer &layer : graph.layers()) {
+        if (plan.inBlock.count(layer.id))
+            continue;
+        for (int &in_id : layer.inputs)
+            if (in_id == plan.exit)
+                in_id = plan.src;
+    }
+    std::vector<int> outputs = graph.outputs();
+    for (int &out_id : outputs)
+        if (out_id == plan.exit)
+            out_id = plan.src;
+    graph.setOutputs(std::move(outputs));
+
+    const int before = static_cast<int>(graph.numLayers());
+    Status normalized = graph.tryNormalize();
+    if (!normalized)
+        return normalized.withContext("bypassBlock '" + block_prefix +
+                                      "'");
+    return before - static_cast<int>(graph.numLayers());
 }
 
 int
 bypassBlock(Graph &graph, const std::string &block_prefix)
 {
-    const std::vector<int> block = graph.layersInStage(block_prefix);
-    if (block.empty())
-        vitdyn_fatal("bypassBlock: no layers tagged '", block_prefix, "'");
-
-    std::set<int> in_block(block.begin(), block.end());
-
-    // External producer(s) feeding the block.
-    std::set<int> external_inputs;
-    for (int id : block)
-        for (int in_id : graph.layer(id).inputs)
-            if (!in_block.count(in_id))
-                external_inputs.insert(in_id);
-    vitdyn_assert(external_inputs.size() == 1,
-                  "block '", block_prefix, "' has ",
-                  external_inputs.size(),
-                  " external inputs; need exactly 1 to bypass");
-    const int src = *external_inputs.begin();
-
-    // Block layer(s) consumed from outside.
-    std::set<int> exits;
-    for (int id : block)
-        for (int consumer : graph.consumersOf(id))
-            if (!in_block.count(consumer))
-                exits.insert(id);
-    for (int out_id : graph.outputs())
-        if (in_block.count(out_id))
-            exits.insert(out_id);
-    vitdyn_assert(exits.size() == 1, "block '", block_prefix, "' has ",
-                  exits.size(), " exit layers; need exactly 1 to bypass");
-    const int exit = *exits.begin();
-
-    vitdyn_assert(graph.layer(src).outShape == graph.layer(exit).outShape,
-                  "block '", block_prefix, "' is not shape-preserving: ",
-                  shapeToString(graph.layer(src).outShape), " vs ",
-                  shapeToString(graph.layer(exit).outShape));
-
-    // Reroute consumers and outputs, then let normalize() drop the block.
-    for (Layer &layer : graph.layers()) {
-        if (in_block.count(layer.id))
-            continue;
-        for (int &in_id : layer.inputs)
-            if (in_id == exit)
-                in_id = src;
-    }
-    std::vector<int> outputs = graph.outputs();
-    for (int &out_id : outputs)
-        if (out_id == exit)
-            out_id = src;
-    graph.setOutputs(std::move(outputs));
-
-    const int before = static_cast<int>(graph.numLayers());
-    graph.normalize();
-    return before - static_cast<int>(graph.numLayers());
+    return tryBypassBlock(graph, block_prefix).takeOrFatal();
 }
 
 int

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "graph/graph.hh"
+#include "util/status.hh"
 
 namespace vitdyn
 {
@@ -52,6 +53,43 @@ int bypassBlock(Graph &graph, const std::string &block_prefix);
  */
 int64_t pruneInputChannels(Graph &graph, const std::string &layer_name,
                            int64_t new_in_channels);
+
+/**
+ * Pre-validate a bypassBlock rewrite without mutating @p graph: checks
+ * the block exists, has exactly one external producer and one exit,
+ * and is shape-preserving. An error Status describes the first
+ * violated constraint — the surgery/engine boundary rejects a bad
+ * runtime configuration with this instead of aborting mid-rebuild.
+ */
+Status validateBypassBlock(const Graph &graph,
+                           const std::string &block_prefix);
+
+/**
+ * Pre-validate a pruneInputChannels rewrite without mutating @p graph:
+ * checks the target exists, is a prunable conv/linear, the channel
+ * count is in range, and walks the backward-propagation recursion
+ * read-only to prove the rewrite cannot hit a fatal case (e.g. a
+ * grouped conv whose output would have to shrink).
+ */
+Status validatePruneInputChannels(const Graph &graph,
+                                  const std::string &layer_name,
+                                  int64_t new_in_channels);
+
+/**
+ * Validating pruneInputChannels for runtime configurations: rejects an
+ * infeasible rewrite with a recoverable error instead of terminating.
+ * On error the graph may be partially rewritten and must be discarded
+ * (engines build a fresh graph per configuration, so nothing shared is
+ * at risk). @return MACs removed, like pruneInputChannels.
+ */
+Result<int64_t> tryPruneInputChannels(Graph &graph,
+                                      const std::string &layer_name,
+                                      int64_t new_in_channels);
+
+/** Validating bypassBlock; same contract as tryPruneInputChannels.
+ *  @return number of layers removed. */
+Result<int> tryBypassBlock(Graph &graph,
+                           const std::string &block_prefix);
 
 /**
  * Remove layers that no longer contribute to any graph output.

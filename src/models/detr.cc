@@ -346,6 +346,12 @@ buildDeformableDetr(const DetrConfig &cfg)
         memory = b.ffn(ep + ".ffn", norm, dim, cfg.ffnDim);
     }
 
+    // The pooled-sample decoder proxy gathers from the raw feature
+    // levels, so the encoder memory has no consumer inside the graph.
+    // Two-stage Deformable DETR reads it directly for proposal
+    // generation; expose it as an auxiliary output to match.
+    graph.markOutput(memory);
+
     // Decoder.
     int queries = graph.addInput("queries",
                                  {cfg.batch, cfg.numQueries, dim});

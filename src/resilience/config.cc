@@ -6,18 +6,32 @@
 namespace vitdyn
 {
 
-Graph
-applySegformerPrune(const SegformerConfig &base, const PruneConfig &config)
+namespace
+{
+
+/** Depth-range check shared by both families; error names the label. */
+Status
+validateDepths(const std::array<int64_t, 4> &depths,
+               const std::array<int64_t, 4> &base_depths,
+               const std::string &label)
+{
+    for (int i = 0; i < 4; ++i) {
+        if (depths[i] < 1 || depths[i] > base_depths[i])
+            return Status::error(detail::formatParts(
+                "prune '", label, "': stage ", i, " depth ", depths[i],
+                " outside [1, ", base_depths[i], "]"));
+    }
+    return Status::ok();
+}
+
+/** The depth/sr-adjusted SegFormer config (depths pre-validated). */
+SegformerConfig
+reducedSegformerConfig(const SegformerConfig &base,
+                       const PruneConfig &config)
 {
     SegformerConfig cfg = base;
-    for (int i = 0; i < 4; ++i) {
-        vitdyn_assert(config.depths[i] >= 1 &&
-                      config.depths[i] <= base.depths[i],
-                      "prune '", config.label, "': stage ", i, " depth ",
-                      config.depths[i], " outside [1, ", base.depths[i],
-                      "]");
+    for (int i = 0; i < 4; ++i)
         cfg.depths[i] = config.depths[i];
-    }
     if (!config.label.empty())
         cfg.name = base.name + "_" + config.label;
     if (config.srScale > 1) {
@@ -25,44 +39,159 @@ applySegformerPrune(const SegformerConfig &base, const PruneConfig &config)
             if (cfg.srRatios[i] > 1)
                 cfg.srRatios[i] *= config.srScale;
     }
+    return cfg;
+}
 
-    Graph graph = buildSegformer(cfg);
+/** The depth-adjusted Swin config (depths pre-validated). */
+SwinConfig
+reducedSwinConfig(const SwinConfig &base, const PruneConfig &config)
+{
+    SwinConfig cfg = base;
+    for (int i = 0; i < 4; ++i)
+        cfg.depths[i] = config.depths[i];
+    if (!config.label.empty())
+        cfg.name = base.name + "_" + config.label;
+    return cfg;
+}
 
+/** The channel prunes a SegFormer config asks for, post guard rules. */
+std::vector<std::pair<std::string, int64_t>>
+segformerChannelPrunes(const SegformerConfig &cfg,
+                       const PruneConfig &config)
+{
+    std::vector<std::pair<std::string, int64_t>> prunes;
     if (config.fuseInChannels > 0 &&
         config.fuseInChannels < 4 * cfg.decoderDim)
-        pruneInputChannels(graph, "Conv2DFuse", config.fuseInChannels);
+        prunes.emplace_back("Conv2DFuse", config.fuseInChannels);
     if (config.predInChannels > 0 &&
         config.predInChannels < cfg.decoderDim)
-        pruneInputChannels(graph, "Conv2DPred", config.predInChannels);
+        prunes.emplace_back("Conv2DPred", config.predInChannels);
     if (config.decodeLinear0InChannels > 0 &&
         config.decodeLinear0InChannels < cfg.embedDims[0])
-        pruneInputChannels(graph, "DecodeLinear0",
-                           config.decodeLinear0InChannels);
+        prunes.emplace_back("DecodeLinear0",
+                            config.decodeLinear0InChannels);
+    return prunes;
+}
+
+std::vector<std::pair<std::string, int64_t>>
+swinChannelPrunes(const SwinConfig &cfg, const PruneConfig &config)
+{
+    std::vector<std::pair<std::string, int64_t>> prunes;
+    if (config.fuseInChannels > 0 &&
+        config.fuseInChannels < 4 * cfg.decoderChannels)
+        prunes.emplace_back("fpn_bottleneck_Conv2D",
+                            config.fuseInChannels);
+    return prunes;
+}
+
+/** Apply @p prunes in order, stopping at the first infeasible one. */
+Result<Graph>
+applyChannelPrunes(Graph graph, const std::string &label,
+                   const std::vector<std::pair<std::string, int64_t>>
+                       &prunes)
+{
+    for (const auto &[layer_name, channels] : prunes) {
+        Result<int64_t> pruned =
+            tryPruneInputChannels(graph, layer_name, channels);
+        if (!pruned)
+            return pruned.status().withContext("prune '" + label + "'");
+    }
     return graph;
+}
+
+} // namespace
+
+Status
+validateSegformerPrune(const SegformerConfig &base,
+                       const PruneConfig &config)
+{
+    Status depths = validateDepths(config.depths, base.depths,
+                                   config.label);
+    if (!depths)
+        return depths;
+
+    // The channel prunes apply to the depth-reduced graph, so the
+    // feasibility walk must run against that graph, not the base one.
+    const SegformerConfig cfg = reducedSegformerConfig(base, config);
+    Graph graph = buildSegformer(cfg);
+    for (const auto &[layer_name, channels] :
+         segformerChannelPrunes(cfg, config)) {
+        Status valid =
+            validatePruneInputChannels(graph, layer_name, channels);
+        if (!valid)
+            return valid.withContext("prune '" + config.label + "'");
+        // Later prunes see the earlier rewrites (DecodeLinear0 shrinks
+        // a producer Conv2DFuse also reads), so commit each one to the
+        // scratch graph before validating the next.
+        Result<int64_t> applied =
+            tryPruneInputChannels(graph, layer_name, channels);
+        if (!applied)
+            return applied.status().withContext("prune '" +
+                                                config.label + "'");
+    }
+    return Status::ok();
+}
+
+Status
+validateSwinPrune(const SwinConfig &base, const PruneConfig &config)
+{
+    Status depths = validateDepths(config.depths, base.depths,
+                                   config.label);
+    if (!depths)
+        return depths;
+
+    const SwinConfig cfg = reducedSwinConfig(base, config);
+    Graph graph = buildSwin(cfg);
+    for (const auto &[layer_name, channels] :
+         swinChannelPrunes(cfg, config)) {
+        Status valid =
+            validatePruneInputChannels(graph, layer_name, channels);
+        if (!valid)
+            return valid.withContext("prune '" + config.label + "'");
+        Result<int64_t> applied =
+            tryPruneInputChannels(graph, layer_name, channels);
+        if (!applied)
+            return applied.status().withContext("prune '" +
+                                                config.label + "'");
+    }
+    return Status::ok();
+}
+
+Result<Graph>
+tryApplySegformerPrune(const SegformerConfig &base,
+                       const PruneConfig &config)
+{
+    Status depths = validateDepths(config.depths, base.depths,
+                                   config.label);
+    if (!depths)
+        return depths;
+    const SegformerConfig cfg = reducedSegformerConfig(base, config);
+    return applyChannelPrunes(buildSegformer(cfg), config.label,
+                              segformerChannelPrunes(cfg, config));
+}
+
+Result<Graph>
+tryApplySwinPrune(const SwinConfig &base, const PruneConfig &config)
+{
+    Status depths = validateDepths(config.depths, base.depths,
+                                   config.label);
+    if (!depths)
+        return depths;
+    const SwinConfig cfg = reducedSwinConfig(base, config);
+    return applyChannelPrunes(buildSwin(cfg), config.label,
+                              swinChannelPrunes(cfg, config));
+}
+
+Graph
+applySegformerPrune(const SegformerConfig &base, const PruneConfig &config)
+{
+    return tryApplySegformerPrune(base, config).takeOrFatal();
 }
 
 Graph
 applySwinPrune(const SwinConfig &base, const PruneConfig &config)
 {
-    SwinConfig cfg = base;
-    for (int i = 0; i < 4; ++i) {
-        vitdyn_assert(config.depths[i] >= 1 &&
-                      config.depths[i] <= base.depths[i],
-                      "prune '", config.label, "': stage ", i, " depth ",
-                      config.depths[i], " outside [1, ", base.depths[i],
-                      "]");
-        cfg.depths[i] = config.depths[i];
-    }
-    if (!config.label.empty())
-        cfg.name = base.name + "_" + config.label;
-
-    Graph graph = buildSwin(cfg);
-
-    if (config.fuseInChannels > 0 &&
-        config.fuseInChannels < 4 * cfg.decoderChannels)
-        pruneInputChannels(graph, "fpn_bottleneck_Conv2D",
-                           config.fuseInChannels);
-    return graph;
+    return tryApplySwinPrune(base, config).takeOrFatal();
 }
 
 std::vector<PruneConfig>

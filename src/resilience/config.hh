@@ -58,6 +58,33 @@ Graph applySegformerPrune(const SegformerConfig &base,
 /** Build a pruned Swin+UPerNet graph for @p config. */
 Graph applySwinPrune(const SwinConfig &base, const PruneConfig &config);
 
+/**
+ * Check that @p config describes a feasible SegFormer prune without
+ * committing to the surgery: depths in range and every guarded channel
+ * reduction provably applicable (validatePruneInputChannels on the
+ * depth-reduced graph). Engines call this before admitting a runtime
+ * configuration; an error names the config label and the violated
+ * constraint.
+ */
+Status validateSegformerPrune(const SegformerConfig &base,
+                              const PruneConfig &config);
+
+/** Swin+UPerNet counterpart of validateSegformerPrune. */
+Status validateSwinPrune(const SwinConfig &base,
+                         const PruneConfig &config);
+
+/**
+ * applySegformerPrune with recoverable semantics: an infeasible config
+ * yields an error Status (labelled with config.label) instead of
+ * terminating the process.
+ */
+Result<Graph> tryApplySegformerPrune(const SegformerConfig &base,
+                                     const PruneConfig &config);
+
+/** applySwinPrune with recoverable semantics. */
+Result<Graph> tryApplySwinPrune(const SwinConfig &base,
+                                const PruneConfig &config);
+
 /** Table II rows A-G: SegFormer-B2 trained on ADE20K. */
 std::vector<PruneConfig> segformerAdePruneCatalog();
 

@@ -52,6 +52,24 @@ sweepSwin(const SwinConfig &base,
                           candidates, accuracy, cost);
 }
 
+Status
+validatePrune(ModelFamily family, const SegformerConfig &seg_base,
+              const SwinConfig &swin_base, const PruneConfig &config)
+{
+    return family == ModelFamily::Segformer
+               ? validateSegformerPrune(seg_base, config)
+               : validateSwinPrune(swin_base, config);
+}
+
+Result<Graph>
+tryApplyPrune(ModelFamily family, const SegformerConfig &seg_base,
+              const SwinConfig &swin_base, const PruneConfig &config)
+{
+    return family == ModelFamily::Segformer
+               ? tryApplySegformerPrune(seg_base, config)
+               : tryApplySwinPrune(swin_base, config);
+}
+
 std::vector<PruneConfig>
 generateCandidates(const std::array<int64_t, 4> &full_depths,
                    int64_t full_fuse_channels,

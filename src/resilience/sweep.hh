@@ -52,6 +52,21 @@ sweepSwin(const SwinConfig &base,
           const AccuracyModel &accuracy, const GraphCostFn &cost);
 
 /**
+ * validateSegformerPrune / validateSwinPrune dispatched on @p family —
+ * the form engines use, since they carry a ModelFamily rather than
+ * knowing which base config is live.
+ */
+Status validatePrune(ModelFamily family, const SegformerConfig &seg_base,
+                     const SwinConfig &swin_base,
+                     const PruneConfig &config);
+
+/** tryApplySegformerPrune / tryApplySwinPrune dispatched on family. */
+Result<Graph> tryApplyPrune(ModelFamily family,
+                            const SegformerConfig &seg_base,
+                            const SwinConfig &swin_base,
+                            const PruneConfig &config);
+
+/**
  * Generate a candidate grid around the full model: combinations of
  * per-stage depth reductions (up to @p max_depth_cut layers removed
  * from each stage) crossed with decoder channel sweeps.

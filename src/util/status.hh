@@ -49,6 +49,19 @@ class Status
     /** Empty for success. */
     const std::string &message() const { return message_; }
 
+    /**
+     * This status with "@p context: " prepended to the message — the
+     * idiom for layering provenance onto an error as it crosses a
+     * boundary (e.g. "prune config 'E': conv 'Conv2DFuse' expects
+     * C=..."). OK statuses pass through unchanged.
+     */
+    Status withContext(const std::string &context) const
+    {
+        if (ok_)
+            return *this;
+        return error(context + ": " + message_);
+    }
+
   private:
     bool ok_ = true;
     std::string message_;

@@ -1,0 +1,541 @@
+/** @file Tests of the static-analysis subsystem (src/analysis/):
+ * diagnostics plumbing, every lint check family with positive and
+ * negative fixtures, the surgery pre-validators, LUT cross-checks
+ * (including a stale-cost row caught by the FLOP oracle), and the
+ * engines' lint gate (veto-and-keep-serving). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/lint.hh"
+#include "analysis/lut_check.hh"
+#include "analysis/shape_check.hh"
+#include "engine/engine.hh"
+#include "engine/model_switching.hh"
+#include "graph/surgery.hh"
+#include "obs/metrics.hh"
+#include "resilience/accuracy_model.hh"
+#include "resilience/config.hh"
+#include "util/random.hh"
+
+namespace vitdyn
+{
+namespace
+{
+
+bool
+flagged(const LintReport &report, const std::string &check)
+{
+    const auto &ds = report.diagnostics();
+    return std::any_of(ds.begin(), ds.end(), [&](const Diagnostic &d) {
+        return d.check == check;
+    });
+}
+
+/** Small but real conv pipeline: input -> conv -> bn -> relu. */
+Graph
+tinyConvNet()
+{
+    Graph g("tiny");
+    int x = g.addInput("x", {1, 8, 8, 8});
+    Layer conv;
+    conv.name = "conv";
+    conv.kind = LayerKind::Conv2d;
+    conv.attrs.inChannels = 8;
+    conv.attrs.outChannels = 16;
+    conv.attrs.kernelH = conv.attrs.kernelW = 3;
+    conv.attrs.padH = conv.attrs.padW = 1;
+    conv.inputs = {x};
+    int c = g.addLayer(std::move(conv));
+    Layer bn;
+    bn.name = "bn";
+    bn.kind = LayerKind::BatchNorm;
+    bn.attrs.inChannels = 16;
+    bn.inputs = {c};
+    int b = g.addLayer(std::move(bn));
+    Layer relu;
+    relu.name = "relu";
+    relu.kind = LayerKind::ReLU;
+    relu.inputs = {b};
+    g.markOutput(g.addLayer(std::move(relu)));
+    return g;
+}
+
+/** The engine-test SegFormer: small enough to execute in tests. */
+SegformerConfig
+tinyBase()
+{
+    SegformerConfig cfg;
+    cfg.name = "segformer_tiny_lint";
+    cfg.imageH = cfg.imageW = 64;
+    cfg.numClasses = 6;
+    cfg.embedDims = {8, 16, 24, 32};
+    cfg.depths = {2, 2, 2, 2};
+    cfg.numHeads = {1, 2, 3, 4};
+    cfg.decoderDim = 32;
+    return cfg;
+}
+
+double
+flopCost(const Graph &g)
+{
+    return static_cast<double>(g.totalFlops());
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics plumbing.
+
+TEST(Diagnostics, CountsAndCleanliness)
+{
+    LintReport report;
+    EXPECT_TRUE(report.clean());
+    EXPECT_TRUE(report.toStatus().isOk());
+
+    report.addGraph(Severity::Info, "x.info", "advisory");
+    EXPECT_TRUE(report.clean()); // Info does not dirty a report.
+    report.addGraph(Severity::Warning, "x.warn", "suspicious");
+    EXPECT_FALSE(report.clean());
+    EXPECT_FALSE(report.hasErrors());
+    report.add(Severity::Error, "x.err", 3, "layer3", "broken");
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_EQ(report.count(Severity::Info), 1u);
+    EXPECT_EQ(report.count(Severity::Warning), 1u);
+    EXPECT_EQ(report.count(Severity::Error), 1u);
+}
+
+TEST(Diagnostics, ToStatusCarriesFirstError)
+{
+    LintReport report;
+    report.addGraph(Severity::Error, "a.first", "first problem");
+    report.addGraph(Severity::Error, "a.second", "second problem");
+    Status status = report.toStatus();
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("a.first"), std::string::npos);
+    EXPECT_NE(status.message().find("first problem"), std::string::npos);
+    EXPECT_NE(status.message().find("1 more"), std::string::npos);
+}
+
+TEST(Diagnostics, CsvEscapesQuotesAndCommas)
+{
+    LintReport report;
+    report.add(Severity::Warning, "x.csv", 1, "layer,one",
+               "says \"hi\", twice");
+    const std::string csv = report.toCsv();
+    EXPECT_NE(csv.find("\"layer,one\""), std::string::npos);
+    EXPECT_NE(csv.find("\"says \"\"hi\"\", twice\""), std::string::npos);
+}
+
+TEST(Diagnostics, MergeWithContextPrefixesMessages)
+{
+    LintReport inner;
+    inner.addGraph(Severity::Error, "x.err", "boom");
+    LintReport outer;
+    outer.mergeWithContext(inner, "row 2 ('small')");
+    ASSERT_EQ(outer.diagnostics().size(), 1u);
+    EXPECT_NE(outer.diagnostics()[0].message.find("row 2 ('small')"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Structural checks.
+
+TEST(GraphLint, CleanGraphPasses)
+{
+    LintReport report = lintGraph(tinyConvNet());
+    EXPECT_TRUE(report.clean()) << report.toText();
+}
+
+TEST(GraphLint, EmptyGraphFlagged)
+{
+    Graph g("empty");
+    EXPECT_TRUE(flagged(lintGraph(g), "graph.empty"));
+}
+
+TEST(GraphLint, MissingOutputsFlagged)
+{
+    Graph g("no_out");
+    g.addInput("x", {1, 4, 4, 4});
+    EXPECT_TRUE(flagged(lintGraph(g), "graph.no-outputs"));
+}
+
+TEST(GraphLint, DanglingInputFlagged)
+{
+    Graph g = tinyConvNet();
+    g.layer(g.outputs()[0]).inputs[0] = 99;
+    LintReport report = lintGraph(g);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "graph.dangling-input"));
+}
+
+TEST(GraphLint, ForwardInputFlagged)
+{
+    Graph g = tinyConvNet();
+    // Make the conv (id 1) consume the relu (id 3): a forward edge.
+    g.layer(1).inputs[0] = 3;
+    LintReport report = lintGraph(g);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "graph.forward-input"));
+    // The forward edge also closes a cycle conv -> bn -> relu -> conv.
+    EXPECT_TRUE(flagged(report, "graph.cycle"));
+}
+
+TEST(GraphLint, UnreachableLayerIsWarning)
+{
+    Graph g = tinyConvNet();
+    Layer side;
+    side.name = "side";
+    side.kind = LayerKind::ReLU;
+    side.inputs = {0};
+    g.addLayer(std::move(side));
+    LintReport report = lintGraph(g);
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "graph.unreachable"));
+}
+
+TEST(GraphLint, DuplicateNameSeverityIsConfigurable)
+{
+    Graph g = tinyConvNet();
+    g.layer(2).name = "conv"; // Same name as layer 1: aliased weights.
+    EXPECT_TRUE(flagged(lintGraph(g), "graph.duplicate-name"));
+    EXPECT_FALSE(lintGraph(g).hasErrors());
+
+    LintOptions strict;
+    strict.duplicateNameSeverity = Severity::Error;
+    EXPECT_TRUE(lintGraph(g, strict).hasErrors());
+}
+
+TEST(GraphLint, SuppressionDropsMatchingFinding)
+{
+    Graph g = tinyConvNet();
+    Layer side;
+    side.name = "cost_only.probe";
+    side.kind = LayerKind::ReLU;
+    side.inputs = {0};
+    g.addLayer(std::move(side));
+
+    LintOptions options;
+    options.suppressions = {{"graph.unreachable", "cost_only"}};
+    EXPECT_TRUE(lintGraph(g, options).clean());
+    // The suppression is scoped: other layer names still flag.
+    options.suppressions = {{"graph.unreachable", "other"}};
+    EXPECT_FALSE(lintGraph(g, options).clean());
+}
+
+// ---------------------------------------------------------------------
+// Attribute checks (fixtures mutate attrs after insertion, since
+// addLayer() would reject them up front).
+
+TEST(AttrLint, NonDividingGroupsFlagged)
+{
+    Graph g = tinyConvNet();
+    g.layer(1).attrs.groups = 3; // Divides neither 8 nor 16.
+    LintReport report = lintGraph(g);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "attr.conv.groups"));
+}
+
+TEST(AttrLint, ZeroStrideFlagged)
+{
+    Graph g = tinyConvNet();
+    g.layer(1).attrs.strideW = 0;
+    EXPECT_TRUE(flagged(lintGraph(g), "attr.conv.stride"));
+}
+
+TEST(AttrLint, NegativePadFlagged)
+{
+    Graph g = tinyConvNet();
+    g.layer(1).attrs.padH = -1;
+    EXPECT_TRUE(flagged(lintGraph(g), "attr.conv.pad"));
+}
+
+TEST(AttrLint, NonDividingHeadsFlagged)
+{
+    Graph g("attn");
+    int x = g.addInput("tokens", {1, 16, 32});
+    Layer score;
+    score.name = "score";
+    score.kind = LayerKind::AttentionScore;
+    score.attrs.inFeatures = 32;
+    score.attrs.numHeads = 4;
+    score.inputs = {x, x};
+    g.markOutput(g.addLayer(std::move(score)));
+    EXPECT_TRUE(lintGraph(g).clean());
+
+    g.layer(1).attrs.numHeads = 5; // 32 % 5 != 0.
+    EXPECT_TRUE(flagged(lintGraph(g), "attr.attn.head-div"));
+}
+
+// ---------------------------------------------------------------------
+// Shape flow: the independent re-derivation.
+
+TEST(ShapeLint, CorruptedStoredShapeFlagged)
+{
+    Graph g = tinyConvNet();
+    g.layer(1).outShape[1] = 17; // Conv out channels are 16.
+    LintReport report = lintGraph(g);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "shape.mismatch"));
+}
+
+TEST(ShapeLint, DerivationMatchesBuilderOnRealModel)
+{
+    Graph g = buildSegformer(tinyBase());
+    for (const Layer &layer : g.layers()) {
+        if (layer.kind == LayerKind::Input)
+            continue;
+        std::vector<Shape> ins;
+        for (int id : layer.inputs)
+            ins.push_back(g.layer(id).outShape);
+        Result<Shape> derived = analysis::deriveShape(layer, ins);
+        ASSERT_TRUE(bool(derived)) << layer.name;
+        EXPECT_EQ(derived.value(), layer.outShape) << layer.name;
+    }
+}
+
+TEST(AcctLint, DerivationMatchesLayerMethodsOnRealModel)
+{
+    Graph g = buildSegformer(tinyBase());
+    for (const Layer &layer : g.layers()) {
+        EXPECT_EQ(analysis::deriveMacs(layer), layer.macs())
+            << layer.name;
+        EXPECT_EQ(analysis::deriveFlops(layer), layer.flops())
+            << layer.name;
+        EXPECT_EQ(analysis::deriveParams(layer), layer.paramCount())
+            << layer.name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Surgery pre-validation: structured errors instead of aborts.
+
+TEST(SurgeryValidate, UnknownLayerIsError)
+{
+    Graph g = tinyConvNet();
+    Status status = validatePruneInputChannels(g, "nope", 4);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("no layer named"),
+              std::string::npos);
+}
+
+TEST(SurgeryValidate, ChannelMismatchIsErrorNotAbort)
+{
+    Graph g = buildSegformer(tinyBase());
+    // 4 * decoderDim = 128 is the fuse width; 500 cannot fit.
+    Status status =
+        validatePruneInputChannels(g, "Conv2DFuse", 500);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("bad channel count"),
+              std::string::npos);
+
+    Graph copy = buildSegformer(tinyBase());
+    Result<int64_t> applied =
+        tryPruneInputChannels(copy, "Conv2DFuse", 500);
+    EXPECT_FALSE(bool(applied));
+}
+
+TEST(SurgeryValidate, ValidOpValidatesAndApplies)
+{
+    Graph g = buildSegformer(tinyBase());
+    ASSERT_TRUE(
+        validatePruneInputChannels(g, "Conv2DFuse", 64));
+    Result<int64_t> applied =
+        tryPruneInputChannels(g, "Conv2DFuse", 64);
+    ASSERT_TRUE(bool(applied)) << applied.status().message();
+    EXPECT_GT(applied.value(), 0);
+    EXPECT_TRUE(lintGraph(g).clean());
+}
+
+TEST(SurgeryValidate, BypassUnknownTagIsError)
+{
+    Graph g = tinyConvNet();
+    Status status = validateBypassBlock(g, "no_such_stage");
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("no layers tagged"),
+              std::string::npos);
+}
+
+TEST(SurgeryValidate, BadDepthsConfigIsErrorNotAbort)
+{
+    PruneConfig bad;
+    bad.label = "bad_depths";
+    bad.depths = {9, 2, 2, 2}; // Stage 0 only has 2 blocks.
+    Status status = validateSegformerPrune(tinyBase(), bad);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("outside [1,"), std::string::npos);
+
+    Result<Graph> built = tryApplySegformerPrune(tinyBase(), bad);
+    EXPECT_FALSE(bool(built));
+}
+
+// ---------------------------------------------------------------------
+// LUT cross-checks.
+
+/** LUT points whose stored costs come from the real FLOP oracle. */
+std::vector<TradeoffPoint>
+honestPoints(const SegformerConfig &base)
+{
+    std::vector<PruneConfig> configs(2);
+    configs[0].label = "full";
+    configs[0].depths = {2, 2, 2, 2};
+    configs[1].label = "small";
+    configs[1].depths = {1, 1, 1, 1};
+    configs[1].fuseInChannels = 64;
+
+    const double full_flops = flopCost(buildSegformer(base));
+    std::vector<TradeoffPoint> points;
+    double miou = 1.0;
+    for (const PruneConfig &config : configs) {
+        TradeoffPoint p;
+        p.config = config;
+        p.absoluteUtil = flopCost(applySegformerPrune(base, config));
+        p.normalizedUtil = p.absoluteUtil / full_flops;
+        p.normalizedMiou = miou;
+        miou -= 0.2;
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+TEST(LutCheck, HonestLutPassesWithCostOracle)
+{
+    AccuracyResourceLut lut(honestPoints(tinyBase()), "flops");
+    LutCheckOptions options;
+    options.cost = flopCost;
+    LintReport report = checkLut(lut, ModelFamily::Segformer,
+                                 tinyBase(), SwinConfig{}, options);
+    EXPECT_TRUE(report.clean()) << report.toText();
+}
+
+TEST(LutCheck, StaleCostRowFlagged)
+{
+    auto points = honestPoints(tinyBase());
+    // Stale row: stored cost halved, as if swept from older code.
+    points[1].absoluteUtil *= 0.5;
+    AccuracyResourceLut lut(points, "flops");
+    LutCheckOptions options;
+    options.cost = flopCost;
+    LintReport report = checkLut(lut, ModelFamily::Segformer,
+                                 tinyBase(), SwinConfig{}, options);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "lut.stale-cost")) << report.toText();
+}
+
+TEST(LutCheck, InfeasibleConfigRowFlagged)
+{
+    auto points = honestPoints(tinyBase());
+    points[1].config.depths = {7, 7, 7, 7};
+    AccuracyResourceLut lut(points, "flops");
+    LintReport report = checkLut(lut, ModelFamily::Segformer,
+                                 tinyBase(), SwinConfig{}, {});
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "lut.config")) << report.toText();
+}
+
+TEST(LutCheck, NormalizedCostDriftWarnsWithoutOracle)
+{
+    auto points = honestPoints(tinyBase());
+    points[1].normalizedUtil = 0.01; // Way off the real FLOP ratio.
+    AccuracyResourceLut lut(points, "flops");
+    LintReport report = checkLut(lut, ModelFamily::Segformer,
+                                 tinyBase(), SwinConfig{}, {});
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "lut.flop-drift")) << report.toText();
+}
+
+TEST(LutCheck, EmptyLutFlagged)
+{
+    AccuracyResourceLut lut;
+    LintReport report = checkLut(lut, ModelFamily::Segformer,
+                                 tinyBase(), SwinConfig{}, {});
+    EXPECT_TRUE(flagged(report, "lut.empty"));
+}
+
+// ---------------------------------------------------------------------
+// Engine lint gate: veto the bad config, keep serving on the rest.
+
+TEST(EngineLintGate, StaleLutRowIsVetoedAndEngineStillServes)
+{
+    auto points = honestPoints(tinyBase());
+    points[1].absoluteUtil *= 0.5; // Stale FLOP entry for "small".
+    AccuracyResourceLut lut(points, "flops");
+
+    DrtEngineOptions options;
+    options.prewarm = false;
+    options.lint.cost = flopCost;
+    DrtEngine engine(ModelFamily::Segformer, tinyBase(), SwinConfig{},
+                     std::move(lut), 17, options);
+
+    ASSERT_EQ(engine.numPaths(), 2u);
+    // The stale row sorted to index 0 (it claims half its real cost).
+    EXPECT_EQ(engine.numVetoed(), 1u);
+    EXPECT_TRUE(engine.isVetoed(0));
+    EXPECT_TRUE(engine.isQuarantined(0));
+    EXPECT_FALSE(engine.isVetoed(1));
+
+    // A budget that nominally selects the vetoed path must be served
+    // by a healthy one instead of aborting.
+    Rng rng(5);
+    Tensor image = Tensor::randn({1, 3, 64, 64}, rng);
+    DrtResult result = engine.infer(image, 1.0e18);
+    EXPECT_TRUE(result.healthy);
+    EXPECT_EQ(result.configLabel, "full");
+}
+
+TEST(EngineLintGate, InfeasibleConfigVetoedWithoutCostOracle)
+{
+    auto points = honestPoints(tinyBase());
+    points[1].config.depths = {9, 9, 9, 9};
+    AccuracyResourceLut lut(points, "flops");
+
+    DrtEngineOptions options;
+    options.prewarm = false;
+    DrtEngine engine(ModelFamily::Segformer, tinyBase(), SwinConfig{},
+                     std::move(lut), 17, options);
+    EXPECT_EQ(engine.numVetoed(), 1u);
+}
+
+TEST(EngineLintGate, AllRowsVetoedFailsCreateRecoverably)
+{
+    auto points = honestPoints(tinyBase());
+    for (TradeoffPoint &p : points)
+        p.config.depths = {9, 9, 9, 9};
+    AccuracyResourceLut lut(points, "flops");
+
+    Result<std::unique_ptr<DrtEngine>> engine =
+        DrtEngine::create(ModelFamily::Segformer, tinyBase(),
+                          SwinConfig{}, std::move(lut), 17, {});
+    ASSERT_FALSE(bool(engine));
+    EXPECT_NE(engine.status().message().find("failed lint"),
+              std::string::npos);
+}
+
+TEST(EngineLintGate, ModelSwitchingDropsInfeasibleCandidate)
+{
+    Counter &dropped = MetricsRegistry::instance().counter(
+        "lint.dropped_candidates");
+    const uint64_t before = dropped.value();
+
+    std::vector<TrainedVariant> variants(1);
+    variants[0].name = "tiny";
+    variants[0].normalizedMiou = 1.0;
+    variants[0].segConfig = tinyBase();
+
+    std::vector<PruneConfig> candidates(2);
+    candidates[0].label = "ok";
+    candidates[0].depths = {1, 1, 1, 1};
+    candidates[1].label = "broken";
+    candidates[1].depths = {9, 9, 9, 9};
+
+    AccuracyModel accuracy(PrunedModelKind::SegformerB2Ade);
+    ModelSwitchingEngine engine(ModelFamily::Segformer, variants,
+                                candidates, accuracy, flopCost);
+    EXPECT_EQ(dropped.value(), before + 1);
+
+    // The surviving frontier still answers budget queries.
+    auto choice = engine.select(1.0e18);
+    EXPECT_FALSE(choice.name.empty());
+}
+
+} // namespace
+} // namespace vitdyn

@@ -278,9 +278,10 @@ TEST(LutCsv, RoundTripFuzz)
             rng.uniformInt(0, static_cast<int64_t>(csv.size())));
         Result<AccuracyResourceLut> chopped =
             AccuracyResourceLut::fromCsv(csv.substr(0, cut));
-        if (chopped.isOk())
+        if (chopped.isOk()) {
             EXPECT_LE(chopped.value().entries().size(),
                       lut.entries().size());
+        }
     }
 }
 

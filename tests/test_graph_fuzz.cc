@@ -1,11 +1,15 @@
 /** @file Property tests over randomly generated graphs: normalize
  * idempotence, executor/shape-inference agreement, surgery safety,
- * and a conv-vs-im2col cross-check of the reference kernels. */
+ * linter soundness (clean graphs execute, corrupted graphs are
+ * flagged), and a conv-vs-im2col cross-check of the reference
+ * kernels. */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "analysis/lint.hh"
 #include "graph/executor.hh"
 #include "graph/surgery.hh"
 #include "tensor/ops.hh"
@@ -129,6 +133,91 @@ TEST_P(GraphFuzz, PruneLastConvStillRuns)
     const Shape &in = g.layer(g.inputs()[0]).outShape;
     Tensor out = exec.runSimple(Tensor::randn(in, rng));
     EXPECT_EQ(out.shape(), g.layer(g.outputs()[0]).outShape);
+}
+
+/** True when any finding carries the given check id. */
+bool
+flagged(const LintReport &report, const std::string &check)
+{
+    const auto &ds = report.diagnostics();
+    return std::any_of(ds.begin(), ds.end(), [&](const Diagnostic &d) {
+        return d.check == check;
+    });
+}
+
+/** Linter-clean property: every generated pipeline passes the full
+ *  battery, and a clean verdict implies the executor builds and runs
+ *  to the inferred output shape. */
+TEST_P(GraphFuzz, LinterCleanImpliesExecutable)
+{
+    Graph g = randomPipeline(GetParam());
+    LintReport report = lintGraph(g);
+    ASSERT_TRUE(report.clean()) << report.toText();
+
+    Executor exec(g, GetParam());
+    Rng rng(GetParam() + 3);
+    const Shape &in = g.layer(g.inputs()[0]).outShape;
+    Tensor out = exec.runSimple(Tensor::randn(in, rng));
+    EXPECT_EQ(out.shape(), g.layer(g.outputs()[0]).outShape);
+}
+
+/** Surgery preserves lint-cleanliness: pruned graphs still pass. */
+TEST_P(GraphFuzz, LinterCleanAfterPrune)
+{
+    Graph g = randomPipeline(GetParam());
+    int target = -1;
+    for (const Layer &l : g.layers())
+        if (l.kind == LayerKind::Conv2d && l.attrs.inChannels > 4 &&
+            l.attrs.groups == 1)
+            target = l.id;
+    if (target < 0)
+        GTEST_SKIP() << "no prunable conv in this pipeline";
+
+    const std::string name = g.layer(target).name;
+    pruneInputChannels(g, name, g.layer(target).attrs.inChannels / 2);
+    LintReport report = lintGraph(g);
+    EXPECT_TRUE(report.clean()) << report.toText();
+}
+
+/** A corrupted stored shape must be caught by the independent
+ *  re-derivation (the executor would read this shape for buffers). */
+TEST_P(GraphFuzz, CorruptedShapeIsFlagged)
+{
+    Graph g = randomPipeline(GetParam());
+    Layer &victim = g.layer(g.outputs()[0]);
+    victim.outShape[1] += 1;
+    LintReport report = lintGraph(g);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "shape.mismatch")) << report.toText();
+}
+
+/** A corrupted edge (dangling producer id) must be caught. */
+TEST_P(GraphFuzz, CorruptedEdgeIsFlagged)
+{
+    Graph g = randomPipeline(GetParam());
+    Layer &victim = g.layer(g.outputs()[0]);
+    victim.inputs[0] = static_cast<int>(g.numLayers()) + 41;
+    LintReport report = lintGraph(g);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "graph.dangling-input"))
+        << report.toText();
+}
+
+/** Corrupted conv attributes (zero stride) must be caught. */
+TEST_P(GraphFuzz, CorruptedAttrsAreFlagged)
+{
+    Graph g = randomPipeline(GetParam());
+    int conv = -1;
+    for (const Layer &l : g.layers())
+        if (l.kind == LayerKind::Conv2d)
+            conv = l.id;
+    if (conv < 0)
+        GTEST_SKIP() << "no conv in this pipeline";
+
+    g.layer(conv).attrs.strideH = 0;
+    LintReport report = lintGraph(g);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "attr.conv.stride")) << report.toText();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz,

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * vitdyn_lint: run the static-analysis battery (src/analysis/) over
+ * every registered model builder and every published Pareto frontier.
+ *
+ * Usage:
+ *   vitdyn_lint                 # lint everything, text report
+ *   vitdyn_lint --filter swin   # only targets whose name contains
+ *                               # "swin"
+ *   vitdyn_lint --csv           # machine-readable findings
+ *   vitdyn_lint --strict        # exit nonzero on warnings too
+ *
+ * Exit status: 0 when no Error findings (no Warning findings either
+ * under --strict), 1 otherwise — suitable as a CI gate.
+ */
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hh"
+#include "analysis/lut_check.hh"
+#include "models/detr.hh"
+#include "models/ofa.hh"
+#include "models/pvt.hh"
+#include "models/resnet.hh"
+#include "models/segformer.hh"
+#include "models/swin.hh"
+#include "models/vit.hh"
+#include "resilience/accuracy_model.hh"
+#include "resilience/config.hh"
+#include "resilience/sweep.hh"
+#include "util/args.hh"
+
+namespace
+{
+
+using vitdyn::Graph;
+
+/** One named graph to lint. */
+struct Target
+{
+    std::string name;
+    std::function<Graph()> build;
+    vitdyn::LintOptions lint;
+};
+
+std::vector<Target>
+builderTargets()
+{
+    using namespace vitdyn;
+    std::vector<Target> targets;
+    auto add = [&](std::string name, std::function<Graph()> build) {
+        targets.push_back({std::move(name), std::move(build), {}});
+    };
+
+    add("segformer_b0", [] { return buildSegformer(segformerB0Config()); });
+    add("segformer_b1", [] { return buildSegformer(segformerB1Config()); });
+    add("segformer_b2", [] { return buildSegformer(segformerB2Config()); });
+    add("segformer_b3", [] { return buildSegformer(segformerB3Config()); });
+    add("segformer_b4", [] { return buildSegformer(segformerB4Config()); });
+    add("segformer_b5", [] { return buildSegformer(segformerB5Config()); });
+    add("segformer_b2_cityscapes",
+        [] { return buildSegformer(segformerB2CityscapesConfig()); });
+
+    add("swin_tiny", [] { return buildSwin(swinTinyConfig()); });
+    add("swin_small", [] { return buildSwin(swinSmallConfig()); });
+    add("swin_base", [] { return buildSwin(swinBaseConfig()); });
+
+    add("resnet50", [] { return buildResnet(ResnetConfig{}); });
+    add("resnet50_headless", [] {
+        ResnetConfig cfg;
+        cfg.headless = true;
+        return buildResnet(cfg);
+    });
+
+    add("detr", [] { return buildDetr(detrConfig()); });
+    add("deformable_detr",
+        [] { return buildDeformableDetr(deformableDetrConfig()); });
+    // The deformable-attention proxy keeps the real model's
+    // sampling-offset / attention-weight projections purely for their
+    // MAC contribution — nothing consumes them by construction.
+    targets.back().lint.suppressions = {
+        {"graph.unreachable", "sampling_offsets"},
+        {"graph.unreachable", "attention_weights"},
+    };
+
+    add("vit_b16", [] { return buildVit(vitB16Config()); });
+    add("vit_l16", [] { return buildVit(vitL16Config()); });
+    add("bert_base", [] { return buildBert(BertConfig{}); });
+
+    add("pvt_tiny", [] { return buildPvt(pvtTinyConfig()); });
+    add("pvt_small", [] { return buildPvt(pvtSmallConfig()); });
+
+    for (const OfaSubnet &subnet : ofaResnet50Catalog()) {
+        ResnetConfig cfg = subnet.config;
+        add("ofa_" + subnet.name,
+            [cfg] { return buildResnet(cfg); });
+    }
+    return targets;
+}
+
+/** One published frontier: swept into a LUT, then cross-checked. */
+struct FrontierTarget
+{
+    std::string name;
+    std::function<vitdyn::LintReport()> check;
+};
+
+std::vector<FrontierTarget>
+frontierTargets()
+{
+    using namespace vitdyn;
+    const GraphCostFn flops = [](const Graph &g) {
+        return static_cast<double>(g.totalFlops());
+    };
+
+    std::vector<FrontierTarget> targets;
+    auto add_segformer = [&](std::string name, SegformerConfig base,
+                             std::vector<PruneConfig> catalog,
+                             PrunedModelKind kind) {
+        targets.push_back(
+            {std::move(name),
+             [base, catalog = std::move(catalog), kind, flops] {
+                 AccuracyModel accuracy(kind);
+                 AccuracyResourceLut lut(
+                     sweepSegformer(base, catalog, accuracy, flops),
+                     "flops");
+                 LutCheckOptions options;
+                 options.cost = flops;
+                 return checkLut(lut, ModelFamily::Segformer, base,
+                                 SwinConfig{}, options);
+             }});
+    };
+    auto add_swin = [&](std::string name, SwinConfig base,
+                        std::vector<PruneConfig> catalog,
+                        PrunedModelKind kind) {
+        targets.push_back(
+            {std::move(name),
+             [base, catalog = std::move(catalog), kind, flops] {
+                 AccuracyModel accuracy(kind);
+                 AccuracyResourceLut lut(
+                     sweepSwin(base, catalog, accuracy, flops),
+                     "flops");
+                 LutCheckOptions options;
+                 options.cost = flops;
+                 return checkLut(lut, ModelFamily::Swin,
+                                 SegformerConfig{}, base, options);
+             }});
+    };
+
+    add_segformer("frontier_segformer_b2_ade", segformerB2Config(),
+                  segformerAdePruneCatalog(),
+                  PrunedModelKind::SegformerB2Ade);
+    add_segformer("frontier_segformer_b2_cityscapes",
+                  segformerB2CityscapesConfig(),
+                  segformerCityscapesPruneCatalog(),
+                  PrunedModelKind::SegformerB2Cityscapes);
+    add_swin("frontier_swin_base", swinBaseConfig(),
+             swinBasePruneCatalog(), PrunedModelKind::SwinBaseAde);
+    add_swin("frontier_swin_tiny", swinTinyConfig(),
+             swinTinyPruneCatalog(), PrunedModelKind::SwinTinyAde);
+    return targets;
+}
+
+bool
+matches(const std::string &name, const std::string &filter)
+{
+    return filter.empty() || name.find(filter) != std::string::npos;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vitdyn;
+
+    ArgParser args;
+    args.addOption("filter", "",
+                   "only lint targets whose name contains this");
+    args.addFlag("csv", "emit findings as CSV instead of text");
+    args.addFlag("strict", "exit nonzero on warnings too");
+    args.parse(argc, argv);
+
+    const std::string filter = args.get("filter");
+    const bool csv = args.getFlag("csv");
+
+    LintReport all;
+    size_t checked = 0;
+
+    for (const Target &target : builderTargets()) {
+        if (!matches(target.name, filter))
+            continue;
+        Graph graph = target.build();
+        LintReport report = lintGraph(graph, target.lint);
+        ++checked;
+        if (!csv)
+            std::cout << (report.clean() ? "ok   " : "FAIL ")
+                      << target.name << " (" << graph.numLayers()
+                      << " layers, " << graph.totalFlops() / 1.0e9
+                      << " GFLOPs)\n";
+        all.mergeWithContext(report, target.name);
+    }
+
+    for (const FrontierTarget &target : frontierTargets()) {
+        if (!matches(target.name, filter))
+            continue;
+        LintReport report = target.check();
+        ++checked;
+        if (!csv)
+            std::cout << (report.clean() ? "ok   " : "FAIL ")
+                      << target.name << "\n";
+        all.mergeWithContext(report, target.name);
+    }
+
+    if (csv) {
+        std::cout << all.toCsv();
+    } else {
+        if (!all.diagnostics().empty())
+            std::cout << "\n" << all.toText();
+        std::cout << "\n"
+                  << checked << " target(s) checked: "
+                  << all.count(Severity::Error) << " error(s), "
+                  << all.count(Severity::Warning) << " warning(s), "
+                  << all.count(Severity::Info) << " note(s)\n";
+    }
+
+    if (all.hasErrors())
+        return 1;
+    if (args.getFlag("strict") && !all.clean())
+        return 1;
+    return 0;
+}

@@ -507,6 +507,160 @@ DrtEngine::inferImpl(const Tensor &image, double resource_budget)
     return result;
 }
 
+bool
+DrtEngine::allServableQuarantined() const
+{
+    for (size_t i = 0; i < quarantinedUntil_.size(); ++i)
+        if (!configVetoed_[i] && quarantinedUntil_[i] <= frame_)
+            return false;
+    return true;
+}
+
+Result<DrtResult>
+DrtEngine::tryInfer(const Tensor &image, double resource_budget,
+                    Deadline deadline)
+{
+    std::vector<Deadline> deadlines;
+    if (deadlineSet(deadline))
+        deadlines.push_back(deadline);
+    std::vector<Result<DrtResult>> out =
+        tryInferBatch({image}, resource_budget, deadlines);
+    vitdyn_assert(out.size() == 1, "single-image batch desync");
+    return std::move(out.front());
+}
+
+std::vector<Result<DrtResult>>
+DrtEngine::tryInferBatch(const std::vector<Tensor> &images,
+                         double resource_budget,
+                         const std::vector<Deadline> &deadlines)
+{
+    vitdyn_assert(deadlines.empty() ||
+                      deadlines.size() == images.size(),
+                  "deadlines must be empty or parallel to images");
+
+    MetricsRegistry &metrics = MetricsRegistry::instance();
+    static Counter &frames = metrics.counter("drt.frames");
+    static Counter &retries_total = metrics.counter("drt.retries");
+    static Counter &misses = metrics.counter("drt.budget_misses");
+    static Counter &unhealthy = metrics.counter("drt.unhealthy_frames");
+    static Counter &degraded = metrics.counter("drt.degraded_frames");
+    static Counter &deadline_misses =
+        metrics.counter("drt.deadline_exceeded");
+    static Counter &quarantine_rejects =
+        metrics.counter("drt.quarantine_rejects");
+    static Counter &quarantines =
+        metrics.counter("drt.quarantine_entries");
+    static Histogram &latency =
+        metrics.histogram("drt.frame_latency_ms");
+    static Histogram &batch_size = metrics.histogram(
+        "drt.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+
+    Tracer &tracer = Tracer::instance();
+    ScopedSpan span(tracer, "drt.infer_batch", "engine");
+    if (span.active()) {
+        span.arg("batch", static_cast<uint64_t>(images.size()));
+        span.arg("budget", resource_budget);
+    }
+    batch_size.observe(static_cast<double>(images.size()));
+
+    std::vector<Result<DrtResult>> out;
+    out.reserve(images.size());
+
+    bool met = false;
+    const size_t first_choice = lookupIndex(resource_budget, &met);
+    // One reroute budget for the whole dispatch: a batch is a single
+    // engine interaction, so a flapping path cannot consume
+    // maxRetries extra executions per image.
+    int attempts = 0;
+
+    for (size_t i = 0; i < images.size(); ++i) {
+        const Deadline d = deadlines.empty() ? Deadline{} : deadlines[i];
+        if (deadlineExpired(d)) {
+            deadline_misses.add();
+            out.emplace_back(Status::error(
+                StatusCode::DeadlineExceeded,
+                "deadline expired before execution"));
+            continue;
+        }
+        if (allServableQuarantined()) {
+            quarantine_rejects.add();
+            out.emplace_back(Status::error(
+                StatusCode::Quarantined,
+                "every servable execution path is quarantined"));
+            continue;
+        }
+
+        ++frame_;
+        const uint64_t t0 = tracer.now();
+        const int attempts_before = attempts;
+        bool img_met = false;
+        size_t index = lookupHealthyIndex(resource_budget, &img_met);
+        DrtResult r;
+        Status failure;
+        while (true) {
+            r = runPath(index, images[i]);
+            if (r.healthy || !resilience_.enabled ||
+                attempts >= resilience_.maxRetries)
+                break;
+            quarantinedUntil_[index] =
+                frame_ +
+                static_cast<uint64_t>(resilience_.probationFrames);
+            quarantines.add();
+            tracer.instant("drt.quarantine", "engine");
+            warn("DRT path '", r.configLabel,
+                 "' failed health checks mid-batch; quarantined for ",
+                 resilience_.probationFrames,
+                 " frames, rerouting in-flight requests");
+            ++attempts;
+            if (allServableQuarantined()) {
+                quarantine_rejects.add();
+                failure = Status::error(
+                    StatusCode::Quarantined,
+                    "quarantine reroute exhausted every servable "
+                    "execution path");
+                break;
+            }
+            if (deadlineExpired(d)) {
+                deadline_misses.add();
+                failure = Status::error(
+                    StatusCode::DeadlineExceeded,
+                    "deadline expired during quarantine reroute");
+                break;
+            }
+            index = lookupHealthyIndex(resource_budget, &img_met);
+        }
+        if (!failure.isOk()) {
+            out.emplace_back(failure);
+            continue;
+        }
+        if (!r.healthy && resilience_.enabled) {
+            // Retry budget spent: deliver best effort, but keep the
+            // failing path out of rotation (inferImpl semantics).
+            quarantinedUntil_[index] =
+                frame_ +
+                static_cast<uint64_t>(resilience_.probationFrames);
+            quarantines.add();
+            tracer.instant("drt.quarantine", "engine");
+        }
+        r.budgetMet = img_met;
+        r.retries = attempts - attempts_before;
+        r.degraded = index != first_choice;
+        r.quarantinedPaths = numQuarantined();
+
+        frames.add();
+        retries_total.add(static_cast<uint64_t>(r.retries));
+        if (!r.budgetMet)
+            misses.add();
+        if (!r.healthy)
+            unhealthy.add();
+        if (r.degraded)
+            degraded.add();
+        latency.observe(static_cast<double>(tracer.now() - t0) / 1e6);
+        out.emplace_back(std::move(r));
+    }
+    return out;
+}
+
 const Graph &
 DrtEngine::pathGraph(size_t index) const
 {

@@ -38,6 +38,7 @@
 #include "fault/fault.hh"
 #include "graph/executor.hh"
 #include "resilience/sweep.hh"
+#include "util/deadline.hh"
 #include "util/status.hh"
 
 namespace vitdyn
@@ -179,6 +180,47 @@ class DrtEngine
      * histogram (p50/p95/p99).
      */
     DrtResult infer(const Tensor &image, double resource_budget);
+
+    /**
+     * Serving variant of infer(): takes an optional wall-clock
+     * deadline and reports failure as a typed recoverable Status
+     * instead of best-effort output. Distinct codes let the caller
+     * dispatch:
+     *  - StatusCode::DeadlineExceeded — the deadline passed before
+     *    the image ran (or between quarantine retries); nothing more
+     *    is executed for it;
+     *  - StatusCode::Quarantined — every path that could serve the
+     *    request is out of rotation (lint veto or health probation).
+     * On success the DrtResult is exactly what infer() would have
+     * produced, including the degraded/retries reroute accounting.
+     */
+    Result<DrtResult> tryInfer(const Tensor &image,
+                               double resource_budget,
+                               Deadline deadline = {});
+
+    /**
+     * One dynamic-batch dispatch: every image runs on the single
+     * execution path selected for @p resource_budget (the serve/
+     * scheduler groups compatible requests up front), through one
+     * executor acquire on the WeightStore-backed LRU. Per-image
+     * outcomes: a mid-batch health failure quarantines the path and
+     * reroutes the remaining images to the next healthy config
+     * (bounded by the resilience maxRetries budget across the batch);
+     * an image whose entry in @p deadlines (parallel to @p images;
+     * empty = no deadlines) expires before it runs gets
+     * StatusCode::DeadlineExceeded and never executes.
+     */
+    std::vector<Result<DrtResult>>
+    tryInferBatch(const std::vector<Tensor> &images,
+                  double resource_budget,
+                  const std::vector<Deadline> &deadlines = {});
+
+    /**
+     * True when no path is currently servable: every non-vetoed
+     * config is in health probation (or everything is vetoed). The
+     * admission controller's signal to reject instead of queue.
+     */
+    bool allServableQuarantined() const;
 
     /** Install the degradation policy; propagates the health-check
      *  config to every path executor. */

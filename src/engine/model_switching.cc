@@ -199,6 +199,41 @@ ModelSwitchingEngine::acquireExecutor(const Choice &choice) const
     return m;
 }
 
+Result<std::shared_ptr<ModelSwitchingEngine::MaterializedChoice>>
+ModelSwitchingEngine::tryAcquireExecutor(const Choice &choice,
+                                         Deadline deadline) const
+{
+    if (deadlineExpired(deadline))
+        return Status::error(
+            StatusCode::DeadlineExceeded,
+            "deadline expired before materializing '" + choice.name +
+                "'");
+
+    bool known = false;
+    if (choice.isTrainedVariant) {
+        for (const TrainedVariant &variant : variants_)
+            known = known || variant.name == choice.name;
+    } else {
+        for (const PruneConfig &candidate : candidates_)
+            known = known || candidate.label == choice.name;
+    }
+    if (!known)
+        return Status::error(StatusCode::Rejected,
+                             "unknown " +
+                                 std::string(choice.isTrainedVariant
+                                                 ? "trained variant '"
+                                                 : "pruned path '") +
+                                 choice.name + "'");
+
+    std::shared_ptr<MaterializedChoice> m = acquireExecutor(choice);
+    if (deadlineExpired(deadline))
+        return Status::error(StatusCode::DeadlineExceeded,
+                             "deadline expired while materializing '" +
+                                 choice.name +
+                                 "' (executor cached for retry)");
+    return m;
+}
+
 std::vector<TrainedVariant>
 segformerTrainedVariants(bool cityscapes)
 {

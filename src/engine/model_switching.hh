@@ -20,6 +20,8 @@
 #include "engine/lut.hh"
 #include "graph/executor.hh"
 #include "resilience/sweep.hh"
+#include "util/deadline.hh"
+#include "util/status.hh"
 
 namespace vitdyn
 {
@@ -98,6 +100,20 @@ class ModelSwitchingEngine
      */
     std::shared_ptr<MaterializedChoice>
     acquireExecutor(const Choice &choice) const;
+
+    /**
+     * Serving variant of acquireExecutor with an optional wall-clock
+     * deadline and typed recoverable errors instead of process
+     * aborts: StatusCode::DeadlineExceeded when the deadline already
+     * passed before materialization (the expensive step) or expired
+     * while it ran — the LRU entry stays warm either way, so a retry
+     * is a cache hit — and StatusCode::Rejected when the choice names
+     * neither a trained variant nor a pruning candidate (a malformed
+     * request must not take a server down).
+     */
+    Result<std::shared_ptr<MaterializedChoice>>
+    tryAcquireExecutor(const Choice &choice,
+                       Deadline deadline = {}) const;
 
     /** Weight-synthesis seed used by acquireExecutor (default 1). */
     void setExecutorSeed(uint64_t seed) { seed_ = seed; }

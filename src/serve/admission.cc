@@ -1,0 +1,136 @@
+#include "serve/admission.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+AdmissionController::AdmissionController(const AccuracyResourceLut &lut,
+                                         AdmissionOptions options)
+    : lut_(lut), options_(options)
+{
+    vitdyn_assert(!lut_.empty(),
+                  "AdmissionController needs a non-empty LUT");
+    vitdyn_assert(options_.queueCapacity > 0,
+                  "queueCapacity must be >= 1");
+    vitdyn_assert(options_.deadlineSafety >= 1.0,
+                  "deadlineSafety must be >= 1");
+}
+
+size_t
+AdmissionController::indexForBudget(double budget, bool *met) const
+{
+    const std::vector<LutEntry> &entries = lut_.entries();
+    size_t best = entries.size();
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].resourceCost > budget)
+            break; // ascending cost: nothing later fits either
+        if (best == entries.size() ||
+            entries[i].accuracyEstimate >
+                entries[best].accuracyEstimate)
+            best = i;
+    }
+    if (best < entries.size()) {
+        if (met)
+            *met = true;
+        return best;
+    }
+    if (met)
+        *met = false;
+    return 0; // cheapest is the budget floor
+}
+
+AdmissionDecision
+AdmissionController::decide(double requested_budget, ServeClass cls,
+                            Deadline deadline, Deadline now,
+                            const HealthSignals &signals) const
+{
+    AdmissionDecision decision;
+
+    // Predicted wall-clock wait before this request would dispatch:
+    // everything queued plus everything mid-flight, at the measured
+    // wall-ms-per-cost-unit rate.
+    const double wait_ms =
+        (signals.backlogCost + signals.inflightCost) *
+        signals.costScale;
+    const double retry_after =
+        std::max(options_.minRetryAfterMs, wait_ms);
+
+    // 1. Hard backpressure.
+    if (signals.queueDepth >= options_.queueCapacity) {
+        decision.status = Status::error(
+            StatusCode::Rejected, "serve queue at capacity");
+        decision.retryAfterMs = retry_after;
+        return decision;
+    }
+    if (signals.totalPaths > 0 &&
+        signals.quarantinedPaths >= signals.totalPaths) {
+        decision.status = Status::error(
+            StatusCode::Quarantined,
+            "every execution path is quarantined");
+        decision.retryAfterMs = retry_after;
+        return decision;
+    }
+
+    // 2. Graceful degradation: congestion pressure scales the budget
+    // down so heavier load slides requests toward cheaper frontier
+    // entries before anything is rejected.
+    const double queue_pressure =
+        static_cast<double>(signals.queueDepth) /
+        static_cast<double>(options_.queueCapacity);
+    const double pool_pressure =
+        signals.poolQueueDepth /
+        std::max(1, signals.poolThreads);
+    const double quarantine_pressure =
+        signals.totalPaths > 0
+            ? static_cast<double>(signals.quarantinedPaths) /
+                  static_cast<double>(signals.totalPaths)
+            : 0.0;
+    const double pressure =
+        (options_.queuePressureWeight * queue_pressure +
+         options_.poolPressureWeight * pool_pressure +
+         options_.quarantinePressureWeight * quarantine_pressure) *
+        options_.classPressure[static_cast<size_t>(cls)];
+
+    double effective = requested_budget / (1.0 + pressure);
+
+    // 3. Deadline feasibility: after the predicted wait, how much
+    // model can the remaining time still afford?
+    if (deadlineSet(deadline)) {
+        const double remaining_ms = msUntil(deadline, now);
+        const double affordable =
+            (remaining_ms - wait_ms) /
+            (std::max(signals.costScale, 1e-9) *
+             options_.deadlineSafety);
+        if (affordable < lut_.cheapest().resourceCost) {
+            decision.status = Status::error(
+                StatusCode::Rejected,
+                "deadline infeasible even on the cheapest config");
+            decision.retryAfterMs = retry_after;
+            return decision;
+        }
+        effective = std::min(effective, affordable);
+    }
+
+    bool met = false;
+    decision.configIndex = indexForBudget(effective, &met);
+    const LutEntry &chosen = lut_.entries()[decision.configIndex];
+    decision.effectiveBudget = effective;
+    decision.estimatedCost = chosen.resourceCost;
+
+    // Downgraded relative to what the raw budget buys on an idle
+    // system — the "walked down the frontier" marker.
+    bool ideal_met = false;
+    const size_t ideal =
+        indexForBudget(requested_budget, &ideal_met);
+    decision.downgraded =
+        lut_.entries()[ideal].accuracyEstimate >
+        chosen.accuracyEstimate;
+
+    decision.status = Status::ok();
+    return decision;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,191 @@
+#include "serve/request_queue.hh"
+
+#include "obs/metrics.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/** No-deadline requests wait behind every dated one. */
+Deadline
+normalizedDeadline(const QueuedRequest &request)
+{
+    return deadlineSet(request.deadline) ? request.deadline
+                                         : Deadline::max();
+}
+
+Gauge &
+depthGauge()
+{
+    static Gauge &gauge =
+        MetricsRegistry::instance().gauge("serve.queue_depth");
+    return gauge;
+}
+
+} // namespace
+
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity)
+{
+    depthGauge().set(0.0);
+}
+
+RequestQueue::Key
+RequestQueue::makeKey(const QueuedRequest &request, uint64_t seq)
+{
+    return {normalizedDeadline(request), seq};
+}
+
+bool
+RequestQueue::push(QueuedRequest &&request)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || size_ >= capacity_)
+            return false;
+        const size_t cls = static_cast<size_t>(request.priority);
+        backlog_[cls] += request.estimatedCost;
+        classes_[cls].emplace(makeKey(request, seq_++),
+                              std::move(request));
+        ++size_;
+        depthGauge().set(static_cast<double>(size_));
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::optional<RequestQueue::Pop>
+RequestQueue::pop(size_t max_batch)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [this] { return size_ > 0 || closed_; });
+        if (size_ == 0)
+            return std::nullopt; // closed and fully drained
+        Pop out;
+
+        // Deadline-expired cancellation: dated requests sort first in
+        // every class, so the expired set is a per-class prefix.
+        const Deadline now = std::chrono::steady_clock::now();
+        for (size_t cls = 0; cls < kServeClasses; ++cls) {
+            ClassQueue &queue = classes_[cls];
+            while (!queue.empty()) {
+                auto it = queue.begin();
+                if (it->first.first == Deadline::max() ||
+                    it->first.first > now)
+                    break;
+                backlog_[cls] -= it->second.estimatedCost;
+                out.expired.push_back(std::move(it->second));
+                queue.erase(it);
+                --size_;
+            }
+        }
+
+        if (size_ > 0) {
+            // Head: highest class, earliest deadline, FIFO tie-break.
+            size_t head_config = 0;
+            for (size_t cls = 0; cls < kServeClasses; ++cls) {
+                ClassQueue &queue = classes_[cls];
+                if (queue.empty())
+                    continue;
+                auto it = queue.begin();
+                head_config = it->second.configIndex;
+                backlog_[cls] -= it->second.estimatedCost;
+                out.batch.push_back(std::move(it->second));
+                queue.erase(it);
+                --size_;
+                break;
+            }
+            // Dynamic batching: gather same-config followers in the
+            // same priority-then-deadline order.
+            for (size_t cls = 0; cls < kServeClasses; ++cls) {
+                ClassQueue &queue = classes_[cls];
+                if (out.batch.size() >= max_batch)
+                    break;
+                for (auto it = queue.begin();
+                     it != queue.end() &&
+                     out.batch.size() < max_batch;) {
+                    if (it->second.configIndex != head_config) {
+                        ++it;
+                        continue;
+                    }
+                    backlog_[cls] -= it->second.estimatedCost;
+                    out.batch.push_back(std::move(it->second));
+                    it = queue.erase(it);
+                    --size_;
+                }
+            }
+        }
+
+        depthGauge().set(static_cast<double>(size_));
+        if (!out.batch.empty() || !out.expired.empty())
+            return out;
+        if (closed_)
+            return std::nullopt;
+        // Everything queued had already expired; wait for more work.
+    }
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::vector<QueuedRequest>
+RequestQueue::drain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<QueuedRequest> out;
+    out.reserve(size_);
+    for (ClassQueue &queue : classes_) {
+        for (auto &entry : queue)
+            out.push_back(std::move(entry.second));
+        queue.clear();
+    }
+    size_ = 0;
+    backlog_.fill(0.0);
+    depthGauge().set(0.0);
+    return out;
+}
+
+size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+}
+
+double
+RequestQueue::backlogCost() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    double total = 0.0;
+    for (double cost : backlog_)
+        total += cost;
+    return total;
+}
+
+double
+RequestQueue::backlogCostAhead(ServeClass cls) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    double ahead = 0.0;
+    for (size_t i = 0; i <= static_cast<size_t>(cls); ++i)
+        ahead += backlog_[i];
+    return ahead;
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Thread-safe request queue of the serving front end: strict priority
+ * across classes, earliest-deadline-first within a class (FIFO
+ * tie-break), deadline-expired cancellation at pop time, and
+ * same-config batch gathering for dynamic batching.
+ *
+ * Invariants the scheduler relies on:
+ *  - pop() never returns an expired request in the runnable batch;
+ *    expired ones come back in Pop::expired so the caller can fail
+ *    them with StatusCode::DeadlineExceeded without running them;
+ *  - the batch head is always the highest-priority, earliest-deadline
+ *    runnable request (no priority inversion); followers are only
+ *    ever same-config requests, scanned in the same order;
+ *  - push() is O(log n) and rejects (returns false) above capacity or
+ *    after close() — the caller owns the terminal outcome.
+ */
+
+#ifndef VITDYN_SERVE_REQUEST_QUEUE_HH
+#define VITDYN_SERVE_REQUEST_QUEUE_HH
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "serve/serve.hh"
+
+namespace vitdyn
+{
+
+/** An admitted request waiting for dispatch. */
+struct QueuedRequest
+{
+    uint64_t id = 0;
+    Tensor image;
+    ServeClass priority = ServeClass::Interactive;
+    Deadline deadline{};
+    double requestedBudget = 0.0;
+    /** Budget after admission degradation (<= requestedBudget). */
+    double admittedBudget = 0.0;
+    /** LUT index admission selected; the dynamic-batching key. */
+    size_t configIndex = 0;
+    /** LUT cost of that config (backlog accounting). */
+    double estimatedCost = 0.0;
+    bool downgraded = false;
+    Deadline enqueued{};
+    /** Fulfilled exactly once with the terminal outcome. */
+    std::promise<ServeResponse> promise;
+};
+
+/** Bounded multi-class queue; see file comment for ordering. */
+class RequestQueue
+{
+  public:
+    /** @p capacity caps the total queued requests across classes. */
+    explicit RequestQueue(size_t capacity);
+
+    /**
+     * Enqueue an admitted request. False when the queue is full or
+     * closed — the request is untouched and the caller must complete
+     * its promise itself.
+     */
+    bool push(QueuedRequest &&request);
+
+    struct Pop
+    {
+        /** Runnable requests sharing one configIndex, head first. */
+        std::vector<QueuedRequest> batch;
+        /** Requests whose deadline passed while queued (any class);
+         *  they must be failed, never run. */
+        std::vector<QueuedRequest> expired;
+    };
+
+    /**
+     * Block until a request is available (or the queue is closed),
+     * then pop the head plus up to @p max_batch - 1 more requests
+     * with the same configIndex. After close(), keeps returning the
+     * remaining requests until empty, then std::nullopt — so a
+     * draining shutdown completes everything it admitted.
+     */
+    std::optional<Pop> pop(size_t max_batch);
+
+    /** Stop accepting pushes and wake blocked pop() callers. */
+    void close();
+
+    /** Remove and return every queued request (cancel path). */
+    std::vector<QueuedRequest> drain();
+
+    size_t depth() const;
+
+    /** Sum of estimatedCost over queued requests (LUT units) — the
+     *  admission controller's backlog signal. */
+    double backlogCost() const;
+
+    /**
+     * Backlog a new request of class @p cls would actually wait
+     * behind: strict priority means only same-or-higher classes are
+     * ahead of it, so a Critical request under a deep Batch backlog
+     * still sees a short predicted wait.
+     */
+    double backlogCostAhead(ServeClass cls) const;
+
+    bool closed() const;
+
+  private:
+    /** Sort key: deadline first (unset sorts last, as no-deadline
+     *  traffic is the most patient), then FIFO sequence. */
+    using Key = std::pair<Deadline, uint64_t>;
+    using ClassQueue = std::map<Key, QueuedRequest>;
+
+    static Key makeKey(const QueuedRequest &request, uint64_t seq);
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::array<ClassQueue, kServeClasses> classes_;
+    size_t capacity_;
+    size_t size_ = 0;
+    std::array<double, kServeClasses> backlog_{};
+    uint64_t seq_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_SERVE_REQUEST_QUEUE_HH

@@ -1,0 +1,397 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "util/logging.hh"
+#include "util/threadpool.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+struct ServeCounters
+{
+    Counter &submitted;
+    Counter &admitted;
+    Counter &downgraded;
+    Counter &rejected;
+    Counter &expired;
+    Counter &completed;
+    Counter &rerouted;
+    Counter &cancelled;
+    std::array<Counter *, kServeClasses> classMisses;
+    Histogram &queueWaitMs;
+    Histogram &e2eMs;
+    Histogram &batchSize;
+};
+
+ServeCounters &
+serveCounters()
+{
+    MetricsRegistry &m = MetricsRegistry::instance();
+    static ServeCounters c{
+        m.counter("serve.submitted"),
+        m.counter("serve.admitted"),
+        m.counter("serve.downgraded"),
+        m.counter("serve.rejected"),
+        m.counter("serve.expired"),
+        m.counter("serve.completed"),
+        m.counter("serve.rerouted"),
+        m.counter("serve.cancelled"),
+        {&m.counter("serve.miss.critical"),
+         &m.counter("serve.miss.interactive"),
+         &m.counter("serve.miss.batch")},
+        m.histogram("serve.queue_wait_ms"),
+        m.histogram("serve.e2e_ms"),
+        m.histogram("serve.batch_size",
+                    {1, 2, 4, 8, 16, 32, 64, 128}),
+    };
+    return c;
+}
+
+double
+elapsedMs(Deadline from, Deadline to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+} // namespace
+
+ServeScheduler::ServeScheduler(DrtEngine &engine,
+                               ServeSchedulerOptions options)
+    : engine_(engine), options_(options),
+      admission_(engine.lut(),
+                 [&options] {
+                     AdmissionOptions a = options.admission;
+                     a.queueCapacity = options.queueCapacity;
+                     return a;
+                 }()),
+      queue_(options.queueCapacity),
+      costScale_(options.initialCostScale),
+      quarantinedPaths_(engine.numQuarantined())
+{
+    vitdyn_assert(options_.maxBatch >= 1, "maxBatch must be >= 1");
+    serveCounters(); // register metrics before any worker reports
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+ServeScheduler::~ServeScheduler()
+{
+    shutdown(true);
+}
+
+HealthSignals
+ServeScheduler::gatherSignals(ServeClass cls) const
+{
+    HealthSignals s;
+    s.queueDepth = queue_.depth();
+    s.backlogCost = queue_.backlogCostAhead(cls);
+    s.inflightCost = inflightCost_.load(std::memory_order_relaxed);
+    ThreadPool &pool = ThreadPool::instance();
+    s.poolQueueDepth = static_cast<double>(pool.queuedTasks());
+    s.poolThreads = pool.threads();
+    s.quarantinedPaths = static_cast<size_t>(
+        quarantinedPaths_.load(std::memory_order_relaxed));
+    s.totalPaths = engine_.numPaths(); // immutable after construction
+    s.costScale = costScale_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+ServeScheduler::deliver(QueuedRequest &request,
+                        ServeResponse &&response)
+{
+    response.id = request.id;
+    // The exactly-once terminal-outcome invariant lives here: every
+    // QueuedRequest flows through exactly one of the expired /
+    // dispatched / cancelled paths, each ending in this set_value.
+    request.promise.set_value(std::move(response));
+}
+
+std::future<ServeResponse>
+ServeScheduler::submit(ServeRequest request)
+{
+    ServeCounters &c = serveCounters();
+    const uint64_t id =
+        nextId_.fetch_add(1, std::memory_order_relaxed);
+    const Deadline now = std::chrono::steady_clock::now();
+    const size_t cls = static_cast<size_t>(request.priority);
+
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    c.submitted.add();
+    if (deadlineSet(request.deadline))
+        deadlineTotal_[cls].fetch_add(1, std::memory_order_relaxed);
+
+    std::promise<ServeResponse> promise;
+    std::future<ServeResponse> future = promise.get_future();
+
+    const AdmissionDecision decision = admission_.decide(
+        request.budget, request.priority, request.deadline, now,
+        gatherSignals(request.priority));
+    if (!decision.status) {
+        ServeResponse response;
+        response.id = id;
+        response.status = decision.status;
+        response.retryAfterMs = decision.retryAfterMs;
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        c.rejected.add();
+        if (decision.status.code() == StatusCode::Quarantined)
+            quarantineRejects_.fetch_add(1,
+                                         std::memory_order_relaxed);
+        if (deadlineSet(request.deadline)) {
+            deadlineMisses_[cls].fetch_add(1,
+                                           std::memory_order_relaxed);
+            c.classMisses[cls]->add();
+        }
+        promise.set_value(std::move(response));
+        return future;
+    }
+
+    QueuedRequest queued;
+    queued.id = id;
+    queued.image = std::move(request.image);
+    queued.priority = request.priority;
+    queued.deadline = request.deadline;
+    queued.requestedBudget = request.budget;
+    queued.admittedBudget = decision.effectiveBudget;
+    queued.configIndex = decision.configIndex;
+    queued.estimatedCost = decision.estimatedCost;
+    queued.downgraded = decision.downgraded;
+    queued.enqueued = now;
+    queued.promise = std::move(promise);
+
+    if (!queue_.push(std::move(queued))) {
+        // Raced a fill-up or a shutdown between admission and push.
+        ServeResponse response;
+        response.id = id;
+        if (queue_.closed()) {
+            response.status = Status::error(
+                StatusCode::Cancelled,
+                "scheduler shut down before enqueue");
+            cancelled_.fetch_add(1, std::memory_order_relaxed);
+            c.cancelled.add();
+        } else {
+            response.status = Status::error(StatusCode::Rejected,
+                                            "serve queue at capacity");
+            response.retryAfterMs = std::max(
+                admission_.options().minRetryAfterMs,
+                queue_.backlogCost() * costScale());
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            c.rejected.add();
+            if (deadlineSet(request.deadline)) {
+                deadlineMisses_[cls].fetch_add(
+                    1, std::memory_order_relaxed);
+                c.classMisses[cls]->add();
+            }
+        }
+        queued.promise.set_value(std::move(response));
+        return future;
+    }
+
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    c.admitted.add();
+    if (decision.downgraded) {
+        downgraded_.fetch_add(1, std::memory_order_relaxed);
+        c.downgraded.add();
+    }
+    return future;
+}
+
+void
+ServeScheduler::dispatchLoop()
+{
+    ServeCounters &c = serveCounters();
+    while (std::optional<RequestQueue::Pop> popped =
+               queue_.pop(options_.maxBatch)) {
+        const Deadline dispatch_start =
+            std::chrono::steady_clock::now();
+
+        // Deadline-expired cancellation: typed Status, never run.
+        for (QueuedRequest &request : popped->expired) {
+            ServeResponse response;
+            response.status = Status::error(
+                StatusCode::DeadlineExceeded,
+                "deadline expired while queued");
+            response.downgraded = request.downgraded;
+            response.queueMs = response.totalMs =
+                elapsedMs(request.enqueued, dispatch_start);
+            expired_.fetch_add(1, std::memory_order_relaxed);
+            c.expired.add();
+            const size_t cls =
+                static_cast<size_t>(request.priority);
+            deadlineMisses_[cls].fetch_add(1,
+                                           std::memory_order_relaxed);
+            c.classMisses[cls]->add();
+            deliver(request, std::move(response));
+        }
+        if (popped->batch.empty())
+            continue;
+
+        std::vector<QueuedRequest> &batch = popped->batch;
+        const LutEntry &admitted_entry =
+            engine_.lut().entries()[batch.front().configIndex];
+
+        double batch_cost = 0.0;
+        std::vector<Tensor> images;
+        std::vector<Deadline> deadlines;
+        images.reserve(batch.size());
+        deadlines.reserve(batch.size());
+        bool any_deadline = false;
+        for (QueuedRequest &request : batch) {
+            batch_cost += request.estimatedCost;
+            images.push_back(std::move(request.image));
+            deadlines.push_back(request.deadline);
+            any_deadline =
+                any_deadline || deadlineSet(request.deadline);
+        }
+        if (!any_deadline)
+            deadlines.clear();
+
+        ScopedSpan span(Tracer::instance(), "serve.dispatch",
+                        "serve");
+        if (span.active()) {
+            span.arg("batch", static_cast<uint64_t>(batch.size()));
+            span.arg("config", admitted_entry.config.label);
+        }
+        c.batchSize.observe(static_cast<double>(batch.size()));
+
+        // Forcing budget = admitted cost makes the engine's first
+        // choice exactly the admitted config; quarantine reroutes
+        // (and their bounded retries) happen inside the engine.
+        inflightCost_.store(batch_cost, std::memory_order_relaxed);
+        std::vector<Result<DrtResult>> results =
+            engine_.tryInferBatch(images, admitted_entry.resourceCost,
+                                  deadlines);
+        inflightCost_.store(0.0, std::memory_order_relaxed);
+        const Deadline dispatch_end =
+            std::chrono::steady_clock::now();
+
+        // Republish engine health + recalibrate the wall-per-cost
+        // scale from what actually executed.
+        quarantinedPaths_.store(engine_.numQuarantined(),
+                                std::memory_order_relaxed);
+        double executed_cost = 0.0;
+        for (const Result<DrtResult> &result : results)
+            if (result.isOk())
+                executed_cost += result.value().resourceCost;
+        if (executed_cost > 0.0) {
+            const double sample =
+                elapsedMs(dispatch_start, dispatch_end) /
+                executed_cost;
+            costScale_.store(0.8 * costScale() + 0.2 * sample,
+                             std::memory_order_relaxed);
+        }
+
+        vitdyn_assert(results.size() == batch.size(),
+                      "batch/result desync");
+        for (size_t i = 0; i < batch.size(); ++i) {
+            QueuedRequest &request = batch[i];
+            const size_t cls =
+                static_cast<size_t>(request.priority);
+            ServeResponse response;
+            response.downgraded = request.downgraded;
+            response.batchSize = batch.size();
+            response.queueMs =
+                elapsedMs(request.enqueued, dispatch_start);
+            response.totalMs =
+                elapsedMs(request.enqueued, dispatch_end);
+            c.queueWaitMs.observe(response.queueMs);
+            c.e2eMs.observe(response.totalMs);
+
+            bool missed_deadline = deadlineSet(request.deadline) &&
+                                   dispatch_end > request.deadline;
+            if (results[i].isOk()) {
+                response.result = results[i].take();
+                response.rerouted = response.result.degraded;
+                completed_.fetch_add(1, std::memory_order_relaxed);
+                c.completed.add();
+                if (response.rerouted) {
+                    rerouted_.fetch_add(1,
+                                        std::memory_order_relaxed);
+                    c.rerouted.add();
+                }
+            } else {
+                response.status = results[i].status();
+                missed_deadline = deadlineSet(request.deadline);
+                if (response.status.code() ==
+                    StatusCode::DeadlineExceeded) {
+                    expired_.fetch_add(1, std::memory_order_relaxed);
+                    c.expired.add();
+                } else {
+                    if (response.status.code() ==
+                        StatusCode::Quarantined)
+                        quarantineRejects_.fetch_add(
+                            1, std::memory_order_relaxed);
+                    rejected_.fetch_add(1, std::memory_order_relaxed);
+                    c.rejected.add();
+                }
+            }
+            if (missed_deadline) {
+                deadlineMisses_[cls].fetch_add(
+                    1, std::memory_order_relaxed);
+                c.classMisses[cls]->add();
+            }
+            deliver(request, std::move(response));
+        }
+    }
+}
+
+void
+ServeScheduler::shutdown(bool drain)
+{
+    bool expected = false;
+    if (!shutdown_.compare_exchange_strong(expected, true))
+        return; // the first caller owns teardown
+    ServeCounters &c = serveCounters();
+    if (!drain) {
+        // Grab pending work before closing so the dispatcher cannot
+        // race us into running it.
+        std::vector<QueuedRequest> leftovers = queue_.drain();
+        queue_.close();
+        for (QueuedRequest &request : leftovers) {
+            ServeResponse response;
+            response.status =
+                Status::error(StatusCode::Cancelled,
+                              "scheduler shut down before dispatch");
+            cancelled_.fetch_add(1, std::memory_order_relaxed);
+            c.cancelled.add();
+            deliver(request, std::move(response));
+        }
+    } else {
+        queue_.close(); // pop() drains the remainder, then exits
+    }
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+ServeScheduler::Stats
+ServeScheduler::stats() const
+{
+    Stats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.admitted = admitted_.load(std::memory_order_relaxed);
+    s.downgraded = downgraded_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.expired = expired_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.rerouted = rerouted_.load(std::memory_order_relaxed);
+    s.cancelled = cancelled_.load(std::memory_order_relaxed);
+    s.quarantineRejects =
+        quarantineRejects_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kServeClasses; ++i) {
+        s.deadlineMisses[i] =
+            deadlineMisses_[i].load(std::memory_order_relaxed);
+        s.deadlineTotal[i] =
+            deadlineTotal_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
+} // namespace vitdyn

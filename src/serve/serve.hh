@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Request/response types of the multi-tenant serving front end.
+ *
+ * The serving layer (ROADMAP open item 1) turns the single-call
+ * DrtEngine into a system that absorbs thousands of concurrent
+ * requests, each with a wall-clock deadline and a priority class, and
+ * degrades gracefully under overload: admission control first walks
+ * requests *down* the LUT's accuracy-cost frontier (cheaper config,
+ * lower accuracy, same deadline) and only rejects — with a
+ * retry-after hint — once even the cheapest config cannot meet the
+ * deadline. Every submitted request receives exactly one terminal
+ * outcome: a result, a downgraded result, or a typed rejection
+ * Status (Rejected / DeadlineExceeded / Quarantined / Cancelled).
+ */
+
+#ifndef VITDYN_SERVE_SERVE_HH
+#define VITDYN_SERVE_SERVE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.hh"
+#include "tensor/tensor.hh"
+#include "util/deadline.hh"
+#include "util/status.hh"
+
+namespace vitdyn
+{
+
+/**
+ * Priority classes, highest first. Scheduling is strict-priority
+ * across classes (a Critical request never waits behind a queued
+ * lower-class one) and earliest-deadline-first within a class;
+ * admission pressure is weighted so Batch degrades first and
+ * Critical last.
+ */
+enum class ServeClass
+{
+    Critical = 0,    ///< Safety/latency-critical streams.
+    Interactive = 1, ///< Default user-facing traffic.
+    Batch = 2,       ///< Throughput traffic; degrades/sheds first.
+};
+
+constexpr size_t kServeClasses = 3;
+
+const char *serveClassName(ServeClass cls);
+
+/** One inference request as submitted by a tenant. */
+struct ServeRequest
+{
+    Tensor image;
+
+    /** Requested resource budget in the LUT's native unit; admission
+     *  may only lower it (degradation), never raise it. */
+    double budget = 0.0;
+
+    ServeClass priority = ServeClass::Interactive;
+
+    /** Wall-clock completion deadline; unset = none (throughput
+     *  traffic). Expired requests are cancelled, never run. */
+    Deadline deadline{};
+};
+
+/** The single terminal outcome of one submitted request. */
+struct ServeResponse
+{
+    /**
+     * Ok, or why the request produced no output:
+     *  - StatusCode::Rejected — admission shed it; retryAfterMs is
+     *    the backoff hint;
+     *  - StatusCode::DeadlineExceeded — the deadline passed in the
+     *    queue or mid-flight; it was not (fully) executed;
+     *  - StatusCode::Quarantined — no healthy execution path could
+     *    serve it;
+     *  - StatusCode::Cancelled — the scheduler shut down first.
+     */
+    Status status;
+
+    /** Valid iff status is OK. */
+    DrtResult result;
+
+    uint64_t id = 0;
+
+    /** Admission selected a cheaper config than the requested budget
+     *  would have bought on an idle system (graceful degradation). */
+    bool downgraded = false;
+
+    /** A quarantine reroute moved it off its admitted config
+     *  mid-flight (result.configLabel says where it actually ran). */
+    bool rerouted = false;
+
+    /** Backpressure hint accompanying StatusCode::Rejected. */
+    double retryAfterMs = 0.0;
+
+    double queueMs = 0.0; ///< Admission-to-dispatch wait.
+    double totalMs = 0.0; ///< Admission-to-completion wall time.
+
+    /** Requests co-dispatched in the same engine batch (1 = alone). */
+    size_t batchSize = 0;
+};
+
+inline const char *
+serveClassName(ServeClass cls)
+{
+    switch (cls) {
+      case ServeClass::Critical: return "critical";
+      case ServeClass::Interactive: return "interactive";
+      case ServeClass::Batch: return "batch";
+    }
+    return "unknown";
+}
+
+} // namespace vitdyn
+
+#endif // VITDYN_SERVE_SERVE_HH

@@ -25,6 +25,31 @@
 namespace vitdyn
 {
 
+/**
+ * Coarse error taxonomy for callers that must *dispatch* on why a
+ * request failed, not just log it. The serving front end (src/serve/)
+ * is the motivating consumer: a client retries a Rejected request
+ * after the hinted backoff, drops a DeadlineExceeded one, and reroutes
+ * around Quarantined capacity — three different recovery policies that
+ * a bare message string cannot drive.
+ */
+enum class StatusCode
+{
+    Ok = 0,
+    Internal,         ///< Generic failure (the historical default).
+    DeadlineExceeded, ///< The request's deadline passed before/while
+                      ///< it could run; it was not (fully) executed.
+    Rejected,         ///< Admission control shed the request
+                      ///< (backpressure); retry after the hint.
+    Quarantined,      ///< Every execution path that could serve it is
+                      ///< out of rotation (veto or probation).
+    Cancelled,        ///< The serving pipeline shut down before the
+                      ///< request ran.
+};
+
+/** Short stable name ("ok", "deadline-exceeded", ...). */
+const char *statusCodeName(StatusCode code);
+
 /** Success or a recoverable error with a diagnostic message. */
 class Status
 {
@@ -37,14 +62,24 @@ class Status
     /** A recoverable failure described by @p message. */
     static Status error(std::string message)
     {
+        return error(StatusCode::Internal, std::move(message));
+    }
+
+    /** A recoverable failure with a dispatchable code. */
+    static Status error(StatusCode code, std::string message)
+    {
         Status s;
         s.ok_ = false;
+        s.code_ = code;
         s.message_ = std::move(message);
         return s;
     }
 
     bool isOk() const { return ok_; }
     explicit operator bool() const { return ok_; }
+
+    /** StatusCode::Ok for success, the error taxonomy otherwise. */
+    StatusCode code() const { return code_; }
 
     /** Empty for success. */
     const std::string &message() const { return message_; }
@@ -53,19 +88,34 @@ class Status
      * This status with "@p context: " prepended to the message — the
      * idiom for layering provenance onto an error as it crosses a
      * boundary (e.g. "prune config 'E': conv 'Conv2DFuse' expects
-     * C=..."). OK statuses pass through unchanged.
+     * C=..."). OK statuses pass through unchanged; the code survives.
      */
     Status withContext(const std::string &context) const
     {
         if (ok_)
             return *this;
-        return error(context + ": " + message_);
+        return error(code_, context + ": " + message_);
     }
 
   private:
     bool ok_ = true;
+    StatusCode code_ = StatusCode::Ok;
     std::string message_;
 };
+
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::Internal: return "internal";
+      case StatusCode::DeadlineExceeded: return "deadline-exceeded";
+      case StatusCode::Rejected: return "rejected";
+      case StatusCode::Quarantined: return "quarantined";
+      case StatusCode::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
 
 /** A value of type T or the Status explaining why it is absent. */
 template <typename T>

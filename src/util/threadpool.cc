@@ -50,7 +50,9 @@ ThreadPool::ThreadPool(int threads)
       parallelFors_(
           MetricsRegistry::instance().counter("pool.parallel_fors")),
       queueDepth_(MetricsRegistry::instance().gauge("pool.queue_depth")),
-      shardMs_(MetricsRegistry::instance().histogram("pool.shard_ms"))
+      shardMs_(MetricsRegistry::instance().histogram("pool.shard_ms")),
+      taskWaitMs_(
+          MetricsRegistry::instance().histogram("pool.task_wait_ms"))
 {
     Tracer::instance(); // force construction before any worker uses it
     start(threads);
@@ -78,6 +80,13 @@ bool
 ThreadPool::onWorkerThread()
 {
     return t_on_worker;
+}
+
+size_t
+ThreadPool::queuedTasks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
 }
 
 void
@@ -189,12 +198,18 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        const auto enqueued = std::chrono::steady_clock::now();
         for (int64_t i = 1; i < shards; ++i) {
             const int64_t s_begin = begin + range * i / shards;
             const int64_t s_end = begin + range * (i + 1) / shards;
-            queue_.emplace_back([this, &batch, s_begin, s_end] {
-                runShard(batch, s_begin, s_end);
-            });
+            queue_.emplace_back(
+                [this, &batch, s_begin, s_end, enqueued] {
+                    taskWaitMs_.observe(
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - enqueued)
+                            .count());
+                    runShard(batch, s_begin, s_end);
+                });
         }
         queueDepth_.set(static_cast<double>(queue_.size()));
     }

@@ -17,8 +17,10 @@
  * calls from a worker run inline too, so kernels may freely compose.
  *
  * The pool reports into src/obs/: `pool.tasks` / `pool.parallel_fors`
- * counters, a `pool.queue_depth` gauge, the `pool.shard_ms` histogram,
- * and a `pool.task` span per worker shard when tracing is enabled.
+ * counters, a `pool.queue_depth` gauge, the `pool.shard_ms` and
+ * `pool.task_wait_ms` (enqueue-to-start latency, the saturation
+ * signal the serve/ admission controller watches) histograms, and a
+ * `pool.task` span per worker shard when tracing is enabled.
  *
  * Exceptions thrown by the body are caught per shard; the first one
  * is rethrown on the calling thread after every shard finished.
@@ -85,6 +87,13 @@ class ThreadPool
     /** True when called from one of this process's pool workers. */
     static bool onWorkerThread();
 
+    /**
+     * Shards currently enqueued and not yet picked up by a worker —
+     * the instantaneous saturation signal (also exported as the
+     * `pool.queue_depth` gauge). 0 on an idle or degenerate pool.
+     */
+    size_t queuedTasks() const;
+
   private:
     struct Batch;
 
@@ -107,6 +116,7 @@ class ThreadPool
     Counter &parallelFors_;
     Gauge &queueDepth_;
     Histogram &shardMs_;
+    Histogram &taskWaitMs_;
 };
 
 /** parallelFor on the process-wide pool. */

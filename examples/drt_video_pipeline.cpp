@@ -15,11 +15,25 @@
  *   ./drt_video_pipeline [--streams 8] [--requests 24] [--overload 2]
  *       [--faults] [--seed 3] [--threads N] [--csv soak.csv]
  *       [--trace-out trace.json] [--metrics-out metrics.csv]
+ *       [--flight-dir DIR]
  *
  * --faults injects NaN poison into every execution path that keeps
  * two blocks per stage, so mid-soak the engine quarantines its
  * high-accuracy paths and reroutes onto pruned ones — every request
  * still gets exactly one terminal response.
+ *
+ * --flight-dir arms the anomaly flight recorder: deadline misses and
+ * quarantine reroutes dump the affected request's span chain plus a
+ * metrics snapshot into DIR (feed them to vitdyn_tracetool). The
+ * bench re-measures the calibration frames with the recorder armed
+ * and prints the armed-vs-disarmed overhead, which the recorder's
+ * contract keeps under 5%.
+ *
+ * Besides the per-class outcome table the bench prints a p99
+ * latency-attribution table from every request's LatencyBreakdown:
+ * for each class's tail (requests at or above the p99 total), the
+ * share of wall time spent in admission / queue / batch assembly /
+ * engine dispatch / kernels / pool wait.
  */
 
 #include <algorithm>
@@ -28,6 +42,7 @@
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -36,6 +51,7 @@
 
 #include "engine/engine.hh"
 #include "fault/fault.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "profile/gpu_model.hh"
@@ -64,6 +80,9 @@ struct ClassSummary
     uint64_t submitted = 0, completed = 0, downgraded = 0,
              rejected = 0, expired = 0, rerouted = 0, cancelled = 0;
     std::vector<double> latencyMs; // completed requests only
+    /** (total ms, breakdown) of every request that reached the
+     *  dispatcher — the attribution table's input. */
+    std::vector<std::pair<double, LatencyBreakdown>> breakdowns;
 };
 
 double
@@ -98,6 +117,9 @@ main(int argc, char **argv)
     args.addOption("metrics-out", "",
                    "write a metrics snapshot here (.json for JSON, "
                    "anything else CSV)");
+    args.addOption("flight-dir", "",
+                   "arm the anomaly flight recorder; dumps land in "
+                   "this directory (must exist)");
     args.addOption("threads", "0",
                    "kernel thread-pool size (0 = VITDYN_THREADS or "
                    "hardware default)");
@@ -190,6 +212,48 @@ main(int argc, char **argv)
     inform("measured service time: ", service_ms,
            " ms/frame on the full path");
 
+    // Arm the anomaly flight recorder, and quantify what arming
+    // costs. Alternating armed/disarmed rounds and comparing the
+    // per-state minima cancels machine drift, which on a loaded host
+    // dwarfs the real ring-capture cost a one-shot A/B would report.
+    if (!args.get("flight-dir").empty()) {
+        SegmentationSample probe = gen.nextSample(rng);
+        FlightRecorderOptions fr;
+        fr.directory = args.get("flight-dir");
+        FlightRecorder &recorder = FlightRecorder::instance();
+
+        constexpr int kRounds = 4;
+        constexpr int kFramesPerRound = 4;
+        double disarmed_ms = std::numeric_limits<double>::infinity();
+        double armed_ms = std::numeric_limits<double>::infinity();
+        for (int round = 0; round < 2 * kRounds; ++round) {
+            const bool armed = round % 2 == 1;
+            if (armed)
+                recorder.arm(fr);
+            else
+                recorder.disarm();
+            const auto t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < kFramesPerRound; ++i)
+                engine.infer(probe.image, lut.best().resourceCost);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count() /
+                kFramesPerRound;
+            (armed ? armed_ms : disarmed_ms) =
+                std::min(armed ? armed_ms : disarmed_ms, ms);
+        }
+        const double overhead_pct =
+            disarmed_ms > 0.0
+                ? 100.0 * (armed_ms - disarmed_ms) / disarmed_ms
+                : 0.0;
+        std::printf("flight recorder armed: %.3f ms/frame disarmed "
+                    "vs %.3f ms/frame armed (%+.1f%% overhead, "
+                    "contract <= 5%%)\n",
+                    disarmed_ms, armed_ms, overhead_pct);
+        recorder.arm(fr); // the soak runs with the recorder on
+    }
+
     ServeSchedulerOptions options;
     options.queueCapacity =
         static_cast<size_t>(streams) * static_cast<size_t>(per_stream);
@@ -257,6 +321,9 @@ main(int argc, char **argv)
         for (auto &future : log.futures) {
             const ServeResponse response = future.get();
             ++summary.submitted;
+            if (response.totalMs > 0.0)
+                summary.breakdowns.emplace_back(response.totalMs,
+                                                response.breakdown);
             if (response.status.isOk()) {
                 ++summary.completed;
                 summary.latencyMs.push_back(response.totalMs);
@@ -327,6 +394,53 @@ main(int argc, char **argv)
              std::to_string(p99), std::to_string(miss / 100.0)});
     }
 
+    // Tail attribution: for each class, average the LatencyBreakdown
+    // shares over the requests at or above the p99 total — the
+    // one-table answer to "what is the tail waiting on?".
+    std::printf("\nper-class p99 latency attribution "
+                "(tail = requests >= p99 total)\n");
+    std::printf("%-12s %6s %9s | %6s %6s %6s %6s %6s %6s\n", "class",
+                "n", "p99(ms)", "adm%", "queue%", "batch%", "eng%",
+                "kern%", "pool%");
+    for (size_t i = 0; i < kServeClasses; ++i) {
+        ClassSummary &summary = classes[i];
+        if (summary.breakdowns.empty()) {
+            std::printf("%-12s %6d %9s |\n",
+                        serveClassName(static_cast<ServeClass>(i)), 0,
+                        "-");
+            continue;
+        }
+        std::vector<double> totals;
+        totals.reserve(summary.breakdowns.size());
+        for (const auto &[total, b] : summary.breakdowns)
+            totals.push_back(total);
+        const double p99 = percentile(totals, 0.99);
+        double adm = 0, queue = 0, batch = 0, eng = 0, kern = 0,
+               pool = 0, denom = 0;
+        for (const auto &[total, b] : summary.breakdowns) {
+            if (total < p99)
+                continue;
+            adm += b.admissionMs;
+            queue += b.queueMs;
+            batch += b.batchAssemblyMs;
+            eng += std::max(0.0, b.engineMs - b.kernelMs);
+            kern += b.kernelMs;
+            pool += b.poolWaitMs;
+            denom += b.admissionMs + b.queueMs + b.batchAssemblyMs +
+                     b.engineMs;
+        }
+        if (denom <= 0.0)
+            denom = 1.0;
+        std::printf("%-12s %6zu %9.2f | %5.1f%% %5.1f%% %5.1f%% "
+                    "%5.1f%% %5.1f%% %5.1f%%\n",
+                    serveClassName(static_cast<ServeClass>(i)),
+                    summary.breakdowns.size(), p99,
+                    100.0 * adm / denom, 100.0 * queue / denom,
+                    100.0 * batch / denom, 100.0 * eng / denom,
+                    100.0 * kern / denom, 100.0 * pool / denom);
+    }
+    std::printf("\n");
+
     if (!args.get("csv").empty()) {
         std::ofstream out(args.get("csv"));
         for (const auto &row : csv_rows)
@@ -354,6 +468,16 @@ main(int argc, char **argv)
                    args.get("metrics-out"));
         else
             warn(status.message());
+    }
+
+    if (FlightRecorder::instance().armed()) {
+        FlightRecorder &recorder = FlightRecorder::instance();
+        inform("flight recorder: ", recorder.triggers(),
+               " trigger(s), ", recorder.dumps(),
+               " dump(s) written");
+        for (const std::string &path : recorder.dumpPaths())
+            inform("  ", path, "  (inspect with vitdyn_tracetool)");
+        recorder.disarm();
     }
 
     // The soak's pass condition: nothing was lost. (The driver smoke

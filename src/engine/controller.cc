@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "util/logging.hh"
@@ -81,6 +82,11 @@ BudgetController::observe(double modeled_cost, double observed_cost)
     if (!was_panicked && panicked()) {
         panic_entries.add();
         Tracer::instance().instant("controller.panic", "controller");
+        FlightRecorder::instance().trigger(
+            FlightTrigger::ControllerPanic, 0,
+            "budget controller entered panic mode (miss streak " +
+                std::to_string(missStreak_) + ", scale " +
+                std::to_string(scale_) + ")");
         debug("BudgetController: entering panic mode (miss streak ",
               missStreak_, ", scale ", scale_, ")");
     }

@@ -5,6 +5,7 @@
 
 #include "analysis/lint.hh"
 #include "obs/metrics.hh"
+#include "obs/request_context.hh"
 #include "obs/span.hh"
 #include "util/logging.hh"
 
@@ -532,11 +533,15 @@ DrtEngine::tryInfer(const Tensor &image, double resource_budget,
 std::vector<Result<DrtResult>>
 DrtEngine::tryInferBatch(const std::vector<Tensor> &images,
                          double resource_budget,
-                         const std::vector<Deadline> &deadlines)
+                         const std::vector<Deadline> &deadlines,
+                         const std::vector<RequestContext *> &contexts)
 {
     vitdyn_assert(deadlines.empty() ||
                       deadlines.size() == images.size(),
                   "deadlines must be empty or parallel to images");
+    vitdyn_assert(contexts.empty() ||
+                      contexts.size() == images.size(),
+                  "contexts must be empty or parallel to images");
 
     MetricsRegistry &metrics = MetricsRegistry::instance();
     static Counter &frames = metrics.counter("drt.frames");
@@ -574,6 +579,12 @@ DrtEngine::tryInferBatch(const std::vector<Tensor> &images,
     int attempts = 0;
 
     for (size_t i = 0; i < images.size(); ++i) {
+        // Per-image ambient attribution: layer spans and pool shards
+        // executed for this image tag themselves with the request id
+        // and report into its breakdown. Nullptr scopes are no-ops.
+        RequestContext *ctx =
+            contexts.empty() ? nullptr : contexts[i];
+        RequestScope request_scope(ctx);
         const Deadline d = deadlines.empty() ? Deadline{} : deadlines[i];
         if (deadlineExpired(d)) {
             deadline_misses.add();
@@ -655,7 +666,12 @@ DrtEngine::tryInferBatch(const std::vector<Tensor> &images,
             unhealthy.add();
         if (r.degraded)
             degraded.add();
-        latency.observe(static_cast<double>(tracer.now() - t0) / 1e6);
+        const uint64_t engine_ns = tracer.now() - t0;
+        if (ctx) {
+            ctx->setEngineNs(engine_ns);
+            ctx->setConfigLabel(r.configLabel);
+        }
+        latency.observe(static_cast<double>(engine_ns) / 1e6);
         out.emplace_back(std::move(r));
     }
     return out;

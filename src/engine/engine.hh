@@ -44,6 +44,8 @@
 namespace vitdyn
 {
 
+class RequestContext; // obs/request_context.hh
+
 /** Outcome of one dynamic inference. */
 struct DrtResult
 {
@@ -209,11 +211,18 @@ class DrtEngine
      * an image whose entry in @p deadlines (parallel to @p images;
      * empty = no deadlines) expires before it runs gets
      * StatusCode::DeadlineExceeded and never executes.
+     *
+     * @p contexts (parallel to @p images; empty = unattributed, null
+     * entries allowed) are request-observability contexts: image i
+     * executes inside a RequestScope over contexts[i], so its layer
+     * spans carry the request id and its engine/kernel/pool time
+     * lands in that request's LatencyBreakdown.
      */
     std::vector<Result<DrtResult>>
     tryInferBatch(const std::vector<Tensor> &images,
                   double resource_budget,
-                  const std::vector<Deadline> &deadlines = {});
+                  const std::vector<Deadline> &deadlines = {},
+                  const std::vector<RequestContext *> &contexts = {});
 
     /**
      * True when no path is currently servable: every non-vetoed

@@ -5,7 +5,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 
@@ -61,6 +63,11 @@ AccuracyResourceLut::lookupOrCheapest(double budget, bool *met) const
     static Counter &floor_hits =
         MetricsRegistry::instance().counter("lut.budget_floor");
     floor_hits.add();
+    FlightRecorder::instance().trigger(
+        FlightTrigger::BudgetFloor, Tracer::threadRequestId(),
+        "budget " + std::to_string(budget) +
+            " is below the cheapest LUT entry (cost " +
+            std::to_string(cheapest().resourceCost) + ")");
     if (met)
         *met = false;
     return cheapest();

@@ -1,8 +1,10 @@
 #include "graph/executor.hh"
 
+#include <chrono>
 #include <cmath>
 
 #include "obs/metrics.hh"
+#include "obs/request_context.hh"
 #include "obs/span.hh"
 #include "tensor/ops.hh"
 #include "tensor/quant.hh"
@@ -383,7 +385,24 @@ Executor::run(const std::map<std::string, Tensor> &inputs)
             const size_t issues_before = healthReport_.issues.size();
             ScopedSpan span(tracer, layer.name,
                             opCategoryName(layer.category()));
+            // Request attribution: when a serving request's ambient
+            // scope is active, charge this layer's execute time to
+            // its per-category kernel accumulators. One thread-local
+            // load per layer when idle.
+            RequestContext *req = RequestContext::current();
+            std::chrono::steady_clock::time_point layer_start;
+            if (req)
+                layer_start = std::chrono::steady_clock::now();
             values[layer.id] = execute(layer, ins);
+            if (req)
+                req->addStageNs(
+                    layer.category(),
+                    static_cast<uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() -
+                            layer_start)
+                            .count()));
             if (postHook_)
                 postHook_(layer, values[layer.id]);
             if (health_.enabled)

@@ -1,0 +1,242 @@
+#include "obs/flight_recorder.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/** UTC wall time as a filename-safe "20260809T123456Z" stamp. */
+std::string
+wallTimeStamp()
+{
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm tm{};
+#if defined(_WIN32)
+    gmtime_s(&tm, &now);
+#else
+    gmtime_r(&now, &tm);
+#endif
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y%m%dT%H%M%SZ", &tm);
+    return buf;
+}
+
+uint64_t
+steadyNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out.push_back(ch);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+flightTriggerName(FlightTrigger trigger)
+{
+    switch (trigger) {
+      case FlightTrigger::DeadlineMiss: return "deadline_miss";
+      case FlightTrigger::QuarantineReroute:
+        return "quarantine_reroute";
+      case FlightTrigger::ControllerPanic: return "controller_panic";
+      case FlightTrigger::BudgetFloor: return "budget_floor";
+    }
+    return "unknown";
+}
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void
+FlightRecorder::arm(FlightRecorderOptions options)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    options_ = std::move(options);
+    dumps_.store(0, std::memory_order_relaxed);
+    triggers_.store(0, std::memory_order_relaxed);
+    paths_.clear();
+    lastDumpNs_ = 0;
+    seq_ = 0;
+    Tracer &tracer = Tracer::instance();
+    if (!tracer.enabled()) {
+        restoreTracerOff_ = true;
+        tracer.setEnabled(true);
+    }
+    armed_.store(true, std::memory_order_relaxed);
+    debug("flight recorder armed (dir='", options_.directory,
+          "', max ", options_.maxDumps, " dumps)");
+}
+
+void
+FlightRecorder::disarm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed))
+        return;
+    armed_.store(false, std::memory_order_relaxed);
+    if (restoreTracerOff_) {
+        Tracer::instance().setEnabled(false);
+        restoreTracerOff_ = false;
+    }
+}
+
+std::vector<std::string>
+FlightRecorder::dumpPaths() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return paths_;
+}
+
+void
+FlightRecorder::trigger(FlightTrigger kind, uint64_t request_id,
+                        std::string_view detail)
+{
+    if (!armed_.load(std::memory_order_relaxed))
+        return;
+
+    static Counter &triggered =
+        MetricsRegistry::instance().counter("flight.triggers");
+    static Counter &dumped =
+        MetricsRegistry::instance().counter("flight.dumps");
+    static Counter &suppressed =
+        MetricsRegistry::instance().counter("flight.suppressed");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed))
+        return; // disarmed while we waited
+    const bool enabled =
+        (kind == FlightTrigger::DeadlineMiss &&
+         options_.onDeadlineMiss) ||
+        (kind == FlightTrigger::QuarantineReroute &&
+         options_.onQuarantineReroute) ||
+        (kind == FlightTrigger::ControllerPanic &&
+         options_.onControllerPanic) ||
+        (kind == FlightTrigger::BudgetFloor &&
+         options_.onBudgetFloor);
+    if (!enabled)
+        return;
+
+    triggers_.fetch_add(1, std::memory_order_relaxed);
+    triggered.add();
+
+    const uint64_t now_ns = steadyNowNs();
+    const bool over_budget =
+        dumps_.load(std::memory_order_relaxed) >= options_.maxDumps;
+    const bool too_soon =
+        lastDumpNs_ != 0 &&
+        static_cast<double>(now_ns - lastDumpNs_) / 1e6 <
+            options_.minIntervalMs;
+    if (over_budget || too_soon) {
+        suppressed.add();
+        return;
+    }
+
+    // Snapshot the ring and keep the triggering request's chain (or,
+    // for request-less triggers, the trailing context window).
+    std::vector<SpanEvent> all = Tracer::instance().events();
+    std::vector<SpanEvent> kept;
+    if (request_id != 0) {
+        for (SpanEvent &e : all)
+            if (e.requestId == request_id)
+                kept.push_back(std::move(e));
+    }
+    if (kept.empty()) {
+        const size_t n = std::min(options_.contextSpans, all.size());
+        kept.assign(std::make_move_iterator(all.end() - n),
+                    std::make_move_iterator(all.end()));
+    }
+
+    char name[128];
+    std::snprintf(name, sizeof(name), "flight_%s_%03llu_%s.json",
+                  wallTimeStamp().c_str(),
+                  static_cast<unsigned long long>(++seq_),
+                  flightTriggerName(kind));
+    const std::string path = options_.directory + "/" + name;
+
+    std::string out = "{\n\"flightRecorder\": {";
+    out += "\"trigger\": \"" +
+           std::string(flightTriggerName(kind)) + "\"";
+    out += ", \"request\": " + std::to_string(request_id);
+    out += ", \"seq\": " + std::to_string(seq_);
+    out += ", \"spanCount\": " + std::to_string(kept.size());
+    out += ", \"wallTime\": \"" + wallTimeStamp() + "\"";
+    out += ", \"detail\": \"" + jsonEscape(detail) + "\"";
+    out += "},\n\"spans\": ";
+    std::string spans = chromeTraceJson(kept);
+    while (!spans.empty() && spans.back() == '\n')
+        spans.pop_back();
+    out += spans;
+    if (options_.includeMetrics) {
+        out += ",\n\"metrics\": ";
+        std::string metrics =
+            MetricsRegistry::instance().snapshot().toJson();
+        while (!metrics.empty() && metrics.back() == '\n')
+            metrics.pop_back();
+        out += metrics;
+    }
+    out += "\n}\n";
+
+    std::ofstream file(path);
+    if (!file) {
+        warn("flight recorder: cannot open '", path,
+             "' for writing; dump lost");
+        return;
+    }
+    file << out;
+    if (!file) {
+        warn("flight recorder: short write to '", path, "'");
+        return;
+    }
+    lastDumpNs_ = now_ns;
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+    dumped.add();
+    paths_.push_back(path);
+    inform("flight recorder: ", flightTriggerName(kind),
+           request_id ? " (request " + std::to_string(request_id) +
+                            ")"
+                      : std::string(),
+           " captured to ", path);
+}
+
+} // namespace vitdyn

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Anomaly flight recorder: capture the tail event, not the firehose.
+ *
+ * Always-on tracing of a production serving stack is unaffordable and
+ * mostly records the 99% of requests nobody asks about. The flight
+ * recorder inverts that: while *armed* it keeps span capture running
+ * into the tracer's bounded ring (cheap — the ring overwrites itself,
+ * nothing is exported), and only when an anomaly trigger fires —
+ * a deadline miss, a quarantine reroute, a controller panic, a
+ * budget-floor hit — does it dump the triggering request's span
+ * chain plus a full metrics snapshot to a timestamped JSON file.
+ * The 1-in-10000 tail request is therefore capturable in production
+ * with bounded overhead and bounded disk.
+ *
+ * Cost contract: disarmed, a trigger probe is one relaxed atomic
+ * load. Armed but idle (no triggers firing), the only cost is span
+ * capture into the ring — measured <= 5% on the soak hot path (the
+ * soak bench prints the armed-vs-disarmed service time when
+ * --flight-dir is set). Dumps are rate-limited (minIntervalMs) and
+ * capped (maxDumps) so an anomaly storm cannot fill the disk or
+ * stall the dispatcher.
+ *
+ * Dump format (parsed by tools/vitdyn_tracetool, see README):
+ *   { "flightRecorder": {trigger, request, detail, seq, wallTime},
+ *     "spans":   {Chrome trace-event object of the request's chain},
+ *     "metrics": {MetricsSnapshot::toJson object} }
+ */
+
+#ifndef VITDYN_OBS_FLIGHT_RECORDER_HH
+#define VITDYN_OBS_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vitdyn
+{
+
+/** Why a flight dump was taken. */
+enum class FlightTrigger
+{
+    DeadlineMiss,      ///< A request completed/expired past deadline.
+    QuarantineReroute, ///< The engine moved traffic off a poisoned
+                       ///< path mid-flight.
+    ControllerPanic,   ///< The budget controller entered panic mode.
+    BudgetFloor,       ///< A lookup fell through to the cheapest
+                       ///< config (lut.budget_floor).
+};
+
+const char *flightTriggerName(FlightTrigger trigger);
+
+struct FlightRecorderOptions
+{
+    /** Directory dumps are written into (must exist). */
+    std::string directory = ".";
+
+    /** Hard cap on dump files per arm() (storm protection). */
+    size_t maxDumps = 16;
+
+    /** Minimum wall time between dumps; triggers inside the window
+     *  are counted as suppressed, not queued. */
+    double minIntervalMs = 250.0;
+
+    /** Context spans kept when a trigger has no request id (panic /
+     *  budget floor): the most recent N ring events. */
+    size_t contextSpans = 256;
+
+    /** Embed a full metrics snapshot in every dump. */
+    bool includeMetrics = true;
+
+    // Per-trigger enables (all on by default).
+    bool onDeadlineMiss = true;
+    bool onQuarantineReroute = true;
+    bool onControllerPanic = true;
+    bool onBudgetFloor = true;
+};
+
+/** Process-wide anomaly recorder; see file comment. */
+class FlightRecorder
+{
+  public:
+    /** The singleton every trigger site probes. */
+    static FlightRecorder &instance();
+
+    /**
+     * Arm with @p options. Enables span capture on the process
+     * tracer if it was off (disarm() restores the prior state), so
+     * trigger-time dumps always have spans to ship. Re-arming resets
+     * the dump budget.
+     */
+    void arm(FlightRecorderOptions options);
+
+    /** Stop dumping; restores the tracer enable state arm() found. */
+    void disarm();
+
+    bool armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Report an anomaly. Disarmed: one relaxed load, nothing else.
+     * Armed: rate-limit checks, then a synchronous dump of
+     * @p request_id's span chain (or the trailing context window
+     * when 0) plus a metrics snapshot. @p detail lands verbatim in
+     * the dump header.
+     */
+    void trigger(FlightTrigger kind, uint64_t request_id,
+                 std::string_view detail);
+
+    /** Triggers observed while armed (including suppressed ones). */
+    uint64_t triggers() const
+    {
+        return triggers_.load(std::memory_order_relaxed);
+    }
+
+    /** Dump files actually written since the last arm(). */
+    uint64_t dumps() const
+    {
+        return dumps_.load(std::memory_order_relaxed);
+    }
+
+    /** Paths of the dumps written since the last arm(). */
+    std::vector<std::string> dumpPaths() const;
+
+  private:
+    FlightRecorder() = default;
+
+    std::atomic<bool> armed_{false};
+    std::atomic<uint64_t> triggers_{0};
+    std::atomic<uint64_t> dumps_{0};
+    mutable std::mutex mutex_;
+    FlightRecorderOptions options_;
+    bool restoreTracerOff_ = false; ///< arm() turned tracing on.
+    uint64_t lastDumpNs_ = 0;
+    uint64_t seq_ = 0;
+    std::vector<std::string> paths_;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_OBS_FLIGHT_RECORDER_HH

@@ -121,8 +121,33 @@ HistogramSnapshot::quantile(double q) const
     return max;
 }
 
+uint64_t
+HistogramSnapshot::exemplarNear(double q) const
+{
+    if (count == 0 || exemplarIds.empty())
+        return 0;
+    // Find the bucket containing the quantile rank, then walk toward
+    // cheaper buckets until one actually recorded an exemplar.
+    const double target = q * static_cast<double>(count);
+    uint64_t cum = 0;
+    size_t containing = buckets.size() - 1;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        cum += buckets[i];
+        if (static_cast<double>(cum) >= target && buckets[i] > 0) {
+            containing = i;
+            break;
+        }
+    }
+    for (size_t i = containing + 1; i-- > 0;)
+        if (exemplarIds[i] != 0)
+            return exemplarIds[i];
+    return 0;
+}
+
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1),
+      exemplarIds_(bounds_.size() + 1),
+      exemplarValues_(bounds_.size() + 1)
 {
     vitdyn_assert(!bounds_.empty(), "histogram needs >= 1 bucket bound");
     vitdyn_assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
@@ -151,6 +176,21 @@ Histogram::observe(double value)
     atomicMax(max_, value);
 }
 
+void
+Histogram::observe(double value, uint64_t exemplar_id)
+{
+    observe(value);
+    if (exemplar_id == 0)
+        return;
+    const size_t i =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin();
+    // Last-write-wins pair; the id/value may briefly disagree under
+    // contention, which is fine for an example-of-this-bucket link.
+    exemplarValues_[i].store(value, std::memory_order_relaxed);
+    exemplarIds_[i].store(exemplar_id, std::memory_order_relaxed);
+}
+
 HistogramSnapshot
 Histogram::snapshot(const std::string &name) const
 {
@@ -165,6 +205,13 @@ Histogram::snapshot(const std::string &name) const
     snap.buckets.reserve(buckets_.size());
     for (const auto &b : buckets_)
         snap.buckets.push_back(b.load(std::memory_order_relaxed));
+    snap.exemplarIds.reserve(exemplarIds_.size());
+    for (const auto &e : exemplarIds_)
+        snap.exemplarIds.push_back(e.load(std::memory_order_relaxed));
+    snap.exemplarValues.reserve(exemplarValues_.size());
+    for (const auto &e : exemplarValues_)
+        snap.exemplarValues.push_back(
+            e.load(std::memory_order_relaxed));
     return snap;
 }
 
@@ -173,6 +220,10 @@ Histogram::reset()
 {
     for (auto &b : buckets_)
         b.store(0, std::memory_order_relaxed);
+    for (auto &e : exemplarIds_)
+        e.store(0, std::memory_order_relaxed);
+    for (auto &e : exemplarValues_)
+        e.store(0.0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0.0, std::memory_order_relaxed);
     min_.store(std::numeric_limits<double>::infinity(),
@@ -257,8 +308,13 @@ MetricsSnapshot::toJson() const
                     ? "\"le\": " + formatMetric(h.bounds[b])
                     : std::string("\"le\": \"inf\"");
             out += std::string(b ? ", " : "") + "{" + le +
-                   ", \"count\": " + std::to_string(h.buckets[b]) +
-                   "}";
+                   ", \"count\": " + std::to_string(h.buckets[b]);
+            if (b < h.exemplarIds.size() && h.exemplarIds[b] != 0)
+                out += ", \"exemplar\": {\"req\": " +
+                       std::to_string(h.exemplarIds[b]) +
+                       ", \"value\": " +
+                       formatMetric(h.exemplarValues[b]) + "}";
+            out += "}";
         }
         out += "]}";
     }
@@ -320,10 +376,26 @@ MetricsRegistry::histogram(const std::string &name,
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto &slot = histograms_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<Histogram>(
             bounds.empty() ? Histogram::defaultLatencyBoundsMs()
                            : bounds);
+    } else if (!bounds.empty() && bounds != slot->bounds()) {
+        // First registration wins; a later caller with different
+        // expectations would silently read skewed buckets, so name
+        // both bound sets where the diagnosis starts.
+        const auto render = [](const std::vector<double> &b) {
+            std::string s = "[";
+            for (size_t i = 0; i < b.size(); ++i)
+                s += (i ? ", " : "") + formatMetric(b[i]);
+            return s + "]";
+        };
+        warn("histogram '", name,
+             "' requested with conflicting bounds ", render(bounds),
+             "; keeping the registered bounds ",
+             render(slot->bounds()),
+             " (first registration wins — align the call sites)");
+    }
     return *slot;
 }
 

@@ -81,8 +81,19 @@ struct HistogramSnapshot
     double max = 0.0;
     std::vector<double> bounds;     ///< Ascending upper bounds.
     std::vector<uint64_t> buckets;  ///< bounds.size() + 1 (overflow).
+    /** Per-bucket exemplars (parallel to buckets): the id of the last
+     *  observation that landed there (0 = none recorded) and its
+     *  value. Tail buckets therefore link straight back to a concrete
+     *  request/trace seq id — "p99 is 80 ms, e.g. request 1234". */
+    std::vector<uint64_t> exemplarIds;
+    std::vector<double> exemplarValues;
 
     double mean() const { return count ? sum / count : 0.0; }
+
+    /** Exemplar id of the bucket containing quantile @p q (walking
+     *  down to lower buckets when the containing one has none);
+     *  0 when the histogram has no exemplars at all. */
+    uint64_t exemplarNear(double q) const;
 
     /**
      * Value at quantile @p q in [0, 1], linearly interpolated inside
@@ -105,9 +116,19 @@ class Histogram
 
     void observe(double value);
 
+    /**
+     * observe() plus an exemplar: @p exemplar_id (a request/trace seq
+     * id, nonzero) is remembered as the containing bucket's latest
+     * example, linking that bucket — in particular the tail ones —
+     * back to a concrete traceable event. Lock-free, last-write-wins.
+     */
+    void observe(double value, uint64_t exemplar_id);
+
     HistogramSnapshot snapshot(const std::string &name) const;
 
     void reset();
+
+    const std::vector<double> &bounds() const { return bounds_; }
 
     /** Default bounds: exponential milliseconds, 0.05 ms .. 10 s. */
     static std::vector<double> defaultLatencyBoundsMs();
@@ -115,6 +136,8 @@ class Histogram
   private:
     std::vector<double> bounds_;
     std::vector<std::atomic<uint64_t>> buckets_;
+    std::vector<std::atomic<uint64_t>> exemplarIds_;
+    std::vector<std::atomic<double>> exemplarValues_;
     std::atomic<uint64_t> count_{0};
     std::atomic<double> sum_{0.0};
     /** Idle at +/-inf so concurrent first observers need no seeding. */
@@ -171,7 +194,10 @@ class MetricsRegistry
     /**
      * Find-or-create a histogram. @p bounds applies on first creation
      * only (empty selects defaultLatencyBoundsMs()); later callers get
-     * the existing histogram regardless of bounds.
+     * the existing histogram regardless of bounds — a later caller
+     * passing different non-empty bounds gets a one-time warning
+     * naming both bound sets, since silently divergent expectations
+     * are how bucket-skew bugs hide.
      */
     Histogram &histogram(const std::string &name,
                          const std::vector<double> &bounds = {});

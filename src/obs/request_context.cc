@@ -1,0 +1,93 @@
+#include "obs/request_context.hh"
+
+#include "obs/span.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+thread_local RequestContext *tlsContext = nullptr;
+
+double
+nsToMs(uint64_t ns)
+{
+    return static_cast<double>(ns) / 1e6;
+}
+
+} // namespace
+
+RequestContext *
+RequestContext::current()
+{
+    return tlsContext;
+}
+
+LatencyBreakdown
+RequestContext::finishBreakdown() const
+{
+    LatencyBreakdown b;
+    b.admissionMs = admissionMs;
+    b.queueMs = queueMs;
+    b.batchAssemblyMs = batchAssemblyMs;
+    b.engineMs = nsToMs(engineNs_.load(std::memory_order_relaxed));
+    b.kernelMs = nsToMs(kernelNs_.load(std::memory_order_relaxed));
+    b.poolWaitMs =
+        nsToMs(poolWaitNs_.load(std::memory_order_relaxed));
+    for (size_t i = 0; i < kOpCategories; ++i)
+        b.stageMs[i] =
+            nsToMs(stageNs_[i].load(std::memory_order_relaxed));
+    return b;
+}
+
+std::string
+LatencyBreakdown::dominantStage() const
+{
+    // Kernel time is a subset of engine time; report the engine's
+    // non-kernel remainder so the shares are disjoint and the largest
+    // one actually names the bottleneck.
+    const double engine_other = std::max(0.0, engineMs - kernelMs);
+    std::string name = "queue";
+    double best = queueMs;
+    const auto consider = [&](const char *n, double v) {
+        if (v > best) {
+            best = v;
+            name = n;
+        }
+    };
+    consider("admission", admissionMs);
+    consider("batch", batchAssemblyMs);
+    consider("engine", engine_other);
+    if (kernelMs > best) {
+        size_t top = 0;
+        for (size_t i = 1; i < kOpCategories; ++i)
+            if (stageMs[i] > stageMs[top])
+                top = i;
+        best = kernelMs;
+        name = std::string("kernel:") +
+               opCategoryName(static_cast<OpCategory>(top));
+    }
+    return name;
+}
+
+RequestScope::RequestScope(RequestContext *context)
+{
+    if (!context)
+        return;
+    entered_ = true;
+    previous_ = tlsContext;
+    previousSpanId_ = Tracer::threadRequestId();
+    tlsContext = context;
+    Tracer::setThreadRequestId(context->id());
+}
+
+RequestScope::~RequestScope()
+{
+    if (!entered_)
+        return;
+    tlsContext = previous_;
+    Tracer::setThreadRequestId(previousSpanId_);
+}
+
+} // namespace vitdyn

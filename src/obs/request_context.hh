@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Request-scoped observability: the context a serving request carries
+ * end to end, and the thread-local ambient scope that lets deep
+ * layers (executor kernels, pool shards) attribute their work to the
+ * request without threading a parameter through every kernel API.
+ *
+ * Lifecycle: ServeScheduler::submit mints one RequestContext per
+ * admitted request (id, tenant class, deadline, admitted config) and
+ * stashes it on the QueuedRequest. The dispatcher enters a
+ * RequestScope around each per-image engine execution, so every span
+ * recorded inside carries the request id (see Tracer thread request
+ * ids in span.hh) and every instrumented stage adds its elapsed time
+ * to the context's timing accumulators. ThreadPool::parallelFor
+ * captures the ambient context at enqueue and re-enters it on the
+ * worker, so sharded kernel work and its queue wait attribute too.
+ *
+ * Cost model: with no scope active (batch experiments, benches) every
+ * hook is one thread-local pointer load and a branch — nothing
+ * allocates, nothing locks. Timing accumulators are relaxed atomics
+ * because pool workers add concurrently with the dispatcher.
+ */
+
+#ifndef VITDYN_OBS_REQUEST_CONTEXT_HH
+#define VITDYN_OBS_REQUEST_CONTEXT_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "graph/layer.hh"
+
+namespace vitdyn
+{
+
+constexpr size_t kOpCategories =
+    static_cast<size_t>(OpCategory::Other) + 1;
+
+/**
+ * Where one request's wall time went, in milliseconds. Every terminal
+ * ServeResponse carries one; the soak bench aggregates them into the
+ * per-class p99 attribution table and vitdyn_tracetool recomputes the
+ * same decomposition from exported traces.
+ */
+struct LatencyBreakdown
+{
+    double admissionMs = 0.0;  ///< submit(): admission decision.
+    double queueMs = 0.0;      ///< Enqueue to dispatch start.
+    double batchAssemblyMs = 0.0; ///< Dispatch start to engine entry
+                                  ///< (expiry sweep + tensor gather).
+    double engineMs = 0.0;     ///< Inside tryInferBatch for this
+                               ///< request (select + execute).
+    double kernelMs = 0.0;     ///< Sum of per-layer execute time
+                               ///< (subset of engineMs).
+    double poolWaitMs = 0.0;   ///< Kernel-shard queue wait attributed
+                               ///< to this request (saturation).
+    /** kernelMs split by op category (Conv, MatMul, ...). */
+    std::array<double, kOpCategories> stageMs{};
+
+    // --- annotations ---
+    bool downgraded = false;   ///< Admission picked a cheaper config.
+    bool rerouted = false;     ///< Quarantine moved it mid-flight.
+    bool deadlineMiss = false; ///< Completed/failed past deadline.
+
+    /** Dominant attributed stage ("queue", "batch", "engine",
+     *  "kernel:<category>") — the one-word answer to "why late?". */
+    std::string dominantStage() const;
+};
+
+/**
+ * The identity + live timing accumulators of one in-flight request.
+ * Not copyable (atomics); the terminal LatencyBreakdown is snapshotted
+ * out via finishBreakdown().
+ */
+class RequestContext
+{
+  public:
+    RequestContext(uint64_t id, int tenantClass) : id_(id),
+        tenantClass_(tenantClass)
+    {
+    }
+
+    RequestContext(const RequestContext &) = delete;
+    RequestContext &operator=(const RequestContext &) = delete;
+
+    uint64_t id() const { return id_; }
+    int tenantClass() const { return tenantClass_; }
+
+    /** Admitted config label (set by the scheduler after admission). */
+    const std::string &configLabel() const { return configLabel_; }
+    void setConfigLabel(std::string label)
+    {
+        configLabel_ = std::move(label);
+    }
+
+    /** Add per-layer execute time for @p category (executor hook). */
+    void addStageNs(OpCategory category, uint64_t ns)
+    {
+        stageNs_[static_cast<size_t>(category)].fetch_add(
+            ns, std::memory_order_relaxed);
+        kernelNs_.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    /** Add kernel-shard queue wait (pool hook, worker threads). */
+    void addPoolWaitNs(uint64_t ns)
+    {
+        poolWaitNs_.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    /** Engine wall time for this request (dispatcher only). */
+    void setEngineNs(uint64_t ns)
+    {
+        engineNs_.store(ns, std::memory_order_relaxed);
+    }
+
+    // Phase durations only the submit/dispatch threads write.
+    double admissionMs = 0.0;
+    double queueMs = 0.0;
+    double batchAssemblyMs = 0.0;
+
+    /** Snapshot the accumulators into the terminal breakdown. */
+    LatencyBreakdown finishBreakdown() const;
+
+    /**
+     * The context the current thread is attributing work to, or
+     * nullptr outside any request scope. One thread-local load.
+     */
+    static RequestContext *current();
+
+  private:
+    friend class RequestScope;
+
+    uint64_t id_ = 0;
+    int tenantClass_ = 0;
+    std::string configLabel_;
+    std::array<std::atomic<uint64_t>, kOpCategories> stageNs_{};
+    std::atomic<uint64_t> kernelNs_{0};
+    std::atomic<uint64_t> poolWaitNs_{0};
+    std::atomic<uint64_t> engineNs_{0};
+};
+
+/**
+ * RAII ambient scope: makes @p context the current thread's
+ * attribution target and tags every span recorded inside with the
+ * request id (restores the previous context/tag on exit, so nested
+ * scopes and scheduler-internal spans compose). A nullptr context is
+ * a no-op scope, so call sites need no guards.
+ */
+class RequestScope
+{
+  public:
+    explicit RequestScope(RequestContext *context);
+    ~RequestScope();
+
+    RequestScope(const RequestScope &) = delete;
+    RequestScope &operator=(const RequestScope &) = delete;
+
+  private:
+    RequestContext *previous_ = nullptr;
+    uint64_t previousSpanId_ = 0;
+    bool entered_ = false;
+};
+
+} // namespace vitdyn
+
+#endif // VITDYN_OBS_REQUEST_CONTEXT_HH

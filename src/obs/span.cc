@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace vitdyn
@@ -15,6 +17,9 @@ namespace
 
 /** Per-thread nesting depth for span containment reporting. */
 thread_local int tlsSpanDepth = 0;
+
+/** Serving-request id spans on this thread are attributed to. */
+thread_local uint64_t tlsRequestId = 0;
 
 /** Small sequential thread ids, stable for the process lifetime. */
 int
@@ -115,6 +120,18 @@ Tracer::now() const
 }
 
 void
+Tracer::setThreadRequestId(uint64_t id)
+{
+    tlsRequestId = id;
+}
+
+uint64_t
+Tracer::threadRequestId()
+{
+    return tlsRequestId;
+}
+
+void
 Tracer::record(SpanEvent event)
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -124,10 +141,15 @@ Tracer::record(SpanEvent event)
         ++size_;
         return;
     }
-    // Full: overwrite the oldest slot.
+    // Full: overwrite the oldest slot. Drops are visible two ways:
+    // dropped() for programmatic callers and the trace.dropped_spans
+    // counter so a metrics snapshot shows span loss on its own.
     ring_[head_] = std::move(event);
     head_ = (head_ + 1) % capacity_;
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    static Counter &dropped_spans =
+        MetricsRegistry::instance().counter("trace.dropped_spans");
+    dropped_spans.add();
 }
 
 void
@@ -142,6 +164,7 @@ Tracer::instant(std::string_view name, std::string_view category)
     event.instant = true;
     event.tid = threadId();
     event.depth = tlsSpanDepth;
+    event.requestId = tlsRequestId;
     record(std::move(event));
 }
 
@@ -187,6 +210,7 @@ ScopedSpan::open(Tracer &tracer, std::string_view name,
     event_.category.assign(category);
     event_.tid = threadId();
     event_.depth = tlsSpanDepth++;
+    event_.requestId = tlsRequestId;
     event_.startNs = tracer.now();
 }
 
@@ -249,16 +273,21 @@ chromeTraceJson(const std::vector<SpanEvent> &events)
         else
             out += ",\"dur\":" + microseconds(e.durationNs);
         out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
-        if (!e.args.empty()) {
+        if (!e.args.empty() || e.requestId != 0) {
             out += ",\"args\":{";
-            for (size_t a = 0; a < e.args.size(); ++a) {
-                const SpanArg &arg = e.args[a];
-                out += std::string(a ? "," : "") + "\"" +
+            bool first = true;
+            if (e.requestId != 0) {
+                out += "\"req\":" + std::to_string(e.requestId);
+                first = false;
+            }
+            for (const SpanArg &arg : e.args) {
+                out += std::string(first ? "" : ",") + "\"" +
                        jsonEscape(arg.key) + "\":";
                 if (arg.numeric)
                     out += arg.value;
                 else
                     out += "\"" + jsonEscape(arg.value) + "\"";
+                first = false;
             }
             out += "}";
         }
@@ -272,6 +301,18 @@ Status
 writeChromeTrace(const std::vector<SpanEvent> &events,
                  const std::string &path)
 {
+    // Ring overflow is silent while recording (tracing must never
+    // block the workload); surface it once where someone is actually
+    // looking at the output, so a truncated export is never mistaken
+    // for a complete one.
+    if (const uint64_t dropped = Tracer::instance().dropped()) {
+        static std::once_flag warned;
+        std::call_once(warned, [dropped] {
+            warn("trace export is incomplete: ", dropped,
+                 " span(s) were dropped by the ring buffer (raise "
+                 "Tracer::setCapacity or trim the traced region)");
+        });
+    }
     std::ofstream out(path);
     if (!out)
         return Status::error("cannot open '" + path +

@@ -57,6 +57,10 @@ struct SpanEvent
     int tid = 0;        ///< Small sequential thread id.
     int depth = 0;      ///< Nesting depth at record time (0 = root).
     uint64_t seq = 0;   ///< Global record order (ties in startNs).
+    /** Serving request this span belongs to (0 = none). Captured
+     *  from the thread request id at open time and exported as a
+     *  "req" arg, so a whole request's span chain is greppable. */
+    uint64_t requestId = 0;
     bool instant = false;
     std::vector<SpanArg> args;
 };
@@ -107,6 +111,15 @@ class Tracer
     {
         return dropped_.load(std::memory_order_relaxed);
     }
+
+    /**
+     * The serving-request id every span opened by the current thread
+     * is tagged with (0 = untagged). Maintained by RequestScope
+     * (obs/request_context.hh); ThreadPool propagates it onto worker
+     * shards. One thread-local store/load — no lock, no allocation.
+     */
+    static void setThreadRequestId(uint64_t id);
+    static uint64_t threadRequestId();
 
     /** Resize the ring; existing events are discarded. */
     void setCapacity(size_t capacity);

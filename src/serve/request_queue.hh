@@ -24,11 +24,13 @@
 #include <cstdint>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "obs/request_context.hh"
 #include "serve/serve.hh"
 
 namespace vitdyn
@@ -50,6 +52,11 @@ struct QueuedRequest
     double estimatedCost = 0.0;
     bool downgraded = false;
     Deadline enqueued{};
+    /** Request-scoped observability context minted at submit; owns
+     *  the timing accumulators behind the terminal response's
+     *  LatencyBreakdown (unique_ptr: the context holds atomics and
+     *  QueuedRequest must stay movable). */
+    std::unique_ptr<RequestContext> context;
     /** Fulfilled exactly once with the terminal outcome. */
     std::promise<ServeResponse> promise;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "util/logging.hh"
@@ -25,7 +26,14 @@ struct ServeCounters
     Counter &completed;
     Counter &rerouted;
     Counter &cancelled;
+    /** Per-class SLO accounting: serve.<class>.deadline_miss /
+     *  .downgrade counters and .latency_ms / .queue_ms histograms.
+     *  The latency/queue observations carry the request id as an
+     *  exemplar, so a tail bucket names a traceable request. */
     std::array<Counter *, kServeClasses> classMisses;
+    std::array<Counter *, kServeClasses> classDowngrades;
+    std::array<Histogram *, kServeClasses> classLatencyMs;
+    std::array<Histogram *, kServeClasses> classQueueMs;
     Histogram &queueWaitMs;
     Histogram &e2eMs;
     Histogram &batchSize;
@@ -44,15 +52,67 @@ serveCounters()
         m.counter("serve.completed"),
         m.counter("serve.rerouted"),
         m.counter("serve.cancelled"),
-        {&m.counter("serve.miss.critical"),
-         &m.counter("serve.miss.interactive"),
-         &m.counter("serve.miss.batch")},
+        {&m.counter("serve.critical.deadline_miss"),
+         &m.counter("serve.interactive.deadline_miss"),
+         &m.counter("serve.batch.deadline_miss")},
+        {&m.counter("serve.critical.downgrade"),
+         &m.counter("serve.interactive.downgrade"),
+         &m.counter("serve.batch.downgrade")},
+        {&m.histogram("serve.critical.latency_ms"),
+         &m.histogram("serve.interactive.latency_ms"),
+         &m.histogram("serve.batch.latency_ms")},
+        {&m.histogram("serve.critical.queue_ms"),
+         &m.histogram("serve.interactive.queue_ms"),
+         &m.histogram("serve.batch.queue_ms")},
         m.histogram("serve.queue_wait_ms"),
         m.histogram("serve.e2e_ms"),
         m.histogram("serve.batch_size",
                     {1, 2, 4, 8, 16, 32, 64, 128}),
     };
     return c;
+}
+
+/**
+ * Terminal per-request summary marker: one instant event tagged with
+ * the request id carrying the whole latency decomposition, so a
+ * flight dump (which keeps the request's span chain) and tracetool
+ * both see the scheduler's own accounting next to the raw spans.
+ */
+void
+recordRequestSummary(uint64_t id, ServeClass cls,
+                     const LatencyBreakdown &b,
+                     const std::string &config,
+                     const char *outcome)
+{
+    Tracer &tracer = Tracer::instance();
+    if (!tracer.enabled())
+        return;
+    SpanEvent ev;
+    ev.name = "serve.request";
+    ev.category = "serve";
+    ev.instant = true;
+    ev.startNs = tracer.now();
+    ev.requestId = id;
+    auto num = [&ev](const char *key, double v) {
+        ev.args.push_back(SpanArg{key, std::to_string(v), true});
+    };
+    ev.args.push_back(SpanArg{"class", serveClassName(cls), false});
+    ev.args.push_back(SpanArg{"outcome", outcome, false});
+    if (!config.empty())
+        ev.args.push_back(SpanArg{"config", config, false});
+    num("admission_ms", b.admissionMs);
+    num("queue_ms", b.queueMs);
+    num("batch_ms", b.batchAssemblyMs);
+    num("engine_ms", b.engineMs);
+    num("kernel_ms", b.kernelMs);
+    num("pool_wait_ms", b.poolWaitMs);
+    ev.args.push_back(SpanArg{
+        "deadline_miss", b.deadlineMiss ? "true" : "false", true});
+    ev.args.push_back(SpanArg{
+        "downgraded", b.downgraded ? "true" : "false", true});
+    ev.args.push_back(
+        SpanArg{"rerouted", b.rerouted ? "true" : "false", true});
+    tracer.record(std::move(ev));
 }
 
 double
@@ -135,11 +195,14 @@ ServeScheduler::submit(ServeRequest request)
     const AdmissionDecision decision = admission_.decide(
         request.budget, request.priority, request.deadline, now,
         gatherSignals(request.priority));
+    const double admission_ms =
+        elapsedMs(now, std::chrono::steady_clock::now());
     if (!decision.status) {
         ServeResponse response;
         response.id = id;
         response.status = decision.status;
         response.retryAfterMs = decision.retryAfterMs;
+        response.breakdown.admissionMs = admission_ms;
         rejected_.fetch_add(1, std::memory_order_relaxed);
         c.rejected.add();
         if (decision.status.code() == StatusCode::Quarantined)
@@ -165,6 +228,11 @@ ServeScheduler::submit(ServeRequest request)
     queued.estimatedCost = decision.estimatedCost;
     queued.downgraded = decision.downgraded;
     queued.enqueued = now;
+    queued.context = std::make_unique<RequestContext>(
+        id, static_cast<int>(request.priority));
+    queued.context->admissionMs = admission_ms;
+    queued.context->setConfigLabel(
+        engine_.lut().entries()[decision.configIndex].config.label);
     queued.promise = std::move(promise);
 
     if (!queue_.push(std::move(queued))) {
@@ -200,6 +268,7 @@ ServeScheduler::submit(ServeRequest request)
     if (decision.downgraded) {
         downgraded_.fetch_add(1, std::memory_order_relaxed);
         c.downgraded.add();
+        c.classDowngrades[cls]->add();
     }
     return future;
 }
@@ -229,6 +298,31 @@ ServeScheduler::dispatchLoop()
             deadlineMisses_[cls].fetch_add(1,
                                            std::memory_order_relaxed);
             c.classMisses[cls]->add();
+            if (request.context) {
+                request.context->queueMs = response.queueMs;
+                response.breakdown =
+                    request.context->finishBreakdown();
+            } else {
+                response.breakdown.queueMs = response.queueMs;
+            }
+            response.breakdown.downgraded = request.downgraded;
+            response.breakdown.deadlineMiss = true;
+            c.classLatencyMs[cls]->observe(response.totalMs,
+                                           request.id);
+            c.classQueueMs[cls]->observe(response.queueMs,
+                                         request.id);
+            recordRequestSummary(request.id, request.priority,
+                                 response.breakdown,
+                                 request.context
+                                     ? request.context->configLabel()
+                                     : std::string(),
+                                 "expired");
+            FlightRecorder::instance().trigger(
+                FlightTrigger::DeadlineMiss, request.id,
+                "deadline expired while queued (" +
+                    std::string(serveClassName(request.priority)) +
+                    ", waited " +
+                    std::to_string(response.queueMs) + " ms)");
             deliver(request, std::move(response));
         }
         if (popped->batch.empty())
@@ -241,13 +335,16 @@ ServeScheduler::dispatchLoop()
         double batch_cost = 0.0;
         std::vector<Tensor> images;
         std::vector<Deadline> deadlines;
+        std::vector<RequestContext *> contexts;
         images.reserve(batch.size());
         deadlines.reserve(batch.size());
+        contexts.reserve(batch.size());
         bool any_deadline = false;
         for (QueuedRequest &request : batch) {
             batch_cost += request.estimatedCost;
             images.push_back(std::move(request.image));
             deadlines.push_back(request.deadline);
+            contexts.push_back(request.context.get());
             any_deadline =
                 any_deadline || deadlineSet(request.deadline);
         }
@@ -265,10 +362,14 @@ ServeScheduler::dispatchLoop()
         // Forcing budget = admitted cost makes the engine's first
         // choice exactly the admitted config; quarantine reroutes
         // (and their bounded retries) happen inside the engine.
+        const Deadline engine_entry =
+            std::chrono::steady_clock::now();
+        const double batch_assembly_ms =
+            elapsedMs(dispatch_start, engine_entry);
         inflightCost_.store(batch_cost, std::memory_order_relaxed);
         std::vector<Result<DrtResult>> results =
             engine_.tryInferBatch(images, admitted_entry.resourceCost,
-                                  deadlines);
+                                  deadlines, contexts);
         inflightCost_.store(0.0, std::memory_order_relaxed);
         const Deadline dispatch_end =
             std::chrono::steady_clock::now();
@@ -338,6 +439,57 @@ ServeScheduler::dispatchLoop()
                     1, std::memory_order_relaxed);
                 c.classMisses[cls]->add();
             }
+
+            // Terminal observability: snapshot the context's
+            // accumulators (engine/kernel/pool attribution written
+            // during execution) into the response, report the
+            // per-class SLO metrics with the request id as exemplar,
+            // and fire the flight recorder on anomalies.
+            if (request.context) {
+                request.context->queueMs = response.queueMs;
+                request.context->batchAssemblyMs = batch_assembly_ms;
+                response.breakdown =
+                    request.context->finishBreakdown();
+            } else {
+                response.breakdown.queueMs = response.queueMs;
+                response.breakdown.batchAssemblyMs =
+                    batch_assembly_ms;
+            }
+            response.breakdown.downgraded = response.downgraded;
+            response.breakdown.rerouted = response.rerouted;
+            response.breakdown.deadlineMiss = missed_deadline;
+            c.classLatencyMs[cls]->observe(response.totalMs,
+                                           request.id);
+            c.classQueueMs[cls]->observe(response.queueMs,
+                                         request.id);
+            const std::string config_label =
+                response.status.isOk()
+                    ? response.result.configLabel
+                    : (request.context
+                           ? request.context->configLabel()
+                           : std::string());
+            recordRequestSummary(
+                request.id, request.priority, response.breakdown,
+                config_label,
+                response.status.isOk()
+                    ? "ok"
+                    : statusCodeName(response.status.code()));
+            FlightRecorder &recorder = FlightRecorder::instance();
+            if (missed_deadline)
+                recorder.trigger(
+                    FlightTrigger::DeadlineMiss, request.id,
+                    "request completed " +
+                        std::to_string(response.totalMs) +
+                        " ms after submit, past its deadline (" +
+                        serveClassName(request.priority) +
+                        ", dominant stage " +
+                        response.breakdown.dominantStage() + ")");
+            if (response.rerouted)
+                recorder.trigger(
+                    FlightTrigger::QuarantineReroute, request.id,
+                    "quarantine moved the request off config '" +
+                        admitted_entry.config.label + "' to '" +
+                        config_label + "'");
             deliver(request, std::move(response));
         }
     }

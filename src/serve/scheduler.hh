@@ -26,7 +26,13 @@
  * Metrics: serve.submitted/admitted/downgraded/rejected/expired/
  * completed/rerouted/cancelled counters, serve.queue_depth gauge,
  * serve.queue_wait_ms / serve.e2e_ms / serve.batch_size histograms,
- * plus per-class serve.miss.<class> deadline-miss counters.
+ * plus per-class SLO accounting: serve.<class>.deadline_miss /
+ * serve.<class>.downgrade counters and serve.<class>.latency_ms /
+ * serve.<class>.queue_ms histograms whose observations carry the
+ * request id as an exemplar (tail bucket -> traceable request).
+ * Every terminal outcome also carries a LatencyBreakdown and emits a
+ * "serve.request" summary trace event; deadline misses and
+ * quarantine reroutes fire the anomaly FlightRecorder when armed.
  */
 
 #ifndef VITDYN_SERVE_SCHEDULER_HH

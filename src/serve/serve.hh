@@ -21,6 +21,7 @@
 #include <string>
 
 #include "engine/engine.hh"
+#include "obs/request_context.hh"
 #include "tensor/tensor.hh"
 #include "util/deadline.hh"
 #include "util/status.hh"
@@ -98,6 +99,12 @@ struct ServeResponse
 
     /** Requests co-dispatched in the same engine batch (1 = alone). */
     size_t batchSize = 0;
+
+    /** Where the wall time went: admission / queue / batch assembly /
+     *  engine / per-category kernel time, plus downgrade/reroute/miss
+     *  annotations. Populated on every terminal outcome (zeros for
+     *  immediate admission rejections, which never queued). */
+    LatencyBreakdown breakdown;
 };
 
 inline const char *

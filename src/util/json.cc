@@ -1,0 +1,453 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+bool
+JsonValue::boolean() const
+{
+    vitdyn_assert(kind_ == Kind::Bool, "JsonValue: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::number() const
+{
+    vitdyn_assert(kind_ == Kind::Number, "JsonValue: not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::string() const
+{
+    vitdyn_assert(kind_ == Kind::String, "JsonValue: not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    vitdyn_assert(kind_ == Kind::Array, "JsonValue: not an array");
+    return array_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::object() const
+{
+    vitdyn_assert(kind_ == Kind::Object, "JsonValue: not an object");
+    return object_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return (v && v->isNumber()) ? v->number() : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return (v && v->isString()) ? v->string() : fallback;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Number;
+    j.number_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue j;
+    j.kind_ = Kind::String;
+    j.string_ = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Array;
+    j.array_ = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Object;
+    j.object_ = std::move(v);
+    return j;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Result<JsonValue> parse()
+    {
+        skipWs();
+        JsonValue value;
+        if (Status s = parseValue(value); !s)
+            return s;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing content after JSON document");
+        return value;
+    }
+
+  private:
+    Status fail(const std::string &why) const
+    {
+        return Status::error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char peek() const { return text_[pos_]; }
+
+    void skipWs()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    bool consume(char c)
+    {
+        if (atEnd() || peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    Status expectLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return fail("expected '" + std::string(lit) + "'");
+        pos_ += lit.size();
+        return Status::ok();
+    }
+
+    Status parseValue(JsonValue &out)
+    {
+        if (++depth_ > kMaxDepth) {
+            --depth_;
+            return fail("nesting depth exceeds " +
+                        std::to_string(kMaxDepth));
+        }
+        Status s = parseValueInner(out);
+        --depth_;
+        return s;
+    }
+
+    Status parseValueInner(JsonValue &out)
+    {
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"': {
+            std::string s;
+            if (Status st = parseString(s); !st)
+                return st;
+            out = JsonValue::makeString(std::move(s));
+            return Status::ok();
+          }
+          case 't':
+            if (Status st = expectLiteral("true"); !st)
+                return st;
+            out = JsonValue::makeBool(true);
+            return Status::ok();
+          case 'f':
+            if (Status st = expectLiteral("false"); !st)
+                return st;
+            out = JsonValue::makeBool(false);
+            return Status::ok();
+          case 'n':
+            if (Status st = expectLiteral("null"); !st)
+                return st;
+            out = JsonValue::makeNull();
+            return Status::ok();
+          default: return parseNumber(out);
+        }
+    }
+
+    Status parseObject(JsonValue &out)
+    {
+        ++pos_; // '{'
+        std::map<std::string, JsonValue> members;
+        skipWs();
+        if (consume('}')) {
+            out = JsonValue::makeObject(std::move(members));
+            return Status::ok();
+        }
+        while (true) {
+            skipWs();
+            if (atEnd() || peek() != '"')
+                return fail("expected string object key");
+            std::string key;
+            if (Status s = parseString(key); !s)
+                return s;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            skipWs();
+            JsonValue value;
+            if (Status s = parseValue(value); !s)
+                return s;
+            // Duplicate keys: last one wins, matching common readers.
+            members[std::move(key)] = std::move(value);
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                break;
+            return fail("expected ',' or '}' in object");
+        }
+        out = JsonValue::makeObject(std::move(members));
+        return Status::ok();
+    }
+
+    Status parseArray(JsonValue &out)
+    {
+        ++pos_; // '['
+        std::vector<JsonValue> items;
+        skipWs();
+        if (consume(']')) {
+            out = JsonValue::makeArray(std::move(items));
+            return Status::ok();
+        }
+        while (true) {
+            skipWs();
+            JsonValue value;
+            if (Status s = parseValue(value); !s)
+                return s;
+            items.push_back(std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                break;
+            return fail("expected ',' or ']' in array");
+        }
+        out = JsonValue::makeArray(std::move(items));
+        return Status::ok();
+    }
+
+    Status parseString(std::string &out)
+    {
+        ++pos_; // opening '"'
+        out.clear();
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return Status::ok();
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (atEnd())
+                return fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                uint32_t cp = 0;
+                if (Status s = parseHex4(cp); !s)
+                    return s;
+                // Surrogate pair: \uD8xx must be followed by \uDCxx.
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    if (text_.substr(pos_, 2) != "\\u")
+                        return fail("lone high surrogate");
+                    pos_ += 2;
+                    uint32_t low = 0;
+                    if (Status s = parseHex4(low); !s)
+                        return s;
+                    if (low < 0xDC00 || low > 0xDFFF)
+                        return fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (low - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    return fail("lone low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default: return fail("unknown escape character");
+            }
+        }
+    }
+
+    Status parseHex4(uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return Status::ok();
+    }
+
+    static void appendUtf8(std::string &out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    Status parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (consume('-')) {
+        }
+        if (atEnd() || peek() < '0' || peek() > '9')
+            return fail("invalid number");
+        // Leading zeros: "0" is fine, "0123" is not.
+        if (peek() == '0') {
+            ++pos_;
+            if (!atEnd() && peek() >= '0' && peek() <= '9')
+                return fail("leading zero in number");
+        } else {
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (consume('.')) {
+            if (atEnd() || peek() < '0' || peek() > '9')
+                return fail("digit required after decimal point");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (atEnd() || peek() < '0' || peek() > '9')
+                return fail("digit required in exponent");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        const double value = std::strtod(token.c_str(), nullptr);
+        if (!std::isfinite(value))
+            return fail("number out of range");
+        out = JsonValue::makeNumber(value);
+        return Status::ok();
+    }
+
+    static constexpr int kMaxDepth = 128;
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+Result<JsonValue>
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+Result<JsonValue>
+parseJsonFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        return Status::error("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    Result<JsonValue> parsed = parseJson(buffer.str());
+    if (!parsed)
+        return parsed.status().withContext(path);
+    return parsed;
+}
+
+} // namespace vitdyn

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader.
+ *
+ * Exists for the observability tooling: vitdyn_tracetool ingests the
+ * Chrome trace-event files and flight-recorder dumps this codebase
+ * itself writes, and the exporter tests round-trip their output
+ * through it (an escaping bug then fails a test instead of corrupting
+ * a trace viewer). It is a strict reader of standard JSON — objects,
+ * arrays, strings with escapes (\uXXXX included, encoded as UTF-8),
+ * numbers, true/false/null — with no streaming, no comments, and no
+ * write side (the exporters build their documents by hand so their
+ * byte-stable-output tests stay meaningful).
+ */
+
+#ifndef VITDYN_UTIL_JSON_HH
+#define VITDYN_UTIL_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace vitdyn
+{
+
+/** One parsed JSON value; a tagged tree. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; asserting the matching kind. */
+    bool boolean() const;
+    double number() const;
+    const std::string &string() const;
+    const std::vector<JsonValue> &array() const;
+    const std::map<std::string, JsonValue> &object() const;
+
+    /** Object member, or nullptr when absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member as number/string with a fallback (nullptr-safe chain:
+     *  works on any kind, returning @p fallback on mismatch). */
+    double numberOr(const std::string &key, double fallback) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+    // Construction (used by the parser and tests).
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray(std::vector<JsonValue> v);
+    static JsonValue makeObject(std::map<std::string, JsonValue> v);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+/**
+ * Parse one JSON document (surrounding whitespace allowed, trailing
+ * garbage rejected). Errors carry a byte offset and a short reason.
+ */
+Result<JsonValue> parseJson(std::string_view text);
+
+/** parseJson over a file's contents. */
+Result<JsonValue> parseJsonFile(const std::string &path);
+
+} // namespace vitdyn
+
+#endif // VITDYN_UTIL_JSON_HH

@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "obs/metrics.hh"
+#include "obs/request_context.hh"
 #include "obs/span.hh"
 #include "util/logging.hh"
 
@@ -196,6 +197,14 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
     Batch batch(fn);
     batch.remaining = shards;
 
+    // Attributed task wait: shards inherit the caller's ambient
+    // request context (parallelFor blocks until every shard is done,
+    // so the pointer outlives them), re-enter it on the worker — so
+    // pool.task spans carry the request id — and charge their queue
+    // wait to the request's breakdown (pool saturation shows up as
+    // *that request's* time, not just a pool-wide histogram).
+    RequestContext *req = RequestContext::current();
+
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto enqueued = std::chrono::steady_clock::now();
@@ -203,11 +212,16 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
             const int64_t s_begin = begin + range * i / shards;
             const int64_t s_end = begin + range * (i + 1) / shards;
             queue_.emplace_back(
-                [this, &batch, s_begin, s_end, enqueued] {
-                    taskWaitMs_.observe(
+                [this, &batch, s_begin, s_end, enqueued, req] {
+                    const double wait_ms =
                         std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - enqueued)
-                            .count());
+                            .count();
+                    taskWaitMs_.observe(wait_ms);
+                    RequestScope scope(req);
+                    if (req)
+                        req->addPoolWaitNs(
+                            static_cast<uint64_t>(wait_ms * 1e6));
                     runShard(batch, s_begin, s_end);
                 });
         }

@@ -1,13 +1,23 @@
 /** @file Tests of the observability layer: metrics registry,
- * histogram percentiles, scoped spans, and the exporters. */
+ * histogram percentiles and exemplars, scoped spans with request-id
+ * tagging, the exporters (including escaping round-trips through the
+ * in-tree JSON parser), and the anomaly flight recorder. */
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/request_context.hh"
 #include "obs/span.hh"
+#include "util/json.hh"
 
 namespace vitdyn
 {
@@ -78,6 +88,80 @@ TEST(Histogram, ResetZeroesInPlace)
     EXPECT_DOUBLE_EQ(snap.min, 0.0);
     h.observe(3.0);
     EXPECT_DOUBLE_EQ(h.snapshot("h").min, 3.0);
+}
+
+TEST(Histogram, ExemplarsLinkBucketsToObservationIds)
+{
+    Histogram h({10.0, 100.0});
+    h.observe(5.0, 11);   // first bucket
+    h.observe(50.0, 22);  // second bucket
+    h.observe(60.0, 23);  // second bucket again: last write wins
+    h.observe(500.0, 33); // overflow bucket
+
+    const HistogramSnapshot snap = h.snapshot("h");
+    ASSERT_EQ(snap.exemplarIds.size(), 3u);
+    EXPECT_EQ(snap.exemplarIds[0], 11u);
+    EXPECT_EQ(snap.exemplarIds[1], 23u);
+    EXPECT_EQ(snap.exemplarIds[2], 33u);
+    EXPECT_DOUBLE_EQ(snap.exemplarValues[1], 60.0);
+
+    // The tail quantile names the overflow bucket's exemplar — "p99
+    // is 500 ms, e.g. request 33".
+    EXPECT_EQ(snap.exemplarNear(0.99), 33u);
+    // A quantile whose bucket lacks an exemplar walks down to the
+    // nearest lower bucket that has one.
+    Histogram sparse({10.0, 100.0});
+    sparse.observe(5.0, 44);
+    sparse.observe(50.0); // no exemplar recorded in this bucket
+    EXPECT_EQ(sparse.snapshot("s").exemplarNear(0.99), 44u);
+
+    h.reset();
+    const HistogramSnapshot cleared = h.snapshot("h");
+    EXPECT_EQ(cleared.exemplarIds[2], 0u);
+    EXPECT_EQ(cleared.exemplarNear(0.99), 0u);
+}
+
+TEST(Metrics, ExemplarsAppearInJsonExportOnly)
+{
+    MetricsRegistry registry;
+    registry.histogram("lat", {10.0, 100.0}).observe(500.0, 77);
+    const MetricsSnapshot snap = registry.snapshot();
+    const std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"exemplar\""), std::string::npos);
+    EXPECT_NE(json.find("\"req\": 77"), std::string::npos);
+    // CSV keeps its fixed column set — no ragged exemplar columns.
+    EXPECT_EQ(snap.toCsv().find("exemplar"), std::string::npos);
+
+    // The JSON export parses cleanly and carries the exemplar.
+    Result<JsonValue> parsed = parseJson(json);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().message();
+    const JsonValue *hists = parsed.value().find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const JsonValue *hist = hists->find("lat");
+    ASSERT_NE(hist, nullptr);
+    const JsonValue *buckets = hist->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_TRUE(buckets->isArray());
+    const JsonValue &overflow = buckets->array().back();
+    EXPECT_DOUBLE_EQ(overflow.numberOr("exemplar", -1.0), -1.0);
+    const JsonValue *ex = overflow.find("exemplar");
+    ASSERT_NE(ex, nullptr);
+    EXPECT_DOUBLE_EQ(ex->numberOr("req", 0.0), 77.0);
+}
+
+TEST(Metrics, ConflictingHistogramBoundsKeepFirstRegistration)
+{
+    MetricsRegistry registry;
+    Histogram &first = registry.histogram("h", {1.0, 2.0});
+    // A later caller with different non-empty bounds gets the
+    // existing histogram (and a one-time warning, not a new object).
+    Histogram &second = registry.histogram("h", {5.0, 6.0, 7.0});
+    EXPECT_EQ(&first, &second);
+    ASSERT_EQ(second.bounds().size(), 2u);
+    EXPECT_DOUBLE_EQ(second.bounds()[0], 1.0);
+    // Empty bounds (the common "look it up again" case) never warn
+    // and also return the registered histogram.
+    EXPECT_EQ(&registry.histogram("h"), &first);
 }
 
 TEST(Metrics, ConcurrentCounterIncrementsAllLand)
@@ -285,6 +369,294 @@ TEST(Span, ScopedSpanArgsRenderTyped)
     EXPECT_EQ(events[0].args[1].value, "-3");
     EXPECT_EQ(events[0].args[2].value, "true");
     EXPECT_EQ(events[0].args[3].value, "0.5");
+}
+TEST(Span, RequestScopeTagsSpansAndRestores)
+{
+    FixedClockTracer fixture;
+    Tracer &tracer = fixture.tracer;
+    RequestContext outer_ctx(42, 0);
+    RequestContext inner_ctx(43, 1);
+
+    EXPECT_EQ(Tracer::threadRequestId(), 0u);
+    {
+        RequestScope outer(&outer_ctx);
+        EXPECT_EQ(RequestContext::current(), &outer_ctx);
+        EXPECT_EQ(Tracer::threadRequestId(), 42u);
+        ScopedSpan span(tracer, "work", "test");
+        {
+            RequestScope inner(&inner_ctx);
+            EXPECT_EQ(Tracer::threadRequestId(), 43u);
+            ScopedSpan nested(tracer, "nested", "test");
+        }
+        // The inner scope restored the outer tag on exit.
+        EXPECT_EQ(Tracer::threadRequestId(), 42u);
+        // A nullptr context is a no-op scope, not a reset-to-zero.
+        RequestScope noop(nullptr);
+        EXPECT_EQ(Tracer::threadRequestId(), 42u);
+    }
+    EXPECT_EQ(RequestContext::current(), nullptr);
+    EXPECT_EQ(Tracer::threadRequestId(), 0u);
+    tracer.instant("untagged", "test");
+
+    const std::vector<SpanEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].name, "nested");
+    EXPECT_EQ(events[0].requestId, 43u);
+    EXPECT_EQ(events[1].name, "work");
+    EXPECT_EQ(events[1].requestId, 42u);
+    EXPECT_EQ(events[2].requestId, 0u);
+
+    // Tagged spans export a "req" arg; untagged ones stay arg-free.
+    const std::string json = chromeTraceJson(events);
+    EXPECT_NE(json.find("\"req\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"req\":43"), std::string::npos);
+    Result<JsonValue> parsed = parseJson(json);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().message();
+    for (const JsonValue &ev :
+         parsed.value().find("traceEvents")->array()) {
+        const JsonValue *args = ev.find("args");
+        const bool tagged =
+            args && args->find("req") != nullptr;
+        EXPECT_EQ(tagged, ev.stringOr("name", "") != "untagged");
+    }
+}
+
+TEST(Span, RequestContextAccumulatesStageTime)
+{
+    RequestContext ctx(9, 0);
+    ctx.admissionMs = 0.25;
+    ctx.queueMs = 3.0;
+    ctx.batchAssemblyMs = 0.5;
+    ctx.addStageNs(OpCategory::MatMul, 2'000'000);
+    ctx.addStageNs(OpCategory::MatMul, 1'000'000);
+    ctx.addStageNs(OpCategory::Softmax, 500'000);
+    ctx.addPoolWaitNs(250'000);
+    ctx.setEngineNs(5'000'000);
+
+    const LatencyBreakdown b = ctx.finishBreakdown();
+    EXPECT_DOUBLE_EQ(b.admissionMs, 0.25);
+    EXPECT_DOUBLE_EQ(b.queueMs, 3.0);
+    EXPECT_DOUBLE_EQ(b.engineMs, 5.0);
+    EXPECT_DOUBLE_EQ(b.kernelMs, 3.5);
+    EXPECT_DOUBLE_EQ(b.poolWaitMs, 0.25);
+    EXPECT_DOUBLE_EQ(
+        b.stageMs[static_cast<size_t>(OpCategory::MatMul)], 3.0);
+    // kernel (3.5) beats queue (3.0): dominant names the top category.
+    EXPECT_EQ(b.dominantStage(), "kernel:MatMul");
+
+    LatencyBreakdown queued;
+    queued.queueMs = 10.0;
+    queued.engineMs = 2.0;
+    EXPECT_EQ(queued.dominantStage(), "queue");
+}
+
+TEST(Span, DroppedSpansLandInMetricsCounter)
+{
+    const uint64_t before =
+        MetricsRegistry::instance().counter("trace.dropped_spans")
+            .value();
+    Tracer tracer(2);
+    tracer.setEnabled(true);
+    for (int i = 0; i < 5; ++i)
+        tracer.instant("e" + std::to_string(i), "test");
+    EXPECT_EQ(tracer.dropped(), 3u);
+    EXPECT_EQ(MetricsRegistry::instance()
+                  .counter("trace.dropped_spans")
+                  .value(),
+              before + 3);
+}
+
+TEST(Span, ChromeTraceJsonEscapingRoundTrips)
+{
+    // Names and args with every character class the escaper handles:
+    // quotes, backslashes, newlines/tabs, and raw control bytes. The
+    // export must parse as valid JSON and decode back byte-identical.
+    SpanEvent e;
+    e.name = "layer \"q\\k\" \n\ttail \x01\x1f end";
+    e.category = "cat\\\"x\"";
+    e.startNs = 1000;
+    e.durationNs = 2000;
+    e.tid = 3;
+    e.args = {{"msg", "a\\b \"c\"\r\n\x02 d", false},
+              {"path\t\"p\"", "v", false}};
+
+    const std::string json = chromeTraceJson({e});
+    Result<JsonValue> parsed = parseJson(json);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().message();
+    const JsonValue *events = parsed.value().find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->array().size(), 1u);
+    const JsonValue &ev = events->array()[0];
+    EXPECT_EQ(ev.stringOr("name", ""), e.name);
+    EXPECT_EQ(ev.stringOr("cat", ""), e.category);
+    const JsonValue *args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->stringOr("msg", ""), e.args[0].value);
+    const JsonValue *odd_key = args->find("path\t\"p\"");
+    ASSERT_NE(odd_key, nullptr);
+    EXPECT_EQ(odd_key->string(), "v");
+}
+
+/** Arms the process flight recorder into a fresh temp subdirectory
+ *  and restores global tracer/recorder state on exit (both are
+ *  process-wide singletons shared across tests). */
+struct FlightRecorderFixture
+{
+    std::string dir;
+
+    explicit FlightRecorderFixture(const std::string &name)
+    {
+        dir = testing::TempDir() + "vitdyn_" + name;
+        std::remove(dir.c_str());
+        mkdir(dir.c_str(), 0755);
+        Tracer::instance().clear();
+    }
+
+    ~FlightRecorderFixture()
+    {
+        FlightRecorder::instance().disarm();
+        Tracer::instance().clear();
+        Tracer::setThreadRequestId(0);
+    }
+};
+
+TEST(FlightRecorder, DumpContainsTriggeringRequestChain)
+{
+    FlightRecorderFixture fixture("dump");
+    FlightRecorder &recorder = FlightRecorder::instance();
+    FlightRecorderOptions options;
+    options.directory = fixture.dir;
+    options.minIntervalMs = 0.0;
+    recorder.arm(options);
+    ASSERT_TRUE(Tracer::instance().enabled());
+
+    // Two requests' spans interleave in the ring; the dump must keep
+    // only the triggering request's chain.
+    Tracer::setThreadRequestId(5);
+    {
+        ScopedSpan span(Tracer::instance(), "drt.execute", "engine");
+        ScopedSpan inner(Tracer::instance(), "executor.run", "graph");
+    }
+    Tracer::setThreadRequestId(6);
+    Tracer::instance().instant("other.request", "engine");
+    Tracer::setThreadRequestId(0);
+
+    recorder.trigger(FlightTrigger::DeadlineMiss, 5,
+                     "deadline missed by 3.0 ms");
+    EXPECT_EQ(recorder.triggers(), 1u);
+    ASSERT_EQ(recorder.dumps(), 1u);
+    const std::vector<std::string> paths = recorder.dumpPaths();
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_NE(paths[0].find("deadline_miss"), std::string::npos);
+
+    Result<JsonValue> parsed = parseJsonFile(paths[0]);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().message();
+    const JsonValue &dump = parsed.value();
+    const JsonValue *header = dump.find("flightRecorder");
+    ASSERT_NE(header, nullptr);
+    EXPECT_EQ(header->stringOr("trigger", ""), "deadline_miss");
+    EXPECT_DOUBLE_EQ(header->numberOr("request", 0.0), 5.0);
+    EXPECT_EQ(header->stringOr("detail", ""),
+              "deadline missed by 3.0 ms");
+
+    const JsonValue *spans = dump.find("spans");
+    ASSERT_NE(spans, nullptr);
+    const JsonValue *events = spans->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->array().size(), 2u);
+    for (const JsonValue &ev : events->array()) {
+        const JsonValue *args = ev.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_DOUBLE_EQ(args->numberOr("req", 0.0), 5.0);
+        EXPECT_NE(ev.stringOr("name", ""), "other.request");
+    }
+    // The embedded metrics snapshot parses too (it is the same
+    // object MetricsSnapshot::toJson writes).
+    const JsonValue *metrics = dump.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_NE(metrics->find("counters"), nullptr);
+}
+
+TEST(FlightRecorder, RequestlessTriggerKeepsContextWindow)
+{
+    FlightRecorderFixture fixture("panic");
+    FlightRecorder &recorder = FlightRecorder::instance();
+    FlightRecorderOptions options;
+    options.directory = fixture.dir;
+    options.minIntervalMs = 0.0;
+    options.contextSpans = 2;
+    recorder.arm(options);
+
+    for (int i = 0; i < 5; ++i)
+        Tracer::instance().instant("tick" + std::to_string(i),
+                                   "test");
+    recorder.trigger(FlightTrigger::ControllerPanic, 0,
+                     "panic mode");
+    ASSERT_EQ(recorder.dumps(), 1u);
+    Result<JsonValue> parsed =
+        parseJsonFile(recorder.dumpPaths()[0]);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().message();
+    const JsonValue *events =
+        parsed.value().find("spans")->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    // Only the trailing contextSpans window survives.
+    ASSERT_EQ(events->array().size(), 2u);
+    EXPECT_EQ(events->array()[0].stringOr("name", ""), "tick3");
+    EXPECT_EQ(events->array()[1].stringOr("name", ""), "tick4");
+}
+
+TEST(FlightRecorder, DumpBudgetAndRateLimitSuppress)
+{
+    FlightRecorderFixture fixture("limits");
+    FlightRecorder &recorder = FlightRecorder::instance();
+    const uint64_t suppressed_before =
+        MetricsRegistry::instance().counter("flight.suppressed")
+            .value();
+    FlightRecorderOptions options;
+    options.directory = fixture.dir;
+    options.maxDumps = 1;
+    options.minIntervalMs = 60'000.0; // nothing inside the window
+    recorder.arm(options);
+
+    recorder.trigger(FlightTrigger::QuarantineReroute, 1, "first");
+    recorder.trigger(FlightTrigger::QuarantineReroute, 2, "second");
+    recorder.trigger(FlightTrigger::QuarantineReroute, 3, "third");
+    EXPECT_EQ(recorder.triggers(), 3u);
+    EXPECT_EQ(recorder.dumps(), 1u);
+    EXPECT_EQ(recorder.dumpPaths().size(), 1u);
+    EXPECT_EQ(MetricsRegistry::instance()
+                  .counter("flight.suppressed")
+                  .value(),
+              suppressed_before + 2);
+
+    // Per-trigger disables drop the event before rate limiting.
+    FlightRecorderOptions off = options;
+    off.onQuarantineReroute = false;
+    recorder.arm(off); // re-arm resets the budget
+    recorder.trigger(FlightTrigger::QuarantineReroute, 4, "masked");
+    EXPECT_EQ(recorder.dumps(), 0u);
+}
+
+TEST(FlightRecorder, DisarmRestoresTracerEnableState)
+{
+    FlightRecorderFixture fixture("restore");
+    Tracer &tracer = Tracer::instance();
+    const bool was_enabled = tracer.enabled();
+    tracer.setEnabled(false);
+
+    FlightRecorderOptions options;
+    options.directory = fixture.dir;
+    FlightRecorder::instance().arm(options);
+    EXPECT_TRUE(tracer.enabled()); // arm turned capture on
+    FlightRecorder::instance().disarm();
+    EXPECT_FALSE(tracer.enabled()); // ...and disarm turned it back off
+    // A disarmed trigger is a no-op probe.
+    FlightRecorder::instance().trigger(FlightTrigger::DeadlineMiss, 1,
+                                       "ignored");
+    EXPECT_EQ(FlightRecorder::instance().dumpPaths().size(), 0u);
+
+    tracer.setEnabled(was_enabled);
 }
 #endif // VITDYN_TRACING_DISABLED
 

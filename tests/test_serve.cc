@@ -1,10 +1,13 @@
 /** @file Tests of the multi-tenant serving front end: queue ordering
  * (priority + EDF + expiry), admission downgrade-then-reject policy,
- * deadline-aware engine entry points, and the end-to-end scheduler
- * (concurrent submission, quarantine reroute, shutdown), including
- * the exactly-one-terminal-outcome invariant. */
+ * deadline-aware engine entry points, the end-to-end scheduler
+ * (concurrent submission, quarantine reroute, shutdown) including
+ * the exactly-one-terminal-outcome invariant, and the per-request
+ * observability pipeline (latency breakdowns, flight dumps). */
 
 #include <gtest/gtest.h>
+
+#include <sys/stat.h>
 
 #include <atomic>
 #include <chrono>
@@ -13,9 +16,12 @@
 #include <vector>
 
 #include "fault/fault.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/span.hh"
 #include "serve/admission.hh"
 #include "serve/request_queue.hh"
 #include "serve/scheduler.hh"
+#include "util/json.hh"
 #include "util/random.hh"
 
 namespace vitdyn
@@ -599,6 +605,135 @@ TEST(ServeScheduler, ShutdownWithoutDrainCancelsPending)
     EXPECT_EQ(scheduler.submit(std::move(late)).get().status.code(),
               StatusCode::Cancelled);
 }
+
+TEST(ServeScheduler, CompletedRequestCarriesLatencyBreakdown)
+{
+    DrtEngine engine(ModelFamily::Segformer, tinyBase(), SwinConfig{},
+                     AccuracyResourceLut(tinyPoints(), "ms"), 17);
+    ServeSchedulerOptions options;
+    options.maxBatch = 2;
+    options.initialCostScale = 1e-6;
+    ServeScheduler scheduler(engine, options);
+
+    ServeRequest request;
+    request.image = testImage(1);
+    request.budget = 1000.0;
+    request.priority = ServeClass::Interactive;
+    const ServeResponse response =
+        scheduler.submit(std::move(request)).get();
+    scheduler.shutdown(true);
+
+    ASSERT_TRUE(response.status.isOk()) << response.status.message();
+    const LatencyBreakdown &b = response.breakdown;
+    // Engine time was measured, kernel time attributed inside it,
+    // and the per-category split sums to the kernel total.
+    EXPECT_GT(b.engineMs, 0.0);
+    EXPECT_GT(b.kernelMs, 0.0);
+    EXPECT_LE(b.kernelMs, b.engineMs);
+    double stage_sum = 0.0;
+    for (double ms : b.stageMs)
+        stage_sum += ms;
+    EXPECT_NEAR(stage_sum, b.kernelMs, 1e-6);
+    EXPECT_GE(b.queueMs, 0.0);
+    EXPECT_GE(b.admissionMs, 0.0);
+    EXPECT_FALSE(b.deadlineMiss);
+    // A tensor workload is kernel-dominated once it leaves the queue;
+    // dominantStage names either queue time or a kernel category.
+    EXPECT_FALSE(b.dominantStage().empty());
+}
+
+#ifndef VITDYN_TRACING_DISABLED
+TEST(ServeScheduler, DeadlineMissWritesFlightDumpWithSpanChain)
+{
+    const std::string dir =
+        testing::TempDir() + "vitdyn_serve_flight";
+    mkdir(dir.c_str(), 0755);
+    FlightRecorder &recorder = FlightRecorder::instance();
+    Tracer::instance().clear();
+    FlightRecorderOptions fr;
+    fr.directory = dir;
+    fr.minIntervalMs = 0.0;
+    recorder.arm(fr);
+
+    DrtEngine engine(ModelFamily::Segformer, tinyBase(), SwinConfig{},
+                     AccuracyResourceLut(tinyPoints(), "ms"), 17);
+    ServeSchedulerOptions options;
+    options.maxBatch = 1;
+    options.initialCostScale = 1e-9;
+    ServeScheduler scheduler(engine, options);
+
+    // Same shape as QueueExpiredDeadlineIsTypedAndNeverRuns: fillers
+    // occupy the dispatcher while a dated request expires behind
+    // them, which must fire the DeadlineMiss flight trigger.
+    std::vector<std::future<ServeResponse>> fillers;
+    for (int i = 0; i < 5; ++i) {
+        ServeRequest request;
+        request.image = testImage(static_cast<uint64_t>(i + 1));
+        request.budget = 1000.0;
+        request.priority = ServeClass::Critical;
+        fillers.push_back(scheduler.submit(std::move(request)));
+    }
+    ServeRequest dated;
+    dated.image = testImage(99);
+    dated.budget = 1000.0;
+    dated.priority = ServeClass::Batch;
+    dated.deadline = deadlineAfterMs(0.5);
+    const ServeResponse doomed =
+        scheduler.submit(std::move(dated)).get();
+    for (auto &filler : fillers)
+        filler.get();
+    scheduler.shutdown(true);
+    recorder.disarm();
+    Tracer::instance().clear();
+
+    EXPECT_EQ(doomed.status.code(), StatusCode::DeadlineExceeded);
+    EXPECT_TRUE(doomed.breakdown.deadlineMiss);
+    EXPECT_GT(doomed.breakdown.queueMs, 0.0);
+
+    ASSERT_GE(recorder.triggers(), 1u);
+    const std::vector<std::string> paths = recorder.dumpPaths();
+    ASSERT_GE(paths.size(), 1u);
+    EXPECT_NE(paths[0].find("deadline_miss"), std::string::npos);
+
+    Result<JsonValue> parsed = parseJsonFile(paths[0]);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().message();
+    const JsonValue *header = parsed.value().find("flightRecorder");
+    ASSERT_NE(header, nullptr);
+    EXPECT_EQ(header->stringOr("trigger", ""), "deadline_miss");
+    const double req_id = header->numberOr("request", 0.0);
+    EXPECT_GT(req_id, 0.0);
+    EXPECT_NE(header->stringOr("detail", "").find("deadline"),
+              std::string::npos);
+
+    // The dump carries the missed request's span chain — at minimum
+    // the scheduler's terminal serve.request summary, every event
+    // tagged with the triggering request's id.
+    const JsonValue *spans = parsed.value().find("spans");
+    ASSERT_NE(spans, nullptr);
+    const JsonValue *events = spans->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_GE(events->array().size(), 1u);
+    bool saw_summary = false;
+    for (const JsonValue &ev : events->array()) {
+        const JsonValue *args = ev.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_DOUBLE_EQ(args->numberOr("req", 0.0), req_id);
+        if (ev.stringOr("name", "") == "serve.request") {
+            saw_summary = true;
+            EXPECT_EQ(args->stringOr("outcome", ""), "expired");
+            EXPECT_GT(args->numberOr("queue_ms", 0.0), 0.0);
+        }
+    }
+    EXPECT_TRUE(saw_summary);
+    // The embedded metrics snapshot recorded the miss for the class.
+    const JsonValue *metrics = parsed.value().find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const JsonValue *counters = metrics->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_GE(counters->numberOr("serve.batch.deadline_miss", 0.0),
+              1.0);
+}
+#endif // VITDYN_TRACING_DISABLED
 
 } // namespace
 } // namespace vitdyn

@@ -1,4 +1,5 @@
-/** @file Unit tests for the util substrate: RNG, tables, arg parsing. */
+/** @file Unit tests for the util substrate: RNG, tables, arg
+ * parsing, CSV, and the JSON reader. */
 
 #include <gtest/gtest.h>
 
@@ -6,6 +7,7 @@
 
 #include "util/args.hh"
 #include "util/csv.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/table.hh"
@@ -217,6 +219,72 @@ TEST(Csv, ParseHandlesCrLfAndNoTrailingNewline)
     ASSERT_EQ(rows.size(), 2u);
     EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
     EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Json, ParsesScalarsAndContainers)
+{
+    Result<JsonValue> r = parseJson(
+        "  {\"n\": -12.5e1, \"s\": \"hi\", \"t\": true, \"f\": false,"
+        " \"z\": null, \"a\": [1, 2, 3], \"o\": {\"k\": \"v\"}}  ");
+    ASSERT_TRUE(r.isOk()) << r.status().message();
+    const JsonValue &v = r.value();
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.numberOr("n", 0.0), -125.0);
+    EXPECT_EQ(v.stringOr("s", ""), "hi");
+    EXPECT_TRUE(v.find("t")->boolean());
+    EXPECT_FALSE(v.find("f")->boolean());
+    EXPECT_TRUE(v.find("z")->isNull());
+    ASSERT_EQ(v.find("a")->array().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.find("a")->array()[1].number(), 2.0);
+    EXPECT_EQ(v.find("o")->stringOr("k", ""), "v");
+    // Fallback accessors are nullptr-safe on absent keys.
+    EXPECT_DOUBLE_EQ(v.numberOr("missing", 7.0), 7.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, DecodesEscapesAndSurrogatePairs)
+{
+    Result<JsonValue> r = parseJson(
+        "\"q\\\" b\\\\ s\\/ n\\n r\\r t\\t u\\u0041 e\\u00e9 "
+        "p\\ud83d\\ude00\"");
+    ASSERT_TRUE(r.isOk()) << r.status().message();
+    EXPECT_EQ(r.value().string(),
+              "q\" b\\ s/ n\n r\r t\t uA e\xc3\xa9 p\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",                      // empty
+        "{\"a\": 1",             // unterminated object
+        "[1, 2,]",               // trailing comma
+        "{\"a\" 1}",             // missing colon
+        "\"unterminated",        // unterminated string
+        "\"raw \x01 control\"",  // unescaped control char
+        "01",                    // leading zero
+        "1.",                    // bare trailing dot
+        "+1",                    // leading plus
+        "nul",                   // truncated keyword
+        "\"lone \\ud83d pair\"", // unpaired surrogate
+        "{} trailing",           // garbage after the document
+        "1e400",                 // overflows to infinity
+    };
+    for (const char *doc : bad) {
+        Result<JsonValue> r = parseJson(doc);
+        EXPECT_FALSE(r.isOk()) << "accepted: " << doc;
+    }
+    // Errors carry a byte offset for locating the problem.
+    Result<JsonValue> r = parseJson("{\"a\": !}");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_NE(r.status().message().find("at byte"),
+              std::string::npos);
+}
+
+TEST(Json, DuplicateKeysLastWins)
+{
+    Result<JsonValue> r = parseJson("{\"k\": 1, \"k\": 2}");
+    ASSERT_TRUE(r.isOk());
+    EXPECT_DOUBLE_EQ(r.value().numberOr("k", 0.0), 2.0);
 }
 
 TEST(Logging, ParseLogLevelNamesAndCase)

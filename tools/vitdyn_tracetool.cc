@@ -1,0 +1,399 @@
+/**
+ * @file
+ * vitdyn_tracetool: offline analysis of the serving stack's
+ * observability artifacts.
+ *
+ * Ingests any mix of:
+ *  - Chrome trace-event exports (writeChromeTrace / --trace-out), and
+ *  - flight-recorder anomaly dumps (obs/flight_recorder.hh),
+ * groups spans by the "req" request id the tracer tags them with, and
+ * prints:
+ *  - one line per flight dump (trigger, request, detail) so an
+ *    anomaly directory reads as an incident log;
+ *  - per-request critical paths (--requests N slowest): the span tree
+ *    of each request with the dominant child chain marked;
+ *  - a per-tenant-class p99 attribution table: where the tail
+ *    requests' wall time went (admission / queue / batch assembly /
+ *    engine / kernel / pool wait), from the scheduler's
+ *    "serve.request" summary events.
+ *
+ * Usage:
+ *   vitdyn_tracetool trace.json flight_*.json
+ *   vitdyn_tracetool --requests 3 soak_trace.json
+ *
+ * Exit status: 0 when every input parsed, 1 when any file is
+ * malformed (missing, unparseable, or not a recognized dump shape) —
+ * CI runs it over the soak artifacts as a format gate.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using vitdyn::JsonValue;
+using vitdyn::Result;
+
+/** One span/instant extracted from a trace-event array. */
+struct ToolEvent
+{
+    std::string name;
+    std::string category;
+    double tsUs = 0.0;
+    double durUs = 0.0;
+    int tid = 0;
+    uint64_t requestId = 0;
+    bool instant = false;
+    const JsonValue *args = nullptr; ///< Into the parsed document.
+};
+
+/** The scheduler's "serve.request" terminal summary, one request. */
+struct RequestSummary
+{
+    uint64_t id = 0;
+    std::string tenantClass;
+    std::string outcome;
+    std::string config;
+    double admissionMs = 0.0;
+    double queueMs = 0.0;
+    double batchMs = 0.0;
+    double engineMs = 0.0;
+    double kernelMs = 0.0;
+    double poolWaitMs = 0.0;
+    bool deadlineMiss = false;
+
+    double totalMs() const
+    {
+        return admissionMs + queueMs + batchMs + engineMs;
+    }
+};
+
+struct Ingest
+{
+    std::vector<ToolEvent> events;
+    std::map<uint64_t, RequestSummary> summaries;
+    size_t traceFiles = 0;
+    size_t flightFiles = 0;
+};
+
+bool
+extractEvents(const JsonValue &trace_doc, Ingest &ingest,
+              const std::string &path)
+{
+    const JsonValue *events = trace_doc.find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr,
+                     "%s: no traceEvents array (not a Chrome trace)\n",
+                     path.c_str());
+        return false;
+    }
+    for (const JsonValue &e : events->array()) {
+        if (!e.isObject()) {
+            std::fprintf(stderr, "%s: non-object trace event\n",
+                         path.c_str());
+            return false;
+        }
+        ToolEvent ev;
+        ev.name = e.stringOr("name", "");
+        ev.category = e.stringOr("cat", "");
+        ev.tsUs = e.numberOr("ts", 0.0);
+        ev.durUs = e.numberOr("dur", 0.0);
+        ev.tid = static_cast<int>(e.numberOr("tid", 0.0));
+        ev.instant = e.stringOr("ph", "X") == "i";
+        ev.args = e.find("args");
+        if (ev.args)
+            ev.requestId = static_cast<uint64_t>(
+                ev.args->numberOr("req", 0.0));
+
+        if (ev.name == "serve.request" && ev.args) {
+            RequestSummary s;
+            s.id = ev.requestId;
+            s.tenantClass = ev.args->stringOr("class", "unknown");
+            s.outcome = ev.args->stringOr("outcome", "unknown");
+            s.config = ev.args->stringOr("config", "");
+            s.admissionMs = ev.args->numberOr("admission_ms", 0.0);
+            s.queueMs = ev.args->numberOr("queue_ms", 0.0);
+            s.batchMs = ev.args->numberOr("batch_ms", 0.0);
+            s.engineMs = ev.args->numberOr("engine_ms", 0.0);
+            s.kernelMs = ev.args->numberOr("kernel_ms", 0.0);
+            s.poolWaitMs = ev.args->numberOr("pool_wait_ms", 0.0);
+            const JsonValue *miss = ev.args->find("deadline_miss");
+            s.deadlineMiss = miss && miss->isBool() && miss->boolean();
+            ingest.summaries[s.id] = s;
+        }
+        ingest.events.push_back(ev);
+    }
+    return true;
+}
+
+/**
+ * One input file: flight dump or bare Chrome trace. The parsed
+ * document is appended to @p docs and must outlive @p ingest —
+ * ToolEvent::args points into it (moving the owning JsonValue on
+ * vector growth is fine; children stay on their own heap).
+ */
+bool
+ingestFile(const std::string &path, Ingest &ingest,
+           std::vector<JsonValue> &docs)
+{
+    Result<JsonValue> parsed = vitdyn::parseJsonFile(path);
+    if (!parsed) {
+        std::fprintf(stderr, "%s\n",
+                     parsed.status().message().c_str());
+        return false;
+    }
+    docs.push_back(parsed.take());
+    const JsonValue &doc = docs.back();
+    if (!doc.isObject()) {
+        std::fprintf(stderr, "%s: top level is not an object\n",
+                     path.c_str());
+        return false;
+    }
+
+    if (const JsonValue *header = doc.find("flightRecorder")) {
+        if (!header->isObject()) {
+            std::fprintf(stderr, "%s: malformed flightRecorder header\n",
+                         path.c_str());
+            return false;
+        }
+        const JsonValue *spans = doc.find("spans");
+        if (!spans) {
+            std::fprintf(stderr, "%s: flight dump without spans\n",
+                         path.c_str());
+            return false;
+        }
+        const uint64_t req =
+            static_cast<uint64_t>(header->numberOr("request", 0.0));
+        std::printf("flight %s: trigger=%s request=%llu spans=%.0f\n"
+                    "  detail: %s\n",
+                    path.c_str(),
+                    header->stringOr("trigger", "?").c_str(),
+                    static_cast<unsigned long long>(req),
+                    header->numberOr("spanCount", 0.0),
+                    header->stringOr("detail", "").c_str());
+        ++ingest.flightFiles;
+        return extractEvents(*spans, ingest, path);
+    }
+
+    ++ingest.traceFiles;
+    return extractEvents(doc, ingest, path);
+}
+
+/**
+ * Print one request's span tree. Nesting is reconstructed from
+ * timestamp containment within each tid; at every level the heaviest
+ * child (the critical-path edge) is marked with '*'.
+ */
+void
+printRequestTree(uint64_t id, const RequestSummary *summary,
+                 std::vector<ToolEvent> spans)
+{
+    std::printf("request %llu",
+                static_cast<unsigned long long>(id));
+    if (summary)
+        std::printf("  [%s, %s%s, total %.3f ms]",
+                    summary->tenantClass.c_str(),
+                    summary->outcome.c_str(),
+                    summary->deadlineMiss ? ", DEADLINE MISS" : "",
+                    summary->totalMs());
+    std::printf("\n");
+
+    std::sort(spans.begin(), spans.end(),
+              [](const ToolEvent &a, const ToolEvent &b) {
+                  if (a.tsUs != b.tsUs)
+                      return a.tsUs < b.tsUs;
+                  return a.durUs > b.durUs;
+              });
+
+    // Containment stack per tid; heaviest sibling per (tid, depth).
+    std::map<int, std::vector<const ToolEvent *>> open;
+    std::map<std::pair<int, size_t>, double> heaviest;
+    for (const ToolEvent &e : spans)
+        if (!e.instant) {
+            auto &stack = open[e.tid];
+            while (!stack.empty() &&
+                   e.tsUs >= stack.back()->tsUs + stack.back()->durUs)
+                stack.pop_back();
+            auto key = std::make_pair(e.tid, stack.size());
+            heaviest[key] = std::max(heaviest[key], e.durUs);
+            stack.push_back(&e);
+        }
+
+    open.clear();
+    for (const ToolEvent &e : spans) {
+        if (e.instant) {
+            std::printf("    .       %-10s %s\n", e.category.c_str(),
+                        e.name.c_str());
+            continue;
+        }
+        auto &stack = open[e.tid];
+        while (!stack.empty() &&
+               e.tsUs >= stack.back()->tsUs + stack.back()->durUs)
+            stack.pop_back();
+        const size_t depth = stack.size();
+        const bool critical =
+            e.durUs >=
+            heaviest[std::make_pair(e.tid, depth)] - 1e-9;
+        std::printf("  %c %8.3f %-10s %*s%s\n", critical ? '*' : ' ',
+                    e.durUs / 1e3, e.category.c_str(),
+                    static_cast<int>(2 * depth), "",
+                    e.name.c_str());
+        stack.push_back(&e);
+    }
+}
+
+double
+quantileOf(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t idx = static_cast<size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/** Per-class p99 attribution: where the tail's wall time went. */
+void
+printAttributionTable(const std::map<uint64_t, RequestSummary> &all)
+{
+    std::map<std::string, std::vector<const RequestSummary *>>
+        by_class;
+    for (const auto &[id, s] : all)
+        by_class[s.tenantClass].push_back(&s);
+
+    std::printf("\nper-class p99 latency attribution (tail = "
+                "requests at or above p99 total)\n");
+    std::printf("%-12s %6s %9s %9s %7s | %6s %6s %6s %6s %6s %6s\n",
+                "class", "n", "p50ms", "p99ms", "miss%", "adm%",
+                "queue%", "batch%", "eng%", "kern%", "pool%");
+    for (auto &[cls, reqs] : by_class) {
+        std::vector<double> totals;
+        totals.reserve(reqs.size());
+        size_t misses = 0;
+        for (const RequestSummary *s : reqs) {
+            totals.push_back(s->totalMs());
+            misses += s->deadlineMiss ? 1 : 0;
+        }
+        std::sort(totals.begin(), totals.end());
+        const double p50 = quantileOf(totals, 0.50);
+        const double p99 = quantileOf(totals, 0.99);
+
+        // Tail shares: average the phase decomposition over every
+        // request whose total reaches p99 (>= 1 request by
+        // construction).
+        double adm = 0, queue = 0, batch = 0, engine = 0, kernel = 0,
+               pool = 0, total = 0;
+        for (const RequestSummary *s : reqs) {
+            if (s->totalMs() < p99)
+                continue;
+            adm += s->admissionMs;
+            queue += s->queueMs;
+            batch += s->batchMs;
+            engine += s->engineMs - s->kernelMs;
+            kernel += s->kernelMs;
+            pool += s->poolWaitMs;
+            total += s->totalMs();
+        }
+        const double denom = total > 0.0 ? total : 1.0;
+        std::printf("%-12s %6zu %9.3f %9.3f %6.1f%% | %5.1f%% "
+                    "%5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+                    cls.c_str(), reqs.size(), p50, p99,
+                    100.0 * static_cast<double>(misses) /
+                        static_cast<double>(reqs.size()),
+                    100.0 * adm / denom, 100.0 * queue / denom,
+                    100.0 * batch / denom, 100.0 * engine / denom,
+                    100.0 * kernel / denom, 100.0 * pool / denom);
+    }
+    if (by_class.empty())
+        std::printf("  (no serve.request summaries in the inputs)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    size_t show_requests = 5;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--requests N] <trace.json|flight.json>..."
+                "\n\nParses Chrome trace exports and flight-recorder "
+                "dumps; prints per-request\ncritical paths (N slowest"
+                ", default 5) and a per-class p99 attribution table."
+                "\nExits 1 on any malformed input.\n",
+                argv[0]);
+            return 0;
+        }
+        if (arg == "--requests") {
+            if (i + 1 >= argc)
+                vitdyn_fatal("--requests needs a value");
+            show_requests =
+                static_cast<size_t>(std::atoll(argv[++i]));
+            continue;
+        }
+        if (arg.rfind("--", 0) == 0)
+            vitdyn_fatal("unknown option '", arg,
+                         "' (see --help)");
+        paths.push_back(arg);
+    }
+    if (paths.empty())
+        vitdyn_fatal("no input files (see --help)");
+
+    // Keep every parsed document alive: ToolEvent::args points into
+    // them.
+    Ingest ingest;
+    std::vector<JsonValue> docs;
+    docs.reserve(paths.size());
+    bool ok = true;
+    for (const std::string &path : paths)
+        ok = ingestFile(path, ingest, docs) && ok;
+    if (!ok)
+        return 1;
+
+    std::printf("parsed %zu trace file(s), %zu flight dump(s): "
+                "%zu events, %zu request summaries\n",
+                ingest.traceFiles, ingest.flightFiles,
+                ingest.events.size(), ingest.summaries.size());
+
+    // Slowest requests first (by summary total; requests without a
+    // summary are skipped — they have no attribution to rank by).
+    std::vector<const RequestSummary *> ranked;
+    for (const auto &[id, s] : ingest.summaries)
+        ranked.push_back(&s);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RequestSummary *a, const RequestSummary *b) {
+                  return a->totalMs() > b->totalMs();
+              });
+    if (ranked.size() > show_requests)
+        ranked.resize(show_requests);
+
+    std::map<uint64_t, std::vector<ToolEvent>> by_request;
+    for (const ToolEvent &e : ingest.events)
+        if (e.requestId != 0)
+            by_request[e.requestId].push_back(e);
+
+    if (!ranked.empty())
+        std::printf("\n%zu slowest request(s), span tree "
+                    "(* = critical path, ms):\n",
+                    ranked.size());
+    for (const RequestSummary *s : ranked) {
+        printRequestTree(s->id, s, by_request[s->id]);
+        std::printf("\n");
+    }
+
+    printAttributionTable(ingest.summaries);
+    return 0;
+}

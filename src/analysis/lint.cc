@@ -309,6 +309,39 @@ checkAttributes(const Graph &graph, LintReport &report,
             break;
         }
 
+        // Pass-framework annotations: a fused epilogue is only
+        // meaningful on a Conv2d, and in-place reuse only on the
+        // elementwise kinds the executor knows how to run in place.
+        if (layer.fused.any()) {
+            if (layer.kind != LayerKind::Conv2d)
+                bad("attr.fuse.kind",
+                    "fused epilogue on non-Conv2d layer");
+            if (layer.fused.bn && layer.fused.bnName.empty())
+                bad("attr.fuse.bn-name",
+                    "fused BatchNorm lost its original layer name "
+                    "(weight-store identity)");
+            if (layer.fused.activation != LayerKind::Identity &&
+                layer.fused.activation != LayerKind::ReLU &&
+                layer.fused.activation != LayerKind::GELU)
+                bad("attr.fuse.activation",
+                    std::string("unsupported fused activation ") +
+                        layerKindName(layer.fused.activation));
+        }
+        if (layer.inplacePriority > 0) {
+            switch (layer.kind) {
+              case LayerKind::ReLU:
+              case LayerKind::GELU:
+              case LayerKind::Add:
+              case LayerKind::BatchNorm:
+                break;
+              default:
+                bad("attr.inplace.kind",
+                    std::string("in-place priority on ") +
+                        layerKindName(layer.kind) +
+                        ", which the executor cannot run in place");
+            }
+        }
+
         if (report.diagnostics().size() != before)
             state[i].attrsOk = false;
     }

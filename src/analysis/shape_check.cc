@@ -331,9 +331,14 @@ deriveParams(const Layer &layer)
         if (a.groups <= 0)
             return 0;
         const int64_t bias = a.hasBias ? a.outChannels : 0;
+        // A fused BatchNorm keeps its per-channel affine pair; the
+        // params travel with the conv so graph totals are invariant
+        // under fusion.
+        const int64_t epilogue =
+            layer.fused.bn ? 2 * a.outChannels : 0;
         return a.outChannels * (a.inChannels / a.groups) * a.kernelH *
                    a.kernelW +
-               bias;
+               bias + epilogue;
       }
       case LayerKind::Linear: {
         const int64_t bias = a.hasBias ? a.outFeatures : 0;
@@ -355,11 +360,23 @@ deriveFlops(const Layer &layer)
         return 0;
     const int64_t elems = numel(layer.outShape);
     switch (layer.kind) {
-      case LayerKind::Conv2d:
+      case LayerKind::Conv2d: {
+        // MAC-counting convention (one multiply-accumulate = 1 FLOP),
+        // plus whatever epilogue work fusion absorbed from the
+        // original BatchNorm (2/elem) and activation (ReLU 1/elem,
+        // GELU 8/elem) layers.
+        int64_t flops = deriveMacs(layer);
+        if (layer.fused.bn)
+            flops += 2 * elems;
+        if (layer.fused.activation == LayerKind::ReLU)
+            flops += elems;
+        else if (layer.fused.activation == LayerKind::GELU)
+            flops += 8 * elems;
+        return flops;
+      }
       case LayerKind::Linear:
       case LayerKind::AttentionScore:
       case LayerKind::AttentionContext:
-        // MAC-counting convention (one multiply-accumulate = 1 FLOP).
         return deriveMacs(layer);
       case LayerKind::Softmax:
         return 5 * elems;

@@ -226,6 +226,25 @@ DrtEngine::acquirePath(size_t index) const
         family_ == ModelFamily::Segformer
             ? applySegformerPrune(segBase_, entry.config)
             : applySwinPrune(swinBase_, entry.config));
+    if (options_.passPipeline) {
+        // Rewrite before the executor binds to the graph: fusion and
+        // folding change the layer list, and the executor's per-layer
+        // plans (conv workspaces, liveness) must see the final form.
+        PassManager pipeline =
+            PassManager::standardPipeline(options_.passOptions);
+        Result<PipelineReport> rewritten = pipeline.run(*path.graph);
+        if (rewritten) {
+            span.arg("pass_rewrites", static_cast<int64_t>(
+                                          rewritten.value().totalRewrites()));
+        } else {
+            // Transactional pipeline: the graph holds the last
+            // lint-clean state, so the path stays servable.
+            warn("DRT path '", entry.config.label,
+                 "' pass pipeline failed (serving partially "
+                 "rewritten): ",
+                 rewritten.status().message());
+        }
+    }
     path.executor = std::make_unique<Executor>(*path.graph, seed_,
                                                options_.weightStore);
     registerFullDims(fullGraph_, *path.executor);

@@ -37,6 +37,7 @@
 #include "engine/lut.hh"
 #include "fault/fault.hh"
 #include "graph/executor.hh"
+#include "graph/passes/pass.hh"
 #include "resilience/sweep.hh"
 #include "util/deadline.hh"
 #include "util/status.hh"
@@ -130,6 +131,21 @@ struct DrtEngineOptions
 
     /** Config lint gate (see DrtLintOptions). */
     DrtLintOptions lint;
+
+    /**
+     * Run the standard rewrite pipeline (graph/passes/) over every
+     * path graph as it materializes: conv+BN+activation fusion,
+     * no-op folding, dead-layer elimination and in-place reuse
+     * annotation. Execution stays bit-identical to the unrewritten
+     * graph; only intermediate materializations go away. A pipeline
+     * failure on one path is logged and that path runs with however
+     * far the transactional pipeline got (always lint-clean) — it is
+     * never a serving outage.
+     */
+    bool passPipeline = false;
+
+    /** Lint/preserve configuration for the pass pipeline's gates. */
+    PassOptions passOptions;
 };
 
 /** DRT inference engine over one pretrained model and one LUT. */

@@ -164,6 +164,24 @@ ModelSwitchingEngine::acquireExecutor(const Choice &choice) const
     // heap block and the cache only ever moves the shared_ptr.
     auto m = std::make_shared<MaterializedChoice>();
     m->graph = buildChoice(choice);
+    if (passPipeline_) {
+        // Candidate prep: rewrite before the executor binds to the
+        // graph, so its conv workspaces and liveness plan see the
+        // fused form. The pipeline is transactional per pass — on
+        // failure the graph keeps the last lint-clean state and the
+        // choice still serves.
+        PassManager pipeline =
+            PassManager::standardPipeline(passOptions_);
+        Result<PipelineReport> rewritten = pipeline.run(m->graph);
+        if (rewritten)
+            span.arg("pass_rewrites", static_cast<int64_t>(
+                                          rewritten.value().totalRewrites()));
+        else
+            warn("choice '", key,
+                 "' pass pipeline failed (serving partially "
+                 "rewritten): ",
+                 rewritten.status().message());
+    }
     m->executor = std::make_unique<Executor>(m->graph, seed_, store_);
     if (!choice.isTrainedVariant) {
         // Pruned paths slice the reference variant's full weights —

@@ -19,6 +19,7 @@
 
 #include "engine/lut.hh"
 #include "graph/executor.hh"
+#include "graph/passes/pass.hh"
 #include "resilience/sweep.hh"
 #include "util/deadline.hh"
 #include "util/status.hh"
@@ -128,6 +129,19 @@ class ModelSwitchingEngine
     /** Weight store for acquired executors; nullptr = process-wide. */
     void setWeightStore(WeightStore *store) { store_ = store; }
 
+    /**
+     * Run the standard rewrite pipeline (graph/passes/) over every
+     * candidate graph as acquireExecutor materializes it. Bit-identical
+     * execution, fewer intermediate tensors; same failure policy as
+     * DrtEngineOptions::passPipeline (log and serve the last
+     * lint-clean state). Takes effect on the next cache miss.
+     */
+    void setPassPipeline(bool enabled, PassOptions options = {})
+    {
+        passPipeline_ = enabled;
+        passOptions_ = std::move(options);
+    }
+
     const AccuracyResourceLut &lut() const { return lut_; }
 
   private:
@@ -146,6 +160,8 @@ class ModelSwitchingEngine
     uint64_t seed_ = 1;
     size_t cacheCapacity_ = 8;
     WeightStore *store_ = nullptr;
+    bool passPipeline_ = false;
+    PassOptions passOptions_;
     /** Reference (largest variant) graph, built on first pruned
      *  acquire, for registerFullDims-style weight sharing. */
     mutable std::unique_ptr<Graph> referenceFull_;

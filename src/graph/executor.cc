@@ -77,6 +77,12 @@ Executor::warmupWeights()
     for (const Layer &layer : graph_.layers()) {
         switch (layer.kind) {
           case LayerKind::Conv2d:
+            weightsFor(layer);
+            // Fused epilogues fold their scale/shift once at warmup
+            // too, so the first frame after a switch pays nothing.
+            if (layer.fused.bn)
+                epilogueFor(layer);
+            break;
           case LayerKind::Linear:
           case LayerKind::LayerNorm:
           case LayerKind::BatchNorm:
@@ -146,6 +152,54 @@ Executor::weightsFor(const Layer &layer)
         .first->second;
 }
 
+const Executor::ConvEpilogue &
+Executor::epilogueFor(const Layer &layer)
+{
+    auto it = epilogues_.find(layer.id);
+    if (it != epilogues_.end())
+        return it->second;
+
+    ConvEpilogue ep;
+    if (layer.fused.bn) {
+        // Proxy descriptor for the original BatchNorm layer: same
+        // name and channel count, so the store serves exactly the
+        // tensors the unfused graph would have used — including the
+        // full-dims slicing a pruned path relies on.
+        Layer bn;
+        bn.id = layer.id;
+        bn.name = layer.fused.bnName;
+        bn.kind = LayerKind::BatchNorm;
+        bn.attrs.inChannels = layer.attrs.outChannels;
+        int64_t full_out = 0;
+        int64_t full_in = 0;
+        if (auto fit = fullDims_.find(bn.name); fit != fullDims_.end()) {
+            full_out = fit->second.first;
+            full_in = fit->second.second;
+        }
+        const SharedLayerWeights w =
+            store_->get(seed_, bn, full_out, full_in);
+        const int64_t c = layer.attrs.outChannels;
+        vitdyn_assert(w.weight->numel() == c && w.var->numel() == c,
+                      "fused BN '", bn.name, "' expects ", c,
+                      " channels, store served ", w.weight->numel());
+        ep.scale.resize(static_cast<size_t>(c));
+        ep.shift.resize(static_cast<size_t>(c));
+        constexpr float eps = 1e-5f; // batchNorm()'s default
+        for (int64_t cc = 0; cc < c; ++cc) {
+            // Exactly batchNorm()'s per-channel expressions, so the
+            // folded constants are bit-equal to what the unfused
+            // layer computes every frame.
+            const float scale =
+                (*w.weight)[cc] / std::sqrt((*w.var)[cc] + eps);
+            ep.scale[static_cast<size_t>(cc)] = scale;
+            ep.shift[static_cast<size_t>(cc)] =
+                (*w.bias)[cc] - (*w.mean)[cc] * scale;
+        }
+        ep.affine = true;
+    }
+    return epilogues_.emplace(layer.id, std::move(ep)).first->second;
+}
+
 Tensor
 Executor::execute(const Layer &layer, const std::vector<Tensor *> &ins)
 {
@@ -167,11 +221,30 @@ Executor::execute(const Layer &layer, const std::vector<Tensor *> &ins)
         p.padH = a.padH;
         p.padW = a.padW;
         p.groups = a.groups;
-        if (int8_)
-            return conv2dInt8(quantize(*ins.at(0)),
-                              quantize(*lw.weight), *lw.bias, p);
-        return conv2d(*ins.at(0), *lw.weight, *lw.bias, p,
-                      Conv2dAlgo::Auto, &convWs_[layer.id]);
+        Tensor out =
+            int8_ ? conv2dInt8(quantize(*ins.at(0)),
+                               quantize(*lw.weight), *lw.bias, p)
+                  : conv2d(*ins.at(0), *lw.weight, *lw.bias, p,
+                           Conv2dAlgo::Auto, &convWs_[layer.id]);
+        if (layer.fused.any()) {
+            // Pass-framework fusion: the conv arithmetic above is
+            // untouched; BN scale/shift and the activation run as one
+            // in-place sweep, bit-identical to the original layer
+            // sequence (the int8 path too — its unfused BN/activation
+            // also ran in float on the dequantized conv output).
+            const ConvEpilogue &ep = epilogueFor(layer);
+            const EpilogueAct act =
+                layer.fused.activation == LayerKind::ReLU
+                    ? EpilogueAct::ReLU
+                    : layer.fused.activation == LayerKind::GELU
+                          ? EpilogueAct::GELU
+                          : EpilogueAct::None;
+            convEpilogueInPlace(out,
+                                ep.affine ? ep.scale.data() : nullptr,
+                                ep.affine ? ep.shift.data() : nullptr,
+                                act);
+        }
+        return out;
       }
       case LayerKind::Linear: {
         const SharedLayerWeights &lw = weightsFor(layer);
@@ -337,6 +410,58 @@ Executor::execute(const Layer &layer, const std::vector<Tensor *> &ins)
     vitdyn_panic("unhandled layer kind in execute");
 }
 
+namespace
+{
+
+/** Kinds executeInPlace can run; mirrors the attr.inplace.kind lint. */
+bool
+supportsInPlace(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::ReLU:
+      case LayerKind::GELU:
+      case LayerKind::Add:
+      case LayerKind::BatchNorm:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+Executor::executeInPlace(const Layer &layer, Tensor &x,
+                         const std::vector<Tensor *> &ins)
+{
+    switch (layer.kind) {
+      case LayerKind::ReLU:
+        reluInPlace(x);
+        return;
+      case LayerKind::GELU:
+        geluInPlace(x);
+        return;
+      case LayerKind::BatchNorm: {
+        const SharedLayerWeights &lw = weightsFor(layer);
+        batchNormInPlace(x, *lw.weight, *lw.bias, *lw.mean, *lw.var);
+        return;
+      }
+      case LayerKind::Add: {
+        // Add(x, x): ins[1] aliases the slot x was moved out of, so
+        // point it back at x (read-then-write per index is safe).
+        const Tensor &rhs =
+            layer.inputs.size() > 1 && layer.inputs[1] == layer.inputs[0]
+                ? x
+                : *ins.at(1);
+        addInPlace(x, rhs);
+        return;
+      }
+      default:
+        vitdyn_panic("executeInPlace on unsupported kind ",
+                     layerKindName(layer.kind));
+    }
+}
+
 std::map<std::string, Tensor>
 Executor::run(const std::map<std::string, Tensor> &inputs)
 {
@@ -393,7 +518,41 @@ Executor::run(const std::map<std::string, Tensor> &inputs)
             std::chrono::steady_clock::time_point layer_start;
             if (req)
                 layer_start = std::chrono::steady_clock::now();
-            values[layer.id] = execute(layer, ins);
+            // In-place buffer reuse (pass-framework annotation): take
+            // over the first input's buffer when this layer is its
+            // final consumer and it is not a graph output. The
+            // annotation is only a hint — every condition is
+            // re-verified here, so a stale priority can never corrupt
+            // a live tensor.
+            const int in0 =
+                layer.inputs.empty() ? -1 : layer.inputs[0];
+            const bool reuse =
+                layer.inplacePriority > 0 && !layer.bypassed &&
+                !int8_ && in0 >= 0 && supportsInPlace(layer.kind) &&
+                last_use[in0] == layer.id && !is_output[in0] &&
+                values[in0].numel() > 0 &&
+                values[in0].shape() == layer.outShape;
+            if (reuse) {
+                static Counter &reuses =
+                    MetricsRegistry::instance().counter(
+                        "executor.inplace_reuses");
+                Tensor taken = std::move(values[in0]);
+                // Reset the vacated slot: a moved-from Tensor keeps
+                // its numel_, and the release loop below keys "still
+                // live" off numel() > 0.
+                values[in0] = Tensor{};
+                // The buffer changed owner, not size: retire the
+                // input's accounting now; the generic bookkeeping
+                // below re-adds it as this layer's output.
+                live_bytes -=
+                    static_cast<size_t>(taken.numel()) * 4;
+                --live_tensors;
+                executeInPlace(layer, taken, ins);
+                values[layer.id] = std::move(taken);
+                reuses.add();
+            } else {
+                values[layer.id] = execute(layer, ins);
+            }
             if (req)
                 req->addStageNs(
                     layer.category(),

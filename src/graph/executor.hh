@@ -173,7 +173,33 @@ class Executor
     /** Fetch (and cache) the shared weight views for a layer. */
     const SharedLayerWeights &weightsFor(const Layer &layer);
 
+    /**
+     * Precomputed per-channel scale/shift of a conv layer's fused
+     * BatchNorm epilogue (graph/passes/ fusion). The constants are
+     * computed with exactly batchNorm()'s per-channel expressions
+     * from the original BN layer's store tensors, so applying them is
+     * bit-identical to running the unfused BatchNorm layer.
+     */
+    struct ConvEpilogue
+    {
+        std::vector<float> scale;
+        std::vector<float> shift;
+        bool affine = false; ///< False when only an activation fused.
+    };
+
+    /** Build (and cache) the epilogue constants for a fused conv. */
+    const ConvEpilogue &epilogueFor(const Layer &layer);
+
     Tensor execute(const Layer &layer, const std::vector<Tensor *> &ins);
+
+    /**
+     * Execute an elementwise layer directly on @p x (the moved-in
+     * first input) — the in-place buffer-reuse path taken when the
+     * pass framework annotated the layer and run() verified this
+     * layer is the buffer's final consumer.
+     */
+    void executeInPlace(const Layer &layer, Tensor &x,
+                        const std::vector<Tensor *> &ins);
 
     /** Append @p tensor's health to healthReport_. */
     void checkHealth(const Layer &layer, const Tensor &tensor);
@@ -188,6 +214,7 @@ class Executor
     PostLayerHook postHook_;
     std::map<std::string, std::pair<int64_t, int64_t>> fullDims_;
     std::map<int, SharedLayerWeights> cache_;
+    std::map<int, ConvEpilogue> epilogues_;
     /**
      * Per-conv-layer im2col/GEMM scratch, reused across run() calls
      * (frames). Keyed by layer id, so a config switch — which builds a

@@ -2,10 +2,56 @@
 
 #include <sstream>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace vitdyn
 {
+
+namespace
+{
+
+/**
+ * Infer every layer's output shape into a parallel vector without
+ * writing the graph. Producers already visited in this run contribute
+ * their freshly inferred shape; forward references (possible before a
+ * normalize) fall back to the producer's stored shape — the same
+ * propagation order the historical in-place update used. On error the
+ * Status names the offending layer and @p layers is untouched.
+ */
+Result<std::vector<Shape>>
+inferAllShapes(const std::vector<Layer> &layers)
+{
+    const int n = static_cast<int>(layers.size());
+    std::vector<Shape> shapes(n);
+    std::vector<bool> done(n, false);
+    for (int pos = 0; pos < n; ++pos) {
+        const Layer &layer = layers[pos];
+        if (layer.kind == LayerKind::Input) {
+            shapes[pos] = layer.outShape;
+            done[pos] = true;
+            continue;
+        }
+        std::vector<Shape> in_shapes;
+        in_shapes.reserve(layer.inputs.size());
+        for (int in_id : layer.inputs) {
+            if (in_id < 0 || in_id >= n)
+                return Status::error(detail::formatParts(
+                    "layer '", layer.name, "' references id ", in_id,
+                    " out of range"));
+            in_shapes.push_back(done[in_id] ? shapes[in_id]
+                                            : layers[in_id].outShape);
+        }
+        Result<Shape> out = tryInferShape(layer, in_shapes);
+        if (!out)
+            return out.status();
+        shapes[pos] = out.take();
+        done[pos] = true;
+    }
+    return shapes;
+}
+
+} // namespace
 
 Graph::Graph(std::string name)
     : name_(std::move(name))
@@ -90,15 +136,15 @@ Graph::appendUnordered(Layer layer)
 }
 
 void
-Graph::normalize()
+Graph::normalize(std::vector<int> *old_to_new)
 {
-    Status status = tryNormalize();
+    Status status = tryNormalize(old_to_new);
     if (!status)
         vitdyn_panic(status.message());
 }
 
 Status
-Graph::tryNormalize()
+Graph::tryNormalize(std::vector<int> *old_to_new_out)
 {
     const int n = static_cast<int>(layers_.size());
 
@@ -154,23 +200,44 @@ Graph::tryNormalize()
     for (size_t i = 0; i < order.size(); ++i)
         old_to_new[order[i]] = static_cast<int>(i);
 
+    // Build the renumbered graph in scratch storage (copies, so a
+    // failure below leaves *this byte-identical) and only swap it in
+    // once shape inference has validated the whole result.
     std::vector<Layer> new_layers;
     new_layers.reserve(order.size());
     for (int old_id : order) {
-        Layer layer = std::move(layers_[old_id]);
+        Layer layer = layers_[old_id];
         layer.id = old_to_new[old_id];
         for (int &in_id : layer.inputs)
             in_id = old_to_new[in_id];
         new_layers.push_back(std::move(layer));
     }
-    layers_ = std::move(new_layers);
 
+    Result<std::vector<Shape>> shapes = inferAllShapes(new_layers);
+    if (!shapes)
+        return shapes.status();
+    for (size_t i = 0; i < new_layers.size(); ++i)
+        new_layers[i].outShape = shapes.value()[i];
+
+    // Commit point: everything below is noexcept bookkeeping.
+    if (live_count < n) {
+        static Counter &dropped = MetricsRegistry::instance().counter(
+            "graph.dropped_layers");
+        dropped.add(static_cast<uint64_t>(n - live_count));
+        for (const Layer &layer : layers_)
+            if (!live[layer.id])
+                debug("graph '", name_, "': normalize dropped ",
+                      "unreachable layer '", layer.name, "' (",
+                      layerKindName(layer.kind), ")");
+    }
+    layers_ = std::move(new_layers);
     for (int &id : inputs_)
         id = old_to_new[id];
     for (int &id : outputs_)
         id = old_to_new[id];
-
-    return tryRecomputeShapes();
+    if (old_to_new_out)
+        *old_to_new_out = std::move(old_to_new);
+    return Status::ok();
 }
 
 const Layer &
@@ -259,23 +326,14 @@ Graph::recomputeShapes()
 Status
 Graph::tryRecomputeShapes()
 {
-    for (Layer &layer : layers_) {
-        if (layer.kind == LayerKind::Input)
-            continue;
-        std::vector<Shape> in_shapes;
-        in_shapes.reserve(layer.inputs.size());
-        for (int in_id : layer.inputs) {
-            if (in_id < 0 || in_id >= static_cast<int>(layers_.size()))
-                return Status::error(detail::formatParts(
-                    "layer '", layer.name, "' references id ", in_id,
-                    " out of range"));
-            in_shapes.push_back(layers_[in_id].outShape);
-        }
-        Result<Shape> out = tryInferShape(layer, in_shapes);
-        if (!out)
-            return out.status();
-        layer.outShape = out.take();
-    }
+    // Infer into scratch storage first: an inconsistency anywhere
+    // leaves every stored shape untouched (the error Status from
+    // tryInferShape names the offending layer).
+    Result<std::vector<Shape>> shapes = inferAllShapes(layers_);
+    if (!shapes)
+        return shapes.status();
+    for (size_t i = 0; i < layers_.size(); ++i)
+        layers_[i].outShape = shapes.value()[i];
     return Status::ok();
 }
 
@@ -288,11 +346,17 @@ Graph::toString() const
         << totalParams() / 1.0e6 << " M params\n";
     for (const Layer &layer : layers_) {
         oss << "  [" << layer.id << "] " << layer.name << " ("
-            << layerKindName(layer.kind) << ") -> "
-            << shapeToString(layer.outShape)
+            << layerKindName(layer.kind);
+        if (layer.fused.bn)
+            oss << "+BN";
+        if (layer.fused.activation != LayerKind::Identity)
+            oss << "+" << layerKindName(layer.fused.activation);
+        oss << ") -> " << shapeToString(layer.outShape)
             << "  " << layer.flops() / 1.0e6 << " MFLOPs";
         if (layer.bypassed)
             oss << "  [bypassed]";
+        if (layer.inplacePriority > 0)
+            oss << "  [inplace p=" << layer.inplacePriority << "]";
         oss << "\n";
     }
     return oss.str();

@@ -57,17 +57,26 @@ class Graph
      * Restore the invariant that vector order is a topological order:
      * Kahn-sort the layers, renumber ids densely, rewrite all
      * references, and drop layers unreachable from the outputs
-     * (graph inputs are always kept). Fatal on cycles.
+     * (graph inputs are always kept). Dropped layers are counted in
+     * the `graph.dropped_layers` metric and logged at debug level.
+     * Fatal on cycles.
      */
-    void normalize();
+    void normalize(std::vector<int> *old_to_new = nullptr);
 
     /**
      * normalize() with recoverable semantics for the surgery/engine
-     * boundary: a cycle or a shape inconsistency in the re-sorted
-     * graph yields an error Status instead of terminating. On error
-     * the graph may be partially renumbered and must be discarded.
+     * and pass-framework boundaries: a cycle or a shape inconsistency
+     * in the re-sorted graph yields an error Status instead of
+     * terminating. Transactional: the renumbered graph is built in
+     * scratch storage and swapped in only on success, so on error the
+     * graph is untouched and remains usable.
+     *
+     * When @p old_to_new is non-null it receives the id remapping
+     * (indexed by old id; -1 marks a dropped unreachable layer) so
+     * callers holding layer ids across the normalize can translate —
+     * or detect invalidated — references.
      */
-    Status tryNormalize();
+    Status tryNormalize(std::vector<int> *old_to_new = nullptr);
 
     const std::string &name() const { return name_; }
     void setName(std::string name) { name_ = std::move(name); }
@@ -110,8 +119,9 @@ class Graph
     /**
      * recomputeShapes() with recoverable semantics: an inconsistent
      * layer yields an error Status naming the layer instead of
-     * terminating. Shapes of layers preceding the inconsistency are
-     * updated in place; the rest keep their previous values.
+     * terminating. Transactional: all shapes are inferred into scratch
+     * storage first and committed only if the whole graph is
+     * consistent, so on error every layer keeps its previous shape.
      */
     Status tryRecomputeShapes();
 

@@ -147,14 +147,25 @@ Layer::flops() const
         return 0;
     const int64_t out_elems = shapeNumel(outShape);
     switch (kind) {
-      case LayerKind::Conv2d:
-      case LayerKind::Linear:
-      case LayerKind::AttentionScore:
-      case LayerKind::AttentionContext:
+      case LayerKind::Conv2d: {
         // One multiply-accumulate counts as one FLOP, matching the
         // mmcv/fvcore convention the paper's GFLOP numbers use (e.g.
         // Conv2DFuse = 62% of SegFormer-B2's 62.6 GFLOPs only holds
-        // under MAC counting).
+        // under MAC counting). A fused epilogue carries the work its
+        // original BatchNorm/activation layers reported, so fusion
+        // preserves graph FLOP totals exactly.
+        int64_t f = macs();
+        if (fused.bn)
+            f += 2 * out_elems;
+        if (fused.activation == LayerKind::ReLU)
+            f += out_elems;
+        else if (fused.activation == LayerKind::GELU)
+            f += 8 * out_elems;
+        return f;
+      }
+      case LayerKind::Linear:
+      case LayerKind::AttentionScore:
+      case LayerKind::AttentionContext:
         return macs();
       case LayerKind::Softmax:
         return 5 * out_elems;
@@ -196,7 +207,10 @@ Layer::paramCount() const
         const int64_t w = attrs.outChannels *
                           (attrs.inChannels / attrs.groups) *
                           attrs.kernelH * attrs.kernelW;
-        return w + (attrs.hasBias ? attrs.outChannels : 0);
+        // A fused BatchNorm's affine pair moves with the conv so
+        // fusion preserves graph parameter totals exactly.
+        const int64_t ep = fused.bn ? 2 * attrs.outChannels : 0;
+        return w + (attrs.hasBias ? attrs.outChannels : 0) + ep;
       }
       case LayerKind::Linear: {
         const int64_t w = attrs.outFeatures * attrs.inFeatures;

@@ -110,6 +110,38 @@ struct LayerAttrs
     bool hasBias = true;
 };
 
+/**
+ * Epilogue folded into a Conv2d layer by the pass framework
+ * (graph/passes/): an optional inference-mode BatchNorm plus an
+ * optional activation, applied in one in-place sweep over the conv
+ * output instead of as separate layers. The fused BatchNorm is
+ * identified by the *original* layer's name so the WeightStore serves
+ * exactly the tensors the unfused graph would have used.
+ *
+ * Execution stays bit-identical to the unfused layer sequence: the
+ * conv arithmetic is unchanged (no folding of the BN scale into the
+ * weights, which would reassociate float products) and the epilogue
+ * applies the very same per-element expressions batchNorm()/relu()/
+ * gelu() use — only the intermediate tensor materializations and
+ * extra memory passes are eliminated.
+ */
+struct FusedEpilogue
+{
+    /** True when a BatchNorm is folded in. */
+    bool bn = false;
+
+    /** Name of the original BatchNorm layer (weight-store identity). */
+    std::string bnName;
+
+    /** Folded activation: ReLU, GELU, or Identity for none. */
+    LayerKind activation = LayerKind::Identity;
+
+    bool any() const
+    {
+        return bn || activation != LayerKind::Identity;
+    }
+};
+
 /** A node in the execution graph. */
 struct Layer
 {
@@ -132,6 +164,19 @@ struct Layer
 
     /** True once the layer has been bypassed by graph surgery. */
     bool bypassed = false;
+
+    /** Epilogue fused in by the pass framework (Conv2d only). */
+    FusedEpilogue fused;
+
+    /**
+     * In-place buffer-reuse priority, annotated by the pass
+     * framework: > 0 marks an elementwise layer whose output may
+     * overwrite its first input's buffer when this layer is that
+     * input's final consumer. The executor re-checks liveness at run
+     * time before reusing, so the annotation is a hint, never a
+     * soundness obligation. 0 disables reuse.
+     */
+    int inplacePriority = 0;
 
     /** Multiply-accumulate count for this layer given its shapes. */
     int64_t macs() const;

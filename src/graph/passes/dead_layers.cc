@@ -1,0 +1,44 @@
+#include "graph/passes/passes.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/**
+ * Dead-layer elimination: drop every layer unreachable from the graph
+ * outputs, except those the options sanction as intentionally dead
+ * (see normalizePreserving). This is the pass form of the post-surgery
+ * cleanup graph/surgery.hh describes — after model surgery rewires
+ * consumers around a bypassed block, the orphaned producers linger
+ * until this runs.
+ */
+class DeadLayerEliminationPass : public Pass
+{
+  public:
+    DeadLayerEliminationPass()
+        : Pass("dead-layer-elim")
+    {
+    }
+
+    Result<int> run(Graph &graph,
+                    const PassOptions &options) const override
+    {
+        const int before = static_cast<int>(graph.numLayers());
+        Status normalized = normalizePreserving(graph, options);
+        if (!normalized)
+            return normalized;
+        return before - static_cast<int>(graph.numLayers());
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeDeadLayerEliminationPass()
+{
+    return std::make_unique<DeadLayerEliminationPass>();
+}
+
+} // namespace vitdyn

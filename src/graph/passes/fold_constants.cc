@@ -1,0 +1,122 @@
+#include "graph/passes/passes.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/**
+ * Statically-decidable no-op folding.
+ *
+ * Two rewrites, both value-preserving by construction:
+ *
+ *  1. Degenerate layers become Identity: a same-size Interpolate or
+ *     adaptive AvgPool, a unit MaxPool (1x1 kernel, stride 1, no
+ *     padding), a full-width Narrow, and a single-input Concat all
+ *     reproduce their input bit for bit, so the kind collapses. One
+ *     sub-bit caveat: the skipped average/interpolation arithmetic
+ *     canonicalizes -0.0 to +0.0 (0.0 + -0.0 == +0.0), so a folded
+ *     graph can surface a -0.0 the original would have laundered —
+ *     numerically equal, one sign bit apart.
+ *
+ *  2. Consumer edges are rewired past forwarding layers (Identity, or
+ *     bypassed layers whose declared shape matches their input's),
+ *     eliminating the executor's per-frame pass-through copies. The
+ *     orphaned forwarders are then dropped by the trailing normalize —
+ *     exactly the post-surgery cleanup graph/surgery.hh promises.
+ */
+class FoldConstantsPass : public Pass
+{
+  public:
+    FoldConstantsPass()
+        : Pass("fold-constants")
+    {
+    }
+
+    Result<int> run(Graph &graph,
+                    const PassOptions &options) const override
+    {
+        int folded = 0;
+
+        for (Layer &layer : graph.layers()) {
+            if (layer.bypassed || layer.kind == LayerKind::Identity)
+                continue;
+            if (isDegenerate(graph, layer)) {
+                layer.kind = LayerKind::Identity;
+                layer.attrs = LayerAttrs{};
+                ++folded;
+            }
+        }
+
+        // Ids are topological (inputs < id), so each hop strictly
+        // decreases and the walk terminates.
+        auto resolve = [&graph](int id) {
+            for (;;) {
+                const Layer &producer = graph.layer(id);
+                const bool forwards =
+                    producer.kind == LayerKind::Identity ||
+                    producer.bypassed;
+                if (!forwards || producer.inputs.empty())
+                    return id;
+                const int in_id = producer.inputs[0];
+                if (graph.layer(in_id).outShape != producer.outShape)
+                    return id;
+                id = in_id;
+            }
+        };
+
+        for (Layer &layer : graph.layers()) {
+            for (int &in_id : layer.inputs) {
+                const int resolved = resolve(in_id);
+                if (resolved != in_id) {
+                    in_id = resolved;
+                    ++folded;
+                }
+            }
+        }
+
+        if (folded > 0) {
+            Status normalized = normalizePreserving(graph, options);
+            if (!normalized)
+                return normalized;
+        }
+        return folded;
+    }
+
+  private:
+    static bool isDegenerate(const Graph &graph, const Layer &layer)
+    {
+        switch (layer.kind) {
+        case LayerKind::Concat:
+            return layer.inputs.size() == 1;
+        case LayerKind::MaxPool:
+            return layer.attrs.kernelH == 1 &&
+                   layer.attrs.kernelW == 1 &&
+                   layer.attrs.strideH == 1 &&
+                   layer.attrs.strideW == 1 &&
+                   layer.attrs.padH == 0 && layer.attrs.padW == 0;
+        case LayerKind::Interpolate:
+        case LayerKind::AvgPool:
+        case LayerKind::Narrow:
+            // Same-shape resize/adaptive-pool/slice reproduces the
+            // input exactly (the sampling grid degenerates to the
+            // identity map).
+            return layer.inputs.size() == 1 &&
+                   graph.layer(layer.inputs[0]).outShape ==
+                       layer.outShape;
+        default:
+            return false;
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeFoldConstantsPass()
+{
+    return std::make_unique<FoldConstantsPass>();
+}
+
+} // namespace vitdyn

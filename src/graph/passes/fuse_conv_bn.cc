@@ -1,0 +1,123 @@
+#include "graph/passes/passes.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/**
+ * conv+BN(+activation) fusion.
+ *
+ * For each Conv2d, greedily extend a chain conv [-> BatchNorm]
+ * [-> ReLU|GELU] where every hop is the sole consumer edge of its
+ * producer and no intermediate is a graph output, then record the
+ * chain on the conv's FusedEpilogue and rewire the tail's consumers
+ * back to the conv. The orphaned BN/activation layers become
+ * unreachable and the trailing normalize drops them.
+ *
+ * Fused convs are skipped on later runs (fused.any()), so the pass is
+ * idempotent. Bypassed convs are never fused: a bypassed conv
+ * forwards its input unchanged, while its downstream BN still runs —
+ * folding the BN into a layer that does not execute would change
+ * semantics.
+ */
+class FuseConvBnActPass : public Pass
+{
+  public:
+    FuseConvBnActPass()
+        : Pass("fuse-conv-bn-act")
+    {
+    }
+
+    Result<int> run(Graph &graph,
+                    const PassOptions &options) const override
+    {
+        const int n = static_cast<int>(graph.numLayers());
+
+        // Consumer edges (one entry per edge, so a double consumption
+        // by one layer counts twice and blocks fusion).
+        std::vector<std::vector<int>> consumers(n);
+        for (const Layer &layer : graph.layers())
+            for (int in_id : layer.inputs)
+                consumers[in_id].push_back(layer.id);
+        std::vector<bool> is_output(n, false);
+        for (int out_id : graph.outputs())
+            is_output[out_id] = true;
+
+        int fused_count = 0;
+        for (int id = 0; id < n; ++id) {
+            Layer &conv = graph.layer(id);
+            if (conv.kind != LayerKind::Conv2d || conv.bypassed ||
+                conv.fused.any())
+                continue;
+
+            int tail = id;
+            bool with_bn = false;
+            std::string bn_name;
+            LayerKind activation = LayerKind::Identity;
+
+            auto soleConsumer = [&](int producer) -> Layer * {
+                if (is_output[producer] ||
+                    consumers[producer].size() != 1)
+                    return nullptr;
+                return &graph.layer(consumers[producer][0]);
+            };
+
+            // Each hop absorbs its target, so the target must not be
+            // a graph output; a published intermediate just ends the
+            // chain early (e.g. conv -> BN with the ReLU published
+            // still folds the BN).
+            if (Layer *bn = soleConsumer(tail);
+                bn && bn->kind == LayerKind::BatchNorm &&
+                !bn->bypassed && !is_output[bn->id] &&
+                bn->inputs.size() == 1 &&
+                bn->attrs.inChannels == conv.attrs.outChannels) {
+                with_bn = true;
+                bn_name = bn->name;
+                tail = bn->id;
+            }
+            if (Layer *act = soleConsumer(tail);
+                act &&
+                (act->kind == LayerKind::ReLU ||
+                 act->kind == LayerKind::GELU) &&
+                !act->bypassed && !is_output[act->id] &&
+                act->inputs.size() == 1) {
+                activation = act->kind;
+                tail = act->id;
+            }
+            if (tail == id)
+                continue;
+
+            conv.fused.bn = with_bn;
+            conv.fused.bnName = bn_name;
+            conv.fused.activation = activation;
+
+            // The tail's consumers now read the conv directly; the
+            // orphaned intermediates fall to the normalize below.
+            for (int consumer_id : consumers[tail])
+                for (int &in_id : graph.layer(consumer_id).inputs)
+                    if (in_id == tail)
+                        in_id = id;
+            consumers[id] = consumers[tail];
+            ++fused_count;
+        }
+
+        if (fused_count > 0) {
+            Status normalized = normalizePreserving(graph, options);
+            if (!normalized)
+                return normalized;
+        }
+        return fused_count;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeFuseConvBnActPass()
+{
+    return std::make_unique<FuseConvBnActPass>();
+}
+
+} // namespace vitdyn

@@ -1,0 +1,94 @@
+#include "graph/passes/passes.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/**
+ * In-place buffer-reuse annotation.
+ *
+ * Marks elementwise layers whose output can overwrite their first
+ * input's buffer: the layer must be that input's only consumer and
+ * the input must not be a graph output. Priorities order the
+ * executor's preference when several candidates compete for the same
+ * buffer in future schedulers; today they only need to be > 0.
+ *
+ * The annotation is purely a hint — Executor::run re-verifies the
+ * liveness conditions against its own last-use analysis before
+ * stealing a buffer, so a stale annotation (e.g. after further
+ * surgery) degrades to a normal allocation instead of a corruption.
+ */
+class InplacePriorityPass : public Pass
+{
+  public:
+    InplacePriorityPass()
+        : Pass("inplace-priority")
+    {
+    }
+
+    Result<int> run(Graph &graph,
+                    const PassOptions &) const override
+    {
+        const int n = static_cast<int>(graph.numLayers());
+
+        // Sole consuming *layer* per producer (-1 none, -2 several):
+        // Add(x, x) consumes x over two edges but from one layer, and
+        // still qualifies — the executor reads the stolen buffer as
+        // both operands and addInPlace tolerates the aliasing.
+        std::vector<int> sole_consumer(n, -1);
+        for (const Layer &layer : graph.layers())
+            for (int in_id : layer.inputs)
+                if (sole_consumer[in_id] == -1 ||
+                    sole_consumer[in_id] == layer.id)
+                    sole_consumer[in_id] = layer.id;
+                else
+                    sole_consumer[in_id] = -2;
+        std::vector<bool> is_output(n, false);
+        for (int out_id : graph.outputs())
+            is_output[out_id] = true;
+
+        int annotated = 0;
+        for (Layer &layer : graph.layers()) {
+            const int priority = priorityFor(layer.kind);
+            if (priority == 0 || layer.bypassed ||
+                layer.inputs.empty())
+                continue;
+            const int in0 = layer.inputs[0];
+            if (sole_consumer[in0] != layer.id || is_output[in0])
+                continue;
+            if (layer.inplacePriority != priority) {
+                layer.inplacePriority = priority;
+                ++annotated;
+            }
+        }
+        return annotated;
+    }
+
+  private:
+    static int priorityFor(LayerKind kind)
+    {
+        switch (kind) {
+        case LayerKind::ReLU:
+        case LayerKind::GELU:
+            return 10; // pure elementwise, cheapest to replay
+        case LayerKind::BatchNorm:
+            return 8;
+        case LayerKind::Add:
+            return 6;
+        default:
+            return 0;
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeInplacePriorityPass()
+{
+    return std::make_unique<InplacePriorityPass>();
+}
+
+} // namespace vitdyn

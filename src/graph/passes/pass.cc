@@ -1,0 +1,221 @@
+#include "graph/passes/pass.hh"
+
+#include <chrono>
+
+#include "graph/passes/passes.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "util/logging.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+struct RegistryEntry
+{
+    const char *name;
+    std::unique_ptr<Pass> (*factory)();
+};
+
+/**
+ * Direct factory references (no static-init registration, which a
+ * static library would silently drop), in standard-pipeline order.
+ */
+const RegistryEntry kRegistry[] = {
+    // fold-constants runs first: collapsing degenerate layers exposes
+    // conv->BN adjacency that the fusion pass would otherwise miss.
+    {"fold-constants", makeFoldConstantsPass},
+    {"fuse-conv-bn-act", makeFuseConvBnActPass},
+    {"dead-layer-elim", makeDeadLayerEliminationPass},
+    {"inplace-priority", makeInplacePriorityPass},
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makePass(const std::string &name)
+{
+    for (const RegistryEntry &entry : kRegistry)
+        if (name == entry.name)
+            return entry.factory();
+    return nullptr;
+}
+
+std::vector<std::string>
+registeredPassNames()
+{
+    std::vector<std::string> names;
+    for (const RegistryEntry &entry : kRegistry)
+        names.push_back(entry.name);
+    return names;
+}
+
+Status
+normalizePreserving(Graph &graph, const PassOptions &options)
+{
+    // Sanctioned-dead name patterns: explicit preserve list plus the
+    // layer patterns of any unreachable-layer lint suppression (a
+    // layer whose deadness is suppressed as intentional must survive
+    // elimination, not merely go unreported).
+    std::vector<std::string> patterns = options.preserveLayers;
+    for (const LintSuppression &s : options.lint.suppressions)
+        if (s.check == "graph.unreachable" &&
+            !s.layerNameContains.empty())
+            patterns.push_back(s.layerNameContains);
+
+    const std::vector<int> real_outputs = graph.outputs();
+    std::vector<int> outputs = real_outputs;
+    if (!patterns.empty()) {
+        for (const Layer &layer : graph.layers()) {
+            bool preserved = false;
+            for (const std::string &pattern : patterns)
+                preserved = preserved ||
+                            layer.name.find(pattern) !=
+                                std::string::npos;
+            bool already = false;
+            for (int id : outputs)
+                already = already || id == layer.id;
+            // Temporarily marking the layer as an output keeps its
+            // whole producer cone through the reachability walk.
+            if (preserved && !already)
+                outputs.push_back(layer.id);
+        }
+    }
+
+    if (outputs.size() == real_outputs.size())
+        return graph.tryNormalize();
+
+    graph.setOutputs(outputs);
+    std::vector<int> old_to_new;
+    Status normalized = graph.tryNormalize(&old_to_new);
+    if (!normalized) {
+        // tryNormalize is transactional, so only our temporary output
+        // list needs rolling back.
+        graph.setOutputs(real_outputs);
+        return normalized;
+    }
+    std::vector<int> restored;
+    restored.reserve(real_outputs.size());
+    for (int id : real_outputs)
+        restored.push_back(old_to_new[id]);
+    graph.setOutputs(std::move(restored));
+    return Status::ok();
+}
+
+PassManager::PassManager(PassOptions options)
+    : options_(std::move(options))
+{
+}
+
+PassManager &
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    vitdyn_assert(pass != nullptr, "PassManager::add(nullptr)");
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+Status
+PassManager::addByName(const std::string &name)
+{
+    std::unique_ptr<Pass> pass = makePass(name);
+    if (!pass)
+        return Status::error(detail::formatParts(
+            "unknown pass '", name, "'"));
+    passes_.push_back(std::move(pass));
+    return Status::ok();
+}
+
+PassManager
+PassManager::standardPipeline(PassOptions options)
+{
+    PassManager manager(std::move(options));
+    for (const std::string &name : registeredPassNames()) {
+        Status added = manager.addByName(name);
+        vitdyn_assert(added, "standard pipeline: ", added.message());
+    }
+    return manager;
+}
+
+Result<PipelineReport>
+PassManager::run(Graph &graph) const
+{
+    static Counter &runs =
+        MetricsRegistry::instance().counter("passes.pipeline_runs");
+    static Counter &rewrites =
+        MetricsRegistry::instance().counter("passes.rewrites");
+    static Counter &gate_failures =
+        MetricsRegistry::instance().counter("passes.lint_gate_failures");
+    runs.add();
+
+    ScopedSpan pipeline_span(Tracer::instance(), "passes.pipeline",
+                             "passes");
+
+    PipelineReport report;
+    report.layersBefore = graph.numLayers();
+    report.flopsBefore = graph.totalFlops();
+
+    // Input gate: a graph that is already broken must be rejected,
+    // not rewritten — a rewrite of a broken graph can only launder
+    // the breakage past the per-pass gates below.
+    {
+        LintReport before = lintGraph(graph, options_.lint);
+        if (before.hasErrors()) {
+            gate_failures.add();
+            return before.toStatus().withContext(
+                "pass pipeline: input graph '" + graph.name() + "'");
+        }
+    }
+
+    for (const std::unique_ptr<Pass> &pass : passes_) {
+        const auto t0 = std::chrono::steady_clock::now();
+        ScopedSpan span(Tracer::instance(),
+                        "passes." + pass->name(), "passes");
+
+        // Transactional: the pass mutates a scratch copy; the real
+        // graph advances only past a successful run AND lint gate.
+        Graph scratch = graph;
+        Result<int> applied = pass->run(scratch, options_);
+        if (!applied)
+            return applied.status().withContext("pass '" +
+                                                pass->name() + "'");
+
+        if (applied.value() > 0) {
+            LintReport after = lintGraph(scratch, options_.lint);
+            if (after.hasErrors()) {
+                gate_failures.add();
+                return after.toStatus().withContext(
+                    "pass '" + pass->name() +
+                    "' broke the lint contract");
+            }
+            graph = std::move(scratch);
+            rewrites.add(static_cast<uint64_t>(applied.value()));
+        }
+
+        PassStats stats;
+        stats.pass = pass->name();
+        stats.rewrites = applied.value();
+        stats.ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        if (span.active())
+            span.arg("rewrites", static_cast<int64_t>(applied.value()));
+        report.passes.push_back(std::move(stats));
+    }
+
+    report.layersAfter = graph.numLayers();
+    report.flopsAfter = graph.totalFlops();
+    if (pipeline_span.active()) {
+        pipeline_span.arg("rewrites",
+                          static_cast<int64_t>(report.totalRewrites()));
+        pipeline_span.arg("layers_before",
+                          static_cast<int64_t>(report.layersBefore));
+        pipeline_span.arg("layers_after",
+                          static_cast<int64_t>(report.layersAfter));
+    }
+    return report;
+}
+
+} // namespace vitdyn

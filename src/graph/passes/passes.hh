@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Factories for the built-in passes. Kept as plain functions (not
+ * static-initializer registration) so linking the passes out of a
+ * static library can never silently drop them.
+ */
+
+#ifndef VITDYN_GRAPH_PASSES_PASSES_HH
+#define VITDYN_GRAPH_PASSES_PASSES_HH
+
+#include <memory>
+
+#include "graph/passes/pass.hh"
+
+namespace vitdyn
+{
+
+/**
+ * Fuse conv -> BatchNorm [-> ReLU/GELU] (and conv -> activation)
+ * chains into the conv's FusedEpilogue. Only fuses when every
+ * intermediate has exactly one consumer and no intermediate is a
+ * graph output. Bit-identical by construction: the conv arithmetic is
+ * untouched and the epilogue replays the original per-element
+ * expressions.
+ */
+std::unique_ptr<Pass> makeFuseConvBnActPass();
+
+/**
+ * Fold statically-decidable no-op layers to Identity (same-size
+ * Interpolate/AvgPool, unit MaxPool, full-width Narrow, single-input
+ * Concat) and rewire consumers past Identity/bypassed layers so the
+ * executor skips their per-frame tensor copies.
+ */
+std::unique_ptr<Pass> makeFoldConstantsPass();
+
+/**
+ * Drop layers unreachable from the graph outputs (post-surgery
+ * cleanup), honoring PassOptions preserve rules. Counts removed
+ * layers as rewrites.
+ */
+std::unique_ptr<Pass> makeDeadLayerEliminationPass();
+
+/**
+ * Annotate elementwise layers (ReLU/GELU/Add/BatchNorm) with an
+ * in-place buffer-reuse priority when they are their first input's
+ * only consumer. The executor re-verifies liveness at run time.
+ */
+std::unique_ptr<Pass> makeInplacePriorityPass();
+
+} // namespace vitdyn
+
+#endif // VITDYN_GRAPH_PASSES_PASSES_HH

@@ -432,10 +432,23 @@ bypassBlock(Graph &graph, const std::string &block_prefix)
 }
 
 int
-eliminateDeadLayers(Graph &graph)
+eliminateDeadLayers(Graph &graph, std::vector<int> *held_ids)
 {
     const int before = static_cast<int>(graph.numLayers());
-    graph.normalize();
+    std::vector<int> old_to_new;
+    graph.normalize(&old_to_new);
+    if (held_ids) {
+        for (int &id : *held_ids) {
+            vitdyn_assert(id >= 0 && id < before,
+                          "eliminateDeadLayers: held id ", id,
+                          " out of range");
+            const int remapped = old_to_new[id];
+            vitdyn_assert(remapped >= 0, "eliminateDeadLayers: held id ",
+                          id, " was eliminated — caller holds a dead "
+                          "reference");
+            id = remapped;
+        }
+    }
     return before - static_cast<int>(graph.numLayers());
 }
 

@@ -93,9 +93,18 @@ Result<int> tryBypassBlock(Graph &graph,
 
 /**
  * Remove layers that no longer contribute to any graph output.
+ *
+ * @p held_ids, when non-null, is a list of layer ids the caller keeps
+ * across the elimination (surgery cursors, pending bypass targets):
+ * each is remapped to its post-normalize id in place. A held id that
+ * refers to an eliminated layer is a caller bug and is fatal — a
+ * stale reference silently pointing at a renumbered stranger is
+ * exactly the corruption this guard exists to catch.
+ *
  * @return number of layers removed.
  */
-int eliminateDeadLayers(Graph &graph);
+int eliminateDeadLayers(Graph &graph,
+                        std::vector<int> *held_ids = nullptr);
 
 } // namespace vitdyn
 

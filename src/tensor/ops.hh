@@ -144,6 +144,41 @@ Tensor gelu(const Tensor &input);
 /** Elementwise sum; shapes must match. */
 Tensor add(const Tensor &a, const Tensor &b);
 
+/**
+ * In-place variants of the elementwise ops, used by the executor when
+ * the pass framework has marked a layer for buffer reuse. Each applies
+ * exactly the per-element expression of its out-of-place counterpart,
+ * so results are bit-identical — only the output allocation is gone.
+ */
+void reluInPlace(Tensor &x);
+void geluInPlace(Tensor &x);
+/** x += other elementwise; @p other may alias @p x. */
+void addInPlace(Tensor &x, const Tensor &other);
+/** batchNorm overwriting @p x (NCHW). */
+void batchNormInPlace(Tensor &x, const Tensor &gamma, const Tensor &beta,
+                      const Tensor &mean, const Tensor &var,
+                      float eps = 1e-5f);
+
+/** Activation applied by a fused conv epilogue. */
+enum class EpilogueAct
+{
+    None,
+    ReLU,
+    GELU,
+};
+
+/**
+ * Fused conv+BN+activation epilogue over an NCHW tensor, in place:
+ * per channel c, y = act(y * scale[c] + shift[c]), where scale/shift
+ * are batchNorm()'s folded per-channel form (pass nullptr for both to
+ * skip the affine step). The per-element arithmetic is exactly
+ * batchNorm() followed by relu()/gelu(), so the result is
+ * bit-identical to the unfused op sequence at any thread count; the
+ * fusion only removes the intermediate tensors and memory passes.
+ */
+void convEpilogueInPlace(Tensor &x, const float *scale,
+                         const float *shift, EpilogueAct act);
+
 /** Bilinear resize of an NCHW tensor to (outH, outW), align_corners=false. */
 Tensor interpolateBilinear(const Tensor &input, int64_t out_h,
                            int64_t out_w);

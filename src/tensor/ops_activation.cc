@@ -49,4 +49,37 @@ add(const Tensor &a, const Tensor &b)
     return out;
 }
 
+void
+reluInPlace(Tensor &x)
+{
+    float *y = x.data();
+    for (int64_t i = 0; i < x.numel(); ++i)
+        y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+}
+
+void
+geluInPlace(Tensor &x)
+{
+    constexpr float kAlpha = 0.7978845608f; // sqrt(2/pi), as gelu()
+    float *y = x.data();
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        const float v = y[i];
+        const float inner = kAlpha * (v + 0.044715f * v * v * v);
+        y[i] = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+}
+
+void
+addInPlace(Tensor &x, const Tensor &other)
+{
+    vitdyn_assert(x.shape() == other.shape(), "add shape mismatch: ",
+                  shapeToString(x.shape()), " vs ",
+                  shapeToString(other.shape()));
+    float *y = x.data();
+    const float *p = other.data();
+    // Read-then-write per index, so `other` aliasing `x` is safe.
+    for (int64_t i = 0; i < x.numel(); ++i)
+        y[i] = y[i] + p[i];
+}
+
 } // namespace vitdyn

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace vitdyn
 {
@@ -106,6 +107,77 @@ batchNorm(const Tensor &input, const Tensor &gamma, const Tensor &beta,
         }
     }
     return out;
+}
+
+void
+batchNormInPlace(Tensor &x, const Tensor &gamma, const Tensor &beta,
+                 const Tensor &mean, const Tensor &var, float eps)
+{
+    vitdyn_assert(x.rank() == 4, "batchNorm input must be NCHW");
+    const int64_t n = x.dim(0);
+    const int64_t c = x.dim(1);
+    const int64_t hw = x.dim(2) * x.dim(3);
+    vitdyn_assert(gamma.numel() == c && beta.numel() == c &&
+                  mean.numel() == c && var.numel() == c,
+                  "batchNorm params must have size C=", c);
+
+    for (int64_t nn = 0; nn < n; ++nn) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            const float scale = gamma[cc] / std::sqrt(var[cc] + eps);
+            const float shift = beta[cc] - mean[cc] * scale;
+            float *y = x.data() + (nn * c + cc) * hw;
+            for (int64_t i = 0; i < hw; ++i)
+                y[i] = y[i] * scale + shift;
+        }
+    }
+}
+
+void
+convEpilogueInPlace(Tensor &x, const float *scale, const float *shift,
+                    EpilogueAct act)
+{
+    vitdyn_assert(x.rank() == 4, "conv epilogue input must be NCHW");
+    vitdyn_assert((scale == nullptr) == (shift == nullptr),
+                  "conv epilogue wants scale and shift together");
+    const int64_t c = x.dim(1);
+    const int64_t hw = x.dim(2) * x.dim(3);
+    const int64_t rows = x.dim(0) * c;
+    float *data = x.data();
+
+    // Elementwise over disjoint (n, c) rows: deterministic under the
+    // sharded parallelFor at any thread count.
+    const int64_t row_flops =
+        hw * ((scale ? 2 : 0) + (act == EpilogueAct::GELU ? 8 : 1));
+    parallelFor(0, rows, grainForFlops(row_flops),
+                [&](int64_t begin, int64_t end) {
+        constexpr float kAlpha = 0.7978845608f; // sqrt(2/pi), as gelu()
+        for (int64_t row = begin; row < end; ++row) {
+            float *y = data + row * hw;
+            if (scale) {
+                const int64_t cc = row % c;
+                const float s = scale[cc];
+                const float t = shift[cc];
+                for (int64_t i = 0; i < hw; ++i)
+                    y[i] = y[i] * s + t;
+            }
+            switch (act) {
+              case EpilogueAct::None:
+                break;
+              case EpilogueAct::ReLU:
+                for (int64_t i = 0; i < hw; ++i)
+                    y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+                break;
+              case EpilogueAct::GELU:
+                for (int64_t i = 0; i < hw; ++i) {
+                    const float v = y[i];
+                    const float inner =
+                        kAlpha * (v + 0.044715f * v * v * v);
+                    y[i] = 0.5f * v * (1.0f + std::tanh(inner));
+                }
+                break;
+            }
+        }
+    });
 }
 
 } // namespace vitdyn

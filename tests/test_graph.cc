@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/graph.hh"
+#include "obs/metrics.hh"
 
 namespace vitdyn
 {
@@ -181,6 +182,97 @@ TEST(Graph, RecomputeShapesPropagates)
     g.layer(cid).attrs.outChannels = 5;
     g.recomputeShapes();
     EXPECT_EQ(g.layer(rid).outShape, (Shape{1, 5, 4, 4}));
+}
+
+TEST(Graph, TryNormalizeIsTransactionalOnCycle)
+{
+    Graph g("cyclic");
+    int in = g.addInput("x", {4});
+    int a = g.addLayer(relu("a", in));
+    int b = g.addLayer(relu("b", a));
+    g.markOutput(b);
+
+    // Corrupt the DAG into a 2-cycle via the mutable accessor, then
+    // demand that a failed normalize leaves the graph byte-identical.
+    g.layer(a).inputs = {b};
+    const std::string snapshot = g.toString();
+
+    Status st = g.tryNormalize();
+    ASSERT_FALSE(st.isOk());
+    EXPECT_NE(st.message().find("cycle detected"), std::string::npos);
+    EXPECT_NE(st.message().find("cyclic"), std::string::npos);
+    EXPECT_EQ(g.toString(), snapshot);
+    // Still usable: undo the corruption and normalize succeeds.
+    g.layer(a).inputs = {in};
+    EXPECT_TRUE(g.tryNormalize().isOk());
+}
+
+TEST(Graph, TryNormalizeIsTransactionalOnShapeError)
+{
+    Graph g("m");
+    int in = g.addInput("x", {1, 4, 8, 8});
+    Layer conv;
+    conv.name = "c";
+    conv.kind = LayerKind::Conv2d;
+    conv.attrs.inChannels = 4;
+    conv.attrs.outChannels = 6;
+    conv.inputs = {in};
+    int cid = g.addLayer(std::move(conv));
+    int rid = g.addLayer(relu("r", cid));
+    g.markOutput(rid);
+
+    g.layer(cid).attrs.inChannels = 9; // no longer matches the input
+    const std::string snapshot = g.toString();
+
+    Status st = g.tryNormalize();
+    ASSERT_FALSE(st.isOk());
+    EXPECT_NE(st.message().find("'c'"), std::string::npos);
+    EXPECT_EQ(g.toString(), snapshot);
+}
+
+TEST(Graph, TryRecomputeShapesIsTransactional)
+{
+    Graph g("m");
+    int in = g.addInput("x", {1, 4, 8, 8});
+    Layer conv;
+    conv.name = "c";
+    conv.kind = LayerKind::Conv2d;
+    conv.attrs.inChannels = 4;
+    conv.attrs.outChannels = 6;
+    conv.inputs = {in};
+    int cid = g.addLayer(std::move(conv));
+    int rid = g.addLayer(relu("r", cid));
+
+    g.layer(cid).attrs.inChannels = 9;
+    Status st = g.tryRecomputeShapes();
+    ASSERT_FALSE(st.isOk());
+    // The error names the offending layer and every stored shape is
+    // untouched — no half-propagated prefix.
+    EXPECT_NE(st.message().find("'c'"), std::string::npos);
+    EXPECT_EQ(g.layer(cid).outShape, (Shape{1, 6, 8, 8}));
+    EXPECT_EQ(g.layer(rid).outShape, (Shape{1, 6, 8, 8}));
+}
+
+TEST(Graph, NormalizeCountsDroppedLayersAndReportsMapping)
+{
+    Counter &dropped =
+        MetricsRegistry::instance().counter("graph.dropped_layers");
+    const uint64_t before = dropped.value();
+
+    Graph g("m");
+    int in = g.addInput("x", {4});
+    int a = g.addLayer(relu("a", in));
+    int junk = g.addLayer(relu("junk", in));
+    g.markOutput(a);
+
+    std::vector<int> old_to_new;
+    g.normalize(&old_to_new);
+    EXPECT_EQ(dropped.value(), before + 1);
+    ASSERT_EQ(old_to_new.size(), 3u);
+    EXPECT_EQ(old_to_new[junk], -1);
+    EXPECT_GE(old_to_new[in], 0);
+    EXPECT_GE(old_to_new[a], 0);
+    EXPECT_EQ(g.findLayer("junk"), -1);
 }
 
 TEST(Graph, ToStringMentionsLayers)

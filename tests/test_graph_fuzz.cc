@@ -8,9 +8,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "analysis/lint.hh"
 #include "graph/executor.hh"
+#include "graph/passes/pass.hh"
 #include "graph/surgery.hh"
 #include "tensor/ops.hh"
 #include "util/random.hh"
@@ -218,6 +220,60 @@ TEST_P(GraphFuzz, CorruptedAttrsAreFlagged)
     LintReport report = lintGraph(g);
     EXPECT_TRUE(report.hasErrors());
     EXPECT_TRUE(flagged(report, "attr.conv.stride")) << report.toText();
+}
+
+/** Pass-pipeline property: the standard pipeline leaves every
+ *  generated graph lint-clean, conserves the flop/param totals, and
+ *  the rewritten graph executes bit-identically to the original. */
+TEST_P(GraphFuzz, PassPipelineLintCleanAndBitIdentical)
+{
+    Graph g = randomPipeline(GetParam());
+    Graph rewritten = g;
+    PassManager pipeline = PassManager::standardPipeline();
+    Result<PipelineReport> report = pipeline.run(rewritten);
+    ASSERT_TRUE(report) << report.status().message();
+    ASSERT_TRUE(lintGraph(rewritten).clean())
+        << lintGraph(rewritten).toText();
+    // Fusion conserves the accounted flops exactly; folding a
+    // degenerate layer (e.g. a same-size Interpolate) deletes its
+    // useless work, so the total can only go down, never up.
+    EXPECT_LE(rewritten.totalFlops(), g.totalFlops());
+    EXPECT_EQ(rewritten.totalParams(), g.totalParams());
+
+    // Same weight seed on both sides: fusion must not change a bit.
+    Executor ref(g, GetParam());
+    Executor fused(rewritten, GetParam());
+    Rng rng(GetParam() + 7);
+    Tensor x = Tensor::randn(g.layer(g.inputs()[0]).outShape, rng);
+    Tensor a = ref.runSimple(x);
+    Tensor b = fused.runSimple(x);
+    ASSERT_EQ(a.shape(), b.shape());
+    // Bitwise equality, except +0.0/-0.0 compare equal: folding a
+    // degenerate AvgPool/Interpolate skips arithmetic that
+    // canonicalizes -0.0 (0.0 + -0.0 == +0.0) — the one sign bit a
+    // value-preserving rewrite may legitimately change.
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        const float va = a.data()[i];
+        const float vb = b.data()[i];
+        if (std::memcmp(&va, &vb, sizeof(float)) != 0)
+            ASSERT_TRUE(va == 0.0f && vb == 0.0f)
+                << "element " << i << ": " << va << " vs " << vb;
+    }
+}
+
+/** Pass-pipeline property: a second run finds nothing to rewrite and
+ *  leaves the graph byte-identical. */
+TEST_P(GraphFuzz, PassPipelineIsIdempotent)
+{
+    Graph g = randomPipeline(GetParam());
+    PassManager pipeline = PassManager::standardPipeline();
+    Result<PipelineReport> first = pipeline.run(g);
+    ASSERT_TRUE(first) << first.status().message();
+    const std::string once = g.toString();
+    Result<PipelineReport> second = pipeline.run(g);
+    ASSERT_TRUE(second) << second.status().message();
+    EXPECT_EQ(second.value().totalRewrites(), 0);
+    EXPECT_EQ(g.toString(), once);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz,

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/lint.hh"
 #include "engine/model_switching.hh"
 #include "profile/gpu_model.hh"
 
@@ -50,6 +51,28 @@ TEST_F(SwitchingFixture, GenerousBudgetPicksFullModel)
     auto choice = engine_.select(1e9);
     EXPECT_NEAR(choice.accuracy, 1.0, 1e-9);
     EXPECT_TRUE(choice.budgetMet);
+}
+
+TEST_F(SwitchingFixture, PassPipelineRewritesMaterializedGraphs)
+{
+    auto choice = engine_.select(1e9);
+    auto plain = engine_.acquireExecutor(choice);
+
+    ModelSwitchingEngine rewriting(ModelFamily::Segformer,
+                                   segformerTrainedVariants(),
+                                   segformerAdePruneCatalog(), acc_,
+                                   [this](const Graph &g) {
+                                       return gpu_.graphTimeMs(g);
+                                   });
+    rewriting.setPassPipeline(true);
+    auto rewritten = rewriting.acquireExecutor(choice);
+
+    // The pipeline fused layers out of the candidate graph and left it
+    // lint-clean; bit-identity of fused execution is covered by
+    // test_passes / test_engine.
+    EXPECT_LT(rewritten->graph.numLayers(), plain->graph.numLayers());
+    EXPECT_TRUE(lintGraph(rewritten->graph).clean())
+        << lintGraph(rewritten->graph).toText();
 }
 
 TEST_F(SwitchingFixture, TinyBudgetPicksTrainedVariant)

@@ -233,5 +233,34 @@ TEST(Surgery, EliminateDeadLayersCountsRemovals)
     EXPECT_EQ(eliminateDeadLayers(g), 0);
 }
 
+TEST(Surgery, EliminateDeadLayersRemapsHeldIds)
+{
+    Graph g("dce");
+    int in = g.addInput("x", {4});
+    g.addLayer(makeSimple(LayerKind::ReLU, "dead", {in}));
+    int a = g.addLayer(makeSimple(LayerKind::ReLU, "a", {in}));
+    g.markOutput(a);
+
+    // 'dead' (id 1) is eliminated, so 'a' slides from id 2 to id 1;
+    // the held ids must follow it.
+    std::vector<int> held = {a, in};
+    EXPECT_EQ(eliminateDeadLayers(g, &held), 1);
+    EXPECT_EQ(held[0], g.findLayer("a"));
+    EXPECT_EQ(held[1], g.findLayer("x"));
+    EXPECT_EQ(g.layer(held[0]).name, "a");
+}
+
+TEST(Surgery, EliminateDeadLayersFatalOnDeadHeldId)
+{
+    Graph g("dce");
+    int in = g.addInput("x", {4});
+    int dead = g.addLayer(makeSimple(LayerKind::ReLU, "dead", {in}));
+    int a = g.addLayer(makeSimple(LayerKind::ReLU, "a", {in}));
+    g.markOutput(a);
+
+    std::vector<int> held = {dead};
+    EXPECT_DEATH(eliminateDeadLayers(g, &held), "dead reference");
+}
+
 } // namespace
 } // namespace vitdyn

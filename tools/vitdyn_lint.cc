@@ -9,9 +9,14 @@
  *                               # "swin"
  *   vitdyn_lint --csv           # machine-readable findings
  *   vitdyn_lint --strict        # exit nonzero on warnings too
+ *   vitdyn_lint --passes        # run the standard rewrite pipeline
+ *                               # (graph/passes/) over every builder
+ *                               # target instead; each target's
+ *                               # suppressions configure the gates
  *
  * Exit status: 0 when no Error findings (no Warning findings either
- * under --strict), 1 otherwise — suitable as a CI gate.
+ * under --strict), 1 otherwise — suitable as a CI gate. Under
+ * --passes a pipeline failure on any target exits 1.
  */
 
 #include <functional>
@@ -21,6 +26,7 @@
 
 #include "analysis/lint.hh"
 #include "analysis/lut_check.hh"
+#include "graph/passes/pass.hh"
 #include "models/detr.hh"
 #include "models/ofa.hh"
 #include "models/pvt.hh"
@@ -170,6 +176,60 @@ matches(const std::string &name, const std::string &filter)
     return filter.empty() || name.find(filter) != std::string::npos;
 }
 
+/**
+ * --passes mode: run the standard rewrite pipeline over every builder
+ * target. The PassManager's own gates prove each target lints clean
+ * before and after every rewriting pass; this reports per-target
+ * rewrite counts and layer/GFLOP movement. Frontier targets are LUT
+ * sweeps, not single graphs, so they are out of scope here.
+ */
+int
+runPassesMode(const std::string &filter, bool strict)
+{
+    using namespace vitdyn;
+
+    size_t checked = 0;
+    size_t failed = 0;
+    for (const Target &target : builderTargets()) {
+        if (!matches(target.name, filter))
+            continue;
+        Graph graph = target.build();
+        const size_t layers_before = graph.numLayers();
+        const double gflops_before = graph.totalFlops() / 1.0e9;
+
+        PassOptions options;
+        options.lint = target.lint;
+        PassManager pipeline = PassManager::standardPipeline(options);
+        Result<PipelineReport> outcome = pipeline.run(graph);
+        ++checked;
+        if (!outcome) {
+            ++failed;
+            std::cout << "FAIL " << target.name << ": "
+                      << outcome.status().message() << "\n";
+            continue;
+        }
+        const PipelineReport &report = outcome.value();
+        std::cout << "ok   " << target.name << " ("
+                  << report.totalRewrites() << " rewrites, layers "
+                  << layers_before << " -> " << graph.numLayers()
+                  << ", " << gflops_before << " -> "
+                  << graph.totalFlops() / 1.0e9 << " GFLOPs)\n";
+        // The pipeline already gated each pass; under --strict insist
+        // the final graph has no warnings either.
+        if (strict) {
+            LintReport after = lintGraph(graph, target.lint);
+            if (!after.clean()) {
+                ++failed;
+                std::cout << after.toText();
+            }
+        }
+    }
+    std::cout << "\n"
+              << checked << " target(s) rewritten, " << failed
+              << " failure(s)\n";
+    return failed == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -182,10 +242,15 @@ main(int argc, char **argv)
                    "only lint targets whose name contains this");
     args.addFlag("csv", "emit findings as CSV instead of text");
     args.addFlag("strict", "exit nonzero on warnings too");
+    args.addFlag("passes",
+                 "run the rewrite pass pipeline over builder targets");
     args.parse(argc, argv);
 
     const std::string filter = args.get("filter");
     const bool csv = args.getFlag("csv");
+
+    if (args.getFlag("passes"))
+        return runPassesMode(filter, args.getFlag("strict"));
 
     LintReport all;
     size_t checked = 0;

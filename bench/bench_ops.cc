@@ -13,10 +13,13 @@
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <limits>
 
 #include "graph/executor.hh"
 #include "graph/passes/pass.hh"
 #include "graph/weight_store.hh"
+#include "tensor/kernels/conv_autotune.hh"
+#include "tensor/kernels/kernels.hh"
 #include "tensor/ops.hh"
 #include "tensor/quant.hh"
 #include "util/random.hh"
@@ -265,9 +268,120 @@ epilogueKernelTable()
     emitTable(table, "bench_ops_epilogue");
 }
 
+/**
+ * The table the SIMD microkernel work is judged on: a conv/linear
+ * GEMM sweep (linear layers appear as their 1x1-conv GEMM twins)
+ * comparing the scalar blocked GEMM against the active ISA's exact
+ * kernels — bit-identical by contract, checked per row — and the
+ * static Auto heuristic's plan against the measured autotuned winner.
+ * The last row is the geomean SIMD speedup across the sweep.
+ */
+void
+gemmSweepTable()
+{
+    struct Case
+    {
+        const char *name;
+        Conv2dShapeKey key;
+    };
+    auto mk = [](const char *name, int64_t n, int64_t c, int64_t hw,
+                 int64_t k, int64_t r, int64_t stride, int64_t pad) {
+        Case tc;
+        tc.name = name;
+        tc.key.n = n;
+        tc.key.c = c;
+        tc.key.h = tc.key.w = hw;
+        tc.key.k = k;
+        tc.key.r = tc.key.s = r;
+        tc.key.strideH = tc.key.strideW = stride;
+        tc.key.padH = tc.key.padW = pad;
+        return tc;
+    };
+    const Case cases[] = {
+        mk("stem 7x7/4 3->32 @128", 1, 3, 128, 32, 7, 4, 3),
+        mk("enc 3x3 32 @56", 2, 32, 56, 32, 3, 1, 1),
+        mk("enc 3x3 64 @28", 1, 64, 28, 64, 3, 1, 1),
+        mk("enc 3x3 128 @14", 1, 128, 14, 128, 3, 1, 1),
+        mk("fuse 1x1 512->128 @16", 1, 512, 16, 128, 1, 1, 0),
+        mk("linear-as-1x1 768x768 @16", 1, 768, 16, 768, 1, 1, 0),
+    };
+
+    ConvAutotuneOptions opts;
+    opts.enabled = true;
+    opts.minMeasureFlops = 0;
+    opts.maxMeasureFlops = std::numeric_limits<int64_t>::max();
+    opts.budgetMs = 1e9;
+    opts.repeats = 3;
+
+    Table table("Conv/linear GEMM sweep: scalar vs " +
+                    std::string(isaName(detectBestIsa())) +
+                    " exact kernels, heuristic vs autotuned plan",
+                {"shape", "GFLOP", "scalar ms", "simd ms", "simd x",
+                 "heur ms", "tuned ms", "tuned x", "winner",
+                 "bit-identical"});
+    double log_speedup = 0.0;
+    int rows = 0;
+    for (const Case &tc : cases) {
+        const Conv2dShapeKey &key = tc.key;
+        const Shape xs = {key.n, key.c, key.h, key.w};
+        const Shape wsh = {key.k, key.c, key.r, key.s};
+        Conv2dParams p;
+        p.strideH = key.strideH;
+        p.strideW = key.strideW;
+        p.padH = key.padH;
+        p.padW = key.padW;
+
+        Conv2dPlan scalar_plan;
+        scalar_plan.algo = Conv2dAlgo::Im2col;
+        scalar_plan.isa = IsaLevel::Scalar;
+        Conv2dPlan simd_plan = scalar_plan;
+        simd_plan.isa = detectBestIsa();
+        const double scalar_ms = measureConvPlan(key, scalar_plan, 3);
+        const double simd_ms = measureConvPlan(key, simd_plan, 3);
+
+        const Conv2dPlan heur = conv2dAutoPlan(xs, wsh, p);
+        const Conv2dPlan tuned =
+            ConvPlanCache::instance().plan(key, opts);
+        const double heur_ms = measureConvPlan(key, heur, 3);
+        const double tuned_ms = measureConvPlan(key, tuned, 3);
+
+        Rng rng(17);
+        Tensor x = Tensor::randn(xs, rng);
+        Tensor w = Tensor::randn(wsh, rng);
+        Tensor a = conv2d(x, w, Tensor{}, p, scalar_plan);
+        Tensor b = conv2d(x, w, Tensor{}, p, simd_plan);
+        Tensor c = conv2d(x, w, Tensor{}, p, tuned);
+        const bool exact =
+            std::memcmp(a.data(), b.data(),
+                        sizeof(float) * a.numel()) == 0 &&
+            std::memcmp(a.data(), c.data(),
+                        sizeof(float) * a.numel()) == 0;
+
+        const double speedup = scalar_ms / simd_ms;
+        log_speedup += std::log(speedup);
+        ++rows;
+        table.addRow({tc.name, Table::num(key.flops() / 1e9, 3),
+                      Table::num(scalar_ms, 3), Table::num(simd_ms, 3),
+                      Table::num(speedup, 2), Table::num(heur_ms, 3),
+                      Table::num(tuned_ms, 3),
+                      Table::num(heur_ms / tuned_ms, 2),
+                      tuned.algo == Conv2dAlgo::Im2col
+                          ? std::string("im2col.") +
+                                isaName(tuned.isa) + ".b" +
+                                std::to_string(tuned.colBlock)
+                          : "direct",
+                      exact ? "yes" : "NO"});
+    }
+    table.addRow({"geomean", "", "", "",
+                  Table::num(std::exp(log_speedup / rows), 2), "", "",
+                  "", "", ""});
+    emitTable(table, "bench_ops_gemm_sweep");
+}
+
 void
 produceTables()
 {
+    gemmSweepTable();
     Table note("Reference-kernel microbenchmarks",
                {"See google-benchmark timings below"});
     note.addRow({"conv2d / linear / attention / softmax / layernorm / "

@@ -1,0 +1,58 @@
+#include "analysis/kernel_cost.hh"
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+
+namespace
+{
+
+/** Conv layers the plan cache can price: rank-4 input, positive work. */
+bool
+convKeyOf(const Graph &graph, const Layer &layer, Conv2dShapeKey *key)
+{
+    if (layer.kind != LayerKind::Conv2d || layer.inputs.empty())
+        return false;
+    const Shape &in_shape = graph.layer(layer.inputs[0]).outShape;
+    if (in_shape.size() != 4)
+        return false;
+    const LayerAttrs &a = layer.attrs;
+    if (a.groups <= 0 || a.inChannels % a.groups != 0)
+        return false;
+    const Shape w_shape = {a.outChannels, a.inChannels / a.groups,
+                           a.kernelH, a.kernelW};
+    Conv2dParams p;
+    p.strideH = a.strideH;
+    p.strideW = a.strideW;
+    p.padH = a.padH;
+    p.padW = a.padW;
+    p.groups = a.groups;
+    *key = Conv2dShapeKey::of(in_shape, w_shape, p);
+    return key->flops() > 0;
+}
+
+} // namespace
+
+GraphCostFn
+kernelCostOracle(ConvAutotuneOptions opts)
+{
+    return [opts](const Graph &graph) -> double {
+        double ms = 0.0;
+        for (const Layer &layer : graph.layers()) {
+            if (layer.bypassed)
+                continue;
+            Conv2dShapeKey key;
+            if (convKeyOf(graph, layer, &key)) {
+                ms += ConvPlanCache::instance().measuredMs(key, opts);
+                continue;
+            }
+            const int64_t flops = layer.flops();
+            if (flops > 0)
+                ms += double(flops) / calibratedFlopsPerMs();
+        }
+        return ms;
+    };
+}
+
+} // namespace vitdyn

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Measured-kernel cost oracle: a GraphCostFn whose unit is estimated
+ * wall-clock milliseconds on *this* host, derived from the conv-plan
+ * autotuner's measurements instead of a uniform FLOP count.
+ *
+ * Pure FLOP cost models (analyticLatencyCost and friends) weigh every
+ * layer by arithmetic volume alone, but the paper's Pareto frontiers
+ * are built from *measured* latency — and measured conv time per FLOP
+ * varies with shape (im2col-friendly vs direct, cache-resident vs
+ * streaming). This oracle prices each Conv2d layer with the
+ * ConvPlanCache's measured best-plan time for its exact shape
+ * (measuring unseen shapes once, like executor warmup does) and every
+ * other layer with a host-calibrated flops-per-millisecond rate, so
+ * sweeps and LUTs rank execution paths by the time they would actually
+ * take under the tuned kernels.
+ */
+
+#ifndef VITDYN_ANALYSIS_KERNEL_COST_HH
+#define VITDYN_ANALYSIS_KERNEL_COST_HH
+
+#include "resilience/sweep.hh"
+#include "tensor/kernels/conv_autotune.hh"
+
+namespace vitdyn
+{
+
+/**
+ * Cost function returning estimated milliseconds for a graph.
+ *
+ * Conv2d layers are priced by ConvPlanCache::measuredMs for their
+ * shape key (built from the producer's output shape and the layer
+ * attrs); shapes below @p opts.minMeasureFlops — or any layer that is
+ * not a rank-4 conv — fall back to flops / calibratedFlopsPerMs().
+ * Bypassed layers cost nothing. The returned callable is safe to copy
+ * and call concurrently (the plan cache is mutex-protected).
+ *
+ * With @p opts.enabled false no new measurements are ever taken and
+ * the oracle degrades to a calibrated-FLOP model — still in
+ * milliseconds, just without per-shape fidelity.
+ */
+GraphCostFn kernelCostOracle(ConvAutotuneOptions opts = {
+                                 /*enabled=*/true});
+
+} // namespace vitdyn
+
+#endif // VITDYN_ANALYSIS_KERNEL_COST_HH

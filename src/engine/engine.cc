@@ -182,6 +182,7 @@ void
 DrtEngine::configureExecutor(Executor &executor) const
 {
     executor.setHealthChecks(resilience_.health);
+    executor.setConvAutotune(options_.convAutotune);
     if (injector_) {
         executor.setPostLayerHook(
             [this](const Layer &layer, Tensor &out) {

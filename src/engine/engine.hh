@@ -146,6 +146,18 @@ struct DrtEngineOptions
 
     /** Lint/preserve configuration for the pass pipeline's gates. */
     PassOptions passOptions;
+
+    /**
+     * Measured conv execution-plan autotuning, applied to every
+     * path's executor at materialization (see
+     * tensor/kernels/conv_autotune.hh). Enabled by default: the tuner
+     * only enumerates exact-flavor plans, so the choice never changes
+     * outputs, and shapes are measured once per process (tiny layers
+     * are not measured at all). Set convAutotune.enabled = false to
+     * fall back to the static Auto heuristic everywhere — the CI
+     * determinism knob.
+     */
+    ConvAutotuneOptions convAutotune = {/*enabled=*/true};
 };
 
 /** DRT inference engine over one pretrained model and one LUT. */

@@ -194,6 +194,7 @@ ModelSwitchingEngine::acquireExecutor(const Choice &choice) const
                     : buildSwin(variants_[0].swinConfig));
         registerFullDims(*referenceFull_, *m->executor);
     }
+    m->executor->setConvAutotune(convAutotune_);
     m->executor->warmupWeights();
 
     if (cacheCapacity_ > 0) {

@@ -142,6 +142,17 @@ class ModelSwitchingEngine
         passOptions_ = std::move(options);
     }
 
+    /**
+     * Measured conv-plan autotuning for acquired executors (see
+     * tensor/kernels/conv_autotune.hh); same determinism story as
+     * DrtEngineOptions::convAutotune. Takes effect on the next cache
+     * miss.
+     */
+    void setConvAutotune(const ConvAutotuneOptions &options)
+    {
+        convAutotune_ = options;
+    }
+
     const AccuracyResourceLut &lut() const { return lut_; }
 
   private:
@@ -162,6 +173,7 @@ class ModelSwitchingEngine
     WeightStore *store_ = nullptr;
     bool passPipeline_ = false;
     PassOptions passOptions_;
+    ConvAutotuneOptions convAutotune_ = {/*enabled=*/true};
     /** Reference (largest variant) graph, built on first pruned
      *  acquire, for registerFullDims-style weight sharing. */
     mutable std::unique_ptr<Graph> referenceFull_;

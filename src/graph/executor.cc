@@ -92,6 +92,47 @@ Executor::warmupWeights()
             break;
         }
     }
+    if (autotune_.enabled && !int8_)
+        tuneConvPlans();
+}
+
+void
+Executor::tuneConvPlans()
+{
+    ScopedSpan span(Tracer::instance(), "executor.conv_autotune",
+                    "autotune");
+    size_t tuned = 0;
+    for (const Layer &layer : graph_.layers()) {
+        if (layer.kind != LayerKind::Conv2d || layer.bypassed ||
+            layer.inputs.empty())
+            continue;
+        // The producer's inferred shape is this conv's input shape.
+        // Its batch dimension is the graph's nominal batch; a run
+        // with a different batch still executes the installed plan
+        // correctly (plans are valid for any shape), it is merely
+        // tuned for the nominal one.
+        const Shape &in_shape = graph_.layer(layer.inputs[0]).outShape;
+        if (in_shape.size() != 4)
+            continue;
+        const LayerAttrs &a = layer.attrs;
+        const Shape w_shape = {a.outChannels, a.inChannels / a.groups,
+                               a.kernelH, a.kernelW};
+        Conv2dParams p;
+        p.strideH = a.strideH;
+        p.strideW = a.strideW;
+        p.padH = a.padH;
+        p.padW = a.padW;
+        p.groups = a.groups;
+        const Conv2dShapeKey key = Conv2dShapeKey::of(in_shape, w_shape, p);
+        if (key.flops() <= 0)
+            continue;
+        Conv2dWorkspace &ws = convWs_[layer.id];
+        ws.plan = ConvPlanCache::instance().plan(key, autotune_);
+        ws.hasPlan = true;
+        ++tuned;
+    }
+    if (span.active())
+        span.arg("layers", std::to_string(tuned));
 }
 
 void

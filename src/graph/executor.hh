@@ -24,6 +24,7 @@
 
 #include "graph/graph.hh"
 #include "graph/weight_store.hh"
+#include "tensor/kernels/conv_autotune.hh"
 #include "tensor/ops.hh"
 #include "tensor/tensor.hh"
 
@@ -111,6 +112,21 @@ class Executor
      * after a configuration switch pays no synthesis stall.
      */
     void warmupWeights();
+
+    /**
+     * Configure measured conv-plan autotuning. When enabled,
+     * warmupWeights() asks the process-wide ConvPlanCache for the
+     * tuned plan of every conv layer's shape (measuring unseen shapes
+     * once) and installs the winners in the per-layer workspaces;
+     * run() then executes those plans instead of the static Auto
+     * heuristic. Disabled executors behave exactly as before.
+     */
+    void setConvAutotune(const ConvAutotuneOptions &options)
+    {
+        autotune_ = options;
+    }
+
+    const ConvAutotuneOptions &convAutotune() const { return autotune_; }
 
     /** Run the graph; @p inputs maps graph-input name to tensor. */
     std::map<std::string, Tensor>
@@ -204,10 +220,14 @@ class Executor
     /** Append @p tensor's health to healthReport_. */
     void checkHealth(const Layer &layer, const Tensor &tensor);
 
+    /** Install tuned plans for every conv layer (warmup helper). */
+    void tuneConvPlans();
+
     const Graph &graph_;
     uint64_t seed_;
     WeightStore *store_;
     bool int8_ = false;
+    ConvAutotuneOptions autotune_;
     RunStats stats_;
     HealthCheckConfig health_;
     HealthReport healthReport_;

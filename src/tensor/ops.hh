@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "tensor/kernels/kernels.hh"
 #include "tensor/tensor.hh"
 
 namespace vitdyn
@@ -48,7 +49,26 @@ enum class Conv2dAlgo
 {
     Auto,   ///< Im2col when groups == 1 and the layer is big enough.
     Direct, ///< The loop-nest reference path.
-    Im2col, ///< Column matrix + blocked GEMM (groups == 1 only).
+    Im2col, ///< Column matrix + blocked GEMM (groups == 1; grouped
+            ///< requests degrade gracefully to Direct).
+};
+
+/**
+ * Fully resolved conv2d execution plan: which algorithm, which GEMM
+ * column block, which microkernel ISA, and whether the fma-flavor
+ * GEMM tile may be used. Every plan with fma == false produces
+ * bit-identical output to every other non-fma plan (and to the seed
+ * scalar kernels) at any thread count; fma == true deviates within
+ * the documented ULP bound and is only ever chosen by an explicitly
+ * opted-in autotuner (ConvAutotuneOptions::allowFma).
+ */
+struct Conv2dPlan
+{
+    Conv2dAlgo algo = Conv2dAlgo::Direct;
+    /** GEMM column block; clamped to [1, kMaxGemmTileCols]. */
+    int64_t colBlock = 128;
+    IsaLevel isa = IsaLevel::Scalar;
+    bool fma = false;
 };
 
 /**
@@ -63,6 +83,16 @@ struct Conv2dWorkspace
     std::vector<float> col;   ///< (R*S*C, P*Q) column matrix.
     std::vector<float> wpack; ///< (K, R*S*C) repacked weights.
     Shape packedFor;          ///< Weight shape wpack was built from.
+
+    /**
+     * Tuned execution plan for this layer, installed by the conv
+     * autotuner at executor warmup (kernels/conv_autotune.hh). When
+     * set, conv2d(..., Conv2dAlgo::Auto, this) runs the plan instead
+     * of the static heuristic. Survives invalidate(): weight mutation
+     * changes values, not shapes, so the measured choice stays valid.
+     */
+    bool hasPlan = false;
+    Conv2dPlan plan;
 
     /** Drop the cached packing (required after in-place weight
      *  mutation; the column matrix is rebuilt every call anyway). */
@@ -84,12 +114,34 @@ Tensor conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
 
 /**
  * conv2d with an explicit algorithm and an optional cross-call
- * workspace (nullptr allocates locally). Every algorithm returns
- * bit-identical results for any thread count.
+ * workspace. Every algorithm returns bit-identical results for any
+ * thread count. With a null @p workspace the GEMM path borrows a
+ * thread-local fallback workspace (counting conv.workspace_miss)
+ * instead of paying a fresh allocation per call. Auto consults the
+ * workspace's tuned plan when the autotuner installed one.
  */
 Tensor conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
               const Conv2dParams &params, Conv2dAlgo algo,
               Conv2dWorkspace *workspace = nullptr);
+
+/**
+ * conv2d executing a fully resolved plan (the autotuner's measurement
+ * entry point). An Im2col plan for a grouped conv degrades to Direct.
+ */
+Tensor conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
+              const Conv2dParams &params, const Conv2dPlan &plan,
+              Conv2dWorkspace *workspace = nullptr);
+
+/**
+ * The static Auto heuristic's plan for this (input, weight, params)
+ * shape: Im2col on activeIsa() when the whole-batch GEMM is big
+ * enough and the column matrix footprint is sane, Direct otherwise.
+ * Exposed so the autotuner can seed its candidate set with it and so
+ * tests can probe the decision boundary.
+ */
+Conv2dPlan conv2dAutoPlan(const Shape &input_shape,
+                          const Shape &weight_shape,
+                          const Conv2dParams &params = {});
 
 /**
  * Fully connected layer over the last dimension.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hh"
+#include "tensor/kernels/kernels.hh"
 #include "util/logging.hh"
 #include "util/threadpool.hh"
 
@@ -85,7 +87,8 @@ conv2dDirectSlice(const Tensor &input, const Tensor &weight,
  */
 void
 conv2dIm2col(const Tensor &input, const Tensor &weight, const Tensor &bias,
-             const Conv2dParams &params, Conv2dWorkspace &ws, Tensor &out)
+             const Conv2dParams &params, const Conv2dPlan &plan,
+             Conv2dWorkspace &ws, Tensor &out)
 {
     const int64_t n = input.dim(0);
     const int64_t c = input.dim(1);
@@ -161,31 +164,24 @@ conv2dIm2col(const Tensor &input, const Tensor &weight, const Tensor &bias,
             col = ws.col.data();
         }
 
-        // out_n(K, PQ) = W(K, len) x col(len, PQ) + bias. Column
-        // blocks keep `col` rows hot across the K loop; each output
-        // element still accumulates over ascending l in one scalar.
+        // out_n(K, PQ) = W(K, len) x col(len, PQ) + bias, through the
+        // plan's GEMM tile microkernel. Column blocks keep `col` rows
+        // hot across the K loop; every tile accumulates each output
+        // element over ascending l, so shard boundaries and tile
+        // sizes never change the per-element arithmetic order.
+        const Microkernels &mk = kernelsFor(plan.isa);
+        const auto gemm = plan.fma ? mk.gemmTileFma : mk.gemmTileExact;
+        const int64_t col_block =
+            std::clamp<int64_t>(plan.colBlock, 1, kMaxGemmTileCols);
+        const float *bp = bias.numel() ? bias.data() : nullptr;
         float *on = out.data() + nn * k * pq;
         parallelFor(0, k, grainForFlops(2 * len * pq),
                     [&](int64_t k0, int64_t k1) {
-            constexpr int64_t kColBlock = 128;
-            float acc[kColBlock];
-            for (int64_t j0 = 0; j0 < pq; j0 += kColBlock) {
-                const int64_t jb = std::min(kColBlock, pq - j0);
-                for (int64_t ok = k0; ok < k1; ++ok) {
-                    const float b = bias.numel() ? bias[ok] : 0.0f;
-                    for (int64_t jj = 0; jj < jb; ++jj)
-                        acc[jj] = b;
-                    const float *wr = wp + ok * len;
-                    for (int64_t l = 0; l < len; ++l) {
-                        const float a = wr[l];
-                        const float *crow = col + l * pq + j0;
-                        for (int64_t jj = 0; jj < jb; ++jj)
-                            acc[jj] += a * crow[jj];
-                    }
-                    float *orow = on + ok * pq + j0;
-                    for (int64_t jj = 0; jj < jb; ++jj)
-                        orow[jj] = acc[jj];
-                }
+            for (int64_t j0 = 0; j0 < pq; j0 += col_block) {
+                const int64_t jb = std::min(col_block, pq - j0);
+                gemm(wp + k0 * len, len, col + j0, pq,
+                     bp ? bp + k0 : nullptr, on + k0 * pq + j0, pq,
+                     k1 - k0, jb, len);
             }
         });
     }
@@ -200,9 +196,74 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
     return conv2d(input, weight, bias, params, Conv2dAlgo::Auto, nullptr);
 }
 
+Conv2dPlan
+conv2dAutoPlan(const Shape &input_shape, const Shape &weight_shape,
+               const Conv2dParams &params)
+{
+    vitdyn_assert(input_shape.size() == 4 && weight_shape.size() == 4,
+                  "conv2dAutoPlan needs NCHW input and KCRS weight shapes");
+    const int64_t n = input_shape[0];
+    const int64_t c = input_shape[1];
+    const int64_t h = input_shape[2];
+    const int64_t w = input_shape[3];
+    const int64_t k = weight_shape[0];
+    const int64_t cg = weight_shape[1];
+    const int64_t r = weight_shape[2];
+    const int64_t s = weight_shape[3];
+    const int64_t p = convOutDim(h, r, params.strideH, params.padH);
+    const int64_t q = convOutDim(w, s, params.strideW, params.padW);
+
+    Conv2dPlan plan;
+    plan.isa = activeIsa();
+    plan.colBlock = 128;
+    plan.fma = false;
+    // GEMM pays off once the layer is non-trivial and the column
+    // matrix stays within a sane footprint. The whole batch runs
+    // through one column matrix per image, so the FLOP side of the
+    // decision folds in n: a small-but-batched layer is exactly as
+    // GEMM-friendly as a single large image.
+    constexpr int64_t kMinGemmFlops = 1 << 16;
+    constexpr int64_t kMaxColBytes = int64_t{256} << 20;
+    const int64_t flops_per_nk = 2 * p * q * r * s * cg;
+    const bool use_gemm = params.groups == 1 &&
+                          n * k * flops_per_nk >= kMinGemmFlops &&
+                          c * r * s * p * q * 4 <= kMaxColBytes;
+    plan.algo = use_gemm ? Conv2dAlgo::Im2col : Conv2dAlgo::Direct;
+    return plan;
+}
+
 Tensor
 conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
        const Conv2dParams &params, Conv2dAlgo algo,
+       Conv2dWorkspace *workspace)
+{
+    vitdyn_assert(input.rank() == 4, "conv2d input must be NCHW, got ",
+                  shapeToString(input.shape()));
+    vitdyn_assert(weight.rank() == 4, "conv2d weight must be KCRS, got ",
+                  shapeToString(weight.shape()));
+
+    Conv2dPlan plan;
+    switch (algo) {
+      case Conv2dAlgo::Direct:
+        plan.algo = Conv2dAlgo::Direct;
+        break;
+      case Conv2dAlgo::Im2col:
+        plan.algo = Conv2dAlgo::Im2col;
+        plan.isa = activeIsa();
+        break;
+      case Conv2dAlgo::Auto:
+        if (workspace != nullptr && workspace->hasPlan)
+            plan = workspace->plan;
+        else
+            plan = conv2dAutoPlan(input.shape(), weight.shape(), params);
+        break;
+    }
+    return conv2d(input, weight, bias, params, plan, workspace);
+}
+
+Tensor
+conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
+       const Conv2dParams &params, const Conv2dPlan &plan,
        Conv2dWorkspace *workspace)
 {
     vitdyn_assert(input.rank() == 4, "conv2d input must be NCHW, got ",
@@ -235,30 +296,37 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
 
     Tensor out({n, k, p, q});
 
-    const int64_t flops_per_nk = 2 * p * q * r * s * cg;
-    bool use_gemm = false;
-    switch (algo) {
-      case Conv2dAlgo::Direct:
-        break;
-      case Conv2dAlgo::Im2col:
-        vitdyn_assert(groups == 1, "im2col conv2d requires groups == 1");
-        use_gemm = true;
-        break;
-      case Conv2dAlgo::Auto: {
-        // GEMM pays off once the layer is non-trivial and the column
-        // matrix stays within a sane footprint.
-        constexpr int64_t kMinGemmFlops = 1 << 16;
-        constexpr int64_t kMaxColBytes = int64_t{256} << 20;
-        use_gemm = groups == 1 && k * flops_per_nk >= kMinGemmFlops &&
-                   c * r * s * p * q * 4 <= kMaxColBytes;
-        break;
-      }
+    bool use_gemm = plan.algo == Conv2dAlgo::Im2col;
+    if (use_gemm && groups != 1) {
+        // Grouped convolutions have no im2col path; degrade to Direct
+        // (bit-identical output) instead of aborting the process.
+        static Counter &fallbacks = MetricsRegistry::instance().counter(
+            "conv.im2col_grouped_fallback");
+        fallbacks.add();
+        debug("conv2d: im2col requested for groups=", groups,
+              "; running Direct instead");
+        use_gemm = false;
     }
 
+    const int64_t flops_per_nk = 2 * p * q * r * s * cg;
     if (use_gemm) {
-        Conv2dWorkspace local;
-        conv2dIm2col(input, weight, bias, params,
-                     workspace ? *workspace : local, out);
+        Conv2dWorkspace *ws = workspace;
+        if (ws == nullptr) {
+            // Workspace-less callers (benches, tests, analysis cost
+            // probes) borrow a thread-local fallback so the column
+            // buffer's capacity survives across calls instead of
+            // being reallocated every time. The cached weight packing
+            // is dropped each call: a stale pack for a *different*
+            // weight tensor of the same shape would silently corrupt
+            // results, and packedFor alone cannot tell them apart.
+            static Counter &misses = MetricsRegistry::instance().counter(
+                "conv.workspace_miss");
+            misses.add();
+            thread_local Conv2dWorkspace fallback;
+            fallback.invalidate();
+            ws = &fallback;
+        }
+        conv2dIm2col(input, weight, bias, params, plan, *ws, out);
     } else {
         parallelFor(0, n * k, grainForFlops(flops_per_nk),
                     [&](int64_t nk0, int64_t nk1) {

@@ -1,9 +1,12 @@
 #include "tensor/ops.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
+#include "tensor/kernels/kernels.hh"
 #include "util/logging.hh"
 #include "util/threadpool.hh"
 
@@ -30,6 +33,41 @@ linear(const Tensor &input, const Tensor &weight, const Tensor &bias)
     const float *x = input.data();
     const float *wt = weight.data();
     float *y = out.data();
+
+    const Microkernels &mk = activeKernels();
+
+    // Vectorized path: pack W^T once per call so each output row is a
+    // sequence of rank-1 axpy updates over ascending i — per element
+    // (r, o) that is y = bias[o], then += x[i] * W[o][i] for i
+    // ascending, the exact accumulation order of the scalar dot loop
+    // below, just vectorized across independent o lanes. Not worth
+    // the (in_f x out_f) transpose for a token or two.
+    if (mk.isa != IsaLevel::Scalar && rows >= 4 && out_f >= 8) {
+        thread_local std::vector<float> wpack;
+        wpack.resize(static_cast<size_t>(in_f * out_f));
+        float *wp = wpack.data();
+        parallelFor(0, in_f, grainForFlops(out_f),
+                    [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i)
+                for (int64_t o = 0; o < out_f; ++o)
+                    wp[i * out_f + o] = wt[o * in_f + i];
+        });
+        const float *bp = bias.numel() ? bias.data() : nullptr;
+        parallelFor(0, rows, grainForFlops(2 * out_f * in_f),
+                    [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+                const float *xr = x + r * in_f;
+                float *yr = y + r * out_f;
+                if (bp)
+                    std::memcpy(yr, bp, sizeof(float) * out_f);
+                else
+                    std::fill(yr, yr + out_f, 0.0f);
+                for (int64_t i = 0; i < in_f; ++i)
+                    mk.axpyF32(xr[i], wp + i * out_f, yr, out_f);
+            }
+        });
+        return out;
+    }
 
     parallelFor(0, rows, grainForFlops(2 * out_f * in_f),
                 [&](int64_t r0, int64_t r1) {
@@ -58,15 +96,19 @@ matmul(const Tensor &a, const Tensor &b)
     const int64_t n = b.dim(1);
 
     Tensor out({m, n});
+    // Rank-1 axpy updates preserve the reference loop exactly —
+    // including the zero-skip, whose -0.0/Inf/NaN semantics a dense
+    // GEMM restructuring would change.
+    const Microkernels &mk = activeKernels();
     parallelFor(0, m, grainForFlops(2 * k * n),
                 [&](int64_t i0, int64_t i1) {
         for (int64_t i = i0; i < i1; ++i) {
+            float *orow = out.data() + i * n;
             for (int64_t kk = 0; kk < k; ++kk) {
                 const float av = a.at2(i, kk);
                 if (av == 0.0f)
                     continue;
-                for (int64_t j = 0; j < n; ++j)
-                    out.at2(i, j) += av * b.at2(kk, j);
+                mk.axpyF32(av, b.data() + kk * n, orow, n);
             }
         }
     });
@@ -86,7 +128,9 @@ bmm(const Tensor &a, const Tensor &b)
 
     Tensor out({batch, m, n});
     // Sharded over the flattened (batch, row) space: each item owns
-    // one output row, so any partitioning is bit-identical.
+    // one output row, so any partitioning is bit-identical. The
+    // zero-skip is preserved (see matmul).
+    const Microkernels &mk = activeKernels();
     parallelFor(0, batch * m, grainForFlops(2 * k * n),
                 [&](int64_t bi0, int64_t bi1) {
         for (int64_t bi = bi0; bi < bi1; ++bi) {
@@ -99,9 +143,7 @@ bmm(const Tensor &a, const Tensor &b)
                 const float av = arow[kk];
                 if (av == 0.0f)
                     continue;
-                const float *brow = bbp + kk * n;
-                for (int64_t j = 0; j < n; ++j)
-                    orow[j] += av * brow[j];
+                mk.axpyF32(av, bbp + kk * n, orow, n);
             }
         }
     });

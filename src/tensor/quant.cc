@@ -1,7 +1,9 @@
 #include "tensor/quant.hh"
 
 #include <cmath>
+#include <vector>
 
+#include "tensor/kernels/kernels.hh"
 #include "util/logging.hh"
 #include "util/threadpool.hh"
 
@@ -17,11 +19,15 @@ quantize(const Tensor &input)
     q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
     q.data.resize(static_cast<size_t>(input.numel()));
     const float inv = 1.0f / q.scale;
-    for (int64_t i = 0; i < input.numel(); ++i) {
-        const float v = std::round(input[i] * inv);
-        q.data[i] = static_cast<int8_t>(
-            std::max(-127.0f, std::min(127.0f, v)));
-    }
+    // Each element quantizes independently (the SIMD kernel
+    // reproduces std::round's half-away-from-zero and the NaN -> 127
+    // clamp exactly), so any sharding is bit-identical.
+    const Microkernels &mk = activeKernels();
+    parallelFor(0, input.numel(), grainForFlops(4),
+                [&](int64_t i0, int64_t i1) {
+        mk.quantizeF32S8(input.data() + i0, inv, q.data.data() + i0,
+                         i1 - i0);
+    });
     return q;
 }
 
@@ -29,8 +35,12 @@ Tensor
 dequantize(const QuantTensor &input)
 {
     Tensor out(input.shape);
-    for (int64_t i = 0; i < out.numel(); ++i)
-        out[i] = input.data[i] * input.scale;
+    const Microkernels &mk = activeKernels();
+    parallelFor(0, out.numel(), grainForFlops(2),
+                [&](int64_t i0, int64_t i1) {
+        mk.dequantizeS8F32(input.data.data() + i0, input.scale,
+                           out.data() + i0, i1 - i0);
+    });
     return out;
 }
 
@@ -79,6 +89,79 @@ conv2dInt8(const QuantTensor &input, const QuantTensor &weight,
         return static_cast<int32_t>(
             weight.data[((kk * cg + cc) * r + rr) * s + ss]);
     };
+
+    // Vectorized im2col path for ungrouped convs: pack the weights
+    // and the input patches into contiguous int8 rows and reduce each
+    // output element with the dotS8 microkernel. Integer accumulation
+    // is associative, so this restructuring (and any SIMD widening
+    // scheme inside dotS8) is memcmp-identical to the direct loops
+    // below; the float epilogue `acc * out_scale + b` is unchanged.
+    constexpr int64_t kMinGemmFlops = 1 << 16;
+    constexpr int64_t kMaxColBytes = int64_t{256} << 20;
+    const int64_t len = c * r * s;
+    const int64_t pq = p * q;
+    if (groups == 1 &&
+        n * k * 2 * p * q * r * s * cg >= kMinGemmFlops &&
+        len * pq <= kMaxColBytes) {
+        const Microkernels &mk = activeKernels();
+        // (K, len) weight pack, l = (rr*s + ss)*c + cc.
+        std::vector<int8_t> wpack(static_cast<size_t>(k * len));
+        parallelFor(0, k, grainForFlops(len),
+                    [&](int64_t k0, int64_t k1) {
+            for (int64_t ok = k0; ok < k1; ++ok)
+                for (int64_t rr = 0; rr < r; ++rr)
+                    for (int64_t ss = 0; ss < s; ++ss)
+                        for (int64_t cc = 0; cc < c; ++cc)
+                            wpack[ok * len + (rr * s + ss) * c + cc] =
+                                w_at(ok, cc, rr, ss);
+        });
+        // (PQ, len) patch matrix: each output pixel's taps are
+        // contiguous, padded taps are explicit zeros (0 * w == 0).
+        std::vector<int8_t> col(static_cast<size_t>(pq * len));
+        for (int64_t nn = 0; nn < n; ++nn) {
+            parallelFor(0, pq, grainForFlops(len),
+                        [&](int64_t j0, int64_t j1) {
+                for (int64_t j = j0; j < j1; ++j) {
+                    const int64_t op = j / q;
+                    const int64_t oq = j % q;
+                    int8_t *dst = col.data() + j * len;
+                    for (int64_t rr = 0; rr < r; ++rr) {
+                        const int64_t ih =
+                            op * params.strideH - params.padH + rr;
+                        for (int64_t ss = 0; ss < s; ++ss) {
+                            const int64_t iw =
+                                oq * params.strideW - params.padW + ss;
+                            int8_t *d = dst + (rr * s + ss) * c;
+                            if (ih < 0 || ih >= h || iw < 0 || iw >= w) {
+                                for (int64_t cc = 0; cc < c; ++cc)
+                                    d[cc] = 0;
+                                continue;
+                            }
+                            const int8_t *src =
+                                input.data.data() +
+                                ((nn * c) * h + ih) * w + iw;
+                            for (int64_t cc = 0; cc < c; ++cc)
+                                d[cc] = src[cc * h * w];
+                        }
+                    }
+                }
+            });
+            parallelFor(0, k, grainForFlops(2 * len * pq),
+                        [&](int64_t k0, int64_t k1) {
+                for (int64_t ok = k0; ok < k1; ++ok) {
+                    const float b = bias.numel() ? bias[ok] : 0.0f;
+                    const int8_t *wr = wpack.data() + ok * len;
+                    float *orow = out.data() + (nn * k + ok) * pq;
+                    for (int64_t j = 0; j < pq; ++j) {
+                        const int64_t acc =
+                            mk.dotS8(wr, col.data() + j * len, len);
+                        orow[j] = acc * out_scale + b;
+                    }
+                }
+            });
+        }
+        return out;
+    }
 
     // Sharded over (n, k) output planes; int32/int64 accumulation is
     // order-independent, so any partitioning is bit-identical anyway.
@@ -132,16 +215,16 @@ linearInt8(const QuantTensor &input, const QuantTensor &weight,
     Tensor out(out_shape);
 
     const float out_scale = input.scale * weight.scale;
+    // dotS8 is integer-exact, so the vectorized reduction is
+    // memcmp-identical to the scalar loop it replaces.
+    const Microkernels &mk = activeKernels();
     parallelFor(0, rows, grainForFlops(2 * out_f * in_f),
                 [&](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
             const int8_t *xr = input.data.data() + r * in_f;
             for (int64_t o = 0; o < out_f; ++o) {
-                const int8_t *wr = weight.data.data() + o * in_f;
-                int64_t acc = 0;
-                for (int64_t i = 0; i < in_f; ++i)
-                    acc += static_cast<int32_t>(xr[i]) *
-                           static_cast<int32_t>(wr[i]);
+                const int64_t acc = mk.dotS8(
+                    xr, weight.data.data() + o * in_f, in_f);
                 out[r * out_f + o] = acc * out_scale +
                                      (bias.numel() ? bias[o] : 0.0f);
             }

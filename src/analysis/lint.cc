@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/memory_lint.hh"
 #include "analysis/shape_check.hh"
 
 namespace vitdyn
@@ -427,6 +428,8 @@ lintGraph(const Graph &graph, const LintOptions &options)
         checkShapeFlow(graph, report, state);
     if (options.accounting)
         checkAccounting(graph, report, state);
+    if (options.memory)
+        analysis::checkMemory(graph, report);
 
     if (options.suppressions.empty())
         return report;

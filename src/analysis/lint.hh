@@ -3,7 +3,7 @@
  * Graph linter: the static-analysis battery over the model IR.
  *
  * lintGraph inspects any Graph without touching tensor data and
- * reports structured diagnostics (see diagnostic.hh) across four
+ * reports structured diagnostics (see diagnostic.hh) across five
  * check families:
  *
  *  - structure (graph.*): dangling/forward input references, cycles
@@ -23,6 +23,11 @@
  *  - accounting (acct.*): FLOPs / MACs / parameter counts re-derived
  *    and cross-checked against the Layer methods the LUTs and sweeps
  *    are built from.
+ *
+ *  - memory (mem.*): every `inplace-priority` buffer-steal annotation
+ *    proven sound against an independent liveness/aliasing model
+ *    (memory_lint.hh); the certified peak-bytes planner in
+ *    liveness.hh coalesces only verified steals.
  *
  * The full catalog with severities lives in DESIGN.md.
  */
@@ -53,6 +58,8 @@ struct LintOptions
     bool attributes = true;
     bool shapes = true;
     bool accounting = true;
+    /** mem.*: in-place steal-plan verification (memory_lint.hh). */
+    bool memory = true;
 
     /**
      * Duplicate layer names alias weight storage (the store keys on

@@ -1,0 +1,236 @@
+#include "analysis/liveness.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "analysis/memory_lint.hh"
+
+namespace vitdyn
+{
+namespace analysis
+{
+
+namespace
+{
+
+constexpr size_t kArenaAlign = 64;
+
+size_t
+alignUp(size_t value)
+{
+    return (value + kArenaAlign - 1) & ~(kArenaAlign - 1);
+}
+
+} // namespace
+
+bool
+LivenessInfo::interferes(int a, int b) const
+{
+    if (a < 0 || b < 0 || a >= static_cast<int>(buffers.size()) ||
+        b >= static_cast<int>(buffers.size()))
+        return false;
+    const BufferLifetime &ba = buffers[a];
+    const BufferLifetime &bb = buffers[b];
+    if (ba.bytes == 0 || bb.bytes == 0)
+        return false;
+    return ba.birth <= bb.death && bb.birth <= ba.death;
+}
+
+LivenessInfo
+analyzeLiveness(const Graph &graph)
+{
+    const int n = static_cast<int>(graph.numLayers());
+    LivenessInfo info;
+    info.buffers.resize(n);
+
+    std::vector<char> is_output(n, 0);
+    for (int out_id : graph.outputs())
+        if (out_id >= 0 && out_id < n)
+            is_output[out_id] = 1;
+
+    for (int i = 0; i < n; ++i) {
+        BufferLifetime &buffer = info.buffers[i];
+        buffer.layerId = i;
+        const int64_t numel = shapeNumel(graph.layer(i).outShape);
+        buffer.bytes =
+            numel > 0 ? static_cast<size_t>(numel) * sizeof(float) : 0;
+        buffer.birth = i;
+        buffer.death = i;
+        info.totalBytes += buffer.bytes;
+    }
+
+    // Death = last consumer's schedule step: the buffer must survive
+    // *through* that step because the executor charges the consumer's
+    // output before releasing its inputs.
+    std::vector<char> consumed(n, 0);
+    for (int i = 0; i < n; ++i)
+        for (int in_id : graph.layer(i).inputs)
+            if (in_id >= 0 && in_id < n) {
+                consumed[in_id] = 1;
+                info.buffers[in_id].death =
+                    std::max(info.buffers[in_id].death, i);
+            }
+
+    // Graph outputs and consumer-less layers are held in the value
+    // table until the run ends.
+    for (int i = 0; i < n; ++i)
+        if (is_output[i] || !consumed[i]) {
+            info.buffers[i].death = n;
+            info.buffers[i].pinned = true;
+        }
+
+    // Sweep the schedule mirroring the executor's ordering: the
+    // step's output is charged first, then buffers whose last
+    // consumer is this step are released.
+    std::vector<std::vector<int>> frees(n);
+    for (int i = 0; i < n; ++i)
+        if (!info.buffers[i].pinned && info.buffers[i].death < n)
+            frees[info.buffers[i].death].push_back(i);
+    size_t live_bytes = 0;
+    size_t live_tensors = 0;
+    for (int step = 0; step < n; ++step) {
+        live_bytes += info.buffers[step].bytes;
+        ++live_tensors;
+        if (live_bytes > info.maxLiveBytes) {
+            info.maxLiveBytes = live_bytes;
+            info.peakStep = step;
+        }
+        info.maxLiveTensors = std::max(info.maxLiveTensors, live_tensors);
+        for (int freed : frees[step]) {
+            live_bytes -= info.buffers[freed].bytes;
+            --live_tensors;
+        }
+    }
+    return info;
+}
+
+size_t
+assignOffsets(const LivenessInfo &info, const std::vector<int> &merge_into,
+              std::vector<int64_t> *offsets)
+{
+    const int n = static_cast<int>(info.buffers.size());
+    if (offsets) {
+        offsets->assign(n, 0);
+    }
+    if (n == 0)
+        return 0;
+
+    // Resolve merge chains to roots with a bounded chase (a stealer
+    // can itself be stolen from: conv -> bn -> relu coalesces to one
+    // buffer).
+    std::vector<int> root(n);
+    for (int i = 0; i < n; ++i) {
+        int r = i;
+        for (int steps = 0; steps <= n; ++steps) {
+            if (r < 0 || r >= static_cast<int>(merge_into.size()) ||
+                merge_into[r] < 0 || merge_into[r] == r)
+                break;
+            r = merge_into[r];
+        }
+        root[i] = (r >= 0 && r < n) ? r : i;
+    }
+
+    // One allocation group per root: union of member lifetimes, max of
+    // member sizes (verified steals are shape-equal, so max == all).
+    struct GroupBuffer
+    {
+        int rootId = -1;
+        size_t bytes = 0;
+        int birth = std::numeric_limits<int>::max();
+        int death = -1;
+        int64_t offset = 0;
+    };
+    std::vector<int> group_of(n, -1);
+    std::vector<GroupBuffer> groups;
+    for (int i = 0; i < n; ++i) {
+        const int r = root[i];
+        if (group_of[r] < 0) {
+            group_of[r] = static_cast<int>(groups.size());
+            groups.push_back({});
+            groups.back().rootId = r;
+        }
+        GroupBuffer &group = groups[group_of[r]];
+        group.bytes = std::max(group.bytes, info.buffers[i].bytes);
+        group.birth = std::min(group.birth, info.buffers[i].birth);
+        group.death = std::max(group.death, info.buffers[i].death);
+    }
+
+    // Deterministic placement order: groups are created in ascending
+    // root-id order (a steal target always precedes its stealer), and
+    // root id == birth step, so this is (birth, id) order already.
+    size_t arena = 0;
+    std::vector<int> placed; // group indices, already assigned
+    std::vector<std::pair<int64_t, int64_t>> busy; // [offset, end)
+    for (size_t g = 0; g < groups.size(); ++g) {
+        GroupBuffer &group = groups[g];
+        if (group.bytes == 0)
+            continue;
+        busy.clear();
+        for (int p : placed) {
+            const GroupBuffer &other = groups[p];
+            if (group.birth <= other.death && other.birth <= group.death)
+                busy.emplace_back(other.offset,
+                                  other.offset +
+                                      static_cast<int64_t>(other.bytes));
+        }
+        std::sort(busy.begin(), busy.end());
+
+        // Best fit: tightest gap between interfering placements that
+        // holds the buffer; ties go to the lowest offset because the
+        // sweep visits gaps in ascending order.
+        const int64_t bytes = static_cast<int64_t>(group.bytes);
+        int64_t cursor = 0;
+        int64_t best_offset = -1;
+        int64_t best_gap = std::numeric_limits<int64_t>::max();
+        for (const auto &interval : busy) {
+            if (interval.first > cursor) {
+                const int64_t gap = interval.first - cursor;
+                if (gap >= bytes && gap < best_gap) {
+                    best_gap = gap;
+                    best_offset = cursor;
+                }
+            }
+            cursor = std::max(
+                cursor, static_cast<int64_t>(
+                            alignUp(static_cast<size_t>(interval.second))));
+        }
+        if (best_offset < 0)
+            best_offset = cursor; // open-ended gap at the arena top
+        group.offset = best_offset;
+        placed.push_back(static_cast<int>(g));
+        arena = std::max(arena,
+                         static_cast<size_t>(best_offset) + group.bytes);
+    }
+
+    if (offsets)
+        for (int i = 0; i < n; ++i)
+            (*offsets)[i] = groups.empty() ? 0 : groups[group_of[root[i]]].offset;
+    return arena;
+}
+
+MemoryPlan
+planMemory(const Graph &graph)
+{
+    MemoryPlan plan;
+    const LivenessInfo info = analyzeLiveness(graph);
+    plan.maxLiveBytes = info.maxLiveBytes;
+    plan.totalBytes = info.totalBytes;
+    plan.certifiedPeakBytes = assignOffsets(info, {}, &plan.offsets);
+    const std::vector<int> merges = verifiedStealTargets(graph, nullptr);
+    plan.plannedPeakBytes = assignOffsets(info, merges, &plan.plannedOffsets);
+    plan.stealSavedBytes =
+        plan.certifiedPeakBytes > plan.plannedPeakBytes
+            ? plan.certifiedPeakBytes - plan.plannedPeakBytes
+            : 0;
+    return plan;
+}
+
+size_t
+certifiedPeakBytes(const Graph &graph)
+{
+    const LivenessInfo info = analyzeLiveness(graph);
+    return assignOffsets(info, {}, nullptr);
+}
+
+} // namespace analysis
+} // namespace vitdyn

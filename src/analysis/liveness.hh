@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Static liveness analysis over the Graph IR.
+ *
+ * Re-derives producer/consumer buffer lifetimes from the topological
+ * schedule alone — an independent second implementation, on purpose
+ * *not* sharing code with the executor's runtime accounting — so the
+ * two can cross-check each other (the same discipline as the
+ * shape-flow and FLOP lints). The model mirrors the executor's
+ * ordering exactly:
+ *
+ *  - a layer's output buffer is born at its own schedule step, and its
+ *    bytes are charged *before* any input buffer is released, so a
+ *    buffer is still live at the step of its last consumer;
+ *  - a buffer dies after its last consumer's step, unless it is a
+ *    graph output or has no consumers at all (the executor keeps both
+ *    in its value table until the run ends), in which case it stays
+ *    live to the end of the schedule;
+ *  - all activations are fp32 (4 bytes/element), matching the
+ *    executor's `numel * sizeof(float)` accounting.
+ *
+ * On top of the lifetimes, planMemory() runs a deterministic best-fit
+ * offset assignment over the interference graph (two buffers
+ * interfere iff their [birth, death] intervals overlap) and reports:
+ *
+ *  - certifiedPeakBytes: the arena size of the *no-steal* plan. Every
+ *    execution mode — fp32 with or without in-place steals, int8
+ *    (which disables steals) — allocates a subset of these lifetimes,
+ *    so this is a sound static upper bound on runtime peak live
+ *    bytes. The executor asserts against it in debug builds.
+ *  - plannedPeakBytes: the arena size once every *verified* in-place
+ *    annotation (see memory_lint.hh) coalesces the stealing layer's
+ *    buffer with its first input's.
+ */
+
+#ifndef VITDYN_ANALYSIS_LIVENESS_HH
+#define VITDYN_ANALYSIS_LIVENESS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+namespace analysis
+{
+
+/** Lifetime of one layer's output buffer, in schedule steps. */
+struct BufferLifetime
+{
+    int layerId = -1;
+    /** fp32 activation bytes (shapeNumel * 4). */
+    size_t bytes = 0;
+    /** Producer's schedule step (== layer id in a normalized graph). */
+    int birth = 0;
+    /**
+     * Last schedule step the buffer is live at, inclusive. Equals the
+     * last consumer's step, or numLayers() for graph outputs and
+     * consumer-less layers (held until the run ends).
+     */
+    int death = 0;
+    /** Graph output or consumer-less: never released mid-run. */
+    bool pinned = false;
+};
+
+/** Per-graph liveness summary. */
+struct LivenessInfo
+{
+    /** Indexed by layer id. */
+    std::vector<BufferLifetime> buffers;
+    /** Peak of simultaneously-live bytes over the schedule. */
+    size_t maxLiveBytes = 0;
+    /** Peak of simultaneously-live buffer count. */
+    size_t maxLiveTensors = 0;
+    /** Sum of all buffer bytes (no reuse at all). */
+    size_t totalBytes = 0;
+    /** Schedule step where maxLiveBytes is reached; -1 if empty. */
+    int peakStep = -1;
+
+    /** Do the two buffers' lifetime intervals overlap? */
+    bool interferes(int a, int b) const;
+};
+
+/** Walk @p graph in schedule order and derive every buffer lifetime. */
+LivenessInfo analyzeLiveness(const Graph &graph);
+
+/**
+ * Deterministic best-fit arena assignment over @p info's interference
+ * graph. Buffers are placed in (birth, layerId) order; each takes the
+ * tightest feasible gap between already-placed interfering buffers
+ * (ties resolved toward the lowest offset), 64-byte aligned.
+ *
+ * @p merge_into maps each layer id to the id whose buffer it reuses
+ * (-1 = owns its buffer). Chains are followed to the root; merged
+ * groups get the union of their members' lifetimes and the max of
+ * their sizes. Pass an empty vector for the no-steal plan.
+ *
+ * @p offsets (optional) receives the byte offset per layer id.
+ * Returns the arena size in bytes.
+ */
+size_t assignOffsets(const LivenessInfo &info,
+                     const std::vector<int> &merge_into,
+                     std::vector<int64_t> *offsets = nullptr);
+
+/** Certified bound plus the steal-coalesced plan for one graph. */
+struct MemoryPlan
+{
+    /** No-steal best-fit arena size: the certified static bound. */
+    size_t certifiedPeakBytes = 0;
+    /** Tight liveness peak (lower bound on any arena size). */
+    size_t maxLiveBytes = 0;
+    /** Arena size with every verified in-place steal coalesced. */
+    size_t plannedPeakBytes = 0;
+    /** certifiedPeakBytes - plannedPeakBytes. */
+    size_t stealSavedBytes = 0;
+    /** Sum of all buffer bytes, for reuse-ratio reporting. */
+    size_t totalBytes = 0;
+    /** Per-layer arena offsets of the no-steal (certified) plan. */
+    std::vector<int64_t> offsets;
+    /** Per-layer offsets of the steal-coalesced plan (members of a
+     *  merged group share their root's offset). */
+    std::vector<int64_t> plannedOffsets;
+};
+
+/**
+ * analyzeLiveness + assignOffsets twice: once with no merges (the
+ * certified bound) and once coalescing every in-place annotation that
+ * verifiedStealTargets() (memory_lint.hh) proves sound.
+ */
+MemoryPlan planMemory(const Graph &graph);
+
+/** Shorthand for planMemory(graph).certifiedPeakBytes. */
+size_t certifiedPeakBytes(const Graph &graph);
+
+} // namespace analysis
+} // namespace vitdyn
+
+#endif // VITDYN_ANALYSIS_LIVENESS_HH

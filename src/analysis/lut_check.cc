@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "analysis/liveness.hh"
+
 namespace vitdyn
 {
 
@@ -80,6 +82,17 @@ checkLut(const AccuracyResourceLut &lut, ModelFamily family,
         const Graph &graph = built.value();
 
         report.mergeWithContext(lintGraph(graph, options.lint), row);
+
+        if (options.memoryBudgetBytes > 0) {
+            const size_t peak = analysis::certifiedPeakBytes(graph);
+            if (peak > options.memoryBudgetBytes)
+                report.addGraph(
+                    Severity::Error, "lut.memory-budget",
+                    row + " certified peak " + std::to_string(peak) +
+                        " bytes exceeds the memory budget of " +
+                        std::to_string(options.memoryBudgetBytes) +
+                        " bytes");
+        }
 
         if (options.cost) {
             const double recomputed = options.cost(graph);

@@ -45,6 +45,14 @@ struct LutCheckOptions
     /** Loose bound for |normalizedCost - flopRatio| / flopRatio. */
     double flopRelTolerance = 0.25;
 
+    /**
+     * When > 0, every row's rebuilt graph gets a certified static
+     * peak-activation bound (analysis::certifiedPeakBytes) and a row
+     * whose bound exceeds the budget is an Error ("lut.memory-budget")
+     * — the engines turn it into a load-time config veto.
+     */
+    size_t memoryBudgetBytes = 0;
+
     /** Lint options applied to every rebuilt per-row graph. */
     LintOptions lint;
 };

@@ -1,0 +1,179 @@
+#include "analysis/memory_lint.hh"
+
+#include <string>
+
+namespace vitdyn
+{
+namespace analysis
+{
+
+namespace
+{
+
+/** Mirrors the executor's in-place kernel coverage. */
+bool
+supportsInPlace(LayerKind kind)
+{
+    switch (kind) {
+    case LayerKind::ReLU:
+    case LayerKind::GELU:
+    case LayerKind::Add:
+    case LayerKind::BatchNorm:
+        return true;
+    default:
+        return false;
+    }
+}
+
+/**
+ * A forwarder logically hands its first input's buffer through
+ * unchanged: explicit Identity layers and bypassed layers. Narrow and
+ * Concat are deliberately *not* forwarders — in this IR they
+ * materialize fresh buffers (the executor copies), so they consume
+ * the source buffer rather than aliasing it.
+ */
+bool
+isForwarder(const Layer &layer)
+{
+    return (layer.kind == LayerKind::Identity || layer.bypassed) &&
+           !layer.inputs.empty();
+}
+
+std::string
+shapeText(const Shape &shape)
+{
+    std::string text = "[";
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (i > 0)
+            text += ", ";
+        text += std::to_string(shape[i]);
+    }
+    return text + "]";
+}
+
+} // namespace
+
+std::vector<int>
+verifiedStealTargets(const Graph &graph, LintReport *report)
+{
+    const int n = static_cast<int>(graph.numLayers());
+    std::vector<int> targets(n, -1);
+    if (n == 0)
+        return targets;
+
+    std::vector<char> is_output(n, 0);
+    for (int out_id : graph.outputs())
+        if (out_id >= 0 && out_id < n)
+            is_output[out_id] = 1;
+
+    // Resolve every layer's buffer root through forwarder chains. A
+    // bounded chase (not memoized recursion) so malformed graphs with
+    // self/forward references degrade to identity instead of looping.
+    std::vector<int> root(n);
+    for (int i = 0; i < n; ++i) {
+        int r = i;
+        for (int steps = 0; steps <= n; ++steps) {
+            if (r < 0 || r >= n || !isForwarder(graph.layer(r)))
+                break;
+            const int next = graph.layer(r).inputs[0];
+            if (next < 0 || next >= n || next == r)
+                break;
+            r = next;
+        }
+        root[i] = r;
+    }
+
+    for (int i = 0; i < n; ++i) {
+        const Layer &layer = graph.layer(i);
+        if (layer.inplacePriority <= 0)
+            continue;
+        bool sound = true;
+        auto fail = [&](Severity severity, const char *check,
+                        std::string message) {
+            if (severity == Severity::Error)
+                sound = false;
+            if (report)
+                report->add(severity, check, i, layer.name,
+                            std::move(message));
+        };
+
+        if (layer.bypassed) {
+            fail(Severity::Warning, "mem.inplace.bypassed",
+                 "in-place annotation on a bypassed layer is dead "
+                 "(the executor never steals for bypassed layers)");
+            continue;
+        }
+        if (!supportsInPlace(layer.kind))
+            fail(Severity::Error, "mem.inplace.kind",
+                 std::string("kind ") + layerKindName(layer.kind) +
+                     " has no in-place kernel");
+        if (layer.inputs.empty()) {
+            fail(Severity::Error, "mem.inplace.no-input",
+                 "annotated layer has no input buffer to steal");
+            continue;
+        }
+        const int in0 = layer.inputs[0];
+        if (in0 < 0 || in0 >= n || in0 >= i) {
+            // Dangling / forward references are the structure
+            // family's findings; the steal is just not provable.
+            targets[i] = -1;
+            continue;
+        }
+        const Layer &src = graph.layer(in0);
+        if (src.outShape != layer.outShape)
+            fail(Severity::Error, "mem.inplace.shape",
+                 "stolen buffer '" + src.name + "' shape " +
+                     shapeText(src.outShape) +
+                     " != output shape " + shapeText(layer.outShape));
+        if (is_output[in0])
+            fail(Severity::Error, "mem.inplace.output",
+                 "stolen buffer '" + src.name +
+                     "' is a graph output the caller reads");
+
+        // Alias analysis on the actually-stolen root buffer: any read
+        // of it scheduled strictly after this layer, or any graph
+        // output aliasing it, makes the steal a corruption under
+        // zero-copy forwarding.
+        const int stolen_root = root[in0];
+        for (int alias = 0; alias < n; ++alias) {
+            if (root[alias] != stolen_root || alias == in0)
+                continue;
+            if (is_output[alias])
+                fail(Severity::Error, "mem.inplace.alias",
+                     "graph output '" + graph.layer(alias).name +
+                         "' aliases the stolen buffer '" + src.name +
+                         "' through forwarders");
+        }
+        for (int reader = i + 1; reader < n; ++reader) {
+            for (int edge : graph.layer(reader).inputs) {
+                if (edge < 0 || edge >= n || root[edge] != stolen_root)
+                    continue;
+                if (edge == in0)
+                    fail(Severity::Error, "mem.inplace.not-last",
+                         "'" + graph.layer(reader).name +
+                             "' still reads the stolen buffer '" +
+                             src.name + "' after this layer");
+                else
+                    fail(Severity::Error, "mem.inplace.alias",
+                         "'" + graph.layer(reader).name +
+                             "' reads the stolen buffer '" + src.name +
+                             "' through forwarder alias '" +
+                             graph.layer(edge).name + "'");
+                break; // one finding per reader is enough
+            }
+        }
+
+        if (sound)
+            targets[i] = in0;
+    }
+    return targets;
+}
+
+void
+checkMemory(const Graph &graph, LintReport &report)
+{
+    verifiedStealTargets(graph, &report);
+}
+
+} // namespace analysis
+} // namespace vitdyn

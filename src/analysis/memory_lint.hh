@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Memory lint (mem.*): proves the in-place buffer-reuse plan safe.
+ *
+ * The `inplace-priority` pass annotates elementwise layers whose
+ * output may overwrite their first input's buffer; the executor
+ * re-verifies those annotations at run time against its own last-use
+ * analysis. This lint is the *static* side of that contract: it
+ * re-derives the soundness conditions from the Graph IR alone so an
+ * unsound annotation is a build-time diagnostic, not a silent runtime
+ * fallback — and so a certified memory plan (liveness.hh) can
+ * coalesce verified steals without trusting the annotator.
+ *
+ * An annotated steal of buffer B = inputs[0] by layer L is sound iff:
+ *
+ *  - L's kind supports in-place execution (ReLU/GELU/Add/BatchNorm),
+ *  - B's shape equals L's output shape (all activations are fp32, so
+ *    shape equality is dtype/byte compatibility),
+ *  - no layer scheduled after L reads B — directly, or through a
+ *    zero-copy forwarder alias (Identity layers and bypassed layers
+ *    forward their first input's buffer; Narrow and Concat always
+ *    materialize fresh buffers in this IR, so they are consumers,
+ *    not views), and
+ *  - neither B nor any forwarder alias of it is a graph output (the
+ *    caller reads those bytes after the run).
+ *
+ * Operands of L itself may alias B (Add(x, x) reads the stolen buffer
+ * per-index while writing it, which the in-place kernels tolerate).
+ *
+ * Check ids: mem.inplace.kind, mem.inplace.no-input,
+ * mem.inplace.shape, mem.inplace.not-last, mem.inplace.alias,
+ * mem.inplace.output (all Error) and mem.inplace.bypassed (Warning —
+ * a dead annotation the executor ignores).
+ */
+
+#ifndef VITDYN_ANALYSIS_MEMORY_LINT_HH
+#define VITDYN_ANALYSIS_MEMORY_LINT_HH
+
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+#include "graph/graph.hh"
+
+namespace vitdyn
+{
+namespace analysis
+{
+
+/**
+ * Verify every in-place annotation in @p graph. Returns, per layer
+ * id, the id of the buffer a proven-sound steal reuses (always
+ * inputs[0]), or -1 for unannotated layers and annotations that fail
+ * verification. When @p report is non-null each violated condition is
+ * added as a mem.* Diagnostic (see the file comment for the catalog).
+ */
+std::vector<int> verifiedStealTargets(const Graph &graph,
+                                      LintReport *report = nullptr);
+
+/** lintGraph's mem.* family entry point. */
+void checkMemory(const Graph &graph, LintReport &report);
+
+} // namespace analysis
+} // namespace vitdyn
+
+#endif // VITDYN_ANALYSIS_MEMORY_LINT_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "analysis/lint.hh"
+#include "analysis/liveness.hh"
 #include "obs/metrics.hh"
 #include "obs/request_context.hh"
 #include "obs/span.hh"
@@ -17,23 +18,36 @@ namespace
 
 /**
  * The load-time lint gate for one LUT row: rebuild the config's graph
- * (recoverably), lint it, and — when the caller supplied the cost
- * oracle — cross-check the stored resource cost for staleness. An
- * error here vetoes the config.
+ * (recoverably), lint it, compute its certified peak-activation
+ * bound into @p certified_peak_bytes (when non-null), and — when the
+ * caller supplied the cost oracle or a memory budget — cross-check
+ * the stored resource cost for staleness and the certified bound
+ * against the budget. An error here vetoes the config.
  */
 Status
 lintLutEntry(ModelFamily family, const SegformerConfig &seg_base,
              const SwinConfig &swin_base, const LutEntry &entry,
-             const DrtLintOptions &options)
+             const DrtLintOptions &options,
+             size_t *certified_peak_bytes = nullptr)
 {
     Result<Graph> built =
         tryApplyPrune(family, seg_base, swin_base, entry.config);
     if (!built)
         return built.status();
 
+    const size_t peak = analysis::certifiedPeakBytes(built.value());
+    if (certified_peak_bytes)
+        *certified_peak_bytes = peak;
+
     Status lint = lintGraph(built.value()).toStatus();
     if (!lint)
         return lint.withContext("config '" + entry.config.label + "'");
+
+    if (options.memoryBudgetBytes > 0 && peak > options.memoryBudgetBytes)
+        return Status::error(detail::formatParts(
+            "config '", entry.config.label, "': certified peak ", peak,
+            " bytes exceeds the memory budget of ",
+            options.memoryBudgetBytes, " bytes"));
 
     if (options.cost) {
         const double recomputed = options.cost(built.value());
@@ -87,7 +101,8 @@ DrtEngine::DrtEngine(ModelFamily family, const SegformerConfig &seg_base,
                      ? buildSegformer(seg_base)
                      : buildSwin(swin_base)),
       quarantinedUntil_(lut_.entries().size(), 0),
-      configVetoed_(lut_.entries().size(), false)
+      configVetoed_(lut_.entries().size(), false),
+      certifiedPeakBytes_(lut_.entries().size(), 0)
 {
     vitdyn_assert(!lut_.empty(), "DrtEngine needs a non-empty LUT");
 
@@ -100,8 +115,9 @@ DrtEngine::DrtEngine(ModelFamily family, const SegformerConfig &seg_base,
         for (size_t i = 0; i < lut_.entries().size(); ++i) {
             checked.add();
             const LutEntry &entry = lut_.entries()[i];
-            Status verdict = lintLutEntry(family_, segBase_, swinBase_,
-                                          entry, options_.lint);
+            Status verdict =
+                lintLutEntry(family_, segBase_, swinBase_, entry,
+                             options_.lint, &certifiedPeakBytes_[i]);
             if (verdict) {
                 ++alive;
                 continue;
@@ -299,6 +315,14 @@ DrtEngine::isVetoed(size_t path_index) const
     vitdyn_assert(path_index < configVetoed_.size(),
                   "path index out of range");
     return configVetoed_[path_index];
+}
+
+size_t
+DrtEngine::certifiedPeakBytes(size_t path_index) const
+{
+    vitdyn_assert(path_index < certifiedPeakBytes_.size(),
+                  "path index out of range");
+    return certifiedPeakBytes_[path_index];
 }
 
 size_t

@@ -103,6 +103,17 @@ struct DrtLintOptions
      */
     GraphCostFn cost;
     double costRelTolerance = 0.05;
+
+    /**
+     * Memory gate: when > 0, every config's rebuilt graph gets a
+     * certified static peak-activation bound (analysis/liveness.hh)
+     * and a config whose bound exceeds the budget is vetoed at load —
+     * it can never be selected, so the engine's peak activation
+     * memory is provably below the budget. 0 disables the gate; the
+     * per-config bounds are still computed and exposed through
+     * certifiedPeakBytes() for memory-aware admission.
+     */
+    size_t memoryBudgetBytes = 0;
 };
 
 /** Materialization policy for DrtEngine execution paths. */
@@ -290,6 +301,22 @@ class DrtEngine
 
     const AccuracyResourceLut &lut() const { return lut_; }
 
+    /**
+     * Certified static peak-activation bound of the path's pruned
+     * graph (analysis::certifiedPeakBytes), computed by the load-time
+     * lint gate. The standard rewrite pipeline only removes buffers,
+     * so this also bounds the served (possibly fused) path. 0 when
+     * unknown (lint gate disabled).
+     */
+    size_t certifiedPeakBytes(size_t path_index) const;
+
+    /** Per-config certified bounds, parallel to lut().entries() —
+     *  the vector the admission controller consumes. */
+    const std::vector<size_t> &certifiedPeakBytes() const
+    {
+        return certifiedPeakBytes_;
+    }
+
     /** Graph of a prepared path (for inspection/tests; materializes
      *  the path if it is not currently cached). */
     const Graph &pathGraph(size_t index) const;
@@ -356,6 +383,9 @@ class DrtEngine
     /** Permanent lint vetoes, parallel to lut_.entries(): set once at
      *  construction, never selected or prewarmed afterwards. */
     std::vector<bool> configVetoed_;
+    /** Certified peak-activation bounds, parallel to lut_.entries();
+     *  0 = unknown (lint gate disabled). */
+    std::vector<size_t> certifiedPeakBytes_;
     EngineResilienceConfig resilience_;
     FaultInjector *injector_ = nullptr;
     uint64_t frame_ = 0; ///< Monotonic inference counter.

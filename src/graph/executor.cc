@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "analysis/liveness.hh"
 #include "obs/metrics.hh"
 #include "obs/request_context.hh"
 #include "obs/span.hh"
@@ -32,7 +33,8 @@ HealthReport::summary() const
 
 Executor::Executor(const Graph &graph, uint64_t seed, WeightStore *store)
     : graph_(graph), seed_(seed),
-      store_(store != nullptr ? store : &WeightStore::instance())
+      store_(store != nullptr ? store : &WeightStore::instance()),
+      certifiedPeakBytes_(analysis::certifiedPeakBytes(graph))
 {
 }
 
@@ -577,6 +579,9 @@ Executor::run(const std::map<std::string, Tensor> &inputs)
                 static Counter &reuses =
                     MetricsRegistry::instance().counter(
                         "executor.inplace_reuses");
+                static Counter &steal_reuse_bytes =
+                    MetricsRegistry::instance().counter(
+                        "exec.steal_reuse_bytes");
                 Tensor taken = std::move(values[in0]);
                 // Reset the vacated slot: a moved-from Tensor keeps
                 // its numel_, and the release loop below keys "still
@@ -585,9 +590,12 @@ Executor::run(const std::map<std::string, Tensor> &inputs)
                 // The buffer changed owner, not size: retire the
                 // input's accounting now; the generic bookkeeping
                 // below re-adds it as this layer's output.
-                live_bytes -=
+                const size_t stolen =
                     static_cast<size_t>(taken.numel()) * 4;
+                live_bytes -= stolen;
                 --live_tensors;
+                stats_.stealReuseBytes += stolen;
+                steal_reuse_bytes.add(stolen);
                 executeInPlace(layer, taken, ins);
                 values[layer.id] = std::move(taken);
                 reuses.add();
@@ -655,8 +663,21 @@ Executor::run(const std::map<std::string, Tensor> &inputs)
         MetricsRegistry::instance().counter("executor.runs");
     static Counter &unhealthy_layers =
         MetricsRegistry::instance().counter("executor.unhealthy_layers");
+    static Gauge &peak_live_bytes =
+        MetricsRegistry::instance().gauge("exec.peak_live_bytes");
     runs.add();
     unhealthy_layers.add(healthReport_.issues.size());
+    peak_live_bytes.set(static_cast<double>(stats_.peakLiveBytes));
+
+#ifndef NDEBUG
+    // Debug-build side of the certification contract: the runtime
+    // peak can never exceed the bound the static liveness analyzer
+    // certified for this graph (steals only ever reduce it).
+    vitdyn_assert(stats_.peakLiveBytes <= certifiedPeakBytes_,
+                  "runtime peak ", stats_.peakLiveBytes,
+                  " bytes exceeds the certified static bound of ",
+                  certifiedPeakBytes_, " bytes");
+#endif
 
     std::map<std::string, Tensor> outs;
     for (int out_id : graph_.outputs())

@@ -141,6 +141,9 @@ class Executor
         size_t peakLiveTensors = 0;
         size_t peakLiveBytes = 0;  ///< fp32 activation bytes.
         size_t totalBytes = 0;     ///< Sum of all layer outputs.
+        /** Bytes not allocated because an annotated layer stole its
+         *  first input's buffer (sum over in-place reuses). */
+        size_t stealReuseBytes = 0;
     };
 
     /**
@@ -149,6 +152,16 @@ class Executor
      * below totalBytes on deep graphs.
      */
     const RunStats &lastRunStats() const { return stats_; }
+
+    /**
+     * Certified static peak-activation bound for this graph, computed
+     * at construction by the independent liveness analyzer
+     * (analysis::certifiedPeakBytes). Sound for every execution mode:
+     * in-place steals only reduce the runtime peak and int8 mode
+     * disables them, so lastRunStats().peakLiveBytes never exceeds
+     * this (debug builds assert it after every run).
+     */
+    size_t certifiedPeakBytes() const { return certifiedPeakBytes_; }
 
     /**
      * Hook invoked after each non-input layer executes, with mutable
@@ -229,6 +242,8 @@ class Executor
     bool int8_ = false;
     ConvAutotuneOptions autotune_;
     RunStats stats_;
+    /** Static bound from the liveness analyzer (see accessor). */
+    size_t certifiedPeakBytes_ = 0;
     HealthCheckConfig health_;
     HealthReport healthReport_;
     PostLayerHook postHook_;

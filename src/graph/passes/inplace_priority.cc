@@ -1,5 +1,7 @@
 #include "graph/passes/passes.hh"
 
+#include "analysis/memory_lint.hh"
+
 namespace vitdyn
 {
 
@@ -49,8 +51,19 @@ class InplacePriorityPass : public Pass
         for (int out_id : graph.outputs())
             is_output[out_id] = true;
 
-        int annotated = 0;
-        for (Layer &layer : graph.layers()) {
+        // Candidates under the fast local rules first; then the
+        // liveness/aliasing verifier (analysis/memory_lint.hh) is the
+        // final authority: a candidate it cannot prove sound — e.g.
+        // the first input forwards a buffer that a later layer or a
+        // graph output still reads through an Identity/bypassed
+        // alias — stays unannotated, so the pass output is mem.*
+        // lint-clean by construction. The pass owns the annotation
+        // field: stale or unsound pre-existing annotations are
+        // cleared for the same reason.
+        std::vector<int> want(n, 0);
+        std::vector<int> before(n, 0);
+        for (const Layer &layer : graph.layers()) {
+            before[layer.id] = layer.inplacePriority;
             const int priority = priorityFor(layer.kind);
             if (priority == 0 || layer.bypassed ||
                 layer.inputs.empty())
@@ -58,12 +71,21 @@ class InplacePriorityPass : public Pass
             const int in0 = layer.inputs[0];
             if (sole_consumer[in0] != layer.id || is_output[in0])
                 continue;
-            if (layer.inplacePriority != priority) {
-                layer.inplacePriority = priority;
-                ++annotated;
-            }
+            want[layer.id] = priority;
         }
-        return annotated;
+        for (Layer &layer : graph.layers())
+            layer.inplacePriority = want[layer.id];
+        const std::vector<int> verified =
+            analysis::verifiedStealTargets(graph);
+        int rewrites = 0;
+        for (Layer &layer : graph.layers()) {
+            const int priority =
+                verified[layer.id] >= 0 ? want[layer.id] : 0;
+            layer.inplacePriority = priority;
+            if (priority != before[layer.id])
+                ++rewrites;
+        }
+        return rewrites;
     }
 
   private:

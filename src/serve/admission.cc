@@ -1,15 +1,18 @@
 #include "serve/admission.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.hh"
 
 namespace vitdyn
 {
 
-AdmissionController::AdmissionController(const AccuracyResourceLut &lut,
-                                         AdmissionOptions options)
-    : lut_(lut), options_(options)
+AdmissionController::AdmissionController(
+    const AccuracyResourceLut &lut, AdmissionOptions options,
+    std::vector<size_t> config_peak_bytes)
+    : lut_(lut), options_(options),
+      configPeakBytes_(std::move(config_peak_bytes))
 {
     vitdyn_assert(!lut_.empty(),
                   "AdmissionController needs a non-empty LUT");
@@ -17,14 +20,33 @@ AdmissionController::AdmissionController(const AccuracyResourceLut &lut,
                   "queueCapacity must be >= 1");
     vitdyn_assert(options_.deadlineSafety >= 1.0,
                   "deadlineSafety must be >= 1");
+    vitdyn_assert(configPeakBytes_.empty() ||
+                      configPeakBytes_.size() == lut_.entries().size(),
+                  "config_peak_bytes must parallel the LUT entries");
+}
+
+bool
+AdmissionController::memoryFits(size_t index, size_t available) const
+{
+    if (index >= configPeakBytes_.size())
+        return true; // no bounds supplied: memory policy disabled
+    const size_t peak = configPeakBytes_[index];
+    return peak == 0 || peak <= available; // 0 = unknown, always fits
 }
 
 size_t
-AdmissionController::indexForBudget(double budget, bool *met) const
+AdmissionController::indexForBudget(double budget,
+                                    size_t memory_available,
+                                    bool *met) const
 {
     const std::vector<LutEntry> &entries = lut_.entries();
     size_t best = entries.size();
+    size_t floor_fit = entries.size(); // cheapest eligible entry
     for (size_t i = 0; i < entries.size(); ++i) {
+        if (!memoryFits(i, memory_available))
+            continue;
+        if (floor_fit == entries.size())
+            floor_fit = i;
         if (entries[i].resourceCost > budget)
             break; // ascending cost: nothing later fits either
         if (best == entries.size() ||
@@ -39,7 +61,7 @@ AdmissionController::indexForBudget(double budget, bool *met) const
     }
     if (met)
         *met = false;
-    return 0; // cheapest is the budget floor
+    return floor_fit; // entries.size() when nothing fits memory
 }
 
 AdmissionDecision
@@ -114,20 +136,44 @@ AdmissionController::decide(double requested_budget, ServeClass cls,
         effective = std::min(effective, affordable);
     }
 
+    // 4. Memory feasibility: certified peak bounds minus what the
+    // in-flight config already holds. Only active when the options
+    // set a budget and the controller was built with bounds.
+    size_t memory_available = std::numeric_limits<size_t>::max();
+    size_t idle_memory = std::numeric_limits<size_t>::max();
+    if (options_.memoryBudgetBytes > 0 && !configPeakBytes_.empty()) {
+        idle_memory = options_.memoryBudgetBytes;
+        memory_available =
+            options_.memoryBudgetBytes > signals.inflightPeakBytes
+                ? options_.memoryBudgetBytes - signals.inflightPeakBytes
+                : 0;
+    }
+
     bool met = false;
-    decision.configIndex = indexForBudget(effective, &met);
+    decision.configIndex = indexForBudget(effective, memory_available,
+                                          &met);
+    if (decision.configIndex >= lut_.entries().size()) {
+        decision.status = Status::error(
+            StatusCode::Rejected,
+            "no config's certified peak memory fits the activation "
+            "budget");
+        decision.retryAfterMs = retry_after;
+        return decision;
+    }
     const LutEntry &chosen = lut_.entries()[decision.configIndex];
     decision.effectiveBudget = effective;
     decision.estimatedCost = chosen.resourceCost;
 
     // Downgraded relative to what the raw budget buys on an idle
-    // system — the "walked down the frontier" marker.
+    // system (full memory budget, no congestion) — the "walked down
+    // the frontier" marker, for cost and memory pressure alike.
     bool ideal_met = false;
     const size_t ideal =
-        indexForBudget(requested_budget, &ideal_met);
+        indexForBudget(requested_budget, idle_memory, &ideal_met);
     decision.downgraded =
+        ideal < lut_.entries().size() &&
         lut_.entries()[ideal].accuracyEstimate >
-        chosen.accuracyEstimate;
+            chosen.accuracyEstimate;
 
     decision.status = Status::ok();
     return decision;

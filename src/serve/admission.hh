@@ -18,7 +18,13 @@
  *  3. deadline feasibility: when even the cheapest config cannot
  *     finish before the deadline, reject now (StatusCode::Rejected,
  *     retry-after ≈ backlog drain time) instead of wasting queue
- *     space on a guaranteed miss.
+ *     space on a guaranteed miss;
+ *  4. memory feasibility: with an activation-memory budget set, only
+ *     configs whose *certified* static peak bound (the engine's
+ *     load-time liveness analysis, not a guess) fits what in-flight
+ *     work leaves free are eligible — memory pressure degrades to a
+ *     smaller config first and rejects with retry-after when nothing
+ *     fits.
  *
  * LUT costs are in the LUT's native (modeled) unit; `costScale`
  * converts them to wall milliseconds and is calibrated online by the
@@ -30,6 +36,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "engine/lut.hh"
 #include "serve/serve.hh"
@@ -50,6 +57,9 @@ struct HealthSignals
     size_t quarantinedPaths = 0;///< Vetoed + probation paths.
     size_t totalPaths = 1;      ///< LUT configs overall.
     double costScale = 1.0;     ///< Wall ms per LUT cost unit (EWMA).
+    /** Certified peak bytes of the work executing right now (the
+     *  dispatched config's static bound; 0 = idle). */
+    size_t inflightPeakBytes = 0;
 };
 
 /** Tuning knobs; the defaults serve the soak bench well. */
@@ -73,6 +83,15 @@ struct AdmissionOptions
 
     /** Floor for the retry-after backpressure hint. */
     double minRetryAfterMs = 1.0;
+
+    /**
+     * Activation-memory budget for admitted work, in bytes. When > 0
+     * (and the controller was built with per-config certified peak
+     * bounds), a config is only eligible while its bound fits
+     * `memoryBudgetBytes - signals.inflightPeakBytes`. 0 disables
+     * the memory policy.
+     */
+    size_t memoryBudgetBytes = 0;
 };
 
 /** What admission decided for one request. */
@@ -97,9 +116,16 @@ struct AdmissionDecision
 class AdmissionController
 {
   public:
-    /** @p lut must outlive the controller (the engine's LUT does). */
-    explicit AdmissionController(const AccuracyResourceLut &lut,
-                                 AdmissionOptions options = {});
+    /**
+     * @p lut must outlive the controller (the engine's LUT does).
+     * @p config_peak_bytes — certified peak-activation bounds
+     * parallel to lut.entries() (DrtEngine::certifiedPeakBytes());
+     * empty disables the memory policy, a 0 entry means "unknown,
+     * always fits" (lint gate disabled for that config).
+     */
+    explicit AdmissionController(
+        const AccuracyResourceLut &lut, AdmissionOptions options = {},
+        std::vector<size_t> config_peak_bytes = {});
 
     /**
      * Decide admission for a request of @p cls with @p
@@ -113,12 +139,23 @@ class AdmissionController
     const AdmissionOptions &options() const { return options_; }
 
   private:
-    /** Index of the best frontier entry affordable at @p budget
-     *  (DrtEngine::lookupIndex semantics: cheapest as the floor). */
-    size_t indexForBudget(double budget, bool *met) const;
+    /**
+     * Index of the best memory-eligible frontier entry affordable at
+     * @p budget (DrtEngine::lookupIndex semantics: the cheapest
+     * eligible entry is the floor). @p memory_available caps the
+     * certified peak bound; entries().size() is returned when no
+     * entry fits it at all.
+     */
+    size_t indexForBudget(double budget, size_t memory_available,
+                          bool *met) const;
+
+    /** Does config @p index's certified bound fit @p available? */
+    bool memoryFits(size_t index, size_t available) const;
 
     const AccuracyResourceLut &lut_;
     AdmissionOptions options_;
+    /** Certified bounds parallel to lut_.entries(); may be empty. */
+    std::vector<size_t> configPeakBytes_;
 };
 
 } // namespace vitdyn

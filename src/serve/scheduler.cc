@@ -132,7 +132,11 @@ ServeScheduler::ServeScheduler(DrtEngine &engine,
                      AdmissionOptions a = options.admission;
                      a.queueCapacity = options.queueCapacity;
                      return a;
-                 }()),
+                 }(),
+                 // Certified static peak bounds from the engine's
+                 // load-time liveness analysis: the memory-aware
+                 // admission policy never guesses.
+                 engine.certifiedPeakBytes()),
       queue_(options.queueCapacity),
       costScale_(options.initialCostScale),
       quarantinedPaths_(engine.numQuarantined())
@@ -154,6 +158,8 @@ ServeScheduler::gatherSignals(ServeClass cls) const
     s.queueDepth = queue_.depth();
     s.backlogCost = queue_.backlogCostAhead(cls);
     s.inflightCost = inflightCost_.load(std::memory_order_relaxed);
+    s.inflightPeakBytes =
+        inflightPeakBytes_.load(std::memory_order_relaxed);
     ThreadPool &pool = ThreadPool::instance();
     s.poolQueueDepth = static_cast<double>(pool.queuedTasks());
     s.poolThreads = pool.threads();
@@ -367,10 +373,14 @@ ServeScheduler::dispatchLoop()
         const double batch_assembly_ms =
             elapsedMs(dispatch_start, engine_entry);
         inflightCost_.store(batch_cost, std::memory_order_relaxed);
+        inflightPeakBytes_.store(
+            engine_.certifiedPeakBytes(batch.front().configIndex),
+            std::memory_order_relaxed);
         std::vector<Result<DrtResult>> results =
             engine_.tryInferBatch(images, admitted_entry.resourceCost,
                                   deadlines, contexts);
         inflightCost_.store(0.0, std::memory_order_relaxed);
+        inflightPeakBytes_.store(0, std::memory_order_relaxed);
         const Deadline dispatch_end =
             std::chrono::steady_clock::now();
 

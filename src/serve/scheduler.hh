@@ -144,6 +144,9 @@ class ServeScheduler
     std::atomic<uint64_t> nextId_{1};
     std::atomic<double> costScale_;
     std::atomic<double> inflightCost_{0.0};
+    /** Certified peak bytes of the dispatched config while a batch is
+     *  in flight (single dispatcher: one config at a time). */
+    std::atomic<size_t> inflightPeakBytes_{0};
     /** Engine quarantine count, republished by the dispatcher after
      *  every batch so submit() never touches the engine. */
     std::atomic<uint64_t> quarantinedPaths_{0};

@@ -9,10 +9,15 @@
 #include <algorithm>
 
 #include "analysis/lint.hh"
+#include "analysis/liveness.hh"
 #include "analysis/lut_check.hh"
+#include "analysis/memory_lint.hh"
 #include "analysis/shape_check.hh"
 #include "engine/engine.hh"
 #include "engine/model_switching.hh"
+#include "graph/executor.hh"
+#include "graph/passes/pass.hh"
+#include "graph/passes/passes.hh"
 #include "graph/surgery.hh"
 #include "obs/metrics.hh"
 #include "resilience/accuracy_model.hh"
@@ -535,6 +540,383 @@ TEST(EngineLintGate, ModelSwitchingDropsInfeasibleCandidate)
     // The surviving frontier still answers budget queries.
     auto choice = engine.select(1.0e18);
     EXPECT_FALSE(choice.name.empty());
+}
+
+// ---------------------------------------------------------------------
+// Liveness analysis and the certified memory plan.
+
+/** tinyConvNet with the two sound elementwise steals annotated by
+ *  hand (bn steals conv's buffer, relu steals bn's). */
+Graph
+annotatedConvNet()
+{
+    Graph g = tinyConvNet();
+    g.layer(2).inplacePriority = 8;  // bn
+    g.layer(3).inplacePriority = 10; // relu
+    return g;
+}
+
+TEST(Liveness, IntervalsAndPeakOnChain)
+{
+    // input(2048 B) -> conv(4096 B) -> bn(4096 B) -> relu(4096 B).
+    const analysis::LivenessInfo info =
+        analysis::analyzeLiveness(tinyConvNet());
+    ASSERT_EQ(info.buffers.size(), 4u);
+
+    // Charge-before-free: a buffer survives through its last
+    // consumer's step, so each edge overlaps by exactly one step.
+    EXPECT_EQ(info.buffers[0].birth, 0);
+    EXPECT_EQ(info.buffers[0].death, 1);
+    EXPECT_FALSE(info.buffers[0].pinned);
+    EXPECT_EQ(info.buffers[1].death, 2);
+    EXPECT_EQ(info.buffers[2].death, 3);
+    EXPECT_EQ(info.buffers[0].bytes, 2048u);
+    EXPECT_EQ(info.buffers[1].bytes, 4096u);
+
+    EXPECT_EQ(info.totalBytes, 14336u);
+    EXPECT_EQ(info.maxLiveBytes, 8192u); // conv + bn at step 2.
+    EXPECT_EQ(info.maxLiveTensors, 2u);
+    EXPECT_EQ(info.peakStep, 2);
+
+    EXPECT_TRUE(info.interferes(1, 2));  // conv live at bn's step.
+    EXPECT_FALSE(info.interferes(0, 2)); // input dead before bn.
+}
+
+TEST(Liveness, OutputAndConsumerlessBuffersArePinned)
+{
+    Graph g("pins");
+    int x = g.addInput("x", {1, 4, 4, 4});
+    Layer relu;
+    relu.name = "relu";
+    relu.kind = LayerKind::ReLU;
+    relu.inputs = {x};
+    g.markOutput(g.addLayer(std::move(relu)));
+    Layer dead;
+    dead.name = "dead_gelu"; // No consumers, not an output.
+    dead.kind = LayerKind::GELU;
+    dead.inputs = {x};
+    g.addLayer(std::move(dead));
+
+    const analysis::LivenessInfo info = analysis::analyzeLiveness(g);
+    const int n = static_cast<int>(g.numLayers());
+    EXPECT_FALSE(info.buffers[0].pinned); // Input is consumed.
+    EXPECT_TRUE(info.buffers[1].pinned);  // Graph output.
+    EXPECT_TRUE(info.buffers[2].pinned);  // Consumer-less.
+    EXPECT_EQ(info.buffers[1].death, n);
+    EXPECT_EQ(info.buffers[2].death, n);
+    // Everything is simultaneously live at the end.
+    EXPECT_EQ(info.maxLiveBytes, info.totalBytes);
+}
+
+TEST(Liveness, OffsetsDisjointAndArenaCoversLivePeakOnRealModel)
+{
+    const Graph g = buildSegformer(tinyBase());
+    const analysis::LivenessInfo info = analysis::analyzeLiveness(g);
+    std::vector<int64_t> offsets;
+    const size_t arena = analysis::assignOffsets(info, {}, &offsets);
+
+    EXPECT_GE(arena, info.maxLiveBytes);
+    EXPECT_EQ(arena, analysis::certifiedPeakBytes(g));
+
+    // Interfering buffers must occupy disjoint byte ranges.
+    const int n = static_cast<int>(info.buffers.size());
+    ASSERT_EQ(static_cast<int>(offsets.size()), n);
+    for (int a = 0; a < n; ++a) {
+        const int64_t end_a =
+            offsets[a] + static_cast<int64_t>(info.buffers[a].bytes);
+        EXPECT_LE(end_a, static_cast<int64_t>(arena));
+        for (int b = a + 1; b < n; ++b) {
+            if (!info.interferes(a, b))
+                continue;
+            const int64_t end_b =
+                offsets[b] +
+                static_cast<int64_t>(info.buffers[b].bytes);
+            EXPECT_TRUE(end_a <= offsets[b] || end_b <= offsets[a])
+                << "buffers " << a << " and " << b << " overlap";
+        }
+    }
+}
+
+TEST(Liveness, PlanIsDeterministic)
+{
+    const Graph g = buildSegformer(tinyBase());
+    const analysis::MemoryPlan first = analysis::planMemory(g);
+    const analysis::MemoryPlan second = analysis::planMemory(g);
+    EXPECT_EQ(first.certifiedPeakBytes, second.certifiedPeakBytes);
+    EXPECT_EQ(first.plannedPeakBytes, second.plannedPeakBytes);
+    EXPECT_EQ(first.offsets, second.offsets);
+    EXPECT_EQ(first.plannedOffsets, second.plannedOffsets);
+}
+
+TEST(Liveness, VerifiedStealsShrinkPlannedArena)
+{
+    const Graph g = annotatedConvNet();
+    const analysis::MemoryPlan plan = analysis::planMemory(g);
+
+    EXPECT_EQ(plan.maxLiveBytes, 8192u);
+    // Best-fit packing pays fragmentation over the tight live peak
+    // (bn cannot reuse the dead input's 2048 B slot), but the bound
+    // stays sound: certified >= maxLive always.
+    EXPECT_EQ(plan.certifiedPeakBytes, 10240u);
+    // conv+bn+relu coalesce to one 4096 B group beside the input.
+    EXPECT_EQ(plan.plannedPeakBytes, 6144u);
+    EXPECT_EQ(plan.stealSavedBytes, 4096u);
+    // The coalesced plan is a real plan, never below the no-steal
+    // liveness floor of its own merged lifetimes.
+    EXPECT_LT(plan.plannedPeakBytes, plan.certifiedPeakBytes);
+}
+
+// ---------------------------------------------------------------------
+// Memory lint: the in-place verifier.
+
+TEST(MemoryLint, RealModelPipelineIsMemoryClean)
+{
+    Graph g = buildSegformer(tinyBase());
+    PassManager pipeline = PassManager::standardPipeline();
+    Result<PipelineReport> report = pipeline.run(g);
+    ASSERT_TRUE(report) << report.status().message();
+
+    // The pass filters its candidates through the verifier, so the
+    // default lint (memory family included) is clean by construction.
+    const LintReport lint = lintGraph(g);
+    EXPECT_TRUE(lint.clean()) << lint.toText();
+
+    // And it actually annotated something worth verifying.
+    LintReport verify;
+    const std::vector<int> targets =
+        analysis::verifiedStealTargets(g, &verify);
+    EXPECT_TRUE(verify.clean()) << verify.toText();
+    EXPECT_TRUE(std::any_of(targets.begin(), targets.end(),
+                            [](int t) { return t >= 0; }));
+}
+
+TEST(MemoryLint, NotLastConsumerStealRejected)
+{
+    Graph g = annotatedConvNet();
+    // A second, later reader of conv's buffer: bn's steal would free
+    // a buffer the gelu still needs.
+    Layer late;
+    late.name = "late_reader";
+    late.kind = LayerKind::GELU;
+    late.inputs = {1}; // conv
+    g.markOutput(g.addLayer(std::move(late)));
+
+    LintReport report;
+    analysis::checkMemory(g, report);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "mem.inplace.not-last"))
+        << report.toText();
+
+    const std::vector<int> targets =
+        analysis::verifiedStealTargets(g, nullptr);
+    EXPECT_EQ(targets[2], -1); // bn's steal is unsound now...
+    EXPECT_GE(targets[3], 0);  // ...relu's (of bn) is untouched.
+}
+
+TEST(MemoryLint, GraphOutputStealRejected)
+{
+    Graph g = tinyConvNet();
+    g.markOutput(2); // bn is now also a graph output...
+    g.layer(3).inplacePriority = 10; // ...and relu tries to steal it.
+
+    LintReport report;
+    analysis::checkMemory(g, report);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "mem.inplace.output"))
+        << report.toText();
+}
+
+TEST(MemoryLint, ShapeMismatchStealRejected)
+{
+    Graph g = annotatedConvNet();
+    g.layer(3).outShape = {1, 16, 8, 4}; // Corrupt relu's shape.
+    LintReport report;
+    analysis::checkMemory(g, report);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "mem.inplace.shape"))
+        << report.toText();
+}
+
+TEST(MemoryLint, NonElementwiseKindStealRejected)
+{
+    Graph g = tinyConvNet();
+    g.layer(1).inplacePriority = 5; // Conv2d cannot run in place.
+    LintReport report;
+    analysis::checkMemory(g, report);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "mem.inplace.kind"))
+        << report.toText();
+}
+
+TEST(MemoryLint, AliasThroughForwarderRejected)
+{
+    // conv's buffer reaches relu through an Identity forwarder while
+    // a later gelu still reads conv directly: in a zero-copy plan the
+    // steal would free the aliased buffer under the gelu.
+    Graph g("alias");
+    int x = g.addInput("x", {1, 4, 8, 8});
+    Layer conv;
+    conv.name = "conv";
+    conv.kind = LayerKind::Conv2d;
+    conv.attrs.inChannels = 4;
+    conv.attrs.outChannels = 4;
+    conv.attrs.kernelH = conv.attrs.kernelW = 1;
+    conv.inputs = {x};
+    int c = g.addLayer(std::move(conv));
+    Layer fwd;
+    fwd.name = "fwd";
+    fwd.kind = LayerKind::Identity;
+    fwd.inputs = {c};
+    int f = g.addLayer(std::move(fwd));
+    Layer relu;
+    relu.name = "relu";
+    relu.kind = LayerKind::ReLU;
+    relu.inputs = {f};
+    relu.inplacePriority = 10;
+    g.markOutput(g.addLayer(std::move(relu)));
+    Layer gelu;
+    gelu.name = "late_alias_reader";
+    gelu.kind = LayerKind::GELU;
+    gelu.inputs = {c};
+    g.markOutput(g.addLayer(std::move(gelu)));
+
+    LintReport report;
+    analysis::checkMemory(g, report);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(flagged(report, "mem.inplace.alias"))
+        << report.toText();
+
+    // The annotation pass must refuse to create this hazard itself.
+    Graph fresh = g;
+    fresh.layer(3).inplacePriority = 0;
+    Result<int> rewrites =
+        makeInplacePriorityPass()->run(fresh, PassOptions{});
+    ASSERT_TRUE(rewrites) << rewrites.status().message();
+    EXPECT_EQ(fresh.layer(3).inplacePriority, 0);
+}
+
+TEST(MemoryLint, FrontierCertifiedCoversMeasuredPeak)
+{
+    // Every frontier config of the tiny model: build, rewrite with
+    // the standard pipeline, execute, and check measured <= certified.
+    const SegformerConfig base = tinyBase();
+    std::vector<PruneConfig> configs(3);
+    configs[0].label = "full";
+    configs[0].depths = {2, 2, 2, 2};
+    configs[1].label = "mid";
+    configs[1].depths = {2, 1, 1, 2};
+    configs[2].label = "small";
+    configs[2].depths = {1, 1, 1, 1};
+    configs[2].fuseInChannels = 64;
+
+    Rng rng(11);
+    const Tensor image = Tensor::randn({1, 3, 64, 64}, rng);
+    for (const PruneConfig &config : configs) {
+        Result<Graph> built = tryApplySegformerPrune(base, config);
+        ASSERT_TRUE(built) << config.label;
+        Graph g = std::move(built.value());
+        PassManager pipeline = PassManager::standardPipeline();
+        ASSERT_TRUE(pipeline.run(g)) << config.label;
+
+        Executor exec(g, 17);
+        exec.runSimple(image);
+        const size_t measured = exec.lastRunStats().peakLiveBytes;
+        EXPECT_GT(measured, 0u) << config.label;
+        EXPECT_LE(measured, exec.certifiedPeakBytes())
+            << config.label;
+    }
+}
+
+TEST(LutCheck, MemoryBudgetRowFlagged)
+{
+    AccuracyResourceLut lut(honestPoints(tinyBase()), "flops");
+    LutCheckOptions options;
+    options.cost = flopCost;
+
+    // A generous budget passes...
+    options.memoryBudgetBytes = size_t{1} << 40;
+    LintReport ok = checkLut(lut, ModelFamily::Segformer, tinyBase(),
+                             SwinConfig{}, options);
+    EXPECT_TRUE(ok.clean()) << ok.toText();
+
+    // ...an impossible one is a named per-row error.
+    options.memoryBudgetBytes = 1;
+    LintReport bad = checkLut(lut, ModelFamily::Segformer, tinyBase(),
+                              SwinConfig{}, options);
+    EXPECT_TRUE(bad.hasErrors());
+    EXPECT_TRUE(flagged(bad, "lut.memory-budget")) << bad.toText();
+}
+
+TEST(EngineLintGate, OverBudgetConfigVetoedAtLoad)
+{
+    const SegformerConfig base = tinyBase();
+    auto points = honestPoints(base);
+    const size_t peak_small = analysis::certifiedPeakBytes(
+        applySegformerPrune(base, points[1].config));
+    const size_t peak_full = analysis::certifiedPeakBytes(
+        applySegformerPrune(base, points[0].config));
+    ASSERT_LT(peak_small, peak_full);
+
+    // Budget between the two peaks: "full" must be vetoed at load,
+    // "small" keeps serving, and the stored per-path bounds match the
+    // analyzer's.
+    DrtEngineOptions options;
+    options.prewarm = false;
+    options.lint.cost = flopCost;
+    options.lint.memoryBudgetBytes = (peak_small + peak_full) / 2;
+    AccuracyResourceLut lut(points, "flops");
+    DrtEngine engine(ModelFamily::Segformer, base, SwinConfig{},
+                     std::move(lut), 17, options);
+
+    ASSERT_EQ(engine.numPaths(), 2u);
+    EXPECT_EQ(engine.numVetoed(), 1u);
+    size_t vetoed = 0;
+    for (size_t i = 0; i < engine.numPaths(); ++i) {
+        if (engine.isVetoed(i)) {
+            ++vetoed;
+            EXPECT_EQ(engine.certifiedPeakBytes(i), peak_full);
+        } else {
+            EXPECT_EQ(engine.certifiedPeakBytes(i), peak_small);
+        }
+    }
+    EXPECT_EQ(vetoed, 1u);
+
+    Rng rng(5);
+    Tensor image = Tensor::randn({1, 3, 64, 64}, rng);
+    DrtResult result = engine.infer(image, 1.0e18);
+    EXPECT_TRUE(result.healthy);
+    EXPECT_EQ(result.configLabel, "small");
+
+    // A budget below every config's bound fails create() recoverably.
+    DrtEngineOptions tight = options;
+    tight.lint.memoryBudgetBytes = peak_small / 2;
+    Result<std::unique_ptr<DrtEngine>> none = DrtEngine::create(
+        ModelFamily::Segformer, base, SwinConfig{},
+        AccuracyResourceLut(honestPoints(base), "flops"), 17, tight);
+    EXPECT_FALSE(bool(none));
+}
+
+TEST(ExecutorMemory, StealMetricsAndRuntimeCrossCheck)
+{
+    Counter &steal_bytes =
+        MetricsRegistry::instance().counter("exec.steal_reuse_bytes");
+    const uint64_t before = steal_bytes.value();
+
+    const Graph g = annotatedConvNet();
+    Executor exec(g, 3);
+    Rng rng(9);
+    exec.runSimple(Tensor::randn({1, 8, 8, 8}, rng));
+
+    // Both annotated steals fired: 4096 B each for bn and relu.
+    const Executor::RunStats &stats = exec.lastRunStats();
+    EXPECT_EQ(stats.stealReuseBytes, 8192u);
+    EXPECT_EQ(steal_bytes.value(), before + 8192u);
+    EXPECT_LE(stats.peakLiveBytes, exec.certifiedPeakBytes());
+
+    Gauge &peak_gauge =
+        MetricsRegistry::instance().gauge("exec.peak_live_bytes");
+    EXPECT_EQ(static_cast<size_t>(peak_gauge.value()),
+              stats.peakLiveBytes);
 }
 
 } // namespace

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "analysis/lint.hh"
+#include "analysis/liveness.hh"
 #include "graph/executor.hh"
 #include "graph/passes/pass.hh"
 #include "graph/surgery.hh"
@@ -274,6 +275,54 @@ TEST_P(GraphFuzz, PassPipelineIsIdempotent)
     ASSERT_TRUE(second) << second.status().message();
     EXPECT_EQ(second.value().totalRewrites(), 0);
     EXPECT_EQ(g.toString(), once);
+}
+
+/** Certification property: the executor's measured activation peak
+ *  never exceeds the liveness analyzer's static bound — on the raw
+ *  graph and on its pipeline-rewritten form (where in-place steals
+ *  push the runtime peak below the no-steal model the bound uses). */
+TEST_P(GraphFuzz, MeasuredPeakWithinCertifiedBound)
+{
+    Graph g = randomPipeline(GetParam());
+    Rng rng(GetParam() + 3);
+    Tensor x = Tensor::randn(g.layer(g.inputs()[0]).outShape, rng);
+
+    Executor raw(g, GetParam());
+    raw.runSimple(x);
+    ASSERT_GT(raw.certifiedPeakBytes(), 0u);
+    EXPECT_LE(raw.lastRunStats().peakLiveBytes,
+              raw.certifiedPeakBytes());
+
+    Graph rewritten = g;
+    PassManager pipeline = PassManager::standardPipeline();
+    ASSERT_TRUE(pipeline.run(rewritten));
+    Executor fused(rewritten, GetParam());
+    fused.runSimple(x);
+    EXPECT_LE(fused.lastRunStats().peakLiveBytes,
+              fused.certifiedPeakBytes());
+}
+
+/** Bound-invariance property: the standard pipeline only ever
+ *  *removes* simultaneously-live bytes (fusion deletes intermediate
+ *  activations; in-place annotation affects the planned arena, not
+ *  liveness), so the analyzer's maxLiveBytes must not grow. The
+ *  packed certified bound is kept out of this comparison on purpose:
+ *  best-fit packing is a heuristic, and a smaller live set can
+ *  fragment into a slightly larger arena — maxLiveBytes is the
+ *  monotone quantity. The certified bound must still cover the live
+ *  peak on both sides. */
+TEST_P(GraphFuzz, PipelineNeverRaisesLiveBytes)
+{
+    Graph g = randomPipeline(GetParam());
+    const analysis::LivenessInfo before = analysis::analyzeLiveness(g);
+    EXPECT_GE(analysis::certifiedPeakBytes(g), before.maxLiveBytes);
+
+    PassManager pipeline = PassManager::standardPipeline();
+    Result<PipelineReport> report = pipeline.run(g);
+    ASSERT_TRUE(report) << report.status().message();
+    const analysis::LivenessInfo after = analysis::analyzeLiveness(g);
+    EXPECT_LE(after.maxLiveBytes, before.maxLiveBytes);
+    EXPECT_GE(analysis::certifiedPeakBytes(g), after.maxLiveBytes);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz,

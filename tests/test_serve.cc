@@ -303,6 +303,70 @@ TEST(Admission, CriticalClassDegradesLast)
     EXPECT_GT(interactive, batch);
 }
 
+TEST(Admission, MemoryBudgetWalksFrontierThenRejects)
+{
+    AccuracyResourceLut lut(tinyPoints(), "ms");
+    // Certified peak bounds parallel to the sorted entries.
+    std::vector<size_t> peaks(lut.entries().size(), 0);
+    for (size_t i = 0; i < lut.entries().size(); ++i) {
+        const std::string &label = lut.entries()[i].config.label;
+        peaks[i] = label == "full" ? 300 : label == "mid" ? 200 : 100;
+    }
+    AdmissionOptions options;
+    options.memoryBudgetBytes = 250;
+    AdmissionController admission(lut, options, peaks);
+    const Deadline now = std::chrono::steady_clock::now();
+
+    // Idle: "full" (certified 300) can never fit the 250-byte budget
+    // — "mid" is the memory ceiling. That is the idle ideal, not a
+    // degradation, so the downgrade marker stays off.
+    HealthSignals s = idleSignals();
+    AdmissionDecision d =
+        admission.decide(1000.0, ServeClass::Interactive, {}, now, s);
+    ASSERT_TRUE(d.status.isOk());
+    EXPECT_EQ(lut.entries()[d.configIndex].config.label, "mid");
+    EXPECT_FALSE(d.downgraded);
+
+    // In-flight work holding 150: only "small" still fits the
+    // remaining 100, and that *is* a memory-pressure downgrade.
+    s.inflightPeakBytes = 150;
+    d = admission.decide(1000.0, ServeClass::Interactive, {}, now, s);
+    ASSERT_TRUE(d.status.isOk());
+    EXPECT_EQ(lut.entries()[d.configIndex].config.label, "small");
+    EXPECT_TRUE(d.downgraded);
+
+    // 240 in flight: no config fits the remaining 10 — typed
+    // rejection with a retry hint, never an over-budget admission.
+    s.inflightPeakBytes = 240;
+    d = admission.decide(1000.0, ServeClass::Interactive, {}, now, s);
+    ASSERT_FALSE(d.status.isOk());
+    EXPECT_EQ(d.status.code(), StatusCode::Rejected);
+    EXPECT_GE(d.retryAfterMs, admission.options().minRetryAfterMs);
+}
+
+TEST(Admission, MemoryPolicyOffWithoutBoundsOrBudget)
+{
+    AccuracyResourceLut lut(tinyPoints(), "ms");
+    const Deadline now = std::chrono::steady_clock::now();
+    HealthSignals s = idleSignals();
+    s.inflightPeakBytes = 1000; // Ignored in both configurations.
+
+    // A budget without certified bounds cannot veto anything.
+    AdmissionOptions with_budget;
+    with_budget.memoryBudgetBytes = 1;
+    AdmissionController no_bounds(lut, with_budget);
+    AdmissionDecision d =
+        no_bounds.decide(1000.0, ServeClass::Interactive, {}, now, s);
+    ASSERT_TRUE(d.status.isOk());
+    EXPECT_EQ(lut.entries()[d.configIndex].config.label, "full");
+
+    // Bounds without a budget: the policy is equally inert.
+    AdmissionController no_budget(lut, {}, {300, 200, 100});
+    d = no_budget.decide(1000.0, ServeClass::Interactive, {}, now, s);
+    ASSERT_TRUE(d.status.isOk());
+    EXPECT_EQ(lut.entries()[d.configIndex].config.label, "full");
+}
+
 TEST(Admission, AllQuarantinedIsTypedRejection)
 {
     AccuracyResourceLut lut(tinyPoints(), "ms");

@@ -13,6 +13,13 @@
  *                               # (graph/passes/) over every builder
  *                               # target instead; each target's
  *                               # suppressions configure the gates
+ *   vitdyn_lint --memory        # memory-lint mode: verify the
+ *                               # in-place steal plan and report the
+ *                               # certified peak-activation bound per
+ *                               # target and per frontier config
+ *                               # (--csv emits the per-config table;
+ *                               # --memory-budget-mb flags configs
+ *                               # over a byte budget as errors)
  *
  * Exit status: 0 when no Error findings (no Warning findings either
  * under --strict), 1 otherwise — suitable as a CI gate. Under
@@ -20,11 +27,14 @@
  */
 
 #include <functional>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/lint.hh"
+#include "analysis/liveness.hh"
 #include "analysis/lut_check.hh"
 #include "graph/passes/pass.hh"
 #include "models/detr.hh"
@@ -176,6 +186,213 @@ matches(const std::string &name, const std::string &filter)
     return filter.empty() || name.find(filter) != std::string::npos;
 }
 
+/** One graph's worth of memory-lint results (see runMemoryMode). */
+struct MemoryRow
+{
+    std::string config; ///< Frontier config label; "-" for builders.
+    size_t layers = 0;
+    /** Plan of the graph as built/pruned — the bound the engine's
+     *  load-time gate certifies. */
+    vitdyn::analysis::MemoryPlan plan;
+    /** Plan after the standard rewrite pipeline (fusion + verified
+     *  in-place annotations) — what a serving path actually needs. */
+    vitdyn::analysis::MemoryPlan fused;
+    /** mem.* findings on the rewritten (annotated) graph. */
+    vitdyn::LintReport report;
+};
+
+/** A named family of graphs to memory-lint, one row per config. */
+struct MemoryTarget
+{
+    std::string name;
+    std::function<std::vector<MemoryRow>()> rows;
+};
+
+MemoryRow
+memoryRow(std::string config_label, Graph graph,
+          const vitdyn::LintOptions &lint)
+{
+    using namespace vitdyn;
+    MemoryRow row;
+    row.config = std::move(config_label);
+    row.layers = graph.numLayers();
+    row.plan = analysis::planMemory(graph);
+
+    PassOptions options;
+    options.lint = lint;
+    PassManager pipeline = PassManager::standardPipeline(options);
+    Result<PipelineReport> outcome = pipeline.run(graph);
+    // The pipeline is transactional: on failure the graph holds the
+    // last lint-clean state, which is still meaningful to plan.
+    if (!outcome)
+        row.report.addGraph(Severity::Error, "mem.pipeline",
+                            outcome.status().message());
+    row.fused = analysis::planMemory(graph);
+
+    // Re-verify the rewritten graph's annotations with the memory
+    // family alone (the pipeline gates already ran the full battery).
+    LintOptions memory_only = lint;
+    memory_only.structure = false;
+    memory_only.attributes = false;
+    memory_only.shapes = false;
+    memory_only.accounting = false;
+    memory_only.memory = true;
+    row.report.merge(lintGraph(graph, memory_only));
+    return row;
+}
+
+std::vector<MemoryTarget>
+memoryTargets()
+{
+    using namespace vitdyn;
+    std::vector<MemoryTarget> targets;
+
+    for (const Target &builder : builderTargets())
+        targets.push_back(
+            {builder.name, [builder] {
+                 return std::vector<MemoryRow>{
+                     memoryRow("-", builder.build(), builder.lint)};
+             }});
+
+    // Frontier targets: one row per catalog config's pruned graph
+    // (accuracy/cost sweeping is the default mode's concern; memory
+    // only needs the graphs).
+    auto add_frontier = [&](std::string name, ModelFamily family,
+                            SegformerConfig seg_base, SwinConfig swin_base,
+                            std::vector<PruneConfig> catalog) {
+        targets.push_back(
+            {std::move(name),
+             [family, seg_base, swin_base,
+              catalog = std::move(catalog)] {
+                 std::vector<MemoryRow> rows;
+                 for (const PruneConfig &config : catalog) {
+                     Result<Graph> built = tryApplyPrune(
+                         family, seg_base, swin_base, config);
+                     if (!built) {
+                         MemoryRow row;
+                         row.config = config.label;
+                         row.report.addGraph(Severity::Error,
+                                             "mem.config",
+                                             built.status().message());
+                         rows.push_back(std::move(row));
+                         continue;
+                     }
+                     rows.push_back(memoryRow(
+                         config.label, std::move(built.value()), {}));
+                 }
+                 return rows;
+             }});
+    };
+
+    add_frontier("frontier_segformer_b2_ade", ModelFamily::Segformer,
+                 segformerB2Config(), SwinConfig{},
+                 segformerAdePruneCatalog());
+    add_frontier("frontier_segformer_b2_cityscapes",
+                 ModelFamily::Segformer, segformerB2CityscapesConfig(),
+                 SwinConfig{}, segformerCityscapesPruneCatalog());
+    add_frontier("frontier_swin_base", ModelFamily::Swin,
+                 SegformerConfig{}, swinBaseConfig(),
+                 swinBasePruneCatalog());
+    add_frontier("frontier_swin_tiny", ModelFamily::Swin,
+                 SegformerConfig{}, swinTinyConfig(),
+                 swinTinyPruneCatalog());
+    return targets;
+}
+
+std::string
+mib(size_t bytes)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(2)
+        << static_cast<double>(bytes) / (1024.0 * 1024.0);
+    return oss.str();
+}
+
+/**
+ * --memory mode: verify the in-place steal plan and report certified
+ * peak-activation bounds for every builder graph and every frontier
+ * config. --csv emits one row per (target, config); a nonzero
+ * --memory-budget-mb turns any config whose certified bound exceeds
+ * it into an Error, mirroring the engine's load-time veto.
+ */
+int
+runMemoryMode(const std::string &filter, bool strict, bool csv,
+              double budget_mb)
+{
+    using namespace vitdyn;
+
+    const size_t budget_bytes =
+        budget_mb > 0.0
+            ? static_cast<size_t>(budget_mb * 1024.0 * 1024.0)
+            : 0;
+    LintReport all;
+    size_t checked = 0;
+    std::ostringstream table;
+    table << "target,config,layers,total_bytes,max_live_bytes,"
+             "certified_peak_bytes,fused_certified_peak_bytes,"
+             "fused_planned_peak_bytes,steal_saved_bytes\n";
+
+    for (const MemoryTarget &target : memoryTargets()) {
+        if (!matches(target.name, filter))
+            continue;
+        std::vector<MemoryRow> rows = target.rows();
+        ++checked;
+        size_t worst_certified = 0;
+        size_t worst_fused = 0;
+        bool ok = true;
+        for (MemoryRow &row : rows) {
+            worst_certified =
+                std::max(worst_certified, row.plan.certifiedPeakBytes);
+            worst_fused =
+                std::max(worst_fused, row.fused.certifiedPeakBytes);
+            if (budget_bytes > 0 &&
+                row.plan.certifiedPeakBytes > budget_bytes)
+                row.report.addGraph(
+                    Severity::Error, "mem.budget",
+                    "certified peak " +
+                        std::to_string(row.plan.certifiedPeakBytes) +
+                        " bytes exceeds the budget of " +
+                        std::to_string(budget_bytes) + " bytes");
+            ok = ok && !row.report.hasErrors() &&
+                 (!strict || row.report.clean());
+            all.mergeWithContext(row.report,
+                                 target.name + " '" + row.config + "'");
+            table << target.name << ',' << row.config << ','
+                  << row.layers << ',' << row.plan.totalBytes << ','
+                  << row.plan.maxLiveBytes << ','
+                  << row.plan.certifiedPeakBytes << ','
+                  << row.fused.certifiedPeakBytes << ','
+                  << row.fused.plannedPeakBytes << ','
+                  << row.fused.stealSavedBytes << "\n";
+        }
+        if (!csv)
+            std::cout << (ok ? "ok   " : "FAIL ") << target.name
+                      << " (" << rows.size() << " config(s), certified "
+                      << mib(worst_certified) << " MiB, fused "
+                      << mib(worst_fused) << " MiB)\n";
+    }
+
+    if (csv) {
+        std::cout << table.str();
+        if (!all.diagnostics().empty())
+            std::cerr << all.toText();
+    } else {
+        if (!all.diagnostics().empty())
+            std::cout << "\n" << all.toText();
+        std::cout << "\n"
+                  << checked << " target(s) memory-checked: "
+                  << all.count(Severity::Error) << " error(s), "
+                  << all.count(Severity::Warning) << " warning(s), "
+                  << all.count(Severity::Info) << " note(s)\n";
+    }
+
+    if (all.hasErrors())
+        return 1;
+    if (strict && !all.clean())
+        return 1;
+    return 0;
+}
+
 /**
  * --passes mode: run the standard rewrite pipeline over every builder
  * target. The PassManager's own gates prove each target lints clean
@@ -244,6 +461,12 @@ main(int argc, char **argv)
     args.addFlag("strict", "exit nonzero on warnings too");
     args.addFlag("passes",
                  "run the rewrite pass pipeline over builder targets");
+    args.addFlag("memory",
+                 "verify the in-place plan and report certified "
+                 "peak-activation bounds per target/config");
+    args.addOption("memory-budget-mb", "0",
+                   "with --memory: flag configs whose certified peak "
+                   "exceeds this many MiB as errors (0 = report only)");
     args.parse(argc, argv);
 
     const std::string filter = args.get("filter");
@@ -251,6 +474,9 @@ main(int argc, char **argv)
 
     if (args.getFlag("passes"))
         return runPassesMode(filter, args.getFlag("strict"));
+    if (args.getFlag("memory"))
+        return runMemoryMode(filter, args.getFlag("strict"), csv,
+                             std::stod(args.get("memory-budget-mb")));
 
     LintReport all;
     size_t checked = 0;
